@@ -1,0 +1,442 @@
+//! The tape (computation graph) and its reverse-mode backward pass.
+
+use quadra_tensor::Tensor;
+
+/// Handle to a value recorded on the tape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct VarId(pub(crate) usize);
+
+/// The operation that produced a tape node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// A leaf value supplied by the user (inputs and parameters).
+    Input,
+    /// Element-wise addition (with broadcasting of the right operand).
+    Add(VarId, VarId),
+    /// Element-wise subtraction.
+    Sub(VarId, VarId),
+    /// Element-wise (Hadamard) product.
+    Mul(VarId, VarId),
+    /// Matrix product of rank-2 tensors.
+    MatMul(VarId, VarId),
+    /// Multiplication by a scalar constant.
+    Scale(VarId),
+    /// Element-wise square.
+    Square(VarId),
+    /// Rectified linear unit.
+    Relu(VarId),
+    /// Logistic sigmoid.
+    Sigmoid(VarId),
+    /// Hyperbolic tangent.
+    Tanh(VarId),
+    /// Sum of all elements (scalar output).
+    Sum(VarId),
+    /// Mean of all elements (scalar output).
+    Mean(VarId),
+}
+
+struct Node {
+    value: Tensor,
+    grad: Option<Tensor>,
+    op: Op,
+    /// Scalar attribute used by `Scale`.
+    scalar: f32,
+}
+
+/// A dynamically built computation graph (tape) for reverse-mode AD.
+///
+/// Every operation appends a node holding its *full output value*; `backward`
+/// walks the tape in reverse and accumulates gradients into every node. The
+/// total number of bytes held by the tape is available via
+/// [`Graph::tape_bytes`], which is what makes the AD-vs-symbolic memory
+/// comparison of the paper measurable.
+#[derive(Default)]
+pub struct Graph {
+    nodes: Vec<Node>,
+}
+
+impl Graph {
+    /// Create an empty tape.
+    pub fn new() -> Self {
+        Graph { nodes: Vec::new() }
+    }
+
+    /// Number of nodes currently recorded.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if no nodes have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Total bytes of tensor values kept alive by the tape (the AD memory cost).
+    pub fn tape_bytes(&self) -> usize {
+        self.nodes.iter().map(|n| n.value.nbytes()).sum()
+    }
+
+    fn push(&mut self, value: Tensor, op: Op, scalar: f32) -> VarId {
+        self.nodes.push(Node { value, grad: None, op, scalar });
+        VarId(self.nodes.len() - 1)
+    }
+
+    /// Record a leaf value (input or parameter).
+    pub fn input(&mut self, value: Tensor) -> VarId {
+        self.push(value, Op::Input, 0.0)
+    }
+
+    /// Read the value of a node.
+    pub fn value(&self, id: VarId) -> &Tensor {
+        &self.nodes[id.0].value
+    }
+
+    /// Read the gradient accumulated for a node (available after `backward`).
+    pub fn grad(&self, id: VarId) -> Option<&Tensor> {
+        self.nodes[id.0].grad.as_ref()
+    }
+
+    /// Element-wise addition. Shapes must match or the right operand must broadcast.
+    pub fn add(&mut self, a: VarId, b: VarId) -> VarId {
+        let v = self.nodes[a.0].value.add(&self.nodes[b.0].value).expect("add shapes");
+        self.push(v, Op::Add(a, b), 0.0)
+    }
+
+    /// Element-wise subtraction.
+    pub fn sub(&mut self, a: VarId, b: VarId) -> VarId {
+        let v = self.nodes[a.0].value.sub(&self.nodes[b.0].value).expect("sub shapes");
+        self.push(v, Op::Sub(a, b), 0.0)
+    }
+
+    /// Element-wise (Hadamard) product — the second-order building block of QDNNs.
+    pub fn mul(&mut self, a: VarId, b: VarId) -> VarId {
+        let v = self.nodes[a.0].value.mul(&self.nodes[b.0].value).expect("mul shapes");
+        self.push(v, Op::Mul(a, b), 0.0)
+    }
+
+    /// Matrix product of two rank-2 nodes.
+    pub fn matmul(&mut self, a: VarId, b: VarId) -> VarId {
+        let v = self.nodes[a.0].value.matmul(&self.nodes[b.0].value).expect("matmul shapes");
+        self.push(v, Op::MatMul(a, b), 0.0)
+    }
+
+    /// Multiply a node by a scalar constant.
+    pub fn scale(&mut self, a: VarId, s: f32) -> VarId {
+        let v = self.nodes[a.0].value.mul_scalar(s);
+        self.push(v, Op::Scale(a), s)
+    }
+
+    /// Element-wise square.
+    pub fn square(&mut self, a: VarId) -> VarId {
+        let v = self.nodes[a.0].value.square();
+        self.push(v, Op::Square(a), 0.0)
+    }
+
+    /// Rectified linear unit.
+    pub fn relu(&mut self, a: VarId) -> VarId {
+        let v = self.nodes[a.0].value.relu();
+        self.push(v, Op::Relu(a), 0.0)
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(&mut self, a: VarId) -> VarId {
+        let v = self.nodes[a.0].value.sigmoid();
+        self.push(v, Op::Sigmoid(a), 0.0)
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(&mut self, a: VarId) -> VarId {
+        let v = self.nodes[a.0].value.tanh();
+        self.push(v, Op::Tanh(a), 0.0)
+    }
+
+    /// Sum of all elements, producing a scalar node.
+    pub fn sum(&mut self, a: VarId) -> VarId {
+        let v = Tensor::scalar(self.nodes[a.0].value.sum());
+        self.push(v, Op::Sum(a), 0.0)
+    }
+
+    /// Mean of all elements, producing a scalar node.
+    pub fn mean(&mut self, a: VarId) -> VarId {
+        let v = Tensor::scalar(self.nodes[a.0].value.mean());
+        self.push(v, Op::Mean(a), 0.0)
+    }
+
+    fn accumulate(&mut self, id: VarId, grad: Tensor) {
+        // Reduce broadcasted gradients back to the original shape by summing
+        // over broadcast axes (sufficient for the bias-style broadcasting we use).
+        let target_shape = self.nodes[id.0].value.shape().to_vec();
+        let grad = reduce_to_shape(grad, &target_shape);
+        match &mut self.nodes[id.0].grad {
+            Some(g) => {
+                g.add_assign(&grad).expect("gradient shapes match");
+            }
+            None => self.nodes[id.0].grad = Some(grad),
+        }
+    }
+
+    /// Run reverse-mode differentiation starting from the scalar node `output`.
+    ///
+    /// # Panics
+    /// Panics if `output` is not a single-element tensor.
+    pub fn backward(&mut self, output: VarId) {
+        assert_eq!(
+            self.nodes[output.0].value.numel(),
+            1,
+            "backward must start from a scalar node"
+        );
+        for n in self.nodes.iter_mut() {
+            n.grad = None;
+        }
+        self.nodes[output.0].grad = Some(Tensor::ones(self.nodes[output.0].value.shape()));
+
+        for i in (0..self.nodes.len()).rev() {
+            let grad = match &self.nodes[i].grad {
+                Some(g) => g.clone(),
+                None => continue,
+            };
+            let op = self.nodes[i].op;
+            let scalar = self.nodes[i].scalar;
+            match op {
+                Op::Input => {}
+                Op::Add(a, b) => {
+                    self.accumulate(a, grad.clone());
+                    self.accumulate(b, grad);
+                }
+                Op::Sub(a, b) => {
+                    self.accumulate(a, grad.clone());
+                    self.accumulate(b, grad.neg());
+                }
+                Op::Mul(a, b) => {
+                    let ga = grad.mul(&self.nodes[b.0].value).expect("mul grad");
+                    let gb = grad.mul(&self.nodes[a.0].value).expect("mul grad");
+                    self.accumulate(a, ga);
+                    self.accumulate(b, gb);
+                }
+                Op::MatMul(a, b) => {
+                    let bt = self.nodes[b.0].value.transpose().expect("rank 2");
+                    let at = self.nodes[a.0].value.transpose().expect("rank 2");
+                    let ga = grad.matmul(&bt).expect("matmul grad");
+                    let gb = at.matmul(&grad).expect("matmul grad");
+                    self.accumulate(a, ga);
+                    self.accumulate(b, gb);
+                }
+                Op::Scale(a) => self.accumulate(a, grad.mul_scalar(scalar)),
+                Op::Square(a) => {
+                    let ga = grad.mul(&self.nodes[a.0].value.mul_scalar(2.0)).expect("square grad");
+                    self.accumulate(a, ga);
+                }
+                Op::Relu(a) => {
+                    let mask = self.nodes[a.0].value.map(|x| if x > 0.0 { 1.0 } else { 0.0 });
+                    self.accumulate(a, grad.mul(&mask).expect("relu grad"));
+                }
+                Op::Sigmoid(a) => {
+                    let y = &self.nodes[i].value;
+                    let dy = y.mul(&y.map(|v| 1.0 - v)).expect("sigmoid grad");
+                    self.accumulate(a, grad.mul(&dy).expect("sigmoid grad"));
+                }
+                Op::Tanh(a) => {
+                    let y = &self.nodes[i].value;
+                    let dy = y.map(|v| 1.0 - v * v);
+                    self.accumulate(a, grad.mul(&dy).expect("tanh grad"));
+                }
+                Op::Sum(a) => {
+                    let ones = Tensor::ones(self.nodes[a.0].value.shape());
+                    self.accumulate(a, ones.mul_scalar(grad.item()));
+                }
+                Op::Mean(a) => {
+                    let n = self.nodes[a.0].value.numel().max(1) as f32;
+                    let ones = Tensor::ones(self.nodes[a.0].value.shape());
+                    self.accumulate(a, ones.mul_scalar(grad.item() / n));
+                }
+            }
+        }
+    }
+}
+
+/// Sum a (possibly broadcast) gradient back down to `shape`.
+fn reduce_to_shape(grad: Tensor, shape: &[usize]) -> Tensor {
+    if grad.shape() == shape {
+        return grad;
+    }
+    let mut g = grad;
+    // Remove leading broadcast axes.
+    while g.ndim() > shape.len() {
+        g = g.sum_axis(0).expect("axis exists");
+    }
+    // Sum axes where the target extent is 1.
+    for ax in 0..shape.len() {
+        if shape[ax] == 1 && g.shape()[ax] != 1 {
+            g = g.sum_axis(ax).expect("axis exists").unsqueeze(ax).expect("unsqueeze");
+        }
+    }
+    g.reshape(shape).expect("gradient reducible to target shape")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_sum_gradients() {
+        let mut g = Graph::new();
+        let a = g.input(Tensor::from_slice(&[1.0, 2.0]));
+        let b = g.input(Tensor::from_slice(&[3.0, 4.0]));
+        let c = g.add(a, b);
+        let loss = g.sum(c);
+        g.backward(loss);
+        assert_eq!(g.grad(a).unwrap().as_slice(), &[1.0, 1.0]);
+        assert_eq!(g.grad(b).unwrap().as_slice(), &[1.0, 1.0]);
+        assert_eq!(g.value(loss).item(), 10.0);
+        assert_eq!(g.len(), 4);
+        assert!(!g.is_empty());
+    }
+
+    #[test]
+    fn product_rule() {
+        let mut g = Graph::new();
+        let a = g.input(Tensor::from_slice(&[2.0, 3.0]));
+        let b = g.input(Tensor::from_slice(&[5.0, 7.0]));
+        let c = g.mul(a, b);
+        let loss = g.sum(c);
+        g.backward(loss);
+        assert_eq!(g.grad(a).unwrap().as_slice(), &[5.0, 7.0]);
+        assert_eq!(g.grad(b).unwrap().as_slice(), &[2.0, 3.0]);
+    }
+
+    #[test]
+    fn sub_scale_square_mean() {
+        let mut g = Graph::new();
+        let a = g.input(Tensor::from_slice(&[1.0, -2.0]));
+        let b = g.input(Tensor::from_slice(&[0.5, 0.5]));
+        let d = g.sub(a, b);
+        let s = g.scale(d, 3.0);
+        let q = g.square(s);
+        let loss = g.mean(q);
+        g.backward(loss);
+        // loss = mean((3(a-b))^2) => dl/da = 9(a-b) ; components /1 since mean over 2 => *1/2*2*9(a-b)
+        let expect: Vec<f32> = [0.5f32, -2.5].iter().map(|&x| 9.0 * x).collect();
+        let got = g.grad(a).unwrap().as_slice().to_vec();
+        assert!((got[0] - expect[0]).abs() < 1e-5);
+        assert!((got[1] - expect[1]).abs() < 1e-5);
+        let gb = g.grad(b).unwrap().as_slice().to_vec();
+        assert!((gb[0] + expect[0]).abs() < 1e-5);
+    }
+
+    #[test]
+    fn matmul_gradients_match_formula() {
+        let mut g = Graph::new();
+        let a = g.input(Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap());
+        let b = g.input(Tensor::from_vec(vec![0.5, -1.0, 2.0, 1.5], &[2, 2]).unwrap());
+        let c = g.matmul(a, b);
+        let loss = g.sum(c);
+        g.backward(loss);
+        // dL/dA = ones . B^T, dL/dB = A^T . ones
+        let ones = Tensor::ones(&[2, 2]);
+        let expect_a = ones.matmul(&g.value(b).transpose().unwrap()).unwrap();
+        let expect_b = g.value(a).transpose().unwrap().matmul(&ones).unwrap();
+        assert!(g.grad(a).unwrap().allclose(&expect_a, 1e-6));
+        assert!(g.grad(b).unwrap().allclose(&expect_b, 1e-6));
+    }
+
+    #[test]
+    fn activations_gradients() {
+        let mut g = Graph::new();
+        let a = g.input(Tensor::from_slice(&[-1.0, 2.0]));
+        let r = g.relu(a);
+        let loss = g.sum(r);
+        g.backward(loss);
+        assert_eq!(g.grad(a).unwrap().as_slice(), &[0.0, 1.0]);
+
+        let mut g = Graph::new();
+        let a = g.input(Tensor::from_slice(&[0.0]));
+        let s = g.sigmoid(a);
+        let loss = g.sum(s);
+        g.backward(loss);
+        assert!((g.grad(a).unwrap().as_slice()[0] - 0.25).abs() < 1e-6);
+
+        let mut g = Graph::new();
+        let a = g.input(Tensor::from_slice(&[0.0]));
+        let t = g.tanh(a);
+        let loss = g.sum(t);
+        g.backward(loss);
+        assert!((g.grad(a).unwrap().as_slice()[0] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn quadratic_neuron_gradient_via_tape() {
+        // f(x) = (wa*x) hadamard (wb*x) + wc*x, reduced to a scalar with sum.
+        let mut g = Graph::new();
+        let x = g.input(Tensor::from_slice(&[1.0, -2.0, 0.5]));
+        let wa = g.input(Tensor::from_slice(&[0.3, 0.1, -0.4]));
+        let wb = g.input(Tensor::from_slice(&[-0.2, 0.6, 0.9]));
+        let wc = g.input(Tensor::from_slice(&[1.0, 1.0, 1.0]));
+        let ax = g.mul(wa, x);
+        let bx = g.mul(wb, x);
+        let second = g.mul(ax, bx);
+        let linear = g.mul(wc, x);
+        let y = g.add(second, linear);
+        let loss = g.sum(y);
+        g.backward(loss);
+        // d loss / d x_i = 2*wa_i*wb_i*x_i + wc_i
+        let x_v = [1.0f32, -2.0, 0.5];
+        let wa_v = [0.3f32, 0.1, -0.4];
+        let wb_v = [-0.2f32, 0.6, 0.9];
+        for i in 0..3 {
+            let expect = 2.0 * wa_v[i] * wb_v[i] * x_v[i] + 1.0;
+            assert!((g.grad(x).unwrap().as_slice()[i] - expect).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn gradient_accumulates_when_value_reused() {
+        let mut g = Graph::new();
+        let a = g.input(Tensor::from_slice(&[3.0]));
+        let sq = g.mul(a, a); // a reused twice
+        let loss = g.sum(sq);
+        g.backward(loss);
+        assert_eq!(g.grad(a).unwrap().as_slice(), &[6.0]);
+    }
+
+    #[test]
+    fn broadcast_bias_gradient_reduces() {
+        // y = x + b with b broadcast over rows: grad b should sum over rows.
+        let mut g = Graph::new();
+        let x = g.input(Tensor::zeros(&[4, 3]));
+        let b = g.input(Tensor::zeros(&[1, 3]));
+        let y = g.add(x, b);
+        let loss = g.sum(y);
+        g.backward(loss);
+        assert_eq!(g.grad(b).unwrap().shape(), &[1, 3]);
+        assert_eq!(g.grad(b).unwrap().as_slice(), &[4.0, 4.0, 4.0]);
+    }
+
+    #[test]
+    fn tape_bytes_counts_all_intermediates() {
+        let mut g = Graph::new();
+        let x = g.input(Tensor::zeros(&[10, 10])); // 400 B
+        let y = g.square(x); // +400 B
+        let _loss = g.sum(y); // +4 B
+        assert_eq!(g.tape_bytes(), 400 + 400 + 4);
+    }
+
+    #[test]
+    #[should_panic]
+    fn backward_from_non_scalar_panics() {
+        let mut g = Graph::new();
+        let x = g.input(Tensor::zeros(&[2, 2]));
+        let y = g.relu(x);
+        g.backward(y);
+    }
+
+    #[test]
+    fn backward_twice_resets_grads() {
+        let mut g = Graph::new();
+        let a = g.input(Tensor::from_slice(&[2.0]));
+        let s = g.square(a);
+        let loss = g.sum(s);
+        g.backward(loss);
+        g.backward(loss);
+        assert_eq!(g.grad(a).unwrap().as_slice(), &[4.0]);
+    }
+}

@@ -1,0 +1,36 @@
+//! # quadra-autograd
+//!
+//! A small, tape-based reverse-mode automatic-differentiation engine over
+//! [`quadra_tensor::Tensor`], plus finite-difference gradient-checking
+//! utilities used throughout the QuadraLib-rs test suite.
+//!
+//! In the paper's terminology this crate is the "Auto-Differentiation (AD)"
+//! half of the hybrid back-propagation story: every intermediate value is
+//! recorded on the tape and kept alive until `backward` runs, which is exactly
+//! why QDNN training with default AD is memory-hungry (problem **P6**). The
+//! quadratic layers in `quadra-core` instead use closed-form ("symbolic")
+//! gradients and cache only what those formulas need; the memory profiler can
+//! compare both, reproducing Fig. 8 of the paper.
+//!
+//! ## Example
+//!
+//! ```
+//! use quadra_autograd::Graph;
+//! use quadra_tensor::Tensor;
+//!
+//! let mut g = Graph::new();
+//! let x = g.input(Tensor::from_slice(&[1.0, 2.0, 3.0]));
+//! let w = g.input(Tensor::from_slice(&[0.5, 0.5, 0.5]));
+//! let wx = g.mul(x, w);          // element-wise product
+//! let loss = g.sum(wx);          // scalar loss
+//! g.backward(loss);
+//! assert_eq!(g.grad(x).unwrap().as_slice(), &[0.5, 0.5, 0.5]);
+//! ```
+
+#![warn(missing_docs)]
+
+mod gradcheck;
+mod graph;
+
+pub use gradcheck::{check_close, numeric_gradient, GradCheckReport};
+pub use graph::{Graph, Op, VarId};

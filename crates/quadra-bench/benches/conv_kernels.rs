@@ -1,0 +1,29 @@
+//! Criterion benchmark of the tensor substrate's convolution and matmul
+//! kernels (sanity check that the substrate is not the bottleneck story).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use quadra_tensor::{Conv2dParams, Tensor};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tensor_kernels");
+    group.sample_size(20);
+    let mut rng = StdRng::seed_from_u64(0);
+    let x = Tensor::randn(&[4, 16, 16, 16], 0.0, 1.0, &mut rng);
+    let w = Tensor::randn(&[16, 16, 3, 3], 0.0, 0.2, &mut rng);
+    let p = Conv2dParams::new(1, 1, 1);
+    group.bench_function("conv2d_3x3", |b| b.iter(|| std::hint::black_box(x.conv2d(&w, None, p).unwrap())));
+
+    let dw = Tensor::randn(&[16, 1, 3, 3], 0.0, 0.2, &mut rng);
+    let pd = Conv2dParams::new(1, 1, 16);
+    group.bench_function("depthwise_conv2d_3x3", |b| b.iter(|| std::hint::black_box(x.conv2d(&dw, None, pd).unwrap())));
+
+    let a = Tensor::randn(&[128, 128], 0.0, 1.0, &mut rng);
+    let bm = Tensor::randn(&[128, 128], 0.0, 1.0, &mut rng);
+    group.bench_function("matmul_128", |b| b.iter(|| std::hint::black_box(a.matmul(&bm).unwrap())));
+    group.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

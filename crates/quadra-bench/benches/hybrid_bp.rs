@@ -1,0 +1,30 @@
+//! Criterion benchmark: time overhead of hybrid back-propagation (recomputation)
+//! versus default back-propagation, the other side of Fig. 8's memory saving.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use quadra_core::{BackpropMode, NeuronType, QuadraticConv2d};
+use quadra_nn::Layer;
+use quadra_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_hybrid(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hybrid_bp");
+    group.sample_size(15);
+    let mut rng = StdRng::seed_from_u64(0);
+    let x = Tensor::randn(&[4, 8, 16, 16], 0.0, 1.0, &mut rng);
+    for mode in [BackpropMode::Default, BackpropMode::Hybrid] {
+        let mut layer = QuadraticConv2d::conv3x3(NeuronType::Ours, 8, 8, &mut rng);
+        layer.set_mode(mode);
+        group.bench_function(format!("{:?}", mode), |b| {
+            b.iter(|| {
+                let y = layer.forward(&x, true);
+                std::hint::black_box(layer.backward(&Tensor::ones_like(&y)))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hybrid);
+criterion_main!(benches);

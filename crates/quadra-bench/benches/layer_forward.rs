@@ -1,0 +1,38 @@
+//! Criterion benchmark: first-order vs quadratic convolution, forward and
+//! forward+backward (the per-layer cost behind Table 3's time columns).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use quadra_core::{NeuronType, QuadraticConv2d};
+use quadra_nn::{Conv2d, Layer};
+use quadra_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_layers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("conv_layer");
+    group.sample_size(15);
+    let mut rng = StdRng::seed_from_u64(0);
+    let x = Tensor::randn(&[4, 8, 16, 16], 0.0, 1.0, &mut rng);
+
+    let mut first = Conv2d::conv3x3(8, 16, &mut rng);
+    group.bench_function("first_order_forward", |b| b.iter(|| std::hint::black_box(first.forward(&x, true))));
+    group.bench_function("first_order_fwd_bwd", |b| {
+        b.iter(|| {
+            let y = first.forward(&x, true);
+            std::hint::black_box(first.backward(&Tensor::ones_like(&y)))
+        })
+    });
+
+    let mut quad = QuadraticConv2d::conv3x3(NeuronType::Ours, 8, 16, &mut rng);
+    group.bench_function("quadratic_ours_forward", |b| b.iter(|| std::hint::black_box(quad.forward(&x, true))));
+    group.bench_function("quadratic_ours_fwd_bwd", |b| {
+        b.iter(|| {
+            let y = quad.forward(&x, true);
+            std::hint::black_box(quad.backward(&Tensor::ones_like(&y)))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_layers);
+criterion_main!(benches);

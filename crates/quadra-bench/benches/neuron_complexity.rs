@@ -1,0 +1,26 @@
+//! Criterion micro-benchmark backing Table 1's complexity column: forward cost
+//! of a quadratic dense layer for every neuron type at a fixed size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use quadra_core::{NeuronType, QuadraticLinear};
+use quadra_nn::Layer;
+use quadra_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_neuron_types(c: &mut Criterion) {
+    let mut group = c.benchmark_group("quadratic_linear_forward");
+    group.sample_size(20);
+    let mut rng = StdRng::seed_from_u64(0);
+    let x = Tensor::randn(&[16, 64], 0.0, 1.0, &mut rng);
+    for t in [NeuronType::T1, NeuronType::T2, NeuronType::T3, NeuronType::T4, NeuronType::T2And4, NeuronType::Ours] {
+        let mut layer = QuadraticLinear::new(t, 64, 64, &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(t.name()), &t, |b, _| {
+            b.iter(|| std::hint::black_box(layer.forward(&x, true)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_neuron_types);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Figure 7 — gradient L2 norms of shallow / middle / deep quadratic conv
+//! layers over training epochs, without (T4) and with (Ours) the linear term,
+//! in a VGG-16-style plain structure.
+//!
+//! Regenerate with `cargo run -p quadra-bench --release --bin fig7`.
+
+use quadra_bench::{scale, Scale};
+use quadra_core::{build_model, AutoBuilder, GradientRecorder, NeuronType};
+use quadra_data::ShapeImageDataset;
+use quadra_models::{vgg_config, VggVariant};
+use quadra_nn::{CrossEntropyLoss, Layer, Loss, Optimizer, Sgd, SgdConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let (n_train, epochs, width, img) = match scale() {
+        Scale::Full => (1000usize, 40usize, 0.25f32, 32usize),
+        Scale::Quick => (200, 10, 0.0625, 16),
+    };
+    let data = ShapeImageDataset::generate(n_train, 10, img, 3, 0.1, 51);
+    let base = vgg_config(VggVariant::Vgg16, width, 3, img, 10);
+
+    for (label, neuron) in [("without linear term (T4)", NeuronType::T4), ("with linear term (Ours)", NeuronType::Ours)] {
+        let cfg = AutoBuilder::new(neuron).convert(&base);
+        let mut rng = StdRng::seed_from_u64(52);
+        let mut model = build_model(&cfg, &mut rng);
+        let mut opt = Sgd::new(SgdConfig { lr: 0.05, momentum: 0.9, weight_decay: 0.0, nesterov: false });
+        let loss_fn = CrossEntropyLoss::new();
+        let mut recorder = GradientRecorder::new();
+        for epoch in 0..epochs {
+            // One representative batch per epoch keeps the harness fast while
+            // still showing how the gradient magnitude evolves.
+            let idx: Vec<usize> = (0..32).map(|i| (epoch * 32 + i) % n_train).collect();
+            let xb = data.images.select_rows(&idx).unwrap();
+            let yb = data.labels.select_rows(&idx).unwrap();
+            let logits = model.forward(&xb, true);
+            let (_l, grad) = loss_fn.compute(&logits, &yb);
+            model.backward(&grad);
+            recorder.record(&model);
+            let mut params = model.params_mut();
+            opt.step(&mut params);
+            opt.zero_grad(&mut params);
+        }
+        // Identify shallow / middle / deep quadratic conv weights by parameter order.
+        let names = recorder.param_names();
+        let conv_indices: Vec<usize> = names
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.contains("qconv.wa"))
+            .map(|(i, _)| i)
+            .collect();
+        let picks = [
+            ("Conv1 (shallow)", conv_indices.first().copied()),
+            ("Conv-mid", conv_indices.get(conv_indices.len() / 2).copied()),
+            ("Conv-deep", conv_indices.last().copied()),
+        ];
+        println!("\n=== Figure 7: gradient L2 norm per epoch — {} ===", label);
+        print!("{:>12}", "epoch");
+        for (name, _) in &picks {
+            print!("{:>16}", name);
+        }
+        println!();
+        for epoch in 0..recorder.epochs() {
+            print!("{:>12}", epoch);
+            for (_, idx) in &picks {
+                let v = idx.map(|i| recorder.series(i)[epoch]).unwrap_or(0.0);
+                print!("{:>16.5}", v);
+            }
+            println!();
+        }
+        if let Some(first) = conv_indices.first() {
+            println!(
+                "shallow-layer gradient vanished (last < 10% of first): {}",
+                recorder.has_vanished(*first, 0.1)
+            );
+        }
+    }
+    println!("\nShape to reproduce: without the linear term the shallow layer's gradients collapse");
+    println!("towards zero within a few epochs; with the linear term they stay at a useful scale.");
+}

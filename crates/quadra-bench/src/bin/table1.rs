@@ -1,0 +1,46 @@
+//! Table 1 — the quadratic-neuron taxonomy: formula, computation complexity,
+//! parameter complexity and the practical issues (P1–P4) of every design.
+//!
+//! Regenerate with `cargo run -p quadra-bench --release --bin table1`.
+
+use quadra_bench::print_table;
+use quadra_core::{DenseQuadraticNeuron, NeuronType};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let n = 64usize;
+    let mut rng = StdRng::seed_from_u64(0);
+    let rows: Vec<Vec<String>> = NeuronType::ALL
+        .iter()
+        .map(|t| {
+            let neuron = DenseQuadraticNeuron::new(*t, n, &mut rng);
+            let issues: Vec<&str> = [
+                ("P1", t.has_approximation_issue()),
+                ("P2", t.has_complexity_issue()),
+                ("P3", t.has_gradient_vanishing_issue()),
+                ("P4", !t.is_library_friendly()),
+            ]
+            .iter()
+            .filter(|(_, f)| *f)
+            .map(|(n, _)| *n)
+            .collect();
+            vec![
+                t.name().to_string(),
+                t.formula().to_string(),
+                format!("{} MACs", t.flop_count(n)),
+                format!("{} params", t.param_count(n)),
+                format!("{} (instantiated)", neuron.param_count()),
+                if issues.is_empty() { "-".to_string() } else { issues.join(" ") },
+                t.reference().to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!("Table 1: quadratic neuron taxonomy (input size n = {})", n),
+        &["Type", "Neuron format", "Computation", "Model structure", "Verified params", "Issues", "Reference"],
+        &rows,
+    );
+    println!("\nNote: 'Verified params' instantiates each neuron and counts its weight tensors,");
+    println!("confirming the closed-form complexity column against real parameter storage.");
+}

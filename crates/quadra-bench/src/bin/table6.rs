@@ -1,0 +1,57 @@
+//! Table 6 — object detection on the synthetic VOC stand-in: per-class AP and
+//! mAP of the first-order detector vs the QuadraNN detector, trained from
+//! scratch and from a classification-pretrained backbone.
+//!
+//! Regenerate with `cargo run -p quadra-bench --release --bin table6`.
+
+use quadra_bench::{print_table, scale, Scale};
+use quadra_core::NeuronType;
+use quadra_data::DetectionDataset;
+use quadra_models::{Detector, DetectorConfig};
+
+fn main() {
+    let (n_train, n_test, epochs, pre_epochs) = match scale() {
+        Scale::Full => (400usize, 100usize, 25usize, 10usize),
+        Scale::Quick => (80, 30, 8, 3),
+    };
+    let num_classes = 4usize;
+    let train = DetectionDataset::generate(n_train, num_classes, 32, 2, 41);
+    let test = DetectionDataset::generate(n_test, num_classes, 32, 2, 42);
+
+    let configs = [
+        ("1st order", None::<NeuronType>),
+        ("QuadraNN", Some(NeuronType::Ours)),
+    ];
+    let mut rows = Vec::new();
+    for pretrained in [false, true] {
+        for (name, quadratic) in configs {
+            let det_cfg = DetectorConfig { num_classes, image_size: 32, backbone_width: 8, grid: 4, quadratic, seed: 43 };
+            let mut det = Detector::new(det_cfg);
+            if pretrained {
+                // "Pre-training": train a twin detector's backbone on the
+                // classification-style objective first (longer exposure to the
+                // data distribution), then copy the backbone weights over —
+                // standing in for ILSVRC-2012 pre-training.
+                let mut pre = Detector::new(DetectorConfig { seed: 44, ..det_cfg });
+                pre.train(&train, pre_epochs, 16, 0.05, 45);
+                det.load_backbone_from(&pre);
+            }
+            det.train(&train, epochs, 16, 0.05, 46);
+            let report = det.evaluate_map(&test, 0.3);
+            let mut row = vec![
+                name.to_string(),
+                if pretrained { "yes".into() } else { "no".into() },
+            ];
+            row.extend(report.per_class_ap.iter().map(|ap| format!("{:.2}", ap)));
+            row.push(format!("{:.3}", report.map));
+            rows.push(row);
+        }
+    }
+    let mut headers: Vec<String> = vec!["Model".into(), "Pre-trained".into()];
+    headers.extend((0..num_classes).map(|c| format!("class{}", c)));
+    headers.push("mAP".into());
+    let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    print_table("Table 6: detection AP per class and mAP (synthetic VOC stand-in)", &header_refs, &rows);
+    println!("\nShape to reproduce: without pre-training the quadratic backbone clearly beats the");
+    println!("first-order one; with pre-training both improve and QuadraNN keeps a small edge.");
+}

@@ -1,0 +1,332 @@
+//! Model-analysis tools of QuadraLib's application level: gradient-distribution
+//! recording (Fig. 7), weight/activation statistics, ASCII histograms and
+//! activation-attention visualisation (Fig. 10).
+
+use quadra_nn::Layer;
+use quadra_tensor::Tensor;
+
+/// Per-parameter gradient norms recorded over training, used to diagnose the
+/// gradient-vanishing problem (P3) exactly as Fig. 7 of the paper does.
+#[derive(Debug, Clone, Default)]
+pub struct GradientRecorder {
+    /// `history[epoch]` holds `(param_name, grad_l2_norm)` for every parameter.
+    history: Vec<Vec<(String, f32)>>,
+}
+
+impl GradientRecorder {
+    /// Create an empty recorder.
+    pub fn new() -> Self {
+        GradientRecorder { history: Vec::new() }
+    }
+
+    /// Record the current gradient L2 norm of every parameter of `model`.
+    /// Call once per epoch *after* backward and *before* `zero_grad`.
+    pub fn record(&mut self, model: &dyn Layer) {
+        let snapshot = model
+            .params()
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (format!("{}#{}", p.name, i), p.grad_l2_norm()))
+            .collect();
+        self.history.push(snapshot);
+    }
+
+    /// Number of recorded epochs.
+    pub fn epochs(&self) -> usize {
+        self.history.len()
+    }
+
+    /// The recorded norm series for the parameter with recorded index `param_idx`.
+    pub fn series(&self, param_idx: usize) -> Vec<f32> {
+        self.history.iter().map(|epoch| epoch.get(param_idx).map(|(_, v)| *v).unwrap_or(0.0)).collect()
+    }
+
+    /// Sum of gradient L2 norms of all parameters whose name contains `filter`,
+    /// per epoch (e.g. `filter = "wa"` for all first-branch weights).
+    pub fn series_by_name(&self, filter: &str) -> Vec<f32> {
+        self.history
+            .iter()
+            .map(|epoch| epoch.iter().filter(|(n, _)| n.contains(filter)).map(|(_, v)| v).sum())
+            .collect()
+    }
+
+    /// Names captured at the first recorded epoch.
+    pub fn param_names(&self) -> Vec<String> {
+        self.history.first().map(|e| e.iter().map(|(n, _)| n.clone()).collect()).unwrap_or_default()
+    }
+
+    /// True if the series of `param_idx` has collapsed towards zero: its last
+    /// value is below `threshold` times its first value.
+    pub fn has_vanished(&self, param_idx: usize, threshold: f32) -> bool {
+        let s = self.series(param_idx);
+        match (s.first(), s.last()) {
+            (Some(&first), Some(&last)) if first > 0.0 => last < threshold * first,
+            _ => false,
+        }
+    }
+}
+
+/// Summary statistics of a tensor (weights, gradients or activations).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TensorStats {
+    /// Mean value.
+    pub mean: f32,
+    /// Standard deviation.
+    pub std: f32,
+    /// Minimum value.
+    pub min: f32,
+    /// Maximum value.
+    pub max: f32,
+    /// Fraction of exactly-zero entries.
+    pub zero_fraction: f32,
+}
+
+/// Compute summary statistics of a tensor.
+pub fn tensor_stats(t: &Tensor) -> TensorStats {
+    let zeros = t.as_slice().iter().filter(|&&v| v == 0.0).count();
+    TensorStats {
+        mean: t.mean(),
+        std: t.std(),
+        min: t.min(),
+        max: t.max(),
+        zero_fraction: zeros as f32 / t.numel().max(1) as f32,
+    }
+}
+
+/// Per-parameter statistics of a whole model (the weight/gradient distribution
+/// visualisation tool).
+pub fn weight_stats(model: &dyn Layer) -> Vec<(String, TensorStats)> {
+    model.params().iter().map(|p| (p.name.clone(), tensor_stats(&p.value))).collect()
+}
+
+/// Render a list of values as a fixed-width ASCII histogram.
+pub fn ascii_histogram(values: &[f32], bins: usize, width: usize) -> String {
+    if values.is_empty() || bins == 0 {
+        return String::from("(empty)\n");
+    }
+    let min = values.iter().copied().fold(f32::INFINITY, f32::min);
+    let max = values.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let span = (max - min).max(1e-12);
+    let mut counts = vec![0usize; bins];
+    for &v in values {
+        let b = (((v - min) / span) * bins as f32) as usize;
+        counts[b.min(bins - 1)] += 1;
+    }
+    let peak = *counts.iter().max().unwrap_or(&1);
+    let mut out = String::new();
+    for (i, &c) in counts.iter().enumerate() {
+        let lo = min + span * i as f32 / bins as f32;
+        let hi = min + span * (i + 1) as f32 / bins as f32;
+        let bar = if peak == 0 { 0 } else { c * width / peak };
+        out.push_str(&format!("[{:>9.3}, {:>9.3}) |{:<width$}| {}\n", lo, hi, "█".repeat(bar), c, width = width));
+    }
+    out
+}
+
+/// Collapse an NCHW activation tensor into a per-sample spatial attention map
+/// (mean absolute activation over channels), the quantity visualised in Fig. 10.
+pub fn activation_attention(activations: &Tensor, sample: usize) -> Tensor {
+    assert_eq!(activations.ndim(), 4, "attention map expects NCHW activations");
+    let (n, c, h, w) = (
+        activations.shape()[0],
+        activations.shape()[1],
+        activations.shape()[2],
+        activations.shape()[3],
+    );
+    assert!(sample < n, "sample index out of range");
+    let src = activations.as_slice();
+    let mut map = Tensor::zeros(&[h, w]);
+    let m = map.as_mut_slice();
+    for ci in 0..c {
+        let base = (sample * c + ci) * h * w;
+        for i in 0..h * w {
+            m[i] += src[base + i].abs();
+        }
+    }
+    map.div_scalar(c as f32)
+}
+
+/// Render a 2-D map as an ASCII heat map using a density ramp.
+pub fn render_heatmap(map: &Tensor) -> String {
+    assert_eq!(map.ndim(), 2, "heatmap expects a 2-D map");
+    const RAMP: [char; 10] = [' ', '.', ':', '-', '=', '+', '*', '#', '%', '@'];
+    let (h, w) = (map.shape()[0], map.shape()[1]);
+    let max = map.max().max(1e-12);
+    let min = map.min();
+    let span = (max - min).max(1e-12);
+    let mut out = String::with_capacity(h * (w + 1));
+    for i in 0..h {
+        for j in 0..w {
+            let v = (map.at(&[i, j]) - min) / span;
+            let idx = ((v * (RAMP.len() - 1) as f32).round() as usize).min(RAMP.len() - 1);
+            out.push(RAMP[idx]);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// How strongly a normalised attention map concentrates on *edges* (high
+/// spatial gradient) versus filled *regions*.
+///
+/// Returns `(edge_score, region_score)`:
+/// * `edge_score` — mean absolute spatial gradient of the normalised map; high
+///   for maps that light up object boundaries (typical of first-order layers).
+/// * `region_score` — fraction of pixels above half of the maximum; high for
+///   maps that light up whole objects (what the paper observes for quadratic
+///   layers).
+pub fn edge_vs_region_score(map: &Tensor) -> (f32, f32) {
+    assert_eq!(map.ndim(), 2, "score expects a 2-D map");
+    let (h, w) = (map.shape()[0], map.shape()[1]);
+    let max = map.max().max(1e-12);
+    let norm = map.div_scalar(max);
+    let mut grad_sum = 0.0f32;
+    let mut grad_count = 0usize;
+    for i in 0..h {
+        for j in 0..w {
+            if i + 1 < h {
+                grad_sum += (norm.at(&[i + 1, j]) - norm.at(&[i, j])).abs();
+                grad_count += 1;
+            }
+            if j + 1 < w {
+                grad_sum += (norm.at(&[i, j + 1]) - norm.at(&[i, j])).abs();
+                grad_count += 1;
+            }
+        }
+    }
+    let edge_score = grad_sum / grad_count.max(1) as f32;
+    let region_score = norm.as_slice().iter().filter(|&&v| v > 0.5).count() as f32 / (h * w) as f32;
+    (edge_score, region_score)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quadra_nn::{Linear, Sequential};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gradient_recorder_tracks_norms_over_epochs() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let mut model = Sequential::new(vec![Box::new(Linear::new(4, 4, true, &mut rng))]);
+        let mut rec = GradientRecorder::new();
+        let x = Tensor::randn(&[8, 4], 0.0, 1.0, &mut rng);
+        for scale in [1.0f32, 0.1, 0.01] {
+            let y = model.forward(&x, true);
+            model.backward(&y.map(|_| scale));
+            rec.record(&model);
+            for p in model.params_mut() {
+                p.zero_grad();
+            }
+        }
+        assert_eq!(rec.epochs(), 3);
+        assert_eq!(rec.param_names().len(), 2);
+        let weight_series = rec.series(0);
+        assert_eq!(weight_series.len(), 3);
+        // Gradient norms shrink as the upstream gradient shrinks.
+        assert!(weight_series[0] > weight_series[1]);
+        assert!(weight_series[1] > weight_series[2]);
+        assert!(rec.has_vanished(0, 0.5));
+        assert!(!rec.has_vanished(0, 1e-6));
+        let by_name = rec.series_by_name("linear.weight");
+        assert_eq!(by_name.len(), 3);
+        assert!(by_name[0] > 0.0);
+        assert!(rec.series_by_name("does-not-exist").iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn empty_recorder_is_well_behaved() {
+        let rec = GradientRecorder::new();
+        assert_eq!(rec.epochs(), 0);
+        assert!(rec.param_names().is_empty());
+        assert!(rec.series(0).is_empty());
+        assert!(!rec.has_vanished(0, 0.1));
+    }
+
+    #[test]
+    fn tensor_and_weight_stats() {
+        let t = Tensor::from_slice(&[0.0, 1.0, 2.0, 3.0]);
+        let s = tensor_stats(&t);
+        assert_eq!(s.mean, 1.5);
+        assert_eq!(s.min, 0.0);
+        assert_eq!(s.max, 3.0);
+        assert_eq!(s.zero_fraction, 0.25);
+        assert!(s.std > 1.0 && s.std < 1.2);
+
+        let mut rng = StdRng::seed_from_u64(13);
+        let model = Sequential::new(vec![Box::new(Linear::new(3, 2, true, &mut rng))]);
+        let stats = weight_stats(&model);
+        assert_eq!(stats.len(), 2);
+        assert!(stats[0].0.contains("weight"));
+        assert_eq!(stats[1].1.zero_fraction, 1.0); // bias initialised to zero
+    }
+
+    #[test]
+    fn histogram_renders_every_bin() {
+        let values: Vec<f32> = (0..100).map(|i| i as f32 / 10.0).collect();
+        let h = ascii_histogram(&values, 5, 20);
+        assert_eq!(h.lines().count(), 5);
+        assert!(h.contains("█"));
+        assert_eq!(ascii_histogram(&[], 5, 20), "(empty)\n");
+        assert_eq!(ascii_histogram(&[1.0], 0, 20), "(empty)\n");
+        // Constant values collapse into one bin without dividing by zero.
+        let constant = ascii_histogram(&[2.0; 10], 4, 10);
+        assert_eq!(constant.lines().count(), 4);
+    }
+
+    #[test]
+    fn attention_map_averages_channels() {
+        // Two channels: one all ones, one all threes -> mean abs = 2 everywhere.
+        let mut act = Tensor::zeros(&[1, 2, 2, 2]);
+        for i in 0..4 {
+            act.as_mut_slice()[i] = 1.0;
+            act.as_mut_slice()[4 + i] = -3.0;
+        }
+        let map = activation_attention(&act, 0);
+        assert_eq!(map.shape(), &[2, 2]);
+        assert!(map.allclose(&Tensor::full(&[2, 2], 2.0), 1e-6));
+    }
+
+    #[test]
+    #[should_panic]
+    fn attention_map_sample_out_of_range_panics() {
+        let act = Tensor::zeros(&[1, 1, 2, 2]);
+        let _ = activation_attention(&act, 1);
+    }
+
+    #[test]
+    fn heatmap_renders_dense_for_high_values() {
+        let mut map = Tensor::zeros(&[2, 3]);
+        map.set(&[0, 0], 10.0);
+        let s = render_heatmap(&map);
+        assert_eq!(s.lines().count(), 2);
+        assert!(s.starts_with('@'));
+        assert!(s.contains(' '));
+    }
+
+    #[test]
+    fn edge_vs_region_scores_distinguish_outline_from_fill() {
+        // A filled 4x4 square inside an 8x8 map (region-like activation).
+        let mut filled = Tensor::zeros(&[8, 8]);
+        for i in 2..6 {
+            for j in 2..6 {
+                filled.set(&[i, j], 1.0);
+            }
+        }
+        // Only the outline of the same square (edge-like activation).
+        let mut outline = Tensor::zeros(&[8, 8]);
+        for k in 2..6 {
+            outline.set(&[2, k], 1.0);
+            outline.set(&[5, k], 1.0);
+            outline.set(&[k, 2], 1.0);
+            outline.set(&[k, 5], 1.0);
+        }
+        let (edge_f, region_f) = edge_vs_region_score(&filled);
+        let (edge_o, region_o) = edge_vs_region_score(&outline);
+        // The filled map covers more area; the outline map has more edges per
+        // unit of covered area.
+        assert!(region_f > region_o);
+        assert!(edge_o / region_o > edge_f / region_f);
+    }
+}

@@ -1,0 +1,388 @@
+//! The quadratic-neuron taxonomy of the paper (Table 1).
+//!
+//! Every QDNN design published before QuadraLib introduces the second-order
+//! term of the input `X` in one of a few ways; the paper groups them into four
+//! base types plus two hybrids, and proposes a new format ("Ours"):
+//!
+//! | Type | Neuron format | Complexity (time) | Complexity (params) |
+//! |------|---------------|-------------------|---------------------|
+//! | T1   | `Xᵀ·Wa·X (+ Wb·X)`            | O(n²) (+n)   | O(n²) (+n) |
+//! | T2   | `Wa·X²`                        | O(2n)        | O(n)       |
+//! | T3   | `(Wa·X)²`                      | O(2n)        | O(n)       |
+//! | T4   | `(Wa·X) ∘ (Wb·X)`              | O(3n)        | O(2n)      |
+//! | T1&2 | `Xᵀ·Wa·X + Wb·X²`              | O(n²+2n)     | O(n²+n)    |
+//! | T2&4 | `(Wa·X) ∘ (Wb·X) + Wc·X²`      | O(5n)        | O(3n)      |
+//! | T4+Id| `(Wa·X) ∘ (Wb·X) + X`          | O(3n)        | O(2n)      |
+//! | Ours | `(Wa·X) ∘ (Wb·X) + Wc·X`       | O(4n)        | O(3n)      |
+//!
+//! [`NeuronType`] carries these closed-form complexity counts; the
+//! [`DenseQuadraticNeuron`] struct instantiates a single scalar-output neuron
+//! of any type so that unit and property tests can verify both the arithmetic
+//! and the complexity formulas against real parameter tensors.
+
+use quadra_tensor::Tensor;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// The quadratic neuron design taxonomy of Table 1 in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NeuronType {
+    /// `f(X) = Xᵀ·Wa·X + Wb·X` — full-rank bilinear form (Cheung & Leung 1991).
+    T1,
+    /// `f(X) = Wa·X²` — squared inputs (Goyal et al. 2020).
+    T2,
+    /// `f(X) = (Wa·X)²` — squared first-order neuron (DeClaris & Su 1991).
+    T3,
+    /// `f(X) = (Wa·X) ∘ (Wb·X)` — Hadamard product of two first-order neurons
+    /// (Bu & Karpatne 2021).
+    T4,
+    /// `f(X) = Xᵀ·Wa·X + Wb·X²` — hybrid of T1 and T2 (Milenkovic et al. 1996).
+    T1And2,
+    /// `f(X) = (Wa·X) ∘ (Wb·X) + Wc·X²` — hybrid of T2 and T4 (Fan et al. 2018).
+    T2And4,
+    /// `f(X) = (Wa·X) ∘ (Wb·X) + X` — T4 plus an identity mapping, the
+    /// strongest baseline evaluated in Table 2.
+    T4Identity,
+    /// `f(X) = (Wa·X) ∘ (Wb·X) + Wc·X` — the neuron proposed by the paper.
+    Ours,
+}
+
+impl NeuronType {
+    /// All neuron types, in Table 1 order.
+    pub const ALL: [NeuronType; 8] = [
+        NeuronType::T1,
+        NeuronType::T2,
+        NeuronType::T3,
+        NeuronType::T4,
+        NeuronType::T1And2,
+        NeuronType::T2And4,
+        NeuronType::T4Identity,
+        NeuronType::Ours,
+    ];
+
+    /// Display name matching the paper's nomenclature.
+    pub fn name(&self) -> &'static str {
+        match self {
+            NeuronType::T1 => "T1",
+            NeuronType::T2 => "T2",
+            NeuronType::T3 => "T3",
+            NeuronType::T4 => "T4",
+            NeuronType::T1And2 => "T1&2",
+            NeuronType::T2And4 => "T2&4",
+            NeuronType::T4Identity => "T4+Identity",
+            NeuronType::Ours => "Ours (QuadraNN)",
+        }
+    }
+
+    /// The literature reference the paper associates with the design.
+    pub fn reference(&self) -> &'static str {
+        match self {
+            NeuronType::T1 => "Cheung & Leung 1991; Zoumpourlis 2017; Jiang 2019; Mantini & Shah 2021",
+            NeuronType::T2 => "Goyal et al. 2020",
+            NeuronType::T3 => "DeClaris & Su 1991",
+            NeuronType::T4 => "Bu & Karpatne 2021",
+            NeuronType::T1And2 => "Milenkovic et al. 1996",
+            NeuronType::T2And4 => "Fan et al. 2018",
+            NeuronType::T4Identity => "T4 with identity mapping (ablation baseline)",
+            NeuronType::Ours => "This work (QuadraLib)",
+        }
+    }
+
+    /// Neuron formula as printed in Table 1.
+    pub fn formula(&self) -> &'static str {
+        match self {
+            NeuronType::T1 => "f(X) = X^T Wa X + Wb X",
+            NeuronType::T2 => "f(X) = Wa X^2",
+            NeuronType::T3 => "f(X) = (Wa X)^2",
+            NeuronType::T4 => "f(X) = (Wa X) ∘ (Wb X)",
+            NeuronType::T1And2 => "f(X) = X^T Wa X + Wb X^2",
+            NeuronType::T2And4 => "f(X) = (Wa X) ∘ (Wb X) + Wc X^2",
+            NeuronType::T4Identity => "f(X) = (Wa X) ∘ (Wb X) + X",
+            NeuronType::Ours => "f(X) = (Wa X) ∘ (Wb X) + Wc X",
+        }
+    }
+
+    /// Number of trainable parameters of a single neuron with input size `n`
+    /// (bias ignored, as in Table 1's "Model Structure" column).
+    pub fn param_count(&self, n: usize) -> usize {
+        match self {
+            NeuronType::T1 => n * n + n,
+            NeuronType::T2 => n,
+            NeuronType::T3 => n,
+            NeuronType::T4 => 2 * n,
+            NeuronType::T1And2 => n * n + n,
+            NeuronType::T2And4 => 3 * n,
+            NeuronType::T4Identity => 2 * n,
+            NeuronType::Ours => 3 * n,
+        }
+    }
+
+    /// Multiply–accumulate count of a single neuron evaluation with input size
+    /// `n` (Table 1's "Computation Complexity" column).
+    pub fn flop_count(&self, n: usize) -> usize {
+        match self {
+            NeuronType::T1 => n * n + n,
+            NeuronType::T2 => 2 * n,
+            NeuronType::T3 => 2 * n,
+            NeuronType::T4 => 3 * n,
+            NeuronType::T1And2 => n * n + 2 * n,
+            NeuronType::T2And4 => 5 * n,
+            NeuronType::T4Identity => 3 * n,
+            NeuronType::Ours => 4 * n,
+        }
+    }
+
+    /// True for designs whose second-order term adds *no* extra trainable
+    /// parameters over a first-order neuron — the approximation-capability
+    /// problem **P1** identified by the paper.
+    pub fn has_approximation_issue(&self) -> bool {
+        matches!(self, NeuronType::T2 | NeuronType::T3)
+    }
+
+    /// True for designs whose per-neuron cost grows quadratically in the input
+    /// size — the computation-complexity problem **P2**.
+    pub fn has_complexity_issue(&self) -> bool {
+        matches!(self, NeuronType::T1 | NeuronType::T1And2)
+    }
+
+    /// True for designs with no first-order (or identity) escape path in the
+    /// gradient, i.e. subject to the vanishing-gradient problem **P3** in deep
+    /// plain networks.
+    pub fn has_gradient_vanishing_issue(&self) -> bool {
+        !matches!(self, NeuronType::T4Identity | NeuronType::Ours)
+    }
+
+    /// True if the neuron can be assembled purely from first-order building
+    /// blocks already offered by DNN libraries (problem **P4** otherwise).
+    pub fn is_library_friendly(&self) -> bool {
+        !matches!(self, NeuronType::T1 | NeuronType::T1And2)
+    }
+}
+
+impl std::fmt::Display for NeuronType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+/// A single scalar-output quadratic neuron over a length-`n` input vector.
+///
+/// This is the object the paper's Table 1 reasons about; the layer
+/// implementations in [`crate::qlinear`] and [`crate::qconv`] generalise it to
+/// whole layers. It is used by tests and by the Table 1 benchmark harness to
+/// validate the closed-form complexity counts against concrete tensors.
+#[derive(Debug, Clone)]
+pub struct DenseQuadraticNeuron {
+    neuron_type: NeuronType,
+    /// Full-rank matrix for T1-style designs (`[n, n]`), otherwise unused.
+    w_full: Option<Tensor>,
+    /// First weight vector (`[n]`).
+    wa: Option<Tensor>,
+    /// Second weight vector (`[n]`).
+    wb: Option<Tensor>,
+    /// Third weight vector (`[n]`).
+    wc: Option<Tensor>,
+    bias: f32,
+}
+
+impl DenseQuadraticNeuron {
+    /// Create a neuron of the given type for input size `n` with random weights.
+    pub fn new(neuron_type: NeuronType, n: usize, rng: &mut impl Rng) -> Self {
+        fn vec<R: Rng>(n: usize, rng: &mut R) -> Tensor {
+            Tensor::randn(&[n], 0.0, (1.0 / n as f32).sqrt(), rng)
+        }
+        fn mat<R: Rng>(n: usize, rng: &mut R) -> Tensor {
+            Tensor::randn(&[n, n], 0.0, 1.0 / n as f32, rng)
+        }
+        let (w_full, wa, wb, wc) = match neuron_type {
+            NeuronType::T1 => (Some(mat(n, rng)), Some(vec(n, rng)), None, None),
+            NeuronType::T2 | NeuronType::T3 => (None, Some(vec(n, rng)), None, None),
+            NeuronType::T4 | NeuronType::T4Identity => (None, Some(vec(n, rng)), Some(vec(n, rng)), None),
+            NeuronType::T1And2 => (Some(mat(n, rng)), None, Some(vec(n, rng)), None),
+            NeuronType::T2And4 | NeuronType::Ours => {
+                (None, Some(vec(n, rng)), Some(vec(n, rng)), Some(vec(n, rng)))
+            }
+        };
+        DenseQuadraticNeuron { neuron_type, w_full, wa, wb, wc, bias: 0.0 }
+    }
+
+    /// The neuron's design type.
+    pub fn neuron_type(&self) -> NeuronType {
+        self.neuron_type
+    }
+
+    /// Total number of trainable scalars actually held by this instance
+    /// (matches [`NeuronType::param_count`] by construction).
+    pub fn param_count(&self) -> usize {
+        self.w_full.as_ref().map(|t| t.numel()).unwrap_or(0)
+            + self.wa.as_ref().map(|t| t.numel()).unwrap_or(0)
+            + self.wb.as_ref().map(|t| t.numel()).unwrap_or(0)
+            + self.wc.as_ref().map(|t| t.numel()).unwrap_or(0)
+    }
+
+    /// Evaluate the neuron on an input vector `x` of length `n`.
+    ///
+    /// # Panics
+    /// Panics if `x` does not match the neuron's input size.
+    pub fn forward(&self, x: &Tensor) -> f32 {
+        assert_eq!(x.ndim(), 1, "DenseQuadraticNeuron expects a vector input");
+        let dot = |w: &Tensor, v: &Tensor| w.dot(v).expect("matching lengths");
+        let quad_form = |m: &Tensor, v: &Tensor| {
+            // xᵀ M x
+            m.matvec(v).expect("shape").dot(v).expect("shape")
+        };
+        let value = match self.neuron_type {
+            NeuronType::T1 => {
+                quad_form(self.w_full.as_ref().unwrap(), x) + dot(self.wa.as_ref().unwrap(), x)
+            }
+            NeuronType::T2 => dot(self.wa.as_ref().unwrap(), &x.square()),
+            NeuronType::T3 => {
+                let s = dot(self.wa.as_ref().unwrap(), x);
+                s * s
+            }
+            NeuronType::T4 => dot(self.wa.as_ref().unwrap(), x) * dot(self.wb.as_ref().unwrap(), x),
+            NeuronType::T1And2 => {
+                quad_form(self.w_full.as_ref().unwrap(), x) + dot(self.wb.as_ref().unwrap(), &x.square())
+            }
+            NeuronType::T2And4 => {
+                dot(self.wa.as_ref().unwrap(), x) * dot(self.wb.as_ref().unwrap(), x)
+                    + dot(self.wc.as_ref().unwrap(), &x.square())
+            }
+            NeuronType::T4Identity => {
+                dot(self.wa.as_ref().unwrap(), x) * dot(self.wb.as_ref().unwrap(), x) + x.sum()
+            }
+            NeuronType::Ours => {
+                dot(self.wa.as_ref().unwrap(), x) * dot(self.wb.as_ref().unwrap(), x)
+                    + dot(self.wc.as_ref().unwrap(), x)
+            }
+        };
+        value + self.bias
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(21)
+    }
+
+    #[test]
+    fn complexity_table_matches_paper_orders() {
+        let n = 16;
+        assert_eq!(NeuronType::T1.param_count(n), n * n + n);
+        assert_eq!(NeuronType::T2.param_count(n), n);
+        assert_eq!(NeuronType::T3.param_count(n), n);
+        assert_eq!(NeuronType::T4.param_count(n), 2 * n);
+        assert_eq!(NeuronType::T1And2.param_count(n), n * n + n);
+        assert_eq!(NeuronType::T2And4.param_count(n), 3 * n);
+        assert_eq!(NeuronType::Ours.param_count(n), 3 * n);
+        assert_eq!(NeuronType::T2.flop_count(n), 2 * n);
+        assert_eq!(NeuronType::T4.flop_count(n), 3 * n);
+        assert_eq!(NeuronType::T2And4.flop_count(n), 5 * n);
+        assert_eq!(NeuronType::Ours.flop_count(n), 4 * n);
+        assert_eq!(NeuronType::T1.flop_count(n), n * n + n);
+    }
+
+    #[test]
+    fn issue_flags_follow_table_1() {
+        use NeuronType::*;
+        // P1: approximation capability
+        assert!(T2.has_approximation_issue() && T3.has_approximation_issue());
+        assert!(!T4.has_approximation_issue() && !Ours.has_approximation_issue());
+        // P2: quadratic cost
+        assert!(T1.has_complexity_issue() && T1And2.has_complexity_issue());
+        assert!(!Ours.has_complexity_issue());
+        // P3: gradient vanishing — solved only by identity/linear escape path
+        assert!(T2.has_gradient_vanishing_issue());
+        assert!(T4.has_gradient_vanishing_issue());
+        assert!(!T4Identity.has_gradient_vanishing_issue());
+        assert!(!Ours.has_gradient_vanishing_issue());
+        // P4: implementation feasibility
+        assert!(!T1.is_library_friendly());
+        assert!(Ours.is_library_friendly());
+    }
+
+    #[test]
+    fn names_formulas_references_are_nonempty_and_unique() {
+        let mut names = std::collections::HashSet::new();
+        for t in NeuronType::ALL {
+            assert!(!t.name().is_empty());
+            assert!(!t.formula().is_empty());
+            assert!(!t.reference().is_empty());
+            assert!(names.insert(t.name()), "duplicate name {}", t.name());
+            assert_eq!(format!("{}", t), t.name());
+        }
+        assert_eq!(names.len(), 8);
+    }
+
+    #[test]
+    fn dense_neuron_param_counts_match_closed_form() {
+        let n = 12;
+        let mut r = rng();
+        for t in NeuronType::ALL {
+            let neuron = DenseQuadraticNeuron::new(t, n, &mut r);
+            // T4Identity holds the same tensors as T4 (the identity adds none).
+            assert_eq!(neuron.param_count(), t.param_count(n), "type {}", t);
+            assert_eq!(neuron.neuron_type(), t);
+        }
+    }
+
+    #[test]
+    fn ours_forward_matches_manual_formula() {
+        let mut r = rng();
+        let n = 5;
+        let neuron = DenseQuadraticNeuron::new(NeuronType::Ours, n, &mut r);
+        let x = Tensor::randn(&[n], 0.0, 1.0, &mut r);
+        let wa = neuron.wa.as_ref().unwrap();
+        let wb = neuron.wb.as_ref().unwrap();
+        let wc = neuron.wc.as_ref().unwrap();
+        let expect = wa.dot(&x).unwrap() * wb.dot(&x).unwrap() + wc.dot(&x).unwrap();
+        assert!((neuron.forward(&x) - expect).abs() < 1e-5);
+    }
+
+    #[test]
+    fn t3_square_of_linear_is_nonnegative_without_bias() {
+        let mut r = rng();
+        let neuron = DenseQuadraticNeuron::new(NeuronType::T3, 8, &mut r);
+        for _ in 0..20 {
+            let x = Tensor::randn(&[8], 0.0, 1.0, &mut r);
+            assert!(neuron.forward(&x) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn t1_quadratic_form_scaling() {
+        // f(2x) - linear part should be 4x the quadratic part of f(x).
+        let mut r = rng();
+        let neuron = DenseQuadraticNeuron::new(NeuronType::T1, 6, &mut r);
+        let x = Tensor::randn(&[6], 0.0, 1.0, &mut r);
+        let lin = neuron.wa.as_ref().unwrap();
+        let fx = neuron.forward(&x) - lin.dot(&x).unwrap();
+        let x2 = x.mul_scalar(2.0);
+        let fx2 = neuron.forward(&x2) - lin.dot(&x2).unwrap();
+        assert!((fx2 - 4.0 * fx).abs() < 1e-4);
+    }
+
+    #[test]
+    fn all_types_forward_produce_finite_values() {
+        let mut r = rng();
+        for t in NeuronType::ALL {
+            let neuron = DenseQuadraticNeuron::new(t, 10, &mut r);
+            let x = Tensor::randn(&[10], 0.0, 1.0, &mut r);
+            assert!(neuron.forward(&x).is_finite(), "type {}", t);
+        }
+    }
+
+    #[test]
+    fn neuron_type_serde_roundtrip() {
+        for t in NeuronType::ALL {
+            let json = serde_json::to_string(&t).unwrap();
+            let back: NeuronType = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, t);
+        }
+    }
+}

@@ -1,0 +1,180 @@
+//! The quadratic optimizer: the Training/Inference-level component of
+//! QuadraLib that couples the memory profiler with the hybrid
+//! back-propagation scheme.
+//!
+//! Before training starts the model is profiled; if the projected training
+//! memory exceeds the device budget the optimizer switches every quadratic
+//! layer into hybrid (memory-saving) back-propagation, otherwise the default
+//! mode is kept because it avoids recomputation.
+
+use crate::hybrid_bp::BackpropMode;
+use crate::profiler::{MemoryProfiler, MemoryReport};
+use quadra_nn::{Layer, Optimizer, Param, Sequential};
+use quadra_tensor::Tensor;
+
+/// Result of the out-of-memory risk analysis.
+#[derive(Debug, Clone)]
+pub struct MemoryDecision {
+    /// Memory report with the layers in default mode.
+    pub default_report: MemoryReport,
+    /// Memory report with the layers in hybrid mode.
+    pub hybrid_report: MemoryReport,
+    /// The mode the optimizer selected.
+    pub chosen_mode: BackpropMode,
+    /// The budget used for the decision (bytes).
+    pub budget_bytes: usize,
+}
+
+impl MemoryDecision {
+    /// Relative saving of hybrid over default mode (0.0–1.0), in terms of peak
+    /// cached activations.
+    pub fn activation_saving(&self) -> f32 {
+        let d = self.default_report.peak_activation_bytes as f32;
+        let h = self.hybrid_report.peak_activation_bytes as f32;
+        if d <= 0.0 {
+            0.0
+        } else {
+            1.0 - h / d
+        }
+    }
+}
+
+/// An [`Optimizer`] wrapper that adds QuadraLib's memory-aware training
+/// behaviour on top of any inner optimizer (SGD, Adam, ...).
+pub struct QuadraticOptimizer<O: Optimizer> {
+    inner: O,
+    memory_budget_bytes: usize,
+}
+
+impl<O: Optimizer> QuadraticOptimizer<O> {
+    /// Wrap an inner optimizer with a training-memory budget in bytes
+    /// (e.g. the capacity of the target GPU).
+    pub fn new(inner: O, memory_budget_bytes: usize) -> Self {
+        QuadraticOptimizer { inner, memory_budget_bytes }
+    }
+
+    /// The configured memory budget in bytes.
+    pub fn budget_bytes(&self) -> usize {
+        self.memory_budget_bytes
+    }
+
+    /// Borrow the wrapped optimizer.
+    pub fn inner(&self) -> &O {
+        &self.inner
+    }
+
+    /// Profile `model` on a representative `sample_input`, decide whether
+    /// hybrid back-propagation is needed to stay within the budget, and apply
+    /// that mode to the model. Returns the decision with both reports.
+    pub fn configure_memory(&self, model: &mut Sequential, sample_input: &Tensor) -> MemoryDecision {
+        let profiler = MemoryProfiler::new();
+        model.set_memory_saving(false);
+        let (default_report, _) = profiler.profile_step(model, sample_input, self.inner.state_bytes());
+        model.set_memory_saving(true);
+        let (hybrid_report, _) = profiler.profile_step(model, sample_input, self.inner.state_bytes());
+
+        let chosen_mode = if default_report.exceeds(self.memory_budget_bytes) {
+            BackpropMode::Hybrid
+        } else {
+            BackpropMode::Default
+        };
+        model.set_memory_saving(chosen_mode == BackpropMode::Hybrid);
+        MemoryDecision { default_report, hybrid_report, chosen_mode, budget_bytes: self.memory_budget_bytes }
+    }
+}
+
+impl<O: Optimizer> Optimizer for QuadraticOptimizer<O> {
+    fn step(&mut self, params: &mut [&mut Param]) {
+        self.inner.step(params);
+    }
+
+    fn set_lr(&mut self, lr: f32) {
+        self.inner.set_lr(lr);
+    }
+
+    fn lr(&self) -> f32 {
+        self.inner.lr()
+    }
+
+    fn state_bytes(&self) -> usize {
+        self.inner.state_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{build_model, LayerSpec, ModelConfig};
+    use crate::neuron::NeuronType;
+    use quadra_nn::{Layer, Sgd, SgdConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn quadratic_config() -> ModelConfig {
+        ModelConfig::new(
+            "qmodel",
+            3,
+            8,
+            4,
+            vec![
+                LayerSpec::qconv3x3(NeuronType::Ours, 8),
+                LayerSpec::qconv3x3(NeuronType::Ours, 8),
+                LayerSpec::GlobalAvgPool,
+                LayerSpec::Linear { out_features: 4, relu: false },
+            ],
+        )
+    }
+
+    #[test]
+    fn tight_budget_selects_hybrid_mode() {
+        let mut rng = StdRng::seed_from_u64(14);
+        let mut model = build_model(&quadratic_config(), &mut rng);
+        let x = Tensor::randn(&[4, 3, 8, 8], 0.0, 1.0, &mut rng);
+        // A 1-byte budget is always exceeded, so hybrid mode must be chosen.
+        let opt = QuadraticOptimizer::new(Sgd::new(SgdConfig::default()), 1);
+        let decision = opt.configure_memory(&mut model, &x);
+        assert_eq!(decision.chosen_mode, BackpropMode::Hybrid);
+        assert!(model.memory_saving());
+        assert!(decision.activation_saving() > 0.0);
+        assert!(decision.hybrid_report.peak_activation_bytes < decision.default_report.peak_activation_bytes);
+        assert_eq!(decision.budget_bytes, 1);
+        assert_eq!(opt.budget_bytes(), 1);
+    }
+
+    #[test]
+    fn generous_budget_keeps_default_mode() {
+        let mut rng = StdRng::seed_from_u64(15);
+        let mut model = build_model(&quadratic_config(), &mut rng);
+        let x = Tensor::randn(&[4, 3, 8, 8], 0.0, 1.0, &mut rng);
+        let opt = QuadraticOptimizer::new(Sgd::new(SgdConfig::default()), usize::MAX);
+        let decision = opt.configure_memory(&mut model, &x);
+        assert_eq!(decision.chosen_mode, BackpropMode::Default);
+        assert!(!model.memory_saving());
+        assert_eq!(opt.inner().lr(), SgdConfig::default().lr);
+    }
+
+    #[test]
+    fn wrapper_delegates_optimizer_behaviour() {
+        let mut opt = QuadraticOptimizer::new(Sgd::plain(0.5), 1 << 30);
+        assert_eq!(opt.lr(), 0.5);
+        opt.set_lr(0.25);
+        assert_eq!(opt.lr(), 0.25);
+        assert_eq!(opt.state_bytes(), 0);
+        let mut p = Param::new("w", Tensor::from_slice(&[1.0]));
+        p.grad = Tensor::from_slice(&[1.0]);
+        let mut params = [&mut p];
+        opt.step(&mut params);
+        assert!((p.value.as_slice()[0] - 0.75).abs() < 1e-6);
+    }
+
+    #[test]
+    fn activation_saving_is_zero_for_empty_reports() {
+        let d = MemoryDecision {
+            default_report: MemoryReport::default(),
+            hybrid_report: MemoryReport::default(),
+            chosen_mode: BackpropMode::Default,
+            budget_bytes: 0,
+        };
+        assert_eq!(d.activation_saving(), 0.0);
+    }
+}

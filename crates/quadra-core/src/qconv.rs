@@ -1,0 +1,537 @@
+//! Quadratic 2-D convolution layers — the encapsulated quadratic layer modules
+//! of QuadraLib (`qua.type#()` in the paper's API), generalised to every
+//! practical neuron type.
+//!
+//! T1 and T1&2 are deliberately *not* offered as convolution layers: their
+//! full-rank bilinear weight is a `C·r⁴·N·C` tensor (problem **P2**), which the
+//! paper reports blowing a 0.2 M-parameter ResNet up to 128 M parameters — the
+//! very reason those designs are impractical for deep models. Requesting one
+//! panics with an explanatory message.
+
+use crate::hybrid_bp::BackpropMode;
+use crate::neuron::NeuronType;
+use quadra_nn::{Layer, Param};
+use quadra_tensor::{Conv2dParams, InitKind, Tensor};
+use rand::Rng;
+
+/// A quadratic convolution layer over NCHW tensors.
+///
+/// For the proposed design ("Ours") the forward pass is
+/// `Y = conv(X, Wa) ∘ conv(X, Wb) + conv(X, Wc) + b`, i.e. three ordinary
+/// convolutions plus element-wise arithmetic — which is why it is as
+/// implementation-friendly as a first-order layer (design insight 4 of the
+/// paper). The other supported types drop or alter individual branches.
+pub struct QuadraticConv2d {
+    neuron_type: NeuronType,
+    mode: BackpropMode,
+    in_channels: usize,
+    out_channels: usize,
+    kernel: usize,
+    conv: Conv2dParams,
+    wa: Option<Param>,
+    wb: Option<Param>,
+    wc: Option<Param>,
+    bias: Param,
+    // Caches.
+    cached_x: Option<Tensor>,
+    cached_za: Option<Tensor>,
+    cached_zb: Option<Tensor>,
+    flops: usize,
+}
+
+impl QuadraticConv2d {
+    /// Create a quadratic convolution layer.
+    ///
+    /// # Panics
+    /// Panics for [`NeuronType::T1`] / [`NeuronType::T1And2`] (see module docs)
+    /// and for [`NeuronType::T4Identity`] when the configuration would change
+    /// the tensor shape (identity mapping requires equal input/output shape).
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        neuron_type: NeuronType,
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+        groups: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
+        assert!(
+            !matches!(neuron_type, NeuronType::T1 | NeuronType::T1And2),
+            "{} convolution is not supported: its full-rank bilinear weight is O(n^2) per neuron \
+             (problem P2 in the paper) and cannot be assembled from first-order convolutions (P4)",
+            neuron_type.name()
+        );
+        if neuron_type == NeuronType::T4Identity {
+            assert!(
+                in_channels == out_channels && stride == 1 && padding * 2 + 1 == kernel,
+                "T4+Identity requires shape-preserving convolution (in==out channels, stride 1, 'same' padding)"
+            );
+        }
+        let fan_in = (in_channels / groups) * kernel * kernel;
+        let fan_out = (out_channels / groups) * kernel * kernel;
+        let mut mk = |name: &str| {
+            Param::new(
+                name,
+                Tensor::init(
+                    &[out_channels, in_channels / groups, kernel, kernel],
+                    InitKind::KaimingNormal,
+                    fan_in,
+                    fan_out,
+                    rng,
+                ),
+            )
+        };
+        let needs_b = matches!(
+            neuron_type,
+            NeuronType::T4 | NeuronType::T4Identity | NeuronType::T2And4 | NeuronType::Ours
+        );
+        let needs_c = matches!(neuron_type, NeuronType::T2And4 | NeuronType::Ours);
+        let wa = Some(mk("qconv.wa"));
+        let wb = needs_b.then(|| mk("qconv.wb"));
+        let wc = needs_c.then(|| mk("qconv.wc"));
+        QuadraticConv2d {
+            neuron_type,
+            mode: BackpropMode::Default,
+            in_channels,
+            out_channels,
+            kernel,
+            conv: Conv2dParams::new(stride, padding, groups),
+            wa,
+            wb,
+            wc,
+            bias: Param::new_no_decay("qconv.bias", Tensor::zeros(&[out_channels])),
+            cached_x: None,
+            cached_za: None,
+            cached_zb: None,
+            flops: 0,
+        }
+    }
+
+    /// Standard 3×3 shape-preserving quadratic convolution.
+    pub fn conv3x3(neuron_type: NeuronType, in_channels: usize, out_channels: usize, rng: &mut impl Rng) -> Self {
+        Self::new(neuron_type, in_channels, out_channels, 3, 1, 1, 1, rng)
+    }
+
+    /// The neuron design of this layer.
+    pub fn neuron_type(&self) -> NeuronType {
+        self.neuron_type
+    }
+
+    /// Select the back-propagation mode.
+    pub fn set_mode(&mut self, mode: BackpropMode) {
+        self.mode = mode;
+    }
+
+    /// The current back-propagation mode.
+    pub fn mode(&self) -> BackpropMode {
+        self.mode
+    }
+
+    /// Number of input channels.
+    pub fn in_channels(&self) -> usize {
+        self.in_channels
+    }
+
+    /// Number of output channels.
+    pub fn out_channels(&self) -> usize {
+        self.out_channels
+    }
+
+    /// Kernel side length.
+    pub fn kernel(&self) -> usize {
+        self.kernel
+    }
+
+    /// Convolution hyper-parameters.
+    pub fn conv_params(&self) -> Conv2dParams {
+        self.conv
+    }
+
+    fn conv_branch(&self, x: &Tensor, w: &Option<Param>) -> Tensor {
+        x.conv2d(&w.as_ref().expect("branch weight").value, None, self.conv)
+            .expect("conv shapes")
+    }
+
+    fn branch_flops(&self, x: &Tensor, y: &Tensor) -> usize {
+        let n = x.shape()[0];
+        let (oh, ow) = (y.shape()[2], y.shape()[3]);
+        n * self.out_channels * oh * ow * (self.in_channels / self.conv.groups) * self.kernel * self.kernel
+    }
+}
+
+impl Layer for QuadraticConv2d {
+    fn forward(&mut self, x: &Tensor, _train: bool) -> Tensor {
+        assert_eq!(x.ndim(), 4, "QuadraticConv2d expects NCHW input");
+        let (mut out, za, zb, nbranches) = match self.neuron_type {
+            NeuronType::T2 => {
+                let y = self.conv_branch(&x.square(), &self.wa);
+                (y, None, None, 1)
+            }
+            NeuronType::T3 => {
+                let za = self.conv_branch(x, &self.wa);
+                (za.square(), Some(za), None, 1)
+            }
+            NeuronType::T4 => {
+                let za = self.conv_branch(x, &self.wa);
+                let zb = self.conv_branch(x, &self.wb);
+                (za.mul(&zb).expect("shape"), Some(za), Some(zb), 2)
+            }
+            NeuronType::T4Identity => {
+                let za = self.conv_branch(x, &self.wa);
+                let zb = self.conv_branch(x, &self.wb);
+                (za.mul(&zb).expect("shape").add(x).expect("shape"), Some(za), Some(zb), 2)
+            }
+            NeuronType::T2And4 => {
+                let za = self.conv_branch(x, &self.wa);
+                let zb = self.conv_branch(x, &self.wb);
+                let sq = self.conv_branch(&x.square(), &self.wc);
+                (za.mul(&zb).expect("shape").add(&sq).expect("shape"), Some(za), Some(zb), 3)
+            }
+            NeuronType::Ours => {
+                let za = self.conv_branch(x, &self.wa);
+                let zb = self.conv_branch(x, &self.wb);
+                let lin = self.conv_branch(x, &self.wc);
+                (za.mul(&zb).expect("shape").add(&lin).expect("shape"), Some(za), Some(zb), 3)
+            }
+            NeuronType::T1 | NeuronType::T1And2 => unreachable!("rejected in constructor"),
+        };
+        // Per-channel bias.
+        let bias = self.bias.value.reshape(&[1, self.out_channels, 1, 1]).expect("bias shape");
+        out = out.add(&bias).expect("bias broadcast");
+        self.flops = nbranches * self.branch_flops(x, &out);
+
+        self.cached_x = Some(x.clone());
+        match self.mode {
+            BackpropMode::Default => {
+                self.cached_za = za;
+                self.cached_zb = zb;
+            }
+            BackpropMode::Hybrid => {
+                self.cached_za = None;
+                self.cached_zb = None;
+            }
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let x = self.cached_x.take().expect("backward called before forward");
+        self.bias
+            .accumulate_grad(&Tensor::conv2d_backward_bias(grad_out).expect("bias grad"));
+
+        let conv = self.conv;
+        let mut grad_in = Tensor::zeros(x.shape());
+
+        // Contribution of a branch y = conv(x_used, w) receiving gradient branch_grad.
+        let conv_branch_backward =
+            |w: &mut Option<Param>, branch_grad: &Tensor, grad_in: &mut Tensor, x_used: &Tensor, x_is_square: bool, x_orig: &Tensor| {
+                let w = w.as_mut().expect("branch weight");
+                let gw = Tensor::conv2d_backward_weight(branch_grad, x_used, w.value.shape(), conv)
+                    .expect("conv weight grad");
+                w.accumulate_grad(&gw);
+                let gx = Tensor::conv2d_backward_input(branch_grad, &w.value, x_used.shape(), conv)
+                    .expect("conv input grad");
+                if x_is_square {
+                    // d(x²)/dx = 2x
+                    let gx = gx.mul(&x_orig.mul_scalar(2.0)).expect("shape");
+                    grad_in.add_assign(&gx).expect("shape");
+                } else {
+                    grad_in.add_assign(&gx).expect("shape");
+                }
+            };
+
+        match self.neuron_type {
+            NeuronType::T2 => {
+                let xsq = x.square();
+                conv_branch_backward(&mut self.wa, grad_out, &mut grad_in, &xsq, true, &x);
+            }
+            NeuronType::T3 => {
+                let za = match self.cached_za.take() {
+                    Some(z) => z,
+                    None => self.conv_branch(&x, &self.wa),
+                };
+                let gz = grad_out.mul(&za.mul_scalar(2.0)).expect("shape");
+                conv_branch_backward(&mut self.wa, &gz, &mut grad_in, &x, false, &x);
+            }
+            NeuronType::T4 | NeuronType::T4Identity | NeuronType::T2And4 | NeuronType::Ours => {
+                let za = match self.cached_za.take() {
+                    Some(z) => z,
+                    None => self.conv_branch(&x, &self.wa),
+                };
+                let zb = match self.cached_zb.take() {
+                    Some(z) => z,
+                    None => self.conv_branch(&x, &self.wb),
+                };
+                let ga = grad_out.mul(&zb).expect("shape");
+                let gb = grad_out.mul(&za).expect("shape");
+                conv_branch_backward(&mut self.wa, &ga, &mut grad_in, &x, false, &x);
+                conv_branch_backward(&mut self.wb, &gb, &mut grad_in, &x, false, &x);
+                match self.neuron_type {
+                    NeuronType::T4Identity => {
+                        grad_in.add_assign(grad_out).expect("shape");
+                    }
+                    NeuronType::T2And4 => {
+                        let xsq = x.square();
+                        conv_branch_backward(&mut self.wc, grad_out, &mut grad_in, &xsq, true, &x);
+                    }
+                    NeuronType::Ours => {
+                        conv_branch_backward(&mut self.wc, grad_out, &mut grad_in, &x, false, &x);
+                    }
+                    _ => {}
+                }
+            }
+            NeuronType::T1 | NeuronType::T1And2 => unreachable!("rejected in constructor"),
+        }
+        grad_in
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        let mut p = Vec::new();
+        for w in [&self.wa, &self.wb, &self.wc].into_iter().flatten() {
+            p.push(w);
+        }
+        p.push(&self.bias);
+        p
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        let mut p = Vec::new();
+        for w in [&mut self.wa, &mut self.wb, &mut self.wc].into_iter().flatten() {
+            p.push(w);
+        }
+        p.push(&mut self.bias);
+        p
+    }
+
+    fn cached_bytes(&self) -> usize {
+        self.cached_x.as_ref().map(|t| t.nbytes()).unwrap_or(0)
+            + self.cached_za.as_ref().map(|t| t.nbytes()).unwrap_or(0)
+            + self.cached_zb.as_ref().map(|t| t.nbytes()).unwrap_or(0)
+    }
+
+    fn clear_cache(&mut self) {
+        self.cached_x = None;
+        self.cached_za = None;
+        self.cached_zb = None;
+    }
+
+    fn flops_last_forward(&self) -> usize {
+        self.flops
+    }
+
+    fn set_memory_saving(&mut self, enabled: bool) {
+        self.mode = if enabled { BackpropMode::Hybrid } else { BackpropMode::Default };
+    }
+
+    fn memory_saving(&self) -> bool {
+        self.mode == BackpropMode::Hybrid
+    }
+
+    fn layer_type(&self) -> &'static str {
+        "quadratic_conv2d"
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "quadratic_conv2d[{}] {}→{} k{} ({} params, {})",
+            self.neuron_type.name(),
+            self.in_channels,
+            self.out_channels,
+            self.kernel,
+            self.param_count(),
+            self.mode
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quadra_autograd::{check_close, numeric_gradient};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(44)
+    }
+
+    const CONV_TYPES: [NeuronType; 6] = [
+        NeuronType::T2,
+        NeuronType::T3,
+        NeuronType::T4,
+        NeuronType::T4Identity,
+        NeuronType::T2And4,
+        NeuronType::Ours,
+    ];
+
+    /// Reference forward used by the finite-difference checks.
+    fn reference_forward(layer: &QuadraticConv2d, x: &Tensor) -> Tensor {
+        let p = layer.conv;
+        let get = |w: &Option<Param>| w.as_ref().unwrap().value.clone();
+        let out = match layer.neuron_type {
+            NeuronType::T2 => x.square().conv2d(&get(&layer.wa), None, p).unwrap(),
+            NeuronType::T3 => x.conv2d(&get(&layer.wa), None, p).unwrap().square(),
+            NeuronType::T4 => {
+                let a = x.conv2d(&get(&layer.wa), None, p).unwrap();
+                let b = x.conv2d(&get(&layer.wb), None, p).unwrap();
+                a.mul(&b).unwrap()
+            }
+            NeuronType::T4Identity => {
+                let a = x.conv2d(&get(&layer.wa), None, p).unwrap();
+                let b = x.conv2d(&get(&layer.wb), None, p).unwrap();
+                a.mul(&b).unwrap().add(x).unwrap()
+            }
+            NeuronType::T2And4 => {
+                let a = x.conv2d(&get(&layer.wa), None, p).unwrap();
+                let b = x.conv2d(&get(&layer.wb), None, p).unwrap();
+                a.mul(&b).unwrap().add(&x.square().conv2d(&get(&layer.wc), None, p).unwrap()).unwrap()
+            }
+            NeuronType::Ours => {
+                let a = x.conv2d(&get(&layer.wa), None, p).unwrap();
+                let b = x.conv2d(&get(&layer.wb), None, p).unwrap();
+                a.mul(&b).unwrap().add(&x.conv2d(&get(&layer.wc), None, p).unwrap()).unwrap()
+            }
+            _ => unreachable!(),
+        };
+        let bias = layer.bias.value.reshape(&[1, layer.out_channels, 1, 1]).unwrap();
+        out.add(&bias).unwrap()
+    }
+
+    #[test]
+    fn forward_matches_reference_for_all_conv_types() {
+        let mut r = rng();
+        for t in CONV_TYPES {
+            let mut layer = QuadraticConv2d::conv3x3(t, 2, 2, &mut r);
+            let x = Tensor::randn(&[2, 2, 6, 6], 0.0, 1.0, &mut r);
+            let y = layer.forward(&x, true);
+            assert!(y.allclose(&reference_forward(&layer, &x), 1e-4), "type {}", t);
+            assert_eq!(y.shape(), &[2, 2, 6, 6]);
+            assert!(layer.flops_last_forward() > 0);
+        }
+    }
+
+    #[test]
+    fn backward_input_gradcheck_all_conv_types() {
+        let mut r = rng();
+        for t in CONV_TYPES {
+            let mut layer = QuadraticConv2d::conv3x3(t, 2, 2, &mut r);
+            let x = Tensor::randn(&[1, 2, 4, 4], 0.0, 1.0, &mut r);
+            let y = layer.forward(&x, true);
+            let gin = layer.backward(&Tensor::ones_like(&y));
+            let lref = &layer;
+            let numeric = numeric_gradient(|xv| reference_forward(lref, xv).sum(), &x, 1e-2);
+            let rep = check_close(&gin, &numeric);
+            assert!(rep.passes(8e-2), "type {}: {:?}", t, rep);
+        }
+    }
+
+    #[test]
+    fn backward_weight_gradcheck_ours() {
+        let mut r = rng();
+        let mut layer = QuadraticConv2d::conv3x3(NeuronType::Ours, 2, 2, &mut r);
+        let x = Tensor::randn(&[2, 2, 4, 4], 0.0, 1.0, &mut r);
+        let y = layer.forward(&x, true);
+        layer.backward(&Tensor::ones_like(&y));
+        for idx in 0..3 {
+            let analytic = layer.params()[idx].grad.clone();
+            let x2 = x.clone();
+            let p = layer.conv;
+            let wa = layer.wa.as_ref().unwrap().value.clone();
+            let wb = layer.wb.as_ref().unwrap().value.clone();
+            let wc = layer.wc.as_ref().unwrap().value.clone();
+            let f = move |w: &Tensor| {
+                let (wa, wb, wc) = match idx {
+                    0 => (w.clone(), wb.clone(), wc.clone()),
+                    1 => (wa.clone(), w.clone(), wc.clone()),
+                    _ => (wa.clone(), wb.clone(), w.clone()),
+                };
+                let a = x2.conv2d(&wa, None, p).unwrap();
+                let b = x2.conv2d(&wb, None, p).unwrap();
+                a.mul(&b).unwrap().add(&x2.conv2d(&wc, None, p).unwrap()).unwrap().sum()
+            };
+            let numeric = numeric_gradient(f, &layer.params()[idx].value, 1e-2);
+            let rep = check_close(&analytic, &numeric);
+            assert!(rep.passes(1e-1), "weight {}: {:?}", idx, rep);
+        }
+    }
+
+    #[test]
+    fn hybrid_mode_identical_gradients_lower_memory() {
+        let mut r = rng();
+        let mut d = QuadraticConv2d::conv3x3(NeuronType::Ours, 3, 4, &mut r);
+        let mut h = QuadraticConv2d::conv3x3(NeuronType::Ours, 3, 4, &mut r);
+        for (pd, ph) in d.params().iter().zip(h.params_mut()) {
+            ph.value.copy_from(&pd.value).unwrap();
+        }
+        h.set_mode(BackpropMode::Hybrid);
+        let x = Tensor::randn(&[2, 3, 8, 8], 0.0, 1.0, &mut r);
+        let yd = d.forward(&x, true);
+        let yh = h.forward(&x, true);
+        assert!(yd.allclose(&yh, 1e-5));
+        // Default caches x + za + zb; hybrid only x.
+        assert_eq!(h.cached_bytes(), x.nbytes());
+        assert!(d.cached_bytes() > h.cached_bytes());
+        let g = Tensor::randn(yd.shape(), 0.0, 1.0, &mut r);
+        let gd = d.backward(&g);
+        let gh = h.backward(&g);
+        assert!(gd.allclose(&gh, 1e-4));
+        for (pd, ph) in d.params().iter().zip(h.params()) {
+            assert!(pd.grad.allclose(&ph.grad, 1e-4));
+        }
+    }
+
+    #[test]
+    fn ours_conv_param_count_is_three_first_order_convs() {
+        let mut r = rng();
+        let layer = QuadraticConv2d::conv3x3(NeuronType::Ours, 16, 32, &mut r);
+        let first_order = 32 * 16 * 9;
+        assert_eq!(layer.param_count(), 3 * first_order + 32);
+        assert_eq!(layer.neuron_type(), NeuronType::Ours);
+        assert_eq!(layer.in_channels(), 16);
+        assert_eq!(layer.out_channels(), 32);
+        assert_eq!(layer.kernel(), 3);
+        assert_eq!(layer.layer_type(), "quadratic_conv2d");
+        assert!(layer.describe().contains("Ours"));
+    }
+
+    #[test]
+    fn strided_and_grouped_quadratic_conv() {
+        let mut r = rng();
+        let mut layer = QuadraticConv2d::new(NeuronType::Ours, 4, 8, 3, 2, 1, 2, &mut r);
+        let x = Tensor::randn(&[1, 4, 8, 8], 0.0, 1.0, &mut r);
+        let y = layer.forward(&x, true);
+        assert_eq!(y.shape(), &[1, 8, 4, 4]);
+        let gin = layer.backward(&Tensor::ones_like(&y));
+        assert_eq!(gin.shape(), x.shape());
+        assert!(!gin.has_non_finite());
+        assert_eq!(layer.conv_params().groups, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "not supported")]
+    fn t1_conv_is_rejected() {
+        let mut r = rng();
+        let _ = QuadraticConv2d::conv3x3(NeuronType::T1, 2, 2, &mut r);
+    }
+
+    #[test]
+    #[should_panic]
+    fn t4_identity_requires_shape_preserving_config() {
+        let mut r = rng();
+        let _ = QuadraticConv2d::new(NeuronType::T4Identity, 2, 4, 3, 1, 1, 1, &mut r);
+    }
+
+    #[test]
+    fn cache_lifecycle() {
+        let mut r = rng();
+        let mut layer = QuadraticConv2d::conv3x3(NeuronType::T2, 1, 1, &mut r);
+        let x = Tensor::randn(&[1, 1, 4, 4], 0.0, 1.0, &mut r);
+        let _ = layer.forward(&x, true);
+        assert!(layer.cached_bytes() > 0);
+        layer.clear_cache();
+        assert_eq!(layer.cached_bytes(), 0);
+        assert_eq!(layer.mode(), BackpropMode::Default);
+    }
+}

@@ -1,0 +1,104 @@
+//! Property-based tests of QuadraLib-core invariants: neuron complexity
+//! formulas, quadratic-layer gradients, hybrid-BP equivalence and the
+//! auto-builder's structural guarantees.
+
+use proptest::prelude::*;
+use quadra_core::{
+    estimate_param_count, AutoBuilder, BackpropMode, LayerSpec, ModelConfig, NeuronType, QuadraticLinear,
+};
+use quadra_nn::Layer;
+use quadra_tensor::Tensor;
+use rand::SeedableRng;
+
+fn any_neuron() -> impl Strategy<Value = NeuronType> {
+    prop::sample::select(NeuronType::ALL.to_vec())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Closed-form parameter counts grow monotonically with the input size and
+    /// match what Table 1 states about relative ordering.
+    #[test]
+    fn complexity_formulas_are_monotone(neuron in any_neuron(), n in 2usize..64) {
+        prop_assert!(neuron.param_count(n + 1) >= neuron.param_count(n));
+        prop_assert!(neuron.flop_count(n + 1) >= neuron.flop_count(n));
+        // Ours always costs more than T4 (extra linear branch) but less than T1
+        // for large enough inputs.
+        prop_assert!(NeuronType::Ours.param_count(n) >= NeuronType::T4.param_count(n));
+        if n >= 4 {
+            prop_assert!(NeuronType::Ours.param_count(n) <= NeuronType::T1.param_count(n));
+        }
+    }
+
+    /// The proposed quadratic layer's output is exactly quadratic in its input:
+    /// scaling the input by `s` scales the second-order term by `s²` and the
+    /// linear term by `s` (checked via three evaluations, bias-free).
+    #[test]
+    fn ours_layer_is_second_order_polynomial(seed in 0u64..500, s in 0.5f32..2.0) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut layer = QuadraticLinear::new(NeuronType::Ours, 4, 3, &mut rng);
+        let x = Tensor::randn(&[1, 4], 0.0, 1.0, &mut rng);
+        let f1 = layer.forward(&x, false);
+        let fs = layer.forward(&x.mul_scalar(s), false);
+        let f0 = layer.forward(&Tensor::zeros(&[1, 4]), false);
+        // f(sx) = s^2*Q(x) + s*L(x) + c  with Q = f(x)-L(x)-c recovered from f(1x):
+        // check the polynomial identity f(sx) - c = s^2 (f(x) - L - c) + s*L where
+        // L = limit of (f(tx)-c)/t as t->0 approximated by t=1e-3.
+        let t = 1e-3f32;
+        let ft = layer.forward(&x.mul_scalar(t), false);
+        let lin = ft.sub(&f0).unwrap().div_scalar(t);
+        let quad = f1.sub(&f0).unwrap().sub(&lin).unwrap();
+        let predicted = quad.mul_scalar(s * s).add(&lin.mul_scalar(s)).unwrap().add(&f0).unwrap();
+        prop_assert!(fs.allclose(&predicted, 0.05), "poly identity violated");
+    }
+
+    /// Hybrid and default back-propagation give identical gradients for any
+    /// seed and any practical neuron type (the correctness half of Fig. 8).
+    #[test]
+    fn hybrid_bp_gradients_match_default(seed in 0u64..200, neuron in prop::sample::select(vec![
+        NeuronType::T2, NeuronType::T3, NeuronType::T4, NeuronType::T2And4, NeuronType::Ours,
+    ])) {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut a = QuadraticLinear::new(neuron, 5, 4, &mut rng);
+        let mut b = QuadraticLinear::new(neuron, 5, 4, &mut rng);
+        for (pa, pb) in a.params().iter().zip(b.params_mut()) {
+            pb.value.copy_from(&pa.value).unwrap();
+        }
+        b.set_mode(BackpropMode::Hybrid);
+        let x = Tensor::randn(&[3, 5], 0.0, 1.0, &mut rng);
+        let ya = a.forward(&x, true);
+        let yb = b.forward(&x, true);
+        prop_assert!(ya.allclose(&yb, 1e-5));
+        let g = Tensor::randn(ya.shape(), 0.0, 1.0, &mut rng);
+        let gxa = a.backward(&g);
+        let gxb = b.backward(&g);
+        prop_assert!(gxa.allclose(&gxb, 1e-4));
+        for (pa, pb) in a.params().iter().zip(b.params()) {
+            prop_assert!(pa.grad.allclose(&pb.grad, 1e-4));
+        }
+    }
+
+    /// The auto-builder never increases the conv-layer count, always produces a
+    /// quadratic config, and the conversion multiplies parameters by at most the
+    /// branch count of the neuron type.
+    #[test]
+    fn auto_builder_structural_invariants(n_extra in 0usize..4, target in 1usize..4) {
+        let mut layers = vec![LayerSpec::conv3x3(8)];
+        for _ in 0..n_extra {
+            layers.push(LayerSpec::conv3x3(8));
+        }
+        layers.push(LayerSpec::GlobalAvgPool);
+        layers.push(LayerSpec::Linear { out_features: 4, relu: false });
+        let cfg = ModelConfig::new("prop", 3, 8, 4, layers);
+        let builder = AutoBuilder::new(NeuronType::Ours);
+        let converted = builder.convert(&cfg);
+        prop_assert!(converted.is_quadratic());
+        prop_assert_eq!(converted.conv_layer_count(), cfg.conv_layer_count());
+        prop_assert!(estimate_param_count(&converted) <= 3 * estimate_param_count(&cfg) + 1000);
+        let reduced = builder.build(&cfg, target, &[]);
+        prop_assert!(reduced.conv_layer_count() <= cfg.conv_layer_count());
+        prop_assert!(reduced.conv_layer_count() >= 1);
+        prop_assert!(estimate_param_count(&reduced) <= estimate_param_count(&converted));
+    }
+}

@@ -1,0 +1,224 @@
+//! Synthetic object-detection scenes — the PASCAL VOC stand-in.
+//!
+//! Each scene is an image containing one to three non-background shapes; the
+//! ground truth records each object's class and its axis-aligned bounding box
+//! in normalised `(cx, cy, w, h)` coordinates.
+
+use crate::shapes::ShapeKind;
+use quadra_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A ground-truth object annotation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GtBox {
+    /// Object class in `0..num_classes`.
+    pub class: usize,
+    /// Box centre x in `[0, 1]`.
+    pub cx: f32,
+    /// Box centre y in `[0, 1]`.
+    pub cy: f32,
+    /// Box width in `[0, 1]`.
+    pub w: f32,
+    /// Box height in `[0, 1]`.
+    pub h: f32,
+}
+
+impl GtBox {
+    /// Intersection-over-union with another box (both in normalised cx/cy/w/h).
+    pub fn iou(&self, other: &GtBox) -> f32 {
+        let (ax0, ay0, ax1, ay1) = self.corners();
+        let (bx0, by0, bx1, by1) = other.corners();
+        let ix = (ax1.min(bx1) - ax0.max(bx0)).max(0.0);
+        let iy = (ay1.min(by1) - ay0.max(by0)).max(0.0);
+        let inter = ix * iy;
+        let union = self.area() + other.area() - inter;
+        if union <= 0.0 {
+            0.0
+        } else {
+            inter / union
+        }
+    }
+
+    /// Box area.
+    pub fn area(&self) -> f32 {
+        self.w.max(0.0) * self.h.max(0.0)
+    }
+
+    /// Corner coordinates `(x0, y0, x1, y1)`.
+    pub fn corners(&self) -> (f32, f32, f32, f32) {
+        (self.cx - self.w / 2.0, self.cy - self.h / 2.0, self.cx + self.w / 2.0, self.cy + self.h / 2.0)
+    }
+}
+
+/// One detection scene: an image plus its ground-truth boxes.
+#[derive(Debug, Clone)]
+pub struct DetectionScene {
+    /// The image as a `[channels, size, size]` tensor.
+    pub image: Tensor,
+    /// Ground-truth objects.
+    pub boxes: Vec<GtBox>,
+}
+
+/// A generated detection dataset.
+#[derive(Debug, Clone)]
+pub struct DetectionDataset {
+    /// The scenes.
+    pub scenes: Vec<DetectionScene>,
+    /// Number of object classes (background excluded).
+    pub num_classes: usize,
+    /// Image side length.
+    pub image_size: usize,
+}
+
+impl DetectionDataset {
+    /// Generate `n` scenes with up to `max_objects` objects from `num_classes`
+    /// object classes at `size`×`size` pixels.
+    pub fn generate(n: usize, num_classes: usize, size: usize, max_objects: usize, seed: u64) -> Self {
+        assert!(num_classes >= 1 && num_classes <= ShapeKind::ALL.len());
+        assert!(max_objects >= 1);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut scenes = Vec::with_capacity(n);
+        for _ in 0..n {
+            scenes.push(Self::generate_scene(num_classes, size, max_objects, &mut rng));
+        }
+        DetectionDataset { scenes, num_classes, image_size: size }
+    }
+
+    fn generate_scene(num_classes: usize, size: usize, max_objects: usize, rng: &mut StdRng) -> DetectionScene {
+        let channels = 3usize;
+        let mut data = vec![-0.8f32; channels * size * size];
+        let count = rng.gen_range(1..=max_objects);
+        let mut boxes = Vec::with_capacity(count);
+        for _ in 0..count {
+            let class = rng.gen_range(0..num_classes);
+            let kind = ShapeKind::for_class(class);
+            let radius = rng.gen_range(0.12..0.22);
+            let cx = rng.gen_range(radius..1.0 - radius);
+            let cy = rng.gen_range(radius..1.0 - radius);
+            for c in 0..channels {
+                let phase = class as f32 / num_classes as f32 * std::f32::consts::TAU;
+                let fg = (phase + 2.0 * c as f32).cos();
+                for y in 0..size {
+                    for x in 0..size {
+                        let u = x as f32 / size as f32 - cx;
+                        let v = y as f32 / size as f32 - cy;
+                        if kind_contains(kind, u, v, radius) {
+                            data[(c * size + y) * size + x] = fg;
+                        }
+                    }
+                }
+            }
+            boxes.push(GtBox { class, cx, cy, w: 2.0 * radius, h: 2.0 * radius });
+        }
+        // Light pixel noise.
+        for v in data.iter_mut() {
+            *v += 0.05 * (rng.gen_range(0.0f32..1.0) - 0.5);
+        }
+        DetectionScene { image: Tensor::from_vec(data, &[channels, size, size]).expect("shape"), boxes }
+    }
+
+    /// Number of scenes.
+    pub fn len(&self) -> usize {
+        self.scenes.len()
+    }
+
+    /// True if the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.scenes.is_empty()
+    }
+
+    /// Stack a subset of scene images into a batch tensor `[k, c, s, s]`.
+    pub fn image_batch(&self, indices: &[usize]) -> Tensor {
+        let refs: Vec<Tensor> = indices.iter().map(|&i| self.scenes[i].image.clone()).collect();
+        let views: Vec<&Tensor> = refs.iter().collect();
+        Tensor::stack(&views).expect("uniform scene shapes")
+    }
+}
+
+fn kind_contains(kind: ShapeKind, u: f32, v: f32, r: f32) -> bool {
+    // Reuse a subset of simple solid shapes so boxes tightly contain the object.
+    match kind {
+        ShapeKind::Circle | ShapeKind::Ring | ShapeKind::TwoDots => u * u + v * v <= r * r,
+        ShapeKind::Triangle => v >= -r && v <= r && u.abs() <= (r - v) * 0.5 + 0.05,
+        ShapeKind::Diamond => u.abs() + v.abs() <= r,
+        _ => u.abs() <= r && v.abs() <= r,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iou_of_identical_and_disjoint_boxes() {
+        let a = GtBox { class: 0, cx: 0.5, cy: 0.5, w: 0.2, h: 0.2 };
+        assert!((a.iou(&a) - 1.0).abs() < 1e-6);
+        let far = GtBox { class: 0, cx: 0.1, cy: 0.1, w: 0.1, h: 0.1 };
+        assert_eq!(a.iou(&far), 0.0);
+        // Half-overlapping boxes.
+        let half = GtBox { class: 0, cx: 0.6, cy: 0.5, w: 0.2, h: 0.2 };
+        let iou = a.iou(&half);
+        assert!(iou > 0.3 && iou < 0.4, "iou {}", iou);
+        assert!((a.area() - 0.04).abs() < 1e-6);
+        let zero = GtBox { class: 0, cx: 0.5, cy: 0.5, w: 0.0, h: 0.0 };
+        assert_eq!(zero.iou(&zero), 0.0);
+    }
+
+    #[test]
+    fn scenes_have_expected_structure() {
+        let ds = DetectionDataset::generate(20, 5, 32, 3, 11);
+        assert_eq!(ds.len(), 20);
+        assert!(!ds.is_empty());
+        assert_eq!(ds.image_size, 32);
+        assert_eq!(ds.num_classes, 5);
+        for scene in &ds.scenes {
+            assert_eq!(scene.image.shape(), &[3, 32, 32]);
+            assert!(!scene.boxes.is_empty() && scene.boxes.len() <= 3);
+            for b in &scene.boxes {
+                assert!(b.class < 5);
+                let (x0, y0, x1, y1) = b.corners();
+                assert!(x0 >= -0.01 && y0 >= -0.01 && x1 <= 1.01 && y1 <= 1.01);
+            }
+        }
+    }
+
+    #[test]
+    fn object_pixels_differ_from_background_inside_the_box() {
+        let ds = DetectionDataset::generate(5, 3, 32, 1, 12);
+        for scene in &ds.scenes {
+            let b = &scene.boxes[0];
+            let px = ((b.cx * 32.0) as usize).min(31);
+            let py = ((b.cy * 32.0) as usize).min(31);
+            // The centre pixel of the box belongs to the object, so it should not
+            // be close to the background value of -0.8.
+            let v = scene.image.at(&[0, py, px]);
+            assert!((v - (-0.8)).abs() > 0.2, "centre pixel looks like background: {}", v);
+        }
+    }
+
+    #[test]
+    fn image_batch_stacks_scenes() {
+        let ds = DetectionDataset::generate(6, 3, 16, 2, 13);
+        let batch = ds.image_batch(&[0, 3, 5]);
+        assert_eq!(batch.shape(), &[3, 3, 16, 16]);
+        assert_eq!(
+            batch.narrow(0, 1, 1).unwrap().flatten().as_slice(),
+            ds.scenes[3].image.flatten().as_slice()
+        );
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = DetectionDataset::generate(4, 3, 16, 2, 99);
+        let b = DetectionDataset::generate(4, 3, 16, 2, 99);
+        assert_eq!(a.scenes[2].image.as_slice(), b.scenes[2].image.as_slice());
+        assert_eq!(a.scenes[2].boxes, b.scenes[2].boxes);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_objects_rejected() {
+        let _ = DetectionDataset::generate(1, 3, 16, 0, 0);
+    }
+}

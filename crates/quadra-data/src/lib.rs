@@ -1,0 +1,32 @@
+//! # quadra-data
+//!
+//! Synthetic datasets for the QuadraLib-rs experiments.
+//!
+//! The paper evaluates on CIFAR-10 / CIFAR-100 / Tiny-ImageNet, PASCAL VOC and
+//! (for image generation) CIFAR-10 again. Those datasets cannot be downloaded
+//! in this reproduction environment, so this crate generates **procedural
+//! stand-ins** that exercise the same code paths and preserve the comparison
+//! axes the paper cares about (see DESIGN.md for the substitution argument):
+//!
+//! * [`ShapeImageDataset`] — class-conditional images of geometric shapes and
+//!   textures with noise and placement jitter; the stand-in for CIFAR-10/100
+//!   and Tiny-ImageNet ([`synth_cifar10`], [`synth_cifar100`],
+//!   [`synth_tiny_imagenet`]).
+//! * [`DetectionDataset`] — scenes with 1–3 shapes and ground-truth bounding
+//!   boxes; the stand-in for PASCAL VOC.
+//! * Classic QDNN toy problems: [`xor_dataset`], [`two_spirals`],
+//!   [`polynomial_regression`] — the tasks early quadratic-neuron papers used.
+//!
+//! Every generator takes an explicit seed and is fully deterministic.
+
+#![warn(missing_docs)]
+
+mod detection;
+mod shapes;
+mod simple;
+mod split;
+
+pub use detection::{DetectionDataset, DetectionScene, GtBox};
+pub use shapes::{synth_cifar10, synth_cifar100, synth_tiny_imagenet, ShapeImageDataset, ShapeKind};
+pub use simple::{polynomial_regression, two_spirals, xor_dataset};
+pub use split::{train_test_split, Batches};

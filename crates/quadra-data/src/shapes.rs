@@ -1,0 +1,284 @@
+//! Class-conditional procedural shape images — the CIFAR / Tiny-ImageNet stand-in.
+
+use quadra_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The geometric/texture primitives a class can be built from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShapeKind {
+    /// Filled disc.
+    Circle,
+    /// Filled axis-aligned square.
+    Square,
+    /// Filled upward triangle.
+    Triangle,
+    /// Plus / cross shape.
+    Cross,
+    /// Ring (disc with a hole).
+    Ring,
+    /// Horizontal stripes.
+    StripesH,
+    /// Vertical stripes.
+    StripesV,
+    /// Checkerboard texture.
+    Checker,
+    /// Diamond (rotated square).
+    Diamond,
+    /// Two small discs.
+    TwoDots,
+}
+
+impl ShapeKind {
+    /// All shape primitives.
+    pub const ALL: [ShapeKind; 10] = [
+        ShapeKind::Circle,
+        ShapeKind::Square,
+        ShapeKind::Triangle,
+        ShapeKind::Cross,
+        ShapeKind::Ring,
+        ShapeKind::StripesH,
+        ShapeKind::StripesV,
+        ShapeKind::Checker,
+        ShapeKind::Diamond,
+        ShapeKind::TwoDots,
+    ];
+
+    /// The primitive associated with a class index (classes cycle through the
+    /// primitives; higher class counts also vary the colour family).
+    pub fn for_class(class: usize) -> ShapeKind {
+        ShapeKind::ALL[class % ShapeKind::ALL.len()]
+    }
+
+    /// Whether a pixel at normalised coordinates `(u, v)` relative to the shape
+    /// centre with normalised radius `r` belongs to the shape.
+    fn contains(&self, u: f32, v: f32, r: f32) -> bool {
+        let d2 = u * u + v * v;
+        match self {
+            ShapeKind::Circle => d2 <= r * r,
+            ShapeKind::Square => u.abs() <= r && v.abs() <= r,
+            ShapeKind::Triangle => v >= -r && v <= r && u.abs() <= (r - v) * 0.5 + 0.05,
+            ShapeKind::Cross => (u.abs() <= r * 0.35 && v.abs() <= r) || (v.abs() <= r * 0.35 && u.abs() <= r),
+            ShapeKind::Ring => d2 <= r * r && d2 >= (0.55 * r) * (0.55 * r),
+            ShapeKind::StripesH => v.abs() <= r && u.abs() <= r && ((v / r * 3.0).floor() as i32).rem_euclid(2) == 0,
+            ShapeKind::StripesV => v.abs() <= r && u.abs() <= r && ((u / r * 3.0).floor() as i32).rem_euclid(2) == 0,
+            ShapeKind::Checker => {
+                u.abs() <= r
+                    && v.abs() <= r
+                    && (((u / r * 2.0).floor() + (v / r * 2.0).floor()) as i32).rem_euclid(2) == 0
+            }
+            ShapeKind::Diamond => u.abs() + v.abs() <= r,
+            ShapeKind::TwoDots => {
+                let a = (u - 0.4 * r) * (u - 0.4 * r) + v * v <= (0.35 * r) * (0.35 * r);
+                let b = (u + 0.4 * r) * (u + 0.4 * r) + v * v <= (0.35 * r) * (0.35 * r);
+                a || b
+            }
+        }
+    }
+}
+
+/// A generated classification dataset of shape images.
+#[derive(Debug, Clone)]
+pub struct ShapeImageDataset {
+    /// Images as an `[n, channels, size, size]` tensor with values roughly in `[-1, 1]`.
+    pub images: Tensor,
+    /// Integer class labels stored as `f32`, shape `[n]`.
+    pub labels: Tensor,
+    /// Number of classes.
+    pub num_classes: usize,
+}
+
+impl ShapeImageDataset {
+    /// Generate `n` samples of `num_classes` classes at `size`×`size` pixels
+    /// with `channels` colour channels, Gaussian pixel noise of the given
+    /// standard deviation, and a deterministic seed.
+    pub fn generate(n: usize, num_classes: usize, size: usize, channels: usize, noise: f32, seed: u64) -> Self {
+        assert!(num_classes >= 2, "need at least two classes");
+        assert!(size >= 8, "images must be at least 8x8");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut data = vec![0.0f32; n * channels * size * size];
+        let mut labels = Vec::with_capacity(n);
+        for i in 0..n {
+            let class = rng.gen_range(0..num_classes);
+            labels.push(class as f32);
+            let img = &mut data[i * channels * size * size..(i + 1) * channels * size * size];
+            render_class(img, class, num_classes, size, channels, noise, &mut rng);
+        }
+        ShapeImageDataset {
+            images: Tensor::from_vec(data, &[n, channels, size, size]).expect("shape"),
+            labels: Tensor::from_vec(labels, &[n]).expect("shape"),
+            num_classes,
+        }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.labels.numel()
+    }
+
+    /// True if the dataset holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Deterministic per-class colour in `[-1, 1]³`, spread over hue-like space.
+fn class_color(class: usize, num_classes: usize, channel: usize) -> f32 {
+    let phase = class as f32 / num_classes.max(1) as f32 * std::f32::consts::TAU;
+    match channel {
+        0 => phase.cos(),
+        1 => (phase + 2.0).cos(),
+        _ => (phase + 4.0).cos(),
+    }
+}
+
+fn render_class(
+    img: &mut [f32],
+    class: usize,
+    num_classes: usize,
+    size: usize,
+    channels: usize,
+    noise: f32,
+    rng: &mut StdRng,
+) {
+    let kind = ShapeKind::for_class(class);
+    // Placement jitter: centre offset and radius jitter.
+    let cx = 0.5 + rng.gen_range(-0.15..0.15);
+    let cy = 0.5 + rng.gen_range(-0.15..0.15);
+    let radius = 0.30 + rng.gen_range(-0.05..0.08);
+    // Higher class indices beyond the primitive count vary the colour family,
+    // so synth-CIFAR-100 classes remain distinguishable.
+    let color_group = class / ShapeKind::ALL.len();
+    let background = -0.8f32;
+    for c in 0..channels {
+        let fg = class_color(class + color_group * 7, num_classes, c);
+        for y in 0..size {
+            for x in 0..size {
+                let u = x as f32 / size as f32 - cx;
+                let v = y as f32 / size as f32 - cy;
+                let inside = kind.contains(u, v, radius);
+                let base = if inside { fg } else { background };
+                img[(c * size + y) * size + x] = base + noise * gaussian(rng);
+            }
+        }
+    }
+}
+
+fn gaussian(rng: &mut StdRng) -> f32 {
+    // Box–Muller with a single draw pair; good enough for pixel noise.
+    let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+    let u2: f32 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f32::consts::TAU * u2).cos()
+}
+
+/// CIFAR-10 stand-in: 10 classes of 3×32×32 images.
+pub fn synth_cifar10(n: usize, seed: u64) -> ShapeImageDataset {
+    ShapeImageDataset::generate(n, 10, 32, 3, 0.15, seed)
+}
+
+/// CIFAR-100 stand-in: 100 classes of 3×32×32 images.
+pub fn synth_cifar100(n: usize, seed: u64) -> ShapeImageDataset {
+    ShapeImageDataset::generate(n, 100, 32, 3, 0.15, seed)
+}
+
+/// Tiny-ImageNet stand-in: 20 classes of 3×64×64 images (scaled down from 200
+/// classes so the CPU harness stays tractable; the comparison axis — relative
+/// accuracy of first-order vs quadratic models — is unaffected).
+pub fn synth_tiny_imagenet(n: usize, seed: u64) -> ShapeImageDataset {
+    ShapeImageDataset::generate(n, 20, 64, 3, 0.15, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_shapes_and_labels() {
+        let ds = ShapeImageDataset::generate(50, 4, 16, 3, 0.1, 7);
+        assert_eq!(ds.images.shape(), &[50, 3, 16, 16]);
+        assert_eq!(ds.labels.shape(), &[50]);
+        assert_eq!(ds.num_classes, 4);
+        assert_eq!(ds.len(), 50);
+        assert!(!ds.is_empty());
+        assert!(ds.labels.as_slice().iter().all(|&l| l >= 0.0 && l < 4.0));
+        assert!(!ds.images.has_non_finite());
+        // Pixel range is roughly [-1, 1] plus noise.
+        assert!(ds.images.max() < 2.0 && ds.images.min() > -2.0);
+    }
+
+    #[test]
+    fn deterministic_for_same_seed_and_different_for_other_seeds() {
+        let a = ShapeImageDataset::generate(10, 3, 16, 3, 0.1, 42);
+        let b = ShapeImageDataset::generate(10, 3, 16, 3, 0.1, 42);
+        let c = ShapeImageDataset::generate(10, 3, 16, 3, 0.1, 43);
+        assert_eq!(a.images.as_slice(), b.images.as_slice());
+        assert_eq!(a.labels.as_slice(), b.labels.as_slice());
+        assert_ne!(a.images.as_slice(), c.images.as_slice());
+    }
+
+    #[test]
+    fn classes_are_visually_distinct_on_average() {
+        // Mean image of class 0 should differ substantially from class 1's.
+        let ds = ShapeImageDataset::generate(200, 2, 16, 3, 0.05, 3);
+        let mut mean = [vec![0.0f32; 3 * 16 * 16], vec![0.0f32; 3 * 16 * 16]];
+        let mut count = [0usize; 2];
+        let px = 3 * 16 * 16;
+        for i in 0..ds.len() {
+            let cls = ds.labels.as_slice()[i] as usize;
+            count[cls] += 1;
+            for j in 0..px {
+                mean[cls][j] += ds.images.as_slice()[i * px + j];
+            }
+        }
+        for (m, c) in mean.iter_mut().zip(count) {
+            for v in m.iter_mut() {
+                *v /= c.max(1) as f32;
+            }
+        }
+        let diff: f32 = mean[0].iter().zip(&mean[1]).map(|(a, b)| (a - b).abs()).sum::<f32>() / px as f32;
+        assert!(diff > 0.05, "classes look identical, diff {}", diff);
+    }
+
+    #[test]
+    fn every_shape_kind_draws_some_foreground() {
+        for (i, kind) in ShapeKind::ALL.iter().enumerate() {
+            assert_eq!(ShapeKind::for_class(i), *kind);
+            // Sample the unit square and make sure the predicate is true somewhere
+            // and false somewhere (no degenerate always-on / always-off shapes).
+            let mut inside = 0;
+            let mut total = 0;
+            for y in 0..20 {
+                for x in 0..20 {
+                    let u = x as f32 / 20.0 - 0.5;
+                    let v = y as f32 / 20.0 - 0.5;
+                    if kind.contains(u, v, 0.35) {
+                        inside += 1;
+                    }
+                    total += 1;
+                }
+            }
+            assert!(inside > 0, "{:?} never draws", kind);
+            assert!(inside < total, "{:?} fills everything", kind);
+        }
+        // Classes beyond the primitive count wrap around.
+        assert_eq!(ShapeKind::for_class(10), ShapeKind::Circle);
+    }
+
+    #[test]
+    fn wrappers_produce_expected_geometry() {
+        let c10 = synth_cifar10(4, 0);
+        assert_eq!(c10.images.shape(), &[4, 3, 32, 32]);
+        assert_eq!(c10.num_classes, 10);
+        let c100 = synth_cifar100(4, 0);
+        assert_eq!(c100.num_classes, 100);
+        let tin = synth_tiny_imagenet(2, 0);
+        assert_eq!(tin.images.shape(), &[2, 3, 64, 64]);
+        assert_eq!(tin.num_classes, 20);
+    }
+
+    #[test]
+    #[should_panic]
+    fn single_class_dataset_rejected() {
+        let _ = ShapeImageDataset::generate(4, 1, 16, 3, 0.1, 0);
+    }
+}

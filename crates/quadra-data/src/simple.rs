@@ -1,0 +1,127 @@
+//! Classic low-dimensional problems used by the early quadratic-neuron papers:
+//! XOR, two spirals and polynomial regression. A single quadratic neuron can
+//! solve XOR exactly, which is the motivating example of several T1–T4 works.
+
+use quadra_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The XOR problem with `n` noisy samples: inputs in `{±1}² + noise`, label is
+/// 1 when the signs differ. Returns `(inputs [n,2], labels [n])`.
+pub fn xor_dataset(n: usize, noise: f32, seed: u64) -> (Tensor, Tensor) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut xs = Vec::with_capacity(n * 2);
+    let mut ys = Vec::with_capacity(n);
+    for _ in 0..n {
+        let a: bool = rng.gen();
+        let b: bool = rng.gen();
+        let sa = if a { 1.0 } else { -1.0 };
+        let sb = if b { 1.0 } else { -1.0 };
+        xs.push(sa + noise * rng.gen_range(-1.0..1.0));
+        xs.push(sb + noise * rng.gen_range(-1.0..1.0));
+        ys.push(if a != b { 1.0 } else { 0.0 });
+    }
+    (Tensor::from_vec(xs, &[n, 2]).expect("shape"), Tensor::from_vec(ys, &[n]).expect("shape"))
+}
+
+/// The two-spirals problem: `n` points on two interleaved spirals with additive
+/// noise. Returns `(inputs [n,2], labels [n])` with labels in `{0, 1}`.
+pub fn two_spirals(n: usize, noise: f32, seed: u64) -> (Tensor, Tensor) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut xs = Vec::with_capacity(n * 2);
+    let mut ys = Vec::with_capacity(n);
+    for i in 0..n {
+        let class = i % 2;
+        let t = rng.gen_range(0.25f32..1.0);
+        let angle = t * 3.0 * std::f32::consts::TAU * 0.5 + class as f32 * std::f32::consts::PI;
+        let r = t;
+        xs.push(r * angle.cos() + noise * rng.gen_range(-1.0..1.0));
+        xs.push(r * angle.sin() + noise * rng.gen_range(-1.0..1.0));
+        ys.push(class as f32);
+    }
+    (Tensor::from_vec(xs, &[n, 2]).expect("shape"), Tensor::from_vec(ys, &[n]).expect("shape"))
+}
+
+/// Scalar polynomial-regression data: `y = c₀ + c₁x + c₂x² + c₃x³ + ε` with `x`
+/// uniform in `[-1, 1]`. Returns `(inputs [n,1], targets [n,1])`.
+pub fn polynomial_regression(n: usize, coeffs: [f32; 4], noise: f32, seed: u64) -> (Tensor, Tensor) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut xs = Vec::with_capacity(n);
+    let mut ys = Vec::with_capacity(n);
+    for _ in 0..n {
+        let x: f32 = rng.gen_range(-1.0..1.0);
+        let y = coeffs[0] + coeffs[1] * x + coeffs[2] * x * x + coeffs[3] * x * x * x + noise * rng.gen_range(-1.0..1.0);
+        xs.push(x);
+        ys.push(y);
+    }
+    (Tensor::from_vec(xs, &[n, 1]).expect("shape"), Tensor::from_vec(ys, &[n, 1]).expect("shape"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xor_labels_match_sign_pattern() {
+        let (x, y) = xor_dataset(200, 0.0, 1);
+        assert_eq!(x.shape(), &[200, 2]);
+        assert_eq!(y.shape(), &[200]);
+        for i in 0..200 {
+            let a = x.at(&[i, 0]) > 0.0;
+            let b = x.at(&[i, 1]) > 0.0;
+            let label = y.as_slice()[i] > 0.5;
+            assert_eq!(a != b, label);
+        }
+        // Both classes are present.
+        let pos = y.as_slice().iter().filter(|&&v| v > 0.5).count();
+        assert!(pos > 50 && pos < 150);
+    }
+
+    #[test]
+    fn xor_is_not_linearly_separable_but_product_separates_it() {
+        let (x, y) = xor_dataset(500, 0.05, 2);
+        // The product x0*x1 has opposite sign for the two classes.
+        let mut correct = 0;
+        for i in 0..500 {
+            let prod = x.at(&[i, 0]) * x.at(&[i, 1]);
+            let pred = if prod < 0.0 { 1.0 } else { 0.0 };
+            if (pred - y.as_slice()[i]).abs() < 0.5 {
+                correct += 1;
+            }
+        }
+        assert!(correct as f32 / 500.0 > 0.98);
+    }
+
+    #[test]
+    fn spirals_have_balanced_classes_and_bounded_radius() {
+        let (x, y) = two_spirals(300, 0.01, 3);
+        assert_eq!(x.shape(), &[300, 2]);
+        let ones = y.as_slice().iter().filter(|&&v| v > 0.5).count();
+        assert_eq!(ones, 150);
+        for i in 0..300 {
+            let r = (x.at(&[i, 0]).powi(2) + x.at(&[i, 1]).powi(2)).sqrt();
+            assert!(r < 1.5);
+        }
+    }
+
+    #[test]
+    fn polynomial_matches_coefficients_without_noise() {
+        let coeffs = [0.5, -1.0, 2.0, 0.25];
+        let (x, y) = polynomial_regression(64, coeffs, 0.0, 4);
+        for i in 0..64 {
+            let xv = x.at(&[i, 0]);
+            let expect = coeffs[0] + coeffs[1] * xv + coeffs[2] * xv * xv + coeffs[3] * xv * xv * xv;
+            assert!((y.at(&[i, 0]) - expect).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(xor_dataset(16, 0.1, 9).0.as_slice(), xor_dataset(16, 0.1, 9).0.as_slice());
+        assert_eq!(two_spirals(16, 0.1, 9).0.as_slice(), two_spirals(16, 0.1, 9).0.as_slice());
+        assert_eq!(
+            polynomial_regression(16, [0.0, 1.0, 1.0, 0.0], 0.1, 9).0.as_slice(),
+            polynomial_regression(16, [0.0, 1.0, 1.0, 0.0], 0.1, 9).0.as_slice()
+        );
+    }
+}

@@ -1,0 +1,119 @@
+//! Train/test splitting and batch-index iteration helpers.
+
+use quadra_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Split `(x, y)` into train and test partitions, shuffling with `seed`.
+///
+/// `test_fraction` is clamped to `[0, 1]`. Returns
+/// `((x_train, y_train), (x_test, y_test))`.
+pub fn train_test_split(
+    x: &Tensor,
+    y: &Tensor,
+    test_fraction: f32,
+    seed: u64,
+) -> ((Tensor, Tensor), (Tensor, Tensor)) {
+    let n = x.shape()[0];
+    assert_eq!(y.shape()[0], n, "x and y must have the same number of rows");
+    let mut indices: Vec<usize> = (0..n).collect();
+    indices.shuffle(&mut StdRng::seed_from_u64(seed));
+    let test_n = ((n as f32) * test_fraction.clamp(0.0, 1.0)).round() as usize;
+    let (test_idx, train_idx) = indices.split_at(test_n.min(n));
+    (
+        (x.select_rows(train_idx).expect("rows"), y.select_rows(train_idx).expect("rows")),
+        (x.select_rows(test_idx).expect("rows"), y.select_rows(test_idx).expect("rows")),
+    )
+}
+
+/// An iterator over mini-batch index chunks, optionally shuffled per epoch.
+#[derive(Debug, Clone)]
+pub struct Batches {
+    indices: Vec<usize>,
+    batch_size: usize,
+}
+
+impl Batches {
+    /// Create a batch iterator over `n` samples.
+    pub fn new(n: usize, batch_size: usize, shuffle: bool, seed: u64) -> Self {
+        assert!(batch_size > 0, "batch size must be positive");
+        let mut indices: Vec<usize> = (0..n).collect();
+        if shuffle {
+            indices.shuffle(&mut StdRng::seed_from_u64(seed));
+        }
+        Batches { indices, batch_size }
+    }
+
+    /// Number of batches.
+    pub fn len(&self) -> usize {
+        self.indices.len().div_ceil(self.batch_size)
+    }
+
+    /// True when there are no samples.
+    pub fn is_empty(&self) -> bool {
+        self.indices.is_empty()
+    }
+
+    /// Iterate over the index chunks.
+    pub fn iter(&self) -> impl Iterator<Item = &[usize]> {
+        self.indices.chunks(self.batch_size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_preserves_all_samples() {
+        let x = Tensor::arange(0.0, 1.0, 20).reshape(&[10, 2]).unwrap();
+        let y = Tensor::arange(0.0, 1.0, 10);
+        let ((xtr, ytr), (xte, yte)) = train_test_split(&x, &y, 0.3, 0);
+        assert_eq!(xtr.shape()[0], 7);
+        assert_eq!(xte.shape()[0], 3);
+        assert_eq!(ytr.shape()[0], 7);
+        assert_eq!(yte.shape()[0], 3);
+        // Together they cover all labels exactly once.
+        let mut all: Vec<f32> = ytr.as_slice().iter().chain(yte.as_slice()).copied().collect();
+        all.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(all, y.as_slice());
+    }
+
+    #[test]
+    fn split_extremes() {
+        let x = Tensor::zeros(&[4, 1]);
+        let y = Tensor::zeros(&[4]);
+        let ((xtr, _), (xte, _)) = train_test_split(&x, &y, 0.0, 0);
+        assert_eq!(xtr.shape()[0], 4);
+        assert_eq!(xte.shape()[0], 0);
+        let ((xtr, _), (xte, _)) = train_test_split(&x, &y, 1.5, 0);
+        assert_eq!(xtr.shape()[0], 0);
+        assert_eq!(xte.shape()[0], 4);
+    }
+
+    #[test]
+    fn batches_cover_every_index_once() {
+        let b = Batches::new(10, 3, true, 7);
+        assert_eq!(b.len(), 4);
+        assert!(!b.is_empty());
+        let mut seen: Vec<usize> = b.iter().flatten().copied().collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..10).collect::<Vec<_>>());
+        // Last chunk is the remainder.
+        assert_eq!(b.iter().last().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn unshuffled_batches_are_in_order() {
+        let b = Batches::new(6, 2, false, 0);
+        let chunks: Vec<Vec<usize>> = b.iter().map(|c| c.to_vec()).collect();
+        assert_eq!(chunks, vec![vec![0, 1], vec![2, 3], vec![4, 5]]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_batch_size_rejected() {
+        let _ = Batches::new(4, 0, false, 0);
+    }
+}

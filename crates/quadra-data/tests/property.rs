@@ -1,0 +1,44 @@
+//! Property-based tests of the synthetic data generators.
+
+use proptest::prelude::*;
+use quadra_data::{train_test_split, DetectionDataset, ShapeImageDataset};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every generated classification dataset has valid labels, finite pixels
+    /// and the requested geometry, for any seed and class count.
+    #[test]
+    fn shape_dataset_is_well_formed(seed in 0u64..1000, classes in 2usize..12, n in 4usize..32) {
+        let ds = ShapeImageDataset::generate(n, classes, 16, 3, 0.1, seed);
+        prop_assert_eq!(ds.images.shape(), &[n, 3, 16, 16]);
+        prop_assert_eq!(ds.labels.numel(), n);
+        prop_assert!(!ds.images.has_non_finite());
+        prop_assert!(ds.labels.as_slice().iter().all(|&l| (l as usize) < classes && l >= 0.0));
+    }
+
+    /// Detection boxes always stay inside the unit square and every scene has
+    /// at least one object.
+    #[test]
+    fn detection_boxes_are_valid(seed in 0u64..1000, n in 1usize..16) {
+        let ds = DetectionDataset::generate(n, 4, 16, 3, seed);
+        for scene in &ds.scenes {
+            prop_assert!(!scene.boxes.is_empty());
+            for b in &scene.boxes {
+                let (x0, y0, x1, y1) = b.corners();
+                prop_assert!(x0 >= -0.01 && y0 >= -0.01 && x1 <= 1.01 && y1 <= 1.01);
+                prop_assert!(b.w > 0.0 && b.h > 0.0);
+                prop_assert!(b.class < 4);
+            }
+        }
+    }
+
+    /// A train/test split always partitions the samples exactly.
+    #[test]
+    fn split_partitions_samples(seed in 0u64..1000, n in 2usize..40, frac in 0.0f32..1.0) {
+        let ds = ShapeImageDataset::generate(n, 3, 8, 1, 0.05, seed);
+        let ((xtr, ytr), (xte, yte)) = train_test_split(&ds.images, &ds.labels, frac, seed);
+        prop_assert_eq!(xtr.shape()[0] + xte.shape()[0], n);
+        prop_assert_eq!(ytr.numel() + yte.numel(), n);
+    }
+}

@@ -1,0 +1,28 @@
+//! # quadra-models
+//!
+//! The model zoo of QuadraLib-rs: the first-order backbones evaluated in the
+//! paper (VGG, CIFAR-style ResNet, MobileNetV1) expressed as
+//! [`quadra_core::ModelConfig`] configuration files, plus the two task-specific
+//! systems the evaluation needs — a small GAN for image generation (the SNGAN
+//! stand-in, with proxy Inception-Score / FID metrics) and a grid-based
+//! single-shot detector (the SSD stand-in) with mAP evaluation.
+//!
+//! Quadratic ("QuadraNN") variants of every backbone are produced by running
+//! the configurations through [`quadra_core::AutoBuilder`]; see the examples
+//! and the `quadra-bench` harnesses.
+
+#![warn(missing_docs)]
+
+mod gan;
+mod genmetrics;
+mod mobilenet;
+mod resnet;
+mod ssd;
+mod vgg;
+
+pub use gan::{Gan, GanConfig, GanReport};
+pub use genmetrics::{frechet_distance_diag, inception_score, FeatureExtractor, GenerationMetrics};
+pub use mobilenet::mobilenet_v1_config;
+pub use resnet::{resnet20_config, resnet32_config, resnet_cifar_config};
+pub use ssd::{DetectionOutput, Detector, DetectorConfig, MapReport};
+pub use vgg::{vgg11_config, vgg16_config, vgg8_config, vgg_config, VggVariant};

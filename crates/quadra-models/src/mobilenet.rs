@@ -1,0 +1,137 @@
+//! MobileNetV1 (Howard et al. 2017): a stack of depth-wise separable
+//! convolutions, the third backbone of Table 3. Each "DW" in the paper is a
+//! pair of depth-wise 3×3 and point-wise 1×1 convolutions.
+
+use quadra_core::{LayerSpec, ModelConfig};
+
+/// Build a MobileNetV1-style configuration with `num_dw_pairs` depth-wise /
+/// point-wise pairs (the original network uses 13) and channel widths scaled
+/// by `width_mult`.
+pub fn mobilenet_v1_config(
+    num_dw_pairs: usize,
+    width_mult: f32,
+    input_channels: usize,
+    image_size: usize,
+    num_classes: usize,
+) -> ModelConfig {
+    assert!(num_dw_pairs >= 1, "need at least one depth-wise pair");
+    assert!(width_mult > 0.0, "width multiplier must be positive");
+    let ch = |c: f32| ((c * width_mult).round() as usize).max(4);
+    // Standard MobileNetV1 channel plan (output channels of each point-wise conv).
+    let full_plan = [64.0, 128.0, 128.0, 256.0, 256.0, 512.0, 512.0, 512.0, 512.0, 512.0, 512.0, 1024.0, 1024.0];
+    // Strides of the depth-wise convs in the standard plan.
+    let full_strides = [1usize, 2, 1, 2, 1, 2, 1, 1, 1, 1, 1, 2, 1];
+
+    let mut layers = vec![LayerSpec::Conv {
+        out_channels: ch(32.0),
+        kernel: 3,
+        stride: 2,
+        padding: 1,
+        groups: 1,
+        batch_norm: true,
+        relu: true,
+    }];
+    let mut current = ch(32.0);
+    let mut spatial = image_size / 2;
+    for i in 0..num_dw_pairs {
+        let plan_idx = i.min(full_plan.len() - 1);
+        // Only down-sample while the feature map stays at least 2x2.
+        let stride = if full_strides[plan_idx] == 2 && spatial >= 4 { 2 } else { 1 };
+        // Depth-wise 3x3 (groups == channels).
+        layers.push(LayerSpec::Conv {
+            out_channels: current,
+            kernel: 3,
+            stride,
+            padding: 1,
+            groups: current,
+            batch_norm: true,
+            relu: true,
+        });
+        spatial /= stride;
+        // Point-wise 1x1.
+        let out = ch(full_plan[plan_idx]);
+        layers.push(LayerSpec::Conv {
+            out_channels: out,
+            kernel: 1,
+            stride: 1,
+            padding: 0,
+            groups: 1,
+            batch_norm: true,
+            relu: true,
+        });
+        current = out;
+    }
+    layers.push(LayerSpec::GlobalAvgPool);
+    layers.push(LayerSpec::Linear { out_features: num_classes, relu: false });
+    ModelConfig::new(
+        format!("mobilenetv1-{}dw-w{:.2}", num_dw_pairs, width_mult),
+        input_channels,
+        image_size,
+        num_classes,
+        layers,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quadra_core::{build_model, estimate_param_count, AutoBuilder, NeuronType};
+    use quadra_nn::Layer;
+    use quadra_tensor::Tensor;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn standard_plan_has_13_pairs_and_plausible_size() {
+        let cfg = mobilenet_v1_config(13, 1.0, 3, 32, 10);
+        // stem + 13 * 2 convs
+        assert_eq!(cfg.conv_layer_count(), 27);
+        // The paper reports 4.22M parameters for first-order MobileNetV1.
+        let params = estimate_param_count(&cfg);
+        assert!(params > 3_000_000 && params < 5_500_000, "params {}", params);
+    }
+
+    #[test]
+    fn tiny_variant_builds_and_runs() {
+        let cfg = mobilenet_v1_config(4, 0.125, 3, 16, 5);
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut model = build_model(&cfg, &mut rng);
+        let x = Tensor::randn(&[2, 3, 16, 16], 0.0, 1.0, &mut rng);
+        let y = model.forward(&x, true);
+        assert_eq!(y.shape(), &[2, 5]);
+        let gin = model.backward(&Tensor::ones_like(&y));
+        assert_eq!(gin.shape(), x.shape());
+    }
+
+    #[test]
+    fn depthwise_layers_use_grouped_convolution() {
+        let cfg = mobilenet_v1_config(3, 0.25, 3, 32, 10);
+        let grouped = cfg
+            .layers
+            .iter()
+            .filter(|l| matches!(l, LayerSpec::Conv { groups, .. } if *groups > 1))
+            .count();
+        assert_eq!(grouped, 3);
+    }
+
+    #[test]
+    fn reduction_to_8_pairs_matches_paper_quadrann() {
+        // Table 3: first-order MobileNetV1 uses 13 DW pairs, QuadraNN only 8.
+        let cfg = mobilenet_v1_config(13, 0.125, 3, 32, 10);
+        let builder = AutoBuilder::new(NeuronType::Ours);
+        // 8 pairs + stem = 17 conv layers.
+        let reduced = builder.build(&cfg, 17, &[]);
+        assert!(reduced.conv_layer_count() <= 17);
+        assert!(reduced.is_quadratic());
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut model = build_model(&reduced, &mut rng);
+        let y = model.forward(&Tensor::randn(&[1, 3, 32, 32], 0.0, 1.0, &mut rng), true);
+        assert_eq!(y.shape(), &[1, 10]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_pairs_rejected() {
+        let _ = mobilenet_v1_config(0, 1.0, 3, 32, 10);
+    }
+}

@@ -1,0 +1,131 @@
+//! CIFAR-style residual networks (He et al. 2016): ResNet-20 / ResNet-32.
+//!
+//! These use the 3-stage layout with `n` basic blocks per stage
+//! (depth = 6n + 2), which is the "ResNet-32 BS:[5,5,5]" notation of Table 3.
+
+use quadra_core::{LayerSpec, ModelConfig};
+
+/// Build a CIFAR-style ResNet configuration with `blocks[i]` basic blocks in
+/// stage `i` and `base_width` channels in the first stage (doubling per stage).
+pub fn resnet_cifar_config(
+    blocks: [usize; 3],
+    base_width: usize,
+    input_channels: usize,
+    image_size: usize,
+    num_classes: usize,
+) -> ModelConfig {
+    assert!(base_width >= 2, "base width too small");
+    assert!(blocks.iter().all(|&b| b >= 1), "each stage needs at least one block");
+    let widths = [base_width, base_width * 2, base_width * 4];
+    let mut layers = vec![LayerSpec::conv3x3(widths[0])];
+    for (stage, &width) in widths.iter().enumerate() {
+        for block in 0..blocks[stage] {
+            let downsample = stage > 0 && block == 0;
+            let first_conv = LayerSpec::Conv {
+                out_channels: width,
+                kernel: 3,
+                stride: if downsample { 2 } else { 1 },
+                padding: 1,
+                groups: 1,
+                batch_norm: true,
+                relu: true,
+            };
+            let second_conv = LayerSpec::Conv {
+                out_channels: width,
+                kernel: 3,
+                stride: 1,
+                padding: 1,
+                groups: 1,
+                batch_norm: true,
+                relu: false,
+            };
+            layers.push(LayerSpec::Residual {
+                body: vec![first_conv, second_conv],
+                projection: downsample,
+                final_relu: true,
+            });
+        }
+    }
+    layers.push(LayerSpec::GlobalAvgPool);
+    layers.push(LayerSpec::Linear { out_features: num_classes, relu: false });
+    ModelConfig::new(
+        format!("resnet-bs{}-{}-{}-w{}", blocks[0], blocks[1], blocks[2], base_width),
+        input_channels,
+        image_size,
+        num_classes,
+        layers,
+    )
+}
+
+/// ResNet-20 (`[3, 3, 3]` blocks).
+pub fn resnet20_config(base_width: usize, num_classes: usize, image_size: usize) -> ModelConfig {
+    resnet_cifar_config([3, 3, 3], base_width, 3, image_size, num_classes)
+}
+
+/// ResNet-32 (`[5, 5, 5]` blocks), the structure evaluated in Tables 2 and 3.
+pub fn resnet32_config(base_width: usize, num_classes: usize, image_size: usize) -> ModelConfig {
+    resnet_cifar_config([5, 5, 5], base_width, 3, image_size, num_classes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quadra_core::{build_model, estimate_param_count, AutoBuilder, NeuronType};
+    use quadra_nn::Layer;
+    use quadra_tensor::Tensor;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn resnet32_has_expected_structure() {
+        let cfg = resnet32_config(16, 10, 32);
+        // stem + 15 blocks of 2 convs = 31 convs; depth 32 counting the FC layer.
+        assert_eq!(cfg.conv_layer_count(), 31);
+        assert_eq!(cfg.residual_block_count(), 15);
+        // The paper reports ~0.48M parameters for first-order ResNet-32 at width 16.
+        let params = estimate_param_count(&cfg);
+        assert!(params > 350_000 && params < 600_000, "params {}", params);
+    }
+
+    #[test]
+    fn resnet20_builds_and_runs_at_tiny_width() {
+        let cfg = resnet20_config(4, 10, 16);
+        assert_eq!(cfg.conv_layer_count(), 19);
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut model = build_model(&cfg, &mut rng);
+        let x = Tensor::randn(&[2, 3, 16, 16], 0.0, 1.0, &mut rng);
+        let y = model.forward(&x, true);
+        assert_eq!(y.shape(), &[2, 10]);
+        let gin = model.backward(&Tensor::ones_like(&y));
+        assert_eq!(gin.shape(), x.shape());
+    }
+
+    #[test]
+    fn block_reduction_mimics_paper_5_5_5_to_2_2_2() {
+        // The auto-builder's reduction step removes shape-preserving residual
+        // blocks; going from [5,5,5] to roughly [2,2,2] means 31 -> 13 convs.
+        let cfg = resnet_cifar_config([5, 5, 5], 4, 3, 16, 10);
+        let builder = AutoBuilder::new(NeuronType::Ours);
+        let reduced = builder.build(&cfg, 13, &[]);
+        assert_eq!(reduced.conv_layer_count(), 13);
+        assert!(reduced.is_quadratic());
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut model = build_model(&reduced, &mut rng);
+        let y = model.forward(&Tensor::randn(&[1, 3, 16, 16], 0.0, 1.0, &mut rng), true);
+        assert_eq!(y.shape(), &[1, 10]);
+        assert!(estimate_param_count(&reduced) < estimate_param_count(&builder.convert(&cfg)));
+    }
+
+    #[test]
+    fn custom_block_counts() {
+        let cfg = resnet_cifar_config([1, 2, 1], 4, 3, 16, 5);
+        assert_eq!(cfg.conv_layer_count(), 1 + 2 * (1 + 2 + 1));
+        assert_eq!(cfg.residual_block_count(), 4);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_blocks_rejected() {
+        let _ = resnet_cifar_config([0, 1, 1], 4, 3, 16, 5);
+    }
+}

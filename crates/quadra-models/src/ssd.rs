@@ -1,0 +1,511 @@
+//! A grid-based single-shot detector (the SSD stand-in of Table 6) with
+//! mean-average-precision evaluation.
+//!
+//! The detector predicts, for every cell of a `G×G` grid over the image, a
+//! class distribution (including background) and a bounding box. A ground-truth
+//! object is assigned to the cell containing its centre, exactly one box per
+//! cell — a deliberately simplified SSD with a single scale and a single
+//! default box, which keeps CPU training tractable while preserving the
+//! pipeline the paper compares across backbones (first-order vs quadratic,
+//! scratch vs pre-trained).
+
+use quadra_core::{build_model, AutoBuilder, LayerSpec, ModelConfig, NeuronType};
+use quadra_data::{DetectionDataset, GtBox};
+use quadra_nn::{Conv2d, CrossEntropyLoss, Layer, Loss, Optimizer, Sequential, Sgd, SgdConfig, SmoothL1Loss};
+use quadra_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Configuration of the detector.
+#[derive(Debug, Clone, Copy)]
+pub struct DetectorConfig {
+    /// Number of object classes (background handled internally).
+    pub num_classes: usize,
+    /// Input image side length.
+    pub image_size: usize,
+    /// Backbone channel width of the first stage.
+    pub backbone_width: usize,
+    /// Grid resolution of the detection head (`G×G` cells).
+    pub grid: usize,
+    /// Replace backbone convolutions with quadratic ones of this type.
+    pub quadratic: Option<NeuronType>,
+    /// Weight-initialisation seed.
+    pub seed: u64,
+}
+
+impl Default for DetectorConfig {
+    fn default() -> Self {
+        DetectorConfig { num_classes: 5, image_size: 32, backbone_width: 8, grid: 4, quadratic: None, seed: 0 }
+    }
+}
+
+/// One decoded detection.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DetectionOutput {
+    /// Predicted class in `0..num_classes`.
+    pub class: usize,
+    /// Confidence score (class probability).
+    pub score: f32,
+    /// Predicted box in normalised coordinates.
+    pub bbox: GtBox,
+}
+
+/// Per-class AP and mAP, as reported in Table 6.
+#[derive(Debug, Clone, Default)]
+pub struct MapReport {
+    /// Average precision per class at IoU 0.5.
+    pub per_class_ap: Vec<f32>,
+    /// Mean average precision over classes.
+    pub map: f32,
+}
+
+/// The single-shot detector.
+pub struct Detector {
+    config: DetectorConfig,
+    backbone: Sequential,
+    head: Conv2d,
+}
+
+impl Detector {
+    /// Build a detector; the backbone is a small VGG-style stack reduced to the
+    /// requested grid resolution, optionally converted to quadratic layers.
+    pub fn new(config: DetectorConfig) -> Self {
+        assert!(config.image_size % config.grid == 0, "grid must divide image size");
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let backbone_cfg = Self::backbone_config(&config);
+        let backbone = build_model(&backbone_cfg, &mut rng);
+        let feat_channels = config.backbone_width * 4;
+        // Per cell: (num_classes + 1) class logits + 4 box parameters.
+        let head = Conv2d::new(feat_channels, config.num_classes + 1 + 4, 1, 1, 0, 1, true, &mut rng);
+        Detector { config, backbone, head }
+    }
+
+    /// The backbone configuration used by this detector (before building).
+    pub fn backbone_config(config: &DetectorConfig) -> ModelConfig {
+        let w = config.backbone_width;
+        // Downsample image_size -> grid with stride-2 convolutions.
+        let mut size = config.image_size;
+        let mut layers = vec![LayerSpec::conv3x3(w)];
+        let mut width = w;
+        while size > config.grid {
+            width = (width * 2).min(w * 4);
+            layers.push(LayerSpec::Conv {
+                out_channels: width,
+                kernel: 3,
+                stride: 2,
+                padding: 1,
+                groups: 1,
+                batch_norm: true,
+                relu: true,
+            });
+            layers.push(LayerSpec::conv3x3(width));
+            size /= 2;
+        }
+        // Make sure the final feature width is exactly 4*w for the head.
+        layers.push(LayerSpec::Conv {
+            out_channels: w * 4,
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+            groups: 1,
+            batch_norm: true,
+            relu: true,
+        });
+        let cfg = ModelConfig::new("ssd-backbone", 3, config.image_size, config.num_classes, layers);
+        match config.quadratic {
+            Some(t) => AutoBuilder::new(t).convert(&cfg),
+            None => cfg,
+        }
+    }
+
+    /// The detector configuration.
+    pub fn config(&self) -> &DetectorConfig {
+        &self.config
+    }
+
+    /// Total parameter count (backbone + head).
+    pub fn param_count(&self) -> usize {
+        self.backbone.param_count() + self.head.param_count()
+    }
+
+    /// Copy backbone parameters from another detector (the "pre-trained"
+    /// setting of Table 6: initialise from a classification-pretrained model).
+    ///
+    /// Both backbones must have identical architecture.
+    pub fn load_backbone_from(&mut self, other: &Detector) {
+        let src = other.backbone.params();
+        let mut dst = self.backbone.params_mut();
+        assert_eq!(src.len(), dst.len(), "backbone architectures differ");
+        for (d, s) in dst.iter_mut().zip(src) {
+            d.value.copy_from(&s.value).expect("matching parameter shapes");
+        }
+    }
+
+    /// Mutable access to the backbone (e.g. to pre-train it on classification).
+    pub fn backbone_mut(&mut self) -> &mut Sequential {
+        &mut self.backbone
+    }
+
+    fn forward(&mut self, images: &Tensor, train: bool) -> Tensor {
+        let feats = self.backbone.forward(images, train);
+        self.head.forward(&feats, train)
+    }
+
+    /// Train the detector on a detection dataset.
+    pub fn train(&mut self, data: &DetectionDataset, epochs: usize, batch_size: usize, lr: f32, seed: u64) -> Vec<f32> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut opt = Sgd::new(SgdConfig { lr, momentum: 0.9, weight_decay: 5e-4, nesterov: false });
+        let ce = CrossEntropyLoss::new();
+        let huber = SmoothL1Loss::new(1.0);
+        let g = self.config.grid;
+        let nc = self.config.num_classes;
+        let mut losses = Vec::new();
+        let mut indices: Vec<usize> = (0..data.len()).collect();
+        for _ in 0..epochs {
+            indices.shuffle(&mut rng);
+            let mut epoch_loss = 0.0;
+            let mut batches = 0;
+            for chunk in indices.chunks(batch_size) {
+                let images = data.image_batch(chunk);
+                let preds = self.forward(&images, true);
+                let b = chunk.len();
+                // Build targets and the gradient tensor.
+                let (cls_targets, box_targets, box_mask) = self.build_targets(data, chunk);
+                // Classification: reshape preds [b, nc+1+4, g, g] -> cells as rows.
+                let cls_logits = Self::gather_channels(&preds, 0, nc + 1); // [b*g*g, nc+1]
+                let (cls_loss, cls_grad) = ce.compute(&cls_logits, &cls_targets);
+                // Box regression only on matched cells.
+                let box_preds = Self::gather_channels(&preds, nc + 1, 4); // [b*g*g, 4]
+                let masked_preds = box_preds.mul(&box_mask).expect("mask");
+                let masked_targets = box_targets.mul(&box_mask).expect("mask");
+                let (box_loss, box_grad_raw) = huber.compute(&masked_preds, &masked_targets);
+                let box_grad = box_grad_raw.mul(&box_mask).expect("mask");
+                // Scatter gradients back into the prediction layout.
+                let grad = Self::scatter_grads(&cls_grad, &box_grad, b, nc, g);
+                let grad_feats = self.head.backward(&grad);
+                self.backbone.backward(&grad_feats);
+                {
+                    let mut params = self.backbone.params_mut();
+                    params.extend(self.head.params_mut());
+                    opt.step(&mut params);
+                    opt.zero_grad(&mut params);
+                }
+                epoch_loss += cls_loss + box_loss;
+                batches += 1;
+            }
+            losses.push(epoch_loss / batches.max(1) as f32);
+        }
+        losses
+    }
+
+    /// Build per-cell class targets, box targets and a mask of matched cells.
+    fn build_targets(&self, data: &DetectionDataset, indices: &[usize]) -> (Tensor, Tensor, Tensor) {
+        let g = self.config.grid;
+        let b = indices.len();
+        let mut cls = vec![0.0f32; b * g * g];
+        let mut boxes = vec![0.0f32; b * g * g * 4];
+        let mut mask = vec![0.0f32; b * g * g * 4];
+        for (bi, &si) in indices.iter().enumerate() {
+            for gt in &data.scenes[si].boxes {
+                let cx_cell = ((gt.cx * g as f32) as usize).min(g - 1);
+                let cy_cell = ((gt.cy * g as f32) as usize).min(g - 1);
+                let cell = bi * g * g + cy_cell * g + cx_cell;
+                cls[cell] = (gt.class + 1) as f32; // 0 is background
+                let base = cell * 4;
+                boxes[base] = gt.cx;
+                boxes[base + 1] = gt.cy;
+                boxes[base + 2] = gt.w;
+                boxes[base + 3] = gt.h;
+                for k in 0..4 {
+                    mask[base + k] = 1.0;
+                }
+            }
+        }
+        (
+            Tensor::from_vec(cls, &[b * g * g]).expect("shape"),
+            Tensor::from_vec(boxes, &[b * g * g, 4]).expect("shape"),
+            Tensor::from_vec(mask, &[b * g * g, 4]).expect("shape"),
+        )
+    }
+
+    /// Extract `count` channels starting at `start` from `[b, c, g, g]` into
+    /// `[b*g*g, count]` rows.
+    fn gather_channels(preds: &Tensor, start: usize, count: usize) -> Tensor {
+        let (b, c, g, _) = (preds.shape()[0], preds.shape()[1], preds.shape()[2], preds.shape()[3]);
+        let src = preds.as_slice();
+        let mut out = vec![0.0f32; b * g * g * count];
+        for bi in 0..b {
+            for gy in 0..g {
+                for gx in 0..g {
+                    let row = (bi * g * g + gy * g + gx) * count;
+                    for k in 0..count {
+                        out[row + k] = src[((bi * c + start + k) * g + gy) * g + gx];
+                    }
+                }
+            }
+        }
+        Tensor::from_vec(out, &[b * g * g, count]).expect("shape")
+    }
+
+    /// Inverse of [`Self::gather_channels`] for the two gradient blocks.
+    fn scatter_grads(cls_grad: &Tensor, box_grad: &Tensor, b: usize, nc: usize, g: usize) -> Tensor {
+        let c = nc + 1 + 4;
+        let mut out = vec![0.0f32; b * c * g * g];
+        for bi in 0..b {
+            for gy in 0..g {
+                for gx in 0..g {
+                    let row = bi * g * g + gy * g + gx;
+                    for k in 0..nc + 1 {
+                        out[((bi * c + k) * g + gy) * g + gx] = cls_grad.at(&[row, k]);
+                    }
+                    for k in 0..4 {
+                        out[((bi * c + nc + 1 + k) * g + gy) * g + gx] = box_grad.at(&[row, k]);
+                    }
+                }
+            }
+        }
+        Tensor::from_vec(out, &[b, c, g, g]).expect("shape")
+    }
+
+    /// Run detection on a batch of scene indices, returning per-scene outputs
+    /// after score thresholding and greedy non-maximum suppression.
+    pub fn detect(&mut self, data: &DetectionDataset, indices: &[usize], score_threshold: f32) -> Vec<Vec<DetectionOutput>> {
+        let g = self.config.grid;
+        let nc = self.config.num_classes;
+        let images = data.image_batch(indices);
+        let preds = self.forward(&images, false);
+        self.backbone.clear_cache();
+        self.head.clear_cache();
+        let cls = Self::gather_channels(&preds, 0, nc + 1).softmax_last_axis();
+        let boxes = Self::gather_channels(&preds, nc + 1, 4);
+        let mut results = Vec::with_capacity(indices.len());
+        for bi in 0..indices.len() {
+            let mut dets = Vec::new();
+            for cell in 0..g * g {
+                let row = bi * g * g + cell;
+                // Best non-background class.
+                let mut best_class = 0usize;
+                let mut best_score = 0.0f32;
+                for k in 1..nc + 1 {
+                    let s = cls.at(&[row, k]);
+                    if s > best_score {
+                        best_score = s;
+                        best_class = k - 1;
+                    }
+                }
+                if best_score < score_threshold {
+                    continue;
+                }
+                dets.push(DetectionOutput {
+                    class: best_class,
+                    score: best_score,
+                    bbox: GtBox {
+                        class: best_class,
+                        cx: boxes.at(&[row, 0]).clamp(0.0, 1.0),
+                        cy: boxes.at(&[row, 1]).clamp(0.0, 1.0),
+                        w: boxes.at(&[row, 2]).clamp(0.01, 1.0),
+                        h: boxes.at(&[row, 3]).clamp(0.01, 1.0),
+                    },
+                });
+            }
+            results.push(nms(dets, 0.5));
+        }
+        results
+    }
+
+    /// Evaluate mean average precision (IoU 0.5) over a dataset.
+    pub fn evaluate_map(&mut self, data: &DetectionDataset, score_threshold: f32) -> MapReport {
+        let indices: Vec<usize> = (0..data.len()).collect();
+        let mut all_dets: Vec<Vec<DetectionOutput>> = Vec::with_capacity(data.len());
+        for chunk in indices.chunks(16) {
+            all_dets.extend(self.detect(data, chunk, score_threshold));
+        }
+        let mut per_class_ap = Vec::with_capacity(data.num_classes);
+        for class in 0..data.num_classes {
+            per_class_ap.push(average_precision(data, &all_dets, class, 0.5));
+        }
+        let map = per_class_ap.iter().sum::<f32>() / per_class_ap.len().max(1) as f32;
+        MapReport { per_class_ap, map }
+    }
+}
+
+/// Greedy non-maximum suppression within one image.
+fn nms(mut dets: Vec<DetectionOutput>, iou_threshold: f32) -> Vec<DetectionOutput> {
+    dets.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
+    let mut keep: Vec<DetectionOutput> = Vec::new();
+    'outer: for d in dets {
+        for k in &keep {
+            if k.class == d.class && k.bbox.iou(&d.bbox) > iou_threshold {
+                continue 'outer;
+            }
+        }
+        keep.push(d);
+    }
+    keep
+}
+
+/// All-point-interpolated average precision for one class at the given IoU.
+fn average_precision(data: &DetectionDataset, dets: &[Vec<DetectionOutput>], class: usize, iou: f32) -> f32 {
+    // Collect (score, is_true_positive) over all scenes.
+    let mut scored: Vec<(f32, bool)> = Vec::new();
+    let mut total_gt = 0usize;
+    for (scene, scene_dets) in data.scenes.iter().zip(dets) {
+        let gts: Vec<&GtBox> = scene.boxes.iter().filter(|b| b.class == class).collect();
+        total_gt += gts.len();
+        let mut matched = vec![false; gts.len()];
+        let mut class_dets: Vec<&DetectionOutput> = scene_dets.iter().filter(|d| d.class == class).collect();
+        class_dets.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
+        for d in class_dets {
+            let mut best = None;
+            let mut best_iou = iou;
+            for (i, gt) in gts.iter().enumerate() {
+                if matched[i] {
+                    continue;
+                }
+                let v = d.bbox.iou(gt);
+                if v >= best_iou {
+                    best_iou = v;
+                    best = Some(i);
+                }
+            }
+            match best {
+                Some(i) => {
+                    matched[i] = true;
+                    scored.push((d.score, true));
+                }
+                None => scored.push((d.score, false)),
+            }
+        }
+    }
+    if total_gt == 0 {
+        return 0.0;
+    }
+    scored.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+    let mut tp = 0.0f32;
+    let mut fp = 0.0f32;
+    let mut points: Vec<(f32, f32)> = Vec::with_capacity(scored.len());
+    for (_, is_tp) in scored {
+        if is_tp {
+            tp += 1.0;
+        } else {
+            fp += 1.0;
+        }
+        points.push((tp / total_gt as f32, tp / (tp + fp)));
+    }
+    // All-point interpolation: integrate precision envelope over recall.
+    let mut ap = 0.0f32;
+    let mut prev_recall = 0.0f32;
+    for i in 0..points.len() {
+        let max_prec = points[i..].iter().map(|p| p.1).fold(0.0f32, f32::max);
+        ap += (points[i].0 - prev_recall).max(0.0) * max_prec;
+        prev_recall = points[i].0;
+    }
+    ap
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_dataset(n: usize, seed: u64) -> DetectionDataset {
+        DetectionDataset::generate(n, 3, 16, 1, seed)
+    }
+
+    fn tiny_config() -> DetectorConfig {
+        DetectorConfig { num_classes: 3, image_size: 16, backbone_width: 4, grid: 4, quadratic: None, seed: 0 }
+    }
+
+    #[test]
+    fn detector_builds_and_predicts_correct_shapes() {
+        let mut det = Detector::new(tiny_config());
+        assert!(det.param_count() > 0);
+        assert_eq!(det.config().grid, 4);
+        let data = tiny_dataset(4, 1);
+        let outs = det.detect(&data, &[0, 1], 0.0);
+        assert_eq!(outs.len(), 2);
+        // With threshold 0 and NMS, at most grid*grid detections per image.
+        assert!(outs[0].len() <= 16);
+    }
+
+    #[test]
+    fn quadratic_backbone_variant_builds() {
+        let cfg = DetectorConfig { quadratic: Some(NeuronType::Ours), ..tiny_config() };
+        let det_q = Detector::new(cfg);
+        let det_f = Detector::new(tiny_config());
+        assert!(det_q.param_count() > det_f.param_count());
+        let bcfg = Detector::backbone_config(&cfg);
+        assert!(bcfg.is_quadratic());
+    }
+
+    #[test]
+    fn training_reduces_loss_and_map_beats_untrained() {
+        let train = tiny_dataset(40, 2);
+        let test = tiny_dataset(16, 3);
+        let mut det = Detector::new(tiny_config());
+        let untrained_map = det.evaluate_map(&test, 0.3).map;
+        let losses = det.train(&train, 6, 8, 0.05, 4);
+        assert!(losses.len() == 6);
+        assert!(losses.last().unwrap() < losses.first().unwrap(), "losses {:?}", losses);
+        let trained = det.evaluate_map(&test, 0.3);
+        assert_eq!(trained.per_class_ap.len(), 3);
+        assert!(trained.map >= untrained_map, "trained {} vs untrained {}", trained.map, untrained_map);
+        assert!(trained.map.is_finite() && trained.map >= 0.0 && trained.map <= 1.0);
+    }
+
+    #[test]
+    fn backbone_transfer_copies_parameters() {
+        let mut a = Detector::new(tiny_config());
+        let b = Detector::new(DetectorConfig { seed: 9, ..tiny_config() });
+        let before = a.backbone_mut().params()[0].value.clone();
+        a.load_backbone_from(&b);
+        let after = a.backbone_mut().params()[0].value.clone();
+        assert!(before.max_abs_diff(&after).unwrap() > 0.0);
+        assert!(after.allclose(&b.backbone.params()[0].value, 0.0));
+    }
+
+    #[test]
+    fn nms_removes_overlapping_same_class_boxes() {
+        let b = GtBox { class: 0, cx: 0.5, cy: 0.5, w: 0.2, h: 0.2 };
+        let dets = vec![
+            DetectionOutput { class: 0, score: 0.9, bbox: b },
+            DetectionOutput { class: 0, score: 0.8, bbox: b },
+            DetectionOutput { class: 1, score: 0.7, bbox: b },
+        ];
+        let kept = nms(dets, 0.5);
+        assert_eq!(kept.len(), 2);
+        assert_eq!(kept[0].score, 0.9);
+        assert_eq!(kept[1].class, 1);
+    }
+
+    #[test]
+    fn perfect_detections_give_map_one() {
+        let data = tiny_dataset(5, 11);
+        // Fabricate detections identical to the ground truth.
+        let dets: Vec<Vec<DetectionOutput>> = data
+            .scenes
+            .iter()
+            .map(|s| {
+                s.boxes
+                    .iter()
+                    .map(|b| DetectionOutput { class: b.class, score: 1.0, bbox: *b })
+                    .collect()
+            })
+            .collect();
+        let mut sum = 0.0;
+        let mut classes_with_gt = 0;
+        for class in 0..data.num_classes {
+            let has_gt = data.scenes.iter().any(|s| s.boxes.iter().any(|b| b.class == class));
+            let ap = average_precision(&data, &dets, class, 0.5);
+            if has_gt {
+                assert!((ap - 1.0).abs() < 1e-6, "class {} ap {}", class, ap);
+                sum += ap;
+                classes_with_gt += 1;
+            } else {
+                assert_eq!(ap, 0.0);
+            }
+        }
+        assert!(classes_with_gt > 0);
+        assert!(sum > 0.0);
+    }
+}

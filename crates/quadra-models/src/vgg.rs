@@ -1,0 +1,152 @@
+//! VGG-style plain convolutional backbones (Simonyan & Zisserman 2014), the
+//! main "plain structure" the paper experiments with (VGG-8 / VGG-16).
+
+use quadra_core::{LayerSpec, ModelConfig};
+
+/// The VGG depths used in the paper's experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VggVariant {
+    /// 5 convolution layers + classifier (the paper's "VGG-8").
+    Vgg8,
+    /// 8 convolution layers + classifier.
+    Vgg11,
+    /// 13 convolution layers + classifier (the paper's "VGG-16").
+    Vgg16,
+}
+
+impl VggVariant {
+    /// The per-stage convolution counts of the variant.
+    fn stage_convs(&self) -> [usize; 5] {
+        match self {
+            VggVariant::Vgg8 => [1, 1, 1, 1, 1],
+            VggVariant::Vgg11 => [1, 1, 2, 2, 2],
+            VggVariant::Vgg16 => [2, 2, 3, 3, 3],
+        }
+    }
+
+    /// Number of convolution layers in the backbone.
+    pub fn conv_layers(&self) -> usize {
+        self.stage_convs().iter().sum()
+    }
+}
+
+/// Build a VGG configuration.
+///
+/// `width_mult` scales the channel widths (1.0 reproduces the standard
+/// 64-128-256-512-512 progression; the CPU benchmarks use smaller values).
+pub fn vgg_config(
+    variant: VggVariant,
+    width_mult: f32,
+    input_channels: usize,
+    image_size: usize,
+    num_classes: usize,
+) -> ModelConfig {
+    assert!(width_mult > 0.0, "width multiplier must be positive");
+    let widths = [64.0, 128.0, 256.0, 512.0, 512.0].map(|w| ((w * width_mult).round() as usize).max(4));
+    let stage_convs = variant.stage_convs();
+    let mut layers = Vec::new();
+    for (stage, (&convs, &width)) in stage_convs.iter().zip(widths.iter()).enumerate() {
+        for _ in 0..convs {
+            layers.push(LayerSpec::conv3x3(width));
+        }
+        // Stop down-sampling once the feature map would get too small.
+        let downsamples_so_far = stage + 1;
+        if image_size >> downsamples_so_far >= 2 {
+            layers.push(LayerSpec::MaxPool { kernel: 2 });
+        }
+    }
+    layers.push(LayerSpec::GlobalAvgPool);
+    layers.push(LayerSpec::Linear { out_features: num_classes, relu: false });
+    let name = match variant {
+        VggVariant::Vgg8 => "vgg8",
+        VggVariant::Vgg11 => "vgg11",
+        VggVariant::Vgg16 => "vgg16",
+    };
+    ModelConfig::new(format!("{}-w{:.2}", name, width_mult), input_channels, image_size, num_classes, layers)
+}
+
+/// The paper's VGG-8 at the given width.
+pub fn vgg8_config(width_mult: f32, num_classes: usize, image_size: usize) -> ModelConfig {
+    vgg_config(VggVariant::Vgg8, width_mult, 3, image_size, num_classes)
+}
+
+/// VGG-11 at the given width.
+pub fn vgg11_config(width_mult: f32, num_classes: usize, image_size: usize) -> ModelConfig {
+    vgg_config(VggVariant::Vgg11, width_mult, 3, image_size, num_classes)
+}
+
+/// The paper's VGG-16 (13 convolution layers) at the given width.
+pub fn vgg16_config(width_mult: f32, num_classes: usize, image_size: usize) -> ModelConfig {
+    vgg_config(VggVariant::Vgg16, width_mult, 3, image_size, num_classes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quadra_core::{build_model, estimate_param_count, AutoBuilder, NeuronType};
+    use quadra_nn::Layer;
+    use quadra_tensor::Tensor;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn variant_depths_match_paper_nomenclature() {
+        assert_eq!(VggVariant::Vgg8.conv_layers(), 5);
+        assert_eq!(VggVariant::Vgg11.conv_layers(), 8);
+        assert_eq!(VggVariant::Vgg16.conv_layers(), 13);
+        assert_eq!(vgg16_config(0.25, 10, 32).conv_layer_count(), 13);
+        assert_eq!(vgg8_config(0.25, 10, 32).conv_layer_count(), 5);
+        assert_eq!(vgg11_config(0.25, 10, 32).conv_layer_count(), 8);
+    }
+
+    #[test]
+    fn width_multiplier_scales_parameters() {
+        let small = estimate_param_count(&vgg16_config(0.125, 10, 32));
+        let large = estimate_param_count(&vgg16_config(0.25, 10, 32));
+        assert!(large > 3 * small, "{} vs {}", large, small);
+        // Full-width VGG-16 should be in the ~15M range like the paper's 1.47E+7.
+        let full = estimate_param_count(&vgg16_config(1.0, 10, 32));
+        assert!(full > 10_000_000 && full < 20_000_000, "full-width params {}", full);
+    }
+
+    #[test]
+    fn tiny_vgg8_builds_and_runs() {
+        let cfg = vgg8_config(0.0625, 10, 16);
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut model = build_model(&cfg, &mut rng);
+        let x = Tensor::randn(&[2, 3, 16, 16], 0.0, 1.0, &mut rng);
+        let y = model.forward(&x, true);
+        assert_eq!(y.shape(), &[2, 10]);
+    }
+
+    #[test]
+    fn quadratic_conversion_preserves_depth_and_runs() {
+        let cfg = vgg8_config(0.0625, 4, 16);
+        let q = AutoBuilder::new(NeuronType::Ours).convert(&cfg);
+        assert_eq!(q.conv_layer_count(), 5);
+        assert!(q.is_quadratic());
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut model = build_model(&q, &mut rng);
+        let y = model.forward(&Tensor::randn(&[1, 3, 16, 16], 0.0, 1.0, &mut rng), true);
+        assert_eq!(y.shape(), &[1, 4]);
+    }
+
+    #[test]
+    fn small_images_skip_late_pooling() {
+        // With 16x16 inputs only 3 pools fit (down to 2x2); the config must not
+        // produce a zero-sized feature map.
+        let cfg = vgg16_config(0.0625, 10, 16);
+        let pools = cfg.layers.iter().filter(|l| matches!(l, LayerSpec::MaxPool { .. })).count();
+        assert!(pools <= 3);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut model = build_model(&cfg, &mut rng);
+        let y = model.forward(&Tensor::randn(&[1, 3, 16, 16], 0.0, 1.0, &mut rng), true);
+        assert_eq!(y.shape(), &[1, 10]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_width_rejected() {
+        let _ = vgg8_config(0.0, 10, 32);
+    }
+}

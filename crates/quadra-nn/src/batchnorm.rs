@@ -1,0 +1,331 @@
+//! Batch normalisation over NCHW tensors.
+//!
+//! The paper's model-construction insights stress that batch normalisation is
+//! "significantly important for QDNN to regulate the output activation values"
+//! because second-order terms generate extreme values; the quadratic model
+//! builders in `quadra-core` therefore insert this layer after every quadratic
+//! convolution by default.
+
+use crate::layer::Layer;
+use crate::param::Param;
+use quadra_tensor::Tensor;
+
+/// Batch normalisation over the channel axis of an NCHW tensor.
+pub struct BatchNorm2d {
+    gamma: Param,
+    beta: Param,
+    running_mean: Tensor,
+    running_var: Tensor,
+    momentum: f32,
+    eps: f32,
+    channels: usize,
+    // Cached for backward.
+    cached_xhat: Option<Tensor>,
+    cached_inv_std: Option<Vec<f32>>,
+    last_was_train: bool,
+}
+
+impl BatchNorm2d {
+    /// Create a batch-norm layer for `channels` channels with default
+    /// momentum 0.1 and epsilon 1e-5.
+    pub fn new(channels: usize) -> Self {
+        BatchNorm2d {
+            gamma: Param::new_no_decay("bn.gamma", Tensor::ones(&[channels])),
+            beta: Param::new_no_decay("bn.beta", Tensor::zeros(&[channels])),
+            running_mean: Tensor::zeros(&[channels]),
+            running_var: Tensor::ones(&[channels]),
+            momentum: 0.1,
+            eps: 1e-5,
+            channels,
+            cached_xhat: None,
+            cached_inv_std: None,
+            last_was_train: true,
+        }
+    }
+
+    /// Number of normalised channels.
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+
+    /// The running (inference-time) mean per channel.
+    pub fn running_mean(&self) -> &Tensor {
+        &self.running_mean
+    }
+
+    /// The running (inference-time) variance per channel.
+    pub fn running_var(&self) -> &Tensor {
+        &self.running_var
+    }
+}
+
+impl Layer for BatchNorm2d {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        assert_eq!(x.ndim(), 4, "BatchNorm2d expects NCHW input");
+        let (n, c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
+        assert_eq!(c, self.channels, "channel mismatch in BatchNorm2d");
+        let m = (n * h * w) as f32;
+        let src = x.as_slice();
+        let mut out = Tensor::zeros(x.shape());
+        let mut xhat = Tensor::zeros(x.shape());
+        let mut inv_stds = vec![0.0f32; c];
+        let gamma = self.gamma.value.as_slice().to_vec();
+        let beta = self.beta.value.as_slice().to_vec();
+
+        for ci in 0..c {
+            let (mean, var) = if train {
+                let mut sum = 0.0f32;
+                let mut sq = 0.0f32;
+                for ni in 0..n {
+                    let base = (ni * c + ci) * h * w;
+                    for &v in &src[base..base + h * w] {
+                        sum += v;
+                        sq += v * v;
+                    }
+                }
+                let mean = sum / m;
+                let var = (sq / m - mean * mean).max(0.0);
+                // Update running statistics.
+                let rm = self.running_mean.as_mut_slice();
+                let rv = self.running_var.as_mut_slice();
+                rm[ci] = (1.0 - self.momentum) * rm[ci] + self.momentum * mean;
+                rv[ci] = (1.0 - self.momentum) * rv[ci] + self.momentum * var;
+                (mean, var)
+            } else {
+                (self.running_mean.as_slice()[ci], self.running_var.as_slice()[ci])
+            };
+            let inv_std = 1.0 / (var + self.eps).sqrt();
+            inv_stds[ci] = inv_std;
+            let g = gamma[ci];
+            let b = beta[ci];
+            let xh = xhat.as_mut_slice();
+            let o = out.as_mut_slice();
+            for ni in 0..n {
+                let base = (ni * c + ci) * h * w;
+                for i in base..base + h * w {
+                    let v = (src[i] - mean) * inv_std;
+                    xh[i] = v;
+                    o[i] = g * v + b;
+                }
+            }
+        }
+        self.cached_xhat = Some(xhat);
+        self.cached_inv_std = Some(inv_stds);
+        self.last_was_train = train;
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let xhat = self.cached_xhat.take().expect("backward called before forward");
+        let inv_stds = self.cached_inv_std.take().expect("backward called before forward");
+        let (n, c, h, w) = (
+            grad_out.shape()[0],
+            grad_out.shape()[1],
+            grad_out.shape()[2],
+            grad_out.shape()[3],
+        );
+        let m = (n * h * w) as f32;
+        let g = grad_out.as_slice();
+        let xh = xhat.as_slice();
+        let gamma = self.gamma.value.as_slice().to_vec();
+        let mut grad_in = Tensor::zeros(grad_out.shape());
+        let gi = grad_in.as_mut_slice();
+        let mut dgamma = vec![0.0f32; c];
+        let mut dbeta = vec![0.0f32; c];
+
+        for ci in 0..c {
+            // First accumulate per-channel sums.
+            let mut sum_dy = 0.0f32;
+            let mut sum_dy_xhat = 0.0f32;
+            for ni in 0..n {
+                let base = (ni * c + ci) * h * w;
+                for i in base..base + h * w {
+                    sum_dy += g[i];
+                    sum_dy_xhat += g[i] * xh[i];
+                }
+            }
+            dgamma[ci] = sum_dy_xhat;
+            dbeta[ci] = sum_dy;
+            let scale = gamma[ci] * inv_stds[ci];
+            if self.last_was_train {
+                let mean_dy = sum_dy / m;
+                let mean_dy_xhat = sum_dy_xhat / m;
+                for ni in 0..n {
+                    let base = (ni * c + ci) * h * w;
+                    for i in base..base + h * w {
+                        gi[i] = scale * (g[i] - mean_dy - xh[i] * mean_dy_xhat);
+                    }
+                }
+            } else {
+                // In eval mode the statistics are constants.
+                for ni in 0..n {
+                    let base = (ni * c + ci) * h * w;
+                    for i in base..base + h * w {
+                        gi[i] = scale * g[i];
+                    }
+                }
+            }
+        }
+        self.gamma.accumulate_grad(&Tensor::from_vec(dgamma, &[c]).expect("shape"));
+        self.beta.accumulate_grad(&Tensor::from_vec(dbeta, &[c]).expect("shape"));
+        grad_in
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        vec![&self.gamma, &self.beta]
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.gamma, &mut self.beta]
+    }
+
+    fn cached_bytes(&self) -> usize {
+        self.cached_xhat.as_ref().map(|t| t.nbytes()).unwrap_or(0)
+            + self.cached_inv_std.as_ref().map(|v| v.len() * 4).unwrap_or(0)
+    }
+
+    fn clear_cache(&mut self) {
+        self.cached_xhat = None;
+        self.cached_inv_std = None;
+    }
+
+    fn layer_type(&self) -> &'static str {
+        "batchnorm2d"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quadra_autograd::{check_close, numeric_gradient};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(3)
+    }
+
+    #[test]
+    fn normalises_to_zero_mean_unit_variance() {
+        let mut r = rng();
+        let mut bn = BatchNorm2d::new(3);
+        let x = Tensor::randn(&[8, 3, 4, 4], 5.0, 3.0, &mut r);
+        let y = bn.forward(&x, true);
+        // Per-channel mean ~0, std ~1.
+        for c in 0..3 {
+            let mut vals = Vec::new();
+            for n in 0..8 {
+                for h in 0..4 {
+                    for w in 0..4 {
+                        vals.push(y.at(&[n, c, h, w]));
+                    }
+                }
+            }
+            let mean: f32 = vals.iter().sum::<f32>() / vals.len() as f32;
+            let var: f32 = vals.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / vals.len() as f32;
+            assert!(mean.abs() < 1e-4, "mean {}", mean);
+            assert!((var - 1.0).abs() < 1e-2, "var {}", var);
+        }
+        assert_eq!(bn.channels(), 3);
+        assert_eq!(bn.params().len(), 2);
+    }
+
+    #[test]
+    fn running_stats_track_batch_stats() {
+        let mut r = rng();
+        let mut bn = BatchNorm2d::new(2);
+        let x = Tensor::randn(&[16, 2, 8, 8], 2.0, 1.5, &mut r);
+        for _ in 0..50 {
+            bn.forward(&x, true);
+        }
+        // With repeated identical batches the running stats converge to the batch stats.
+        assert!((bn.running_mean().as_slice()[0] - 2.0).abs() < 0.2);
+        assert!((bn.running_var().as_slice()[0] - 2.25).abs() < 0.4);
+        // Eval mode output should then be close to the train-mode output.
+        let y_train = bn.forward(&x, true);
+        let y_eval = bn.forward(&x, false);
+        assert!(y_train.max_abs_diff(&y_eval).unwrap() < 0.2);
+    }
+
+    #[test]
+    fn affine_parameters_scale_and_shift() {
+        let mut bn = BatchNorm2d::new(1);
+        bn.params_mut()[0].value.fill(2.0); // gamma
+        bn.params_mut()[1].value.fill(1.0); // beta
+        let x = Tensor::from_vec(vec![-1.0, 1.0, -1.0, 1.0], &[1, 1, 2, 2]).unwrap();
+        let y = bn.forward(&x, true);
+        // x_hat = ±1, so y = ±2 + 1.
+        assert!((y.at(&[0, 0, 0, 0]) - (-1.0)).abs() < 1e-3);
+        assert!((y.at(&[0, 0, 0, 1]) - 3.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn backward_input_gradcheck() {
+        let mut r = rng();
+        let mut bn = BatchNorm2d::new(2);
+        // Random affine so the test exercises gamma/beta too.
+        bn.params_mut()[0].value.copy_from(&Tensor::from_slice(&[1.3, 0.7])).unwrap();
+        bn.params_mut()[1].value.copy_from(&Tensor::from_slice(&[0.2, -0.1])).unwrap();
+        let x = Tensor::randn(&[3, 2, 3, 3], 0.0, 1.0, &mut r);
+        let y = bn.forward(&x, true);
+        // Use a fixed random "loss weight" so the loss isn't symmetric.
+        let lw = Tensor::randn(y.shape(), 0.0, 1.0, &mut r);
+        let gin = bn.backward(&lw);
+
+        let gamma = Tensor::from_slice(&[1.3, 0.7]);
+        let beta = Tensor::from_slice(&[0.2, -0.1]);
+        let lw2 = lw.clone();
+        let f = move |t: &Tensor| {
+            // recompute batch norm forward from scratch
+            let (n, c, h, w) = (t.shape()[0], t.shape()[1], t.shape()[2], t.shape()[3]);
+            let m = (n * h * w) as f32;
+            let mut loss = 0.0f32;
+            for ci in 0..c {
+                let mut sum = 0.0;
+                let mut sq = 0.0;
+                for ni in 0..n {
+                    for hi in 0..h {
+                        for wi in 0..w {
+                            let v = t.at(&[ni, ci, hi, wi]);
+                            sum += v;
+                            sq += v * v;
+                        }
+                    }
+                }
+                let mean = sum / m;
+                let var = (sq / m - mean * mean).max(0.0);
+                let inv = 1.0 / (var + 1e-5).sqrt();
+                for ni in 0..n {
+                    for hi in 0..h {
+                        for wi in 0..w {
+                            let xh = (t.at(&[ni, ci, hi, wi]) - mean) * inv;
+                            let y = gamma.as_slice()[ci] * xh + beta.as_slice()[ci];
+                            loss += y * lw2.at(&[ni, ci, hi, wi]);
+                        }
+                    }
+                }
+            }
+            loss
+        };
+        let numeric = numeric_gradient(f, &x, 1e-2);
+        let report = check_close(&gin, &numeric);
+        assert!(report.passes(5e-2), "{:?}", report);
+    }
+
+    #[test]
+    fn cache_lifecycle_and_eval_backward() {
+        let mut r = rng();
+        let mut bn = BatchNorm2d::new(2);
+        let x = Tensor::randn(&[2, 2, 2, 2], 0.0, 1.0, &mut r);
+        let _ = bn.forward(&x, true);
+        assert!(bn.cached_bytes() > 0);
+        bn.clear_cache();
+        assert_eq!(bn.cached_bytes(), 0);
+        // Eval-mode backward path.
+        let y = bn.forward(&x, false);
+        let gin = bn.backward(&Tensor::ones_like(&y));
+        assert_eq!(gin.shape(), x.shape());
+        assert!(!gin.has_non_finite());
+        assert_eq!(bn.layer_type(), "batchnorm2d");
+    }
+}

@@ -1,0 +1,198 @@
+//! Model checkpointing: save and restore the parameters of any [`Layer`] as a
+//! named state dictionary (JSON on disk).
+//!
+//! The paper's detection experiments initialise the SSD backbone from a model
+//! pre-trained on classification; this module provides the mechanism for that
+//! workflow — extract a state dict from one model, persist it, and load it into
+//! another model with the same architecture.
+
+use crate::layer::Layer;
+use quadra_tensor::Tensor;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// A serialisable snapshot of one parameter tensor.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ParamState {
+    /// Tensor shape.
+    pub shape: Vec<usize>,
+    /// Row-major values.
+    pub data: Vec<f32>,
+}
+
+/// A named collection of parameter snapshots.
+///
+/// Keys are `"{index:04}:{param_name}"`, which makes the ordering explicit and
+/// detects architecture mismatches on load.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct StateDict {
+    /// Parameter snapshots keyed by position and name.
+    pub params: BTreeMap<String, ParamState>,
+}
+
+impl StateDict {
+    /// Capture the current parameters of a model.
+    pub fn from_layer(model: &dyn Layer) -> Self {
+        let mut params = BTreeMap::new();
+        for (i, p) in model.params().iter().enumerate() {
+            params.insert(
+                format!("{:04}:{}", i, p.name),
+                ParamState { shape: p.value.shape().to_vec(), data: p.value.as_slice().to_vec() },
+            );
+        }
+        StateDict { params }
+    }
+
+    /// Number of stored parameter tensors.
+    pub fn len(&self) -> usize {
+        self.params.len()
+    }
+
+    /// True if the snapshot is empty.
+    pub fn is_empty(&self) -> bool {
+        self.params.is_empty()
+    }
+
+    /// Total number of scalar values stored.
+    pub fn numel(&self) -> usize {
+        self.params.values().map(|p| p.data.len()).sum()
+    }
+
+    /// Load the snapshot into a model with the same architecture.
+    ///
+    /// Returns an error message when the number, names or shapes of the
+    /// parameters do not match.
+    pub fn load_into(&self, model: &mut dyn Layer) -> Result<(), String> {
+        let mut target = model.params_mut();
+        if target.len() != self.params.len() {
+            return Err(format!(
+                "parameter count mismatch: checkpoint has {}, model has {}",
+                self.params.len(),
+                target.len()
+            ));
+        }
+        for (i, (key, state)) in self.params.iter().enumerate() {
+            let p = &mut target[i];
+            let expected_key = format!("{:04}:{}", i, p.name);
+            if key != &expected_key {
+                return Err(format!("parameter {} name mismatch: checkpoint '{}', model '{}'", i, key, expected_key));
+            }
+            if p.value.shape() != state.shape.as_slice() {
+                return Err(format!(
+                    "parameter '{}' shape mismatch: checkpoint {:?}, model {:?}",
+                    key,
+                    state.shape,
+                    p.value.shape()
+                ));
+            }
+            let tensor = Tensor::from_vec(state.data.clone(), &state.shape)
+                .map_err(|e| format!("corrupt checkpoint entry '{}': {}", key, e))?;
+            p.value.copy_from(&tensor).map_err(|e| format!("copy failed for '{}': {}", key, e))?;
+        }
+        Ok(())
+    }
+
+    /// Serialise to a JSON string.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("state dict serialises")
+    }
+
+    /// Parse from a JSON string.
+    pub fn from_json(json: &str) -> Result<Self, String> {
+        serde_json::from_str(json).map_err(|e| e.to_string())
+    }
+
+    /// Write the checkpoint to disk.
+    pub fn save(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+
+    /// Read a checkpoint from disk.
+    pub fn load(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        let text = std::fs::read_to_string(path)?;
+        Self::from_json(&text).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activation::Relu;
+    use crate::layer::Sequential;
+    use crate::linear::Linear;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn model(seed: u64) -> Sequential {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Sequential::new(vec![
+            Box::new(Linear::new(4, 8, true, &mut rng)),
+            Box::new(Relu::new()),
+            Box::new(Linear::new(8, 3, true, &mut rng)),
+        ])
+    }
+
+    #[test]
+    fn roundtrip_restores_exact_outputs() {
+        let mut src = model(1);
+        let mut dst = model(2);
+        let x = Tensor::randn(&[5, 4], 0.0, 1.0, &mut StdRng::seed_from_u64(3));
+        let before_src = src.forward(&x, false);
+        let before_dst = dst.forward(&x, false);
+        assert!(before_src.max_abs_diff(&before_dst).unwrap() > 1e-3);
+
+        let state = StateDict::from_layer(&src);
+        assert_eq!(state.len(), 4);
+        assert!(!state.is_empty());
+        assert_eq!(state.numel(), src.param_count());
+        state.load_into(&mut dst).unwrap();
+        let after_dst = dst.forward(&x, false);
+        assert!(after_dst.allclose(&before_src, 1e-6));
+    }
+
+    #[test]
+    fn json_and_file_roundtrip() {
+        let src = model(4);
+        let state = StateDict::from_layer(&src);
+        let json = state.to_json();
+        let back = StateDict::from_json(&json).unwrap();
+        assert_eq!(back, state);
+        assert!(StateDict::from_json("{bad").is_err());
+
+        let path = std::env::temp_dir().join("quadralib_ckpt_test.json");
+        state.save(&path).unwrap();
+        let loaded = StateDict::load(&path).unwrap();
+        assert_eq!(loaded, state);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn mismatched_architecture_is_rejected() {
+        let src = model(5);
+        let state = StateDict::from_layer(&src);
+
+        // Different layer sizes -> shape mismatch.
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut wrong_shape = Sequential::new(vec![
+            Box::new(Linear::new(4, 16, true, &mut rng)),
+            Box::new(Relu::new()),
+            Box::new(Linear::new(16, 3, true, &mut rng)),
+        ]);
+        assert!(state.load_into(&mut wrong_shape).unwrap_err().contains("shape mismatch"));
+
+        // Different parameter count -> count mismatch.
+        let mut fewer = Sequential::new(vec![Box::new(Linear::new(4, 3, true, &mut rng))]);
+        assert!(state.load_into(&mut fewer).unwrap_err().contains("count mismatch"));
+    }
+
+    #[test]
+    fn empty_model_produces_empty_state() {
+        let relu_only = Sequential::new(vec![Box::new(Relu::new())]);
+        let state = StateDict::from_layer(&relu_only);
+        assert!(state.is_empty());
+        assert_eq!(state.numel(), 0);
+        let mut other = Sequential::new(vec![Box::new(Relu::new())]);
+        state.load_into(&mut other).unwrap();
+    }
+}

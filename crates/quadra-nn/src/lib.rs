@@ -1,0 +1,72 @@
+//! # quadra-nn
+//!
+//! First-order (linear-neuron) neural-network building blocks for QuadraLib-rs:
+//! the layer zoo, loss functions, optimizers, learning-rate schedulers, metrics
+//! and a small training loop.
+//!
+//! Everything here corresponds to the "Original PyTorch Components" box of the
+//! paper's Fig. 4 — the parts QuadraLib inherits from its host framework. The
+//! quadratic layers, auto-builder, memory profiler and hybrid back-propagation
+//! (the "Complementary Components in QuadraLib") live in `quadra-core` and are
+//! built *on top of* the [`Layer`] trait defined here.
+//!
+//! ## Design
+//!
+//! Layers follow the explicit forward/backward style (as in Caffe or
+//! `torch.autograd.Function`): [`Layer::forward`] computes outputs and caches
+//! whatever the layer chooses to keep, [`Layer::backward`] consumes the cache
+//! and produces input gradients while accumulating parameter gradients. The
+//! amount of cached memory is observable through [`Layer::cached_bytes`], which
+//! is what the memory profiler in `quadra-core` aggregates to reproduce the
+//! paper's memory figures.
+//!
+//! ## Example
+//!
+//! ```
+//! use quadra_nn::{Layer, Linear, Relu, Sequential};
+//! use quadra_tensor::Tensor;
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = StdRng::seed_from_u64(0);
+//! let mut model = Sequential::new(vec![
+//!     Box::new(Linear::new(4, 16, true, &mut rng)),
+//!     Box::new(Relu::new()),
+//!     Box::new(Linear::new(16, 3, true, &mut rng)),
+//! ]);
+//! let x = Tensor::randn(&[8, 4], 0.0, 1.0, &mut rng);
+//! let logits = model.forward(&x, true);
+//! assert_eq!(logits.shape(), &[8, 3]);
+//! ```
+
+#![warn(missing_docs)]
+
+mod activation;
+mod batchnorm;
+mod checkpoint;
+mod conv;
+mod dropout;
+mod layer;
+mod linear;
+mod loss;
+mod metrics;
+mod optim;
+mod param;
+mod pooling;
+mod scheduler;
+mod trainer;
+
+pub use activation::{LeakyRelu, Relu, Sigmoid, Tanh};
+pub use batchnorm::BatchNorm2d;
+pub use checkpoint::{ParamState, StateDict};
+pub use conv::Conv2d;
+pub use dropout::{Dropout, Flatten, Identity, Upsample2d};
+pub use layer::{Layer, Residual, Sequential};
+pub use linear::Linear;
+pub use loss::{BceWithLogitsLoss, CrossEntropyLoss, HingeGanLoss, Loss, MseLoss, SmoothL1Loss};
+pub use metrics::{accuracy, confusion_matrix, topk_accuracy};
+pub use optim::{Adam, AdamConfig, Optimizer, Sgd, SgdConfig};
+pub use param::Param;
+pub use pooling::{AvgPool2d, GlobalAvgPool, MaxPool2d};
+pub use scheduler::{ConstantLr, CosineAnnealingLr, LrScheduler, MultiStepLr, StepLr};
+pub use trainer::{TrainReport, Trainer, TrainerConfig};

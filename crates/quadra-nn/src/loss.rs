@@ -1,0 +1,307 @@
+//! Loss functions. Each returns the scalar loss value and the gradient with
+//! respect to the predictions, ready to feed into `Layer::backward`.
+
+use quadra_tensor::Tensor;
+
+/// Interface of a loss function over a batch of predictions and targets.
+pub trait Loss {
+    /// Compute `(loss, d loss / d predictions)`.
+    fn compute(&self, predictions: &Tensor, targets: &Tensor) -> (f32, Tensor);
+
+    /// Short name used in training logs.
+    fn name(&self) -> &'static str;
+}
+
+/// Softmax cross-entropy over logits, with integer class targets.
+///
+/// `predictions` is `[batch, classes]`, `targets` is `[batch]` holding class
+/// indices stored as `f32`.
+#[derive(Default, Debug, Clone, Copy)]
+pub struct CrossEntropyLoss;
+
+impl CrossEntropyLoss {
+    /// Create the loss.
+    pub fn new() -> Self {
+        CrossEntropyLoss
+    }
+}
+
+impl Loss for CrossEntropyLoss {
+    fn compute(&self, predictions: &Tensor, targets: &Tensor) -> (f32, Tensor) {
+        assert_eq!(predictions.ndim(), 2, "cross-entropy expects [batch, classes] logits");
+        let n = predictions.shape()[0];
+        let c = predictions.shape()[1];
+        assert_eq!(targets.numel(), n, "one target per sample");
+        let log_probs = predictions.log_softmax_last_axis();
+        let probs = predictions.softmax_last_axis();
+        let mut loss = 0.0f32;
+        let mut grad = probs.clone();
+        let t = targets.as_slice();
+        let lp = log_probs.as_slice();
+        let g = grad.as_mut_slice();
+        for i in 0..n {
+            let label = t[i] as usize;
+            assert!(label < c, "target {} out of range for {} classes", label, c);
+            loss -= lp[i * c + label];
+            g[i * c + label] -= 1.0;
+        }
+        let scale = 1.0 / n.max(1) as f32;
+        (loss * scale, grad.mul_scalar(scale))
+    }
+
+    fn name(&self) -> &'static str {
+        "cross_entropy"
+    }
+}
+
+/// Mean squared error.
+#[derive(Default, Debug, Clone, Copy)]
+pub struct MseLoss;
+
+impl MseLoss {
+    /// Create the loss.
+    pub fn new() -> Self {
+        MseLoss
+    }
+}
+
+impl Loss for MseLoss {
+    fn compute(&self, predictions: &Tensor, targets: &Tensor) -> (f32, Tensor) {
+        assert_eq!(predictions.shape(), targets.shape(), "MSE shapes must match");
+        let diff = predictions.sub(targets).expect("same shape");
+        let n = predictions.numel().max(1) as f32;
+        let loss = diff.square().sum() / n;
+        let grad = diff.mul_scalar(2.0 / n);
+        (loss, grad)
+    }
+
+    fn name(&self) -> &'static str {
+        "mse"
+    }
+}
+
+/// Binary cross-entropy on logits (numerically stable formulation).
+#[derive(Default, Debug, Clone, Copy)]
+pub struct BceWithLogitsLoss;
+
+impl BceWithLogitsLoss {
+    /// Create the loss.
+    pub fn new() -> Self {
+        BceWithLogitsLoss
+    }
+}
+
+impl Loss for BceWithLogitsLoss {
+    fn compute(&self, predictions: &Tensor, targets: &Tensor) -> (f32, Tensor) {
+        assert_eq!(predictions.shape(), targets.shape(), "BCE shapes must match");
+        let n = predictions.numel().max(1) as f32;
+        let mut loss = 0.0f32;
+        let mut grad = Tensor::zeros(predictions.shape());
+        let g = grad.as_mut_slice();
+        for (i, (&x, &t)) in predictions.as_slice().iter().zip(targets.as_slice()).enumerate() {
+            // log(1 + exp(-|x|)) + max(x, 0) - x*t  is the stable form.
+            loss += (1.0 + (-x.abs()).exp()).ln() + x.max(0.0) - x * t;
+            let s = 1.0 / (1.0 + (-x).exp());
+            g[i] = (s - t) / n;
+        }
+        (loss / n, grad)
+    }
+
+    fn name(&self) -> &'static str {
+        "bce_with_logits"
+    }
+}
+
+/// Smooth-L1 (Huber) loss, used for bounding-box regression in the detector.
+#[derive(Debug, Clone, Copy)]
+pub struct SmoothL1Loss {
+    /// Transition point between the quadratic and linear regimes.
+    pub beta: f32,
+}
+
+impl Default for SmoothL1Loss {
+    fn default() -> Self {
+        SmoothL1Loss { beta: 1.0 }
+    }
+}
+
+impl SmoothL1Loss {
+    /// Create the loss with the given transition point.
+    pub fn new(beta: f32) -> Self {
+        assert!(beta > 0.0, "beta must be positive");
+        SmoothL1Loss { beta }
+    }
+}
+
+impl Loss for SmoothL1Loss {
+    fn compute(&self, predictions: &Tensor, targets: &Tensor) -> (f32, Tensor) {
+        assert_eq!(predictions.shape(), targets.shape(), "smooth-L1 shapes must match");
+        let n = predictions.numel().max(1) as f32;
+        let mut loss = 0.0f32;
+        let mut grad = Tensor::zeros(predictions.shape());
+        let g = grad.as_mut_slice();
+        for (i, (&p, &t)) in predictions.as_slice().iter().zip(targets.as_slice()).enumerate() {
+            let d = p - t;
+            if d.abs() < self.beta {
+                loss += 0.5 * d * d / self.beta;
+                g[i] = d / self.beta / n;
+            } else {
+                loss += d.abs() - 0.5 * self.beta;
+                g[i] = d.signum() / n;
+            }
+        }
+        (loss / n, grad)
+    }
+
+    fn name(&self) -> &'static str {
+        "smooth_l1"
+    }
+}
+
+/// Hinge losses for GAN training (the objective used by SNGAN).
+///
+/// The discriminator maximises `min(0, -1 + D(real)) + min(0, -1 - D(fake))`;
+/// the generator maximises `D(fake)`. These helpers return the loss to
+/// *minimise* along with its gradient w.r.t. the discriminator scores.
+#[derive(Default, Debug, Clone, Copy)]
+pub struct HingeGanLoss;
+
+impl HingeGanLoss {
+    /// Create the loss helper.
+    pub fn new() -> Self {
+        HingeGanLoss
+    }
+
+    /// Discriminator loss on real-sample scores: `mean(relu(1 - d))`.
+    pub fn d_real(&self, scores: &Tensor) -> (f32, Tensor) {
+        let n = scores.numel().max(1) as f32;
+        let loss = scores.map(|d| (1.0 - d).max(0.0)).sum() / n;
+        let grad = scores.map(|d| if 1.0 - d > 0.0 { -1.0 / n } else { 0.0 });
+        (loss, grad)
+    }
+
+    /// Discriminator loss on fake-sample scores: `mean(relu(1 + d))`.
+    pub fn d_fake(&self, scores: &Tensor) -> (f32, Tensor) {
+        let n = scores.numel().max(1) as f32;
+        let loss = scores.map(|d| (1.0 + d).max(0.0)).sum() / n;
+        let grad = scores.map(|d| if 1.0 + d > 0.0 { 1.0 / n } else { 0.0 });
+        (loss, grad)
+    }
+
+    /// Generator loss on fake-sample scores: `-mean(d)`.
+    pub fn generator(&self, scores: &Tensor) -> (f32, Tensor) {
+        let n = scores.numel().max(1) as f32;
+        let loss = -scores.sum() / n;
+        let grad = Tensor::full(scores.shape(), -1.0 / n);
+        (loss, grad)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quadra_autograd::{check_close, numeric_gradient};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn cross_entropy_perfect_prediction_has_low_loss() {
+        let logits = Tensor::from_vec(vec![10.0, -10.0, -10.0, -10.0, 10.0, -10.0], &[2, 3]).unwrap();
+        let targets = Tensor::from_slice(&[0.0, 1.0]);
+        let (loss, grad) = CrossEntropyLoss::new().compute(&logits, &targets);
+        assert!(loss < 1e-3);
+        assert!(grad.abs().max() < 1e-3);
+        assert_eq!(CrossEntropyLoss::new().name(), "cross_entropy");
+    }
+
+    #[test]
+    fn cross_entropy_uniform_logits_loss_is_log_c() {
+        let logits = Tensor::zeros(&[4, 10]);
+        let targets = Tensor::from_slice(&[0.0, 3.0, 7.0, 9.0]);
+        let (loss, _) = CrossEntropyLoss::new().compute(&logits, &targets);
+        assert!((loss - 10.0f32.ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn cross_entropy_gradient_matches_numeric() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let logits = Tensor::randn(&[3, 5], 0.0, 1.0, &mut rng);
+        let targets = Tensor::from_slice(&[1.0, 4.0, 0.0]);
+        let (_, grad) = CrossEntropyLoss::new().compute(&logits, &targets);
+        let t2 = targets.clone();
+        let numeric = numeric_gradient(|l| CrossEntropyLoss::new().compute(l, &t2).0, &logits, 1e-3);
+        assert!(check_close(&grad, &numeric).passes(1e-3));
+    }
+
+    #[test]
+    #[should_panic]
+    fn cross_entropy_label_out_of_range_panics() {
+        let logits = Tensor::zeros(&[1, 3]);
+        let targets = Tensor::from_slice(&[5.0]);
+        let _ = CrossEntropyLoss::new().compute(&logits, &targets);
+    }
+
+    #[test]
+    fn mse_loss_and_gradient() {
+        let p = Tensor::from_slice(&[1.0, 2.0]);
+        let t = Tensor::from_slice(&[0.0, 4.0]);
+        let (loss, grad) = MseLoss::new().compute(&p, &t);
+        assert!((loss - 2.5).abs() < 1e-6);
+        assert_eq!(grad.as_slice(), &[1.0, -2.0]);
+        assert_eq!(MseLoss::new().name(), "mse");
+        let numeric = numeric_gradient(|x| MseLoss::new().compute(x, &t).0, &p, 1e-3);
+        assert!(check_close(&grad, &numeric).passes(1e-3));
+    }
+
+    #[test]
+    fn bce_with_logits_matches_numeric_and_is_stable() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let p = Tensor::randn(&[6], 0.0, 3.0, &mut rng);
+        let t = Tensor::from_slice(&[1.0, 0.0, 1.0, 1.0, 0.0, 0.0]);
+        let (loss, grad) = BceWithLogitsLoss::new().compute(&p, &t);
+        assert!(loss.is_finite());
+        let numeric = numeric_gradient(|x| BceWithLogitsLoss::new().compute(x, &t).0, &p, 1e-3);
+        assert!(check_close(&grad, &numeric).passes(1e-3));
+        // Extreme logits stay finite.
+        let (l2, g2) = BceWithLogitsLoss::new().compute(&Tensor::from_slice(&[100.0, -100.0]), &Tensor::from_slice(&[1.0, 0.0]));
+        assert!(l2.is_finite() && !g2.has_non_finite());
+        assert_eq!(BceWithLogitsLoss::new().name(), "bce_with_logits");
+    }
+
+    #[test]
+    fn smooth_l1_quadratic_and_linear_regimes() {
+        let loss = SmoothL1Loss::new(1.0);
+        let p = Tensor::from_slice(&[0.5, 3.0]);
+        let t = Tensor::from_slice(&[0.0, 0.0]);
+        let (l, g) = loss.compute(&p, &t);
+        // 0.5*0.25 + (3 - 0.5) = 0.125 + 2.5, mean over 2.
+        assert!((l - (0.125 + 2.5) / 2.0).abs() < 1e-6);
+        assert!((g.as_slice()[0] - 0.25).abs() < 1e-6);
+        assert!((g.as_slice()[1] - 0.5).abs() < 1e-6);
+        assert_eq!(loss.name(), "smooth_l1");
+        let numeric = numeric_gradient(|x| SmoothL1Loss::new(1.0).compute(x, &t).0, &p, 1e-3);
+        assert!(check_close(&g, &numeric).passes(1e-3));
+    }
+
+    #[test]
+    #[should_panic]
+    fn smooth_l1_zero_beta_panics() {
+        let _ = SmoothL1Loss::new(0.0);
+    }
+
+    #[test]
+    fn hinge_gan_losses() {
+        let h = HingeGanLoss::new();
+        let real = Tensor::from_slice(&[2.0, 0.5]);
+        let (lr, gr) = h.d_real(&real);
+        assert!((lr - 0.25).abs() < 1e-6); // only the 0.5 score is inside the margin
+        assert_eq!(gr.as_slice(), &[0.0, -0.5]);
+        let fake = Tensor::from_slice(&[-2.0, 0.5]);
+        let (lf, gf) = h.d_fake(&fake);
+        assert!((lf - 0.75).abs() < 1e-6);
+        assert_eq!(gf.as_slice(), &[0.0, 0.5]);
+        let (lg, gg) = h.generator(&fake);
+        assert!((lg - 0.75).abs() < 1e-6);
+        assert_eq!(gg.as_slice(), &[-0.5, -0.5]);
+    }
+}

@@ -1,0 +1,121 @@
+//! Classification metrics: accuracy, top-k accuracy and confusion matrices.
+
+use quadra_tensor::Tensor;
+
+/// Fraction of rows of `logits` (`[batch, classes]`) whose argmax equals the
+/// integer label stored (as `f32`) in `labels` (`[batch]`).
+pub fn accuracy(logits: &Tensor, labels: &Tensor) -> f32 {
+    assert_eq!(logits.ndim(), 2, "accuracy expects [batch, classes] logits");
+    let n = logits.shape()[0];
+    assert_eq!(labels.numel(), n, "one label per sample");
+    if n == 0 {
+        return 0.0;
+    }
+    let preds = logits.argmax_last_axis().expect("argmax");
+    let correct = preds
+        .as_slice()
+        .iter()
+        .zip(labels.as_slice())
+        .filter(|(p, l)| (**p - **l).abs() < 0.5)
+        .count();
+    correct as f32 / n as f32
+}
+
+/// Fraction of samples whose true label is among the `k` highest logits.
+pub fn topk_accuracy(logits: &Tensor, labels: &Tensor, k: usize) -> f32 {
+    assert_eq!(logits.ndim(), 2, "topk_accuracy expects [batch, classes] logits");
+    let n = logits.shape()[0];
+    let c = logits.shape()[1];
+    assert_eq!(labels.numel(), n, "one label per sample");
+    let k = k.min(c);
+    if n == 0 || k == 0 {
+        return 0.0;
+    }
+    let src = logits.as_slice();
+    let mut correct = 0usize;
+    for i in 0..n {
+        let row = &src[i * c..(i + 1) * c];
+        let label = labels.as_slice()[i] as usize;
+        let label_score = row[label];
+        // Count how many classes strictly beat the label's score.
+        let better = row.iter().filter(|&&v| v > label_score).count();
+        if better < k {
+            correct += 1;
+        }
+    }
+    correct as f32 / n as f32
+}
+
+/// Confusion matrix `M[true][pred]` with raw counts.
+pub fn confusion_matrix(logits: &Tensor, labels: &Tensor, num_classes: usize) -> Vec<Vec<usize>> {
+    assert_eq!(logits.ndim(), 2, "confusion_matrix expects [batch, classes] logits");
+    let preds = logits.argmax_last_axis().expect("argmax");
+    let mut m = vec![vec![0usize; num_classes]; num_classes];
+    for (p, l) in preds.as_slice().iter().zip(labels.as_slice()) {
+        let (p, l) = (*p as usize, *l as usize);
+        if p < num_classes && l < num_classes {
+            m[l][p] += 1;
+        }
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn logits() -> Tensor {
+        // predictions: 1, 0, 2, 2 for labels 1, 1, 2, 0
+        Tensor::from_vec(
+            vec![
+                0.1, 0.8, 0.1, //
+                0.9, 0.05, 0.05, //
+                0.0, 0.2, 0.8, //
+                0.3, 0.2, 0.5,
+            ],
+            &[4, 3],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn accuracy_counts_matches() {
+        let labels = Tensor::from_slice(&[1.0, 1.0, 2.0, 0.0]);
+        assert!((accuracy(&logits(), &labels) - 0.5).abs() < 1e-6);
+        let perfect = Tensor::from_slice(&[1.0, 0.0, 2.0, 2.0]);
+        assert_eq!(accuracy(&logits(), &perfect), 1.0);
+        assert_eq!(accuracy(&Tensor::zeros(&[0, 3]), &Tensor::zeros(&[0])), 0.0);
+    }
+
+    #[test]
+    fn topk_includes_lower_ranked_labels() {
+        let labels = Tensor::from_slice(&[1.0, 1.0, 2.0, 0.0]);
+        let top1 = topk_accuracy(&logits(), &labels, 1);
+        let top2 = topk_accuracy(&logits(), &labels, 2);
+        let top3 = topk_accuracy(&logits(), &labels, 3);
+        assert!((top1 - 0.5).abs() < 1e-6);
+        assert!(top2 >= top1);
+        assert_eq!(top3, 1.0);
+        // k larger than the number of classes saturates at 1.
+        assert_eq!(topk_accuracy(&logits(), &labels, 10), 1.0);
+        assert_eq!(topk_accuracy(&Tensor::zeros(&[0, 3]), &Tensor::zeros(&[0]), 1), 0.0);
+    }
+
+    #[test]
+    fn confusion_matrix_diagonal_counts_correct_predictions() {
+        let labels = Tensor::from_slice(&[1.0, 1.0, 2.0, 0.0]);
+        let m = confusion_matrix(&logits(), &labels, 3);
+        assert_eq!(m[1][1], 1); // one correct class-1 prediction
+        assert_eq!(m[1][0], 1); // one class-1 sample predicted as 0
+        assert_eq!(m[2][2], 1);
+        assert_eq!(m[0][2], 1);
+        let total: usize = m.iter().flatten().sum();
+        assert_eq!(total, 4);
+    }
+
+    #[test]
+    #[should_panic]
+    fn label_count_mismatch_panics() {
+        let _ = accuracy(&logits(), &Tensor::zeros(&[3]));
+    }
+}

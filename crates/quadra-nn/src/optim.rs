@@ -1,0 +1,299 @@
+//! Optimizers: SGD with momentum / weight decay / Nesterov, and Adam.
+//!
+//! Optimizer state (velocities, moment estimates) is keyed by the position of
+//! each parameter in the `params_mut()` ordering, which is stable for a given
+//! model structure.
+
+use crate::param::Param;
+use quadra_tensor::Tensor;
+
+/// The optimizer interface used by the [`crate::Trainer`].
+pub trait Optimizer {
+    /// Apply one update step to the given parameters using their accumulated
+    /// gradients, then it is the caller's responsibility to zero the gradients.
+    fn step(&mut self, params: &mut [&mut Param]);
+
+    /// Set the learning rate (called by schedulers between epochs).
+    fn set_lr(&mut self, lr: f32);
+
+    /// The current learning rate.
+    fn lr(&self) -> f32;
+
+    /// Bytes of optimizer state currently held (velocities, moments); part of
+    /// the training-memory accounting.
+    fn state_bytes(&self) -> usize;
+
+    /// Reset all gradients of the given parameters to zero.
+    fn zero_grad(&mut self, params: &mut [&mut Param]) {
+        for p in params.iter_mut() {
+            p.zero_grad();
+        }
+    }
+}
+
+/// Configuration of the [`Sgd`] optimizer.
+#[derive(Debug, Clone, Copy)]
+pub struct SgdConfig {
+    /// Learning rate.
+    pub lr: f32,
+    /// Momentum coefficient (0 disables momentum).
+    pub momentum: f32,
+    /// Decoupled L2 weight decay applied to parameters that opt in.
+    pub weight_decay: f32,
+    /// Use Nesterov momentum.
+    pub nesterov: bool,
+}
+
+impl Default for SgdConfig {
+    fn default() -> Self {
+        // The paper's image-classification setup: SGD, initial LR 0.1.
+        SgdConfig { lr: 0.1, momentum: 0.9, weight_decay: 5e-4, nesterov: false }
+    }
+}
+
+/// Stochastic gradient descent with momentum.
+pub struct Sgd {
+    config: SgdConfig,
+    velocity: Vec<Tensor>,
+}
+
+impl Sgd {
+    /// Create an SGD optimizer.
+    pub fn new(config: SgdConfig) -> Self {
+        Sgd { config, velocity: Vec::new() }
+    }
+
+    /// Convenience constructor with plain SGD (no momentum, no decay).
+    pub fn plain(lr: f32) -> Self {
+        Sgd::new(SgdConfig { lr, momentum: 0.0, weight_decay: 0.0, nesterov: false })
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, params: &mut [&mut Param]) {
+        if self.velocity.len() < params.len() {
+            for p in params[self.velocity.len()..].iter() {
+                self.velocity.push(Tensor::zeros(p.value.shape()));
+            }
+        }
+        for (i, p) in params.iter_mut().enumerate() {
+            let mut grad = p.grad.clone();
+            if self.config.weight_decay > 0.0 && p.apply_weight_decay {
+                grad.add_scaled_assign(&p.value, self.config.weight_decay).expect("shape");
+            }
+            if self.config.momentum > 0.0 {
+                let v = &mut self.velocity[i];
+                v.scale_inplace(self.config.momentum);
+                v.add_assign(&grad).expect("shape");
+                if self.config.nesterov {
+                    grad.add_scaled_assign(v, self.config.momentum).expect("shape");
+                } else {
+                    grad = v.clone();
+                }
+            }
+            p.value.add_scaled_assign(&grad, -self.config.lr).expect("shape");
+        }
+    }
+
+    fn set_lr(&mut self, lr: f32) {
+        self.config.lr = lr;
+    }
+
+    fn lr(&self) -> f32 {
+        self.config.lr
+    }
+
+    fn state_bytes(&self) -> usize {
+        self.velocity.iter().map(|v| v.nbytes()).sum()
+    }
+}
+
+/// Configuration of the [`Adam`] optimizer.
+#[derive(Debug, Clone, Copy)]
+pub struct AdamConfig {
+    /// Learning rate.
+    pub lr: f32,
+    /// Exponential decay for the first moment.
+    pub beta1: f32,
+    /// Exponential decay for the second moment.
+    pub beta2: f32,
+    /// Numerical stabiliser.
+    pub eps: f32,
+    /// Decoupled L2 weight decay.
+    pub weight_decay: f32,
+}
+
+impl Default for AdamConfig {
+    fn default() -> Self {
+        AdamConfig { lr: 1e-3, beta1: 0.9, beta2: 0.999, eps: 1e-8, weight_decay: 0.0 }
+    }
+}
+
+/// Adam optimizer (Kingma & Ba 2015), used for GAN training.
+pub struct Adam {
+    config: AdamConfig,
+    m: Vec<Tensor>,
+    v: Vec<Tensor>,
+    t: usize,
+}
+
+impl Adam {
+    /// Create an Adam optimizer.
+    pub fn new(config: AdamConfig) -> Self {
+        Adam { config, m: Vec::new(), v: Vec::new(), t: 0 }
+    }
+
+    /// GAN-style Adam with the two-timescale betas of SNGAN (0.0 / 0.9).
+    pub fn for_gan(lr: f32) -> Self {
+        Adam::new(AdamConfig { lr, beta1: 0.0, beta2: 0.9, ..AdamConfig::default() })
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, params: &mut [&mut Param]) {
+        while self.m.len() < params.len() {
+            let shape = params[self.m.len()].value.shape().to_vec();
+            self.m.push(Tensor::zeros(&shape));
+            self.v.push(Tensor::zeros(&shape));
+        }
+        self.t += 1;
+        let b1 = self.config.beta1;
+        let b2 = self.config.beta2;
+        let bias1 = 1.0 - b1.powi(self.t as i32);
+        let bias2 = 1.0 - b2.powi(self.t as i32);
+        for (i, p) in params.iter_mut().enumerate() {
+            let mut grad = p.grad.clone();
+            if self.config.weight_decay > 0.0 && p.apply_weight_decay {
+                grad.add_scaled_assign(&p.value, self.config.weight_decay).expect("shape");
+            }
+            let m = &mut self.m[i];
+            let v = &mut self.v[i];
+            for ((mi, vi), gi) in m.as_mut_slice().iter_mut().zip(v.as_mut_slice().iter_mut()).zip(grad.as_slice()) {
+                *mi = b1 * *mi + (1.0 - b1) * gi;
+                *vi = b2 * *vi + (1.0 - b2) * gi * gi;
+            }
+            let lr = self.config.lr;
+            let eps = self.config.eps;
+            for ((pv, mi), vi) in p.value.as_mut_slice().iter_mut().zip(m.as_slice()).zip(v.as_slice()) {
+                let mhat = mi / bias1;
+                let vhat = vi / bias2;
+                *pv -= lr * mhat / (vhat.sqrt() + eps);
+            }
+        }
+    }
+
+    fn set_lr(&mut self, lr: f32) {
+        self.config.lr = lr;
+    }
+
+    fn lr(&self) -> f32 {
+        self.config.lr
+    }
+
+    fn state_bytes(&self) -> usize {
+        self.m.iter().map(|t| t.nbytes()).sum::<usize>() + self.v.iter().map(|t| t.nbytes()).sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quadratic_param(start: f32) -> Param {
+        Param::new("w", Tensor::from_slice(&[start]))
+    }
+
+    /// Minimise f(w) = (w - 3)^2 and return the final value of w.
+    fn minimise(opt: &mut dyn Optimizer, steps: usize) -> f32 {
+        let mut p = quadratic_param(0.0);
+        for _ in 0..steps {
+            let w = p.value.as_slice()[0];
+            p.grad = Tensor::from_slice(&[2.0 * (w - 3.0)]);
+            let mut params = [&mut p];
+            opt.step(&mut params);
+        }
+        p.value.as_slice()[0]
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut opt = Sgd::plain(0.1);
+        let w = minimise(&mut opt, 100);
+        assert!((w - 3.0).abs() < 1e-3, "w = {}", w);
+    }
+
+    #[test]
+    fn sgd_momentum_converges_faster_than_plain() {
+        let mut plain = Sgd::plain(0.02);
+        let w_plain = minimise(&mut plain, 30);
+        let mut mom = Sgd::new(SgdConfig { lr: 0.02, momentum: 0.9, weight_decay: 0.0, nesterov: false });
+        let w_mom = minimise(&mut mom, 30);
+        assert!((w_mom - 3.0).abs() < (w_plain - 3.0).abs());
+        assert!(mom.state_bytes() > 0);
+    }
+
+    #[test]
+    fn nesterov_variant_converges() {
+        let mut opt = Sgd::new(SgdConfig { lr: 0.05, momentum: 0.9, weight_decay: 0.0, nesterov: true });
+        let w = minimise(&mut opt, 100);
+        assert!((w - 3.0).abs() < 1e-2, "w = {}", w);
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut opt = Adam::new(AdamConfig { lr: 0.2, ..AdamConfig::default() });
+        let w = minimise(&mut opt, 200);
+        assert!((w - 3.0).abs() < 1e-2, "w = {}", w);
+        assert!(opt.state_bytes() > 0);
+        assert_eq!(opt.lr(), 0.2);
+    }
+
+    #[test]
+    fn weight_decay_shrinks_weights_without_gradient() {
+        let mut opt = Sgd::new(SgdConfig { lr: 0.1, momentum: 0.0, weight_decay: 0.1, nesterov: false });
+        let mut p = Param::new("w", Tensor::from_slice(&[1.0]));
+        let mut params = [&mut p];
+        opt.step(&mut params);
+        assert!(p.value.as_slice()[0] < 1.0);
+
+        // A parameter opting out of decay stays put.
+        let mut opt = Sgd::new(SgdConfig { lr: 0.1, momentum: 0.0, weight_decay: 0.1, nesterov: false });
+        let mut b = Param::new_no_decay("b", Tensor::from_slice(&[1.0]));
+        let mut params = [&mut b];
+        opt.step(&mut params);
+        assert_eq!(b.value.as_slice()[0], 1.0);
+    }
+
+    #[test]
+    fn zero_grad_and_lr_updates() {
+        let mut opt = Sgd::plain(0.1);
+        let mut p = Param::new("w", Tensor::from_slice(&[1.0]));
+        p.grad = Tensor::from_slice(&[2.0]);
+        let mut params = [&mut p];
+        opt.zero_grad(&mut params);
+        assert_eq!(p.grad.as_slice(), &[0.0]);
+        opt.set_lr(0.5);
+        assert_eq!(opt.lr(), 0.5);
+        let mut adam = Adam::for_gan(2e-4);
+        adam.set_lr(1e-4);
+        assert_eq!(adam.lr(), 1e-4);
+    }
+
+    #[test]
+    fn optimizer_handles_growing_param_list() {
+        // Simulates the auto-builder adding layers mid-training: state resizes.
+        let mut opt = Sgd::new(SgdConfig { lr: 0.1, momentum: 0.9, weight_decay: 0.0, nesterov: false });
+        let mut p1 = Param::new("a", Tensor::from_slice(&[1.0]));
+        p1.grad = Tensor::from_slice(&[1.0]);
+        {
+            let mut params = [&mut p1];
+            opt.step(&mut params);
+        }
+        let mut p2 = Param::new("b", Tensor::from_slice(&[1.0, 1.0]));
+        p2.grad = Tensor::from_slice(&[1.0, 1.0]);
+        p1.grad = Tensor::from_slice(&[1.0]);
+        let mut params = [&mut p1, &mut p2];
+        opt.step(&mut params);
+        assert!(p2.value.as_slice()[0] < 1.0);
+    }
+}

@@ -1,0 +1,103 @@
+//! Trainable parameters: a value tensor paired with its gradient accumulator.
+
+use quadra_tensor::Tensor;
+
+/// A trainable parameter of a layer.
+///
+/// Holds the parameter value and the gradient accumulated by the most recent
+/// backward pass. Optimizers mutate `value` in place and reset `grad`.
+#[derive(Debug, Clone)]
+pub struct Param {
+    /// Current parameter value.
+    pub value: Tensor,
+    /// Gradient accumulated by backward passes since the last `zero_grad`.
+    pub grad: Tensor,
+    /// Human-readable name (e.g. `"conv1.weight"`), useful for analysis tools.
+    pub name: String,
+    /// If false the optimizer skips weight decay for this parameter
+    /// (conventionally biases and batch-norm affine parameters).
+    pub apply_weight_decay: bool,
+}
+
+impl Param {
+    /// Create a parameter from an initial value.
+    pub fn new(name: impl Into<String>, value: Tensor) -> Self {
+        let grad = Tensor::zeros(value.shape());
+        Param { value, grad, name: name.into(), apply_weight_decay: true }
+    }
+
+    /// Create a parameter that is excluded from weight decay (biases, BN affine).
+    pub fn new_no_decay(name: impl Into<String>, value: Tensor) -> Self {
+        let mut p = Self::new(name, value);
+        p.apply_weight_decay = false;
+        p
+    }
+
+    /// Number of scalar values in the parameter.
+    pub fn numel(&self) -> usize {
+        self.value.numel()
+    }
+
+    /// Bytes occupied by the value and gradient tensors together.
+    pub fn nbytes(&self) -> usize {
+        self.value.nbytes() + self.grad.nbytes()
+    }
+
+    /// Reset the accumulated gradient to zero.
+    pub fn zero_grad(&mut self) {
+        self.grad.fill(0.0);
+    }
+
+    /// Accumulate a gradient contribution (adds to the existing gradient).
+    ///
+    /// # Panics
+    /// Panics if the gradient shape does not match the parameter shape.
+    pub fn accumulate_grad(&mut self, grad: &Tensor) {
+        self.grad.add_assign(grad).expect("gradient shape must match parameter shape");
+    }
+
+    /// L2 norm of the current gradient — used by the gradient-distribution
+    /// analysis tool (Fig. 7 of the paper).
+    pub fn grad_l2_norm(&self) -> f32 {
+        self.grad.l2_norm()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_param_has_zero_grad() {
+        let p = Param::new("w", Tensor::ones(&[2, 3]));
+        assert_eq!(p.grad.as_slice(), &[0.0; 6]);
+        assert_eq!(p.numel(), 6);
+        assert_eq!(p.nbytes(), 48);
+        assert_eq!(p.name, "w");
+        assert!(p.apply_weight_decay);
+    }
+
+    #[test]
+    fn no_decay_constructor() {
+        let p = Param::new_no_decay("b", Tensor::zeros(&[4]));
+        assert!(!p.apply_weight_decay);
+    }
+
+    #[test]
+    fn accumulate_and_zero() {
+        let mut p = Param::new("w", Tensor::zeros(&[3]));
+        p.accumulate_grad(&Tensor::from_slice(&[1.0, 2.0, 3.0]));
+        p.accumulate_grad(&Tensor::from_slice(&[1.0, 1.0, 1.0]));
+        assert_eq!(p.grad.as_slice(), &[2.0, 3.0, 4.0]);
+        assert!((p.grad_l2_norm() - (4.0f32 + 9.0 + 16.0).sqrt()).abs() < 1e-6);
+        p.zero_grad();
+        assert_eq!(p.grad.as_slice(), &[0.0; 3]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_grad_shape_panics() {
+        let mut p = Param::new("w", Tensor::zeros(&[3]));
+        p.accumulate_grad(&Tensor::zeros(&[4]));
+    }
+}

@@ -1,0 +1,182 @@
+//! Learning-rate schedulers.
+//!
+//! The paper's classification experiments use SGD with a cosine-annealing
+//! schedule (Loshchilov & Hutter 2016) starting at learning rate 0.1; the
+//! detection experiments use a multi-step decay.
+
+/// A learning-rate schedule queried once per epoch (or iteration).
+pub trait LrScheduler {
+    /// The learning rate to use at step `step` (0-based).
+    fn lr_at(&self, step: usize) -> f32;
+
+    /// The initial learning rate.
+    fn base_lr(&self) -> f32;
+}
+
+/// A constant learning rate.
+#[derive(Debug, Clone, Copy)]
+pub struct ConstantLr {
+    lr: f32,
+}
+
+impl ConstantLr {
+    /// Create a constant schedule.
+    pub fn new(lr: f32) -> Self {
+        ConstantLr { lr }
+    }
+}
+
+impl LrScheduler for ConstantLr {
+    fn lr_at(&self, _step: usize) -> f32 {
+        self.lr
+    }
+
+    fn base_lr(&self) -> f32 {
+        self.lr
+    }
+}
+
+/// Cosine annealing from `base_lr` down to `eta_min` over `t_max` steps.
+#[derive(Debug, Clone, Copy)]
+pub struct CosineAnnealingLr {
+    base: f32,
+    eta_min: f32,
+    t_max: usize,
+}
+
+impl CosineAnnealingLr {
+    /// Create a cosine-annealing schedule.
+    pub fn new(base_lr: f32, t_max: usize, eta_min: f32) -> Self {
+        assert!(t_max > 0, "t_max must be positive");
+        CosineAnnealingLr { base: base_lr, eta_min, t_max }
+    }
+}
+
+impl LrScheduler for CosineAnnealingLr {
+    fn lr_at(&self, step: usize) -> f32 {
+        let t = step.min(self.t_max) as f32;
+        let cos = (std::f32::consts::PI * t / self.t_max as f32).cos();
+        self.eta_min + 0.5 * (self.base - self.eta_min) * (1.0 + cos)
+    }
+
+    fn base_lr(&self) -> f32 {
+        self.base
+    }
+}
+
+/// Decay the learning rate by `gamma` every `step_size` steps.
+#[derive(Debug, Clone, Copy)]
+pub struct StepLr {
+    base: f32,
+    step_size: usize,
+    gamma: f32,
+}
+
+impl StepLr {
+    /// Create a step-decay schedule.
+    pub fn new(base_lr: f32, step_size: usize, gamma: f32) -> Self {
+        assert!(step_size > 0, "step_size must be positive");
+        StepLr { base: base_lr, step_size, gamma }
+    }
+}
+
+impl LrScheduler for StepLr {
+    fn lr_at(&self, step: usize) -> f32 {
+        self.base * self.gamma.powi((step / self.step_size) as i32)
+    }
+
+    fn base_lr(&self) -> f32 {
+        self.base
+    }
+}
+
+/// Decay the learning rate by `gamma` at each of the given milestones — the
+/// schedule the paper uses for SSD training (decay ×0.1 at iterations 80 000
+/// and 100 000).
+#[derive(Debug, Clone)]
+pub struct MultiStepLr {
+    base: f32,
+    milestones: Vec<usize>,
+    gamma: f32,
+}
+
+impl MultiStepLr {
+    /// Create a multi-step schedule. Milestones need not be sorted.
+    pub fn new(base_lr: f32, mut milestones: Vec<usize>, gamma: f32) -> Self {
+        milestones.sort_unstable();
+        MultiStepLr { base: base_lr, milestones, gamma }
+    }
+}
+
+impl LrScheduler for MultiStepLr {
+    fn lr_at(&self, step: usize) -> f32 {
+        let passed = self.milestones.iter().filter(|&&m| step >= m).count();
+        self.base * self.gamma.powi(passed as i32)
+    }
+
+    fn base_lr(&self) -> f32 {
+        self.base
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_schedule() {
+        let s = ConstantLr::new(0.01);
+        assert_eq!(s.lr_at(0), 0.01);
+        assert_eq!(s.lr_at(1000), 0.01);
+        assert_eq!(s.base_lr(), 0.01);
+    }
+
+    #[test]
+    fn cosine_annealing_endpoints_and_midpoint() {
+        let s = CosineAnnealingLr::new(0.1, 200, 0.0);
+        assert!((s.lr_at(0) - 0.1).abs() < 1e-7);
+        assert!((s.lr_at(100) - 0.05).abs() < 1e-6);
+        assert!(s.lr_at(200) < 1e-7);
+        // clamps past t_max
+        assert!(s.lr_at(500) < 1e-7);
+        assert_eq!(s.base_lr(), 0.1);
+    }
+
+    #[test]
+    fn cosine_is_monotone_decreasing() {
+        let s = CosineAnnealingLr::new(0.1, 50, 0.001);
+        let mut prev = f32::INFINITY;
+        for e in 0..=50 {
+            let lr = s.lr_at(e);
+            assert!(lr <= prev + 1e-7);
+            prev = lr;
+        }
+        assert!((s.lr_at(50) - 0.001).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic]
+    fn cosine_zero_tmax_panics() {
+        let _ = CosineAnnealingLr::new(0.1, 0, 0.0);
+    }
+
+    #[test]
+    fn step_decay() {
+        let s = StepLr::new(1.0, 10, 0.1);
+        assert_eq!(s.lr_at(0), 1.0);
+        assert_eq!(s.lr_at(9), 1.0);
+        assert!((s.lr_at(10) - 0.1).abs() < 1e-7);
+        assert!((s.lr_at(25) - 0.01).abs() < 1e-7);
+        assert_eq!(s.base_lr(), 1.0);
+    }
+
+    #[test]
+    fn multi_step_decay_matches_paper_ssd_schedule() {
+        let s = MultiStepLr::new(1e-3, vec![100_000, 80_000], 0.1);
+        assert!((s.lr_at(0) - 1e-3).abs() < 1e-9);
+        assert!((s.lr_at(79_999) - 1e-3).abs() < 1e-9);
+        assert!((s.lr_at(80_000) - 1e-4).abs() < 1e-9);
+        assert!((s.lr_at(100_000) - 1e-5).abs() < 1e-9);
+        assert_eq!(s.base_lr(), 1e-3);
+    }
+}

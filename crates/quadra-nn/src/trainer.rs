@@ -1,0 +1,272 @@
+//! A small training loop over in-memory datasets, with per-batch timing and
+//! peak-memory tracking (the measurements reported in Table 3 of the paper).
+
+use crate::layer::Layer;
+use crate::loss::Loss;
+use crate::metrics::accuracy;
+use crate::optim::Optimizer;
+use crate::scheduler::LrScheduler;
+use quadra_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::time::Instant;
+
+/// Configuration of the training loop.
+#[derive(Debug, Clone, Copy)]
+pub struct TrainerConfig {
+    /// Number of passes over the training set.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Shuffle samples between epochs.
+    pub shuffle: bool,
+    /// Seed for shuffling.
+    pub seed: u64,
+    /// Print one line per epoch to stdout when true.
+    pub verbose: bool,
+}
+
+impl Default for TrainerConfig {
+    fn default() -> Self {
+        TrainerConfig { epochs: 10, batch_size: 64, shuffle: true, seed: 0, verbose: false }
+    }
+}
+
+/// Statistics collected by [`Trainer::fit`].
+#[derive(Debug, Clone, Default)]
+pub struct TrainReport {
+    /// Mean training loss per epoch.
+    pub epoch_losses: Vec<f32>,
+    /// Training accuracy per epoch.
+    pub epoch_train_acc: Vec<f32>,
+    /// Mean wall-clock milliseconds per training batch (forward + backward + step).
+    pub train_time_per_batch_ms: f32,
+    /// Mean wall-clock milliseconds per inference batch.
+    pub test_time_per_batch_ms: f32,
+    /// Peak bytes of cached activations observed across all batches.
+    pub peak_activation_bytes: usize,
+    /// Bytes of parameters + gradients of the trained model.
+    pub param_bytes: usize,
+    /// Bytes of optimizer state at the end of training.
+    pub optimizer_state_bytes: usize,
+}
+
+impl TrainReport {
+    /// Final (last-epoch) training loss.
+    pub fn final_loss(&self) -> f32 {
+        *self.epoch_losses.last().unwrap_or(&f32::NAN)
+    }
+
+    /// Final (last-epoch) training accuracy.
+    pub fn final_train_acc(&self) -> f32 {
+        *self.epoch_train_acc.last().unwrap_or(&0.0)
+    }
+
+    /// Total modelled training memory: parameters + gradients + optimizer state
+    /// + peak cached activations. This is the quantity plotted in Fig. 5 and
+    /// reported as "Train Memory" in Table 3.
+    pub fn total_train_memory_bytes(&self) -> usize {
+        self.param_bytes + self.optimizer_state_bytes + self.peak_activation_bytes
+    }
+}
+
+/// Mini-batch trainer for classification-style tasks.
+pub struct Trainer {
+    config: TrainerConfig,
+    rng: StdRng,
+}
+
+impl Trainer {
+    /// Create a trainer with the given configuration.
+    pub fn new(config: TrainerConfig) -> Self {
+        Trainer { rng: StdRng::seed_from_u64(config.seed), config }
+    }
+
+    /// The trainer configuration.
+    pub fn config(&self) -> &TrainerConfig {
+        &self.config
+    }
+
+    /// Train `model` on `(x, y)` with the given loss, optimizer and LR schedule.
+    ///
+    /// `x` is `[n, ...]`, `y` is `[n]` with integer class labels (as `f32`)
+    /// for classification losses, or any target shape the loss accepts.
+    pub fn fit(
+        &mut self,
+        model: &mut dyn Layer,
+        loss_fn: &dyn Loss,
+        optimizer: &mut dyn Optimizer,
+        scheduler: &dyn LrScheduler,
+        x: &Tensor,
+        y: &Tensor,
+        x_val: Option<(&Tensor, &Tensor)>,
+    ) -> TrainReport {
+        let n = x.shape()[0];
+        assert!(n > 0, "empty training set");
+        let mut report = TrainReport::default();
+        let mut batch_times = Vec::new();
+        let mut indices: Vec<usize> = (0..n).collect();
+
+        for epoch in 0..self.config.epochs {
+            optimizer.set_lr(scheduler.lr_at(epoch));
+            if self.config.shuffle {
+                indices.shuffle(&mut self.rng);
+            }
+            let mut epoch_loss = 0.0f32;
+            let mut epoch_correct = 0.0f32;
+            let mut batches = 0usize;
+            for chunk in indices.chunks(self.config.batch_size) {
+                let xb = x.select_rows(chunk).expect("batch rows");
+                let yb = y.select_rows(chunk).expect("batch labels");
+                let start = Instant::now();
+                let logits = model.forward(&xb, true);
+                report.peak_activation_bytes = report.peak_activation_bytes.max(model.cached_bytes());
+                let (loss, grad) = loss_fn.compute(&logits, &yb);
+                model.backward(&grad);
+                {
+                    let mut params = model.params_mut();
+                    optimizer.step(&mut params);
+                    optimizer.zero_grad(&mut params);
+                }
+                batch_times.push(start.elapsed().as_secs_f64() * 1e3);
+                if logits.ndim() == 2 {
+                    epoch_correct += accuracy(&logits, &yb) * chunk.len() as f32;
+                }
+                epoch_loss += loss * chunk.len() as f32;
+                batches += 1;
+            }
+            let _ = batches;
+            report.epoch_losses.push(epoch_loss / n as f32);
+            report.epoch_train_acc.push(epoch_correct / n as f32);
+            if self.config.verbose {
+                let val_msg = match x_val {
+                    Some((xv, yv)) => format!(" val_acc={:.4}", self.evaluate(model, xv, yv).0),
+                    None => String::new(),
+                };
+                println!(
+                    "epoch {:>3} | lr {:.5} | loss {:.4} | train_acc {:.4}{}",
+                    epoch,
+                    scheduler.lr_at(epoch),
+                    report.epoch_losses.last().unwrap(),
+                    report.epoch_train_acc.last().unwrap(),
+                    val_msg
+                );
+            }
+        }
+        report.train_time_per_batch_ms =
+            (batch_times.iter().sum::<f64>() / batch_times.len().max(1) as f64) as f32;
+        report.param_bytes = model.params().iter().map(|p| p.nbytes()).sum();
+        report.optimizer_state_bytes = optimizer.state_bytes();
+
+        // Measure inference time on one pass of the training data (or val set).
+        let (eval_x, eval_y) = x_val.unwrap_or((x, y));
+        let t0 = Instant::now();
+        let (_acc, eval_batches) = self.evaluate(model, eval_x, eval_y);
+        report.test_time_per_batch_ms =
+            (t0.elapsed().as_secs_f64() * 1e3 / eval_batches.max(1) as f64) as f32;
+        report
+    }
+
+    /// Evaluate classification accuracy of `model` on `(x, y)`; returns the
+    /// accuracy and the number of batches processed.
+    pub fn evaluate(&self, model: &mut dyn Layer, x: &Tensor, y: &Tensor) -> (f32, usize) {
+        let n = x.shape()[0];
+        if n == 0 {
+            return (0.0, 0);
+        }
+        let mut correct = 0.0f32;
+        let mut batches = 0usize;
+        let indices: Vec<usize> = (0..n).collect();
+        for chunk in indices.chunks(self.config.batch_size) {
+            let xb = x.select_rows(chunk).expect("batch rows");
+            let yb = y.select_rows(chunk).expect("batch labels");
+            let logits = model.forward(&xb, false);
+            correct += accuracy(&logits, &yb) * chunk.len() as f32;
+            batches += 1;
+        }
+        model.clear_cache();
+        (correct / n as f32, batches)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activation::Relu;
+    use crate::layer::Sequential;
+    use crate::linear::Linear;
+    use crate::loss::CrossEntropyLoss;
+    use crate::optim::{Sgd, SgdConfig};
+    use crate::scheduler::ConstantLr;
+    use rand::Rng;
+
+    /// A linearly separable 2-class problem in 2-D.
+    fn toy_dataset(n: usize, seed: u64) -> (Tensor, Tensor) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut xs = Vec::with_capacity(n * 2);
+        let mut ys = Vec::with_capacity(n);
+        for _ in 0..n {
+            let cls = rng.gen_range(0..2usize);
+            let (cx, cy) = if cls == 0 { (-1.0, -1.0) } else { (1.0, 1.0) };
+            xs.push(cx + rng.gen_range(-0.3..0.3));
+            xs.push(cy + rng.gen_range(-0.3..0.3));
+            ys.push(cls as f32);
+        }
+        (Tensor::from_vec(xs, &[n, 2]).unwrap(), Tensor::from_vec(ys, &[n]).unwrap())
+    }
+
+    #[test]
+    fn trainer_fits_linearly_separable_data() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let mut model = Sequential::new(vec![
+            Box::new(Linear::new(2, 16, true, &mut rng)),
+            Box::new(Relu::new()),
+            Box::new(Linear::new(16, 2, true, &mut rng)),
+        ]);
+        let (x, y) = toy_dataset(200, 1);
+        let (xv, yv) = toy_dataset(50, 2);
+        let mut trainer = Trainer::new(TrainerConfig { epochs: 20, batch_size: 32, ..Default::default() });
+        let mut opt = Sgd::new(SgdConfig { lr: 0.1, momentum: 0.9, weight_decay: 0.0, nesterov: false });
+        let report = trainer.fit(
+            &mut model,
+            &CrossEntropyLoss::new(),
+            &mut opt,
+            &ConstantLr::new(0.1),
+            &x,
+            &y,
+            Some((&xv, &yv)),
+        );
+        assert!(report.final_train_acc() > 0.95, "train acc {}", report.final_train_acc());
+        let (val_acc, _) = trainer.evaluate(&mut model, &xv, &yv);
+        assert!(val_acc > 0.9, "val acc {}", val_acc);
+        // Loss should go down.
+        assert!(report.final_loss() < report.epoch_losses[0]);
+        // Memory/time bookkeeping populated.
+        assert!(report.peak_activation_bytes > 0);
+        assert!(report.param_bytes > 0);
+        assert!(report.optimizer_state_bytes > 0);
+        assert!(report.train_time_per_batch_ms > 0.0);
+        assert!(report.test_time_per_batch_ms >= 0.0);
+        assert!(report.total_train_memory_bytes() >= report.param_bytes);
+        assert_eq!(report.epoch_losses.len(), 20);
+        assert_eq!(trainer.config().epochs, 20);
+    }
+
+    #[test]
+    fn evaluate_on_empty_set_is_zero() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut model = Sequential::new(vec![Box::new(Linear::new(2, 2, true, &mut rng))]);
+        let trainer = Trainer::new(TrainerConfig::default());
+        let (acc, batches) = trainer.evaluate(&mut model, &Tensor::zeros(&[0, 2]), &Tensor::zeros(&[0]));
+        assert_eq!(acc, 0.0);
+        assert_eq!(batches, 0);
+    }
+
+    #[test]
+    fn default_report_final_values() {
+        let r = TrainReport::default();
+        assert!(r.final_loss().is_nan());
+        assert_eq!(r.final_train_acc(), 0.0);
+    }
+}

@@ -1,0 +1,141 @@
+//! Error types for tensor operations.
+
+use std::fmt;
+
+/// Convenient result alias used across the crate.
+pub type Result<T> = std::result::Result<T, TensorError>;
+
+/// Errors produced by tensor construction and tensor operations.
+///
+/// The library favours returning `TensorError` over panicking for every error
+/// that can be triggered by user-supplied shapes or parameters; internal
+/// invariant violations still panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// The number of elements implied by a shape does not match the data length.
+    ShapeDataMismatch {
+        /// Shape requested by the caller.
+        shape: Vec<usize>,
+        /// Number of elements actually provided.
+        data_len: usize,
+    },
+    /// Two shapes cannot be broadcast together.
+    BroadcastMismatch {
+        /// Left-hand operand shape.
+        lhs: Vec<usize>,
+        /// Right-hand operand shape.
+        rhs: Vec<usize>,
+    },
+    /// Shapes are incompatible for the requested operation (matmul, concat, ...).
+    IncompatibleShapes {
+        /// Human-readable description of the failed operation.
+        op: &'static str,
+        /// Left-hand operand shape.
+        lhs: Vec<usize>,
+        /// Right-hand operand shape.
+        rhs: Vec<usize>,
+    },
+    /// An axis index was out of range for the tensor's rank.
+    AxisOutOfRange {
+        /// Requested axis.
+        axis: usize,
+        /// Rank of the tensor.
+        ndim: usize,
+    },
+    /// A reshape changed the total number of elements.
+    InvalidReshape {
+        /// Original shape.
+        from: Vec<usize>,
+        /// Requested shape.
+        to: Vec<usize>,
+    },
+    /// The tensor did not have the rank required by an operation.
+    RankMismatch {
+        /// Operation name.
+        op: &'static str,
+        /// Expected rank.
+        expected: usize,
+        /// Actual rank.
+        actual: usize,
+    },
+    /// A convolution / pooling configuration is invalid for the input size.
+    InvalidConvConfig {
+        /// Human-readable description.
+        msg: String,
+    },
+    /// Generic invalid-argument error.
+    InvalidArgument {
+        /// Human-readable description.
+        msg: String,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeDataMismatch { shape, data_len } => write!(
+                f,
+                "shape {:?} implies {} elements but {} were provided",
+                shape,
+                shape.iter().product::<usize>(),
+                data_len
+            ),
+            TensorError::BroadcastMismatch { lhs, rhs } => {
+                write!(f, "cannot broadcast shapes {:?} and {:?}", lhs, rhs)
+            }
+            TensorError::IncompatibleShapes { op, lhs, rhs } => {
+                write!(f, "{}: incompatible shapes {:?} and {:?}", op, lhs, rhs)
+            }
+            TensorError::AxisOutOfRange { axis, ndim } => {
+                write!(f, "axis {} out of range for rank-{} tensor", axis, ndim)
+            }
+            TensorError::InvalidReshape { from, to } => write!(
+                f,
+                "cannot reshape {:?} ({} elements) into {:?} ({} elements)",
+                from,
+                from.iter().product::<usize>(),
+                to,
+                to.iter().product::<usize>()
+            ),
+            TensorError::RankMismatch { op, expected, actual } => {
+                write!(f, "{}: expected rank {} tensor, got rank {}", op, expected, actual)
+            }
+            TensorError::InvalidConvConfig { msg } => write!(f, "invalid conv config: {}", msg),
+            TensorError::InvalidArgument { msg } => write!(f, "invalid argument: {}", msg),
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = TensorError::ShapeDataMismatch { shape: vec![2, 3], data_len: 5 };
+        assert!(e.to_string().contains("6 elements"));
+        let e = TensorError::BroadcastMismatch { lhs: vec![2], rhs: vec![3] };
+        assert!(e.to_string().contains("broadcast"));
+        let e = TensorError::IncompatibleShapes { op: "matmul", lhs: vec![2, 2], rhs: vec![3, 3] };
+        assert!(e.to_string().contains("matmul"));
+        let e = TensorError::AxisOutOfRange { axis: 4, ndim: 2 };
+        assert!(e.to_string().contains("axis 4"));
+        let e = TensorError::InvalidReshape { from: vec![2, 2], to: vec![5] };
+        assert!(e.to_string().contains("reshape"));
+        let e = TensorError::RankMismatch { op: "conv2d", expected: 4, actual: 2 };
+        assert!(e.to_string().contains("rank 4"));
+        let e = TensorError::InvalidConvConfig { msg: "kernel too large".into() };
+        assert!(e.to_string().contains("kernel too large"));
+        let e = TensorError::InvalidArgument { msg: "negative probability".into() };
+        assert!(e.to_string().contains("negative probability"));
+    }
+
+    #[test]
+    fn errors_are_comparable_and_cloneable() {
+        let a = TensorError::AxisOutOfRange { axis: 1, ndim: 1 };
+        let b = a.clone();
+        assert_eq!(a, b);
+    }
+}

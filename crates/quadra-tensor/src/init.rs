@@ -1,0 +1,178 @@
+//! Deterministic random initialisation of tensors (uniform, normal, Kaiming, Xavier).
+//!
+//! All constructors take an explicit [`rand::Rng`] so that every experiment in
+//! the benchmark harness is reproducible from a single seed.
+
+use crate::tensor::Tensor;
+use rand::distributions::Distribution;
+use rand::Rng;
+
+/// The weight-initialisation schemes used by the layer zoo.
+///
+/// `KaimingNormal`/`KaimingUniform` correspond to He et al. 2015 ("Delving deep
+/// into rectifiers"), which the paper uses to initialise both the first-order
+/// and quadratic SSD backbones trained from scratch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum InitKind {
+    /// All zeros.
+    Zeros,
+    /// All ones.
+    Ones,
+    /// Uniform in `[-bound, bound]`.
+    Uniform {
+        /// Half-width of the sampling interval.
+        bound: f32,
+    },
+    /// Normal with the given standard deviation (mean 0).
+    Normal {
+        /// Standard deviation.
+        std: f32,
+    },
+    /// Kaiming (He) uniform: `U(-sqrt(6/fan_in), sqrt(6/fan_in))`.
+    KaimingUniform,
+    /// Kaiming (He) normal: `N(0, sqrt(2/fan_in))`.
+    KaimingNormal,
+    /// Xavier/Glorot uniform: `U(-sqrt(6/(fan_in+fan_out)), ...)`.
+    XavierUniform,
+}
+
+impl Tensor {
+    /// Sample every element i.i.d. uniformly from `[lo, hi)`.
+    pub fn rand_uniform(shape: &[usize], lo: f32, hi: f32, rng: &mut impl Rng) -> Tensor {
+        let n: usize = shape.iter().product();
+        let data = (0..n).map(|_| rng.gen_range(lo..hi)).collect();
+        Tensor::from_vec(data, shape).expect("shape/product consistency")
+    }
+
+    /// Sample every element i.i.d. from a normal distribution `N(mean, std^2)`.
+    ///
+    /// Uses a Box–Muller transform so the only external dependency is a uniform
+    /// random source.
+    pub fn randn(shape: &[usize], mean: f32, std: f32, rng: &mut impl Rng) -> Tensor {
+        let n: usize = shape.iter().product();
+        let mut data = Vec::with_capacity(n);
+        while data.len() < n {
+            let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+            let u2: f32 = rng.gen_range(0.0..1.0);
+            let r = (-2.0 * u1.ln()).sqrt();
+            let theta = 2.0 * std::f32::consts::PI * u2;
+            data.push(mean + std * r * theta.cos());
+            if data.len() < n {
+                data.push(mean + std * r * theta.sin());
+            }
+        }
+        Tensor::from_vec(data, shape).expect("shape/product consistency")
+    }
+
+    /// Sample each element as 1.0 with probability `p`, else 0.0 (used by Dropout masks).
+    pub fn bernoulli(shape: &[usize], p: f32, rng: &mut impl Rng) -> Tensor {
+        let n: usize = shape.iter().product();
+        let dist = rand::distributions::Uniform::new(0.0f32, 1.0f32);
+        let data = (0..n).map(|_| if dist.sample(rng) < p { 1.0 } else { 0.0 }).collect();
+        Tensor::from_vec(data, shape).expect("shape/product consistency")
+    }
+
+    /// Initialise a tensor according to `kind`, given fan-in/fan-out of the layer
+    /// the tensor parameterises.
+    pub fn init(shape: &[usize], kind: InitKind, fan_in: usize, fan_out: usize, rng: &mut impl Rng) -> Tensor {
+        let fan_in = fan_in.max(1);
+        let fan_out = fan_out.max(1);
+        match kind {
+            InitKind::Zeros => Tensor::zeros(shape),
+            InitKind::Ones => Tensor::ones(shape),
+            InitKind::Uniform { bound } => Tensor::rand_uniform(shape, -bound, bound, rng),
+            InitKind::Normal { std } => Tensor::randn(shape, 0.0, std, rng),
+            InitKind::KaimingUniform => {
+                let bound = (6.0 / fan_in as f32).sqrt();
+                Tensor::rand_uniform(shape, -bound, bound, rng)
+            }
+            InitKind::KaimingNormal => {
+                let std = (2.0 / fan_in as f32).sqrt();
+                Tensor::randn(shape, 0.0, std, rng)
+            }
+            InitKind::XavierUniform => {
+                let bound = (6.0 / (fan_in + fan_out) as f32).sqrt();
+                Tensor::rand_uniform(shape, -bound, bound, rng)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let t = Tensor::rand_uniform(&[1000], -0.5, 0.5, &mut rng());
+        assert!(t.as_slice().iter().all(|&x| (-0.5..0.5).contains(&x)));
+        assert_eq!(t.shape(), &[1000]);
+    }
+
+    #[test]
+    fn randn_moments_are_plausible() {
+        let t = Tensor::randn(&[20000], 1.0, 2.0, &mut rng());
+        let mean = t.as_slice().iter().sum::<f32>() / t.numel() as f32;
+        let var = t.as_slice().iter().map(|x| (x - mean).powi(2)).sum::<f32>() / t.numel() as f32;
+        assert!((mean - 1.0).abs() < 0.1, "mean {}", mean);
+        assert!((var - 4.0).abs() < 0.3, "var {}", var);
+    }
+
+    #[test]
+    fn randn_odd_length() {
+        let t = Tensor::randn(&[7], 0.0, 1.0, &mut rng());
+        assert_eq!(t.numel(), 7);
+    }
+
+    #[test]
+    fn bernoulli_rate() {
+        let t = Tensor::bernoulli(&[10000], 0.3, &mut rng());
+        let rate = t.as_slice().iter().sum::<f32>() / t.numel() as f32;
+        assert!((rate - 0.3).abs() < 0.03, "rate {}", rate);
+        assert!(t.as_slice().iter().all(|&x| x == 0.0 || x == 1.0));
+    }
+
+    #[test]
+    fn determinism_from_seed() {
+        let a = Tensor::randn(&[32], 0.0, 1.0, &mut rng());
+        let b = Tensor::randn(&[32], 0.0, 1.0, &mut rng());
+        assert_eq!(a.as_slice(), b.as_slice());
+    }
+
+    #[test]
+    fn kaiming_scales_with_fan_in() {
+        let small_fan = Tensor::init(&[1000], InitKind::KaimingUniform, 10, 10, &mut rng());
+        let large_fan = Tensor::init(&[1000], InitKind::KaimingUniform, 1000, 10, &mut rng());
+        let amax = |t: &Tensor| t.as_slice().iter().fold(0.0f32, |m, x| m.max(x.abs()));
+        assert!(amax(&small_fan) > amax(&large_fan));
+        assert!(amax(&small_fan) <= (6.0f32 / 10.0).sqrt());
+        assert!(amax(&large_fan) <= (6.0f32 / 1000.0).sqrt());
+    }
+
+    #[test]
+    fn init_kinds_cover_all_variants() {
+        let mut r = rng();
+        assert_eq!(Tensor::init(&[4], InitKind::Zeros, 4, 4, &mut r).as_slice(), &[0.0; 4]);
+        assert_eq!(Tensor::init(&[4], InitKind::Ones, 4, 4, &mut r).as_slice(), &[1.0; 4]);
+        let u = Tensor::init(&[100], InitKind::Uniform { bound: 0.1 }, 4, 4, &mut r);
+        assert!(u.as_slice().iter().all(|x| x.abs() <= 0.1));
+        let n = Tensor::init(&[100], InitKind::Normal { std: 0.01 }, 4, 4, &mut r);
+        assert!(n.as_slice().iter().all(|x| x.abs() < 0.1));
+        let k = Tensor::init(&[100], InitKind::KaimingNormal, 50, 50, &mut r);
+        assert!(!k.has_non_finite());
+        let x = Tensor::init(&[100], InitKind::XavierUniform, 50, 50, &mut r);
+        assert!(x.as_slice().iter().all(|v| v.abs() <= (6.0f32 / 100.0).sqrt()));
+    }
+
+    #[test]
+    fn zero_fan_in_does_not_divide_by_zero() {
+        let t = Tensor::init(&[8], InitKind::KaimingNormal, 0, 0, &mut rng());
+        assert!(!t.has_non_finite());
+    }
+}

@@ -1,0 +1,441 @@
+//! Shape manipulation: reshape, permute/transpose, concatenation, slicing,
+//! spatial padding and nearest-neighbour up-sampling.
+
+use crate::error::{Result, TensorError};
+use crate::shape::{check_axis, numel, strides_for, unravel_index};
+use crate::tensor::Tensor;
+
+impl Tensor {
+    /// Reinterpret the tensor with a new shape containing the same number of elements.
+    pub fn reshape(&self, shape: &[usize]) -> Result<Tensor> {
+        if numel(shape) != self.numel() {
+            return Err(TensorError::InvalidReshape { from: self.shape().to_vec(), to: shape.to_vec() });
+        }
+        Tensor::from_vec(self.as_slice().to_vec(), shape)
+    }
+
+    /// Flatten to a rank-1 tensor.
+    pub fn flatten(&self) -> Tensor {
+        Tensor::from_vec(self.as_slice().to_vec(), &[self.numel()]).expect("same element count")
+    }
+
+    /// Flatten all axes after the first into one: `[n, ...] -> [n, rest]`.
+    pub fn flatten_batch(&self) -> Tensor {
+        let n = if self.ndim() == 0 { 1 } else { self.shape()[0] };
+        let rest = if n == 0 { 0 } else { self.numel() / n };
+        Tensor::from_vec(self.as_slice().to_vec(), &[n, rest]).expect("same element count")
+    }
+
+    /// Insert a size-1 axis at position `axis`.
+    pub fn unsqueeze(&self, axis: usize) -> Result<Tensor> {
+        if axis > self.ndim() {
+            return Err(TensorError::AxisOutOfRange { axis, ndim: self.ndim() + 1 });
+        }
+        let mut shape = self.shape().to_vec();
+        shape.insert(axis, 1);
+        self.reshape(&shape)
+    }
+
+    /// Remove a size-1 axis at position `axis`.
+    pub fn squeeze(&self, axis: usize) -> Result<Tensor> {
+        check_axis(axis, self.ndim())?;
+        if self.shape()[axis] != 1 {
+            return Err(TensorError::InvalidArgument {
+                msg: format!("cannot squeeze axis {} with extent {}", axis, self.shape()[axis]),
+            });
+        }
+        let mut shape = self.shape().to_vec();
+        shape.remove(axis);
+        self.reshape(&shape)
+    }
+
+    /// Permute the axes according to `perm` (a permutation of `0..ndim`).
+    pub fn permute(&self, perm: &[usize]) -> Result<Tensor> {
+        if perm.len() != self.ndim() {
+            return Err(TensorError::InvalidArgument {
+                msg: format!("permutation {:?} does not match rank {}", perm, self.ndim()),
+            });
+        }
+        let mut seen = vec![false; self.ndim()];
+        for &p in perm {
+            check_axis(p, self.ndim())?;
+            if seen[p] {
+                return Err(TensorError::InvalidArgument { msg: format!("duplicate axis {} in permutation", p) });
+            }
+            seen[p] = true;
+        }
+        let in_shape = self.shape();
+        let in_strides = strides_for(in_shape);
+        let out_shape: Vec<usize> = perm.iter().map(|&p| in_shape[p]).collect();
+        let src = self.as_slice();
+        let n = self.numel();
+        let mut data = Vec::with_capacity(n);
+        for flat in 0..n {
+            let out_coords = unravel_index(flat, &out_shape);
+            let mut off = 0usize;
+            for (i, &p) in perm.iter().enumerate() {
+                off += out_coords[i] * in_strides[p];
+            }
+            data.push(src[off]);
+        }
+        Tensor::from_vec(data, &out_shape)
+    }
+
+    /// Transpose a rank-2 tensor.
+    pub fn transpose(&self) -> Result<Tensor> {
+        if self.ndim() != 2 {
+            return Err(TensorError::RankMismatch { op: "transpose", expected: 2, actual: self.ndim() });
+        }
+        let (m, n) = (self.shape()[0], self.shape()[1]);
+        let src = self.as_slice();
+        let mut data = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                data[j * m + i] = src[i * n + j];
+            }
+        }
+        Tensor::from_vec(data, &[n, m])
+    }
+
+    /// Concatenate tensors along `axis`. All other axes must match.
+    pub fn concat(tensors: &[&Tensor], axis: usize) -> Result<Tensor> {
+        if tensors.is_empty() {
+            return Err(TensorError::InvalidArgument { msg: "concat of zero tensors".into() });
+        }
+        let first = tensors[0];
+        check_axis(axis, first.ndim())?;
+        let mut cat_extent = 0usize;
+        for t in tensors {
+            if t.ndim() != first.ndim() {
+                return Err(TensorError::IncompatibleShapes {
+                    op: "concat",
+                    lhs: first.shape().to_vec(),
+                    rhs: t.shape().to_vec(),
+                });
+            }
+            for ax in 0..first.ndim() {
+                if ax != axis && t.shape()[ax] != first.shape()[ax] {
+                    return Err(TensorError::IncompatibleShapes {
+                        op: "concat",
+                        lhs: first.shape().to_vec(),
+                        rhs: t.shape().to_vec(),
+                    });
+                }
+            }
+            cat_extent += t.shape()[axis];
+        }
+        let mut out_shape = first.shape().to_vec();
+        out_shape[axis] = cat_extent;
+
+        let outer: usize = first.shape()[..axis].iter().product();
+        let inner: usize = first.shape()[axis + 1..].iter().product();
+        let mut data = Vec::with_capacity(numel(&out_shape));
+        for o in 0..outer {
+            for t in tensors {
+                let ext = t.shape()[axis];
+                let src = t.as_slice();
+                let start = o * ext * inner;
+                data.extend_from_slice(&src[start..start + ext * inner]);
+            }
+        }
+        Tensor::from_vec(data, &out_shape)
+    }
+
+    /// Stack rank-`k` tensors of identical shape into a rank-`k+1` tensor along a new axis 0.
+    pub fn stack(tensors: &[&Tensor]) -> Result<Tensor> {
+        if tensors.is_empty() {
+            return Err(TensorError::InvalidArgument { msg: "stack of zero tensors".into() });
+        }
+        let shape = tensors[0].shape().to_vec();
+        let mut data = Vec::with_capacity(tensors.len() * tensors[0].numel());
+        for t in tensors {
+            if t.shape() != shape.as_slice() {
+                return Err(TensorError::IncompatibleShapes {
+                    op: "stack",
+                    lhs: shape.clone(),
+                    rhs: t.shape().to_vec(),
+                });
+            }
+            data.extend_from_slice(t.as_slice());
+        }
+        let mut out_shape = vec![tensors.len()];
+        out_shape.extend_from_slice(&shape);
+        Tensor::from_vec(data, &out_shape)
+    }
+
+    /// Take a contiguous slice `[start, start+len)` along `axis`.
+    pub fn narrow(&self, axis: usize, start: usize, len: usize) -> Result<Tensor> {
+        check_axis(axis, self.ndim())?;
+        let extent = self.shape()[axis];
+        if start + len > extent {
+            return Err(TensorError::InvalidArgument {
+                msg: format!("narrow [{}, {}) out of range for axis {} with extent {}", start, start + len, axis, extent),
+            });
+        }
+        let outer: usize = self.shape()[..axis].iter().product();
+        let inner: usize = self.shape()[axis + 1..].iter().product();
+        let src = self.as_slice();
+        let mut out_shape = self.shape().to_vec();
+        out_shape[axis] = len;
+        let mut data = Vec::with_capacity(numel(&out_shape));
+        for o in 0..outer {
+            let base = (o * extent + start) * inner;
+            data.extend_from_slice(&src[base..base + len * inner]);
+        }
+        Tensor::from_vec(data, &out_shape)
+    }
+
+    /// Select a single index along `axis`, removing that axis.
+    pub fn index_axis(&self, axis: usize, index: usize) -> Result<Tensor> {
+        let narrowed = self.narrow(axis, index, 1)?;
+        narrowed.squeeze(axis)
+    }
+
+    /// Select rows (along axis 0) by index, producing a tensor with the same
+    /// trailing shape. Used for mini-batch gathering.
+    pub fn select_rows(&self, indices: &[usize]) -> Result<Tensor> {
+        if self.ndim() == 0 {
+            return Err(TensorError::RankMismatch { op: "select_rows", expected: 1, actual: 0 });
+        }
+        let rows = self.shape()[0];
+        let inner: usize = self.shape()[1..].iter().product();
+        let src = self.as_slice();
+        let mut data = Vec::with_capacity(indices.len() * inner);
+        for &i in indices {
+            if i >= rows {
+                return Err(TensorError::InvalidArgument { msg: format!("row index {} out of range ({} rows)", i, rows) });
+            }
+            data.extend_from_slice(&src[i * inner..(i + 1) * inner]);
+        }
+        let mut out_shape = self.shape().to_vec();
+        out_shape[0] = indices.len();
+        Tensor::from_vec(data, &out_shape)
+    }
+
+    /// Zero-pad the two trailing spatial axes of an NCHW tensor by `pad` on every side.
+    pub fn pad2d(&self, pad: usize) -> Result<Tensor> {
+        if self.ndim() != 4 {
+            return Err(TensorError::RankMismatch { op: "pad2d", expected: 4, actual: self.ndim() });
+        }
+        if pad == 0 {
+            return Ok(self.clone());
+        }
+        let (n, c, h, w) = (self.shape()[0], self.shape()[1], self.shape()[2], self.shape()[3]);
+        let (oh, ow) = (h + 2 * pad, w + 2 * pad);
+        let mut out = Tensor::zeros(&[n, c, oh, ow]);
+        let src = self.as_slice();
+        let dst = out.as_mut_slice();
+        for ni in 0..n {
+            for ci in 0..c {
+                for hi in 0..h {
+                    let src_base = ((ni * c + ci) * h + hi) * w;
+                    let dst_base = ((ni * c + ci) * oh + hi + pad) * ow + pad;
+                    dst[dst_base..dst_base + w].copy_from_slice(&src[src_base..src_base + w]);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Nearest-neighbour up-sampling of an NCHW tensor by an integer factor.
+    ///
+    /// Used by the GAN generator to grow spatial resolution between quadratic
+    /// convolution stages.
+    pub fn upsample_nearest2d(&self, factor: usize) -> Result<Tensor> {
+        if self.ndim() != 4 {
+            return Err(TensorError::RankMismatch { op: "upsample_nearest2d", expected: 4, actual: self.ndim() });
+        }
+        if factor == 0 {
+            return Err(TensorError::InvalidArgument { msg: "upsample factor must be >= 1".into() });
+        }
+        let (n, c, h, w) = (self.shape()[0], self.shape()[1], self.shape()[2], self.shape()[3]);
+        let (oh, ow) = (h * factor, w * factor);
+        let mut out = Tensor::zeros(&[n, c, oh, ow]);
+        let src = self.as_slice();
+        let dst = out.as_mut_slice();
+        for ni in 0..n {
+            for ci in 0..c {
+                for ohi in 0..oh {
+                    let hi = ohi / factor;
+                    for owi in 0..ow {
+                        let wi = owi / factor;
+                        dst[((ni * c + ci) * oh + ohi) * ow + owi] = src[((ni * c + ci) * h + hi) * w + wi];
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Average-pool the inverse of [`Tensor::upsample_nearest2d`]: down-sample an NCHW
+    /// tensor by an integer factor averaging each `factor × factor` block.
+    pub fn downsample_avg2d(&self, factor: usize) -> Result<Tensor> {
+        if self.ndim() != 4 {
+            return Err(TensorError::RankMismatch { op: "downsample_avg2d", expected: 4, actual: self.ndim() });
+        }
+        if factor == 0 || self.shape()[2] % factor != 0 || self.shape()[3] % factor != 0 {
+            return Err(TensorError::InvalidArgument {
+                msg: format!("spatial dims {:?} not divisible by factor {}", &self.shape()[2..], factor),
+            });
+        }
+        let (n, c, h, w) = (self.shape()[0], self.shape()[1], self.shape()[2], self.shape()[3]);
+        let (oh, ow) = (h / factor, w / factor);
+        let mut out = Tensor::zeros(&[n, c, oh, ow]);
+        let src = self.as_slice();
+        let dst = out.as_mut_slice();
+        let norm = (factor * factor) as f32;
+        for ni in 0..n {
+            for ci in 0..c {
+                for ohi in 0..oh {
+                    for owi in 0..ow {
+                        let mut s = 0.0;
+                        for dh in 0..factor {
+                            for dw in 0..factor {
+                                s += src[((ni * c + ci) * h + ohi * factor + dh) * w + owi * factor + dw];
+                            }
+                        }
+                        dst[((ni * c + ci) * oh + ohi) * ow + owi] = s / norm;
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(data: &[f32], shape: &[usize]) -> Tensor {
+        Tensor::from_vec(data.to_vec(), shape).unwrap()
+    }
+
+    #[test]
+    fn reshape_and_flatten() {
+        let a = Tensor::arange(0.0, 1.0, 6);
+        let b = a.reshape(&[2, 3]).unwrap();
+        assert_eq!(b.shape(), &[2, 3]);
+        assert_eq!(b.as_slice(), a.as_slice());
+        assert!(a.reshape(&[4]).is_err());
+        assert_eq!(b.flatten().shape(), &[6]);
+        let c = Tensor::zeros(&[4, 2, 3]);
+        assert_eq!(c.flatten_batch().shape(), &[4, 6]);
+    }
+
+    #[test]
+    fn squeeze_unsqueeze() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = a.unsqueeze(1).unwrap();
+        assert_eq!(b.shape(), &[2, 1, 3]);
+        assert_eq!(b.squeeze(1).unwrap().shape(), &[2, 3]);
+        assert!(b.squeeze(0).is_err());
+        assert!(a.unsqueeze(5).is_err());
+        assert!(a.squeeze(9).is_err());
+    }
+
+    #[test]
+    fn transpose_2d() {
+        let a = t(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let b = a.transpose().unwrap();
+        assert_eq!(b.shape(), &[3, 2]);
+        assert_eq!(b.as_slice(), &[1.0, 4.0, 2.0, 5.0, 3.0, 6.0]);
+        assert!(Tensor::zeros(&[2, 2, 2]).transpose().is_err());
+    }
+
+    #[test]
+    fn permute_matches_transpose_and_roundtrips() {
+        let a = Tensor::arange(0.0, 1.0, 24).reshape(&[2, 3, 4]).unwrap();
+        let p = a.permute(&[2, 0, 1]).unwrap();
+        assert_eq!(p.shape(), &[4, 2, 3]);
+        assert_eq!(p.at(&[1, 0, 2]), a.at(&[0, 2, 1]));
+        let back = p.permute(&[1, 2, 0]).unwrap();
+        assert!(back.allclose(&a, 0.0));
+        let m = t(&[1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        assert_eq!(m.permute(&[1, 0]).unwrap().as_slice(), m.transpose().unwrap().as_slice());
+        assert!(a.permute(&[0, 1]).is_err());
+        assert!(a.permute(&[0, 0, 1]).is_err());
+        assert!(a.permute(&[0, 1, 5]).is_err());
+    }
+
+    #[test]
+    fn concat_axis0_and_axis1() {
+        let a = t(&[1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let b = t(&[5.0, 6.0], &[1, 2]);
+        let c = Tensor::concat(&[&a, &b], 0).unwrap();
+        assert_eq!(c.shape(), &[3, 2]);
+        assert_eq!(c.as_slice(), &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        let d = t(&[7.0, 8.0], &[2, 1]);
+        let e = Tensor::concat(&[&a, &d], 1).unwrap();
+        assert_eq!(e.shape(), &[2, 3]);
+        assert_eq!(e.as_slice(), &[1.0, 2.0, 7.0, 3.0, 4.0, 8.0]);
+        assert!(Tensor::concat(&[], 0).is_err());
+        assert!(Tensor::concat(&[&a, &d], 0).is_err());
+        assert!(Tensor::concat(&[&a, &Tensor::zeros(&[2])], 0).is_err());
+    }
+
+    #[test]
+    fn stack_adds_axis() {
+        let a = t(&[1.0, 2.0], &[2]);
+        let b = t(&[3.0, 4.0], &[2]);
+        let s = Tensor::stack(&[&a, &b]).unwrap();
+        assert_eq!(s.shape(), &[2, 2]);
+        assert_eq!(s.as_slice(), &[1.0, 2.0, 3.0, 4.0]);
+        assert!(Tensor::stack(&[]).is_err());
+        assert!(Tensor::stack(&[&a, &Tensor::zeros(&[3])]).is_err());
+    }
+
+    #[test]
+    fn narrow_and_index() {
+        let a = Tensor::arange(0.0, 1.0, 12).reshape(&[3, 4]).unwrap();
+        let n = a.narrow(0, 1, 2).unwrap();
+        assert_eq!(n.shape(), &[2, 4]);
+        assert_eq!(n.at(&[0, 0]), 4.0);
+        let m = a.narrow(1, 2, 2).unwrap();
+        assert_eq!(m.shape(), &[3, 2]);
+        assert_eq!(m.as_slice(), &[2.0, 3.0, 6.0, 7.0, 10.0, 11.0]);
+        assert!(a.narrow(1, 3, 2).is_err());
+        let row = a.index_axis(0, 2).unwrap();
+        assert_eq!(row.shape(), &[4]);
+        assert_eq!(row.as_slice(), &[8.0, 9.0, 10.0, 11.0]);
+    }
+
+    #[test]
+    fn select_rows_gathers() {
+        let a = Tensor::arange(0.0, 1.0, 12).reshape(&[4, 3]).unwrap();
+        let g = a.select_rows(&[3, 0, 3]).unwrap();
+        assert_eq!(g.shape(), &[3, 3]);
+        assert_eq!(g.as_slice(), &[9.0, 10.0, 11.0, 0.0, 1.0, 2.0, 9.0, 10.0, 11.0]);
+        assert!(a.select_rows(&[4]).is_err());
+        assert!(Tensor::scalar(0.0).select_rows(&[0]).is_err());
+    }
+
+    #[test]
+    fn pad2d_places_input_in_center() {
+        let a = Tensor::ones(&[1, 1, 2, 2]);
+        let p = a.pad2d(1).unwrap();
+        assert_eq!(p.shape(), &[1, 1, 4, 4]);
+        assert_eq!(p.sum(), 4.0);
+        assert_eq!(p.at(&[0, 0, 0, 0]), 0.0);
+        assert_eq!(p.at(&[0, 0, 1, 1]), 1.0);
+        assert_eq!(p.at(&[0, 0, 2, 2]), 1.0);
+        assert!(Tensor::zeros(&[2, 2]).pad2d(1).is_err());
+        // pad 0 is identity
+        assert!(a.pad2d(0).unwrap().allclose(&a, 0.0));
+    }
+
+    #[test]
+    fn upsample_and_downsample_roundtrip() {
+        let a = t(&[1.0, 2.0, 3.0, 4.0], &[1, 1, 2, 2]);
+        let u = a.upsample_nearest2d(2).unwrap();
+        assert_eq!(u.shape(), &[1, 1, 4, 4]);
+        assert_eq!(u.at(&[0, 0, 0, 1]), 1.0);
+        assert_eq!(u.at(&[0, 0, 3, 3]), 4.0);
+        let d = u.downsample_avg2d(2).unwrap();
+        assert!(d.allclose(&a, 1e-6));
+        assert!(a.upsample_nearest2d(0).is_err());
+        assert!(Tensor::zeros(&[2, 2]).upsample_nearest2d(2).is_err());
+        assert!(a.downsample_avg2d(3).is_err());
+        assert!(Tensor::zeros(&[2, 2]).downsample_avg2d(2).is_err());
+    }
+}

@@ -1,0 +1,245 @@
+//! Matrix multiplication: 2-D GEMM (rayon-parallel over rows) and batched matmul.
+
+use crate::error::{Result, TensorError};
+use crate::tensor::Tensor;
+use rayon::prelude::*;
+
+/// Minimum number of output rows before the parallel GEMM path is used; tiny
+/// matmuls are faster single-threaded.
+const PAR_ROW_THRESHOLD: usize = 16;
+
+/// Raw GEMM on slices: `c[m×n] = a[m×k] · b[k×n]`.
+///
+/// Row-parallel when `m` is large enough. The inner loops are ordered (i, p, j)
+/// so the innermost loop streams both `b` and `c` contiguously, which lets the
+/// compiler auto-vectorise.
+pub(crate) fn gemm(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+    let mut c = vec![0.0f32; m * n];
+    let row_op = |i: usize, c_row: &mut [f32]| {
+        let a_row = &a[i * k..(i + 1) * k];
+        for (p, &a_ip) in a_row.iter().enumerate() {
+            if a_ip == 0.0 {
+                continue;
+            }
+            let b_row = &b[p * n..(p + 1) * n];
+            for (c_v, &b_v) in c_row.iter_mut().zip(b_row.iter()) {
+                *c_v += a_ip * b_v;
+            }
+        }
+    };
+    if m >= PAR_ROW_THRESHOLD {
+        c.par_chunks_mut(n).enumerate().for_each(|(i, row)| row_op(i, row));
+    } else {
+        for (i, row) in c.chunks_mut(n).enumerate() {
+            row_op(i, row);
+        }
+    }
+    c
+}
+
+impl Tensor {
+    /// Matrix product of two rank-2 tensors: `[m, k] · [k, n] -> [m, n]`.
+    pub fn matmul(&self, other: &Tensor) -> Result<Tensor> {
+        if self.ndim() != 2 || other.ndim() != 2 {
+            return Err(TensorError::IncompatibleShapes {
+                op: "matmul",
+                lhs: self.shape().to_vec(),
+                rhs: other.shape().to_vec(),
+            });
+        }
+        let (m, k) = (self.shape()[0], self.shape()[1]);
+        let (k2, n) = (other.shape()[0], other.shape()[1]);
+        if k != k2 {
+            return Err(TensorError::IncompatibleShapes {
+                op: "matmul",
+                lhs: self.shape().to_vec(),
+                rhs: other.shape().to_vec(),
+            });
+        }
+        let c = gemm(self.as_slice(), other.as_slice(), m, k, n);
+        Tensor::from_vec(c, &[m, n])
+    }
+
+    /// Batched matrix product of two rank-3 tensors: `[b, m, k] · [b, k, n] -> [b, m, n]`.
+    pub fn bmm(&self, other: &Tensor) -> Result<Tensor> {
+        if self.ndim() != 3 || other.ndim() != 3 {
+            return Err(TensorError::IncompatibleShapes {
+                op: "bmm",
+                lhs: self.shape().to_vec(),
+                rhs: other.shape().to_vec(),
+            });
+        }
+        let (b, m, k) = (self.shape()[0], self.shape()[1], self.shape()[2]);
+        let (b2, k2, n) = (other.shape()[0], other.shape()[1], other.shape()[2]);
+        if b != b2 || k != k2 {
+            return Err(TensorError::IncompatibleShapes {
+                op: "bmm",
+                lhs: self.shape().to_vec(),
+                rhs: other.shape().to_vec(),
+            });
+        }
+        let a = self.as_slice();
+        let bb = other.as_slice();
+        let mut out = vec![0.0f32; b * m * n];
+        out.par_chunks_mut(m * n).enumerate().for_each(|(i, chunk)| {
+            let c = gemm(&a[i * m * k..(i + 1) * m * k], &bb[i * k * n..(i + 1) * k * n], m, k, n);
+            chunk.copy_from_slice(&c);
+        });
+        Tensor::from_vec(out, &[b, m, n])
+    }
+
+    /// Matrix–vector product: `[m, k] · [k] -> [m]`.
+    pub fn matvec(&self, v: &Tensor) -> Result<Tensor> {
+        if self.ndim() != 2 || v.ndim() != 1 || self.shape()[1] != v.shape()[0] {
+            return Err(TensorError::IncompatibleShapes {
+                op: "matvec",
+                lhs: self.shape().to_vec(),
+                rhs: v.shape().to_vec(),
+            });
+        }
+        let m = self.shape()[0];
+        let k = self.shape()[1];
+        let a = self.as_slice();
+        let x = v.as_slice();
+        let data: Vec<f32> = (0..m)
+            .map(|i| a[i * k..(i + 1) * k].iter().zip(x.iter()).map(|(p, q)| p * q).sum())
+            .collect();
+        Tensor::from_vec(data, &[m])
+    }
+
+    /// Dot product of two rank-1 tensors.
+    pub fn dot(&self, other: &Tensor) -> Result<f32> {
+        if self.ndim() != 1 || other.ndim() != 1 || self.numel() != other.numel() {
+            return Err(TensorError::IncompatibleShapes {
+                op: "dot",
+                lhs: self.shape().to_vec(),
+                rhs: other.shape().to_vec(),
+            });
+        }
+        Ok(self.as_slice().iter().zip(other.as_slice()).map(|(a, b)| a * b).sum())
+    }
+
+    /// Outer product of two rank-1 tensors: `[m] ⊗ [n] -> [m, n]`.
+    pub fn outer(&self, other: &Tensor) -> Result<Tensor> {
+        if self.ndim() != 1 || other.ndim() != 1 {
+            return Err(TensorError::IncompatibleShapes {
+                op: "outer",
+                lhs: self.shape().to_vec(),
+                rhs: other.shape().to_vec(),
+            });
+        }
+        let m = self.numel();
+        let n = other.numel();
+        let a = self.as_slice();
+        let b = other.as_slice();
+        let mut data = Vec::with_capacity(m * n);
+        for &ai in a {
+            for &bj in b {
+                data.push(ai * bj);
+            }
+        }
+        Tensor::from_vec(data, &[m, n])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn t(data: &[f32], shape: &[usize]) -> Tensor {
+        Tensor::from_vec(data.to_vec(), shape).unwrap()
+    }
+
+    /// Naive reference matmul for cross-checking the optimised kernel.
+    fn naive_matmul(a: &Tensor, b: &Tensor) -> Tensor {
+        let (m, k) = (a.shape()[0], a.shape()[1]);
+        let n = b.shape()[1];
+        let mut out = Tensor::zeros(&[m, n]);
+        for i in 0..m {
+            for j in 0..n {
+                let mut s = 0.0;
+                for p in 0..k {
+                    s += a.at(&[i, p]) * b.at(&[p, j]);
+                }
+                out.set(&[i, j], s);
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn small_matmul_exact() {
+        let a = t(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let b = t(&[7.0, 8.0, 9.0, 10.0, 11.0, 12.0], &[3, 2]);
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.shape(), &[2, 2]);
+        assert_eq!(c.as_slice(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let a = t(&[1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        assert_eq!(a.matmul(&Tensor::eye(2)).unwrap().as_slice(), a.as_slice());
+        assert_eq!(Tensor::eye(2).matmul(&a).unwrap().as_slice(), a.as_slice());
+    }
+
+    #[test]
+    fn matches_naive_on_random_large() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let a = Tensor::randn(&[33, 17], 0.0, 1.0, &mut rng);
+        let b = Tensor::randn(&[17, 29], 0.0, 1.0, &mut rng);
+        let fast = a.matmul(&b).unwrap();
+        let slow = naive_matmul(&a, &b);
+        assert!(fast.allclose(&slow, 1e-4));
+    }
+
+    #[test]
+    fn shape_errors() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[4, 2]);
+        assert!(a.matmul(&b).is_err());
+        assert!(a.matmul(&Tensor::zeros(&[3])).is_err());
+        assert!(Tensor::zeros(&[2, 2, 2]).matmul(&a).is_err());
+    }
+
+    #[test]
+    fn bmm_batches_independently() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = Tensor::randn(&[4, 5, 6], 0.0, 1.0, &mut rng);
+        let b = Tensor::randn(&[4, 6, 3], 0.0, 1.0, &mut rng);
+        let c = a.bmm(&b).unwrap();
+        assert_eq!(c.shape(), &[4, 5, 3]);
+        // check batch 2 against 2-D matmul of the slices
+        let a2 = Tensor::from_vec(a.as_slice()[2 * 30..3 * 30].to_vec(), &[5, 6]).unwrap();
+        let b2 = Tensor::from_vec(b.as_slice()[2 * 18..3 * 18].to_vec(), &[6, 3]).unwrap();
+        let c2 = Tensor::from_vec(c.as_slice()[2 * 15..3 * 15].to_vec(), &[5, 3]).unwrap();
+        assert!(c2.allclose(&a2.matmul(&b2).unwrap(), 1e-5));
+        assert!(a.bmm(&Tensor::zeros(&[3, 6, 3])).is_err());
+        assert!(a.bmm(&Tensor::zeros(&[4, 7, 3])).is_err());
+        assert!(a.bmm(&Tensor::zeros(&[4, 6])).is_err());
+    }
+
+    #[test]
+    fn matvec_dot_outer() {
+        let m = t(&[1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let v = t(&[1.0, -1.0], &[2]);
+        assert_eq!(m.matvec(&v).unwrap().as_slice(), &[-1.0, -1.0]);
+        assert!(m.matvec(&Tensor::zeros(&[3])).is_err());
+        assert_eq!(v.dot(&v).unwrap(), 2.0);
+        assert!(v.dot(&Tensor::zeros(&[3])).is_err());
+        let o = v.outer(&t(&[2.0, 3.0], &[2])).unwrap();
+        assert_eq!(o.as_slice(), &[2.0, 3.0, -2.0, -3.0]);
+        assert!(m.outer(&v).is_err());
+    }
+
+    #[test]
+    fn gemm_zero_dimensions() {
+        let a = Tensor::zeros(&[0, 3]);
+        let b = Tensor::zeros(&[3, 2]);
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.shape(), &[0, 2]);
+        assert_eq!(c.numel(), 0);
+    }
+}

@@ -1,0 +1,324 @@
+//! Element-wise arithmetic (with broadcasting), scalar ops and common unary functions.
+
+use crate::error::{Result, TensorError};
+use crate::shape::{broadcast_shapes, broadcast_strides, numel, unravel_index};
+use crate::tensor::Tensor;
+
+impl Tensor {
+    // ------------------------------------------------------------------
+    // Broadcasting binary ops
+    // ------------------------------------------------------------------
+
+    /// Apply a binary op element-wise with NumPy-style broadcasting.
+    pub fn broadcast_op(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Result<Tensor> {
+        // Fast path: identical shapes.
+        if self.shape() == other.shape() {
+            return self.zip_map(other, f);
+        }
+        let out_shape = broadcast_shapes(self.shape(), other.shape())?;
+        let ls = broadcast_strides(self.shape(), &out_shape);
+        let rs = broadcast_strides(other.shape(), &out_shape);
+        let n = numel(&out_shape);
+        let a = self.as_slice();
+        let b = other.as_slice();
+        let mut data = Vec::with_capacity(n);
+        // Iterate output coordinates; compute offsets through (possibly zero) strides.
+        let mut coords = vec![0usize; out_shape.len()];
+        let mut a_off = 0usize;
+        let mut b_off = 0usize;
+        for _ in 0..n {
+            data.push(f(a[a_off], b[b_off]));
+            // Increment coords odometer-style, updating offsets incrementally.
+            for ax in (0..out_shape.len()).rev() {
+                coords[ax] += 1;
+                a_off += ls[ax];
+                b_off += rs[ax];
+                if coords[ax] < out_shape[ax] {
+                    break;
+                }
+                a_off -= ls[ax] * out_shape[ax];
+                b_off -= rs[ax] * out_shape[ax];
+                coords[ax] = 0;
+            }
+        }
+        Tensor::from_vec(data, &out_shape)
+    }
+
+    /// Element-wise addition with broadcasting.
+    pub fn add(&self, other: &Tensor) -> Result<Tensor> {
+        self.broadcast_op(other, |a, b| a + b)
+    }
+
+    /// Element-wise subtraction with broadcasting.
+    pub fn sub(&self, other: &Tensor) -> Result<Tensor> {
+        self.broadcast_op(other, |a, b| a - b)
+    }
+
+    /// Element-wise (Hadamard) product with broadcasting.
+    ///
+    /// This is the `∘` operator at the heart of the proposed quadratic neuron
+    /// `f(X) = (Wa·X) ∘ (Wb·X) + Wc·X`.
+    pub fn mul(&self, other: &Tensor) -> Result<Tensor> {
+        self.broadcast_op(other, |a, b| a * b)
+    }
+
+    /// Element-wise division with broadcasting.
+    pub fn div(&self, other: &Tensor) -> Result<Tensor> {
+        self.broadcast_op(other, |a, b| a / b)
+    }
+
+    /// In-place element-wise addition of a same-shaped tensor (no broadcasting).
+    pub fn add_assign(&mut self, other: &Tensor) -> Result<()> {
+        if self.shape() != other.shape() {
+            return Err(TensorError::IncompatibleShapes {
+                op: "add_assign",
+                lhs: self.shape().to_vec(),
+                rhs: other.shape().to_vec(),
+            });
+        }
+        for (a, b) in self.as_mut_slice().iter_mut().zip(other.as_slice()) {
+            *a += b;
+        }
+        Ok(())
+    }
+
+    /// In-place `self += alpha * other` (axpy), same shapes only.
+    pub fn add_scaled_assign(&mut self, other: &Tensor, alpha: f32) -> Result<()> {
+        if self.shape() != other.shape() {
+            return Err(TensorError::IncompatibleShapes {
+                op: "add_scaled_assign",
+                lhs: self.shape().to_vec(),
+                rhs: other.shape().to_vec(),
+            });
+        }
+        for (a, b) in self.as_mut_slice().iter_mut().zip(other.as_slice()) {
+            *a += alpha * b;
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Scalar ops
+    // ------------------------------------------------------------------
+
+    /// Add a scalar to every element.
+    pub fn add_scalar(&self, s: f32) -> Tensor {
+        self.map(|x| x + s)
+    }
+
+    /// Subtract a scalar from every element.
+    pub fn sub_scalar(&self, s: f32) -> Tensor {
+        self.map(|x| x - s)
+    }
+
+    /// Multiply every element by a scalar.
+    pub fn mul_scalar(&self, s: f32) -> Tensor {
+        self.map(|x| x * s)
+    }
+
+    /// Divide every element by a scalar.
+    pub fn div_scalar(&self, s: f32) -> Tensor {
+        self.map(|x| x / s)
+    }
+
+    /// Multiply every element by a scalar in place.
+    pub fn scale_inplace(&mut self, s: f32) {
+        self.map_inplace(|x| x * s);
+    }
+
+    // ------------------------------------------------------------------
+    // Unary functions
+    // ------------------------------------------------------------------
+
+    /// Element-wise negation.
+    pub fn neg(&self) -> Tensor {
+        self.map(|x| -x)
+    }
+
+    /// Element-wise absolute value.
+    pub fn abs(&self) -> Tensor {
+        self.map(f32::abs)
+    }
+
+    /// Element-wise square.
+    pub fn square(&self) -> Tensor {
+        self.map(|x| x * x)
+    }
+
+    /// Element-wise square root.
+    pub fn sqrt(&self) -> Tensor {
+        self.map(f32::sqrt)
+    }
+
+    /// Element-wise natural exponential.
+    pub fn exp(&self) -> Tensor {
+        self.map(f32::exp)
+    }
+
+    /// Element-wise natural logarithm.
+    pub fn ln(&self) -> Tensor {
+        self.map(f32::ln)
+    }
+
+    /// Element-wise integer power.
+    pub fn powi(&self, p: i32) -> Tensor {
+        self.map(|x| x.powi(p))
+    }
+
+    /// Element-wise hyperbolic tangent.
+    pub fn tanh(&self) -> Tensor {
+        self.map(f32::tanh)
+    }
+
+    /// Element-wise logistic sigmoid.
+    pub fn sigmoid(&self) -> Tensor {
+        self.map(|x| 1.0 / (1.0 + (-x).exp()))
+    }
+
+    /// Element-wise rectified linear unit `max(x, 0)`.
+    pub fn relu(&self) -> Tensor {
+        self.map(|x| x.max(0.0))
+    }
+
+    /// Element-wise leaky ReLU.
+    pub fn leaky_relu(&self, slope: f32) -> Tensor {
+        self.map(|x| if x >= 0.0 { x } else { slope * x })
+    }
+
+    /// Clamp every element into `[lo, hi]`.
+    pub fn clamp(&self, lo: f32, hi: f32) -> Tensor {
+        self.map(|x| x.clamp(lo, hi))
+    }
+
+    /// Euclidean (L2) norm of the whole tensor.
+    pub fn l2_norm(&self) -> f32 {
+        self.as_slice().iter().map(|x| x * x).sum::<f32>().sqrt()
+    }
+
+    /// Sum of absolute values (L1 norm) of the whole tensor.
+    pub fn l1_norm(&self) -> f32 {
+        self.as_slice().iter().map(|x| x.abs()).sum::<f32>()
+    }
+
+    /// Broadcast `self` to `target` shape, materialising the repeated data.
+    pub fn broadcast_to(&self, target: &[usize]) -> Result<Tensor> {
+        let out_shape = broadcast_shapes(self.shape(), target)?;
+        if out_shape != target {
+            return Err(TensorError::BroadcastMismatch { lhs: self.shape().to_vec(), rhs: target.to_vec() });
+        }
+        let strides = broadcast_strides(self.shape(), target);
+        let n = numel(target);
+        let src = self.as_slice();
+        let mut data = Vec::with_capacity(n);
+        for flat in 0..n {
+            let coords = unravel_index(flat, target);
+            let off: usize = coords.iter().zip(strides.iter()).map(|(c, s)| c * s).sum();
+            data.push(src[off]);
+        }
+        Tensor::from_vec(data, target)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(data: &[f32], shape: &[usize]) -> Tensor {
+        Tensor::from_vec(data.to_vec(), shape).unwrap()
+    }
+
+    #[test]
+    fn same_shape_arithmetic() {
+        let a = t(&[1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let b = t(&[4.0, 3.0, 2.0, 1.0], &[2, 2]);
+        assert_eq!(a.add(&b).unwrap().as_slice(), &[5.0; 4]);
+        assert_eq!(a.sub(&b).unwrap().as_slice(), &[-3.0, -1.0, 1.0, 3.0]);
+        assert_eq!(a.mul(&b).unwrap().as_slice(), &[4.0, 6.0, 6.0, 4.0]);
+        assert_eq!(a.div(&b).unwrap().as_slice(), &[0.25, 2.0 / 3.0, 1.5, 4.0]);
+    }
+
+    #[test]
+    fn broadcasting_row_and_column() {
+        let m = t(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        let row = t(&[10.0, 20.0, 30.0], &[3]);
+        let col = t(&[100.0, 200.0], &[2, 1]);
+        assert_eq!(m.add(&row).unwrap().as_slice(), &[11.0, 22.0, 33.0, 14.0, 25.0, 36.0]);
+        assert_eq!(m.add(&col).unwrap().as_slice(), &[101.0, 102.0, 103.0, 204.0, 205.0, 206.0]);
+        // scalar tensor broadcast
+        let s = Tensor::scalar(1.0);
+        assert_eq!(m.add(&s).unwrap().as_slice(), &[2.0, 3.0, 4.0, 5.0, 6.0, 7.0]);
+    }
+
+    #[test]
+    fn broadcasting_outer_product_shape() {
+        let a = t(&[1.0, 2.0], &[2, 1]);
+        let b = t(&[3.0, 4.0, 5.0], &[1, 3]);
+        let c = a.mul(&b).unwrap();
+        assert_eq!(c.shape(), &[2, 3]);
+        assert_eq!(c.as_slice(), &[3.0, 4.0, 5.0, 6.0, 8.0, 10.0]);
+    }
+
+    #[test]
+    fn broadcast_mismatch_errors() {
+        let a = Tensor::zeros(&[2, 3]);
+        let b = Tensor::zeros(&[2, 4]);
+        assert!(a.add(&b).is_err());
+    }
+
+    #[test]
+    fn in_place_ops() {
+        let mut a = t(&[1.0, 2.0], &[2]);
+        a.add_assign(&t(&[3.0, 4.0], &[2])).unwrap();
+        assert_eq!(a.as_slice(), &[4.0, 6.0]);
+        a.add_scaled_assign(&t(&[1.0, 1.0], &[2]), 0.5).unwrap();
+        assert_eq!(a.as_slice(), &[4.5, 6.5]);
+        assert!(a.add_assign(&Tensor::zeros(&[3])).is_err());
+        assert!(a.add_scaled_assign(&Tensor::zeros(&[3]), 1.0).is_err());
+        a.scale_inplace(2.0);
+        assert_eq!(a.as_slice(), &[9.0, 13.0]);
+    }
+
+    #[test]
+    fn scalar_ops() {
+        let a = t(&[1.0, -2.0], &[2]);
+        assert_eq!(a.add_scalar(1.0).as_slice(), &[2.0, -1.0]);
+        assert_eq!(a.sub_scalar(1.0).as_slice(), &[0.0, -3.0]);
+        assert_eq!(a.mul_scalar(3.0).as_slice(), &[3.0, -6.0]);
+        assert_eq!(a.div_scalar(2.0).as_slice(), &[0.5, -1.0]);
+    }
+
+    #[test]
+    fn unary_functions() {
+        let a = t(&[-1.0, 0.0, 4.0], &[3]);
+        assert_eq!(a.neg().as_slice(), &[1.0, 0.0, -4.0]);
+        assert_eq!(a.abs().as_slice(), &[1.0, 0.0, 4.0]);
+        assert_eq!(a.square().as_slice(), &[1.0, 0.0, 16.0]);
+        assert_eq!(a.relu().as_slice(), &[0.0, 0.0, 4.0]);
+        assert_eq!(a.leaky_relu(0.1).as_slice(), &[-0.1, 0.0, 4.0]);
+        assert_eq!(a.clamp(-0.5, 2.0).as_slice(), &[-0.5, 0.0, 2.0]);
+        assert_eq!(a.abs().sqrt().as_slice(), &[1.0, 0.0, 2.0]);
+        assert!((a.exp().as_slice()[2] - 4.0f32.exp()).abs() < 1e-4);
+        assert!((t(&[std::f32::consts::E], &[1]).ln().as_slice()[0] - 1.0).abs() < 1e-6);
+        assert_eq!(a.powi(2).as_slice(), &[1.0, 0.0, 16.0]);
+        assert!((a.tanh().as_slice()[0] - (-1.0f32).tanh()).abs() < 1e-6);
+        assert!((a.sigmoid().as_slice()[1] - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn norms() {
+        let a = t(&[3.0, -4.0], &[2]);
+        assert!((a.l2_norm() - 5.0).abs() < 1e-6);
+        assert!((a.l1_norm() - 7.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn broadcast_to_materialises() {
+        let a = t(&[1.0, 2.0], &[2, 1]);
+        let b = a.broadcast_to(&[2, 3]).unwrap();
+        assert_eq!(b.as_slice(), &[1.0, 1.0, 1.0, 2.0, 2.0, 2.0]);
+        assert!(a.broadcast_to(&[3, 3]).is_err());
+        // broadcasting a [3] vector to [2,3]
+        let v = t(&[1.0, 2.0, 3.0], &[3]);
+        assert_eq!(v.broadcast_to(&[2, 3]).unwrap().as_slice(), &[1.0, 2.0, 3.0, 1.0, 2.0, 3.0]);
+    }
+}

@@ -1,0 +1,328 @@
+//! Max / average pooling over NCHW tensors, with the index bookkeeping needed
+//! for exact backward passes.
+
+use crate::error::{Result, TensorError};
+use crate::tensor::Tensor;
+
+/// Configuration of a 2-D pooling operation: square window and stride.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolParams {
+    /// Side length of the pooling window.
+    pub kernel: usize,
+    /// Stride between windows (defaults to `kernel` for non-overlapping pooling).
+    pub stride: usize,
+}
+
+impl PoolParams {
+    /// Non-overlapping pooling with window `kernel`.
+    pub fn new(kernel: usize) -> Self {
+        PoolParams { kernel, stride: kernel }
+    }
+
+    /// Pooling with an explicit stride.
+    pub fn with_stride(kernel: usize, stride: usize) -> Self {
+        PoolParams { kernel, stride }
+    }
+
+    /// Output spatial extent given the input extent.
+    pub fn out_size(&self, in_size: usize) -> usize {
+        if in_size < self.kernel {
+            0
+        } else {
+            (in_size - self.kernel) / self.stride + 1
+        }
+    }
+
+    fn validate(&self, h: usize, w: usize) -> Result<()> {
+        if self.kernel == 0 || self.stride == 0 {
+            return Err(TensorError::InvalidConvConfig { msg: "pool kernel/stride must be >= 1".into() });
+        }
+        if h < self.kernel || w < self.kernel {
+            return Err(TensorError::InvalidConvConfig {
+                msg: format!("pool window {} larger than input {}x{}", self.kernel, h, w),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Flat argmax indices recorded by [`Tensor::maxpool2d`], needed by its backward pass.
+#[derive(Debug, Clone)]
+pub struct PoolIndices {
+    /// For each output element (row-major over `[n, c, oh, ow]`), the flat index
+    /// into the input tensor where the maximum was found.
+    pub argmax: Vec<usize>,
+    /// Shape of the input the pooling was applied to.
+    pub input_shape: Vec<usize>,
+}
+
+impl Tensor {
+    /// Max pooling over an NCHW tensor. Returns the pooled tensor and the argmax
+    /// indices needed for the backward pass.
+    pub fn maxpool2d(&self, params: PoolParams) -> Result<(Tensor, PoolIndices)> {
+        if self.ndim() != 4 {
+            return Err(TensorError::RankMismatch { op: "maxpool2d", expected: 4, actual: self.ndim() });
+        }
+        let (n, c, h, w) = (self.shape()[0], self.shape()[1], self.shape()[2], self.shape()[3]);
+        params.validate(h, w)?;
+        let oh = params.out_size(h);
+        let ow = params.out_size(w);
+        let src = self.as_slice();
+        let mut out = vec![f32::NEG_INFINITY; n * c * oh * ow];
+        let mut argmax = vec![0usize; n * c * oh * ow];
+        for ni in 0..n {
+            for ci in 0..c {
+                let img_base = (ni * c + ci) * h * w;
+                for ohi in 0..oh {
+                    for owi in 0..ow {
+                        let out_idx = ((ni * c + ci) * oh + ohi) * ow + owi;
+                        let mut best = f32::NEG_INFINITY;
+                        let mut best_idx = 0usize;
+                        for ki in 0..params.kernel {
+                            for kj in 0..params.kernel {
+                                let ih = ohi * params.stride + ki;
+                                let iw = owi * params.stride + kj;
+                                let idx = img_base + ih * w + iw;
+                                if src[idx] > best {
+                                    best = src[idx];
+                                    best_idx = idx;
+                                }
+                            }
+                        }
+                        out[out_idx] = best;
+                        argmax[out_idx] = best_idx;
+                    }
+                }
+            }
+        }
+        Ok((
+            Tensor::from_vec(out, &[n, c, oh, ow])?,
+            PoolIndices { argmax, input_shape: self.shape().to_vec() },
+        ))
+    }
+
+    /// Backward pass of max pooling: routes each output gradient to the input
+    /// element that produced the maximum.
+    pub fn maxpool2d_backward(grad_out: &Tensor, indices: &PoolIndices) -> Result<Tensor> {
+        if grad_out.numel() != indices.argmax.len() {
+            return Err(TensorError::InvalidArgument {
+                msg: format!(
+                    "grad_out has {} elements but {} pooling indices were recorded",
+                    grad_out.numel(),
+                    indices.argmax.len()
+                ),
+            });
+        }
+        let mut grad_in = Tensor::zeros(&indices.input_shape);
+        let g = grad_out.as_slice();
+        let dst = grad_in.as_mut_slice();
+        for (out_idx, &in_idx) in indices.argmax.iter().enumerate() {
+            dst[in_idx] += g[out_idx];
+        }
+        Ok(grad_in)
+    }
+
+    /// Average pooling over an NCHW tensor.
+    pub fn avgpool2d(&self, params: PoolParams) -> Result<Tensor> {
+        if self.ndim() != 4 {
+            return Err(TensorError::RankMismatch { op: "avgpool2d", expected: 4, actual: self.ndim() });
+        }
+        let (n, c, h, w) = (self.shape()[0], self.shape()[1], self.shape()[2], self.shape()[3]);
+        params.validate(h, w)?;
+        let oh = params.out_size(h);
+        let ow = params.out_size(w);
+        let norm = (params.kernel * params.kernel) as f32;
+        let src = self.as_slice();
+        let mut out = vec![0.0f32; n * c * oh * ow];
+        for ni in 0..n {
+            for ci in 0..c {
+                let img_base = (ni * c + ci) * h * w;
+                for ohi in 0..oh {
+                    for owi in 0..ow {
+                        let mut s = 0.0;
+                        for ki in 0..params.kernel {
+                            for kj in 0..params.kernel {
+                                s += src[img_base + (ohi * params.stride + ki) * w + owi * params.stride + kj];
+                            }
+                        }
+                        out[((ni * c + ci) * oh + ohi) * ow + owi] = s / norm;
+                    }
+                }
+            }
+        }
+        Tensor::from_vec(out, &[n, c, oh, ow])
+    }
+
+    /// Backward pass of average pooling given the original input shape.
+    pub fn avgpool2d_backward(grad_out: &Tensor, input_shape: &[usize], params: PoolParams) -> Result<Tensor> {
+        if input_shape.len() != 4 || grad_out.ndim() != 4 {
+            return Err(TensorError::InvalidArgument { msg: "avgpool2d_backward expects NCHW shapes".into() });
+        }
+        let (n, c, h, w) = (input_shape[0], input_shape[1], input_shape[2], input_shape[3]);
+        params.validate(h, w)?;
+        let oh = params.out_size(h);
+        let ow = params.out_size(w);
+        if grad_out.shape() != [n, c, oh, ow] {
+            return Err(TensorError::IncompatibleShapes {
+                op: "avgpool2d_backward",
+                lhs: grad_out.shape().to_vec(),
+                rhs: vec![n, c, oh, ow],
+            });
+        }
+        let norm = (params.kernel * params.kernel) as f32;
+        let g = grad_out.as_slice();
+        let mut grad_in = Tensor::zeros(input_shape);
+        let dst = grad_in.as_mut_slice();
+        for ni in 0..n {
+            for ci in 0..c {
+                let img_base = (ni * c + ci) * h * w;
+                for ohi in 0..oh {
+                    for owi in 0..ow {
+                        let gval = g[((ni * c + ci) * oh + ohi) * ow + owi] / norm;
+                        for ki in 0..params.kernel {
+                            for kj in 0..params.kernel {
+                                dst[img_base + (ohi * params.stride + ki) * w + owi * params.stride + kj] += gval;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(grad_in)
+    }
+
+    /// Global average pooling: `[n, c, h, w] -> [n, c]`.
+    pub fn global_avg_pool(&self) -> Result<Tensor> {
+        if self.ndim() != 4 {
+            return Err(TensorError::RankMismatch { op: "global_avg_pool", expected: 4, actual: self.ndim() });
+        }
+        let (n, c, h, w) = (self.shape()[0], self.shape()[1], self.shape()[2], self.shape()[3]);
+        let hw = (h * w) as f32;
+        let src = self.as_slice();
+        let mut out = vec![0.0f32; n * c];
+        for ni in 0..n {
+            for ci in 0..c {
+                let base = (ni * c + ci) * h * w;
+                out[ni * c + ci] = src[base..base + h * w].iter().sum::<f32>() / hw;
+            }
+        }
+        Tensor::from_vec(out, &[n, c])
+    }
+
+    /// Backward pass of [`Tensor::global_avg_pool`].
+    pub fn global_avg_pool_backward(grad_out: &Tensor, input_shape: &[usize]) -> Result<Tensor> {
+        if input_shape.len() != 4 || grad_out.ndim() != 2 {
+            return Err(TensorError::InvalidArgument { msg: "global_avg_pool_backward shape mismatch".into() });
+        }
+        let (n, c, h, w) = (input_shape[0], input_shape[1], input_shape[2], input_shape[3]);
+        if grad_out.shape() != [n, c] {
+            return Err(TensorError::IncompatibleShapes {
+                op: "global_avg_pool_backward",
+                lhs: grad_out.shape().to_vec(),
+                rhs: vec![n, c],
+            });
+        }
+        let hw = (h * w) as f32;
+        let g = grad_out.as_slice();
+        let mut grad_in = Tensor::zeros(input_shape);
+        let dst = grad_in.as_mut_slice();
+        for ni in 0..n {
+            for ci in 0..c {
+                let val = g[ni * c + ci] / hw;
+                let base = (ni * c + ci) * h * w;
+                for v in dst[base..base + h * w].iter_mut() {
+                    *v = val;
+                }
+            }
+        }
+        Ok(grad_in)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn maxpool_known_values() {
+        let x = Tensor::from_vec((0..16).map(|i| i as f32).collect(), &[1, 1, 4, 4]).unwrap();
+        let (y, idx) = x.maxpool2d(PoolParams::new(2)).unwrap();
+        assert_eq!(y.shape(), &[1, 1, 2, 2]);
+        assert_eq!(y.as_slice(), &[5.0, 7.0, 13.0, 15.0]);
+        assert_eq!(idx.argmax, vec![5, 7, 13, 15]);
+    }
+
+    #[test]
+    fn maxpool_backward_routes_gradient() {
+        let x = Tensor::from_vec((0..16).map(|i| i as f32).collect(), &[1, 1, 4, 4]).unwrap();
+        let (y, idx) = x.maxpool2d(PoolParams::new(2)).unwrap();
+        let grad = Tensor::ones_like(&y);
+        let gin = Tensor::maxpool2d_backward(&grad, &idx).unwrap();
+        assert_eq!(gin.shape(), x.shape());
+        assert_eq!(gin.sum(), 4.0);
+        assert_eq!(gin.at(&[0, 0, 1, 1]), 1.0);
+        assert_eq!(gin.at(&[0, 0, 0, 0]), 0.0);
+        assert!(Tensor::maxpool2d_backward(&Tensor::zeros(&[9]), &idx).is_err());
+    }
+
+    #[test]
+    fn maxpool_overlapping_stride() {
+        let x = Tensor::from_vec((0..16).map(|i| i as f32).collect(), &[1, 1, 4, 4]).unwrap();
+        let (y, _) = x.maxpool2d(PoolParams::with_stride(2, 1)).unwrap();
+        assert_eq!(y.shape(), &[1, 1, 3, 3]);
+        assert_eq!(y.at(&[0, 0, 0, 0]), 5.0);
+        assert_eq!(y.at(&[0, 0, 2, 2]), 15.0);
+    }
+
+    #[test]
+    fn avgpool_values_and_backward() {
+        let x = Tensor::from_vec((0..16).map(|i| i as f32).collect(), &[1, 1, 4, 4]).unwrap();
+        let y = x.avgpool2d(PoolParams::new(2)).unwrap();
+        assert_eq!(y.as_slice(), &[2.5, 4.5, 10.5, 12.5]);
+        let gin = Tensor::avgpool2d_backward(&Tensor::ones_like(&y), x.shape(), PoolParams::new(2)).unwrap();
+        assert_eq!(gin.shape(), x.shape());
+        assert!((gin.sum() - 4.0).abs() < 1e-6);
+        assert!((gin.at(&[0, 0, 0, 0]) - 0.25).abs() < 1e-6);
+        assert!(Tensor::avgpool2d_backward(&Tensor::zeros(&[1, 1, 3, 3]), x.shape(), PoolParams::new(2)).is_err());
+    }
+
+    #[test]
+    fn avgpool_backward_is_adjoint() {
+        // <avgpool(x), y> == <x, avgpool_backward(y)>
+        let mut rng = StdRng::seed_from_u64(5);
+        let x = Tensor::randn(&[2, 3, 6, 6], 0.0, 1.0, &mut rng);
+        let p = PoolParams::new(2);
+        let y = Tensor::randn(&[2, 3, 3, 3], 0.0, 1.0, &mut rng);
+        let lhs: f32 = x.avgpool2d(p).unwrap().as_slice().iter().zip(y.as_slice()).map(|(a, b)| a * b).sum();
+        let back = Tensor::avgpool2d_backward(&y, x.shape(), p).unwrap();
+        let rhs: f32 = x.as_slice().iter().zip(back.as_slice()).map(|(a, b)| a * b).sum();
+        assert!((lhs - rhs).abs() < 1e-3);
+    }
+
+    #[test]
+    fn global_avg_pool_and_backward() {
+        let x = Tensor::from_vec((0..8).map(|i| i as f32).collect(), &[1, 2, 2, 2]).unwrap();
+        let y = x.global_avg_pool().unwrap();
+        assert_eq!(y.shape(), &[1, 2]);
+        assert_eq!(y.as_slice(), &[1.5, 5.5]);
+        let gin = Tensor::global_avg_pool_backward(&Tensor::ones_like(&y), x.shape()).unwrap();
+        assert!((gin.sum() - 2.0).abs() < 1e-6);
+        assert!((gin.at(&[0, 1, 0, 0]) - 0.25).abs() < 1e-6);
+        assert!(Tensor::global_avg_pool_backward(&Tensor::zeros(&[1, 3]), x.shape()).is_err());
+        assert!(Tensor::global_avg_pool_backward(&y, &[1, 2, 2]).is_err());
+        assert!(Tensor::zeros(&[2, 2]).global_avg_pool().is_err());
+    }
+
+    #[test]
+    fn pool_param_validation() {
+        let x = Tensor::zeros(&[1, 1, 2, 2]);
+        assert!(x.maxpool2d(PoolParams::new(3)).is_err());
+        assert!(x.maxpool2d(PoolParams::new(0)).is_err());
+        assert!(x.avgpool2d(PoolParams::new(3)).is_err());
+        assert!(Tensor::zeros(&[2, 2]).maxpool2d(PoolParams::new(2)).is_err());
+        assert!(Tensor::zeros(&[2, 2]).avgpool2d(PoolParams::new(2)).is_err());
+        assert_eq!(PoolParams::new(2).out_size(1), 0);
+    }
+}

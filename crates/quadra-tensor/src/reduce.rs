@@ -1,0 +1,241 @@
+//! Reductions (sum, mean, max, min, argmax) over the whole tensor or along an axis,
+//! plus softmax / log-softmax used by the classification losses.
+
+use crate::error::Result;
+use crate::shape::check_axis;
+use crate::tensor::Tensor;
+
+impl Tensor {
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.as_slice().iter().sum()
+    }
+
+    /// Mean of all elements (0 for empty tensors).
+    pub fn mean(&self) -> f32 {
+        if self.numel() == 0 {
+            0.0
+        } else {
+            self.sum() / self.numel() as f32
+        }
+    }
+
+    /// Maximum element (negative infinity for empty tensors).
+    pub fn max(&self) -> f32 {
+        self.as_slice().iter().copied().fold(f32::NEG_INFINITY, f32::max)
+    }
+
+    /// Minimum element (positive infinity for empty tensors).
+    pub fn min(&self) -> f32 {
+        self.as_slice().iter().copied().fold(f32::INFINITY, f32::min)
+    }
+
+    /// Population variance of all elements.
+    pub fn variance(&self) -> f32 {
+        if self.numel() == 0 {
+            return 0.0;
+        }
+        let m = self.mean();
+        self.as_slice().iter().map(|x| (x - m) * (x - m)).sum::<f32>() / self.numel() as f32
+    }
+
+    /// Population standard deviation of all elements.
+    pub fn std(&self) -> f32 {
+        self.variance().sqrt()
+    }
+
+    /// Index of the maximum element in flattened (row-major) order.
+    pub fn argmax_flat(&self) -> usize {
+        let mut best = 0usize;
+        let mut best_v = f32::NEG_INFINITY;
+        for (i, &v) in self.as_slice().iter().enumerate() {
+            if v > best_v {
+                best_v = v;
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Reduce along `axis` with a fold, producing a tensor whose shape is the
+    /// input shape with `axis` removed.
+    fn reduce_axis(&self, axis: usize, init: f32, f: impl Fn(f32, f32) -> f32) -> Result<Tensor> {
+        check_axis(axis, self.ndim())?;
+        let shape = self.shape();
+        let outer: usize = shape[..axis].iter().product();
+        let reduce_n = shape[axis];
+        let inner: usize = shape[axis + 1..].iter().product();
+        let mut out_shape: Vec<usize> = shape[..axis].to_vec();
+        out_shape.extend_from_slice(&shape[axis + 1..]);
+        let src = self.as_slice();
+        let mut data = vec![init; outer * inner];
+        for o in 0..outer {
+            for r in 0..reduce_n {
+                let base = (o * reduce_n + r) * inner;
+                let dst = o * inner;
+                for i in 0..inner {
+                    data[dst + i] = f(data[dst + i], src[base + i]);
+                }
+            }
+        }
+        Tensor::from_vec(data, &out_shape)
+    }
+
+    /// Sum along `axis`, removing that axis.
+    pub fn sum_axis(&self, axis: usize) -> Result<Tensor> {
+        self.reduce_axis(axis, 0.0, |a, b| a + b)
+    }
+
+    /// Mean along `axis`, removing that axis.
+    pub fn mean_axis(&self, axis: usize) -> Result<Tensor> {
+        let n = self.shape()[check_axis(axis, self.ndim())?] as f32;
+        Ok(self.sum_axis(axis)?.div_scalar(n.max(1.0)))
+    }
+
+    /// Maximum along `axis`, removing that axis.
+    pub fn max_axis(&self, axis: usize) -> Result<Tensor> {
+        self.reduce_axis(axis, f32::NEG_INFINITY, f32::max)
+    }
+
+    /// Minimum along `axis`, removing that axis.
+    pub fn min_axis(&self, axis: usize) -> Result<Tensor> {
+        self.reduce_axis(axis, f32::INFINITY, f32::min)
+    }
+
+    /// Argmax along the last axis. For a `[batch, classes]` tensor this returns
+    /// the predicted class per row, shape `[batch]` (values stored as `f32`).
+    pub fn argmax_last_axis(&self) -> Result<Tensor> {
+        let ndim = self.ndim();
+        check_axis(ndim.saturating_sub(1), ndim.max(1))?;
+        let last = *self.shape().last().unwrap_or(&1);
+        let rows = self.numel() / last.max(1);
+        let src = self.as_slice();
+        let mut data = Vec::with_capacity(rows);
+        for r in 0..rows {
+            let row = &src[r * last..(r + 1) * last];
+            let mut best = 0usize;
+            let mut best_v = f32::NEG_INFINITY;
+            for (i, &v) in row.iter().enumerate() {
+                if v > best_v {
+                    best_v = v;
+                    best = i;
+                }
+            }
+            data.push(best as f32);
+        }
+        let mut out_shape = self.shape().to_vec();
+        out_shape.pop();
+        Tensor::from_vec(data, &out_shape)
+    }
+
+    /// Numerically stable softmax along the last axis.
+    pub fn softmax_last_axis(&self) -> Tensor {
+        let last = *self.shape().last().unwrap_or(&1);
+        let rows = self.numel() / last.max(1);
+        let src = self.as_slice();
+        let mut data = Vec::with_capacity(self.numel());
+        for r in 0..rows {
+            let row = &src[r * last..(r + 1) * last];
+            let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let exps: Vec<f32> = row.iter().map(|&x| (x - m).exp()).collect();
+            let s: f32 = exps.iter().sum();
+            data.extend(exps.iter().map(|&e| e / s));
+        }
+        Tensor::from_vec(data, self.shape()).expect("same shape")
+    }
+
+    /// Numerically stable log-softmax along the last axis.
+    pub fn log_softmax_last_axis(&self) -> Tensor {
+        let last = *self.shape().last().unwrap_or(&1);
+        let rows = self.numel() / last.max(1);
+        let src = self.as_slice();
+        let mut data = Vec::with_capacity(self.numel());
+        for r in 0..rows {
+            let row = &src[r * last..(r + 1) * last];
+            let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let log_sum: f32 = row.iter().map(|&x| (x - m).exp()).sum::<f32>().ln();
+            data.extend(row.iter().map(|&x| x - m - log_sum));
+        }
+        Tensor::from_vec(data, self.shape()).expect("same shape")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(data: &[f32], shape: &[usize]) -> Tensor {
+        Tensor::from_vec(data.to_vec(), shape).unwrap()
+    }
+
+    #[test]
+    fn whole_tensor_reductions() {
+        let a = t(&[1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        assert_eq!(a.sum(), 10.0);
+        assert_eq!(a.mean(), 2.5);
+        assert_eq!(a.max(), 4.0);
+        assert_eq!(a.min(), 1.0);
+        assert_eq!(a.argmax_flat(), 3);
+        assert!((a.variance() - 1.25).abs() < 1e-6);
+        assert!((a.std() - 1.25f32.sqrt()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_tensor_reductions() {
+        let e = Tensor::zeros(&[0]);
+        assert_eq!(e.sum(), 0.0);
+        assert_eq!(e.mean(), 0.0);
+        assert_eq!(e.variance(), 0.0);
+    }
+
+    #[test]
+    fn axis_reductions_2d() {
+        let a = t(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        assert_eq!(a.sum_axis(0).unwrap().as_slice(), &[5.0, 7.0, 9.0]);
+        assert_eq!(a.sum_axis(1).unwrap().as_slice(), &[6.0, 15.0]);
+        assert_eq!(a.mean_axis(0).unwrap().as_slice(), &[2.5, 3.5, 4.5]);
+        assert_eq!(a.max_axis(1).unwrap().as_slice(), &[3.0, 6.0]);
+        assert_eq!(a.min_axis(1).unwrap().as_slice(), &[1.0, 4.0]);
+        assert!(a.sum_axis(2).is_err());
+    }
+
+    #[test]
+    fn axis_reductions_3d_middle_axis() {
+        let a = Tensor::arange(0.0, 1.0, 24).reshape(&[2, 3, 4]).unwrap();
+        let s = a.sum_axis(1).unwrap();
+        assert_eq!(s.shape(), &[2, 4]);
+        // element [0,0] = a[0,0,0] + a[0,1,0] + a[0,2,0] = 0 + 4 + 8
+        assert_eq!(s.at(&[0, 0]), 12.0);
+        assert_eq!(s.at(&[1, 3]), (15 + 19 + 23) as f32);
+    }
+
+    #[test]
+    fn argmax_last_axis_per_row() {
+        let a = t(&[0.1, 0.9, 0.0, 0.8, 0.1, 0.1], &[2, 3]);
+        let am = a.argmax_last_axis().unwrap();
+        assert_eq!(am.shape(), &[2]);
+        assert_eq!(am.as_slice(), &[1.0, 0.0]);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one_and_are_stable() {
+        let a = t(&[1000.0, 1001.0, 999.0, -5.0, 0.0, 5.0], &[2, 3]);
+        let s = a.softmax_last_axis();
+        assert!(!s.has_non_finite());
+        for r in 0..2 {
+            let row_sum: f32 = s.as_slice()[r * 3..(r + 1) * 3].iter().sum();
+            assert!((row_sum - 1.0).abs() < 1e-5);
+        }
+        // softmax is monotone in the logits
+        assert!(s.at(&[0, 1]) > s.at(&[0, 0]));
+        assert!(s.at(&[0, 0]) > s.at(&[0, 2]));
+    }
+
+    #[test]
+    fn log_softmax_matches_log_of_softmax() {
+        let a = t(&[0.5, -1.0, 2.0, 3.0], &[2, 2]);
+        let ls = a.log_softmax_last_axis();
+        let s_log = a.softmax_last_axis().ln();
+        assert!(ls.allclose(&s_log, 1e-5));
+    }
+}

@@ -1,0 +1,156 @@
+//! Shape and stride utilities: row-major strides, broadcasting rules, index math.
+
+use crate::error::{Result, TensorError};
+
+/// Compute row-major (C-order) strides for `shape`.
+///
+/// The stride of the last axis is 1; the stride of axis `i` is the product of
+/// the extents of all axes after `i`. Zero-sized axes are handled gracefully.
+///
+/// ```
+/// assert_eq!(quadra_tensor::strides_for(&[2, 3, 4]), vec![12, 4, 1]);
+/// ```
+pub fn strides_for(shape: &[usize]) -> Vec<usize> {
+    let mut strides = vec![1usize; shape.len()];
+    for i in (0..shape.len().saturating_sub(1)).rev() {
+        strides[i] = strides[i + 1] * shape[i + 1];
+    }
+    strides
+}
+
+/// Number of elements implied by `shape` (product of extents, 1 for scalars).
+pub fn numel(shape: &[usize]) -> usize {
+    shape.iter().product()
+}
+
+/// Compute the broadcast result shape of two shapes following NumPy rules.
+///
+/// Shapes are aligned at their trailing axes; each pair of extents must either
+/// be equal or one of them must be 1.
+///
+/// ```
+/// use quadra_tensor::broadcast_shapes;
+/// assert_eq!(broadcast_shapes(&[4, 1, 3], &[2, 3]).unwrap(), vec![4, 2, 3]);
+/// ```
+pub fn broadcast_shapes(lhs: &[usize], rhs: &[usize]) -> Result<Vec<usize>> {
+    let ndim = lhs.len().max(rhs.len());
+    let mut out = vec![0usize; ndim];
+    for i in 0..ndim {
+        let l = if i < ndim - lhs.len() { 1 } else { lhs[i - (ndim - lhs.len())] };
+        let r = if i < ndim - rhs.len() { 1 } else { rhs[i - (ndim - rhs.len())] };
+        if l == r || l == 1 || r == 1 {
+            out[i] = l.max(r);
+        } else {
+            return Err(TensorError::BroadcastMismatch { lhs: lhs.to_vec(), rhs: rhs.to_vec() });
+        }
+    }
+    Ok(out)
+}
+
+/// Strides to use when iterating a tensor of shape `shape` as if it had the
+/// (broadcast) shape `target`: axes of extent 1 get stride 0 so the single
+/// element is reused along that axis.
+pub(crate) fn broadcast_strides(shape: &[usize], target: &[usize]) -> Vec<usize> {
+    let strides = strides_for(shape);
+    let offset = target.len() - shape.len();
+    let mut out = vec![0usize; target.len()];
+    for i in 0..shape.len() {
+        out[i + offset] = if shape[i] == 1 && target[i + offset] != 1 { 0 } else { strides[i] };
+    }
+    out
+}
+
+/// Convert a flat row-major index into multi-dimensional coordinates.
+pub(crate) fn unravel_index(mut flat: usize, shape: &[usize]) -> Vec<usize> {
+    let mut coords = vec![0usize; shape.len()];
+    for i in (0..shape.len()).rev() {
+        if shape[i] == 0 {
+            coords[i] = 0;
+            continue;
+        }
+        coords[i] = flat % shape[i];
+        flat /= shape[i];
+    }
+    coords
+}
+
+/// Dot product of coordinates and strides (flat offset into storage).
+pub(crate) fn offset_of(coords: &[usize], strides: &[usize]) -> usize {
+    coords.iter().zip(strides.iter()).map(|(c, s)| c * s).sum()
+}
+
+/// Validate an axis against a rank, returning it on success.
+pub(crate) fn check_axis(axis: usize, ndim: usize) -> Result<usize> {
+    if axis >= ndim {
+        Err(TensorError::AxisOutOfRange { axis, ndim })
+    } else {
+        Ok(axis)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strides_row_major() {
+        assert_eq!(strides_for(&[2, 3, 4]), vec![12, 4, 1]);
+        assert_eq!(strides_for(&[5]), vec![1]);
+        assert_eq!(strides_for(&[]), Vec::<usize>::new());
+        assert_eq!(strides_for(&[1, 1, 7]), vec![7, 7, 1]);
+    }
+
+    #[test]
+    fn numel_products() {
+        assert_eq!(numel(&[2, 3, 4]), 24);
+        assert_eq!(numel(&[]), 1);
+        assert_eq!(numel(&[0, 5]), 0);
+    }
+
+    #[test]
+    fn broadcast_basic() {
+        assert_eq!(broadcast_shapes(&[2, 3], &[2, 3]).unwrap(), vec![2, 3]);
+        assert_eq!(broadcast_shapes(&[2, 1], &[1, 3]).unwrap(), vec![2, 3]);
+        assert_eq!(broadcast_shapes(&[3], &[2, 3]).unwrap(), vec![2, 3]);
+        assert_eq!(broadcast_shapes(&[4, 1, 3], &[2, 3]).unwrap(), vec![4, 2, 3]);
+        assert_eq!(broadcast_shapes(&[], &[2, 3]).unwrap(), vec![2, 3]);
+    }
+
+    #[test]
+    fn broadcast_mismatch() {
+        assert!(broadcast_shapes(&[2, 3], &[2, 4]).is_err());
+        assert!(broadcast_shapes(&[5], &[4]).is_err());
+    }
+
+    #[test]
+    fn broadcast_is_symmetric() {
+        let a = [7, 1, 5];
+        let b = [1, 6, 5];
+        assert_eq!(broadcast_shapes(&a, &b).unwrap(), broadcast_shapes(&b, &a).unwrap());
+    }
+
+    #[test]
+    fn broadcast_strides_zeroes_broadcast_axes() {
+        // shape [3, 1] broadcast to [3, 4]: the last axis repeats element 0.
+        assert_eq!(broadcast_strides(&[3, 1], &[3, 4]), vec![1, 0]);
+        // shape [4] broadcast to [2, 4]: leading axis repeats.
+        assert_eq!(broadcast_strides(&[4], &[2, 4]), vec![0, 1]);
+    }
+
+    #[test]
+    fn unravel_and_offset_roundtrip() {
+        let shape = [2, 3, 4];
+        let strides = strides_for(&shape);
+        for flat in 0..numel(&shape) {
+            let coords = unravel_index(flat, &shape);
+            assert_eq!(offset_of(&coords, &strides), flat);
+        }
+    }
+
+    #[test]
+    fn axis_check() {
+        assert!(check_axis(0, 2).is_ok());
+        assert!(check_axis(1, 2).is_ok());
+        assert!(check_axis(2, 2).is_err());
+    }
+}

@@ -1,0 +1,368 @@
+//! The core dense [`Tensor`] type: construction, element access and simple maps.
+
+use crate::error::{Result, TensorError};
+use crate::shape::{numel, offset_of, strides_for};
+
+/// A dense, contiguous, row-major `f32` tensor of arbitrary rank.
+///
+/// `Tensor` is the only storage type in QuadraLib-rs: layers, optimizers,
+/// datasets and the quadratic-neuron implementations all exchange values
+/// through it. Operations that change layout (reshape, permute, slicing,
+/// concatenation) materialise a new contiguous tensor, which keeps the
+/// implementation simple and predictable at the cost of some copies — an
+/// acceptable trade-off for the CPU-scale experiments this library targets.
+#[derive(Clone, PartialEq)]
+pub struct Tensor {
+    data: Vec<f32>,
+    shape: Vec<usize>,
+}
+
+impl std::fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Tensor(shape={:?}", self.shape)?;
+        if self.data.len() <= 16 {
+            write!(f, ", data={:?})", self.data)
+        } else {
+            write!(f, ", data=[{:.4}, {:.4}, ... {} elements])", self.data[0], self.data[1], self.data.len())
+        }
+    }
+}
+
+impl Tensor {
+    // ------------------------------------------------------------------
+    // Constructors
+    // ------------------------------------------------------------------
+
+    /// Create a tensor from a flat `Vec<f32>` and a shape.
+    ///
+    /// Returns [`TensorError::ShapeDataMismatch`] if the element count does
+    /// not match the shape.
+    pub fn from_vec(data: Vec<f32>, shape: &[usize]) -> Result<Self> {
+        if numel(shape) != data.len() {
+            return Err(TensorError::ShapeDataMismatch { shape: shape.to_vec(), data_len: data.len() });
+        }
+        Ok(Tensor { data, shape: shape.to_vec() })
+    }
+
+    /// Create a rank-0 (scalar) tensor.
+    pub fn scalar(value: f32) -> Self {
+        Tensor { data: vec![value], shape: vec![] }
+    }
+
+    /// Create a rank-1 tensor from a slice.
+    pub fn from_slice(data: &[f32]) -> Self {
+        Tensor { data: data.to_vec(), shape: vec![data.len()] }
+    }
+
+    /// A tensor of the given shape filled with `value`.
+    pub fn full(shape: &[usize], value: f32) -> Self {
+        Tensor { data: vec![value; numel(shape)], shape: shape.to_vec() }
+    }
+
+    /// A tensor of zeros.
+    pub fn zeros(shape: &[usize]) -> Self {
+        Self::full(shape, 0.0)
+    }
+
+    /// A tensor of ones.
+    pub fn ones(shape: &[usize]) -> Self {
+        Self::full(shape, 1.0)
+    }
+
+    /// A tensor of zeros with the same shape as `other`.
+    pub fn zeros_like(other: &Tensor) -> Self {
+        Self::zeros(other.shape())
+    }
+
+    /// A tensor of ones with the same shape as `other`.
+    pub fn ones_like(other: &Tensor) -> Self {
+        Self::ones(other.shape())
+    }
+
+    /// The `n`×`n` identity matrix.
+    pub fn eye(n: usize) -> Self {
+        let mut t = Self::zeros(&[n, n]);
+        for i in 0..n {
+            t.data[i * n + i] = 1.0;
+        }
+        t
+    }
+
+    /// Evenly spaced values `[start, start+step, ...)` of length `len` as a rank-1 tensor.
+    pub fn arange(start: f32, step: f32, len: usize) -> Self {
+        let data = (0..len).map(|i| start + step * i as f32).collect();
+        Tensor { data, shape: vec![len] }
+    }
+
+    /// `len` evenly spaced values from `start` to `end` inclusive.
+    pub fn linspace(start: f32, end: f32, len: usize) -> Self {
+        if len <= 1 {
+            return Tensor { data: vec![start; len], shape: vec![len] };
+        }
+        let step = (end - start) / (len - 1) as f32;
+        Self::arange(start, step, len)
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors
+    // ------------------------------------------------------------------
+
+    /// The shape of the tensor.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Number of axes (rank) of the tensor.
+    pub fn ndim(&self) -> usize {
+        self.shape.len()
+    }
+
+    /// Total number of elements.
+    pub fn numel(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Size in bytes of the underlying storage (4 bytes per element).
+    pub fn nbytes(&self) -> usize {
+        self.data.len() * std::mem::size_of::<f32>()
+    }
+
+    /// The extent of axis `axis`.
+    pub fn size(&self, axis: usize) -> usize {
+        self.shape[axis]
+    }
+
+    /// Borrow the underlying storage as a flat slice (row-major order).
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutably borrow the underlying storage.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consume the tensor, returning its flat storage.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Row-major strides of the tensor.
+    pub fn strides(&self) -> Vec<usize> {
+        strides_for(&self.shape)
+    }
+
+    /// Read the element at multi-dimensional index `idx`.
+    ///
+    /// # Panics
+    /// Panics if `idx` has the wrong rank or is out of bounds.
+    pub fn at(&self, idx: &[usize]) -> f32 {
+        assert_eq!(idx.len(), self.ndim(), "index rank mismatch");
+        for (i, (&c, &s)) in idx.iter().zip(self.shape.iter()).enumerate() {
+            assert!(c < s, "index {} out of bounds for axis {} with size {}", c, i, s);
+        }
+        self.data[offset_of(idx, &self.strides())]
+    }
+
+    /// Write the element at multi-dimensional index `idx`.
+    ///
+    /// # Panics
+    /// Panics if `idx` has the wrong rank or is out of bounds.
+    pub fn set(&mut self, idx: &[usize], value: f32) {
+        assert_eq!(idx.len(), self.ndim(), "index rank mismatch");
+        let off = offset_of(idx, &self.strides());
+        self.data[off] = value;
+    }
+
+    /// The single value of a scalar (rank-0 or one-element) tensor.
+    ///
+    /// # Panics
+    /// Panics if the tensor has more than one element.
+    pub fn item(&self) -> f32 {
+        assert_eq!(self.data.len(), 1, "item() requires a single-element tensor, shape {:?}", self.shape);
+        self.data[0]
+    }
+
+    // ------------------------------------------------------------------
+    // Maps
+    // ------------------------------------------------------------------
+
+    /// Apply `f` element-wise, producing a new tensor of the same shape.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor { data: self.data.iter().map(|&x| f(x)).collect(), shape: self.shape.clone() }
+    }
+
+    /// Apply `f` element-wise in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        for x in self.data.iter_mut() {
+            *x = f(*x);
+        }
+    }
+
+    /// Combine two tensors of identical shape element-wise with `f`.
+    ///
+    /// For broadcasting semantics use the arithmetic ops in the crate instead.
+    pub fn zip_map(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Result<Tensor> {
+        if self.shape != other.shape {
+            return Err(TensorError::IncompatibleShapes {
+                op: "zip_map",
+                lhs: self.shape.clone(),
+                rhs: other.shape.clone(),
+            });
+        }
+        let data = self.data.iter().zip(other.data.iter()).map(|(&a, &b)| f(a, b)).collect();
+        Ok(Tensor { data, shape: self.shape.clone() })
+    }
+
+    /// Fill the tensor with `value` in place.
+    pub fn fill(&mut self, value: f32) {
+        for x in self.data.iter_mut() {
+            *x = value;
+        }
+    }
+
+    /// Copy values from `other` (same shape) into `self`.
+    pub fn copy_from(&mut self, other: &Tensor) -> Result<()> {
+        if self.shape != other.shape {
+            return Err(TensorError::IncompatibleShapes {
+                op: "copy_from",
+                lhs: self.shape.clone(),
+                rhs: other.shape.clone(),
+            });
+        }
+        self.data.copy_from_slice(&other.data);
+        Ok(())
+    }
+
+    /// True if any element is NaN or infinite.
+    pub fn has_non_finite(&self) -> bool {
+        self.data.iter().any(|x| !x.is_finite())
+    }
+
+    /// Maximum absolute difference to another tensor of the same shape.
+    pub fn max_abs_diff(&self, other: &Tensor) -> Result<f32> {
+        if self.shape != other.shape {
+            return Err(TensorError::IncompatibleShapes {
+                op: "max_abs_diff",
+                lhs: self.shape.clone(),
+                rhs: other.shape.clone(),
+            });
+        }
+        Ok(self
+            .data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f32, f32::max))
+    }
+
+    /// True if all elements are within `tol` of the corresponding element of `other`.
+    pub fn allclose(&self, other: &Tensor, tol: f32) -> bool {
+        self.shape == other.shape && self.max_abs_diff(other).map(|d| d <= tol).unwrap_or(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_vec_checks_len() {
+        assert!(Tensor::from_vec(vec![1.0, 2.0], &[3]).is_err());
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]).unwrap();
+        assert_eq!(t.shape(), &[2, 3]);
+        assert_eq!(t.numel(), 6);
+        assert_eq!(t.ndim(), 2);
+        assert_eq!(t.nbytes(), 24);
+    }
+
+    #[test]
+    fn constructors() {
+        assert_eq!(Tensor::zeros(&[2, 2]).as_slice(), &[0.0; 4]);
+        assert_eq!(Tensor::ones(&[3]).as_slice(), &[1.0; 3]);
+        assert_eq!(Tensor::full(&[2], 7.5).as_slice(), &[7.5, 7.5]);
+        assert_eq!(Tensor::scalar(3.0).item(), 3.0);
+        let e = Tensor::eye(3);
+        assert_eq!(e.at(&[0, 0]), 1.0);
+        assert_eq!(e.at(&[1, 0]), 0.0);
+        assert_eq!(e.at(&[2, 2]), 1.0);
+        let a = Tensor::arange(0.0, 0.5, 4);
+        assert_eq!(a.as_slice(), &[0.0, 0.5, 1.0, 1.5]);
+        let l = Tensor::linspace(0.0, 1.0, 5);
+        assert_eq!(l.as_slice(), &[0.0, 0.25, 0.5, 0.75, 1.0]);
+        let z = Tensor::zeros_like(&a);
+        assert_eq!(z.shape(), a.shape());
+        let o = Tensor::ones_like(&a);
+        assert_eq!(o.as_slice(), &[1.0; 4]);
+    }
+
+    #[test]
+    fn indexing_get_set() {
+        let mut t = Tensor::zeros(&[2, 3]);
+        t.set(&[1, 2], 5.0);
+        assert_eq!(t.at(&[1, 2]), 5.0);
+        assert_eq!(t.at(&[0, 0]), 0.0);
+        assert_eq!(t.strides(), vec![3, 1]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_bounds_panics() {
+        let t = Tensor::zeros(&[2, 2]);
+        let _ = t.at(&[2, 0]);
+    }
+
+    #[test]
+    fn map_and_zip_map() {
+        let a = Tensor::from_slice(&[1.0, -2.0, 3.0]);
+        let b = a.map(|x| x.abs());
+        assert_eq!(b.as_slice(), &[1.0, 2.0, 3.0]);
+        let c = a.zip_map(&b, |x, y| x + y).unwrap();
+        assert_eq!(c.as_slice(), &[2.0, 0.0, 6.0]);
+        assert!(a.zip_map(&Tensor::zeros(&[2]), |x, _| x).is_err());
+        let mut d = a.clone();
+        d.map_inplace(|x| x * 2.0);
+        assert_eq!(d.as_slice(), &[2.0, -4.0, 6.0]);
+    }
+
+    #[test]
+    fn fill_copy_close() {
+        let mut t = Tensor::zeros(&[4]);
+        t.fill(2.0);
+        assert_eq!(t.as_slice(), &[2.0; 4]);
+        let mut u = Tensor::zeros(&[4]);
+        u.copy_from(&t).unwrap();
+        assert!(u.allclose(&t, 0.0));
+        assert!(u.copy_from(&Tensor::zeros(&[3])).is_err());
+        assert_eq!(t.max_abs_diff(&Tensor::zeros(&[4])).unwrap(), 2.0);
+        assert!(!t.allclose(&Tensor::zeros(&[4]), 1.0));
+        assert!(t.allclose(&Tensor::full(&[4], 2.0000001), 1e-5));
+    }
+
+    #[test]
+    fn non_finite_detection() {
+        let t = Tensor::from_slice(&[1.0, f32::NAN]);
+        assert!(t.has_non_finite());
+        let t = Tensor::from_slice(&[1.0, f32::INFINITY]);
+        assert!(t.has_non_finite());
+        let t = Tensor::from_slice(&[1.0, 2.0]);
+        assert!(!t.has_non_finite());
+    }
+
+    #[test]
+    fn debug_format_is_compact_for_large_tensors() {
+        let t = Tensor::zeros(&[100]);
+        let s = format!("{:?}", t);
+        assert!(s.contains("100 elements"));
+        let t = Tensor::zeros(&[2]);
+        assert!(format!("{:?}", t).contains("data"));
+    }
+
+    #[test]
+    fn scalar_rank_zero() {
+        let s = Tensor::scalar(1.5);
+        assert_eq!(s.ndim(), 0);
+        assert_eq!(s.numel(), 1);
+        assert_eq!(s.item(), 1.5);
+    }
+}

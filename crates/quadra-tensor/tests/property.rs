@@ -1,0 +1,112 @@
+//! Property-based tests of the tensor substrate's core invariants.
+
+use proptest::prelude::*;
+use quadra_tensor::{broadcast_shapes, Conv2dParams, Tensor};
+
+fn small_dims() -> impl Strategy<Value = (usize, usize)> {
+    (1usize..6, 1usize..6)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// reshape keeps data and round-trips back to the original shape.
+    #[test]
+    fn reshape_roundtrip((r, c) in small_dims(), data in proptest::collection::vec(-10.0f32..10.0, 1..36)) {
+        let n = r * c;
+        prop_assume!(data.len() >= n);
+        let t = Tensor::from_vec(data[..n].to_vec(), &[r, c]).unwrap();
+        let flat = t.reshape(&[n]).unwrap();
+        let back = flat.reshape(&[r, c]).unwrap();
+        prop_assert_eq!(back.as_slice(), t.as_slice());
+    }
+
+    /// Transpose is an involution.
+    #[test]
+    fn transpose_involution((r, c) in small_dims(), seed in 0u64..1000) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let t = Tensor::randn(&[r, c], 0.0, 1.0, &mut rng);
+        let tt = t.transpose().unwrap().transpose().unwrap();
+        prop_assert!(tt.allclose(&t, 0.0));
+    }
+
+    /// Broadcasting is symmetric in the result shape.
+    #[test]
+    fn broadcast_shape_symmetry(a in proptest::collection::vec(1usize..4, 1..4), b in proptest::collection::vec(1usize..4, 1..4)) {
+        let ab = broadcast_shapes(&a, &b);
+        let ba = broadcast_shapes(&b, &a);
+        match (ab, ba) {
+            (Ok(x), Ok(y)) => prop_assert_eq!(x, y),
+            (Err(_), Err(_)) => {}
+            _ => prop_assert!(false, "broadcast symmetry violated"),
+        }
+    }
+
+    /// Addition commutes and multiplication distributes elementwise.
+    #[test]
+    fn elementwise_algebra(seed in 0u64..1000, (r, c) in small_dims()) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let a = Tensor::randn(&[r, c], 0.0, 1.0, &mut rng);
+        let b = Tensor::randn(&[r, c], 0.0, 1.0, &mut rng);
+        let cmat = Tensor::randn(&[r, c], 0.0, 1.0, &mut rng);
+        prop_assert!(a.add(&b).unwrap().allclose(&b.add(&a).unwrap(), 1e-5));
+        let lhs = a.mul(&b.add(&cmat).unwrap()).unwrap();
+        let rhs = a.mul(&b).unwrap().add(&a.mul(&cmat).unwrap()).unwrap();
+        prop_assert!(lhs.allclose(&rhs, 1e-4));
+    }
+
+    /// Matmul with the identity is a no-op; matmul is linear in its first argument.
+    #[test]
+    fn matmul_identity_and_linearity(seed in 0u64..1000, (m, k) in small_dims()) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let a = Tensor::randn(&[m, k], 0.0, 1.0, &mut rng);
+        let b = Tensor::randn(&[m, k], 0.0, 1.0, &mut rng);
+        let w = Tensor::randn(&[k, 3], 0.0, 1.0, &mut rng);
+        prop_assert!(a.matmul(&Tensor::eye(k)).unwrap().allclose(&a, 1e-4));
+        let lhs = a.add(&b).unwrap().matmul(&w).unwrap();
+        let rhs = a.matmul(&w).unwrap().add(&b.matmul(&w).unwrap()).unwrap();
+        prop_assert!(lhs.allclose(&rhs, 1e-3));
+    }
+
+    /// Convolution is linear in the input: conv(x+y) = conv(x) + conv(y).
+    #[test]
+    fn conv2d_linearity(seed in 0u64..500) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let x = Tensor::randn(&[1, 2, 6, 6], 0.0, 1.0, &mut rng);
+        let y = Tensor::randn(&[1, 2, 6, 6], 0.0, 1.0, &mut rng);
+        let w = Tensor::randn(&[3, 2, 3, 3], 0.0, 0.5, &mut rng);
+        let p = Conv2dParams::new(1, 1, 1);
+        let lhs = x.add(&y).unwrap().conv2d(&w, None, p).unwrap();
+        let rhs = x.conv2d(&w, None, p).unwrap().add(&y.conv2d(&w, None, p).unwrap()).unwrap();
+        prop_assert!(lhs.allclose(&rhs, 1e-3));
+    }
+
+    /// Softmax rows always sum to one and stay finite, whatever the logits.
+    #[test]
+    fn softmax_rows_sum_to_one(data in proptest::collection::vec(-100.0f32..100.0, 4..20)) {
+        let n = data.len() / 4 * 4;
+        prop_assume!(n >= 4);
+        let t = Tensor::from_vec(data[..n].to_vec(), &[n / 4, 4]).unwrap();
+        let s = t.softmax_last_axis();
+        prop_assert!(!s.has_non_finite());
+        for r in 0..n / 4 {
+            let row: f32 = s.as_slice()[r * 4..(r + 1) * 4].iter().sum();
+            prop_assert!((row - 1.0).abs() < 1e-4);
+        }
+    }
+
+    /// sum == sum over axis 0 then total, for any 2-D tensor.
+    #[test]
+    fn sum_axis_consistency(seed in 0u64..1000, (r, c) in small_dims()) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let t = Tensor::randn(&[r, c], 0.0, 1.0, &mut rng);
+        let total = t.sum();
+        let by_axis = t.sum_axis(0).unwrap().sum();
+        prop_assert!((total - by_axis).abs() < 1e-3);
+    }
+}

@@ -1,0 +1,47 @@
+//! Image classification with the auto-built QuadraNN: convert a first-order
+//! VGG-8 into a quadratic model, reduce its depth with the RI heuristic, and
+//! compare both on the synthetic CIFAR-10 stand-in.
+//!
+//! Run with `cargo run --example image_classification --release`.
+
+use quadralib::core::{build_model, AutoBuilder, NeuronType};
+use quadralib::data::ShapeImageDataset;
+use quadralib::models::vgg8_config;
+use quadralib::nn::{CosineAnnealingLr, CrossEntropyLoss, Layer, Sgd, SgdConfig, Trainer, TrainerConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let train = ShapeImageDataset::generate(300, 10, 16, 3, 0.1, 1);
+    let test = ShapeImageDataset::generate(100, 10, 16, 3, 0.1, 2);
+
+    let first_order = vgg8_config(0.0625, 10, 16);
+    let quadra = AutoBuilder::new(NeuronType::Ours).build(&first_order, 4, &[]);
+    println!("first-order config: {} conv layers", first_order.conv_layer_count());
+    println!("QuadraNN config   : {} conv layers (auto-builder reduced)", quadra.conv_layer_count());
+
+    for (name, cfg) in [("first-order VGG-8", &first_order), ("QuadraNN", &quadra)] {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut model = build_model(cfg, &mut rng);
+        let mut trainer = Trainer::new(TrainerConfig { epochs: 6, batch_size: 32, shuffle: true, seed: 4, verbose: false });
+        let mut opt = Sgd::new(SgdConfig { lr: 0.05, momentum: 0.9, weight_decay: 5e-4, nesterov: false });
+        let report = trainer.fit(
+            &mut model,
+            &CrossEntropyLoss::new(),
+            &mut opt,
+            &CosineAnnealingLr::new(0.05, 6, 1e-4),
+            &train.images,
+            &train.labels,
+            None,
+        );
+        let (acc, _) = trainer.evaluate(&mut model, &test.images, &test.labels);
+        println!(
+            "{:<20} params {:>8}  train acc {:>5.1}%  test acc {:>5.1}%  mem {:.1} MiB",
+            name,
+            model.param_count(),
+            report.final_train_acc() * 100.0,
+            acc * 100.0,
+            report.total_train_memory_bytes() as f64 / (1024.0 * 1024.0)
+        );
+    }
+}

@@ -1,0 +1,48 @@
+//! Memory profiling and hybrid back-propagation: measure the training-memory
+//! footprint of a quadratic model, let the QuadraticOptimizer decide whether
+//! hybrid BP is needed for a given budget, and print the per-iteration memory
+//! timeline.
+//!
+//! Run with `cargo run --example memory_profiling --release`.
+
+use quadralib::core::{build_model, LayerSpec, MemoryProfiler, ModelConfig, NeuronType, QuadraticOptimizer};
+use quadralib::nn::{Sgd, SgdConfig};
+use quadralib::tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let cfg = ModelConfig::new(
+        "profiled-qdnn",
+        3,
+        16,
+        10,
+        vec![
+            LayerSpec::qconv3x3(NeuronType::Ours, 16),
+            LayerSpec::MaxPool { kernel: 2 },
+            LayerSpec::qconv3x3(NeuronType::Ours, 32),
+            LayerSpec::GlobalAvgPool,
+            LayerSpec::Linear { out_features: 10, relu: false },
+        ],
+    );
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut model = build_model(&cfg, &mut rng);
+    let input = Tensor::randn(&[16, 3, 16, 16], 0.0, 1.0, &mut rng);
+
+    // Raw profiling.
+    let profiler = MemoryProfiler::new();
+    let (report, timeline) = profiler.profile_step(&mut model, &input, 0);
+    println!("default-BP training step: {:.2} MiB total, peak activations {:.2} MiB", report.total_mib(), report.peak_activation_bytes as f64 / (1024.0 * 1024.0));
+    println!("\nper-layer memory timeline:\n{}", timeline.render_ascii(36));
+
+    // Let the quadratic optimizer pick a mode for a tight budget.
+    let budget = report.total_bytes() / 2; // pretend the device has half the needed memory
+    let opt = QuadraticOptimizer::new(Sgd::new(SgdConfig::default()), budget);
+    let decision = opt.configure_memory(&mut model, &input);
+    println!(
+        "budget {:.2} MiB -> chose {} (activation saving {:.1}%)",
+        budget as f64 / (1024.0 * 1024.0),
+        decision.chosen_mode,
+        decision.activation_saving() * 100.0
+    );
+}

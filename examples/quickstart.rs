@@ -1,0 +1,44 @@
+//! Quickstart: build a quadratic layer, assemble a small QDNN from a
+//! configuration file, and train it on a toy problem that a linear network
+//! struggles with (XOR).
+//!
+//! Run with `cargo run --example quickstart --release`.
+
+use quadralib::core::{NeuronType, QuadraticLinear};
+use quadralib::data::xor_dataset;
+use quadralib::nn::{CrossEntropyLoss, Layer, Loss, Optimizer, Sequential, Sgd, SgdConfig};
+use quadralib::tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    // 1. A single quadratic layer of the paper's proposed design:
+    //    f(X) = (Wa·X) ∘ (Wb·X) + Wc·X
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut layer = QuadraticLinear::new(NeuronType::Ours, 2, 2, &mut rng);
+    let x = Tensor::from_vec(vec![1.0, -1.0], &[1, 2]).unwrap();
+    println!("quadratic layer output for [1, -1]: {:?}", layer.forward(&x, false));
+
+    // 2. A one-quadratic-layer "network" solves XOR, the classic example a
+    //    single linear neuron cannot represent.
+    let (train_x, train_y) = xor_dataset(400, 0.1, 1);
+    let (test_x, test_y) = xor_dataset(100, 0.1, 2);
+    let mut model = Sequential::new(vec![Box::new(QuadraticLinear::new(NeuronType::Ours, 2, 2, &mut rng))]);
+    let mut opt = Sgd::new(SgdConfig { lr: 0.1, momentum: 0.9, weight_decay: 0.0, nesterov: false });
+    let loss_fn = CrossEntropyLoss::new();
+    for epoch in 0..60 {
+        let logits = model.forward(&train_x, true);
+        let (loss, grad) = loss_fn.compute(&logits, &train_y);
+        model.backward(&grad);
+        let mut params = model.params_mut();
+        opt.step(&mut params);
+        opt.zero_grad(&mut params);
+        if epoch % 20 == 0 {
+            println!("epoch {:>2}  loss {:.4}", epoch, loss);
+        }
+    }
+    let logits = model.forward(&test_x, false);
+    let acc = quadralib::nn::accuracy(&logits, &test_y);
+    println!("XOR test accuracy with ONE quadratic layer: {:.1}%", acc * 100.0);
+    assert!(acc > 0.9, "a single quadratic neuron layer should solve XOR");
+}

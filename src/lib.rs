@@ -1,0 +1,26 @@
+//! # quadralib
+//!
+//! Meta-crate for **QuadraLib-rs**, a from-scratch Rust reproduction of
+//! *"QuadraLib: A Performant Quadratic Neural Network Library for Architecture
+//! Optimization and Design Exploration"* (MLSys 2022).
+//!
+//! This crate simply re-exports the public APIs of every member crate so that
+//! examples and downstream users can depend on a single package:
+//!
+//! * [`tensor`] — the dense `f32` tensor substrate,
+//! * [`autograd`] — tape-based reverse-mode AD + gradient checking,
+//! * [`nn`] — first-order layers, losses, optimizers, schedulers, training loop,
+//! * [`core`] — quadratic neurons, quadratic layers, hybrid back-propagation,
+//!   memory profiler, auto-builder and analysis tools (the paper's contribution),
+//! * [`data`] — synthetic datasets standing in for CIFAR / Tiny-ImageNet / VOC,
+//! * [`models`] — the model zoo (VGG, ResNet, MobileNetV1, GAN, SSD-lite).
+
+pub use quadra_autograd as autograd;
+pub use quadra_core as core;
+pub use quadra_data as data;
+pub use quadra_models as models;
+pub use quadra_nn as nn;
+pub use quadra_tensor as tensor;
+
+/// Crate version of the meta-package, re-exported for convenience.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");

@@ -1,0 +1,120 @@
+//! Integration tests of the training-level components: hybrid back-propagation
+//! equivalence, memory profiling and the quadratic optimizer's decision.
+
+use quadralib::core::{
+    build_model, LayerSpec, MemoryProfiler, ModelConfig, NeuronType, QuadraticOptimizer,
+};
+use quadralib::nn::{CrossEntropyLoss, Layer, Loss, Optimizer, Sgd, SgdConfig};
+use quadralib::tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn qdnn_config() -> ModelConfig {
+    ModelConfig::new(
+        "hybrid-test",
+        3,
+        12,
+        4,
+        vec![
+            LayerSpec::qconv3x3(NeuronType::Ours, 8),
+            LayerSpec::MaxPool { kernel: 2 },
+            LayerSpec::qconv3x3(NeuronType::T2And4, 8),
+            LayerSpec::GlobalAvgPool,
+            LayerSpec::Linear { out_features: 4, relu: false },
+        ],
+    )
+}
+
+/// Hybrid BP must produce *identical* training trajectories to default BP — it
+/// only changes what is cached, not the math.
+#[test]
+fn hybrid_backprop_matches_default_training_trajectory() {
+    let cfg = qdnn_config();
+    let mut rng = StdRng::seed_from_u64(1);
+    let x = Tensor::randn(&[8, 3, 12, 12], 0.0, 1.0, &mut rng);
+    let y = Tensor::from_vec((0..8).map(|i| (i % 4) as f32).collect(), &[8]).unwrap();
+
+    let run = |hybrid: bool| {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut model = build_model(&cfg, &mut rng);
+        model.set_memory_saving(hybrid);
+        let mut opt = Sgd::new(SgdConfig { lr: 0.05, momentum: 0.9, weight_decay: 0.0, nesterov: false });
+        let loss_fn = CrossEntropyLoss::new();
+        let mut losses = Vec::new();
+        for _ in 0..5 {
+            let logits = model.forward(&x, true);
+            let (l, grad) = loss_fn.compute(&logits, &y);
+            model.backward(&grad);
+            let mut params = model.params_mut();
+            opt.step(&mut params);
+            opt.zero_grad(&mut params);
+            losses.push(l);
+        }
+        (losses, model.forward(&x, false))
+    };
+    let (losses_default, out_default) = run(false);
+    let (losses_hybrid, out_hybrid) = run(true);
+    for (a, b) in losses_default.iter().zip(&losses_hybrid) {
+        assert!((a - b).abs() < 1e-4, "loss diverged: {} vs {}", a, b);
+    }
+    assert!(out_default.allclose(&out_hybrid, 1e-3));
+}
+
+/// The profiler's measured peak must drop in hybrid mode, and the quadratic
+/// optimizer must pick hybrid mode exactly when the budget requires it.
+#[test]
+fn profiler_and_quadratic_optimizer_interact_consistently() {
+    let cfg = qdnn_config();
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut model = build_model(&cfg, &mut rng);
+    let input = Tensor::randn(&[8, 3, 12, 12], 0.0, 1.0, &mut rng);
+    let profiler = MemoryProfiler::new();
+
+    let (default_report, _) = profiler.profile_step(&mut model, &input, 0);
+    model.set_memory_saving(true);
+    let (hybrid_report, _) = profiler.profile_step(&mut model, &input, 0);
+    model.set_memory_saving(false);
+    assert!(hybrid_report.peak_activation_bytes < default_report.peak_activation_bytes);
+
+    // Budget above the default requirement -> stays in default mode.
+    let generous = QuadraticOptimizer::new(Sgd::new(SgdConfig::default()), default_report.total_bytes() * 2);
+    let d1 = generous.configure_memory(&mut model, &input);
+    assert_eq!(d1.chosen_mode, quadralib::core::BackpropMode::Default);
+    // Budget below the default requirement -> hybrid mode.
+    let tight = QuadraticOptimizer::new(Sgd::new(SgdConfig::default()), hybrid_report.total_bytes());
+    let d2 = tight.configure_memory(&mut model, &input);
+    assert_eq!(d2.chosen_mode, quadralib::core::BackpropMode::Hybrid);
+    assert!(model.memory_saving());
+}
+
+/// The analytic config-based estimate must rank models the same way as actual
+/// measurement (first-order < quadratic), which is what Fig. 5 relies on.
+#[test]
+fn analytic_estimate_ranks_models_like_measurement() {
+    let quadratic = qdnn_config();
+    let first_order = ModelConfig::new(
+        "first",
+        3,
+        12,
+        4,
+        vec![
+            LayerSpec::conv3x3(8),
+            LayerSpec::MaxPool { kernel: 2 },
+            LayerSpec::conv3x3(8),
+            LayerSpec::GlobalAvgPool,
+            LayerSpec::Linear { out_features: 4, relu: false },
+        ],
+    );
+    let profiler = MemoryProfiler::new();
+    let est_first = profiler.estimate_from_config(&first_order, 16, true);
+    let est_quad = profiler.estimate_from_config(&quadratic, 16, true);
+    assert!(est_quad.total_bytes() > est_first.total_bytes());
+
+    let mut rng = StdRng::seed_from_u64(4);
+    let input = Tensor::randn(&[16, 3, 12, 12], 0.0, 1.0, &mut rng);
+    let mut m_first = build_model(&first_order, &mut rng);
+    let mut m_quad = build_model(&quadratic, &mut rng);
+    let (r_first, _) = profiler.profile_step(&mut m_first, &input, 0);
+    let (r_quad, _) = profiler.profile_step(&mut m_quad, &input, 0);
+    assert!(r_quad.total_bytes() > r_first.total_bytes());
+}
