@@ -180,11 +180,7 @@ impl Graph {
     /// # Panics
     /// Panics if `output` is not a single-element tensor.
     pub fn backward(&mut self, output: VarId) {
-        assert_eq!(
-            self.nodes[output.0].value.numel(),
-            1,
-            "backward must start from a scalar node"
-        );
+        assert_eq!(self.nodes[output.0].value.numel(), 1, "backward must start from a scalar node");
         for n in self.nodes.iter_mut() {
             n.grad = None;
         }
@@ -265,8 +261,8 @@ fn reduce_to_shape(grad: Tensor, shape: &[usize]) -> Tensor {
         g = g.sum_axis(0).expect("axis exists");
     }
     // Sum axes where the target extent is 1.
-    for ax in 0..shape.len() {
-        if shape[ax] == 1 && g.shape()[ax] != 1 {
+    for (ax, &extent) in shape.iter().enumerate() {
+        if extent == 1 && g.shape()[ax] != 1 {
             g = g.sum_axis(ax).expect("axis exists").unsqueeze(ax).expect("unsqueeze");
         }
     }

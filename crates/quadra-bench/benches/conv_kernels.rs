@@ -17,7 +17,9 @@ fn bench_kernels(c: &mut Criterion) {
 
     let dw = Tensor::randn(&[16, 1, 3, 3], 0.0, 0.2, &mut rng);
     let pd = Conv2dParams::new(1, 1, 16);
-    group.bench_function("depthwise_conv2d_3x3", |b| b.iter(|| std::hint::black_box(x.conv2d(&dw, None, pd).unwrap())));
+    group.bench_function("depthwise_conv2d_3x3", |b| {
+        b.iter(|| std::hint::black_box(x.conv2d(&dw, None, pd).unwrap()))
+    });
 
     let a = Tensor::randn(&[128, 128], 0.0, 1.0, &mut rng);
     let bm = Tensor::randn(&[128, 128], 0.0, 1.0, &mut rng);

@@ -24,7 +24,9 @@ fn bench_layers(c: &mut Criterion) {
     });
 
     let mut quad = QuadraticConv2d::conv3x3(NeuronType::Ours, 8, 16, &mut rng);
-    group.bench_function("quadratic_ours_forward", |b| b.iter(|| std::hint::black_box(quad.forward(&x, true))));
+    group.bench_function("quadratic_ours_forward", |b| {
+        b.iter(|| std::hint::black_box(quad.forward(&x, true)))
+    });
     group.bench_function("quadratic_ours_fwd_bwd", |b| {
         b.iter(|| {
             let y = quad.forward(&x, true);

@@ -13,7 +13,9 @@ fn bench_neuron_types(c: &mut Criterion) {
     group.sample_size(20);
     let mut rng = StdRng::seed_from_u64(0);
     let x = Tensor::randn(&[16, 64], 0.0, 1.0, &mut rng);
-    for t in [NeuronType::T1, NeuronType::T2, NeuronType::T3, NeuronType::T4, NeuronType::T2And4, NeuronType::Ours] {
+    for t in
+        [NeuronType::T1, NeuronType::T2, NeuronType::T3, NeuronType::T4, NeuronType::T2And4, NeuronType::Ours]
+    {
         let mut layer = QuadraticLinear::new(t, 64, 64, &mut rng);
         group.bench_with_input(BenchmarkId::from_parameter(t.name()), &t, |b, _| {
             b.iter(|| std::hint::black_box(layer.forward(&x, true)))

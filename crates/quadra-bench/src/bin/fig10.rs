@@ -38,8 +38,16 @@ fn main() {
     }
     let n = samples.len() as f32;
     println!("\nAveraged scores over {} samples:", samples.len());
-    println!("  first-order: edge score {:.3}, region coverage {:.3}", edge_scores.0 / n, region_scores.0 / n);
-    println!("  quadratic  : edge score {:.3}, region coverage {:.3}", edge_scores.1 / n, region_scores.1 / n);
+    println!(
+        "  first-order: edge score {:.3}, region coverage {:.3}",
+        edge_scores.0 / n,
+        region_scores.0 / n
+    );
+    println!(
+        "  quadratic  : edge score {:.3}, region coverage {:.3}",
+        edge_scores.1 / n,
+        region_scores.1 / n
+    );
     println!("\nShape to reproduce: the quadratic layer's attention covers more of the object");
     println!("region, while the first-order layer concentrates on edges/boundaries.");
 }

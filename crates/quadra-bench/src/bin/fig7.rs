@@ -20,7 +20,9 @@ fn main() {
     let data = ShapeImageDataset::generate(n_train, 10, img, 3, 0.1, 51);
     let base = vgg_config(VggVariant::Vgg16, width, 3, img, 10);
 
-    for (label, neuron) in [("without linear term (T4)", NeuronType::T4), ("with linear term (Ours)", NeuronType::Ours)] {
+    for (label, neuron) in
+        [("without linear term (T4)", NeuronType::T4), ("with linear term (Ours)", NeuronType::Ours)]
+    {
         let cfg = AutoBuilder::new(neuron).convert(&base);
         let mut rng = StdRng::seed_from_u64(52);
         let mut model = build_model(&cfg, &mut rng);
@@ -43,12 +45,8 @@ fn main() {
         }
         // Identify shallow / middle / deep quadratic conv weights by parameter order.
         let names = recorder.param_names();
-        let conv_indices: Vec<usize> = names
-            .iter()
-            .enumerate()
-            .filter(|(_, n)| n.contains("qconv.wa"))
-            .map(|(i, _)| i)
-            .collect();
+        let conv_indices: Vec<usize> =
+            names.iter().enumerate().filter(|(_, n)| n.contains("qconv.wa")).map(|(i, _)| i).collect();
         let picks = [
             ("Conv1 (shallow)", conv_indices.first().copied()),
             ("Conv-mid", conv_indices.get(conv_indices.len() / 2).copied()),

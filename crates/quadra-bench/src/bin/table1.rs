@@ -38,7 +38,15 @@ fn main() {
         .collect();
     print_table(
         &format!("Table 1: quadratic neuron taxonomy (input size n = {})", n),
-        &["Type", "Neuron format", "Computation", "Model structure", "Verified params", "Issues", "Reference"],
+        &[
+            "Type",
+            "Neuron format",
+            "Computation",
+            "Model structure",
+            "Verified params",
+            "Issues",
+            "Reference",
+        ],
         &rows,
     );
     println!("\nNote: 'Verified params' instantiates each neuron and counts its weight tensors,");

@@ -29,7 +29,16 @@ fn main() {
         Scale::Full => (4000usize, 1000usize, 30usize, 0.25f32, 32usize),
         Scale::Quick => (400, 120, 5, 0.0625, 16),
     };
-    let headers = ["Model", "#ConvLayers", "#Param", "Train t/batch", "Train mem", "Test t/batch", "Train acc", "Test acc"];
+    let headers = [
+        "Model",
+        "#ConvLayers",
+        "#Param",
+        "Train t/batch",
+        "Train mem",
+        "Test t/batch",
+        "Train acc",
+        "Test acc",
+    ];
 
     for (dataset_name, classes, seed) in [("synth-CIFAR-10", 10usize, 1u64), ("synth-CIFAR-100", 100, 11)] {
         let train = ShapeImageDataset::generate(n_train, classes, img, 3, 0.1, seed);

@@ -28,17 +28,14 @@ fn main() {
     }
 
     let settings = RunSettings { epochs, batch_size: 32, lr: 0.05, seed: 7 };
-    let rows: Vec<Vec<String>> = [
-        ("First-order", &first),
-        ("QuadraNN", &quadra),
-        ("QuadraNN (no ReLU)", &quadra_no_relu),
-    ]
-    .iter()
-    .map(|(name, cfg)| {
-        let r = run_classification(name, cfg, &train, &test, settings);
-        vec![name.to_string(), r.conv_layers.to_string(), format!("{:.2}%", r.test_acc * 100.0)]
-    })
-    .collect();
+    let rows: Vec<Vec<String>> =
+        [("First-order", &first), ("QuadraNN", &quadra), ("QuadraNN (no ReLU)", &quadra_no_relu)]
+            .iter()
+            .map(|(name, cfg)| {
+                let r = run_classification(name, cfg, &train, &test, settings);
+                vec![name.to_string(), r.conv_layers.to_string(), format!("{:.2}%", r.test_acc * 100.0)]
+            })
+            .collect();
     print_table(
         "Table 4: VGG structures on the Tiny-ImageNet stand-in",
         &["Model", "#ConvLayers", "Test accuracy"],

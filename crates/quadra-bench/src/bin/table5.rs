@@ -20,10 +20,15 @@ fn main() {
     // Train the "inception stand-in" feature extractor on the real distribution.
     let mut fx = FeatureExtractor::new(3, 4, 8, 33);
     fx.fit(&real.images, &real.labels, fx_epochs, 32, 34);
-    println!("stand-in classifier accuracy on real data: {:.2}%", fx.accuracy(&eval_real.images, &eval_real.labels) * 100.0);
+    println!(
+        "stand-in classifier accuracy on real data: {:.2}%",
+        fx.accuracy(&eval_real.images, &eval_real.labels) * 100.0
+    );
 
     let mut rows = Vec::new();
-    for (name, quadratic) in [("SNGAN stand-in (first-order)", None), ("QuadraNN generator (Ours)", Some(NeuronType::Ours))] {
+    for (name, quadratic) in
+        [("SNGAN stand-in (first-order)", None), ("QuadraNN generator (Ours)", Some(NeuronType::Ours))]
+    {
         let mut gan = Gan::new(GanConfig { base_width: 12, quadratic, seed: 35, ..GanConfig::default() });
         let report = gan.train(&real.images, steps, 16, 2e-3);
         let fake = gan.generate(eval_n);

@@ -18,14 +18,18 @@ fn main() {
     let train = DetectionDataset::generate(n_train, num_classes, 32, 2, 41);
     let test = DetectionDataset::generate(n_test, num_classes, 32, 2, 42);
 
-    let configs = [
-        ("1st order", None::<NeuronType>),
-        ("QuadraNN", Some(NeuronType::Ours)),
-    ];
+    let configs = [("1st order", None::<NeuronType>), ("QuadraNN", Some(NeuronType::Ours))];
     let mut rows = Vec::new();
     for pretrained in [false, true] {
         for (name, quadratic) in configs {
-            let det_cfg = DetectorConfig { num_classes, image_size: 32, backbone_width: 8, grid: 4, quadratic, seed: 43 };
+            let det_cfg = DetectorConfig {
+                num_classes,
+                image_size: 32,
+                backbone_width: 8,
+                grid: 4,
+                quadratic,
+                seed: 43,
+            };
             let mut det = Detector::new(det_cfg);
             if pretrained {
                 // "Pre-training": train a twin detector's backbone on the
@@ -38,10 +42,7 @@ fn main() {
             }
             det.train(&train, epochs, 16, 0.05, 46);
             let report = det.evaluate_map(&test, 0.3);
-            let mut row = vec![
-                name.to_string(),
-                if pretrained { "yes".into() } else { "no".into() },
-            ];
+            let mut row = vec![name.to_string(), if pretrained { "yes".into() } else { "no".into() }];
             row.extend(report.per_class_ap.iter().map(|ap| format!("{:.2}", ap)));
             row.push(format!("{:.3}", report.map));
             rows.push(row);

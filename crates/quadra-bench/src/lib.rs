@@ -120,7 +120,9 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
     let widths: Vec<usize> = headers
         .iter()
         .enumerate()
-        .map(|(i, h)| rows.iter().map(|r| r.get(i).map(|c| c.len()).unwrap_or(0)).chain([h.len()]).max().unwrap_or(0))
+        .map(|(i, h)| {
+            rows.iter().map(|r| r.get(i).map(|c| c.len()).unwrap_or(0)).chain([h.len()]).max().unwrap_or(0)
+        })
         .collect();
     let line = |cells: Vec<String>| {
         let mut s = String::from("| ");

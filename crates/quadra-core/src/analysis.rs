@@ -117,8 +117,15 @@ pub fn ascii_histogram(values: &[f32], bins: usize, width: usize) -> String {
     for (i, &c) in counts.iter().enumerate() {
         let lo = min + span * i as f32 / bins as f32;
         let hi = min + span * (i + 1) as f32 / bins as f32;
-        let bar = if peak == 0 { 0 } else { c * width / peak };
-        out.push_str(&format!("[{:>9.3}, {:>9.3}) |{:<width$}| {}\n", lo, hi, "█".repeat(bar), c, width = width));
+        let bar = (c * width).checked_div(peak).unwrap_or(0);
+        out.push_str(&format!(
+            "[{:>9.3}, {:>9.3}) |{:<width$}| {}\n",
+            lo,
+            hi,
+            "█".repeat(bar),
+            c,
+            width = width
+        ));
     }
     out
 }
@@ -127,12 +134,8 @@ pub fn ascii_histogram(values: &[f32], bins: usize, width: usize) -> String {
 /// (mean absolute activation over channels), the quantity visualised in Fig. 10.
 pub fn activation_attention(activations: &Tensor, sample: usize) -> Tensor {
     assert_eq!(activations.ndim(), 4, "attention map expects NCHW activations");
-    let (n, c, h, w) = (
-        activations.shape()[0],
-        activations.shape()[1],
-        activations.shape()[2],
-        activations.shape()[3],
-    );
+    let (n, c, h, w) =
+        (activations.shape()[0], activations.shape()[1], activations.shape()[2], activations.shape()[3]);
     assert!(sample < n, "sample index out of range");
     let src = activations.as_slice();
     let mut map = Tensor::zeros(&[h, w]);

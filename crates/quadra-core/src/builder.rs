@@ -63,22 +63,43 @@ fn spec_cost(spec: &LayerSpec, geom: Geometry) -> SpecCost {
     // `has_bias` mirrors the construction function: a first-order Conv2d gets a
     // bias only when it is not followed by batch-norm, while a quadratic
     // convolution always carries its own bias parameter.
-    let conv_cost =
-        |out_c: usize, k: usize, stride: usize, padding: usize, groups: usize, branches: usize, bn: bool, has_bias: bool| {
-            let out_hw = (geom.spatial + 2 * padding).saturating_sub(k) / stride + 1;
-            let weight = out_c * (geom.channels / groups.max(1)) * k * k;
-            let params =
-                branches * weight + if has_bias { out_c } else { 0 } + if bn { 2 * out_c } else { 0 };
-            let flops = branches * weight * out_hw * out_hw;
-            SpecCost { params, flops }
-        };
+    let conv_cost = |out_c: usize,
+                     k: usize,
+                     stride: usize,
+                     padding: usize,
+                     groups: usize,
+                     branches: usize,
+                     bn: bool,
+                     has_bias: bool| {
+        let out_hw = (geom.spatial + 2 * padding).saturating_sub(k) / stride + 1;
+        let weight = out_c * (geom.channels / groups.max(1)) * k * k;
+        let params = branches * weight + if has_bias { out_c } else { 0 } + if bn { 2 * out_c } else { 0 };
+        let flops = branches * weight * out_hw * out_hw;
+        SpecCost { params, flops }
+    };
     match spec {
         LayerSpec::Conv { out_channels, kernel, stride, padding, groups, batch_norm, .. } => {
             conv_cost(*out_channels, *kernel, *stride, *padding, *groups, 1, *batch_norm, !*batch_norm)
         }
-        LayerSpec::QuadraticConv { neuron, out_channels, kernel, stride, padding, groups, batch_norm, .. } => {
-            conv_cost(*out_channels, *kernel, *stride, *padding, *groups, branch_factor(*neuron), *batch_norm, true)
-        }
+        LayerSpec::QuadraticConv {
+            neuron,
+            out_channels,
+            kernel,
+            stride,
+            padding,
+            groups,
+            batch_norm,
+            ..
+        } => conv_cost(
+            *out_channels,
+            *kernel,
+            *stride,
+            *padding,
+            *groups,
+            branch_factor(*neuron),
+            *batch_norm,
+            true,
+        ),
         LayerSpec::Linear { out_features, .. } => SpecCost {
             params: geom.features() * out_features + out_features,
             flops: geom.features() * out_features,
@@ -195,10 +216,10 @@ impl AutoBuilder {
             let next = advance_geometry(spec, geom);
             let preserves_shape = next == geom;
             match spec {
-                LayerSpec::Conv { .. } | LayerSpec::QuadraticConv { .. } | LayerSpec::Residual { .. } => {
-                    if preserves_shape {
-                        removable.push(i);
-                    }
+                LayerSpec::Conv { .. } | LayerSpec::QuadraticConv { .. } | LayerSpec::Residual { .. }
+                    if preserves_shape =>
+                {
+                    removable.push(i);
                 }
                 _ => {}
             }
@@ -235,7 +256,12 @@ impl AutoBuilder {
 
     /// Step 2 — heuristic layer reduction: remove the highest-RI removable
     /// entries until at most `target_conv_layers` convolution layers remain.
-    pub fn reduce(&self, config: &ModelConfig, target_conv_layers: usize, delta_acc: &[(usize, f32)]) -> ModelConfig {
+    pub fn reduce(
+        &self,
+        config: &ModelConfig,
+        target_conv_layers: usize,
+        delta_acc: &[(usize, f32)],
+    ) -> ModelConfig {
         let mut cfg = config.clone();
         loop {
             let current = cfg.conv_layer_count();
@@ -249,10 +275,8 @@ impl AutoBuilder {
             scores.sort_by(|a, b| b.ri.partial_cmp(&a.ri).unwrap_or(std::cmp::Ordering::Equal));
             // Do not remove more conv layers than we need to.
             let excess = current - target_conv_layers;
-            let candidate = scores
-                .iter()
-                .find(|s| conv_count_of(&cfg.layers[s.index]) <= excess)
-                .map(|s| s.index);
+            let candidate =
+                scores.iter().find(|s| conv_count_of(&cfg.layers[s.index]) <= excess).map(|s| s.index);
             match candidate {
                 Some(idx) => {
                     cfg.layers.remove(idx);
@@ -266,7 +290,12 @@ impl AutoBuilder {
 
     /// The full auto-builder pipeline: layer replacement followed by heuristic
     /// layer reduction down to `target_conv_layers` convolution layers.
-    pub fn build(&self, config: &ModelConfig, target_conv_layers: usize, delta_acc: &[(usize, f32)]) -> ModelConfig {
+    pub fn build(
+        &self,
+        config: &ModelConfig,
+        target_conv_layers: usize,
+        delta_acc: &[(usize, f32)],
+    ) -> ModelConfig {
         let converted = self.convert(config);
         self.reduce(&converted, target_conv_layers, delta_acc)
     }
@@ -404,7 +433,15 @@ mod tests {
             2,
             vec![
                 LayerSpec::conv3x3(8),
-                LayerSpec::Conv { out_channels: 16, kernel: 3, stride: 2, padding: 1, groups: 1, batch_norm: true, relu: true },
+                LayerSpec::Conv {
+                    out_channels: 16,
+                    kernel: 3,
+                    stride: 2,
+                    padding: 1,
+                    groups: 1,
+                    batch_norm: true,
+                    relu: true,
+                },
                 LayerSpec::GlobalAvgPool,
                 LayerSpec::Linear { out_features: 2, relu: false },
             ],
@@ -420,7 +457,15 @@ mod tests {
         let block = |ch: usize| LayerSpec::Residual {
             body: vec![
                 LayerSpec::conv3x3(ch),
-                LayerSpec::Conv { out_channels: ch, kernel: 3, stride: 1, padding: 1, groups: 1, batch_norm: true, relu: false },
+                LayerSpec::Conv {
+                    out_channels: ch,
+                    kernel: 3,
+                    stride: 1,
+                    padding: 1,
+                    groups: 1,
+                    batch_norm: true,
+                    relu: false,
+                },
             ],
             projection: false,
             final_relu: true,

@@ -11,8 +11,8 @@ use crate::neuron::NeuronType;
 use crate::qconv::QuadraticConv2d;
 use crate::qlinear::QuadraticLinear;
 use quadra_nn::{
-    AvgPool2d, BatchNorm2d, Conv2d, Dropout, Flatten, GlobalAvgPool, Layer, Linear, MaxPool2d, Relu, Residual,
-    Sequential,
+    AvgPool2d, BatchNorm2d, Conv2d, Dropout, Flatten, GlobalAvgPool, Layer, Linear, MaxPool2d, Relu,
+    Residual, Sequential,
 };
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -107,7 +107,15 @@ pub enum LayerSpec {
 impl LayerSpec {
     /// Convenience constructor: 3×3 first-order convolution with BN + ReLU.
     pub fn conv3x3(out_channels: usize) -> Self {
-        LayerSpec::Conv { out_channels, kernel: 3, stride: 1, padding: 1, groups: 1, batch_norm: true, relu: true }
+        LayerSpec::Conv {
+            out_channels,
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+            groups: 1,
+            batch_norm: true,
+            relu: true,
+        }
     }
 
     /// Convenience constructor: 3×3 quadratic convolution with BN + ReLU.
@@ -290,7 +298,11 @@ pub fn build_model(config: &ModelConfig, rng: &mut impl Rng) -> Sequential {
     Sequential::new(layers)
 }
 
-fn build_specs(specs: &[LayerSpec], mut geom: Geometry, rng: &mut impl Rng) -> (Vec<Box<dyn Layer>>, Geometry) {
+fn build_specs(
+    specs: &[LayerSpec],
+    mut geom: Geometry,
+    rng: &mut impl Rng,
+) -> (Vec<Box<dyn Layer>>, Geometry) {
     let mut layers: Vec<Box<dyn Layer>> = Vec::new();
     for spec in specs {
         match spec {
@@ -312,7 +324,16 @@ fn build_specs(specs: &[LayerSpec], mut geom: Geometry, rng: &mut impl Rng) -> (
                     layers.push(Box::new(Relu::new()));
                 }
             }
-            LayerSpec::QuadraticConv { neuron, out_channels, kernel, stride, padding, groups, batch_norm, relu } => {
+            LayerSpec::QuadraticConv {
+                neuron,
+                out_channels,
+                kernel,
+                stride,
+                padding,
+                groups,
+                batch_norm,
+                relu,
+            } => {
                 layers.push(Box::new(QuadraticConv2d::new(
                     *neuron,
                     geom.channels,
@@ -354,8 +375,16 @@ fn build_specs(specs: &[LayerSpec], mut geom: Geometry, rng: &mut impl Rng) -> (
                     } else {
                         1
                     };
-                    let shortcut: Box<dyn Layer> =
-                        Box::new(Conv2d::new(in_geom.channels, out_geom.channels, 1, stride, 0, 1, false, rng));
+                    let shortcut: Box<dyn Layer> = Box::new(Conv2d::new(
+                        in_geom.channels,
+                        out_geom.channels,
+                        1,
+                        stride,
+                        0,
+                        1,
+                        false,
+                        rng,
+                    ));
                     Box::new(Residual::with_shortcut(body_seq, shortcut, *final_relu))
                 } else {
                     Box::new(Residual::new(body_seq, *final_relu))
@@ -396,7 +425,9 @@ mod tests {
         let cfg = tiny_config();
         let geom = Geometry { channels: 3, spatial: 8, flat: false };
         let mut seen = Vec::new();
-        let end = walk_geometry(&cfg.layers, geom, &mut |spec, g| seen.push((spec.is_conv(), g.channels, g.spatial)));
+        let end = walk_geometry(&cfg.layers, geom, &mut |spec, g| {
+            seen.push((spec.is_conv(), g.channels, g.spatial))
+        });
         assert_eq!(seen[0], (true, 3, 8));
         assert_eq!(seen[2], (true, 8, 4));
         assert_eq!(end.channels, 4);
@@ -428,12 +459,31 @@ mod tests {
             vec![
                 LayerSpec::conv3x3(8),
                 LayerSpec::Residual {
-                    body: vec![LayerSpec::conv3x3(8), LayerSpec::Conv { out_channels: 8, kernel: 3, stride: 1, padding: 1, groups: 1, batch_norm: true, relu: false }],
+                    body: vec![
+                        LayerSpec::conv3x3(8),
+                        LayerSpec::Conv {
+                            out_channels: 8,
+                            kernel: 3,
+                            stride: 1,
+                            padding: 1,
+                            groups: 1,
+                            batch_norm: true,
+                            relu: false,
+                        },
+                    ],
                     projection: false,
                     final_relu: true,
                 },
                 LayerSpec::Residual {
-                    body: vec![LayerSpec::Conv { out_channels: 16, kernel: 3, stride: 2, padding: 1, groups: 1, batch_norm: true, relu: true }],
+                    body: vec![LayerSpec::Conv {
+                        out_channels: 16,
+                        kernel: 3,
+                        stride: 2,
+                        padding: 1,
+                        groups: 1,
+                        batch_norm: true,
+                        relu: true,
+                    }],
                     projection: true,
                     final_relu: true,
                 },
@@ -482,9 +532,33 @@ mod tests {
             8,
             2,
             vec![
-                LayerSpec::Conv { out_channels: 8, kernel: 3, stride: 1, padding: 1, groups: 1, batch_norm: true, relu: true },
-                LayerSpec::Conv { out_channels: 8, kernel: 3, stride: 1, padding: 1, groups: 8, batch_norm: true, relu: true },
-                LayerSpec::Conv { out_channels: 16, kernel: 1, stride: 1, padding: 0, groups: 1, batch_norm: true, relu: true },
+                LayerSpec::Conv {
+                    out_channels: 8,
+                    kernel: 3,
+                    stride: 1,
+                    padding: 1,
+                    groups: 1,
+                    batch_norm: true,
+                    relu: true,
+                },
+                LayerSpec::Conv {
+                    out_channels: 8,
+                    kernel: 3,
+                    stride: 1,
+                    padding: 1,
+                    groups: 8,
+                    batch_norm: true,
+                    relu: true,
+                },
+                LayerSpec::Conv {
+                    out_channels: 16,
+                    kernel: 1,
+                    stride: 1,
+                    padding: 0,
+                    groups: 1,
+                    batch_norm: true,
+                    relu: true,
+                },
                 LayerSpec::GlobalAvgPool,
                 LayerSpec::Linear { out_features: 2, relu: false },
             ],
@@ -523,7 +597,12 @@ mod tests {
             1,
             4,
             2,
-            vec![LayerSpec::Flatten, LayerSpec::Dropout { p: 0.5 }, LayerSpec::Linear { out_features: 2, relu: true }, LayerSpec::QuadraticLinear { neuron: NeuronType::Ours, out_features: 2 }],
+            vec![
+                LayerSpec::Flatten,
+                LayerSpec::Dropout { p: 0.5 },
+                LayerSpec::Linear { out_features: 2, relu: true },
+                LayerSpec::QuadraticLinear { neuron: NeuronType::Ours, out_features: 2 },
+            ],
         );
         let mut rng = StdRng::seed_from_u64(4);
         let mut model = build_model(&dropout_cfg, &mut rng);

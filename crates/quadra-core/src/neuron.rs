@@ -232,9 +232,7 @@ impl DenseQuadraticNeuron {
             m.matvec(v).expect("shape").dot(v).expect("shape")
         };
         let value = match self.neuron_type {
-            NeuronType::T1 => {
-                quad_form(self.w_full.as_ref().unwrap(), x) + dot(self.wa.as_ref().unwrap(), x)
-            }
+            NeuronType::T1 => quad_form(self.w_full.as_ref().unwrap(), x) + dot(self.wa.as_ref().unwrap(), x),
             NeuronType::T2 => dot(self.wa.as_ref().unwrap(), &x.square()),
             NeuronType::T3 => {
                 let s = dot(self.wa.as_ref().unwrap(), x);

@@ -30,7 +30,11 @@ pub struct MemoryReport {
 impl MemoryReport {
     /// Total modelled memory requirement.
     pub fn total_bytes(&self) -> usize {
-        self.param_bytes + self.optimizer_bytes + self.peak_activation_bytes + self.input_bytes + self.output_bytes
+        self.param_bytes
+            + self.optimizer_bytes
+            + self.peak_activation_bytes
+            + self.input_bytes
+            + self.output_bytes
     }
 
     /// Total in mebibytes.
@@ -228,7 +232,8 @@ impl MemoryProfiler {
         let params = crate::builder::estimate_param_count(config);
         let param_bytes = params * 4 * 2; // value + gradient
         let optimizer_bytes = if sgd_momentum { params * 4 } else { 0 };
-        let input_geom = Geometry { channels: config.input_channels, spatial: config.image_size, flat: false };
+        let input_geom =
+            Geometry { channels: config.input_channels, spatial: config.image_size, flat: false };
         MemoryReport {
             param_bytes,
             optimizer_bytes,
@@ -275,7 +280,9 @@ mod tests {
         assert_eq!(timeline.peak(), report.peak_activation_bytes);
         // Memory rises during forward and falls during backward.
         let forward_end = timeline.points.len() / 2 - 1;
-        assert!(timeline.points[forward_end].live_activation_bytes >= timeline.points[0].live_activation_bytes);
+        assert!(
+            timeline.points[forward_end].live_activation_bytes >= timeline.points[0].live_activation_bytes
+        );
         assert!(timeline.points.last().unwrap().live_activation_bytes <= timeline.peak());
         // The probe cleans up after itself.
         assert_eq!(model.cached_bytes(), 0);
@@ -315,7 +322,13 @@ mod tests {
 
     #[test]
     fn exceeds_budget_check() {
-        let r = MemoryReport { param_bytes: 1000, optimizer_bytes: 0, peak_activation_bytes: 1000, input_bytes: 0, output_bytes: 0 };
+        let r = MemoryReport {
+            param_bytes: 1000,
+            optimizer_bytes: 0,
+            peak_activation_bytes: 1000,
+            input_bytes: 0,
+            output_bytes: 0,
+        };
         assert!(r.exceeds(1999));
         assert!(!r.exceeds(2000));
     }

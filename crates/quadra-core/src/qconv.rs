@@ -110,7 +110,12 @@ impl QuadraticConv2d {
     }
 
     /// Standard 3×3 shape-preserving quadratic convolution.
-    pub fn conv3x3(neuron_type: NeuronType, in_channels: usize, out_channels: usize, rng: &mut impl Rng) -> Self {
+    pub fn conv3x3(
+        neuron_type: NeuronType,
+        in_channels: usize,
+        out_channels: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
         Self::new(neuron_type, in_channels, out_channels, 3, 1, 1, 1, rng)
     }
 
@@ -150,8 +155,7 @@ impl QuadraticConv2d {
     }
 
     fn conv_branch(&self, x: &Tensor, w: &Option<Param>) -> Tensor {
-        x.conv2d(&w.as_ref().expect("branch weight").value, None, self.conv)
-            .expect("conv shapes")
+        x.conv2d(&w.as_ref().expect("branch weight").value, None, self.conv).expect("conv shapes")
     }
 
     fn branch_flops(&self, x: &Tensor, y: &Tensor) -> usize {
@@ -218,29 +222,32 @@ impl Layer for QuadraticConv2d {
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
         let x = self.cached_x.take().expect("backward called before forward");
-        self.bias
-            .accumulate_grad(&Tensor::conv2d_backward_bias(grad_out).expect("bias grad"));
+        self.bias.accumulate_grad(&Tensor::conv2d_backward_bias(grad_out).expect("bias grad"));
 
         let conv = self.conv;
         let mut grad_in = Tensor::zeros(x.shape());
 
         // Contribution of a branch y = conv(x_used, w) receiving gradient branch_grad.
-        let conv_branch_backward =
-            |w: &mut Option<Param>, branch_grad: &Tensor, grad_in: &mut Tensor, x_used: &Tensor, x_is_square: bool, x_orig: &Tensor| {
-                let w = w.as_mut().expect("branch weight");
-                let gw = Tensor::conv2d_backward_weight(branch_grad, x_used, w.value.shape(), conv)
-                    .expect("conv weight grad");
-                w.accumulate_grad(&gw);
-                let gx = Tensor::conv2d_backward_input(branch_grad, &w.value, x_used.shape(), conv)
-                    .expect("conv input grad");
-                if x_is_square {
-                    // d(x²)/dx = 2x
-                    let gx = gx.mul(&x_orig.mul_scalar(2.0)).expect("shape");
-                    grad_in.add_assign(&gx).expect("shape");
-                } else {
-                    grad_in.add_assign(&gx).expect("shape");
-                }
-            };
+        let conv_branch_backward = |w: &mut Option<Param>,
+                                    branch_grad: &Tensor,
+                                    grad_in: &mut Tensor,
+                                    x_used: &Tensor,
+                                    x_is_square: bool,
+                                    x_orig: &Tensor| {
+            let w = w.as_mut().expect("branch weight");
+            let gw = Tensor::conv2d_backward_weight(branch_grad, x_used, w.value.shape(), conv)
+                .expect("conv weight grad");
+            w.accumulate_grad(&gw);
+            let gx = Tensor::conv2d_backward_input(branch_grad, &w.value, x_used.shape(), conv)
+                .expect("conv input grad");
+            if x_is_square {
+                // d(x²)/dx = 2x
+                let gx = gx.mul(&x_orig.mul_scalar(2.0)).expect("shape");
+                grad_in.add_assign(&gx).expect("shape");
+            } else {
+                grad_in.add_assign(&gx).expect("shape");
+            }
+        };
 
         match self.neuron_type {
             NeuronType::T2 => {

@@ -44,7 +44,13 @@ impl QuadraticLinear {
             );
         }
         fn vec_init<R: Rng>(in_features: usize, out_features: usize, rng: &mut R) -> Tensor {
-            Tensor::init(&[in_features, out_features], InitKind::KaimingUniform, in_features, out_features, rng)
+            Tensor::init(
+                &[in_features, out_features],
+                InitKind::KaimingUniform,
+                in_features,
+                out_features,
+                rng,
+            )
         }
         let needs = NeuronWeights::required(neuron_type);
         let w_full = needs.full.then(|| {
@@ -145,7 +151,9 @@ impl NeuronWeights {
         match t {
             NeuronType::T1 => NeuronWeights { full: true, a: true, b: false, c: false },
             NeuronType::T2 | NeuronType::T3 => NeuronWeights { full: false, a: true, b: false, c: false },
-            NeuronType::T4 | NeuronType::T4Identity => NeuronWeights { full: false, a: true, b: true, c: false },
+            NeuronType::T4 | NeuronType::T4Identity => {
+                NeuronWeights { full: false, a: true, b: true, c: false }
+            }
             NeuronType::T1And2 => NeuronWeights { full: true, a: false, b: true, c: false },
             NeuronType::T2And4 | NeuronType::Ours => NeuronWeights { full: false, a: true, b: true, c: true },
         }
@@ -163,12 +171,22 @@ impl Layer for QuadraticLinear {
             NeuronType::T1 => {
                 let quad = self.bilinear(x);
                 let lin = self.branch(x, &self.wa);
-                (quad.add(&lin).expect("shape"), None, None, n * self.in_features * self.in_features * self.out_features + base_flops)
+                (
+                    quad.add(&lin).expect("shape"),
+                    None,
+                    None,
+                    n * self.in_features * self.in_features * self.out_features + base_flops,
+                )
             }
             NeuronType::T1And2 => {
                 let quad = self.bilinear(x);
                 let sq = x.square().matmul(&self.wb.as_ref().unwrap().value).expect("shape");
-                (quad.add(&sq).expect("shape"), None, None, n * self.in_features * self.in_features * self.out_features + 2 * base_flops)
+                (
+                    quad.add(&sq).expect("shape"),
+                    None,
+                    None,
+                    n * self.in_features * self.in_features * self.out_features + 2 * base_flops,
+                )
             }
             NeuronType::T2 => {
                 let out = x.square().matmul(&self.wa.as_ref().unwrap().value).expect("shape");
@@ -248,13 +266,14 @@ impl Layer for QuadraticLinear {
         let mut grad_in = Tensor::zeros(x.shape());
 
         // Helper to apply the contribution of a plain linear branch y = x·W.
-        let linear_branch = |w: &mut Option<Param>, branch_grad: &Tensor, grad_in: &mut Tensor, x_used: &Tensor| {
-            let w = w.as_mut().expect("branch weight");
-            let gw = x_used.transpose().expect("rank 2").matmul(branch_grad).expect("shape");
-            w.accumulate_grad(&gw);
-            let gx = branch_grad.matmul(&w.value.transpose().expect("rank 2")).expect("shape");
-            grad_in.add_assign(&gx).expect("shape");
-        };
+        let linear_branch =
+            |w: &mut Option<Param>, branch_grad: &Tensor, grad_in: &mut Tensor, x_used: &Tensor| {
+                let w = w.as_mut().expect("branch weight");
+                let gw = x_used.transpose().expect("rank 2").matmul(branch_grad).expect("shape");
+                w.accumulate_grad(&gw);
+                let gx = branch_grad.matmul(&w.value.transpose().expect("rank 2")).expect("shape");
+                grad_in.add_assign(&gx).expect("shape");
+            };
 
         match self.neuron_type {
             NeuronType::T1 | NeuronType::T1And2 => {
@@ -489,9 +508,9 @@ mod tests {
         }
         match layer.neuron_type {
             NeuronType::T1 => out.add(&x.matmul(&layer.wa.as_ref().unwrap().value).unwrap()).unwrap(),
-            NeuronType::T1And2 => out
-                .add(&x.square().matmul(&layer.wb.as_ref().unwrap().value).unwrap())
-                .unwrap(),
+            NeuronType::T1And2 => {
+                out.add(&x.square().matmul(&layer.wb.as_ref().unwrap().value).unwrap()).unwrap()
+            }
             _ => out,
         }
     }

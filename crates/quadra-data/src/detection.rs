@@ -85,7 +85,12 @@ impl DetectionDataset {
         DetectionDataset { scenes, num_classes, image_size: size }
     }
 
-    fn generate_scene(num_classes: usize, size: usize, max_objects: usize, rng: &mut StdRng) -> DetectionScene {
+    fn generate_scene(
+        num_classes: usize,
+        size: usize,
+        max_objects: usize,
+        rng: &mut StdRng,
+    ) -> DetectionScene {
         let channels = 3usize;
         let mut data = vec![-0.8f32; channels * size * size];
         let count = rng.gen_range(1..=max_objects);

@@ -58,10 +58,16 @@ impl ShapeKind {
             ShapeKind::Circle => d2 <= r * r,
             ShapeKind::Square => u.abs() <= r && v.abs() <= r,
             ShapeKind::Triangle => v >= -r && v <= r && u.abs() <= (r - v) * 0.5 + 0.05,
-            ShapeKind::Cross => (u.abs() <= r * 0.35 && v.abs() <= r) || (v.abs() <= r * 0.35 && u.abs() <= r),
+            ShapeKind::Cross => {
+                (u.abs() <= r * 0.35 && v.abs() <= r) || (v.abs() <= r * 0.35 && u.abs() <= r)
+            }
             ShapeKind::Ring => d2 <= r * r && d2 >= (0.55 * r) * (0.55 * r),
-            ShapeKind::StripesH => v.abs() <= r && u.abs() <= r && ((v / r * 3.0).floor() as i32).rem_euclid(2) == 0,
-            ShapeKind::StripesV => v.abs() <= r && u.abs() <= r && ((u / r * 3.0).floor() as i32).rem_euclid(2) == 0,
+            ShapeKind::StripesH => {
+                v.abs() <= r && u.abs() <= r && ((v / r * 3.0).floor() as i32).rem_euclid(2) == 0
+            }
+            ShapeKind::StripesV => {
+                v.abs() <= r && u.abs() <= r && ((u / r * 3.0).floor() as i32).rem_euclid(2) == 0
+            }
             ShapeKind::Checker => {
                 u.abs() <= r
                     && v.abs() <= r
@@ -92,7 +98,14 @@ impl ShapeImageDataset {
     /// Generate `n` samples of `num_classes` classes at `size`×`size` pixels
     /// with `channels` colour channels, Gaussian pixel noise of the given
     /// standard deviation, and a deterministic seed.
-    pub fn generate(n: usize, num_classes: usize, size: usize, channels: usize, noise: f32, seed: u64) -> Self {
+    pub fn generate(
+        n: usize,
+        num_classes: usize,
+        size: usize,
+        channels: usize,
+        noise: f32,
+        seed: u64,
+    ) -> Self {
         assert!(num_classes >= 2, "need at least two classes");
         assert!(size >= 8, "images must be at least 8x8");
         let mut rng = StdRng::seed_from_u64(seed);
@@ -200,7 +213,7 @@ mod tests {
         assert_eq!(ds.num_classes, 4);
         assert_eq!(ds.len(), 50);
         assert!(!ds.is_empty());
-        assert!(ds.labels.as_slice().iter().all(|&l| l >= 0.0 && l < 4.0));
+        assert!(ds.labels.as_slice().iter().all(|&l| (0.0..4.0).contains(&l)));
         assert!(!ds.images.has_non_finite());
         // Pixel range is roughly [-1, 1] plus noise.
         assert!(ds.images.max() < 2.0 && ds.images.min() > -2.0);
@@ -226,8 +239,8 @@ mod tests {
         for i in 0..ds.len() {
             let cls = ds.labels.as_slice()[i] as usize;
             count[cls] += 1;
-            for j in 0..px {
-                mean[cls][j] += ds.images.as_slice()[i * px + j];
+            for (j, m) in mean[cls].iter_mut().enumerate() {
+                *m += ds.images.as_slice()[i * px + j];
             }
         }
         for (m, c) in mean.iter_mut().zip(count) {

@@ -50,7 +50,11 @@ pub fn polynomial_regression(n: usize, coeffs: [f32; 4], noise: f32, seed: u64) 
     let mut ys = Vec::with_capacity(n);
     for _ in 0..n {
         let x: f32 = rng.gen_range(-1.0..1.0);
-        let y = coeffs[0] + coeffs[1] * x + coeffs[2] * x * x + coeffs[3] * x * x * x + noise * rng.gen_range(-1.0..1.0);
+        let y = coeffs[0]
+            + coeffs[1] * x
+            + coeffs[2] * x * x
+            + coeffs[3] * x * x * x
+            + noise * rng.gen_range(-1.0..1.0);
         xs.push(x);
         ys.push(y);
     }

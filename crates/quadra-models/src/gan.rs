@@ -8,8 +8,8 @@
 
 use quadra_core::{NeuronType, QuadraticConv2d};
 use quadra_nn::{
-    Adam, BatchNorm2d, Conv2d, GlobalAvgPool, HingeGanLoss, Layer, LeakyRelu, Linear, Optimizer, Relu, Sequential,
-    Tanh, Upsample2d,
+    Adam, BatchNorm2d, Conv2d, GlobalAvgPool, HingeGanLoss, Layer, LeakyRelu, Linear, Optimizer, Relu,
+    Sequential, Tanh, Upsample2d,
 };
 use quadra_tensor::Tensor;
 use rand::rngs::StdRng;
@@ -61,7 +61,10 @@ pub struct Gan {
 impl Gan {
     /// Build a GAN from its configuration.
     pub fn new(config: GanConfig) -> Self {
-        assert!(config.image_size % 4 == 0 && config.image_size >= 8, "image size must be a multiple of 4 and >= 8");
+        assert!(
+            config.image_size % 4 == 0 && config.image_size >= 8,
+            "image size must be a multiple of 4 and >= 8"
+        );
         let mut rng = StdRng::seed_from_u64(config.seed);
         let base_spatial = config.image_size / 4;
         let w = config.base_width;
@@ -220,7 +223,8 @@ mod tests {
     #[test]
     fn quadratic_generator_has_more_parameters_than_first_order() {
         let fo = Gan::new(GanConfig { base_width: 8, quadratic: None, ..Default::default() });
-        let qd = Gan::new(GanConfig { base_width: 8, quadratic: Some(NeuronType::Ours), ..Default::default() });
+        let qd =
+            Gan::new(GanConfig { base_width: 8, quadratic: Some(NeuronType::Ours), ..Default::default() });
         assert!(qd.generator_param_count() > fo.generator_param_count());
         // Discriminators are identical in size.
         assert_eq!(qd.discriminator_param_count(), fo.discriminator_param_count());

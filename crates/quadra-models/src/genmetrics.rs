@@ -140,9 +140,9 @@ pub fn frechet_distance_diag(real: &Tensor, fake: &Tensor) -> f32 {
         let mean = t.mean_axis(0).expect("axis 0");
         let mut var = vec![0.0f32; d];
         for i in 0..t.shape()[0] {
-            for j in 0..d {
+            for (j, vj) in var.iter_mut().enumerate() {
                 let diff = t.at(&[i, j]) - mean.as_slice()[j];
-                var[j] += diff * diff / n;
+                *vj += diff * diff / n;
             }
         }
         (mean, var)

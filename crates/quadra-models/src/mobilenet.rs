@@ -18,7 +18,8 @@ pub fn mobilenet_v1_config(
     assert!(width_mult > 0.0, "width multiplier must be positive");
     let ch = |c: f32| ((c * width_mult).round() as usize).max(4);
     // Standard MobileNetV1 channel plan (output channels of each point-wise conv).
-    let full_plan = [64.0, 128.0, 128.0, 256.0, 256.0, 512.0, 512.0, 512.0, 512.0, 512.0, 512.0, 1024.0, 1024.0];
+    let full_plan =
+        [64.0, 128.0, 128.0, 256.0, 256.0, 512.0, 512.0, 512.0, 512.0, 512.0, 512.0, 1024.0, 1024.0];
     // Strides of the depth-wise convs in the standard plan.
     let full_strides = [1usize, 2, 1, 2, 1, 2, 1, 1, 1, 1, 1, 2, 1];
 
@@ -106,11 +107,8 @@ mod tests {
     #[test]
     fn depthwise_layers_use_grouped_convolution() {
         let cfg = mobilenet_v1_config(3, 0.25, 3, 32, 10);
-        let grouped = cfg
-            .layers
-            .iter()
-            .filter(|l| matches!(l, LayerSpec::Conv { groups, .. } if *groups > 1))
-            .count();
+        let grouped =
+            cfg.layers.iter().filter(|l| matches!(l, LayerSpec::Conv { groups, .. } if *groups > 1)).count();
         assert_eq!(grouped, 3);
     }
 

@@ -36,7 +36,14 @@ pub struct DetectorConfig {
 
 impl Default for DetectorConfig {
     fn default() -> Self {
-        DetectorConfig { num_classes: 5, image_size: 32, backbone_width: 8, grid: 4, quadratic: None, seed: 0 }
+        DetectorConfig {
+            num_classes: 5,
+            image_size: 32,
+            backbone_width: 8,
+            grid: 4,
+            quadratic: None,
+            seed: 0,
+        }
     }
 }
 
@@ -153,7 +160,14 @@ impl Detector {
     }
 
     /// Train the detector on a detection dataset.
-    pub fn train(&mut self, data: &DetectionDataset, epochs: usize, batch_size: usize, lr: f32, seed: u64) -> Vec<f32> {
+    pub fn train(
+        &mut self,
+        data: &DetectionDataset,
+        epochs: usize,
+        batch_size: usize,
+        lr: f32,
+        seed: u64,
+    ) -> Vec<f32> {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut opt = Sgd::new(SgdConfig { lr, momentum: 0.9, weight_decay: 5e-4, nesterov: false });
         let ce = CrossEntropyLoss::new();
@@ -270,7 +284,12 @@ impl Detector {
 
     /// Run detection on a batch of scene indices, returning per-scene outputs
     /// after score thresholding and greedy non-maximum suppression.
-    pub fn detect(&mut self, data: &DetectionDataset, indices: &[usize], score_threshold: f32) -> Vec<Vec<DetectionOutput>> {
+    pub fn detect(
+        &mut self,
+        data: &DetectionDataset,
+        indices: &[usize],
+        score_threshold: f32,
+    ) -> Vec<Vec<DetectionOutput>> {
         let g = self.config.grid;
         let nc = self.config.num_classes;
         let images = data.image_batch(indices);
@@ -413,7 +432,14 @@ mod tests {
     }
 
     fn tiny_config() -> DetectorConfig {
-        DetectorConfig { num_classes: 3, image_size: 16, backbone_width: 4, grid: 4, quadratic: None, seed: 0 }
+        DetectorConfig {
+            num_classes: 3,
+            image_size: 16,
+            backbone_width: 4,
+            grid: 4,
+            quadratic: None,
+            seed: 0,
+        }
     }
 
     #[test]
@@ -486,10 +512,7 @@ mod tests {
             .scenes
             .iter()
             .map(|s| {
-                s.boxes
-                    .iter()
-                    .map(|b| DetectionOutput { class: b.class, score: 1.0, bbox: *b })
-                    .collect()
+                s.boxes.iter().map(|b| DetectionOutput { class: b.class, score: 1.0, bbox: *b }).collect()
             })
             .collect();
         let mut sum = 0.0;

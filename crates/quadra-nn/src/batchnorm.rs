@@ -118,12 +118,8 @@ impl Layer for BatchNorm2d {
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
         let xhat = self.cached_xhat.take().expect("backward called before forward");
         let inv_stds = self.cached_inv_std.take().expect("backward called before forward");
-        let (n, c, h, w) = (
-            grad_out.shape()[0],
-            grad_out.shape()[1],
-            grad_out.shape()[2],
-            grad_out.shape()[3],
-        );
+        let (n, c, h, w) =
+            (grad_out.shape()[0], grad_out.shape()[1], grad_out.shape()[2], grad_out.shape()[3]);
         let m = (n * h * w) as f32;
         let g = grad_out.as_slice();
         let xh = xhat.as_slice();

@@ -76,7 +76,10 @@ impl StateDict {
             let p = &mut target[i];
             let expected_key = format!("{:04}:{}", i, p.name);
             if key != &expected_key {
-                return Err(format!("parameter {} name mismatch: checkpoint '{}', model '{}'", i, key, expected_key));
+                return Err(format!(
+                    "parameter {} name mismatch: checkpoint '{}', model '{}'",
+                    i, key, expected_key
+                ));
             }
             if p.value.shape() != state.shape.as_slice() {
                 return Err(format!(

@@ -45,7 +45,11 @@ impl Conv2d {
             fan_out,
             rng,
         );
-        let bias = if bias { Some(Param::new_no_decay("conv2d.bias", Tensor::zeros(&[out_channels]))) } else { None };
+        let bias = if bias {
+            Some(Param::new_no_decay("conv2d.bias", Tensor::zeros(&[out_channels])))
+        } else {
+            None
+        };
         Conv2d {
             weight: Param::new("conv2d.weight", weight),
             bias,
@@ -92,7 +96,13 @@ impl Layer for Conv2d {
         // MACs = N * OC * OH * OW * (IC/groups) * K * K
         let (n, _c, _h, _w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
         let (oh, ow) = (y.shape()[2], y.shape()[3]);
-        self.flops = n * self.out_channels * oh * ow * (self.in_channels / self.conv.groups) * self.kernel * self.kernel;
+        self.flops = n
+            * self.out_channels
+            * oh
+            * ow
+            * (self.in_channels / self.conv.groups)
+            * self.kernel
+            * self.kernel;
         self.cached_input = Some(x.clone());
         y
     }

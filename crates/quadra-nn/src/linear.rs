@@ -27,7 +27,11 @@ impl Linear {
             out_features,
             rng,
         );
-        let bias = if bias { Some(Param::new_no_decay("linear.bias", Tensor::zeros(&[out_features]))) } else { None };
+        let bias = if bias {
+            Some(Param::new_no_decay("linear.bias", Tensor::zeros(&[out_features])))
+        } else {
+            None
+        };
         Linear {
             weight: Param::new("linear.weight", weight),
             bias,
@@ -122,7 +126,10 @@ mod tests {
     fn forward_known_values() {
         let mut r = rng();
         let mut lin = Linear::new(2, 2, true, &mut r);
-        lin.params_mut()[0].value.copy_from(&Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap()).unwrap();
+        lin.params_mut()[0]
+            .value
+            .copy_from(&Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap())
+            .unwrap();
         lin.params_mut()[1].value.copy_from(&Tensor::from_slice(&[0.5, -0.5])).unwrap();
         let x = Tensor::from_vec(vec![1.0, 1.0], &[1, 2]).unwrap();
         let y = lin.forward(&x, true);

@@ -263,7 +263,8 @@ mod tests {
         let numeric = numeric_gradient(|x| BceWithLogitsLoss::new().compute(x, &t).0, &p, 1e-3);
         assert!(check_close(&grad, &numeric).passes(1e-3));
         // Extreme logits stay finite.
-        let (l2, g2) = BceWithLogitsLoss::new().compute(&Tensor::from_slice(&[100.0, -100.0]), &Tensor::from_slice(&[1.0, 0.0]));
+        let (l2, g2) = BceWithLogitsLoss::new()
+            .compute(&Tensor::from_slice(&[100.0, -100.0]), &Tensor::from_slice(&[1.0, 0.0]));
         assert!(l2.is_finite() && !g2.has_non_finite());
         assert_eq!(BceWithLogitsLoss::new().name(), "bce_with_logits");
     }

@@ -12,12 +12,8 @@ pub fn accuracy(logits: &Tensor, labels: &Tensor) -> f32 {
         return 0.0;
     }
     let preds = logits.argmax_last_axis().expect("argmax");
-    let correct = preds
-        .as_slice()
-        .iter()
-        .zip(labels.as_slice())
-        .filter(|(p, l)| (**p - **l).abs() < 0.5)
-        .count();
+    let correct =
+        preds.as_slice().iter().zip(labels.as_slice()).filter(|(p, l)| (**p - **l).abs() < 0.5).count();
     correct as f32 / n as f32
 }
 

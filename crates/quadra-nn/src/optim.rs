@@ -168,7 +168,9 @@ impl Optimizer for Adam {
             }
             let m = &mut self.m[i];
             let v = &mut self.v[i];
-            for ((mi, vi), gi) in m.as_mut_slice().iter_mut().zip(v.as_mut_slice().iter_mut()).zip(grad.as_slice()) {
+            for ((mi, vi), gi) in
+                m.as_mut_slice().iter_mut().zip(v.as_mut_slice().iter_mut()).zip(grad.as_slice())
+            {
                 *mi = b1 * *mi + (1.0 - b1) * gi;
                 *vi = b2 * *vi + (1.0 - b2) * gi * gi;
             }

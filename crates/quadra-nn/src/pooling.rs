@@ -34,10 +34,7 @@ impl Layer for MaxPool2d {
     }
 
     fn cached_bytes(&self) -> usize {
-        self.indices
-            .as_ref()
-            .map(|i| i.argmax.len() * std::mem::size_of::<usize>())
-            .unwrap_or(0)
+        self.indices.as_ref().map(|i| i.argmax.len() * std::mem::size_of::<usize>()).unwrap_or(0)
     }
 
     fn clear_cache(&mut self) {

@@ -63,9 +63,9 @@ impl TrainReport {
         *self.epoch_train_acc.last().unwrap_or(&0.0)
     }
 
-    /// Total modelled training memory: parameters + gradients + optimizer state
-    /// + peak cached activations. This is the quantity plotted in Fig. 5 and
-    /// reported as "Train Memory" in Table 3.
+    /// Total modelled training memory: parameters plus gradients, optimizer
+    /// state and peak cached activations. This is the quantity plotted in
+    /// Fig. 5 and reported as "Train Memory" in Table 3.
     pub fn total_train_memory_bytes(&self) -> usize {
         self.param_bytes + self.optimizer_state_bytes + self.peak_activation_bytes
     }
@@ -92,6 +92,7 @@ impl Trainer {
     ///
     /// `x` is `[n, ...]`, `y` is `[n]` with integer class labels (as `f32`)
     /// for classification losses, or any target shape the loss accepts.
+    #[allow(clippy::too_many_arguments)]
     pub fn fit(
         &mut self,
         model: &mut dyn Layer,

@@ -49,7 +49,13 @@ impl Conv2dParams {
         }
         if h + 2 * self.padding < kh || w + 2 * self.padding < kw {
             return Err(TensorError::InvalidConvConfig {
-                msg: format!("kernel {}x{} larger than padded input {}x{}", kh, kw, h + 2 * self.padding, w + 2 * self.padding),
+                msg: format!(
+                    "kernel {}x{} larger than padded input {}x{}",
+                    kh,
+                    kw,
+                    h + 2 * self.padding,
+                    w + 2 * self.padding
+                ),
             });
         }
         Ok(())
@@ -173,7 +179,11 @@ impl Tensor {
             return Err(TensorError::RankMismatch { op: "conv2d", expected: 4, actual: self.ndim() });
         }
         if weight.ndim() != 4 {
-            return Err(TensorError::RankMismatch { op: "conv2d weight", expected: 4, actual: weight.ndim() });
+            return Err(TensorError::RankMismatch {
+                op: "conv2d weight",
+                expected: 4,
+                actual: weight.ndim(),
+            });
         }
         let (n, c, h, w) = (self.shape()[0], self.shape()[1], self.shape()[2], self.shape()[3]);
         let (oc, wc, kh, kw) = (weight.shape()[0], weight.shape()[1], weight.shape()[2], weight.shape()[3]);
@@ -238,7 +248,9 @@ impl Tensor {
         params: Conv2dParams,
     ) -> Result<Tensor> {
         if grad_out.ndim() != 4 || weight.ndim() != 4 || input_shape.len() != 4 {
-            return Err(TensorError::InvalidArgument { msg: "conv2d_backward_input expects NCHW tensors".into() });
+            return Err(TensorError::InvalidArgument {
+                msg: "conv2d_backward_input expects NCHW tensors".into(),
+            });
         }
         let (n, c, h, w) = (input_shape[0], input_shape[1], input_shape[2], input_shape[3]);
         let (oc, _, kh, kw) = (weight.shape()[0], weight.shape()[1], weight.shape()[2], weight.shape()[3]);
@@ -292,7 +304,9 @@ impl Tensor {
         params: Conv2dParams,
     ) -> Result<Tensor> {
         if grad_out.ndim() != 4 || input.ndim() != 4 || weight_shape.len() != 4 {
-            return Err(TensorError::InvalidArgument { msg: "conv2d_backward_weight expects NCHW tensors".into() });
+            return Err(TensorError::InvalidArgument {
+                msg: "conv2d_backward_weight expects NCHW tensors".into(),
+            });
         }
         let (n, c, h, w) = (input.shape()[0], input.shape()[1], input.shape()[2], input.shape()[3]);
         let (oc, _wc, kh, kw) = (weight_shape[0], weight_shape[1], weight_shape[2], weight_shape[3]);
@@ -351,20 +365,20 @@ impl Tensor {
     /// spatial locations, shape `[oc]`.
     pub fn conv2d_backward_bias(grad_out: &Tensor) -> Result<Tensor> {
         if grad_out.ndim() != 4 {
-            return Err(TensorError::RankMismatch { op: "conv2d_backward_bias", expected: 4, actual: grad_out.ndim() });
+            return Err(TensorError::RankMismatch {
+                op: "conv2d_backward_bias",
+                expected: 4,
+                actual: grad_out.ndim(),
+            });
         }
-        let (n, oc, oh, ow) = (
-            grad_out.shape()[0],
-            grad_out.shape()[1],
-            grad_out.shape()[2],
-            grad_out.shape()[3],
-        );
+        let (n, oc, oh, ow) =
+            (grad_out.shape()[0], grad_out.shape()[1], grad_out.shape()[2], grad_out.shape()[3]);
         let src = grad_out.as_slice();
         let mut out = vec![0.0f32; oc];
         for ni in 0..n {
-            for oci in 0..oc {
+            for (oci, acc) in out.iter_mut().enumerate() {
                 let base = (ni * oc + oci) * oh * ow;
-                out[oci] += src[base..base + oh * ow].iter().sum::<f32>();
+                *acc += src[base..base + oh * ow].iter().sum::<f32>();
             }
         }
         Tensor::from_vec(out, &[oc])
@@ -506,9 +520,7 @@ mod tests {
         assert!(input.conv2d(&weight, None, Conv2dParams::new(1, 0, 0)).is_err());
         assert!(input.conv2d(&Tensor::zeros(&[2, 3, 9, 9]), None, Conv2dParams::default()).is_err());
         assert!(input.conv2d(&Tensor::zeros(&[2, 2, 3, 3]), None, Conv2dParams::default()).is_err());
-        assert!(input
-            .conv2d(&weight, Some(&Tensor::zeros(&[3])), Conv2dParams::new(1, 1, 1))
-            .is_err());
+        assert!(input.conv2d(&weight, Some(&Tensor::zeros(&[3])), Conv2dParams::new(1, 1, 1)).is_err());
         assert!(Tensor::zeros(&[3, 4, 4]).conv2d(&weight, None, Conv2dParams::default()).is_err());
         assert!(input.conv2d(&Tensor::zeros(&[2, 3, 3]), None, Conv2dParams::default()).is_err());
     }
@@ -530,7 +542,8 @@ mod tests {
             plus.as_mut_slice()[flat] += eps;
             let mut minus = input.clone();
             minus.as_mut_slice()[flat] -= eps;
-            let fd = (plus.conv2d(&weight, None, p).unwrap().sum() - minus.conv2d(&weight, None, p).unwrap().sum())
+            let fd = (plus.conv2d(&weight, None, p).unwrap().sum()
+                - minus.conv2d(&weight, None, p).unwrap().sum())
                 / (2.0 * eps);
             assert!(
                 (grad_in.as_slice()[flat] - fd).abs() < 1e-2,
@@ -557,7 +570,8 @@ mod tests {
             plus.as_mut_slice()[flat] += eps;
             let mut minus = weight.clone();
             minus.as_mut_slice()[flat] -= eps;
-            let fd = (input.conv2d(&plus, None, p).unwrap().sum() - input.conv2d(&minus, None, p).unwrap().sum())
+            let fd = (input.conv2d(&plus, None, p).unwrap().sum()
+                - input.conv2d(&minus, None, p).unwrap().sum())
                 / (2.0 * eps);
             assert!(
                 (grad_w.as_slice()[flat] - fd).abs() < 2e-2,
@@ -593,13 +607,16 @@ mod tests {
         plus.as_mut_slice()[flat] += eps;
         let mut minus = weight.clone();
         minus.as_mut_slice()[flat] -= eps;
-        let fd = (input.conv2d(&plus, None, p).unwrap().sum() - input.conv2d(&minus, None, p).unwrap().sum()) / (2.0 * eps);
+        let fd = (input.conv2d(&plus, None, p).unwrap().sum() - input.conv2d(&minus, None, p).unwrap().sum())
+            / (2.0 * eps);
         assert!((grad_w.as_slice()[flat] - fd).abs() < 2e-2);
         let mut iplus = input.clone();
         iplus.as_mut_slice()[flat] += eps;
         let mut iminus = input.clone();
         iminus.as_mut_slice()[flat] -= eps;
-        let fd = (iplus.conv2d(&weight, None, p).unwrap().sum() - iminus.conv2d(&weight, None, p).unwrap().sum()) / (2.0 * eps);
+        let fd = (iplus.conv2d(&weight, None, p).unwrap().sum()
+            - iminus.conv2d(&weight, None, p).unwrap().sum())
+            / (2.0 * eps);
         assert!((grad_in.as_slice()[flat] - fd).abs() < 1e-2);
     }
 

@@ -74,7 +74,13 @@ impl Tensor {
 
     /// Initialise a tensor according to `kind`, given fan-in/fan-out of the layer
     /// the tensor parameterises.
-    pub fn init(shape: &[usize], kind: InitKind, fan_in: usize, fan_out: usize, rng: &mut impl Rng) -> Tensor {
+    pub fn init(
+        shape: &[usize],
+        kind: InitKind,
+        fan_in: usize,
+        fan_out: usize,
+        rng: &mut impl Rng,
+    ) -> Tensor {
         let fan_in = fan_in.max(1);
         let fan_out = fan_out.max(1);
         match kind {

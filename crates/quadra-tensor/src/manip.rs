@@ -22,7 +22,7 @@ impl Tensor {
     /// Flatten all axes after the first into one: `[n, ...] -> [n, rest]`.
     pub fn flatten_batch(&self) -> Tensor {
         let n = if self.ndim() == 0 { 1 } else { self.shape()[0] };
-        let rest = if n == 0 { 0 } else { self.numel() / n };
+        let rest = self.numel().checked_div(n).unwrap_or(0);
         Tensor::from_vec(self.as_slice().to_vec(), &[n, rest]).expect("same element count")
     }
 
@@ -60,7 +60,9 @@ impl Tensor {
         for &p in perm {
             check_axis(p, self.ndim())?;
             if seen[p] {
-                return Err(TensorError::InvalidArgument { msg: format!("duplicate axis {} in permutation", p) });
+                return Err(TensorError::InvalidArgument {
+                    msg: format!("duplicate axis {} in permutation", p),
+                });
             }
             seen[p] = true;
         }
@@ -169,7 +171,13 @@ impl Tensor {
         let extent = self.shape()[axis];
         if start + len > extent {
             return Err(TensorError::InvalidArgument {
-                msg: format!("narrow [{}, {}) out of range for axis {} with extent {}", start, start + len, axis, extent),
+                msg: format!(
+                    "narrow [{}, {}) out of range for axis {} with extent {}",
+                    start,
+                    start + len,
+                    axis,
+                    extent
+                ),
             });
         }
         let outer: usize = self.shape()[..axis].iter().product();
@@ -203,7 +211,9 @@ impl Tensor {
         let mut data = Vec::with_capacity(indices.len() * inner);
         for &i in indices {
             if i >= rows {
-                return Err(TensorError::InvalidArgument { msg: format!("row index {} out of range ({} rows)", i, rows) });
+                return Err(TensorError::InvalidArgument {
+                    msg: format!("row index {} out of range ({} rows)", i, rows),
+                });
             }
             data.extend_from_slice(&src[i * inner..(i + 1) * inner]);
         }
@@ -243,7 +253,11 @@ impl Tensor {
     /// convolution stages.
     pub fn upsample_nearest2d(&self, factor: usize) -> Result<Tensor> {
         if self.ndim() != 4 {
-            return Err(TensorError::RankMismatch { op: "upsample_nearest2d", expected: 4, actual: self.ndim() });
+            return Err(TensorError::RankMismatch {
+                op: "upsample_nearest2d",
+                expected: 4,
+                actual: self.ndim(),
+            });
         }
         if factor == 0 {
             return Err(TensorError::InvalidArgument { msg: "upsample factor must be >= 1".into() });
@@ -271,7 +285,11 @@ impl Tensor {
     /// tensor by an integer factor averaging each `factor × factor` block.
     pub fn downsample_avg2d(&self, factor: usize) -> Result<Tensor> {
         if self.ndim() != 4 {
-            return Err(TensorError::RankMismatch { op: "downsample_avg2d", expected: 4, actual: self.ndim() });
+            return Err(TensorError::RankMismatch {
+                op: "downsample_avg2d",
+                expected: 4,
+                actual: self.ndim(),
+            });
         }
         if factor == 0 || self.shape()[2] % factor != 0 || self.shape()[3] % factor != 0 {
             return Err(TensorError::InvalidArgument {

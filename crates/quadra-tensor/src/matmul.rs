@@ -101,9 +101,8 @@ impl Tensor {
         let k = self.shape()[1];
         let a = self.as_slice();
         let x = v.as_slice();
-        let data: Vec<f32> = (0..m)
-            .map(|i| a[i * k..(i + 1) * k].iter().zip(x.iter()).map(|(p, q)| p * q).sum())
-            .collect();
+        let data: Vec<f32> =
+            (0..m).map(|i| a[i * k..(i + 1) * k].iter().zip(x.iter()).map(|(p, q)| p * q).sum()).collect();
         Tensor::from_vec(data, &[m])
     }
 

@@ -142,7 +142,8 @@ impl Tensor {
                         let mut s = 0.0;
                         for ki in 0..params.kernel {
                             for kj in 0..params.kernel {
-                                s += src[img_base + (ohi * params.stride + ki) * w + owi * params.stride + kj];
+                                s +=
+                                    src[img_base + (ohi * params.stride + ki) * w + owi * params.stride + kj];
                             }
                         }
                         out[((ni * c + ci) * oh + ohi) * ow + owi] = s / norm;
@@ -154,9 +155,15 @@ impl Tensor {
     }
 
     /// Backward pass of average pooling given the original input shape.
-    pub fn avgpool2d_backward(grad_out: &Tensor, input_shape: &[usize], params: PoolParams) -> Result<Tensor> {
+    pub fn avgpool2d_backward(
+        grad_out: &Tensor,
+        input_shape: &[usize],
+        params: PoolParams,
+    ) -> Result<Tensor> {
         if input_shape.len() != 4 || grad_out.ndim() != 4 {
-            return Err(TensorError::InvalidArgument { msg: "avgpool2d_backward expects NCHW shapes".into() });
+            return Err(TensorError::InvalidArgument {
+                msg: "avgpool2d_backward expects NCHW shapes".into(),
+            });
         }
         let (n, c, h, w) = (input_shape[0], input_shape[1], input_shape[2], input_shape[3]);
         params.validate(h, w)?;
@@ -181,7 +188,8 @@ impl Tensor {
                         let gval = g[((ni * c + ci) * oh + ohi) * ow + owi] / norm;
                         for ki in 0..params.kernel {
                             for kj in 0..params.kernel {
-                                dst[img_base + (ohi * params.stride + ki) * w + owi * params.stride + kj] += gval;
+                                dst[img_base + (ohi * params.stride + ki) * w + owi * params.stride + kj] +=
+                                    gval;
                             }
                         }
                     }
@@ -194,7 +202,11 @@ impl Tensor {
     /// Global average pooling: `[n, c, h, w] -> [n, c]`.
     pub fn global_avg_pool(&self) -> Result<Tensor> {
         if self.ndim() != 4 {
-            return Err(TensorError::RankMismatch { op: "global_avg_pool", expected: 4, actual: self.ndim() });
+            return Err(TensorError::RankMismatch {
+                op: "global_avg_pool",
+                expected: 4,
+                actual: self.ndim(),
+            });
         }
         let (n, c, h, w) = (self.shape()[0], self.shape()[1], self.shape()[2], self.shape()[3]);
         let hw = (h * w) as f32;
@@ -212,7 +224,9 @@ impl Tensor {
     /// Backward pass of [`Tensor::global_avg_pool`].
     pub fn global_avg_pool_backward(grad_out: &Tensor, input_shape: &[usize]) -> Result<Tensor> {
         if input_shape.len() != 4 || grad_out.ndim() != 2 {
-            return Err(TensorError::InvalidArgument { msg: "global_avg_pool_backward shape mismatch".into() });
+            return Err(TensorError::InvalidArgument {
+                msg: "global_avg_pool_backward shape mismatch".into(),
+            });
         }
         let (n, c, h, w) = (input_shape[0], input_shape[1], input_shape[2], input_shape[3]);
         if grad_out.shape() != [n, c] {
@@ -285,7 +299,9 @@ mod tests {
         assert_eq!(gin.shape(), x.shape());
         assert!((gin.sum() - 4.0).abs() < 1e-6);
         assert!((gin.at(&[0, 0, 0, 0]) - 0.25).abs() < 1e-6);
-        assert!(Tensor::avgpool2d_backward(&Tensor::zeros(&[1, 1, 3, 3]), x.shape(), PoolParams::new(2)).is_err());
+        assert!(
+            Tensor::avgpool2d_backward(&Tensor::zeros(&[1, 1, 3, 3]), x.shape(), PoolParams::new(2)).is_err()
+        );
     }
 
     #[test]

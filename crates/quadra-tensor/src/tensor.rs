@@ -248,12 +248,7 @@ impl Tensor {
                 rhs: other.shape.clone(),
             });
         }
-        Ok(self
-            .data
-            .iter()
-            .zip(other.data.iter())
-            .map(|(a, b)| (a - b).abs())
-            .fold(0.0f32, f32::max))
+        Ok(self.data.iter().zip(other.data.iter()).map(|(a, b)| (a - b).abs()).fold(0.0f32, f32::max))
     }
 
     /// True if all elements are within `tol` of the corresponding element of `other`.

@@ -12,7 +12,9 @@ fn main() {
     let mut fx = FeatureExtractor::new(3, 4, 8, 2);
     fx.fit(&real.images, &real.labels, 4, 32, 3);
 
-    for (name, quadratic) in [("first-order generator", None), ("quadratic generator (Ours)", Some(NeuronType::Ours))] {
+    for (name, quadratic) in
+        [("first-order generator", None), ("quadratic generator (Ours)", Some(NeuronType::Ours))]
+    {
         let mut gan = Gan::new(GanConfig { base_width: 12, quadratic, seed: 4, ..GanConfig::default() });
         gan.train(&real.images, 30, 16, 2e-3);
         let fake = gan.generate(100);

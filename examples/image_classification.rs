@@ -23,7 +23,8 @@ fn main() {
     for (name, cfg) in [("first-order VGG-8", &first_order), ("QuadraNN", &quadra)] {
         let mut rng = StdRng::seed_from_u64(3);
         let mut model = build_model(cfg, &mut rng);
-        let mut trainer = Trainer::new(TrainerConfig { epochs: 6, batch_size: 32, shuffle: true, seed: 4, verbose: false });
+        let mut trainer =
+            Trainer::new(TrainerConfig { epochs: 6, batch_size: 32, shuffle: true, seed: 4, verbose: false });
         let mut opt = Sgd::new(SgdConfig { lr: 0.05, momentum: 0.9, weight_decay: 5e-4, nesterov: false });
         let report = trainer.fit(
             &mut model,

@@ -32,7 +32,11 @@ fn main() {
     // Raw profiling.
     let profiler = MemoryProfiler::new();
     let (report, timeline) = profiler.profile_step(&mut model, &input, 0);
-    println!("default-BP training step: {:.2} MiB total, peak activations {:.2} MiB", report.total_mib(), report.peak_activation_bytes as f64 / (1024.0 * 1024.0));
+    println!(
+        "default-BP training step: {:.2} MiB total, peak activations {:.2} MiB",
+        report.total_mib(),
+        report.peak_activation_bytes as f64 / (1024.0 * 1024.0)
+    );
     println!("\nper-layer memory timeline:\n{}", timeline.render_ascii(36));
 
     // Let the quadratic optimizer pick a mode for a tight budget.

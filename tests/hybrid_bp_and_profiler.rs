@@ -1,9 +1,7 @@
 //! Integration tests of the training-level components: hybrid back-propagation
 //! equivalence, memory profiling and the quadratic optimizer's decision.
 
-use quadralib::core::{
-    build_model, LayerSpec, MemoryProfiler, ModelConfig, NeuronType, QuadraticOptimizer,
-};
+use quadralib::core::{build_model, LayerSpec, MemoryProfiler, ModelConfig, NeuronType, QuadraticOptimizer};
 use quadralib::nn::{CrossEntropyLoss, Layer, Loss, Optimizer, Sgd, SgdConfig};
 use quadralib::tensor::Tensor;
 use rand::rngs::StdRng;

@@ -4,8 +4,8 @@
 use quadralib::core::{build_model, AutoBuilder, LayerSpec, ModelConfig, NeuronType, QuadraticLinear};
 use quadralib::data::{two_spirals, xor_dataset, ShapeImageDataset};
 use quadralib::nn::{
-    accuracy, ConstantLr, CrossEntropyLoss, Layer, Loss, Optimizer, Relu, Sequential, Sgd, SgdConfig, Trainer,
-    TrainerConfig,
+    accuracy, ConstantLr, CrossEntropyLoss, Layer, Loss, Optimizer, Relu, Sequential, Sgd, SgdConfig,
+    Trainer, TrainerConfig,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -67,7 +67,8 @@ fn shallow_quadratic_mlp_learns_two_spirals() {
         Box::new(Relu::new()),
         Box::new(QuadraticLinear::new(NeuronType::Ours, 24, 2, &mut rng)),
     ]);
-    let mut trainer = Trainer::new(TrainerConfig { epochs: 60, batch_size: 64, shuffle: true, seed: 8, verbose: false });
+    let mut trainer =
+        Trainer::new(TrainerConfig { epochs: 60, batch_size: 64, shuffle: true, seed: 8, verbose: false });
     let mut opt = Sgd::new(SgdConfig { lr: 0.05, momentum: 0.9, weight_decay: 0.0, nesterov: false });
     let report = trainer.fit(
         &mut model,
@@ -115,8 +116,13 @@ fn auto_builder_end_to_end_produces_a_competitive_smaller_model() {
     for cfg in [&restored, &quadra] {
         let mut rng = StdRng::seed_from_u64(11);
         let mut model = build_model(cfg, &mut rng);
-        let mut trainer =
-            Trainer::new(TrainerConfig { epochs: 8, batch_size: 32, shuffle: true, seed: 12, verbose: false });
+        let mut trainer = Trainer::new(TrainerConfig {
+            epochs: 8,
+            batch_size: 32,
+            shuffle: true,
+            seed: 12,
+            verbose: false,
+        });
         let mut opt = Sgd::new(SgdConfig { lr: 0.05, momentum: 0.9, weight_decay: 5e-4, nesterov: false });
         trainer.fit(
             &mut model,

@@ -27,7 +27,14 @@ fn gan_pipeline_produces_metrics_and_quadratic_variant_runs() {
 fn detection_pipeline_trains_and_pretraining_does_not_hurt() {
     let train = DetectionDataset::generate(48, 3, 16, 1, 5);
     let test = DetectionDataset::generate(24, 3, 16, 1, 6);
-    let cfg = DetectorConfig { num_classes: 3, image_size: 16, backbone_width: 4, grid: 4, quadratic: Some(NeuronType::Ours), seed: 7 };
+    let cfg = DetectorConfig {
+        num_classes: 3,
+        image_size: 16,
+        backbone_width: 4,
+        grid: 4,
+        quadratic: Some(NeuronType::Ours),
+        seed: 7,
+    };
 
     // Scratch training.
     let mut scratch = Detector::new(cfg);
@@ -42,8 +49,8 @@ fn detection_pipeline_trains_and_pretraining_does_not_hurt() {
     pretrained.train(&train, 5, 16, 0.05, 11);
     let pretrained_map = pretrained.evaluate_map(&test, 0.3).map;
 
-    assert!(scratch_map >= 0.0 && scratch_map <= 1.0);
-    assert!(pretrained_map >= 0.0 && pretrained_map <= 1.0);
+    assert!((0.0..=1.0).contains(&scratch_map));
+    assert!((0.0..=1.0).contains(&pretrained_map));
     // Pre-training should not make things dramatically worse.
     assert!(pretrained_map >= scratch_map - 0.25, "scratch {} pretrained {}", scratch_map, pretrained_map);
 }

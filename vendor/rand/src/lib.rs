@@ -1,0 +1,388 @@
+//! Offline stand-in for the subset of the `rand` 0.8 API that QuadraLib-rs
+//! uses. The container image has no network access to crates.io, so the
+//! workspace vendors a small, deterministic, dependency-free implementation
+//! with the same public surface: [`Rng`], [`SeedableRng`], [`rngs::StdRng`],
+//! [`seq::SliceRandom`] and [`distributions::Uniform`].
+//!
+//! The generator is SplitMix64 — statistically solid for test/data-generation
+//! workloads and fully reproducible from a `u64` seed, which is all the
+//! library's deterministic-seed contract requires.
+
+/// A source of random 64-bit words.
+pub trait RngCore {
+    /// Next raw 64-bit value.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next raw 32-bit value (upper half of [`RngCore::next_u64`]).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Construction of reproducible generators from integer seeds.
+pub trait SeedableRng: Sized {
+    /// Build a generator whose whole stream is determined by `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// User-facing convenience methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Sample uniformly from a range (`lo..hi` or `lo..=hi`).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: distributions::uniform::SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// Sample a value from the "standard" distribution of `T`
+    /// (uniform `[0, 1)` for floats, a fair coin for `bool`, a uniform word
+    /// for unsigned integers).
+    fn gen<T: distributions::StandardSample>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_standard(self)
+    }
+
+    /// Bernoulli trial with success probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        (self.next_u64() >> 11) as f64 / ((1u64 << 53) as f64) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Concrete generators.
+pub mod rngs {
+    /// The standard deterministic generator (SplitMix64).
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl crate::RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl crate::SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed ^ 0xD1B5_4A32_D192_ED03 }
+        }
+    }
+}
+
+/// Distributions and range sampling.
+pub mod distributions {
+    use crate::RngCore;
+
+    /// Uniform `[0, 1)` float from 53 (f64) / 24 (f32) random bits.
+    pub(crate) fn unit_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+        (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    pub(crate) fn unit_f32<R: RngCore + ?Sized>(rng: &mut R) -> f32 {
+        (rng.next_u64() >> 40) as f32 / (1u32 << 24) as f32
+    }
+
+    /// Types samplable by [`crate::Rng::gen`].
+    pub trait StandardSample {
+        /// Draw one value from the type's standard distribution.
+        fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+    }
+
+    impl StandardSample for bool {
+        fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl StandardSample for f32 {
+        fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+            unit_f32(rng)
+        }
+    }
+
+    impl StandardSample for f64 {
+        fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+            unit_f64(rng)
+        }
+    }
+
+    impl StandardSample for u32 {
+        fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+            rng.next_u32()
+        }
+    }
+
+    impl StandardSample for u64 {
+        fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+            rng.next_u64()
+        }
+    }
+
+    impl StandardSample for usize {
+        fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+            rng.next_u64() as usize
+        }
+    }
+
+    /// A distribution that can be sampled repeatedly.
+    pub trait Distribution<T> {
+        /// Draw one value.
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// Uniform distribution over `[low, high)`.
+    #[derive(Debug, Clone, Copy, PartialEq)]
+    pub struct Uniform<T> {
+        low: T,
+        high: T,
+    }
+
+    impl<T: Copy + PartialOrd> Uniform<T> {
+        /// Create a uniform distribution over `[low, high)`.
+        pub fn new(low: T, high: T) -> Self {
+            assert!(low < high, "Uniform::new requires low < high");
+            Uniform { low, high }
+        }
+    }
+
+    impl Distribution<f32> for Uniform<f32> {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+            self.low + unit_f32(rng) * (self.high - self.low)
+        }
+    }
+
+    impl Distribution<f64> for Uniform<f64> {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+            self.low + unit_f64(rng) * (self.high - self.low)
+        }
+    }
+
+    impl Distribution<usize> for Uniform<usize> {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> usize {
+            uniform::sample_uint(rng, self.low as u64, self.high as u64) as usize
+        }
+    }
+
+    /// Range sampling used by [`crate::Rng::gen_range`].
+    pub mod uniform {
+        use crate::RngCore;
+        use std::ops::{Range, RangeInclusive};
+
+        /// Uniform integer in `[lo, hi)` by rejection-free modulo (bias is
+        /// negligible for the small ranges used in tests and data generation).
+        pub(crate) fn sample_uint<R: RngCore + ?Sized>(rng: &mut R, lo: u64, hi: u64) -> u64 {
+            debug_assert!(lo < hi);
+            lo + rng.next_u64() % (hi - lo)
+        }
+
+        /// Scalar types with a uniform sampler. Mirrors rand's `SampleUniform`
+        /// so that the single generic [`SampleRange`] impl below drives type
+        /// inference exactly like the real crate (unsuffixed float literals in
+        /// `gen_range(-0.05..0.08)` unify with the surrounding `f32` context).
+        pub trait SampleUniform: Copy + PartialOrd {
+            /// Uniform sample from `[lo, hi)`.
+            fn sample_between<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+
+            /// Uniform sample from `[lo, hi]`.
+            fn sample_between_inclusive<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+        }
+
+        macro_rules! float_uniform {
+            ($t:ty, $unit:path) => {
+                impl SampleUniform for $t {
+                    fn sample_between<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                        lo + $unit(rng) * (hi - lo)
+                    }
+                    fn sample_between_inclusive<R: RngCore + ?Sized>(
+                        rng: &mut R,
+                        lo: Self,
+                        hi: Self,
+                    ) -> Self {
+                        lo + $unit(rng) * (hi - lo)
+                    }
+                }
+            };
+        }
+        float_uniform!(f32, super::unit_f32);
+        float_uniform!(f64, super::unit_f64);
+
+        macro_rules! uint_uniform {
+            ($t:ty) => {
+                impl SampleUniform for $t {
+                    fn sample_between<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                        sample_uint(rng, lo as u64, hi as u64) as $t
+                    }
+                    fn sample_between_inclusive<R: RngCore + ?Sized>(
+                        rng: &mut R,
+                        lo: Self,
+                        hi: Self,
+                    ) -> Self {
+                        if lo as u64 == 0 && hi as u64 == u64::MAX {
+                            rng.next_u64() as $t
+                        } else {
+                            sample_uint(rng, lo as u64, hi as u64 + 1) as $t
+                        }
+                    }
+                }
+            };
+        }
+        uint_uniform!(usize);
+        uint_uniform!(u64);
+        uint_uniform!(u32);
+        uint_uniform!(u16);
+        uint_uniform!(u8);
+
+        macro_rules! int_uniform {
+            ($t:ty) => {
+                impl SampleUniform for $t {
+                    fn sample_between<R: RngCore + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                        let span = (hi as i64).wrapping_sub(lo as i64) as u64;
+                        (lo as i64).wrapping_add((rng.next_u64() % span) as i64) as $t
+                    }
+                    fn sample_between_inclusive<R: RngCore + ?Sized>(
+                        rng: &mut R,
+                        lo: Self,
+                        hi: Self,
+                    ) -> Self {
+                        let span = (hi as i64).wrapping_sub(lo as i64) as u64;
+                        if span == u64::MAX {
+                            rng.next_u64() as $t
+                        } else {
+                            (lo as i64).wrapping_add((rng.next_u64() % (span + 1)) as i64) as $t
+                        }
+                    }
+                }
+            };
+        }
+        int_uniform!(i64);
+        int_uniform!(i32);
+        int_uniform!(i16);
+        int_uniform!(i8);
+        int_uniform!(isize);
+
+        /// Ranges accepted by [`crate::Rng::gen_range`].
+        pub trait SampleRange<T> {
+            /// Sample a single value from the range.
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+        }
+
+        impl<T: SampleUniform> SampleRange<T> for Range<T> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+                assert!(self.start < self.end, "gen_range requires start < end");
+                T::sample_between(rng, self.start, self.end)
+            }
+        }
+
+        impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+                let (lo, hi) = self.into_inner();
+                assert!(lo <= hi, "gen_range requires start <= end");
+                T::sample_between_inclusive(rng, lo, hi)
+            }
+        }
+    }
+}
+
+/// Sequence-related helpers.
+pub mod seq {
+    use crate::Rng;
+
+    /// Random operations on slices.
+    pub trait SliceRandom {
+        /// Element type.
+        type Item;
+
+        /// Fisher–Yates shuffle in place.
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+
+        /// Uniformly pick a reference to one element (`None` when empty).
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                self.get((rng.next_u64() % self.len() as u64) as usize)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_from_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..16 {
+            assert_eq!(a.gen_range(0usize..1000), b.gen_range(0usize..1000));
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let f = rng.gen_range(-1.5f32..2.5);
+            assert!((-1.5..2.5).contains(&f));
+            let u = rng.gen_range(3usize..9);
+            assert!((3..9).contains(&u));
+            let i = rng.gen_range(1..=4usize);
+            assert!((1..=4).contains(&i));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut v: Vec<usize> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "shuffle should move something for this seed");
+    }
+
+    #[test]
+    fn unit_floats_in_range() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..1000 {
+            let x: f32 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+}

@@ -1,0 +1,201 @@
+//! Offline stand-in for the subset of `rayon` that QuadraLib-rs uses:
+//! `slice.par_chunks_mut(n).enumerate().for_each(f)`.
+//!
+//! The implementation is real data parallelism — chunks are distributed over
+//! `std::thread::scope` workers, one batch per available core — so the hot
+//! GEMM / im2col loops in `quadra-tensor` still scale with core count even
+//! though the full rayon work-stealing pool is not vendored.
+
+/// Import surface mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::iter::IntoParallelIterator;
+    pub use crate::slice::ParallelSliceMut;
+}
+
+/// Parallel iteration over index ranges.
+pub mod iter {
+    use std::ops::Range;
+
+    /// Conversion into a parallel iterator.
+    pub trait IntoParallelIterator {
+        /// Item type produced.
+        type Item;
+        /// Parallel iterator type.
+        type Iter;
+
+        /// Convert into the parallel iterator.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl IntoParallelIterator for Range<usize> {
+        type Item = usize;
+        type Iter = ParRange;
+
+        fn into_par_iter(self) -> ParRange {
+            ParRange { range: self }
+        }
+    }
+
+    /// Parallel iterator over a `usize` range.
+    pub struct ParRange {
+        range: Range<usize>,
+    }
+
+    impl ParRange {
+        /// Map every index through `f` (evaluated in parallel on `collect`).
+        pub fn map<O, F: Fn(usize) -> O>(self, f: F) -> ParRangeMap<F> {
+            ParRangeMap { range: self.range, f }
+        }
+
+        /// Run `f` for every index in parallel.
+        pub fn for_each<F: Fn(usize) + Send + Sync>(self, f: F) {
+            self.map(f).run();
+        }
+    }
+
+    /// Mapped parallel range iterator.
+    pub struct ParRangeMap<F> {
+        range: Range<usize>,
+        f: F,
+    }
+
+    impl<O: Send, F: Fn(usize) -> O + Send + Sync> ParRangeMap<F> {
+        fn run(self) -> Vec<O> {
+            let start = self.range.start;
+            let n = self.range.len();
+            let workers = std::thread::available_parallelism().map(|w| w.get()).unwrap_or(1);
+            let f = &self.f;
+            if workers <= 1 || n <= 1 {
+                return (start..start + n).map(f).collect();
+            }
+            let per = n.div_ceil(workers);
+            let mut slots: Vec<Option<O>> = (0..n).map(|_| None).collect();
+            std::thread::scope(|s| {
+                for (batch_idx, chunk) in slots.chunks_mut(per).enumerate() {
+                    let base = start + batch_idx * per;
+                    s.spawn(move || {
+                        for (offset, slot) in chunk.iter_mut().enumerate() {
+                            *slot = Some(f(base + offset));
+                        }
+                    });
+                }
+            });
+            slots.into_iter().map(|slot| slot.expect("worker filled every slot")).collect()
+        }
+
+        /// Evaluate in parallel and collect the results in index order.
+        pub fn collect<C: FromIterator<O>>(self) -> C {
+            self.run().into_iter().collect()
+        }
+
+        /// Evaluate in parallel and sum the results.
+        pub fn sum<S: std::iter::Sum<O>>(self) -> S {
+            self.run().into_iter().sum()
+        }
+    }
+}
+
+/// Parallel slice operations.
+pub mod slice {
+    /// Mutable parallel chunk iteration over slices.
+    pub trait ParallelSliceMut<T: Send> {
+        /// Split the slice into mutable chunks of `size` elements (the last
+        /// chunk may be shorter), to be consumed in parallel.
+        fn par_chunks_mut(&mut self, size: usize) -> ParChunksMut<'_, T>;
+    }
+
+    impl<T: Send> ParallelSliceMut<T> for [T] {
+        fn par_chunks_mut(&mut self, size: usize) -> ParChunksMut<'_, T> {
+            assert!(size > 0, "chunk size must be non-zero");
+            ParChunksMut { data: self, size }
+        }
+    }
+
+    /// Parallel mutable chunk iterator (consumed by [`ParChunksMut::enumerate`]
+    /// or [`ParChunksMut::for_each`]).
+    pub struct ParChunksMut<'a, T> {
+        data: &'a mut [T],
+        size: usize,
+    }
+
+    impl<'a, T: Send> ParChunksMut<'a, T> {
+        /// Pair every chunk with its index.
+        pub fn enumerate(self) -> EnumeratedChunksMut<'a, T> {
+            EnumeratedChunksMut { inner: self }
+        }
+
+        /// Run `f` over every chunk in parallel.
+        pub fn for_each<F>(self, f: F)
+        where
+            F: Fn(&'a mut [T]) + Send + Sync,
+        {
+            run_batched(self.data.chunks_mut(self.size).collect(), &f);
+        }
+    }
+
+    /// Enumerated parallel chunk iterator.
+    pub struct EnumeratedChunksMut<'a, T> {
+        inner: ParChunksMut<'a, T>,
+    }
+
+    impl<'a, T: Send> EnumeratedChunksMut<'a, T> {
+        /// Run `f` over every `(index, chunk)` pair in parallel.
+        pub fn for_each<F>(self, f: F)
+        where
+            F: Fn((usize, &'a mut [T])) + Send + Sync,
+        {
+            run_batched(self.inner.data.chunks_mut(self.inner.size).enumerate().collect(), &f);
+        }
+    }
+
+    fn run_batched<I: Send, F: Fn(I) + Send + Sync>(mut items: Vec<I>, f: &F) {
+        let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        if workers <= 1 || items.len() <= 1 {
+            for item in items {
+                f(item);
+            }
+            return;
+        }
+        let per = items.len().div_ceil(workers);
+        std::thread::scope(|s| {
+            while !items.is_empty() {
+                let take = per.min(items.len());
+                let batch: Vec<I> = items.drain(..take).collect();
+                s.spawn(move || {
+                    for item in batch {
+                        f(item);
+                    }
+                });
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn enumerated_chunks_cover_whole_slice() {
+        let mut v = vec![0usize; 103];
+        v.par_chunks_mut(10).enumerate().for_each(|(i, chunk)| {
+            for x in chunk.iter_mut() {
+                *x = i + 1;
+            }
+        });
+        assert!(v.iter().all(|&x| x > 0));
+        assert_eq!(v[0], 1);
+        assert_eq!(v[102], 11);
+    }
+
+    #[test]
+    fn plain_for_each_runs_every_chunk() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let counter = AtomicUsize::new(0);
+        let mut v = vec![1.0f32; 64];
+        v.par_chunks_mut(8).for_each(|chunk| {
+            counter.fetch_add(chunk.len(), Ordering::SeqCst);
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 64);
+    }
+}
