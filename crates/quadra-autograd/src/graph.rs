@@ -210,10 +210,9 @@ impl Graph {
                     self.accumulate(b, gb);
                 }
                 Op::MatMul(a, b) => {
-                    let bt = self.nodes[b.0].value.transpose().expect("rank 2");
-                    let at = self.nodes[a.0].value.transpose().expect("rank 2");
-                    let ga = grad.matmul(&bt).expect("matmul grad");
-                    let gb = at.matmul(&grad).expect("matmul grad");
+                    // dA = dC · Bᵀ, dB = Aᵀ · dC — transpose-free kernels.
+                    let ga = grad.matmul_nt(&self.nodes[b.0].value).expect("matmul grad");
+                    let gb = self.nodes[a.0].value.matmul_tn(&grad).expect("matmul grad");
                     self.accumulate(a, ga);
                     self.accumulate(b, gb);
                 }

@@ -24,6 +24,21 @@ fn bench_kernels(c: &mut Criterion) {
     let a = Tensor::randn(&[128, 128], 0.0, 1.0, &mut rng);
     let bm = Tensor::randn(&[128, 128], 0.0, 1.0, &mut rng);
     group.bench_function("matmul_128", |b| b.iter(|| std::hint::black_box(a.matmul(&bm).unwrap())));
+    group.bench_function("matmul_nt_128", |b| b.iter(|| std::hint::black_box(a.matmul_nt(&bm).unwrap())));
+    group.bench_function("matmul_tn_128", |b| b.iter(|| std::hint::black_box(a.matmul_tn(&bm).unwrap())));
+
+    // Backward kernels — the transpose-free gemm_tn / gemm_nt hot paths.
+    let go = x.conv2d(&w, None, p).unwrap();
+    group.bench_function("conv2d_backward_input_3x3", |b| {
+        b.iter(|| std::hint::black_box(Tensor::conv2d_backward_input(&go, &w, x.shape(), p).unwrap()))
+    });
+    group.bench_function("conv2d_backward_weight_3x3", |b| {
+        b.iter(|| std::hint::black_box(Tensor::conv2d_backward_weight(&go, &x, w.shape(), p).unwrap()))
+    });
+    let god = x.conv2d(&dw, None, pd).unwrap();
+    group.bench_function("depthwise_backward_weight_3x3", |b| {
+        b.iter(|| std::hint::black_box(Tensor::conv2d_backward_weight(&god, &x, dw.shape(), pd).unwrap()))
+    });
     group.finish();
 }
 

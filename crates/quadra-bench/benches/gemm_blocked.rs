@@ -1,0 +1,56 @@
+//! Blocked vs naive GEMM at MobileNet-relevant shapes.
+//!
+//! Shapes are the (m, k, n) of the im2col GEMMs in a MobileNetV1-style
+//! network — `m = out_channels`, `k = in_channels·kh·kw`, `n = oh·ow` — plus
+//! the square 256³ reference point used for the speedup acceptance check.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use quadra_tensor::gemm::{gemm_blocked, gemm_naive, gemm_nt_blocked, gemm_tn_blocked};
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+fn randvec(len: usize, rng: &mut StdRng) -> Vec<f32> {
+    (0..len).map(|_| rng.gen_range(-1.0f32..1.0)).collect()
+}
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm_blocked");
+    group.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(0);
+
+    // (label, m, k, n)
+    let shapes: &[(&str, usize, usize, usize)] = &[
+        ("square_256", 256, 256, 256),
+        ("mbnet_stem_32x27x1024", 32, 27, 1024),
+        ("mbnet_pw_64x576x196", 64, 576, 196),
+        ("mbnet_pw_128x1152x49", 128, 1152, 49),
+        ("linear_head_64x256x4", 64, 256, 4),
+    ];
+    for &(label, m, k, n) in shapes {
+        let a = randvec(m * k, &mut rng);
+        let b = randvec(k * n, &mut rng);
+        group.bench_with_input(BenchmarkId::new("naive", label), &(), |bch, _| {
+            bch.iter(|| criterion::black_box(gemm_naive(&a, &b, m, k, n)))
+        });
+        group.bench_with_input(BenchmarkId::new("blocked", label), &(), |bch, _| {
+            bch.iter(|| criterion::black_box(gemm_blocked(&a, &b, m, k, n)))
+        });
+    }
+
+    // Transpose-free variants at the square reference shape (operands are the
+    // stored-transposed layouts the conv backward passes feed in).
+    let m = 256;
+    let a = randvec(m * m, &mut rng);
+    let b = randvec(m * m, &mut rng);
+    group.bench_function("nt_blocked/square_256", |bch| {
+        bch.iter(|| criterion::black_box(gemm_nt_blocked(&a, &b, m, m, m)))
+    });
+    group.bench_function("tn_blocked/square_256", |bch| {
+        bch.iter(|| criterion::black_box(gemm_tn_blocked(&a, &b, m, m, m)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_gemm);
+criterion_main!(benches);

@@ -238,7 +238,6 @@ impl Layer for QuadraticLinear {
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
         let x = self.cached_x.take().expect("backward called before forward");
-        let xt = x.transpose().expect("rank 2");
         // Bias gradient is shared by every design.
         self.bias.accumulate_grad(&grad_out.sum_axis(0).expect("axis 0"));
 
@@ -269,9 +268,9 @@ impl Layer for QuadraticLinear {
         let linear_branch =
             |w: &mut Option<Param>, branch_grad: &Tensor, grad_in: &mut Tensor, x_used: &Tensor| {
                 let w = w.as_mut().expect("branch weight");
-                let gw = x_used.transpose().expect("rank 2").matmul(branch_grad).expect("shape");
+                let gw = x_used.matmul_tn(branch_grad).expect("shape");
                 w.accumulate_grad(&gw);
-                let gx = branch_grad.matmul(&w.value.transpose().expect("rank 2")).expect("shape");
+                let gx = branch_grad.matmul_nt(&w.value).expect("shape");
                 grad_in.add_assign(&gx).expect("shape");
             };
 
@@ -320,27 +319,21 @@ impl Layer for QuadraticLinear {
                 } else {
                     // + Wb·X² term.
                     let xsq = x.square();
-                    let gw = xsq.transpose().expect("rank 2").matmul(grad_out).expect("shape");
+                    let gw = xsq.matmul_tn(grad_out).expect("shape");
                     let wb = self.wb.as_mut().expect("wb");
                     wb.accumulate_grad(&gw);
-                    let gx = grad_out
-                        .matmul(&wb.value.transpose().expect("rank 2"))
-                        .expect("shape")
-                        .mul(&x.mul_scalar(2.0))
-                        .expect("shape");
+                    let gx =
+                        grad_out.matmul_nt(&wb.value).expect("shape").mul(&x.mul_scalar(2.0)).expect("shape");
                     grad_in.add_assign(&gx).expect("shape");
                 }
             }
             NeuronType::T2 => {
                 let xsq = x.square();
-                let gw = xsq.transpose().expect("rank 2").matmul(grad_out).expect("shape");
+                let gw = xsq.matmul_tn(grad_out).expect("shape");
                 let wa = self.wa.as_mut().expect("wa");
                 wa.accumulate_grad(&gw);
-                let gx = grad_out
-                    .matmul(&wa.value.transpose().expect("rank 2"))
-                    .expect("shape")
-                    .mul(&x.mul_scalar(2.0))
-                    .expect("shape");
+                let gx =
+                    grad_out.matmul_nt(&wa.value).expect("shape").mul(&x.mul_scalar(2.0)).expect("shape");
                 grad_in.add_assign(&gx).expect("shape");
             }
             NeuronType::T3 => {
@@ -361,11 +354,11 @@ impl Layer for QuadraticLinear {
                     }
                     NeuronType::T2And4 => {
                         let xsq = x.square();
-                        let gw = xsq.transpose().expect("rank 2").matmul(grad_out).expect("shape");
+                        let gw = xsq.matmul_tn(grad_out).expect("shape");
                         let wc = self.wc.as_mut().expect("wc");
                         wc.accumulate_grad(&gw);
                         let gx = grad_out
-                            .matmul(&wc.value.transpose().expect("rank 2"))
+                            .matmul_nt(&wc.value)
                             .expect("shape")
                             .mul(&x.mul_scalar(2.0))
                             .expect("shape");
@@ -378,7 +371,6 @@ impl Layer for QuadraticLinear {
                 }
             }
         }
-        let _ = xt;
         grad_in
     }
 

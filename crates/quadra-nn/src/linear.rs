@@ -68,14 +68,15 @@ impl Layer for Linear {
 
     fn backward(&mut self, grad_out: &Tensor) -> Tensor {
         let x = self.cached_input.take().expect("backward called before forward");
-        // dW = x^T · dY, dX = dY · W^T, db = column sums of dY.
-        let gw = x.transpose().expect("rank 2").matmul(grad_out).expect("shapes");
+        // dW = xᵀ · dY, dX = dY · Wᵀ, db = column sums of dY — the tn/nt
+        // matmul variants read the transposed operand in place.
+        let gw = x.matmul_tn(grad_out).expect("shapes");
         self.weight.accumulate_grad(&gw);
         if let Some(b) = &mut self.bias {
             let gb = grad_out.sum_axis(0).expect("axis 0");
             b.accumulate_grad(&gb);
         }
-        grad_out.matmul(&self.weight.value.transpose().expect("rank 2")).expect("shapes")
+        grad_out.matmul_nt(&self.weight.value).expect("shapes")
     }
 
     fn params(&self) -> Vec<&Param> {

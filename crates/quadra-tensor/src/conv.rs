@@ -6,7 +6,7 @@
 //! the ingredient the paper's hybrid back-propagation scheme relies on.
 
 use crate::error::{Result, TensorError};
-use crate::matmul::gemm;
+use crate::gemm::{gemm_into, gemm_nt_into, gemm_tn_into};
 use crate::tensor::Tensor;
 use rayon::prelude::*;
 
@@ -34,8 +34,15 @@ impl Conv2dParams {
     }
 
     /// Output spatial extent for an input extent `in_size` and kernel extent `k`.
+    ///
+    /// Returns 0 when the kernel exceeds the padded input (no valid output
+    /// position exists); the `+ 1` only applies once the kernel fits.
     pub fn out_size(&self, in_size: usize, k: usize) -> usize {
-        (in_size + 2 * self.padding).saturating_sub(k) / self.stride + 1
+        let padded = in_size + 2 * self.padding;
+        if padded < k {
+            return 0;
+        }
+        (padded - k) / self.stride + 1
     }
 
     fn validate(&self, in_c: usize, h: usize, w: usize, kh: usize, kw: usize) -> Result<()> {
@@ -81,6 +88,10 @@ pub fn im2col(input: &Tensor, kh: usize, kw: usize, params: Conv2dParams) -> Res
     let stride = params.stride;
     let pad = params.padding as isize;
 
+    if col_rows * col_cols == 0 {
+        // Zero channels: nothing to lower (par_chunks_mut rejects size 0).
+        return Tensor::from_vec(out, &[n, col_rows, col_cols]);
+    }
     out.par_chunks_mut(col_rows * col_cols).enumerate().for_each(|(ni, chunk)| {
         let img = &src[ni * c * h * w..(ni + 1) * c * h * w];
         for ci in 0..c {
@@ -144,6 +155,10 @@ pub fn col2im(
     let stride = params.stride;
     let pad = params.padding as isize;
 
+    if c * h * w == 0 {
+        // Zero channels / extent: nothing to scatter back.
+        return Tensor::from_vec(out, out_shape);
+    }
     out.par_chunks_mut(c * h * w).enumerate().for_each(|(ni, img)| {
         let chunk = &src[ni * col_rows * col_cols..(ni + 1) * col_rows * col_cols];
         for ci in 0..c {
@@ -216,14 +231,27 @@ impl Tensor {
         let csrc = cols.as_slice();
         let mut out = vec![0.0f32; n * oc * col_cols];
 
+        if oc * col_cols == 0 {
+            // Zero output channels: the result is an empty [n, 0, oh, ow].
+            return Tensor::from_vec(out, &[n, oc, oh, ow]);
+        }
         out.par_chunks_mut(oc * col_cols).enumerate().for_each(|(ni, ochunk)| {
             let col_n = &csrc[ni * col_rows * col_cols..(ni + 1) * col_rows * col_cols];
             for gi in 0..g {
                 // weight slice for this group: [oc_g, group_rows]
                 let wg = &wsrc[gi * oc_g * group_rows..(gi + 1) * oc_g * group_rows];
                 let cg = &col_n[gi * group_rows * col_cols..(gi + 1) * group_rows * col_cols];
-                let prod = gemm(wg, cg, oc_g, group_rows, col_cols);
-                ochunk[gi * oc_g * col_cols..(gi + 1) * oc_g * col_cols].copy_from_slice(&prod);
+                // Row-parallel GEMM only for batch-size-1 calls, where the
+                // sample-level loop above has a single chunk to hand out.
+                gemm_into(
+                    &mut ochunk[gi * oc_g * col_cols..(gi + 1) * oc_g * col_cols],
+                    wg,
+                    cg,
+                    oc_g,
+                    group_rows,
+                    col_cols,
+                    n == 1,
+                );
             }
             if let Some(b) = bias {
                 let bsrc = b.as_slice();
@@ -272,22 +300,28 @@ impl Tensor {
         let wsrc = weight.as_slice();
         let gsrc = grad_out.as_slice();
 
-        // grad_cols[n] = W^T · grad_out[n]   (per group)
+        // grad_cols[n] = Wᵀ · grad_out[n] (per group) — the tn kernel reads the
+        // weight with swapped strides, so no transposed copy is materialised.
         let mut grad_cols = vec![0.0f32; n * col_rows * col_cols];
+        if col_rows * col_cols == 0 {
+            // Zero channels: the input gradient is an empty tensor.
+            let grad_cols = Tensor::from_vec(grad_cols, &[n, col_rows, col_cols])?;
+            return col2im(&grad_cols, input_shape, kh, kw, params);
+        }
         grad_cols.par_chunks_mut(col_rows * col_cols).enumerate().for_each(|(ni, chunk)| {
             let go_n = &gsrc[ni * oc * col_cols..(ni + 1) * oc * col_cols];
             for gi in 0..g {
                 let wg = &wsrc[gi * oc_g * group_rows..(gi + 1) * oc_g * group_rows];
-                // transpose weight group [oc_g, group_rows] -> [group_rows, oc_g]
-                let mut wt = vec![0.0f32; group_rows * oc_g];
-                for r in 0..oc_g {
-                    for cidx in 0..group_rows {
-                        wt[cidx * oc_g + r] = wg[r * group_rows + cidx];
-                    }
-                }
                 let go_g = &go_n[gi * oc_g * col_cols..(gi + 1) * oc_g * col_cols];
-                let prod = gemm(&wt, go_g, group_rows, oc_g, col_cols);
-                chunk[gi * group_rows * col_cols..(gi + 1) * group_rows * col_cols].copy_from_slice(&prod);
+                gemm_tn_into(
+                    &mut chunk[gi * group_rows * col_cols..(gi + 1) * group_rows * col_cols],
+                    wg,
+                    go_g,
+                    group_rows,
+                    oc_g,
+                    col_cols,
+                    n == 1,
+                );
             }
         });
         let grad_cols = Tensor::from_vec(grad_cols, &[n, col_rows, col_cols])?;
@@ -329,25 +363,36 @@ impl Tensor {
         let csrc = cols.as_slice();
         let gsrc = grad_out.as_slice();
 
-        // Accumulate per-sample contributions in parallel then reduce.
-        let partials: Vec<Vec<f32>> = (0..n)
+        // Parallel reduce over a fixed number of sample batches: each batch
+        // folds its samples into one gradient buffer via the accumulating nt
+        // kernel (gw_g += grad_out_g · cols_gᵀ, transpose-free), bounding peak
+        // extra memory at `batches × oc × group_rows` instead of
+        // `n × oc × group_rows`. The batch count is a constant — not the host
+        // core count — so the float summation order (and therefore seeded
+        // training) is reproducible across machines.
+        const WEIGHT_REDUCE_BATCHES: usize = 8;
+        let batches = WEIGHT_REDUCE_BATCHES.min(n.max(1));
+        let per = n.div_ceil(batches);
+        let partials: Vec<Vec<f32>> = (0..batches)
             .into_par_iter()
-            .map(|ni| {
-                let col_n = &csrc[ni * col_rows * col_cols..(ni + 1) * col_rows * col_cols];
-                let go_n = &gsrc[ni * oc * col_cols..(ni + 1) * oc * col_cols];
+            .map(|wi| {
                 let mut gw = vec![0.0f32; oc * group_rows];
-                for gi in 0..g {
-                    let go_g = &go_n[gi * oc_g * col_cols..(gi + 1) * oc_g * col_cols];
-                    let col_g = &col_n[gi * group_rows * col_cols..(gi + 1) * group_rows * col_cols];
-                    // transpose cols [group_rows, col_cols] -> [col_cols, group_rows]
-                    let mut ct = vec![0.0f32; col_cols * group_rows];
-                    for r in 0..group_rows {
-                        for cc in 0..col_cols {
-                            ct[cc * group_rows + r] = col_g[r * col_cols + cc];
-                        }
+                for ni in wi * per..((wi + 1) * per).min(n) {
+                    let col_n = &csrc[ni * col_rows * col_cols..(ni + 1) * col_rows * col_cols];
+                    let go_n = &gsrc[ni * oc * col_cols..(ni + 1) * oc * col_cols];
+                    for gi in 0..g {
+                        let go_g = &go_n[gi * oc_g * col_cols..(gi + 1) * oc_g * col_cols];
+                        let col_g = &col_n[gi * group_rows * col_cols..(gi + 1) * group_rows * col_cols];
+                        gemm_nt_into(
+                            &mut gw[gi * oc_g * group_rows..(gi + 1) * oc_g * group_rows],
+                            go_g,
+                            col_g,
+                            oc_g,
+                            col_cols,
+                            group_rows,
+                            batches == 1,
+                        );
                     }
-                    let prod = gemm(go_g, &ct, oc_g, col_cols, group_rows);
-                    gw[gi * oc_g * group_rows..(gi + 1) * oc_g * group_rows].copy_from_slice(&prod);
                 }
                 gw
             })
@@ -651,5 +696,42 @@ mod tests {
         assert_eq!(p.out_size(32, 3), 32);
         let p = Conv2dParams::new(1, 0, 1);
         assert_eq!(p.out_size(32, 3), 30);
+    }
+
+    #[test]
+    fn zero_channel_tensors_do_not_panic() {
+        // Regression: zero output/input channels pass shape validation but
+        // used to hit par_chunks_mut(0), which asserts.
+        let p = Conv2dParams::new(1, 1, 1);
+        let x = Tensor::zeros(&[1, 2, 4, 4]);
+        let w0 = Tensor::zeros(&[0, 2, 3, 3]);
+        let out = x.conv2d(&w0, None, p).unwrap();
+        assert_eq!(out.shape(), &[1, 0, 4, 4]);
+
+        let xe = Tensor::zeros(&[1, 0, 4, 4]);
+        let we = Tensor::zeros(&[0, 0, 3, 3]);
+        let oute = xe.conv2d(&we, None, p).unwrap();
+        assert_eq!(oute.shape(), &[1, 0, 4, 4]);
+
+        let go = Tensor::zeros(&[1, 0, 4, 4]);
+        let gi = Tensor::conv2d_backward_input(&go, &we, &[1, 0, 4, 4], p).unwrap();
+        assert_eq!(gi.shape(), &[1, 0, 4, 4]);
+        let gw = Tensor::conv2d_backward_weight(&go, &xe, &[0, 0, 3, 3], p).unwrap();
+        assert_eq!(gw.shape(), &[0, 0, 3, 3]);
+    }
+
+    #[test]
+    fn out_size_is_zero_when_kernel_exceeds_padded_input() {
+        // Regression: `saturating_sub` used to collapse to 0 and the `+ 1`
+        // then reported one phantom output pixel for impossible configs.
+        let p = Conv2dParams::new(1, 0, 1);
+        assert_eq!(p.out_size(2, 5), 0);
+        assert_eq!(p.out_size(0, 1), 0);
+        let p = Conv2dParams::new(2, 1, 1);
+        assert_eq!(p.out_size(2, 5), 0); // padded 4 < kernel 5
+        assert_eq!(p.out_size(3, 5), 1); // padded 5 == kernel 5
+                                         // Exact fit still yields one output position.
+        let p = Conv2dParams::new(3, 0, 1);
+        assert_eq!(p.out_size(4, 4), 1);
     }
 }

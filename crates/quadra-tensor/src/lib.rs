@@ -10,7 +10,8 @@
 //!
 //! * dense row-major storage with shape/stride bookkeeping ([`Tensor`]),
 //! * element-wise arithmetic with NumPy/PyTorch-style broadcasting,
-//! * 2-D and batched matrix multiplication (rayon-parallel),
+//! * 2-D and batched matrix multiplication backed by a cache-blocked,
+//!   register-tiled GEMM with transpose-free `nt`/`tn` variants ([`gemm`]),
 //! * `conv2d` (NCHW, arbitrary stride/padding/groups, so depth-wise convolution
 //!   for MobileNetV1 works) with full backward passes,
 //! * max / average pooling with backward passes,
@@ -37,6 +38,7 @@
 
 mod conv;
 mod error;
+pub mod gemm;
 mod init;
 mod manip;
 mod matmul;

@@ -1,41 +1,11 @@
-//! Matrix multiplication: 2-D GEMM (rayon-parallel over rows) and batched matmul.
+//! Matrix multiplication: 2-D GEMM (blocked, see [`crate::gemm`]) and batched
+//! matmul, plus the transpose-free `matmul_nt` / `matmul_tn` entry points the
+//! layer backward passes use.
 
 use crate::error::{Result, TensorError};
+use crate::gemm::{gemm, gemm_into, gemm_nt, gemm_tn};
 use crate::tensor::Tensor;
 use rayon::prelude::*;
-
-/// Minimum number of output rows before the parallel GEMM path is used; tiny
-/// matmuls are faster single-threaded.
-const PAR_ROW_THRESHOLD: usize = 16;
-
-/// Raw GEMM on slices: `c[m×n] = a[m×k] · b[k×n]`.
-///
-/// Row-parallel when `m` is large enough. The inner loops are ordered (i, p, j)
-/// so the innermost loop streams both `b` and `c` contiguously, which lets the
-/// compiler auto-vectorise.
-pub(crate) fn gemm(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
-    let mut c = vec![0.0f32; m * n];
-    let row_op = |i: usize, c_row: &mut [f32]| {
-        let a_row = &a[i * k..(i + 1) * k];
-        for (p, &a_ip) in a_row.iter().enumerate() {
-            if a_ip == 0.0 {
-                continue;
-            }
-            let b_row = &b[p * n..(p + 1) * n];
-            for (c_v, &b_v) in c_row.iter_mut().zip(b_row.iter()) {
-                *c_v += a_ip * b_v;
-            }
-        }
-    };
-    if m >= PAR_ROW_THRESHOLD {
-        c.par_chunks_mut(n).enumerate().for_each(|(i, row)| row_op(i, row));
-    } else {
-        for (i, row) in c.chunks_mut(n).enumerate() {
-            row_op(i, row);
-        }
-    }
-    c
-}
 
 impl Tensor {
     /// Matrix product of two rank-2 tensors: `[m, k] · [k, n] -> [m, n]`.
@@ -60,6 +30,42 @@ impl Tensor {
         Tensor::from_vec(c, &[m, n])
     }
 
+    /// Matrix product with a transposed right operand: `[m, k] · [n, k]ᵀ -> [m, n]`.
+    ///
+    /// Equivalent to `self.matmul(&other.transpose()?)` but without
+    /// materialising the transposed copy — the kernel reads `other` with
+    /// swapped strides while packing.
+    pub fn matmul_nt(&self, other: &Tensor) -> Result<Tensor> {
+        if self.ndim() != 2 || other.ndim() != 2 || self.shape()[1] != other.shape()[1] {
+            return Err(TensorError::IncompatibleShapes {
+                op: "matmul_nt",
+                lhs: self.shape().to_vec(),
+                rhs: other.shape().to_vec(),
+            });
+        }
+        let (m, k) = (self.shape()[0], self.shape()[1]);
+        let n = other.shape()[0];
+        let c = gemm_nt(self.as_slice(), other.as_slice(), m, k, n);
+        Tensor::from_vec(c, &[m, n])
+    }
+
+    /// Matrix product with a transposed left operand: `[k, m]ᵀ · [k, n] -> [m, n]`.
+    ///
+    /// Equivalent to `self.transpose()?.matmul(other)` but transpose-free.
+    pub fn matmul_tn(&self, other: &Tensor) -> Result<Tensor> {
+        if self.ndim() != 2 || other.ndim() != 2 || self.shape()[0] != other.shape()[0] {
+            return Err(TensorError::IncompatibleShapes {
+                op: "matmul_tn",
+                lhs: self.shape().to_vec(),
+                rhs: other.shape().to_vec(),
+            });
+        }
+        let (k, m) = (self.shape()[0], self.shape()[1]);
+        let n = other.shape()[1];
+        let c = gemm_tn(self.as_slice(), other.as_slice(), m, k, n);
+        Tensor::from_vec(c, &[m, n])
+    }
+
     /// Batched matrix product of two rank-3 tensors: `[b, m, k] · [b, k, n] -> [b, m, n]`.
     pub fn bmm(&self, other: &Tensor) -> Result<Tensor> {
         if self.ndim() != 3 || other.ndim() != 3 {
@@ -81,10 +87,22 @@ impl Tensor {
         let a = self.as_slice();
         let bb = other.as_slice();
         let mut out = vec![0.0f32; b * m * n];
-        out.par_chunks_mut(m * n).enumerate().for_each(|(i, chunk)| {
-            let c = gemm(&a[i * m * k..(i + 1) * m * k], &bb[i * k * n..(i + 1) * k * n], m, k, n);
-            chunk.copy_from_slice(&c);
-        });
+        if b > 0 && m * n > 0 {
+            // Each batch writes its slice of `out` in place; the inner kernel
+            // stays serial except for single-batch calls, where row-block
+            // parallelism is the only available layer.
+            out.par_chunks_mut(m * n).enumerate().for_each(|(i, chunk)| {
+                gemm_into(
+                    chunk,
+                    &a[i * m * k..(i + 1) * m * k],
+                    &bb[i * k * n..(i + 1) * k * n],
+                    m,
+                    k,
+                    n,
+                    b == 1,
+                );
+            });
+        }
         Tensor::from_vec(out, &[b, m, n])
     }
 
@@ -234,11 +252,49 @@ mod tests {
     }
 
     #[test]
+    fn matmul_nt_tn_match_explicit_transpose() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let a = Tensor::randn(&[9, 13], 0.0, 1.0, &mut rng);
+        let b = Tensor::randn(&[11, 13], 0.0, 1.0, &mut rng);
+        let nt = a.matmul_nt(&b).unwrap();
+        assert_eq!(nt.shape(), &[9, 11]);
+        assert!(nt.allclose(&a.matmul(&b.transpose().unwrap()).unwrap(), 1e-4));
+        assert!(a.matmul_nt(&Tensor::zeros(&[11, 12])).is_err());
+        assert!(a.matmul_nt(&Tensor::zeros(&[13])).is_err());
+
+        let at = Tensor::randn(&[13, 9], 0.0, 1.0, &mut rng);
+        let c = Tensor::randn(&[13, 7], 0.0, 1.0, &mut rng);
+        let tn = at.matmul_tn(&c).unwrap();
+        assert_eq!(tn.shape(), &[9, 7]);
+        assert!(tn.allclose(&at.transpose().unwrap().matmul(&c).unwrap(), 1e-4));
+        assert!(at.matmul_tn(&Tensor::zeros(&[12, 7])).is_err());
+        assert!(at.matmul_tn(&Tensor::zeros(&[13])).is_err());
+    }
+
+    #[test]
+    fn matmul_propagates_non_finite_values() {
+        // Regression: the old kernel skipped `a == 0.0` rows, silently turning
+        // 0·inf and 0·NaN into 0.0 instead of NaN as IEEE-754 requires.
+        let a = t(&[0.0, 0.0], &[1, 2]);
+        let b = t(&[f32::INFINITY, f32::NAN, 1.0, 2.0], &[2, 2]);
+        let c = a.matmul(&b).unwrap();
+        assert!(c.as_slice()[0].is_nan(), "0·inf must yield NaN, got {}", c.as_slice()[0]);
+        assert!(c.as_slice()[1].is_nan(), "0·NaN must yield NaN, got {}", c.as_slice()[1]);
+        // And through bmm as well.
+        let ab = a.reshape(&[1, 1, 2]).unwrap();
+        let bb = b.reshape(&[1, 2, 2]).unwrap();
+        assert!(ab.bmm(&bb).unwrap().has_non_finite());
+    }
+
+    #[test]
     fn gemm_zero_dimensions() {
         let a = Tensor::zeros(&[0, 3]);
         let b = Tensor::zeros(&[3, 2]);
         let c = a.matmul(&b).unwrap();
         assert_eq!(c.shape(), &[0, 2]);
         assert_eq!(c.numel(), 0);
+        // bmm with an empty row dimension must not panic either.
+        let e = Tensor::zeros(&[2, 0, 3]).bmm(&Tensor::zeros(&[2, 3, 4])).unwrap();
+        assert_eq!(e.shape(), &[2, 0, 4]);
     }
 }

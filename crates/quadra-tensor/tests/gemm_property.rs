@@ -1,0 +1,83 @@
+//! Property-based tests of the blocked GEMM kernels against the naive
+//! triple-loop reference: random shapes including edge sizes 0/1 and sizes
+//! that are not multiples of the MR×NR tile, plus the transpose-free
+//! `nt`/`tn` variants against transpose-then-gemm.
+
+use proptest::prelude::*;
+use quadra_tensor::gemm::{
+    gemm, gemm_blocked, gemm_naive, gemm_nt, gemm_nt_blocked, gemm_tn, gemm_tn_blocked,
+};
+use rand::rngs::StdRng;
+use rand::Rng;
+use rand::SeedableRng;
+
+fn randvec(len: usize, seed: u64) -> Vec<f32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..len).map(|_| rng.gen_range(-2.0f32..2.0)).collect()
+}
+
+fn transpose(src: &[f32], rows: usize, cols: usize) -> Vec<f32> {
+    let mut out = vec![0.0f32; rows * cols];
+    for r in 0..rows {
+        for c in 0..cols {
+            out[c * rows + r] = src[r * cols + c];
+        }
+    }
+    out
+}
+
+fn assert_close(fast: &[f32], slow: &[f32], tol: f32) {
+    assert_eq!(fast.len(), slow.len());
+    for (i, (x, y)) in fast.iter().zip(slow.iter()).enumerate() {
+        assert!((x - y).abs() <= tol, "index {}: {} vs {}", i, x, y);
+    }
+}
+
+/// Dimension strategy biased toward tile boundaries: 0, 1, multiples of 8 and
+/// their neighbours, sizes past one MC = 128 row block (129, 300) so the
+/// multi-block loops run with more than one block, and 300 also exceeds one
+/// KC = 256 k-panel when drawn for `k`.
+fn dim() -> impl Strategy<Value = usize> {
+    proptest::sample::select(vec![0usize, 1, 2, 3, 5, 7, 8, 9, 15, 16, 17, 24, 31, 33, 40, 65, 70, 129, 300])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Blocked GEMM ≡ naive reference for random shapes and data.
+    #[test]
+    fn blocked_matches_naive((m, k, n) in (dim(), dim(), dim()), seed in 0u64..1_000_000) {
+        let a = randvec(m * k, seed);
+        let b = randvec(k * n, seed ^ 0xdead_beef);
+        let slow = gemm_naive(&a, &b, m, k, n);
+        let tol = 1e-4 * (k.max(1) as f32);
+        assert_close(&gemm_blocked(&a, &b, m, k, n), &slow, tol);
+        // The public dispatcher (naive fallback below the blocking threshold)
+        // must agree as well.
+        assert_close(&gemm(&a, &b, m, k, n), &slow, tol);
+    }
+
+    /// `gemm_nt` ≡ transpose B then gemm, for both dispatch and blocked paths.
+    #[test]
+    fn nt_matches_transpose_then_gemm((m, k, n) in (dim(), dim(), dim()), seed in 0u64..1_000_000) {
+        let a = randvec(m * k, seed.wrapping_add(1));
+        let bt = randvec(n * k, seed.wrapping_add(2)); // stored [n, k]
+        let b = transpose(&bt, n, k);
+        let slow = gemm_naive(&a, &b, m, k, n);
+        let tol = 1e-4 * (k.max(1) as f32);
+        assert_close(&gemm_nt(&a, &bt, m, k, n), &slow, tol);
+        assert_close(&gemm_nt_blocked(&a, &bt, m, k, n), &slow, tol);
+    }
+
+    /// `gemm_tn` ≡ transpose A then gemm, for both dispatch and blocked paths.
+    #[test]
+    fn tn_matches_transpose_then_gemm((m, k, n) in (dim(), dim(), dim()), seed in 0u64..1_000_000) {
+        let at = randvec(k * m, seed.wrapping_add(3)); // stored [k, m]
+        let a = transpose(&at, k, m);
+        let b = randvec(k * n, seed.wrapping_add(4));
+        let slow = gemm_naive(&a, &b, m, k, n);
+        let tol = 1e-4 * (k.max(1) as f32);
+        assert_close(&gemm_tn(&at, &b, m, k, n), &slow, tol);
+        assert_close(&gemm_tn_blocked(&at, &b, m, k, n), &slow, tol);
+    }
+}

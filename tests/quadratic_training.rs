@@ -1,5 +1,10 @@
 //! Integration tests spanning the whole stack: quadratic layers + datasets +
 //! trainer + auto-builder, exercised through the public `quadralib` API.
+//!
+//! Each scenario comes in two sizes: a shrunk default that keeps every
+//! assertion but trains smaller models for fewer epochs, and the original
+//! full-length version behind `#[ignore]` (run with `cargo test -- --ignored`,
+//! exercised by the non-blocking CI job).
 
 use quadralib::core::{build_model, AutoBuilder, LayerSpec, ModelConfig, NeuronType, QuadraticLinear};
 use quadralib::data::{two_spirals, xor_dataset, ShapeImageDataset};
@@ -13,16 +18,15 @@ use rand::SeedableRng;
 /// A single quadratic layer of every practical type solves XOR, while a single
 /// first-order linear layer cannot — the motivating claim of the QDNN line of
 /// work that QuadraLib's Table 1 designs all share.
-#[test]
-fn single_quadratic_layer_solves_xor_for_every_type() {
-    let (train_x, train_y) = xor_dataset(300, 0.1, 1);
-    let (test_x, test_y) = xor_dataset(100, 0.1, 2);
+fn xor_every_type(train_n: usize, test_n: usize, epochs: usize) {
+    let (train_x, train_y) = xor_dataset(train_n, 0.1, 1);
+    let (test_x, test_y) = xor_dataset(test_n, 0.1, 2);
     for neuron in [NeuronType::T1, NeuronType::T2And4, NeuronType::T4, NeuronType::Ours] {
         let mut rng = StdRng::seed_from_u64(3);
         let mut model = Sequential::new(vec![Box::new(QuadraticLinear::new(neuron, 2, 2, &mut rng))]);
         let mut opt = Sgd::new(SgdConfig { lr: 0.1, momentum: 0.9, weight_decay: 0.0, nesterov: false });
         let loss_fn = CrossEntropyLoss::new();
-        for _ in 0..80 {
+        for _ in 0..epochs {
             let logits = model.forward(&train_x, true);
             let (_l, grad) = loss_fn.compute(&logits, &train_y);
             model.backward(&grad);
@@ -33,6 +37,17 @@ fn single_quadratic_layer_solves_xor_for_every_type() {
         let acc = accuracy(&model.forward(&test_x, false), &test_y);
         assert!(acc > 0.9, "{} failed XOR: acc {}", neuron, acc);
     }
+}
+
+#[test]
+fn single_quadratic_layer_solves_xor_for_every_type() {
+    xor_every_type(150, 60, 60);
+}
+
+#[test]
+#[ignore = "full-length variant of single_quadratic_layer_solves_xor_for_every_type"]
+fn single_quadratic_layer_solves_xor_for_every_type_full() {
+    xor_every_type(300, 100, 80);
 }
 
 /// A first-order linear classifier cannot solve XOR (sanity check of the
@@ -58,17 +73,16 @@ fn single_linear_layer_fails_xor() {
 
 /// The quadratic model reaches a decent accuracy on the spirals problem with a
 /// shallow network — the "higher capability per layer" claim.
-#[test]
-fn shallow_quadratic_mlp_learns_two_spirals() {
-    let (train_x, train_y) = two_spirals(400, 0.02, 6);
+fn spirals_shallow_mlp(train_n: usize, hidden: usize, epochs: usize) {
+    let (train_x, train_y) = two_spirals(train_n, 0.02, 6);
     let mut rng = StdRng::seed_from_u64(7);
     let mut model = Sequential::new(vec![
-        Box::new(QuadraticLinear::new(NeuronType::Ours, 2, 24, &mut rng)),
+        Box::new(QuadraticLinear::new(NeuronType::Ours, 2, hidden, &mut rng)),
         Box::new(Relu::new()),
-        Box::new(QuadraticLinear::new(NeuronType::Ours, 24, 2, &mut rng)),
+        Box::new(QuadraticLinear::new(NeuronType::Ours, hidden, 2, &mut rng)),
     ]);
     let mut trainer =
-        Trainer::new(TrainerConfig { epochs: 60, batch_size: 64, shuffle: true, seed: 8, verbose: false });
+        Trainer::new(TrainerConfig { epochs, batch_size: 64, shuffle: true, seed: 8, verbose: false });
     let mut opt = Sgd::new(SgdConfig { lr: 0.05, momentum: 0.9, weight_decay: 0.0, nesterov: false });
     let report = trainer.fit(
         &mut model,
@@ -82,11 +96,21 @@ fn shallow_quadratic_mlp_learns_two_spirals() {
     assert!(report.final_train_acc() > 0.85, "spirals train acc {}", report.final_train_acc());
 }
 
+#[test]
+fn shallow_quadratic_mlp_learns_two_spirals() {
+    spirals_shallow_mlp(240, 16, 40);
+}
+
+#[test]
+#[ignore = "full-length variant of shallow_quadratic_mlp_learns_two_spirals"]
+fn shallow_quadratic_mlp_learns_two_spirals_full() {
+    spirals_shallow_mlp(400, 24, 60);
+}
+
 /// End-to-end auto-builder pipeline: first-order config -> JSON round trip ->
 /// quadratic conversion -> RI reduction -> trainable model with fewer layers
 /// and better-or-equal accuracy on a small shape-classification task.
-#[test]
-fn auto_builder_end_to_end_produces_a_competitive_smaller_model() {
+fn auto_builder_end_to_end(train_n: usize, test_n: usize, epochs: usize) {
     let first = ModelConfig::new(
         "it-vgg",
         3,
@@ -110,19 +134,14 @@ fn auto_builder_end_to_end_produces_a_competitive_smaller_model() {
     assert_eq!(quadra.conv_layer_count(), 2);
     assert!(quadra.is_quadratic());
 
-    let train = ShapeImageDataset::generate(240, 4, 12, 3, 0.08, 9);
-    let test = ShapeImageDataset::generate(80, 4, 12, 3, 0.08, 10);
+    let train = ShapeImageDataset::generate(train_n, 4, 12, 3, 0.08, 9);
+    let test = ShapeImageDataset::generate(test_n, 4, 12, 3, 0.08, 10);
     let mut accs = Vec::new();
     for cfg in [&restored, &quadra] {
         let mut rng = StdRng::seed_from_u64(11);
         let mut model = build_model(cfg, &mut rng);
-        let mut trainer = Trainer::new(TrainerConfig {
-            epochs: 8,
-            batch_size: 32,
-            shuffle: true,
-            seed: 12,
-            verbose: false,
-        });
+        let mut trainer =
+            Trainer::new(TrainerConfig { epochs, batch_size: 32, shuffle: true, seed: 12, verbose: false });
         let mut opt = Sgd::new(SgdConfig { lr: 0.05, momentum: 0.9, weight_decay: 5e-4, nesterov: false });
         trainer.fit(
             &mut model,
@@ -139,4 +158,15 @@ fn auto_builder_end_to_end_produces_a_competitive_smaller_model() {
     // The reduced quadratic model should be in the same accuracy ballpark (or
     // better) despite having fewer conv layers.
     assert!(accs[1] > accs[0] - 0.15, "first-order {:.3} vs QuadraNN {:.3}", accs[0], accs[1]);
+}
+
+#[test]
+fn auto_builder_end_to_end_produces_a_competitive_smaller_model() {
+    auto_builder_end_to_end(144, 48, 5);
+}
+
+#[test]
+#[ignore = "full-length variant of auto_builder_end_to_end_produces_a_competitive_smaller_model"]
+fn auto_builder_end_to_end_produces_a_competitive_smaller_model_full() {
+    auto_builder_end_to_end(240, 80, 8);
 }

@@ -1,22 +1,25 @@
 //! Integration smoke tests of the task-level pipelines the paper evaluates:
 //! GAN generation metrics and detection mAP, through the public API.
+//!
+//! Each pipeline comes in a shrunk default size (same assertions, smaller
+//! datasets / fewer epochs) and the original full-length version behind
+//! `#[ignore]` for the non-blocking CI job.
 
 use quadralib::core::NeuronType;
 use quadralib::data::{DetectionDataset, ShapeImageDataset};
 use quadralib::models::{Detector, DetectorConfig, FeatureExtractor, Gan, GanConfig, GenerationMetrics};
 
-#[test]
-fn gan_pipeline_produces_metrics_and_quadratic_variant_runs() {
-    let real = ShapeImageDataset::generate(96, 3, 16, 3, 0.05, 1);
+fn gan_pipeline(n_real: usize, fx_epochs: usize, gan_epochs: usize, n_fake: usize) {
+    let real = ShapeImageDataset::generate(n_real, 3, 16, 3, 0.05, 1);
     let mut fx = FeatureExtractor::new(3, 3, 8, 2);
-    fx.fit(&real.images, &real.labels, 3, 32, 3);
+    fx.fit(&real.images, &real.labels, fx_epochs, 32, 3);
 
     for quadratic in [None, Some(NeuronType::Ours)] {
         let mut gan = Gan::new(GanConfig { base_width: 8, quadratic, seed: 4, ..GanConfig::default() });
-        let report = gan.train(&real.images, 6, 16, 2e-3);
+        let report = gan.train(&real.images, gan_epochs, 16, 2e-3);
         assert!(report.d_losses.iter().chain(&report.g_losses).all(|l| l.is_finite()));
-        let fake = gan.generate(48);
-        assert_eq!(fake.shape(), &[48, 3, 16, 16]);
+        let fake = gan.generate(n_fake);
+        assert_eq!(fake.shape(), &[n_fake, 3, 16, 16]);
         let metrics = GenerationMetrics::evaluate(&mut fx, &real.images, &fake);
         assert!(metrics.inception_score >= 1.0 && metrics.inception_score.is_finite());
         assert!(metrics.fid >= 0.0 && metrics.fid.is_finite());
@@ -24,9 +27,19 @@ fn gan_pipeline_produces_metrics_and_quadratic_variant_runs() {
 }
 
 #[test]
-fn detection_pipeline_trains_and_pretraining_does_not_hurt() {
-    let train = DetectionDataset::generate(48, 3, 16, 1, 5);
-    let test = DetectionDataset::generate(24, 3, 16, 1, 6);
+fn gan_pipeline_produces_metrics_and_quadratic_variant_runs() {
+    gan_pipeline(48, 2, 3, 24);
+}
+
+#[test]
+#[ignore = "full-length variant of gan_pipeline_produces_metrics_and_quadratic_variant_runs"]
+fn gan_pipeline_produces_metrics_and_quadratic_variant_runs_full() {
+    gan_pipeline(96, 3, 6, 48);
+}
+
+fn detection_pipeline(train_n: usize, test_n: usize, epochs: usize, donor_epochs: usize) {
+    let train = DetectionDataset::generate(train_n, 3, 16, 1, 5);
+    let test = DetectionDataset::generate(test_n, 3, 16, 1, 6);
     let cfg = DetectorConfig {
         num_classes: 3,
         image_size: 16,
@@ -38,19 +51,30 @@ fn detection_pipeline_trains_and_pretraining_does_not_hurt() {
 
     // Scratch training.
     let mut scratch = Detector::new(cfg);
-    scratch.train(&train, 5, 16, 0.05, 8);
+    scratch.train(&train, epochs, 16, 0.05, 8);
     let scratch_map = scratch.evaluate_map(&test, 0.3).map;
 
     // "Pre-trained" backbone: reuse a backbone trained longer on the same task.
     let mut donor = Detector::new(DetectorConfig { seed: 9, ..cfg });
-    donor.train(&train, 8, 16, 0.05, 10);
+    donor.train(&train, donor_epochs, 16, 0.05, 10);
     let mut pretrained = Detector::new(cfg);
     pretrained.load_backbone_from(&donor);
-    pretrained.train(&train, 5, 16, 0.05, 11);
+    pretrained.train(&train, epochs, 16, 0.05, 11);
     let pretrained_map = pretrained.evaluate_map(&test, 0.3).map;
 
     assert!((0.0..=1.0).contains(&scratch_map));
     assert!((0.0..=1.0).contains(&pretrained_map));
     // Pre-training should not make things dramatically worse.
     assert!(pretrained_map >= scratch_map - 0.25, "scratch {} pretrained {}", scratch_map, pretrained_map);
+}
+
+#[test]
+fn detection_pipeline_trains_and_pretraining_does_not_hurt() {
+    detection_pipeline(32, 16, 3, 5);
+}
+
+#[test]
+#[ignore = "full-length variant of detection_pipeline_trains_and_pretraining_does_not_hurt"]
+fn detection_pipeline_trains_and_pretraining_does_not_hurt_full() {
+    detection_pipeline(48, 24, 5, 8);
 }
