@@ -1,0 +1,107 @@
+//! Closed-loop serving load test: drive `quadra-serve` with concurrent
+//! clients over the MobileNetV1 and ResNet-20 backbones from `quadra-models`
+//! and report throughput, latency percentiles and batch occupancy for a sweep
+//! of worker-pool / batch-policy settings.
+//!
+//! Regenerate with `cargo run -p quadra-bench --release --bin serve_load`
+//! (set `QUADRA_SCALE=full` for the larger settings).
+
+use quadra_bench::{print_table, scale, Scale};
+use quadra_core::{build_model, ModelConfig};
+use quadra_models::{mobilenet_v1_config, resnet20_config};
+use quadra_serve::{BatchPolicy, InferenceServer, ServeConfig};
+use quadra_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+/// One closed-loop run: `clients` threads each serve `requests_per_client`
+/// single-sample requests back to back, then the server reports its metrics.
+fn load_test(
+    config: &ModelConfig,
+    workers: usize,
+    max_batch: usize,
+    clients: usize,
+    requests_per_client: usize,
+) -> quadra_serve::ServeMetrics {
+    let (channels, image) = (config.input_channels, config.image_size);
+    let model_config = config.clone();
+    let server = InferenceServer::start(
+        ServeConfig {
+            workers,
+            policy: BatchPolicy {
+                max_batch_size: max_batch,
+                max_wait: Duration::from_millis(1),
+                ..BatchPolicy::default()
+            },
+        },
+        move || Box::new(build_model(&model_config, &mut StdRng::seed_from_u64(11))),
+    )
+    .expect("server starts");
+
+    let handles: Vec<_> = (0..clients)
+        .map(|c| {
+            let client = server.client();
+            std::thread::spawn(move || {
+                let mut rng = StdRng::seed_from_u64(100 + c as u64);
+                let x = Tensor::randn(&[1, channels, image, image], 0.0, 1.0, &mut rng);
+                for _ in 0..requests_per_client {
+                    let response = client.infer(x.clone()).expect("request served");
+                    assert_eq!(response.output.shape()[0], 1);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    server.shutdown()
+}
+
+fn main() {
+    let (requests_per_client, clients, image) = match scale() {
+        Scale::Full => (256usize, 8usize, 32usize),
+        Scale::Quick => (48, 8, 16),
+    };
+    let models: Vec<(&str, ModelConfig)> = vec![
+        ("MobileNetV1 (0.25x, 5 DW pairs)", mobilenet_v1_config(5, 0.25, 3, image, 10)),
+        ("ResNet-20 (width 8)", resnet20_config(8, 10, image)),
+    ];
+    // (workers, max_batch): no batching baseline, batching on one worker,
+    // then scaling the replica pool.
+    let sweep = [(1usize, 1usize), (1, 8), (2, 8), (4, 16)];
+
+    for (name, config) in &models {
+        let mut rows = Vec::new();
+        let mut occupancies = Vec::new();
+        for &(workers, max_batch) in &sweep {
+            let metrics = load_test(config, workers, max_batch, clients, requests_per_client);
+            rows.push(vec![
+                format!("{}", workers),
+                format!("{}", max_batch),
+                format!("{}", metrics.completed_requests),
+                format!("{:.0}", metrics.throughput_rps),
+                format!("{:.2}", metrics.p50_latency_ms),
+                format!("{:.2}", metrics.p95_latency_ms),
+                format!("{:.2}", metrics.mean_batch_size),
+                format!("{:.0}", metrics.peak_batch_activation_bytes as f64 / 1024.0),
+            ]);
+            occupancies.push((workers, max_batch, metrics));
+        }
+        print_table(
+            &format!("Serving load test — {} ({} closed-loop clients)", name, clients),
+            &["workers", "max batch", "requests", "req/s", "p50 ms", "p95 ms", "mean batch", "peak act KiB"],
+            &rows,
+        );
+        if let Some((workers, max_batch, metrics)) =
+            occupancies.iter().max_by(|a, b| a.2.throughput_rps.total_cmp(&b.2.throughput_rps))
+        {
+            println!(
+                "best: {} workers × max batch {} — batch occupancy:\n{}",
+                workers,
+                max_batch,
+                metrics.occupancy_ascii(32)
+            );
+        }
+    }
+}

@@ -153,6 +153,25 @@ impl MemoryProfiler {
         (report, timeline)
     }
 
+    /// Account the memory footprint of one **inference** batch whose forward
+    /// pass has just completed: parameter tensors (values plus the gradient
+    /// buffers every [`Param`](quadra_nn::Param) allocates), the activations
+    /// the layers are currently caching, and the batch input/output tensors.
+    ///
+    /// Unlike [`MemoryProfiler::profile_step`] this runs nothing — it reads
+    /// the live [`Layer::cached_bytes`] state, which is what the serving
+    /// worker pool samples between `forward` and `clear_cache` to report
+    /// per-batch memory.
+    pub fn inference_report(&self, model: &dyn Layer, input: &Tensor, output: &Tensor) -> MemoryReport {
+        MemoryReport {
+            param_bytes: model.params().iter().map(|p| p.nbytes()).sum(),
+            optimizer_bytes: 0,
+            peak_activation_bytes: model.cached_bytes(),
+            input_bytes: input.nbytes(),
+            output_bytes: output.nbytes(),
+        }
+    }
+
     /// Analytic estimate of the training memory of a model built from
     /// `config`, for an arbitrary batch size, **without** materialising the
     /// activations (needed for the batch-512 GPU-scale comparison of Fig. 5).
@@ -262,6 +281,24 @@ mod tests {
         layers.push(LayerSpec::GlobalAvgPool);
         layers.push(LayerSpec::Linear { out_features: 4, relu: false });
         ModelConfig::new(if quadratic { "small-q" } else { "small" }, 3, 8, 4, layers)
+    }
+
+    #[test]
+    fn inference_report_reads_live_cache_state() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut model = build_model(&small_config(false), &mut rng);
+        let input = Tensor::randn(&[2, 3, 8, 8], 0.0, 1.0, &mut rng);
+        let output = model.forward(&input, false);
+        let report = MemoryProfiler::new().inference_report(&model, &input, &output);
+        assert!(report.param_bytes > 0);
+        assert_eq!(report.optimizer_bytes, 0);
+        assert_eq!(report.peak_activation_bytes, model.cached_bytes());
+        assert!(report.peak_activation_bytes > 0);
+        assert_eq!(report.input_bytes, input.nbytes());
+        assert_eq!(report.output_bytes, output.nbytes());
+        model.clear_cache();
+        let after = MemoryProfiler::new().inference_report(&model, &input, &output);
+        assert_eq!(after.peak_activation_bytes, 0);
     }
 
     #[test]

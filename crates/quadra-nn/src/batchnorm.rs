@@ -74,22 +74,38 @@ impl Layer for BatchNorm2d {
 
         for ci in 0..c {
             let (mean, var) = if train {
+                // Two-pass mean/variance: the single-pass E[x²]−E[x]² form
+                // cancels catastrophically for large-offset inputs (it needed a
+                // `.max(0.0)` clamp to paper over negative variance).
                 let mut sum = 0.0f32;
-                let mut sq = 0.0f32;
                 for ni in 0..n {
                     let base = (ni * c + ci) * h * w;
                     for &v in &src[base..base + h * w] {
                         sum += v;
-                        sq += v * v;
                     }
                 }
                 let mean = sum / m;
-                let var = (sq / m - mean * mean).max(0.0);
-                // Update running statistics.
-                let rm = self.running_mean.as_mut_slice();
-                let rv = self.running_var.as_mut_slice();
-                rm[ci] = (1.0 - self.momentum) * rm[ci] + self.momentum * mean;
-                rv[ci] = (1.0 - self.momentum) * rv[ci] + self.momentum * var;
+                let mut sq_dev = 0.0f32;
+                for ni in 0..n {
+                    let base = (ni * c + ci) * h * w;
+                    for &v in &src[base..base + h * w] {
+                        let d = v - mean;
+                        sq_dev += d * d;
+                    }
+                }
+                // Normalisation uses the biased batch variance; the running
+                // (inference) variance uses the unbiased m/(m−1) estimate, as
+                // in PyTorch. A single-element batch has no unbiased variance
+                // estimate at all, so it must not touch the running statistics
+                // (blending in the meaningless 0 would decay running_var
+                // toward zero and blow up eval-mode outputs).
+                let var = sq_dev / m;
+                if m > 1.0 {
+                    let rm = self.running_mean.as_mut_slice();
+                    let rv = self.running_var.as_mut_slice();
+                    rm[ci] = (1.0 - self.momentum) * rm[ci] + self.momentum * mean;
+                    rv[ci] = (1.0 - self.momentum) * rv[ci] + self.momentum * (sq_dev / (m - 1.0));
+                }
                 (mean, var)
             } else {
                 (self.running_mean.as_slice()[ci], self.running_var.as_slice()[ci])
@@ -173,6 +189,14 @@ impl Layer for BatchNorm2d {
 
     fn params_mut(&mut self) -> Vec<&mut Param> {
         vec![&mut self.gamma, &mut self.beta]
+    }
+
+    fn buffers(&self) -> Vec<(&'static str, &Tensor)> {
+        vec![("bn.running_mean", &self.running_mean), ("bn.running_var", &self.running_var)]
+    }
+
+    fn buffers_mut(&mut self) -> Vec<(&'static str, &mut Tensor)> {
+        vec![("bn.running_mean", &mut self.running_mean), ("bn.running_var", &mut self.running_var)]
     }
 
     fn cached_bytes(&self) -> usize {
@@ -306,6 +330,65 @@ mod tests {
         let numeric = numeric_gradient(f, &x, 1e-2);
         let report = check_close(&gin, &numeric);
         assert!(report.passes(5e-2), "{:?}", report);
+    }
+
+    #[test]
+    fn running_var_uses_unbiased_estimate() {
+        let mut bn = BatchNorm2d::new(1);
+        // One channel, m = 4 values with mean 2.5: biased var = 1.25,
+        // unbiased var = 5/3.
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[4, 1, 1, 1]).unwrap();
+        bn.forward(&x, true);
+        let expected = 0.9 * 1.0 + 0.1 * (5.0 / 3.0);
+        assert!((bn.running_var().as_slice()[0] - expected).abs() < 1e-6);
+        // m == 1: no unbiased estimate exists, so the running statistics must
+        // stay untouched (not decay toward the meaningless batch variance 0).
+        let mut bn1 = BatchNorm2d::new(1);
+        let single = Tensor::from_vec(vec![3.0], &[1, 1, 1, 1]).unwrap();
+        bn1.forward(&single, true);
+        assert_eq!(bn1.running_mean().as_slice()[0], 0.0);
+        assert_eq!(bn1.running_var().as_slice()[0], 1.0);
+    }
+
+    #[test]
+    fn two_pass_variance_survives_large_offsets() {
+        // With mean ≈ 4096 and tiny spread, E[x²]−E[x]² in f32 loses all the
+        // signal (the clamp used to return 0 and inv_std exploded to 1/√eps).
+        let vals = vec![4096.0, 4096.25, 4096.5, 4096.75];
+        let x = Tensor::from_vec(vals.clone(), &[4, 1, 1, 1]).unwrap();
+        let mut bn = BatchNorm2d::new(1);
+        let y = bn.forward(&x, true);
+        let mean: f32 = vals.iter().sum::<f32>() / 4.0;
+        let var: f32 = vals.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / 4.0;
+        let inv = 1.0 / (var + 1e-5).sqrt();
+        for (i, &v) in vals.iter().enumerate() {
+            let expected = (v - mean) * inv;
+            assert!(
+                (y.as_slice()[i] - expected).abs() < 1e-3,
+                "sample {}: got {}, expected {}",
+                i,
+                y.as_slice()[i],
+                expected
+            );
+        }
+    }
+
+    #[test]
+    fn exposes_running_stats_as_named_buffers() {
+        let mut bn = BatchNorm2d::new(2);
+        let x = Tensor::randn(&[4, 2, 3, 3], 1.0, 2.0, &mut rng());
+        bn.forward(&x, true);
+        let buffers = bn.buffers();
+        assert_eq!(buffers.len(), 2);
+        assert_eq!(buffers[0].0, "bn.running_mean");
+        assert_eq!(buffers[1].0, "bn.running_var");
+        assert_eq!(buffers[0].1.as_slice(), bn.running_mean().as_slice());
+        let mut bn2 = BatchNorm2d::new(2);
+        for (src, (name, dst)) in bn.buffers().iter().map(|(_, t)| (*t).clone()).zip(bn2.buffers_mut()) {
+            assert!(name.starts_with("bn.running_"));
+            dst.copy_from(&src).unwrap();
+        }
+        assert_eq!(bn2.running_var().as_slice(), bn.running_var().as_slice());
     }
 
     #[test]

@@ -25,14 +25,61 @@ pub struct ParamState {
 ///
 /// Keys are `"{index:04}:{param_name}"`, which makes the ordering explicit and
 /// detects architecture mismatches on load.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize)]
 pub struct StateDict {
     /// Parameter snapshots keyed by position and name.
     pub params: BTreeMap<String, ParamState>,
+    /// Non-trainable buffer snapshots (batch-norm running statistics and the
+    /// like), keyed the same way. Without these a restored model would fall
+    /// back to the layer-construction defaults in eval mode.
+    pub buffers: BTreeMap<String, ParamState>,
+}
+
+// Hand-written (the vendored derive has no `#[serde(default)]`): checkpoints
+// written before buffers were persisted lack the "buffers" key and must keep
+// loading — a buffer-free model accepts them as-is, and a buffer-bearing
+// model rejects them in `load_into` with the count-mismatch diagnostic.
+impl Deserialize for StateDict {
+    fn from_value(v: &serde::Value) -> Result<Self, String> {
+        let obj = v.as_obj().ok_or_else(|| format!("expected object for StateDict, found {}", v.kind()))?;
+        let params = Deserialize::from_value(serde::field(obj, "params")?)?;
+        let buffers = match serde::field(obj, "buffers") {
+            Ok(value) => Deserialize::from_value(value)?,
+            Err(_) => BTreeMap::new(),
+        };
+        Ok(StateDict { params, buffers })
+    }
+}
+
+/// Check one checkpoint entry against a model tensor and copy it over.
+fn restore_entry(
+    what: &str,
+    i: usize,
+    key: &str,
+    state: &ParamState,
+    name: &str,
+    value: &mut Tensor,
+) -> Result<(), String> {
+    let expected_key = format!("{:04}:{}", i, name);
+    if key != expected_key {
+        return Err(format!("{} {} name mismatch: checkpoint '{}', model '{}'", what, i, key, expected_key));
+    }
+    if value.shape() != state.shape.as_slice() {
+        return Err(format!(
+            "{} '{}' shape mismatch: checkpoint {:?}, model {:?}",
+            what,
+            key,
+            state.shape,
+            value.shape()
+        ));
+    }
+    let tensor = Tensor::from_vec(state.data.clone(), &state.shape)
+        .map_err(|e| format!("corrupt checkpoint entry '{}': {}", key, e))?;
+    value.copy_from(&tensor).map_err(|e| format!("copy failed for '{}': {}", key, e))
 }
 
 impl StateDict {
-    /// Capture the current parameters of a model.
+    /// Capture the current parameters and buffers of a model.
     pub fn from_layer(model: &dyn Layer) -> Self {
         let mut params = BTreeMap::new();
         for (i, p) in model.params().iter().enumerate() {
@@ -41,57 +88,61 @@ impl StateDict {
                 ParamState { shape: p.value.shape().to_vec(), data: p.value.as_slice().to_vec() },
             );
         }
-        StateDict { params }
+        let mut buffers = BTreeMap::new();
+        for (i, (name, t)) in model.buffers().iter().enumerate() {
+            buffers.insert(
+                format!("{:04}:{}", i, name),
+                ParamState { shape: t.shape().to_vec(), data: t.as_slice().to_vec() },
+            );
+        }
+        StateDict { params, buffers }
     }
 
-    /// Number of stored parameter tensors.
+    /// Number of stored parameter tensors (excluding buffers).
     pub fn len(&self) -> usize {
         self.params.len()
     }
 
-    /// True if the snapshot is empty.
+    /// True if the snapshot holds neither parameters nor buffers.
     pub fn is_empty(&self) -> bool {
-        self.params.is_empty()
+        self.params.is_empty() && self.buffers.is_empty()
     }
 
-    /// Total number of scalar values stored.
+    /// Total number of scalar values stored, parameters plus buffers.
     pub fn numel(&self) -> usize {
-        self.params.values().map(|p| p.data.len()).sum()
+        self.params.values().chain(self.buffers.values()).map(|p| p.data.len()).sum()
     }
 
     /// Load the snapshot into a model with the same architecture.
     ///
     /// Returns an error message when the number, names or shapes of the
-    /// parameters do not match.
+    /// parameters or buffers do not match.
     pub fn load_into(&self, model: &mut dyn Layer) -> Result<(), String> {
-        let mut target = model.params_mut();
-        if target.len() != self.params.len() {
+        {
+            let mut target = model.params_mut();
+            if target.len() != self.params.len() {
+                return Err(format!(
+                    "parameter count mismatch: checkpoint has {}, model has {}",
+                    self.params.len(),
+                    target.len()
+                ));
+            }
+            for (i, (key, state)) in self.params.iter().enumerate() {
+                let p = &mut target[i];
+                restore_entry("parameter", i, key, state, &p.name, &mut p.value)?;
+            }
+        }
+        let mut target = model.buffers_mut();
+        if target.len() != self.buffers.len() {
             return Err(format!(
-                "parameter count mismatch: checkpoint has {}, model has {}",
-                self.params.len(),
+                "buffer count mismatch: checkpoint has {}, model has {} (was the checkpoint saved before buffers were persisted?)",
+                self.buffers.len(),
                 target.len()
             ));
         }
-        for (i, (key, state)) in self.params.iter().enumerate() {
-            let p = &mut target[i];
-            let expected_key = format!("{:04}:{}", i, p.name);
-            if key != &expected_key {
-                return Err(format!(
-                    "parameter {} name mismatch: checkpoint '{}', model '{}'",
-                    i, key, expected_key
-                ));
-            }
-            if p.value.shape() != state.shape.as_slice() {
-                return Err(format!(
-                    "parameter '{}' shape mismatch: checkpoint {:?}, model {:?}",
-                    key,
-                    state.shape,
-                    p.value.shape()
-                ));
-            }
-            let tensor = Tensor::from_vec(state.data.clone(), &state.shape)
-                .map_err(|e| format!("corrupt checkpoint entry '{}': {}", key, e))?;
-            p.value.copy_from(&tensor).map_err(|e| format!("copy failed for '{}': {}", key, e))?;
+        for (i, (key, state)) in self.buffers.iter().enumerate() {
+            let (name, value) = &mut target[i];
+            restore_entry("buffer", i, key, state, name, value)?;
         }
         Ok(())
     }
@@ -168,6 +219,75 @@ mod tests {
         let loaded = StateDict::load(&path).unwrap();
         assert_eq!(loaded, state);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn batchnorm_running_stats_survive_roundtrip() {
+        use crate::batchnorm::BatchNorm2d;
+        use crate::dropout::Flatten;
+        let bn_model = |seed: u64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            Sequential::new(vec![
+                Box::new(BatchNorm2d::new(3)) as Box<dyn crate::layer::Layer>,
+                Box::new(Flatten::new()),
+                Box::new(Linear::new(3 * 2 * 2, 2, true, &mut rng)),
+            ])
+        };
+        let mut src = bn_model(1);
+        // Drive the running statistics away from their (0, 1) defaults.
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10 {
+            let batch = Tensor::randn(&[6, 3, 2, 2], 3.0, 2.0, &mut rng);
+            src.forward(&batch, true);
+        }
+        let x = Tensor::randn(&[4, 3, 2, 2], 3.0, 2.0, &mut rng);
+        let expected = src.forward(&x, false);
+
+        let state = StateDict::from_layer(&src);
+        assert_eq!(state.buffers.len(), 2, "running_mean and running_var must be captured");
+        assert_eq!(state.numel(), src.param_count() + 6);
+        // JSON round-trip preserves the buffers too.
+        let state = StateDict::from_json(&state.to_json()).unwrap();
+        let mut dst = bn_model(2);
+        state.load_into(&mut dst).unwrap();
+        let got = dst.forward(&x, false);
+        assert_eq!(
+            got.as_slice(),
+            expected.as_slice(),
+            "restored eval forward must match the original exactly"
+        );
+    }
+
+    #[test]
+    fn pre_buffer_checkpoints_still_parse() {
+        // JSON written before buffers were persisted has no "buffers" key; it
+        // must parse (empty buffers) and load into buffer-free models.
+        let src = model(8);
+        let mut legacy = StateDict::from_layer(&src);
+        legacy.buffers.clear();
+        let json = legacy.to_json();
+        let without_buffers = json.replace(",\"buffers\":{}", "").replace("\"buffers\":{},", "");
+        assert!(!without_buffers.contains("buffers"), "test must exercise the missing-key path");
+        let parsed = StateDict::from_json(&without_buffers).unwrap();
+        assert!(parsed.buffers.is_empty());
+        assert_eq!(parsed.params, legacy.params);
+        let mut dst = model(9);
+        parsed.load_into(&mut dst).unwrap();
+    }
+
+    #[test]
+    fn missing_buffers_are_rejected() {
+        use crate::batchnorm::BatchNorm2d;
+        let src = Sequential::new(vec![Box::new(Relu::new()) as Box<dyn crate::layer::Layer>]);
+        let state = StateDict::from_layer(&src);
+        let mut dst = Sequential::new(vec![Box::new(BatchNorm2d::new(2)) as Box<dyn crate::layer::Layer>]);
+        // Checkpoint has gamma/beta missing too, so the parameter check fires
+        // first; a buffer-only mismatch must also be caught.
+        let mut no_params = StateDict { params: state.params.clone(), buffers: BTreeMap::new() };
+        no_params.params.insert("0000:bn.gamma".into(), ParamState { shape: vec![2], data: vec![1.0, 1.0] });
+        no_params.params.insert("0001:bn.beta".into(), ParamState { shape: vec![2], data: vec![0.0, 0.0] });
+        let err = no_params.load_into(&mut dst).unwrap_err();
+        assert!(err.contains("buffer count mismatch"), "{}", err);
     }
 
     #[test]

@@ -34,6 +34,21 @@ pub trait Layer {
         Vec::new()
     }
 
+    /// Immutable access to the layer's named non-trainable buffers — state the
+    /// forward pass depends on but no optimizer updates, such as batch-norm
+    /// running statistics. Checkpointing persists these alongside the
+    /// parameters; a model restored without them would normalise with
+    /// zero-mean/unit-variance defaults and serve garbage in eval mode.
+    fn buffers(&self) -> Vec<(&'static str, &Tensor)> {
+        Vec::new()
+    }
+
+    /// Mutable access to the layer's named buffers (for checkpoint loading).
+    /// Must yield the same names in the same order as [`Layer::buffers`].
+    fn buffers_mut(&mut self) -> Vec<(&'static str, &mut Tensor)> {
+        Vec::new()
+    }
+
     /// Bytes of intermediate activations currently cached for backward.
     fn cached_bytes(&self) -> usize {
         0
@@ -161,6 +176,14 @@ impl Layer for Sequential {
         self.layers.iter_mut().flat_map(|l| l.params_mut()).collect()
     }
 
+    fn buffers(&self) -> Vec<(&'static str, &Tensor)> {
+        self.layers.iter().flat_map(|l| l.buffers()).collect()
+    }
+
+    fn buffers_mut(&mut self) -> Vec<(&'static str, &mut Tensor)> {
+        self.layers.iter_mut().flat_map(|l| l.buffers_mut()).collect()
+    }
+
     fn cached_bytes(&self) -> usize {
         self.layers.iter().map(|l| l.cached_bytes()).sum()
     }
@@ -275,6 +298,22 @@ impl Layer for Residual {
             p.extend(s.params_mut());
         }
         p
+    }
+
+    fn buffers(&self) -> Vec<(&'static str, &Tensor)> {
+        let mut b = self.body.buffers();
+        if let Some(s) = &self.shortcut {
+            b.extend(s.buffers());
+        }
+        b
+    }
+
+    fn buffers_mut(&mut self) -> Vec<(&'static str, &mut Tensor)> {
+        let mut b = self.body.buffers_mut();
+        if let Some(s) = &mut self.shortcut {
+            b.extend(s.buffers_mut());
+        }
+        b
     }
 
     fn cached_bytes(&self) -> usize {

@@ -33,9 +33,11 @@ impl Loss for CrossEntropyLoss {
         let c = predictions.shape()[1];
         assert_eq!(targets.numel(), n, "one target per sample");
         let log_probs = predictions.log_softmax_last_axis();
-        let probs = predictions.softmax_last_axis();
+        // Derive the probabilities from the same log-softmax pass instead of
+        // running a second softmax: one traversal, and the gradient stays
+        // exactly consistent with the loss for extreme logits.
         let mut loss = 0.0f32;
-        let mut grad = probs.clone();
+        let mut grad = log_probs.exp();
         let t = targets.as_slice();
         let lp = log_probs.as_slice();
         let g = grad.as_mut_slice();
@@ -231,6 +233,21 @@ mod tests {
         let t2 = targets.clone();
         let numeric = numeric_gradient(|l| CrossEntropyLoss::new().compute(l, &t2).0, &logits, 1e-3);
         assert!(check_close(&grad, &numeric).passes(1e-3));
+    }
+
+    #[test]
+    fn cross_entropy_extreme_logits_gradient_consistent() {
+        // With a +1e4 logit the old second softmax pass could disagree with
+        // log-softmax; probs = exp(log_probs) keeps them consistent: the
+        // winning wrong class gets gradient ~1, the target exactly -0 + p.
+        let logits = Tensor::from_vec(vec![1e4, 0.0, -1e4], &[1, 3]).unwrap();
+        let targets = Tensor::from_slice(&[1.0]);
+        let (loss, grad) = CrossEntropyLoss::new().compute(&logits, &targets);
+        assert!(loss.is_finite() && loss > 1e3);
+        assert!(!grad.has_non_finite());
+        assert!((grad.as_slice()[0] - 1.0).abs() < 1e-6);
+        assert!((grad.as_slice()[1] - (-1.0)).abs() < 1e-6);
+        assert_eq!(grad.as_slice()[2], 0.0);
     }
 
     #[test]

@@ -1,0 +1,181 @@
+//! The dynamic batcher: coalesces queued requests into padded NCHW batches
+//! under a [`BatchPolicy`], and splits batch outputs back per request.
+
+use crate::request::{BatchPolicy, BatcherMsg, PendingInfer};
+use quadra_tensor::Tensor;
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
+use std::time::Instant;
+
+/// A closed batch on its way to a worker.
+pub(crate) struct Batch {
+    pub requests: Vec<PendingInfer>,
+    pub formed_at: Instant,
+}
+
+impl Batch {
+    /// Total samples across the batch's requests.
+    pub fn samples(&self) -> usize {
+        self.requests.iter().map(|r| r.samples).sum()
+    }
+}
+
+/// Which requests may share a batch: the batch axis is always axis 0 and the
+/// trailing axes must match exactly — unless the policy opts into
+/// `pad_mixed_spatial`, in which case NCHW inputs only need matching channel
+/// counts (H/W are zero-padded to the batch maximum).
+pub(crate) fn compat_key(shape: &[usize], pad_mixed_spatial: bool) -> Vec<usize> {
+    if shape.len() == 4 && pad_mixed_spatial {
+        vec![4, shape[1]]
+    } else {
+        let mut key = vec![shape.len()];
+        key.extend_from_slice(&shape[1..]);
+        key
+    }
+}
+
+/// Concatenate the requests' inputs along axis 0, zero-padding NCHW samples
+/// at the bottom/right to the largest H and W in the batch. Returns the batch
+/// tensor and the per-request sample counts (in request order).
+pub(crate) fn assemble(requests: &[PendingInfer]) -> (Tensor, Vec<usize>) {
+    assert!(!requests.is_empty(), "cannot assemble an empty batch");
+    let counts: Vec<usize> = requests.iter().map(|r| r.samples).collect();
+    let total: usize = counts.iter().sum();
+    let first = requests[0].input.shape();
+    let needs_padding = first.len() == 4
+        && requests.iter().any(|r| r.input.shape()[2] != first[2] || r.input.shape()[3] != first[3]);
+    if !needs_padding {
+        let refs: Vec<&Tensor> = requests.iter().map(|r| &r.input).collect();
+        let batch = Tensor::concat(&refs, 0).expect("batcher only coalesces compatible shapes");
+        return (batch, counts);
+    }
+
+    let c = first[1];
+    let h_max = requests.iter().map(|r| r.input.shape()[2]).max().unwrap();
+    let w_max = requests.iter().map(|r| r.input.shape()[3]).max().unwrap();
+    let mut batch = Tensor::zeros(&[total, c, h_max, w_max]);
+    let dst = batch.as_mut_slice();
+    let mut row = 0;
+    for r in requests {
+        let (n, h, w) = (r.input.shape()[0], r.input.shape()[2], r.input.shape()[3]);
+        let src = r.input.as_slice();
+        for ni in 0..n {
+            for ci in 0..c {
+                for hi in 0..h {
+                    let s = ((ni * c + ci) * h + hi) * w;
+                    let d = (((row + ni) * c + ci) * h_max + hi) * w_max;
+                    dst[d..d + w].copy_from_slice(&src[s..s + w]);
+                }
+            }
+        }
+        row += n;
+    }
+    (batch, counts)
+}
+
+/// The batcher thread body.
+///
+/// Blocks on an empty queue (no polling). The first request of a batch opens a
+/// `max_wait` window; the batch closes when it reaches `max_batch_size`
+/// samples, the window expires, or an incompatible request arrives (which then
+/// opens the next batch). On shutdown the current batch is flushed so
+/// in-flight requests still get responses.
+pub(crate) fn run(rx: Receiver<BatcherMsg>, batch_tx: Sender<Batch>, policy: BatchPolicy) {
+    let mut carry: Option<PendingInfer> = None;
+    'serve: loop {
+        let first = match carry.take() {
+            Some(r) => r,
+            None => match rx.recv() {
+                Ok(BatcherMsg::Request(r)) => r,
+                Ok(BatcherMsg::Shutdown) | Err(_) => break 'serve,
+            },
+        };
+        let key = compat_key(first.input.shape(), policy.pad_mixed_spatial);
+        let deadline = Instant::now() + policy.max_wait;
+        let mut samples = first.samples;
+        let mut requests = vec![first];
+        let mut shutdown = false;
+        while samples < policy.max_batch_size {
+            let timeout = deadline.saturating_duration_since(Instant::now());
+            match rx.recv_timeout(timeout) {
+                Ok(BatcherMsg::Request(r)) => {
+                    if compat_key(r.input.shape(), policy.pad_mixed_spatial) == key {
+                        samples += r.samples;
+                        requests.push(r);
+                    } else {
+                        carry = Some(r);
+                        break;
+                    }
+                }
+                Ok(BatcherMsg::Shutdown) => {
+                    shutdown = true;
+                    break;
+                }
+                Err(RecvTimeoutError::Timeout) => break,
+                Err(RecvTimeoutError::Disconnected) => {
+                    shutdown = true;
+                    break;
+                }
+            }
+        }
+        // A send error means every worker is gone; dropping the batch here
+        // disconnects the reply channels, which clients observe as shutdown.
+        let _ = batch_tx.send(Batch { requests, formed_at: Instant::now() });
+        if shutdown {
+            break 'serve;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::ServeError;
+    use std::sync::mpsc;
+
+    fn pend(input: Tensor) -> (PendingInfer, mpsc::Receiver<Result<crate::InferResponse, ServeError>>) {
+        let (tx, rx) = mpsc::channel();
+        let samples = input.shape()[0];
+        (PendingInfer { id: 0, input, samples, submitted_at: Instant::now(), reply: tx }, rx)
+    }
+
+    #[test]
+    fn compat_key_requires_exact_shapes_by_default() {
+        // Without the padding opt-in, mixed spatial sizes must not share a
+        // batch — padding would change the served predictions.
+        assert_ne!(compat_key(&[1, 3, 8, 8], false), compat_key(&[2, 3, 16, 4], false));
+        assert_eq!(compat_key(&[1, 3, 8, 8], false), compat_key(&[2, 3, 8, 8], false));
+        assert_eq!(compat_key(&[5, 10], false), compat_key(&[1, 10], false));
+        assert_ne!(compat_key(&[5, 10], false), compat_key(&[5, 11], false));
+        // A 2-d [n, 12] input must not pool with a 3-d [n, 3, 4] one.
+        assert_ne!(compat_key(&[1, 12], false), compat_key(&[1, 3, 4], false));
+    }
+
+    #[test]
+    fn compat_key_pools_nchw_by_channel_when_padding_enabled() {
+        assert_eq!(compat_key(&[1, 3, 8, 8], true), compat_key(&[2, 3, 16, 4], true));
+        assert_ne!(compat_key(&[1, 3, 8, 8], true), compat_key(&[1, 4, 8, 8], true));
+        // The opt-in only affects 4-d inputs.
+        assert_ne!(compat_key(&[5, 10], true), compat_key(&[5, 11], true));
+    }
+
+    #[test]
+    fn assemble_concatenates_same_size_inputs() {
+        let (a, _ra) = pend(Tensor::from_vec(vec![1.0, 2.0], &[1, 2]).unwrap());
+        let (b, _rb) = pend(Tensor::from_vec(vec![3.0, 4.0, 5.0, 6.0], &[2, 2]).unwrap());
+        let (batch, counts) = assemble(&[a, b]);
+        assert_eq!(batch.shape(), &[3, 2]);
+        assert_eq!(counts, vec![1, 2]);
+        assert_eq!(batch.as_slice(), &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn assemble_zero_pads_mixed_spatial_sizes() {
+        // 1×1×1×2 and 1×1×2×1 coalesce into a 2×1×2×2 zero-padded batch.
+        let (a, _ra) = pend(Tensor::from_vec(vec![1.0, 2.0], &[1, 1, 1, 2]).unwrap());
+        let (b, _rb) = pend(Tensor::from_vec(vec![3.0, 4.0], &[1, 1, 2, 1]).unwrap());
+        let (batch, counts) = assemble(&[a, b]);
+        assert_eq!(batch.shape(), &[2, 1, 2, 2]);
+        assert_eq!(counts, vec![1, 1]);
+        assert_eq!(batch.as_slice(), &[1.0, 2.0, 0.0, 0.0, 3.0, 0.0, 4.0, 0.0]);
+    }
+}

@@ -1,0 +1,83 @@
+//! # quadra-serve
+//!
+//! Batched inference serving for QuadraLib-rs: the subsystem that turns the
+//! training library into a serving *system* — the throughput/latency side of
+//! the MLSys story.
+//!
+//! ## Architecture
+//!
+//! Everything is plain threads (compatible with the vendored rayon; no async
+//! runtime):
+//!
+//! * A **dynamic batcher** thread queues [`ServeClient`] submissions (mpsc)
+//!   and coalesces them into batches under a [`BatchPolicy`]
+//!   (`max_batch_size` samples or `max_wait`, whichever first). Only
+//!   same-shape requests coalesce by default — predictions never depend on
+//!   concurrent traffic; `BatchPolicy::pad_mixed_spatial` opts NCHW inputs
+//!   into zero-padded mixed-size batches. Outputs are split back into
+//!   per-request rows.
+//! * A **[`ModelWorkerPool`]** of N model replicas, each owned by a dedicated
+//!   worker thread, executes batches in eval mode. Replicas are built *on*
+//!   their worker thread by a `Fn() -> Box<dyn Layer>` factory, so the
+//!   [`Layer`](quadra_nn::Layer) trait needs no `Send` bound.
+//! * **Checkpoint hot-reload**: a [`StateDict`](quadra_nn::StateDict) is
+//!   validated, published, and atomically picked up by every worker between
+//!   batches. Responses carry the model version that produced them.
+//! * **[`ServeMetrics`]**: throughput, p50/p95/max latency, batch-occupancy
+//!   histogram, and per-batch activation memory accounted through
+//!   `quadra_core::MemoryProfiler::inference_report`.
+//!
+//! ## Example
+//!
+//! ```
+//! use quadra_nn::{Layer, Linear, Relu, Sequential, StateDict};
+//! use quadra_serve::{InferenceServer, ServeConfig};
+//! use quadra_tensor::Tensor;
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! let model = |seed: u64| -> Box<dyn Layer> {
+//!     let mut rng = StdRng::seed_from_u64(seed);
+//!     Box::new(Sequential::new(vec![
+//!         Box::new(Linear::new(4, 16, true, &mut rng)),
+//!         Box::new(Relu::new()),
+//!         Box::new(Linear::new(16, 3, true, &mut rng)),
+//!     ]))
+//! };
+//! let server = InferenceServer::start(ServeConfig::default(), move || model(0)).unwrap();
+//! let client = server.client();
+//!
+//! // Serve a batch of two 4-feature rows.
+//! let response = client.infer(Tensor::ones(&[2, 4])).unwrap();
+//! assert_eq!(response.output.shape(), &[2, 3]);
+//! assert_eq!(response.model_version, 0);
+//!
+//! // Hot-reload different weights; later responses report the new version.
+//! let mut rng = StdRng::seed_from_u64(1);
+//! let retrained = Sequential::new(vec![
+//!     Box::new(Linear::new(4, 16, true, &mut rng)),
+//!     Box::new(Relu::new()),
+//!     Box::new(Linear::new(16, 3, true, &mut rng)),
+//! ]);
+//! let version = server.reload(StateDict::from_layer(&retrained)).unwrap();
+//! assert_eq!(version, 1);
+//!
+//! let metrics = server.shutdown();
+//! assert_eq!(metrics.completed_requests, 1);
+//! ```
+
+#![warn(missing_docs)]
+
+mod batcher;
+mod metrics;
+mod request;
+mod server;
+mod worker;
+
+pub use metrics::ServeMetrics;
+pub use request::{BatchPolicy, InferResponse, PendingResponse, ServeConfig, ServeError};
+pub use server::{InferenceServer, ServeClient};
+
+/// Alias emphasising the paper-facing name of the subsystem: the pool of
+/// model replicas behind the batcher.
+pub type ModelWorkerPool = InferenceServer;

@@ -1,0 +1,232 @@
+//! Serving telemetry: a lock-guarded recorder the workers write into and the
+//! [`ServeMetrics`] snapshot exposed to operators.
+
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Cap on retained latency samples; percentiles are over the most recent
+/// window once the cap is reached (a ring buffer, so long-running servers
+/// don't grow without bound).
+const LATENCY_WINDOW: usize = 1 << 16;
+
+#[derive(Default)]
+struct MetricsInner {
+    completed_requests: u64,
+    completed_samples: u64,
+    errored_requests: u64,
+    batches: u64,
+    reloads: u64,
+    /// `occupancy[k-1]` counts batches that held exactly `k` samples;
+    /// oversized batches land in the last bucket.
+    occupancy: Vec<u64>,
+    latencies_us: Vec<u64>,
+    latency_write: usize,
+    peak_batch_activation_bytes: usize,
+}
+
+/// Shared recorder; one per server, written by every worker.
+pub(crate) struct MetricsHub {
+    started: Instant,
+    inner: Mutex<MetricsInner>,
+}
+
+impl MetricsHub {
+    pub fn new(max_batch_size: usize) -> Self {
+        let inner = MetricsInner { occupancy: vec![0; max_batch_size.max(1)], ..Default::default() };
+        MetricsHub { started: Instant::now(), inner: Mutex::new(inner) }
+    }
+
+    /// Record one completed batch: its sample count, the per-request
+    /// latencies, and the activation bytes the model cached while running it.
+    pub fn record_batch(&self, samples: usize, latencies: &[Duration], activation_bytes: usize) {
+        let mut m = self.inner.lock().unwrap();
+        m.batches += 1;
+        m.completed_requests += latencies.len() as u64;
+        m.completed_samples += samples as u64;
+        let bucket = samples.clamp(1, m.occupancy.len()) - 1;
+        m.occupancy[bucket] += 1;
+        m.peak_batch_activation_bytes = m.peak_batch_activation_bytes.max(activation_bytes);
+        for d in latencies {
+            let us = d.as_micros().min(u64::MAX as u128) as u64;
+            if m.latencies_us.len() < LATENCY_WINDOW {
+                m.latencies_us.push(us);
+            } else {
+                let idx = m.latency_write % LATENCY_WINDOW;
+                m.latencies_us[idx] = us;
+            }
+            m.latency_write += 1;
+        }
+    }
+
+    pub fn record_errors(&self, count: usize) {
+        self.inner.lock().unwrap().errored_requests += count as u64;
+    }
+
+    pub fn record_reload(&self) {
+        self.inner.lock().unwrap().reloads += 1;
+    }
+
+    pub fn snapshot(&self, model_version: u64) -> ServeMetrics {
+        let m = self.inner.lock().unwrap();
+        let elapsed = self.started.elapsed();
+        let secs = elapsed.as_secs_f64().max(1e-9);
+        let mut sorted = m.latencies_us.clone();
+        sorted.sort_unstable();
+        let pct = |q: f64| -> f64 {
+            if sorted.is_empty() {
+                return 0.0;
+            }
+            let idx = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+            sorted[idx] as f64 / 1000.0
+        };
+        let mean_ms = if sorted.is_empty() {
+            0.0
+        } else {
+            sorted.iter().sum::<u64>() as f64 / sorted.len() as f64 / 1000.0
+        };
+        ServeMetrics {
+            elapsed,
+            completed_requests: m.completed_requests,
+            completed_samples: m.completed_samples,
+            errored_requests: m.errored_requests,
+            batches: m.batches,
+            reloads: m.reloads,
+            model_version,
+            throughput_rps: m.completed_requests as f64 / secs,
+            throughput_sps: m.completed_samples as f64 / secs,
+            mean_latency_ms: mean_ms,
+            p50_latency_ms: pct(0.50),
+            p95_latency_ms: pct(0.95),
+            max_latency_ms: sorted.last().map(|&v| v as f64 / 1000.0).unwrap_or(0.0),
+            mean_batch_size: if m.batches == 0 { 0.0 } else { m.completed_samples as f64 / m.batches as f64 },
+            batch_occupancy: m.occupancy.clone(),
+            peak_batch_activation_bytes: m.peak_batch_activation_bytes,
+        }
+    }
+}
+
+/// A point-in-time snapshot of the server's serving statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeMetrics {
+    /// Wall time since the server started.
+    pub elapsed: Duration,
+    /// Requests answered successfully.
+    pub completed_requests: u64,
+    /// Samples answered successfully (≥ requests; requests can be multi-sample).
+    pub completed_samples: u64,
+    /// Requests answered with a [`ServeError`](crate::ServeError).
+    pub errored_requests: u64,
+    /// Batches executed.
+    pub batches: u64,
+    /// Successful hot-reloads since start.
+    pub reloads: u64,
+    /// Current model state version (0 = initial weights).
+    pub model_version: u64,
+    /// Completed requests per second since start.
+    pub throughput_rps: f64,
+    /// Completed samples per second since start.
+    pub throughput_sps: f64,
+    /// Mean request latency (submission → response) in milliseconds.
+    pub mean_latency_ms: f64,
+    /// Median request latency in milliseconds.
+    pub p50_latency_ms: f64,
+    /// 95th-percentile request latency in milliseconds.
+    pub p95_latency_ms: f64,
+    /// Worst request latency in milliseconds (within the retained window).
+    pub max_latency_ms: f64,
+    /// Mean samples per executed batch.
+    pub mean_batch_size: f64,
+    /// Batch-occupancy histogram: entry `k` counts batches holding `k+1`
+    /// samples (the last bucket also absorbs oversized batches).
+    pub batch_occupancy: Vec<u64>,
+    /// Largest per-batch activation footprint observed (bytes), as accounted
+    /// by `quadra_core::MemoryProfiler::inference_report`.
+    pub peak_batch_activation_bytes: usize,
+}
+
+impl ServeMetrics {
+    /// One-line summary for logs and bench output.
+    pub fn describe(&self) -> String {
+        format!(
+            "{} req ({} samples) in {:.2}s | {:.0} req/s {:.0} samples/s | latency ms p50 {:.2} p95 {:.2} max {:.2} | mean batch {:.2} | peak batch activations {:.1} KiB | v{} ({} reloads) | {} errors",
+            self.completed_requests,
+            self.completed_samples,
+            self.elapsed.as_secs_f64(),
+            self.throughput_rps,
+            self.throughput_sps,
+            self.p50_latency_ms,
+            self.p95_latency_ms,
+            self.max_latency_ms,
+            self.mean_batch_size,
+            self.peak_batch_activation_bytes as f64 / 1024.0,
+            self.model_version,
+            self.reloads,
+            self.errored_requests,
+        )
+    }
+
+    /// Render the batch-occupancy histogram as an ASCII bar chart.
+    pub fn occupancy_ascii(&self, width: usize) -> String {
+        let peak = self.batch_occupancy.iter().copied().max().unwrap_or(0).max(1);
+        let mut out = String::new();
+        for (i, &count) in self.batch_occupancy.iter().enumerate() {
+            let bar = (count as usize * width) / peak as usize;
+            out.push_str(&format!(
+                "{:>4} sample{} |{}{}| {}\n",
+                i + 1,
+                if i == 0 { " " } else { "s" },
+                "#".repeat(bar),
+                " ".repeat(width - bar),
+                count
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_aggregates_batches() {
+        let hub = MetricsHub::new(4);
+        hub.record_batch(3, &[Duration::from_millis(2), Duration::from_millis(4)], 1024);
+        hub.record_batch(1, &[Duration::from_millis(6)], 512);
+        hub.record_batch(9, &[Duration::from_millis(1)], 2048); // oversized → last bucket
+        hub.record_errors(2);
+        hub.record_reload();
+        let snap = hub.snapshot(1);
+        assert_eq!(snap.completed_requests, 4);
+        assert_eq!(snap.completed_samples, 13);
+        assert_eq!(snap.errored_requests, 2);
+        assert_eq!(snap.batches, 3);
+        assert_eq!(snap.reloads, 1);
+        assert_eq!(snap.model_version, 1);
+        assert_eq!(snap.batch_occupancy, vec![1, 0, 1, 1]);
+        assert_eq!(snap.peak_batch_activation_bytes, 2048);
+        assert!(snap.p50_latency_ms >= 1.0 && snap.p50_latency_ms <= 6.0);
+        assert!(snap.p95_latency_ms >= snap.p50_latency_ms);
+        assert!(snap.max_latency_ms >= snap.p95_latency_ms);
+        assert!(snap.mean_latency_ms > 0.0);
+        assert!((snap.mean_batch_size - 13.0 / 3.0).abs() < 1e-9);
+        assert!(snap.throughput_rps > 0.0);
+        assert!(snap.describe().contains("4 req"));
+        let ascii = snap.occupancy_ascii(20);
+        assert_eq!(ascii.lines().count(), 4);
+        assert!(ascii.contains('#'));
+    }
+
+    #[test]
+    fn latency_window_is_bounded() {
+        let hub = MetricsHub::new(1);
+        let lat = vec![Duration::from_micros(10); 100];
+        for _ in 0..700 {
+            hub.record_batch(1, &lat, 0);
+        }
+        let snap = hub.snapshot(0);
+        assert_eq!(snap.completed_requests, 70_000);
+        // The retained sample buffer stays capped at the window size.
+        assert!(snap.p50_latency_ms > 0.0);
+    }
+}

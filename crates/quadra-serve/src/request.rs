@@ -1,0 +1,146 @@
+//! Request/response types of the serving pipeline and the policy knobs that
+//! control batch formation.
+
+use quadra_tensor::Tensor;
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+/// Errors surfaced to serving clients.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The server is shutting down (or has shut down) and no longer accepts
+    /// or answers requests.
+    ShuttingDown,
+    /// The request input was rejected before it reached the batcher.
+    BadInput(String),
+    /// A checkpoint offered for hot-reload does not fit the served model.
+    InvalidState(String),
+    /// The model panicked while executing the batch containing this request.
+    WorkerFailed(String),
+    /// [`PendingResponse::wait_timeout`] expired before the response arrived.
+    Timeout,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::ShuttingDown => write!(f, "server is shutting down"),
+            ServeError::BadInput(m) => write!(f, "bad input: {}", m),
+            ServeError::InvalidState(m) => write!(f, "invalid checkpoint for hot-reload: {}", m),
+            ServeError::WorkerFailed(m) => write!(f, "worker failed: {}", m),
+            ServeError::Timeout => write!(f, "timed out waiting for response"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// When the dynamic batcher closes a batch and hands it to a worker.
+///
+/// A batch is dispatched as soon as it holds `max_batch_size` samples, or
+/// `max_wait` after its first request arrived, whichever comes first. A single
+/// request carrying more than `max_batch_size` samples is not rejected — it is
+/// dispatched immediately as an oversized batch of its own.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchPolicy {
+    /// Target number of *samples* (not requests) per coalesced batch.
+    pub max_batch_size: usize,
+    /// Longest time the first request of a batch may wait for company.
+    pub max_wait: Duration,
+    /// Allow NCHW requests with different H×W (same channel count) to share a
+    /// batch by zero-padding every sample to the largest H and W present.
+    ///
+    /// Off by default: padding changes what the model sees (a pooling layer
+    /// averages over the padded zeros, a `Flatten`+`Linear` head panics on the
+    /// changed feature count), so a request's prediction could depend on the
+    /// traffic it happened to ride with. Leave this off to keep served
+    /// predictions bitwise-identical to direct `forward` calls; turn it on
+    /// only for fully convolutional models where approximate mixed-size
+    /// pooling is acceptable.
+    pub pad_mixed_spatial: bool,
+}
+
+impl Default for BatchPolicy {
+    fn default() -> Self {
+        BatchPolicy { max_batch_size: 16, max_wait: Duration::from_millis(2), pad_mixed_spatial: false }
+    }
+}
+
+/// Configuration of an [`InferenceServer`](crate::InferenceServer).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Number of model replicas, each on its own dedicated worker thread.
+    pub workers: usize,
+    /// Batch-formation policy.
+    pub policy: BatchPolicy,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig { workers: 2, policy: BatchPolicy::default() }
+    }
+}
+
+/// A completed inference, annotated with serving telemetry.
+#[derive(Debug, Clone)]
+pub struct InferResponse {
+    /// The id `submit` returned for this request.
+    pub id: u64,
+    /// Model output rows for this request's samples: shape `[n, ...]` where
+    /// `n` is the request's sample count.
+    pub output: Tensor,
+    /// Version of the model state that produced the output: 0 until the first
+    /// hot-reload, incremented by each successful
+    /// [`InferenceServer::reload`](crate::InferenceServer::reload).
+    pub model_version: u64,
+    /// Total samples in the coalesced batch this request rode in.
+    pub batch_samples: usize,
+    /// Time from submission until the batch was closed by the batcher.
+    pub queue_wait: Duration,
+    /// Time from submission until the response was produced.
+    pub latency: Duration,
+}
+
+/// Handle to a response that has not arrived yet (returned by
+/// [`ServeClient::submit`](crate::ServeClient::submit)).
+#[derive(Debug)]
+pub struct PendingResponse {
+    pub(crate) id: u64,
+    pub(crate) rx: mpsc::Receiver<Result<InferResponse, ServeError>>,
+}
+
+impl PendingResponse {
+    /// The request id this handle waits for.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Block until the response arrives.
+    pub fn wait(self) -> Result<InferResponse, ServeError> {
+        self.rx.recv().map_err(|_| ServeError::ShuttingDown)?
+    }
+
+    /// Block for at most `timeout`.
+    pub fn wait_timeout(self, timeout: Duration) -> Result<InferResponse, ServeError> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(result) => result,
+            Err(mpsc::RecvTimeoutError::Timeout) => Err(ServeError::Timeout),
+            Err(mpsc::RecvTimeoutError::Disconnected) => Err(ServeError::ShuttingDown),
+        }
+    }
+}
+
+/// A request travelling through the batcher towards a worker.
+pub(crate) struct PendingInfer {
+    pub id: u64,
+    pub input: Tensor,
+    pub samples: usize,
+    pub submitted_at: Instant,
+    pub reply: mpsc::Sender<Result<InferResponse, ServeError>>,
+}
+
+/// What clients send to the batcher thread.
+pub(crate) enum BatcherMsg {
+    Request(PendingInfer),
+    Shutdown,
+}

@@ -1,0 +1,198 @@
+//! The server front-end: spawns the batcher and worker threads, hands out
+//! clients, publishes hot-reloads, and reports metrics.
+
+use crate::batcher::{self, Batch};
+use crate::metrics::{MetricsHub, ServeMetrics};
+use crate::request::{BatcherMsg, InferResponse, PendingInfer, PendingResponse, ServeConfig, ServeError};
+use crate::worker::{self, ModelFactory, ReloadSlot};
+use quadra_nn::{Layer, StateDict};
+use quadra_tensor::Tensor;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{self, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// A thread-based batched-inference server over any [`Layer`] model.
+///
+/// `start` builds one model replica per worker (each on its own dedicated
+/// thread), plus a batcher thread that coalesces queued requests into batches
+/// under the configured [`BatchPolicy`](crate::BatchPolicy). Requests are
+/// submitted through cheap cloneable [`ServeClient`] handles; responses carry
+/// the output rows for exactly the submitted samples together with latency
+/// and batching telemetry.
+///
+/// Checkpoints produced by [`StateDict`] can be swapped in while the server
+/// runs: [`InferenceServer::reload`] validates the state against a throwaway
+/// replica, then workers atomically pick it up between batches. Responses
+/// report the model version that produced them.
+pub struct InferenceServer {
+    req_tx: Sender<BatcherMsg>,
+    next_id: Arc<AtomicU64>,
+    reload: Arc<ReloadSlot>,
+    metrics: Arc<MetricsHub>,
+    factory: Arc<ModelFactory>,
+    batcher: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl InferenceServer {
+    /// Start a server. `factory` builds one model replica; it is called once
+    /// per worker on the worker's own thread (plus once per [`reload`] for
+    /// validation), so replicas never cross threads.
+    ///
+    /// [`reload`]: InferenceServer::reload
+    pub fn start<F>(config: ServeConfig, factory: F) -> Result<InferenceServer, ServeError>
+    where
+        F: Fn() -> Box<dyn Layer> + Send + Sync + 'static,
+    {
+        if config.workers == 0 {
+            return Err(ServeError::BadInput("need at least one worker".into()));
+        }
+        if config.policy.max_batch_size == 0 {
+            return Err(ServeError::BadInput("max_batch_size must be at least 1".into()));
+        }
+        let factory: Arc<ModelFactory> = Arc::new(factory);
+        let reload = Arc::new(ReloadSlot::new());
+        let metrics = Arc::new(MetricsHub::new(config.policy.max_batch_size));
+
+        let (req_tx, req_rx) = mpsc::channel::<BatcherMsg>();
+        let (batch_tx, batch_rx) = mpsc::channel::<Batch>();
+        let policy = config.policy;
+        let batcher = std::thread::Builder::new()
+            .name("quadra-serve-batcher".into())
+            .spawn(move || batcher::run(req_rx, batch_tx, policy))
+            .expect("spawn batcher thread");
+
+        let batch_rx = Arc::new(Mutex::new(batch_rx));
+        let mut workers = Vec::with_capacity(config.workers);
+        for i in 0..config.workers {
+            let rx = Arc::clone(&batch_rx);
+            let factory = Arc::clone(&factory);
+            let reload = Arc::clone(&reload);
+            let metrics = Arc::clone(&metrics);
+            let handle = std::thread::Builder::new()
+                .name(format!("quadra-serve-worker-{}", i))
+                .spawn(move || worker::run(rx, factory, reload, metrics))
+                .expect("spawn worker thread");
+            workers.push(handle);
+        }
+
+        Ok(InferenceServer {
+            req_tx,
+            next_id: Arc::new(AtomicU64::new(0)),
+            reload,
+            metrics,
+            factory,
+            batcher: Some(batcher),
+            workers,
+        })
+    }
+
+    /// A cheap cloneable handle for submitting requests. Clients stay valid
+    /// until shutdown; submissions afterwards fail with
+    /// [`ServeError::ShuttingDown`].
+    pub fn client(&self) -> ServeClient {
+        ServeClient { req_tx: self.req_tx.clone(), next_id: Arc::clone(&self.next_id) }
+    }
+
+    /// Swap in a new model state between batches.
+    ///
+    /// The checkpoint is validated against a freshly built replica first; an
+    /// incompatible one is rejected without disturbing the serving state. On
+    /// success the new version number is returned and every worker picks the
+    /// state up before its next batch — requests never observe a half-loaded
+    /// model.
+    pub fn reload(&self, state: StateDict) -> Result<u64, ServeError> {
+        let mut probe = (self.factory)();
+        state.load_into(probe.as_mut()).map_err(ServeError::InvalidState)?;
+        let version = self.reload.publish(state);
+        self.metrics.record_reload();
+        Ok(version)
+    }
+
+    /// The state version workers are currently serving from (0 until the
+    /// first [`InferenceServer::reload`]).
+    pub fn version(&self) -> u64 {
+        self.reload.version()
+    }
+
+    /// A point-in-time snapshot of the serving statistics.
+    pub fn metrics(&self) -> ServeMetrics {
+        self.metrics.snapshot(self.reload.version())
+    }
+
+    /// Stop accepting requests, drain every in-flight request (each still
+    /// receives its response), join all threads, and return the final
+    /// metrics snapshot.
+    pub fn shutdown(mut self) -> ServeMetrics {
+        self.shutdown_inner();
+        self.metrics.snapshot(self.reload.version())
+    }
+
+    fn shutdown_inner(&mut self) {
+        let _ = self.req_tx.send(BatcherMsg::Shutdown);
+        if let Some(handle) = self.batcher.take() {
+            let _ = handle.join();
+        }
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for InferenceServer {
+    fn drop(&mut self) {
+        if self.batcher.is_some() {
+            self.shutdown_inner();
+        }
+    }
+}
+
+/// Client handle for submitting inference requests.
+#[derive(Clone)]
+pub struct ServeClient {
+    req_tx: Sender<BatcherMsg>,
+    next_id: Arc<AtomicU64>,
+}
+
+impl ServeClient {
+    /// Enqueue `input` and return a handle to the pending response.
+    ///
+    /// Axis 0 of `input` is always the sample axis: submit `[n, features]`
+    /// rows or `[n, C, H, W]` images (`n` may exceed the batch policy's
+    /// `max_batch_size`, forming an oversized batch of its own). The
+    /// response's output has the same leading axis.
+    pub fn submit(&self, input: Tensor) -> Result<PendingResponse, ServeError> {
+        if input.ndim() < 2 {
+            return Err(ServeError::BadInput(format!(
+                "input must have a leading sample axis (got {}-d; wrap a single sample as [1, ...])",
+                input.ndim()
+            )));
+        }
+        let samples = input.shape()[0];
+        if samples == 0 {
+            return Err(ServeError::BadInput("input holds zero samples".into()));
+        }
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let (reply, rx) = mpsc::channel();
+        let request = PendingInfer { id, samples, input, submitted_at: Instant::now(), reply };
+        self.req_tx.send(BatcherMsg::Request(request)).map_err(|_| ServeError::ShuttingDown)?;
+        Ok(PendingResponse { id, rx })
+    }
+
+    /// Submit and block until the response arrives.
+    pub fn infer(&self, input: Tensor) -> Result<InferResponse, ServeError> {
+        self.submit(input)?.wait()
+    }
+
+    /// Convenience for single samples: wraps a `[C, H, W]` (or `[features]`)
+    /// tensor in a leading sample axis and blocks for the response, whose
+    /// output then has shape `[1, ...]`.
+    pub fn infer_one(&self, sample: &Tensor) -> Result<InferResponse, ServeError> {
+        let mut shape = vec![1];
+        shape.extend_from_slice(sample.shape());
+        let input = sample.reshape(&shape).map_err(|e| ServeError::BadInput(e.to_string()))?;
+        self.infer(input)
+    }
+}

@@ -1,0 +1,151 @@
+//! Worker threads: each owns one model replica, executes coalesced batches in
+//! eval mode, splits outputs per request, and applies hot-reloaded state
+//! between batches.
+
+use crate::batcher::{assemble, Batch};
+use crate::metrics::MetricsHub;
+use crate::request::{InferResponse, ServeError};
+use quadra_core::MemoryProfiler;
+use quadra_nn::{Layer, StateDict};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::Receiver;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Builds one model replica. Called on each worker thread, so the models
+/// themselves never cross a thread boundary and the `Layer` trait needs no
+/// `Send` bound.
+pub(crate) type ModelFactory = dyn Fn() -> Box<dyn Layer> + Send + Sync;
+
+/// The published checkpoint workers swap in between batches.
+///
+/// The fast path is a single atomic load per batch; only a version change
+/// takes the lock. State dicts are validated against a throwaway replica
+/// before being published, so applying them on a worker cannot fail.
+pub(crate) struct ReloadSlot {
+    version: AtomicU64,
+    state: Mutex<Option<Arc<StateDict>>>,
+}
+
+impl ReloadSlot {
+    pub fn new() -> Self {
+        ReloadSlot { version: AtomicU64::new(0), state: Mutex::new(None) }
+    }
+
+    /// Current state version (0 = initial factory weights).
+    pub fn version(&self) -> u64 {
+        self.version.load(Ordering::SeqCst)
+    }
+
+    /// Publish a validated state dict, returning the new version.
+    pub fn publish(&self, state: StateDict) -> u64 {
+        let mut guard = self.state.lock().unwrap();
+        *guard = Some(Arc::new(state));
+        self.version.fetch_add(1, Ordering::SeqCst) + 1
+    }
+
+    /// The latest (version, state) pair, read consistently.
+    fn latest(&self) -> (u64, Option<Arc<StateDict>>) {
+        let guard = self.state.lock().unwrap();
+        (self.version.load(Ordering::SeqCst), guard.clone())
+    }
+
+    /// Bring `model` up to the latest published state if `local` is stale.
+    /// Returns the version the model now holds.
+    pub fn apply_if_newer(&self, model: &mut dyn Layer, local: u64) -> u64 {
+        if self.version.load(Ordering::SeqCst) == local {
+            return local;
+        }
+        self.force_apply(model)
+    }
+
+    /// Unconditionally load the latest published state (used when a replica
+    /// is first built or rebuilt after a panic). Returns its version.
+    pub fn force_apply(&self, model: &mut dyn Layer) -> u64 {
+        let (version, state) = self.latest();
+        if let Some(state) = state {
+            state.load_into(model).expect("hot-reload state was validated at publish time");
+        }
+        version
+    }
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "model panicked".to_string()
+    }
+}
+
+/// The worker thread body. Workers share one batch queue (`Mutex<Receiver>`:
+/// whichever idle worker holds the lock takes the next batch) and exit when
+/// the batcher hangs up after draining the queue.
+pub(crate) fn run(
+    rx: Arc<Mutex<Receiver<Batch>>>,
+    factory: Arc<ModelFactory>,
+    reload: Arc<ReloadSlot>,
+    metrics: Arc<MetricsHub>,
+) {
+    let mut model = factory();
+    let mut version = reload.force_apply(model.as_mut());
+    loop {
+        let batch = {
+            let guard = rx.lock().unwrap();
+            guard.recv()
+        };
+        let Ok(batch) = batch else { break };
+        version = reload.apply_if_newer(model.as_mut(), version);
+        if execute(model.as_mut(), batch, version, &metrics).is_err() {
+            // The replica's caches may be inconsistent after an unwound
+            // forward; rebuild it from scratch and re-apply the latest state.
+            model = factory();
+            version = reload.force_apply(model.as_mut());
+        }
+    }
+}
+
+/// Run one batch on `model`, replying to every request. `Err` means the
+/// forward pass panicked and the replica must be rebuilt.
+fn execute(model: &mut dyn Layer, batch: Batch, version: u64, metrics: &MetricsHub) -> Result<(), ()> {
+    let (input, counts) = assemble(&batch.requests);
+    let batch_samples = batch.samples();
+    match catch_unwind(AssertUnwindSafe(|| model.forward(&input, false))) {
+        Ok(output) => {
+            let report = MemoryProfiler::new().inference_report(model, &input, &output);
+            model.clear_cache();
+            let done_at = Instant::now();
+            let mut latencies = Vec::with_capacity(batch.requests.len());
+            let mut offset = 0;
+            for (request, n) in batch.requests.iter().zip(counts) {
+                let rows = output.narrow(0, offset, n).expect("per-request split stays in range");
+                offset += n;
+                let latency = done_at.duration_since(request.submitted_at);
+                latencies.push(latency);
+                let response = InferResponse {
+                    id: request.id,
+                    output: rows,
+                    model_version: version,
+                    batch_samples,
+                    queue_wait: batch.formed_at.duration_since(request.submitted_at),
+                    latency,
+                };
+                // A dropped receiver just means the client stopped waiting.
+                let _ = request.reply.send(Ok(response));
+            }
+            metrics.record_batch(batch_samples, &latencies, report.peak_activation_bytes);
+            Ok(())
+        }
+        Err(payload) => {
+            let message = panic_message(payload);
+            metrics.record_errors(batch.requests.len());
+            for request in &batch.requests {
+                let _ = request.reply.send(Err(ServeError::WorkerFailed(message.clone())));
+            }
+            Err(())
+        }
+    }
+}

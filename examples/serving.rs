@@ -1,0 +1,105 @@
+//! Batched inference serving: stand up an `InferenceServer` over a small CNN,
+//! drive it from concurrent client threads, hot-reload a retrained
+//! checkpoint without dropping a request, and print the serving metrics.
+//!
+//! Run with: `cargo run --release --example serving`
+
+use quadralib::core::{build_model, LayerSpec, ModelConfig};
+use quadralib::data::ShapeImageDataset;
+use quadralib::nn::{ConstantLr, CrossEntropyLoss, Layer, Sgd, StateDict, Trainer, TrainerConfig};
+use quadralib::serve::{BatchPolicy, InferenceServer, ServeConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+fn cnn_config() -> ModelConfig {
+    ModelConfig::new(
+        "serving-demo",
+        3,
+        16,
+        4,
+        vec![
+            LayerSpec::Conv {
+                out_channels: 8,
+                kernel: 3,
+                stride: 1,
+                padding: 1,
+                groups: 1,
+                batch_norm: true,
+                relu: true,
+            },
+            LayerSpec::Conv {
+                out_channels: 16,
+                kernel: 3,
+                stride: 2,
+                padding: 1,
+                groups: 1,
+                batch_norm: true,
+                relu: true,
+            },
+            LayerSpec::GlobalAvgPool,
+            LayerSpec::Linear { out_features: 4, relu: false },
+        ],
+    )
+}
+
+fn main() {
+    // A server over randomly initialised replicas: 2 workers, batches close at
+    // 8 samples or after 1 ms.
+    let server = InferenceServer::start(
+        ServeConfig {
+            workers: 2,
+            policy: BatchPolicy {
+                max_batch_size: 8,
+                max_wait: Duration::from_millis(1),
+                ..BatchPolicy::default()
+            },
+        },
+        || Box::new(build_model(&cnn_config(), &mut StdRng::seed_from_u64(7))),
+    )
+    .expect("server starts");
+
+    // Closed-loop clients hammering the server from their own threads.
+    let run_clients = |label: &str| {
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let client = server.client();
+                std::thread::spawn(move || {
+                    let images = ShapeImageDataset::generate(32, 4, 16, 3, 0.05, t).images;
+                    for i in 0..32 {
+                        let x = images.narrow(0, i, 1).unwrap();
+                        let response = client.infer(x).expect("served");
+                        assert_eq!(response.output.shape(), &[1, 4]);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        println!("[{label}] {}", server.metrics().describe());
+    };
+    run_clients("fresh weights ");
+
+    // Meanwhile, "retrain" the model and hot-reload the checkpoint: requests
+    // issued after `reload` returns are answered by the new version.
+    let mut trained = build_model(&cnn_config(), &mut StdRng::seed_from_u64(7));
+    let data = ShapeImageDataset::generate(64, 4, 16, 3, 0.05, 42);
+    Trainer::new(TrainerConfig { epochs: 2, batch_size: 16, ..TrainerConfig::default() }).fit(
+        &mut trained,
+        &CrossEntropyLoss::new(),
+        &mut Sgd::plain(0.05),
+        &ConstantLr::new(0.05),
+        &data.images,
+        &data.labels,
+        None,
+    );
+    trained.clear_cache();
+    let version = server.reload(StateDict::from_layer(&trained)).expect("compatible checkpoint");
+    println!("hot-reloaded trained checkpoint as version {version}");
+    run_clients("after reload  ");
+
+    let metrics = server.shutdown();
+    println!("\nfinal: {}", metrics.describe());
+    println!("\nbatch occupancy:\n{}", metrics.occupancy_ascii(40));
+}

@@ -13,13 +13,16 @@
 //! * [`core`] — quadratic neurons, quadratic layers, hybrid back-propagation,
 //!   memory profiler, auto-builder and analysis tools (the paper's contribution),
 //! * [`data`] — synthetic datasets standing in for CIFAR / Tiny-ImageNet / VOC,
-//! * [`models`] — the model zoo (VGG, ResNet, MobileNetV1, GAN, SSD-lite).
+//! * [`models`] — the model zoo (VGG, ResNet, MobileNetV1, GAN, SSD-lite),
+//! * [`serve`] — batched inference serving (dynamic batcher, worker pools,
+//!   checkpoint hot-reload, serving metrics).
 
 pub use quadra_autograd as autograd;
 pub use quadra_core as core;
 pub use quadra_data as data;
 pub use quadra_models as models;
 pub use quadra_nn as nn;
+pub use quadra_serve as serve;
 pub use quadra_tensor as tensor;
 
 /// Crate version of the meta-package, re-exported for convenience.
