@@ -3,6 +3,12 @@
 //! Shapes are the (m, k, n) of the im2col GEMMs in a MobileNetV1-style
 //! network — `m = out_channels`, `k = in_channels·kh·kw`, `n = oh·ow` — plus
 //! the square 256³ reference point used for the speedup acceptance check.
+//!
+//! Set `QUADRA_BENCH_JSON=/path/to/BENCH_gemm.json` to additionally write the
+//! timings as machine-readable `[name, ns_per_iter, iters]` records (the
+//! vendored criterion harness handles this), so CI can archive the GEMM perf
+//! trajectory across PRs. Note the bench process runs with the package
+//! directory as its CWD — pass an absolute path.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use quadra_tensor::gemm::{gemm_blocked, gemm_naive, gemm_nt_blocked, gemm_tn_blocked};

@@ -1,7 +1,21 @@
-//! Closed-loop serving load test: drive `quadra-serve` with concurrent
-//! clients over the MobileNetV1 and ResNet-20 backbones from `quadra-models`
-//! and report throughput, latency percentiles and batch occupancy for a sweep
-//! of worker-pool / batch-policy settings.
+//! Serving load tests over `quadra-serve`.
+//!
+//! Two parts:
+//!
+//! 1. **Closed-loop sweep** (as in PR 3): concurrent clients drive a
+//!    single-model server over the MobileNetV1 and ResNet-20 backbones for a
+//!    sweep of worker-pool / batch-policy settings — the value of dynamic
+//!    batching.
+//! 2. **Overload scenario**: a mixed MobileNetV1 + ResNet-20 router fleet
+//!    under *open-loop* offered load at 2× its measured capacity, with
+//!    bounded admission (load shedding) versus the unbounded baseline. With
+//!    shedding, the p95 latency of admitted requests stays near the
+//!    uncontended p95; without it, latency grows with the backlog for as long
+//!    as the overload lasts.
+//!
+//! Results are printed as tables and written machine-readably to
+//! `BENCH_serve.json` (override the path with `QUADRA_BENCH_JSON`), so the
+//! perf trajectory is tracked across PRs.
 //!
 //! Regenerate with `cargo run -p quadra-bench --release --bin serve_load`
 //! (set `QUADRA_SCALE=full` for the larger settings).
@@ -9,15 +23,72 @@
 use quadra_bench::{print_table, scale, Scale};
 use quadra_core::{build_model, ModelConfig};
 use quadra_models::{mobilenet_v1_config, resnet20_config};
-use quadra_serve::{BatchPolicy, InferenceServer, ServeConfig};
+use quadra_serve::{
+    AdmissionPolicy, BatchPolicy, InferenceServer, Priority, Router, ServeConfig, ServeError,
+};
 use quadra_tensor::Tensor;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+/// Latency summary in milliseconds: `(p50, p95, max)`.
+#[derive(serde::Serialize, Debug, Clone, Copy)]
+struct LatencyMs(f64, f64, f64);
+
+#[derive(serde::Serialize, Debug)]
+struct ClosedLoopRecord {
+    model: String,
+    workers: usize,
+    max_batch: usize,
+    requests: u64,
+    throughput_rps: f64,
+    latency_ms: LatencyMs,
+    mean_batch: f64,
+}
+
+#[derive(serde::Serialize, Debug)]
+struct OverloadRecord {
+    model: String,
+    /// `uncontended` (0.5× capacity, bounded), `shed` (2×, bounded) or
+    /// `unbounded` (2×, no queue cap).
+    mode: String,
+    offered_rps: f64,
+    completed: u64,
+    shed: u64,
+    throughput_rps: f64,
+    admitted_latency_ms: LatencyMs,
+    /// p95 of the interactive class alone (the class the priority queue
+    /// protects from batch-class backlog).
+    interactive_p95_ms: f64,
+    /// Interactive p95 over the first and second half of the run: flat when
+    /// admission is bounded, growing when the queue is unbounded.
+    p95_first_half_ms: f64,
+    p95_second_half_ms: f64,
+}
+
+#[derive(serde::Serialize, Debug)]
+struct ServeReport {
+    scale: String,
+    closed_loop: Vec<ClosedLoopRecord>,
+    overload: Vec<OverloadRecord>,
+}
+
+fn percentile(sorted_ms: &[f64], q: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ms.len() as f64 - 1.0) * q).round() as usize;
+    sorted_ms[idx]
+}
+
+fn latency_summary(ms: &mut [f64]) -> LatencyMs {
+    ms.sort_by(f64::total_cmp);
+    LatencyMs(percentile(ms, 0.50), percentile(ms, 0.95), ms.last().copied().unwrap_or(0.0))
+}
 
 /// One closed-loop run: `clients` threads each serve `requests_per_client`
 /// single-sample requests back to back, then the server reports its metrics.
-fn load_test(
+fn closed_loop(
     config: &ModelConfig,
     workers: usize,
     max_batch: usize,
@@ -34,6 +105,7 @@ fn load_test(
                 max_wait: Duration::from_millis(1),
                 ..BatchPolicy::default()
             },
+            ..ServeConfig::default()
         },
         move || Box::new(build_model(&model_config, &mut StdRng::seed_from_u64(11))),
     )
@@ -58,10 +130,215 @@ fn load_test(
     server.shutdown()
 }
 
+/// Endpoint description of the overload fleet. Batch size and shed-queue
+/// depth are per model: the light model batches wide for throughput, the
+/// heavy model batches narrow so an admitted request's sojourn (at most two
+/// batches in the execution pipeline plus the queue) stays short.
+struct FleetModel {
+    name: &'static str,
+    config: ModelConfig,
+    max_batch: usize,
+    shed_queue: usize,
+}
+
+fn fleet(models: &[FleetModel], workers: usize, bounded: bool) -> Router {
+    let mut builder = Router::builder();
+    for m in models {
+        let config = m.config.clone();
+        builder = builder.endpoint(
+            m.name,
+            ServeConfig {
+                workers,
+                policy: BatchPolicy {
+                    max_batch_size: m.max_batch,
+                    max_wait: Duration::from_millis(2),
+                    ..BatchPolicy::default()
+                },
+                admission: AdmissionPolicy {
+                    queue_capacity: if bounded { Some(m.shed_queue) } else { None },
+                },
+            },
+            move || Box::new(build_model(&config, &mut StdRng::seed_from_u64(11))),
+        );
+    }
+    builder.start().expect("fleet starts")
+}
+
+/// Closed-loop saturation of every fleet model at once: per-model capacity
+/// (req/s) under shared CPU, which the overload runs then multiply.
+fn measure_capacity(
+    models: &[FleetModel],
+    workers: usize,
+    clients_per_model: usize,
+    requests_per_client: usize,
+) -> Vec<f64> {
+    let router = fleet(models, workers, false);
+    let handles: Vec<_> = models
+        .iter()
+        .map(|m| {
+            let (name, channels, image) = (m.name, m.config.input_channels, m.config.image_size);
+            let clients: Vec<_> = (0..clients_per_model)
+                .map(|c| {
+                    let client = router.client();
+                    std::thread::spawn(move || {
+                        let mut rng = StdRng::seed_from_u64(7 + c as u64);
+                        let x = Tensor::randn(&[1, channels, image, image], 0.0, 1.0, &mut rng);
+                        for _ in 0..requests_per_client {
+                            let _ = client.infer(name, x.clone()).expect("request served");
+                        }
+                    })
+                })
+                .collect();
+            std::thread::spawn(move || {
+                let started = Instant::now();
+                for c in clients {
+                    c.join().unwrap();
+                }
+                (clients_per_model * requests_per_client) as f64 / started.elapsed().as_secs_f64()
+            })
+        })
+        .collect();
+    let capacities = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    let _ = router.shutdown();
+    capacities
+}
+
+/// Per-model open-loop outcome: `(completed, shed, (latency_ms, was_interactive)
+/// in submission order)`.
+type OpenLoopOutcome = (u64, u64, Vec<(f64, bool)>);
+
+/// Open-loop drive of one fleet: per model, `generators` threads submit
+/// single-sample requests at a fixed offered rate (3:1 interactive:batch
+/// class mix), then wait for every admitted response. Returns per-model
+/// `(completed, shed, (latency_ms, was_interactive) in submission order)`.
+fn open_loop(
+    router: &Router,
+    models: &[FleetModel],
+    offered_rps: &[f64],
+    totals: &[usize],
+    generators: usize,
+) -> Vec<OpenLoopOutcome> {
+    let handles: Vec<Vec<_>> = models
+        .iter()
+        .zip(offered_rps.iter().zip(totals))
+        .map(|(m, (&offered, &total))| {
+            (0..generators)
+                .map(|g| {
+                    let client = router.client();
+                    let (name, channels, image) = (m.name, m.config.input_channels, m.config.image_size);
+                    let per_gen = total / generators;
+                    std::thread::spawn(move || {
+                        let mut rng = StdRng::seed_from_u64(900 + g as u64);
+                        let x = Tensor::randn(&[1, channels, image, image], 0.0, 1.0, &mut rng);
+                        let period = Duration::from_secs_f64(generators as f64 / offered);
+                        // Stagger generators across one period.
+                        let mut next = Instant::now() + period.mul_f64(g as f64 / generators as f64);
+                        let mut shed = 0u64;
+                        let mut pending = Vec::with_capacity(per_gen);
+                        for k in 0..per_gen {
+                            let now = Instant::now();
+                            if next > now {
+                                std::thread::sleep(next - now);
+                            }
+                            next += period;
+                            let priority = if k % 4 == 3 { Priority::Batch } else { Priority::Interactive };
+                            match client.submit(name, x.clone(), priority) {
+                                Ok(p) => pending.push((k, p)),
+                                Err(ServeError::Overloaded { .. }) => shed += 1,
+                                Err(e) => panic!("submit failed: {e}"),
+                            }
+                        }
+                        let mut latencies = Vec::with_capacity(pending.len());
+                        for (k, p) in pending {
+                            let response = p.wait().expect("admitted request answered");
+                            let interactive = response.priority == Priority::Interactive;
+                            latencies.push((k, (response.latency.as_secs_f64() * 1e3, interactive)));
+                        }
+                        (shed, latencies)
+                    })
+                })
+                .collect()
+        })
+        .collect();
+
+    handles
+        .into_iter()
+        .map(|model_handles| {
+            let mut shed = 0u64;
+            let mut indexed: Vec<(usize, (f64, bool))> = Vec::new();
+            for h in model_handles {
+                let (s, lats) = h.join().unwrap();
+                shed += s;
+                indexed.extend(lats);
+            }
+            indexed.sort_by_key(|&(k, _)| k);
+            let latencies: Vec<(f64, bool)> = indexed.into_iter().map(|(_, v)| v).collect();
+            (latencies.len() as u64, shed, latencies)
+        })
+        .collect()
+}
+
+fn overload_scenario(
+    models: &[FleetModel],
+    mode: &str,
+    bounded: bool,
+    offered_rps: &[f64],
+    run_secs: f64,
+    workers: usize,
+    generators: usize,
+) -> Vec<OverloadRecord> {
+    let router = fleet(models, workers, bounded);
+    // Same wall-clock run length per model: request counts scale with rate.
+    let totals: Vec<usize> =
+        offered_rps.iter().map(|r| ((r * run_secs) as usize).max(generators * 8)).collect();
+    let started = Instant::now();
+    let outcomes = open_loop(&router, models, offered_rps, &totals, generators);
+    let run_elapsed = started.elapsed().as_secs_f64();
+    let metrics = router.shutdown();
+    models
+        .iter()
+        .zip(offered_rps)
+        .zip(outcomes)
+        .map(|((m, &offered), (completed, shed, latencies))| {
+            let shed_metric = metrics.get(m.name).map(|s| s.shed_requests).unwrap_or(0);
+            assert_eq!(shed, shed_metric, "client-side and server-side shed counts agree");
+            // Drop the warm-up head (first 15% of admitted responses: replica
+            // construction, first-touch caches) so every mode's percentiles
+            // describe the steady state.
+            let latencies: Vec<(f64, bool)> = latencies[latencies.len() * 15 / 100..].to_vec();
+            // The growth comparison is per half of the run, interactive class
+            // only: under strict priority the unbounded baseline starves the
+            // batch class wholesale, which would smear the halves.
+            let ordered_interactive: Vec<f64> =
+                latencies.iter().filter(|&&(_, int)| int).map(|&(ms, _)| ms).collect();
+            let half = ordered_interactive.len() / 2;
+            let mut first: Vec<f64> = ordered_interactive[..half].to_vec();
+            let mut second: Vec<f64> = ordered_interactive[half..].to_vec();
+            first.sort_by(f64::total_cmp);
+            second.sort_by(f64::total_cmp);
+            let mut interactive = ordered_interactive.clone();
+            interactive.sort_by(f64::total_cmp);
+            let mut all: Vec<f64> = latencies.iter().map(|&(ms, _)| ms).collect();
+            OverloadRecord {
+                model: m.name.to_string(),
+                mode: mode.to_string(),
+                offered_rps: offered,
+                completed,
+                shed,
+                throughput_rps: completed as f64 / run_elapsed,
+                admitted_latency_ms: latency_summary(&mut all),
+                interactive_p95_ms: percentile(&interactive, 0.95),
+                p95_first_half_ms: percentile(&first, 0.95),
+                p95_second_half_ms: percentile(&second, 0.95),
+            }
+        })
+        .collect()
+}
+
 fn main() {
-    let (requests_per_client, clients, image) = match scale() {
-        Scale::Full => (256usize, 8usize, 32usize),
-        Scale::Quick => (48, 8, 16),
+    let (requests_per_client, clients, image, run_secs) = match scale() {
+        Scale::Full => (256usize, 8usize, 32usize, 4.0f64),
+        Scale::Quick => (48, 8, 16, 1.2),
     };
     let models: Vec<(&str, ModelConfig)> = vec![
         ("MobileNetV1 (0.25x, 5 DW pairs)", mobilenet_v1_config(5, 0.25, 3, image, 10)),
@@ -71,11 +348,12 @@ fn main() {
     // then scaling the replica pool.
     let sweep = [(1usize, 1usize), (1, 8), (2, 8), (4, 16)];
 
+    let mut closed_records = Vec::new();
     for (name, config) in &models {
         let mut rows = Vec::new();
         let mut occupancies = Vec::new();
         for &(workers, max_batch) in &sweep {
-            let metrics = load_test(config, workers, max_batch, clients, requests_per_client);
+            let metrics = closed_loop(config, workers, max_batch, clients, requests_per_client);
             rows.push(vec![
                 format!("{}", workers),
                 format!("{}", max_batch),
@@ -86,6 +364,15 @@ fn main() {
                 format!("{:.2}", metrics.mean_batch_size),
                 format!("{:.0}", metrics.peak_batch_activation_bytes as f64 / 1024.0),
             ]);
+            closed_records.push(ClosedLoopRecord {
+                model: name.to_string(),
+                workers,
+                max_batch,
+                requests: metrics.completed_requests,
+                throughput_rps: metrics.throughput_rps,
+                latency_ms: LatencyMs(metrics.p50_latency_ms, metrics.p95_latency_ms, metrics.max_latency_ms),
+                mean_batch: metrics.mean_batch_size,
+            });
             occupancies.push((workers, max_batch, metrics));
         }
         print_table(
@@ -104,4 +391,109 @@ fn main() {
             );
         }
     }
+
+    // ---- Overload scenario: mixed fleet, offered load at 2× capacity. ----
+    let fleet_models = vec![
+        FleetModel {
+            name: "mobilenet",
+            config: mobilenet_v1_config(5, 0.25, 3, image, 10),
+            max_batch: 8,
+            shed_queue: 8,
+        },
+        FleetModel { name: "resnet", config: resnet20_config(8, 10, image), max_batch: 4, shed_queue: 4 },
+    ];
+    let workers = 1;
+    let generators = 4;
+    let closed_capacity = measure_capacity(&fleet_models, workers, clients, requests_per_client);
+    println!(
+        "\nclosed-loop fleet capacity: mobilenet {:.0} req/s, resnet {:.0} req/s",
+        closed_capacity[0], closed_capacity[1]
+    );
+    // Both models share the CPU, so each model's *effective* capacity under
+    // the mixed open-loop drive is below its closed-loop number. Calibrate
+    // with a saturating probe run and express the scenarios as multiples of
+    // the effective capacity — "2× capacity" then means what it says for
+    // every model of the fleet.
+    let probe_load: Vec<f64> = closed_capacity.iter().map(|c| (c * 2.0).max(32.0)).collect();
+    let probe = overload_scenario(&fleet_models, "probe", true, &probe_load, run_secs, workers, generators);
+    let capacity: Vec<f64> = probe.iter().map(|r| r.throughput_rps.max(8.0)).collect();
+    println!(
+        "effective capacity under mixed overload: mobilenet {:.0} req/s, resnet {:.0} req/s",
+        capacity[0], capacity[1]
+    );
+    let half_load: Vec<f64> = capacity.iter().map(|c| (c * 0.5).max(8.0)).collect();
+    let double_load: Vec<f64> = capacity.iter().map(|c| (c * 2.0).max(32.0)).collect();
+    let mut overload = Vec::new();
+    overload.extend(overload_scenario(
+        &fleet_models,
+        "uncontended",
+        true,
+        &half_load,
+        run_secs,
+        workers,
+        generators,
+    ));
+    overload.extend(overload_scenario(
+        &fleet_models,
+        "shed",
+        true,
+        &double_load,
+        run_secs,
+        workers,
+        generators,
+    ));
+    overload.extend(overload_scenario(
+        &fleet_models,
+        "unbounded",
+        false,
+        &double_load,
+        run_secs,
+        workers,
+        generators,
+    ));
+
+    let rows: Vec<Vec<String>> = overload
+        .iter()
+        .map(|r| {
+            vec![
+                r.model.clone(),
+                r.mode.clone(),
+                format!("{:.0}", r.offered_rps),
+                format!("{}", r.completed),
+                format!("{}", r.shed),
+                format!("{:.2}", r.admitted_latency_ms.0),
+                format!("{:.2}", r.admitted_latency_ms.1),
+                format!("{:.2}", r.interactive_p95_ms),
+                format!("{:.2}", r.p95_first_half_ms),
+                format!("{:.2}", r.p95_second_half_ms),
+            ]
+        })
+        .collect();
+    print_table(
+        "Overload — mixed MobileNetV1 + ResNet-20 fleet (open loop)",
+        &[
+            "model",
+            "mode",
+            "offered/s",
+            "done",
+            "shed",
+            "p50 ms",
+            "p95 ms",
+            "int p95 ms",
+            "p95 1st half",
+            "p95 2nd half",
+        ],
+        &rows,
+    );
+    println!(
+        "bounded admission keeps the admitted-request p95 near the uncontended p95 under 2× load;\n\
+         the unbounded baseline's p95 keeps growing for as long as the overload lasts."
+    );
+
+    let report =
+        ServeReport { scale: format!("{:?}", scale()).to_lowercase(), closed_loop: closed_records, overload };
+    let path = std::env::var("QUADRA_BENCH_JSON").unwrap_or_else(|_| "BENCH_serve.json".to_string());
+    let text = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&path, text + "\n").expect("write bench report");
+    println!("\nwrote {path}");
 }

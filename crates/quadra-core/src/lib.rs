@@ -65,6 +65,6 @@ pub use config::{advance_geometry, build_model, walk_geometry, Geometry, LayerSp
 pub use hybrid_bp::BackpropMode;
 pub use neuron::{DenseQuadraticNeuron, NeuronType};
 pub use optimizer::{MemoryDecision, QuadraticOptimizer};
-pub use profiler::{MemoryProfiler, MemoryReport, MemoryTimeline, TimelinePoint};
+pub use profiler::{MemoryProfiler, MemoryReport, MemoryTimeline, ModelMemoryReport, TimelinePoint};
 pub use qconv::QuadraticConv2d;
 pub use qlinear::QuadraticLinear;

@@ -49,6 +49,28 @@ impl MemoryReport {
     }
 }
 
+/// A [`MemoryReport`] attributed to a named model (per-endpoint accounting in
+/// a serving fleet: each worker pool reports under its endpoint's name).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelMemoryReport {
+    /// Name of the model (serving-endpoint name) the report belongs to.
+    pub model: String,
+    /// The memory break-down itself.
+    pub report: MemoryReport,
+}
+
+impl ModelMemoryReport {
+    /// One-line summary, e.g. for per-model serving logs.
+    pub fn describe(&self) -> String {
+        format!(
+            "{}: {:.2} MiB total ({:.1} KiB activations)",
+            self.model,
+            self.report.total_mib(),
+            self.report.peak_activation_bytes as f64 / 1024.0
+        )
+    }
+}
+
 /// One sample of the memory timeline of a single training iteration.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TimelinePoint {
@@ -169,6 +191,22 @@ impl MemoryProfiler {
             peak_activation_bytes: model.cached_bytes(),
             input_bytes: input.nbytes(),
             output_bytes: output.nbytes(),
+        }
+    }
+
+    /// [`MemoryProfiler::inference_report`] attributed to a named model —
+    /// what a multi-model serving fleet needs to tell which endpoint's
+    /// replicas account for which share of the activation memory.
+    pub fn inference_report_for(
+        &self,
+        model_name: &str,
+        model: &dyn Layer,
+        input: &Tensor,
+        output: &Tensor,
+    ) -> ModelMemoryReport {
+        ModelMemoryReport {
+            model: model_name.to_string(),
+            report: self.inference_report(model, input, output),
         }
     }
 
@@ -299,6 +337,18 @@ mod tests {
         model.clear_cache();
         let after = MemoryProfiler::new().inference_report(&model, &input, &output);
         assert_eq!(after.peak_activation_bytes, 0);
+    }
+
+    #[test]
+    fn inference_report_for_attributes_to_model_name() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut model = build_model(&small_config(false), &mut rng);
+        let input = Tensor::randn(&[1, 3, 8, 8], 0.0, 1.0, &mut rng);
+        let output = model.forward(&input, false);
+        let attributed = MemoryProfiler::new().inference_report_for("mobilenet", &model, &input, &output);
+        assert_eq!(attributed.model, "mobilenet");
+        assert_eq!(attributed.report, MemoryProfiler::new().inference_report(&model, &input, &output));
+        assert!(attributed.describe().starts_with("mobilenet:"));
     }
 
     #[test]

@@ -1,0 +1,287 @@
+//! The admission layer: one bounded queue per priority class per model.
+//!
+//! This replaces the PR-3 unbounded mpsc between clients and the batcher.
+//! Clients admit requests synchronously — a full class queue rejects the
+//! request immediately (the caller surfaces
+//! [`ServeError::Overloaded`](crate::ServeError::Overloaded)) instead of
+//! queueing forever — and the batcher drains the queues priority-first,
+//! picking shape-compatible requests without head-of-line blocking across
+//! shapes.
+
+use crate::batcher::compat_key;
+use crate::request::{PendingInfer, Priority};
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::Instant;
+
+/// Why a request could not be admitted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum AdmitRejection {
+    /// The queue for the request's priority class is at capacity.
+    Full,
+    /// The endpoint is shutting down.
+    Closed,
+}
+
+/// Outcome of a blocking pop.
+pub(crate) enum PopResult {
+    /// The highest-priority queued request.
+    Request(PendingInfer),
+    /// The queue is closed and fully drained.
+    Closed,
+}
+
+/// Outcome of a compatible-take while a batch is open.
+pub(crate) enum TakeResult {
+    /// One or more shape-compatible requests, in class-then-FIFO order.
+    Taken(Vec<PendingInfer>),
+    /// Nothing compatible arrived before the deadline.
+    TimedOut,
+    /// The queue closed; flush the open batch and start draining.
+    Closed,
+}
+
+struct QueueState {
+    /// One FIFO per priority class, indexed by [`Priority::index`].
+    classes: [VecDeque<PendingInfer>; Priority::COUNT],
+    /// Queued samples per class (capacity is counted in samples).
+    queued_samples: [usize; Priority::COUNT],
+    closed: bool,
+}
+
+/// A model endpoint's bounded two-class admission queue.
+pub(crate) struct AdmissionQueue {
+    /// Per-class capacity in samples; `None` = unbounded (overload baseline).
+    capacity: Option<usize>,
+    state: Mutex<QueueState>,
+    arrived: Condvar,
+}
+
+impl AdmissionQueue {
+    pub fn new(capacity: Option<usize>) -> Self {
+        AdmissionQueue {
+            capacity,
+            state: Mutex::new(QueueState {
+                classes: [VecDeque::new(), VecDeque::new()],
+                queued_samples: [0; Priority::COUNT],
+                closed: false,
+            }),
+            arrived: Condvar::new(),
+        }
+    }
+
+    /// Total samples currently queued across both classes.
+    pub fn depth(&self) -> usize {
+        let st = self.state.lock().unwrap();
+        st.queued_samples.iter().sum()
+    }
+
+    /// Admit `req`, or reject it without queueing. A request larger than the
+    /// whole capacity is still admitted when its class queue is empty —
+    /// otherwise it could never be served at all (it then occupies the queue
+    /// alone, exactly like an oversized batch occupies a worker alone).
+    pub fn try_admit(&self, req: PendingInfer) -> Result<(), (PendingInfer, AdmitRejection)> {
+        let mut st = self.state.lock().unwrap();
+        if st.closed {
+            return Err((req, AdmitRejection::Closed));
+        }
+        let class = req.priority.index();
+        if let Some(cap) = self.capacity {
+            let queued = st.queued_samples[class];
+            if queued > 0 && queued + req.samples > cap {
+                return Err((req, AdmitRejection::Full));
+            }
+        }
+        st.queued_samples[class] += req.samples;
+        st.classes[class].push_back(req);
+        drop(st);
+        self.arrived.notify_one();
+        Ok(())
+    }
+
+    /// Mark the queue closed and wake every waiter. Already-queued requests
+    /// remain poppable so the batcher can drain them into final batches.
+    pub fn close(&self) {
+        self.state.lock().unwrap().closed = true;
+        self.arrived.notify_all();
+    }
+
+    /// Block until a request is available (interactive first) or the queue is
+    /// closed *and* empty.
+    pub fn pop_blocking(&self) -> PopResult {
+        let mut st = self.state.lock().unwrap();
+        loop {
+            for class in 0..Priority::COUNT {
+                if let Some(req) = st.classes[class].pop_front() {
+                    st.queued_samples[class] -= req.samples;
+                    return PopResult::Request(req);
+                }
+            }
+            if st.closed {
+                return PopResult::Closed;
+            }
+            st = self.arrived.wait(st).unwrap();
+        }
+    }
+
+    /// Remove queued requests compatible with `key` (interactive class first,
+    /// FIFO within a class) totalling at most `max_samples`. Blocks until at
+    /// least one is found, the `deadline` passes, or the queue closes.
+    ///
+    /// Incompatible requests are left in place — they seed the *next* batch —
+    /// and compatible requests too large for the remaining sample budget are
+    /// skipped (they stay queued in order).
+    pub fn take_compatible(
+        &self,
+        key: &[usize],
+        pad_mixed_spatial: bool,
+        max_samples: usize,
+        deadline: Instant,
+    ) -> TakeResult {
+        let mut st = self.state.lock().unwrap();
+        loop {
+            let mut taken = Vec::new();
+            let mut budget = max_samples;
+            for class in 0..Priority::COUNT {
+                let queue = &mut st.classes[class];
+                let mut removed_samples = 0;
+                let mut i = 0;
+                while i < queue.len() {
+                    let candidate = &queue[i];
+                    if candidate.samples <= budget
+                        && compat_key(candidate.input.shape(), pad_mixed_spatial) == key
+                    {
+                        let req = queue.remove(i).expect("index in range");
+                        removed_samples += req.samples;
+                        budget -= req.samples;
+                        taken.push(req);
+                        if budget == 0 {
+                            break;
+                        }
+                    } else {
+                        i += 1;
+                    }
+                }
+                st.queued_samples[class] -= removed_samples;
+                if budget == 0 {
+                    break;
+                }
+            }
+            if !taken.is_empty() {
+                return TakeResult::Taken(taken);
+            }
+            if st.closed {
+                return TakeResult::Closed;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return TakeResult::TimedOut;
+            }
+            let (guard, timeout) = self.arrived.wait_timeout(st, deadline - now).unwrap();
+            st = guard;
+            if timeout.timed_out() && st.classes.iter().all(|q| q.is_empty()) {
+                return TakeResult::TimedOut;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::ServeError;
+    use quadra_tensor::Tensor;
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    fn req(samples: usize, priority: Priority) -> PendingInfer {
+        let (reply, rx) = mpsc::channel::<Result<crate::InferResponse, ServeError>>();
+        std::mem::forget(rx); // keep the reply channel alive for the test's lifetime
+        PendingInfer {
+            id: 0,
+            input: Tensor::zeros(&[samples, 2]),
+            samples,
+            priority,
+            submitted_at: Instant::now(),
+            reply,
+        }
+    }
+
+    #[test]
+    fn bounded_class_queue_rejects_when_full() {
+        let q = AdmissionQueue::new(Some(3));
+        q.try_admit(req(2, Priority::Interactive)).unwrap();
+        q.try_admit(req(1, Priority::Interactive)).unwrap();
+        let err = q.try_admit(req(1, Priority::Interactive)).unwrap_err();
+        assert_eq!(err.1, AdmitRejection::Full);
+        // The other class has its own budget.
+        q.try_admit(req(3, Priority::Batch)).unwrap();
+        assert_eq!(q.depth(), 6);
+    }
+
+    #[test]
+    fn oversized_request_admitted_only_into_empty_class() {
+        let q = AdmissionQueue::new(Some(2));
+        q.try_admit(req(5, Priority::Interactive)).unwrap();
+        let err = q.try_admit(req(5, Priority::Interactive)).unwrap_err();
+        assert_eq!(err.1, AdmitRejection::Full);
+    }
+
+    #[test]
+    fn pop_prefers_interactive() {
+        let q = AdmissionQueue::new(None);
+        q.try_admit(req(1, Priority::Batch)).unwrap();
+        q.try_admit(req(1, Priority::Interactive)).unwrap();
+        match q.pop_blocking() {
+            PopResult::Request(r) => assert_eq!(r.priority, Priority::Interactive),
+            PopResult::Closed => panic!("queue not closed"),
+        }
+        match q.pop_blocking() {
+            PopResult::Request(r) => assert_eq!(r.priority, Priority::Batch),
+            PopResult::Closed => panic!("queue not closed"),
+        }
+    }
+
+    #[test]
+    fn take_compatible_skips_other_shapes_and_respects_budget() {
+        let q = AdmissionQueue::new(None);
+        q.try_admit(req(2, Priority::Batch)).unwrap(); // [2, 2] — compatible
+        let (reply, _rx) = mpsc::channel();
+        q.try_admit(PendingInfer {
+            id: 1,
+            input: Tensor::zeros(&[1, 3]),
+            samples: 1,
+            priority: Priority::Interactive,
+            submitted_at: Instant::now(),
+            reply,
+        })
+        .unwrap(); // [1, 3] — different trailing shape, must stay queued
+        q.try_admit(req(4, Priority::Interactive)).unwrap(); // too big for budget 3
+
+        let key = compat_key(&[1, 2], false);
+        match q.take_compatible(&key, false, 3, Instant::now()) {
+            TakeResult::Taken(reqs) => {
+                assert_eq!(reqs.len(), 1);
+                assert_eq!(reqs[0].samples, 2);
+            }
+            _ => panic!("expected a take"),
+        }
+        assert_eq!(q.depth(), 5, "incompatible and over-budget requests stay queued");
+    }
+
+    #[test]
+    fn close_rejects_admission_but_drains_queued() {
+        let q = AdmissionQueue::new(None);
+        q.try_admit(req(1, Priority::Interactive)).unwrap();
+        q.close();
+        let err = q.try_admit(req(1, Priority::Interactive)).unwrap_err();
+        assert_eq!(err.1, AdmitRejection::Closed);
+        assert!(matches!(q.pop_blocking(), PopResult::Request(_)));
+        assert!(matches!(q.pop_blocking(), PopResult::Closed));
+        let key = compat_key(&[1, 2], false);
+        assert!(matches!(
+            q.take_compatible(&key, false, 8, Instant::now() + Duration::from_secs(5)),
+            TakeResult::Closed
+        ));
+    }
+}

@@ -1,9 +1,13 @@
-//! The dynamic batcher: coalesces queued requests into padded NCHW batches
-//! under a [`BatchPolicy`], and splits batch outputs back per request.
+//! The dynamic batcher: drains an endpoint's admission queue into padded NCHW
+//! batches under the endpoint's [`BatchPolicy`](crate::BatchPolicy), and
+//! splits batch outputs back per request.
 
-use crate::request::{BatchPolicy, BatcherMsg, PendingInfer};
+use crate::admission::{PopResult, TakeResult};
+use crate::endpoint::EndpointShared;
+use crate::request::PendingInfer;
 use quadra_tensor::Tensor;
-use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
+use std::sync::mpsc::SyncSender;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// A closed batch on its way to a worker.
@@ -72,56 +76,51 @@ pub(crate) fn assemble(requests: &[PendingInfer]) -> (Tensor, Vec<usize>) {
     (batch, counts)
 }
 
-/// The batcher thread body.
+/// The batcher thread body of one endpoint.
 ///
-/// Blocks on an empty queue (no polling). The first request of a batch opens a
-/// `max_wait` window; the batch closes when it reaches `max_batch_size`
-/// samples, the window expires, or an incompatible request arrives (which then
-/// opens the next batch). On shutdown the current batch is flushed so
-/// in-flight requests still get responses.
-pub(crate) fn run(rx: Receiver<BatcherMsg>, batch_tx: Sender<Batch>, policy: BatchPolicy) {
-    let mut carry: Option<PendingInfer> = None;
-    'serve: loop {
-        let first = match carry.take() {
-            Some(r) => r,
-            None => match rx.recv() {
-                Ok(BatcherMsg::Request(r)) => r,
-                Ok(BatcherMsg::Shutdown) | Err(_) => break 'serve,
-            },
+/// Blocks on an empty admission queue (no polling). The first popped request
+/// opens a batch and a wait-budget window ([`EndpointShared::wait_budget`]:
+/// `max_wait` under the static policy, arrival/service-rate driven under the
+/// adaptive one); the batch closes when it reaches `max_batch_size` samples or
+/// the window expires. Shape-incompatible requests are left in the queue —
+/// they seed later batches instead of closing this one. The batch channel is
+/// a rendezvous (`sync_channel(0)`), so the batcher never runs more than one
+/// batch ahead of the workers — priority order decided at the queue is
+/// preserved at execution within one batch of slack. On shutdown the queue is
+/// drained so every admitted request still gets its response.
+pub(crate) fn run(shared: Arc<EndpointShared>, batch_tx: SyncSender<Batch>) {
+    let policy = shared.config.policy;
+    loop {
+        let first = match shared.queue.pop_blocking() {
+            PopResult::Request(r) => r,
+            PopResult::Closed => break,
         };
         let key = compat_key(first.input.shape(), policy.pad_mixed_spatial);
-        let deadline = Instant::now() + policy.max_wait;
         let mut samples = first.samples;
         let mut requests = vec![first];
-        let mut shutdown = false;
-        while samples < policy.max_batch_size {
-            let timeout = deadline.saturating_duration_since(Instant::now());
-            match rx.recv_timeout(timeout) {
-                Ok(BatcherMsg::Request(r)) => {
-                    if compat_key(r.input.shape(), policy.pad_mixed_spatial) == key {
-                        samples += r.samples;
-                        requests.push(r);
-                    } else {
-                        carry = Some(r);
-                        break;
+        if samples < policy.max_batch_size {
+            let deadline = Instant::now() + shared.wait_budget(samples);
+            while samples < policy.max_batch_size {
+                match shared.queue.take_compatible(
+                    &key,
+                    policy.pad_mixed_spatial,
+                    policy.max_batch_size - samples,
+                    deadline,
+                ) {
+                    TakeResult::Taken(reqs) => {
+                        for r in reqs {
+                            samples += r.samples;
+                            requests.push(r);
+                        }
                     }
-                }
-                Ok(BatcherMsg::Shutdown) => {
-                    shutdown = true;
-                    break;
-                }
-                Err(RecvTimeoutError::Timeout) => break,
-                Err(RecvTimeoutError::Disconnected) => {
-                    shutdown = true;
-                    break;
+                    TakeResult::TimedOut | TakeResult::Closed => break,
                 }
             }
         }
         // A send error means every worker is gone; dropping the batch here
         // disconnects the reply channels, which clients observe as shutdown.
-        let _ = batch_tx.send(Batch { requests, formed_at: Instant::now() });
-        if shutdown {
-            break 'serve;
+        if batch_tx.send(Batch { requests, formed_at: Instant::now() }).is_err() {
+            break;
         }
     }
 }
@@ -129,13 +128,23 @@ pub(crate) fn run(rx: Receiver<BatcherMsg>, batch_tx: Sender<Batch>, policy: Bat
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::request::ServeError;
+    use crate::request::{Priority, ServeError};
     use std::sync::mpsc;
 
     fn pend(input: Tensor) -> (PendingInfer, mpsc::Receiver<Result<crate::InferResponse, ServeError>>) {
         let (tx, rx) = mpsc::channel();
         let samples = input.shape()[0];
-        (PendingInfer { id: 0, input, samples, submitted_at: Instant::now(), reply: tx }, rx)
+        (
+            PendingInfer {
+                id: 0,
+                input,
+                samples,
+                priority: Priority::Interactive,
+                submitted_at: Instant::now(),
+                reply: tx,
+            },
+            rx,
+        )
     }
 
     #[test]

@@ -1,0 +1,243 @@
+//! One named model endpoint: its admission queue, hot-reload slot, metrics
+//! hub, and the arrival/service statistics behind the adaptive wait budget.
+
+use crate::admission::{AdmissionQueue, AdmitRejection};
+use crate::metrics::{MetricsHub, ServeMetrics};
+use crate::request::{PendingInfer, PendingResponse, Priority, ServeConfig, ServeError};
+use crate::worker::ReloadSlot;
+use quadra_tensor::Tensor;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Mutex};
+use std::time::{Duration, Instant};
+
+/// EWMA smoothing: `new = (3 * old + sample) / 4`.
+fn ewma_update(cell: &AtomicU64, sample_us: u64) {
+    let old = cell.load(Ordering::Relaxed);
+    let next = if old == 0 { sample_us.max(1) } else { (3 * old + sample_us) / 4 };
+    cell.store(next.max(1), Ordering::Relaxed);
+}
+
+/// Shared state of one model endpoint; the admission layer, batcher thread,
+/// worker pool, and the router front-end all hold an `Arc` of this.
+pub(crate) struct EndpointShared {
+    pub name: String,
+    pub config: ServeConfig,
+    pub queue: AdmissionQueue,
+    pub reload: ReloadSlot,
+    pub metrics: MetricsHub,
+    /// EWMA of request inter-arrival time in µs (0 = no data yet).
+    ewma_interarrival_us: AtomicU64,
+    last_arrival: Mutex<Option<Instant>>,
+    /// EWMA of batch service (forward-pass) time in µs, fed by workers.
+    ewma_batch_us: AtomicU64,
+    /// Gauge: the wait budget the batcher most recently computed, in µs.
+    wait_budget_us: AtomicU64,
+}
+
+impl EndpointShared {
+    pub fn new(name: &str, config: ServeConfig) -> Self {
+        EndpointShared {
+            name: name.to_string(),
+            config,
+            queue: AdmissionQueue::new(config.admission.queue_capacity),
+            reload: ReloadSlot::new(),
+            metrics: MetricsHub::new(config.policy.max_batch_size),
+            ewma_interarrival_us: AtomicU64::new(0),
+            last_arrival: Mutex::new(None),
+            ewma_batch_us: AtomicU64::new(0),
+            wait_budget_us: AtomicU64::new(config.policy.max_wait.as_micros() as u64),
+        }
+    }
+
+    /// Validate and admit one request; returns the pending-response handle or
+    /// the admission error (bad input, overload shed, shutting down).
+    pub fn submit(&self, id: u64, input: Tensor, priority: Priority) -> Result<PendingResponse, ServeError> {
+        if input.ndim() < 2 {
+            return Err(ServeError::BadInput(format!(
+                "input must have a leading sample axis (got {}-d; wrap a single sample as [1, ...])",
+                input.ndim()
+            )));
+        }
+        let samples = input.shape()[0];
+        if samples == 0 {
+            return Err(ServeError::BadInput("input holds zero samples".into()));
+        }
+        self.record_arrival();
+        let (reply, rx) = mpsc::channel();
+        let request = PendingInfer { id, input, samples, priority, submitted_at: Instant::now(), reply };
+        match self.queue.try_admit(request) {
+            Ok(()) => Ok(PendingResponse { id, rx }),
+            Err((_, AdmitRejection::Closed)) => Err(ServeError::ShuttingDown),
+            Err((_, AdmitRejection::Full)) => {
+                self.metrics.record_shed(priority);
+                Err(ServeError::Overloaded { retry_after: self.retry_after() })
+            }
+        }
+    }
+
+    fn record_arrival(&self) {
+        let now = Instant::now();
+        let mut last = self.last_arrival.lock().unwrap();
+        if let Some(prev) = last.replace(now) {
+            let dt_us = now.duration_since(prev).as_micros().min(u64::MAX as u128) as u64;
+            ewma_update(&self.ewma_interarrival_us, dt_us);
+        }
+    }
+
+    /// Workers report each batch's forward-pass duration here.
+    pub fn record_batch_service(&self, service: Duration) {
+        let us = service.as_micros().min(u64::MAX as u128) as u64;
+        ewma_update(&self.ewma_batch_us, us);
+    }
+
+    /// The wait budget for a batch currently holding `samples_in_batch`
+    /// samples: `max_wait` under the static policy; under the adaptive policy
+    /// the time the measured arrival rate needs to fill the batch, capped by
+    /// twice the measured batch service time (waiting past that trades more
+    /// latency than batching saves) and by `max_wait`, floored at
+    /// `max_wait / 16` so in-flight bursts still coalesce.
+    pub fn wait_budget(&self, samples_in_batch: usize) -> Duration {
+        let policy = &self.config.policy;
+        let max = policy.max_wait;
+        if !policy.adaptive_wait {
+            return max;
+        }
+        let inter_us = self.ewma_interarrival_us.load(Ordering::Relaxed);
+        let budget = if inter_us == 0 {
+            max // no arrival data yet: behave like the static policy
+        } else {
+            let remaining = policy.max_batch_size.saturating_sub(samples_in_batch).max(1) as u64;
+            let mut budget_us = inter_us.saturating_mul(remaining);
+            let svc_us = self.ewma_batch_us.load(Ordering::Relaxed);
+            if svc_us > 0 {
+                budget_us = budget_us.min(2 * svc_us);
+            }
+            // `min(max)` keeps floor ≤ max even for sub-microsecond caps
+            // (Duration::clamp panics when min > max).
+            let floor = (max / 16).max(Duration::from_micros(1)).min(max);
+            Duration::from_micros(budget_us).clamp(floor, max)
+        };
+        self.wait_budget_us.store(budget.as_micros() as u64, Ordering::Relaxed);
+        budget
+    }
+
+    /// Estimate of when the current backlog will have drained: queued batches
+    /// ahead, divided over the worker pool, at the measured batch service
+    /// time (falling back to `max_wait` before any batch has completed).
+    pub fn retry_after(&self) -> Duration {
+        let policy = &self.config.policy;
+        let batches_queued = self.queue.depth().div_ceil(policy.max_batch_size).max(1) as u32;
+        let waves = batches_queued.div_ceil(self.config.workers.max(1) as u32).max(1);
+        let svc_us = self.ewma_batch_us.load(Ordering::Relaxed);
+        let per_batch = if svc_us > 0 {
+            Duration::from_micros(svc_us)
+        } else {
+            policy.max_wait.max(Duration::from_millis(1))
+        };
+        per_batch * waves
+    }
+
+    /// Point-in-time snapshot of this endpoint's serving statistics.
+    pub fn snapshot(&self) -> ServeMetrics {
+        self.metrics.snapshot(
+            &self.name,
+            self.reload.version(),
+            self.queue.depth(),
+            Duration::from_micros(self.wait_budget_us.load(Ordering::Relaxed)),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::{AdmissionPolicy, BatchPolicy};
+
+    fn endpoint(adaptive: bool) -> EndpointShared {
+        EndpointShared::new(
+            "test",
+            ServeConfig {
+                workers: 1,
+                policy: BatchPolicy {
+                    max_batch_size: 8,
+                    max_wait: Duration::from_millis(16),
+                    adaptive_wait: adaptive,
+                    pad_mixed_spatial: false,
+                },
+                admission: AdmissionPolicy::default(),
+            },
+        )
+    }
+
+    #[test]
+    fn static_policy_returns_max_wait() {
+        let ep = endpoint(false);
+        ep.record_batch_service(Duration::from_micros(100));
+        assert_eq!(ep.wait_budget(0), Duration::from_millis(16));
+    }
+
+    #[test]
+    fn adaptive_budget_tracks_arrivals_and_service_time() {
+        let ep = endpoint(true);
+        // Cold start: no arrival data → fall back to the cap.
+        assert_eq!(ep.wait_budget(0), Duration::from_millis(16));
+        // Feed a steady ~200 µs inter-arrival EWMA and a 500 µs service EWMA.
+        for _ in 0..32 {
+            ewma_update(&ep.ewma_interarrival_us, 200);
+            ewma_update(&ep.ewma_batch_us, 500);
+        }
+        let budget = ep.wait_budget(0);
+        // Fill estimate: 8 × 200 µs = 1.6 ms, capped at 2 × 500 µs = 1 ms.
+        assert_eq!(budget, Duration::from_micros(1000));
+        // A nearly full batch needs only one more sample: floored at max/16.
+        let near_full = ep.wait_budget(7);
+        assert_eq!(near_full, Duration::from_millis(1));
+        // Budget gauge reflects the last computation.
+        assert_eq!(ep.snapshot().wait_budget_ms, 1.0);
+    }
+
+    #[test]
+    fn zero_max_wait_dispatches_immediately_without_panicking() {
+        // "Dispatch as soon as possible" was a legal setting before the
+        // adaptive policy existed; the clamp must not panic on max_wait
+        // below the 1 µs floor once arrival data exists.
+        let ep = EndpointShared::new(
+            "zero",
+            ServeConfig {
+                workers: 1,
+                policy: BatchPolicy {
+                    max_batch_size: 8,
+                    max_wait: Duration::ZERO,
+                    adaptive_wait: true,
+                    pad_mixed_spatial: false,
+                },
+                admission: AdmissionPolicy::default(),
+            },
+        );
+        for _ in 0..4 {
+            ewma_update(&ep.ewma_interarrival_us, 200);
+            ewma_update(&ep.ewma_batch_us, 500);
+        }
+        assert_eq!(ep.wait_budget(0), Duration::ZERO);
+    }
+
+    #[test]
+    fn adaptive_budget_never_exceeds_cap() {
+        let ep = endpoint(true);
+        for _ in 0..32 {
+            ewma_update(&ep.ewma_interarrival_us, 1_000_000); // 1 s between arrivals
+            ewma_update(&ep.ewma_batch_us, 1_000_000);
+        }
+        assert_eq!(ep.wait_budget(0), Duration::from_millis(16));
+    }
+
+    #[test]
+    fn retry_after_scales_with_backlog() {
+        let ep = endpoint(true);
+        for _ in 0..32 {
+            ewma_update(&ep.ewma_batch_us, 10_000); // 10 ms per batch
+        }
+        let empty = ep.retry_after();
+        assert_eq!(empty, Duration::from_millis(10));
+    }
+}

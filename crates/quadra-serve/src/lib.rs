@@ -7,25 +7,41 @@
 //! ## Architecture
 //!
 //! Everything is plain threads (compatible with the vendored rayon; no async
-//! runtime):
+//! runtime). The engine is a **[`Router`]** fronting N named model endpoints
+//! behind one admission layer:
 //!
-//! * A **dynamic batcher** thread queues [`ServeClient`] submissions (mpsc)
-//!   and coalesces them into batches under a [`BatchPolicy`]
-//!   (`max_batch_size` samples or `max_wait`, whichever first). Only
-//!   same-shape requests coalesce by default — predictions never depend on
-//!   concurrent traffic; `BatchPolicy::pad_mixed_spatial` opts NCHW inputs
-//!   into zero-padded mixed-size batches. Outputs are split back into
-//!   per-request rows.
-//! * A **[`ModelWorkerPool`]** of N model replicas, each owned by a dedicated
-//!   worker thread, executes batches in eval mode. Replicas are built *on*
-//!   their worker thread by a `Fn() -> Box<dyn Layer>` factory, so the
-//!   [`Layer`](quadra_nn::Layer) trait needs no `Send` bound.
-//! * **Checkpoint hot-reload**: a [`StateDict`](quadra_nn::StateDict) is
-//!   validated, published, and atomically picked up by every worker between
-//!   batches. Responses carry the model version that produced them.
-//! * **[`ServeMetrics`]**: throughput, p50/p95/max latency, batch-occupancy
-//!   histogram, and per-batch activation memory accounted through
-//!   `quadra_core::MemoryProfiler::inference_report`.
+//! * **Admission** is bounded and priority-aware: each endpoint keeps one
+//!   bounded queue per [`Priority`] class (`Interactive` drains before
+//!   `Batch`). A full class queue sheds the request synchronously with
+//!   [`ServeError::Overloaded`] — carrying a `retry_after` estimate — instead
+//!   of queueing forever, so offered load beyond capacity degrades into
+//!   explicit backpressure rather than unbounded latency.
+//! * A per-endpoint **dynamic batcher** thread coalesces admitted requests
+//!   into batches under the endpoint's [`BatchPolicy`]. The wait budget is
+//!   adaptive by default: the batcher tracks the EWMA request inter-arrival
+//!   time and EWMA batch service time and waits just long enough to fill a
+//!   batch, capped at `max_wait`. Only same-shape requests coalesce by
+//!   default — predictions never depend on concurrent traffic;
+//!   `BatchPolicy::pad_mixed_spatial` opts NCHW inputs into zero-padded
+//!   mixed-size batches. Outputs are split back into per-request rows.
+//! * A per-endpoint **worker pool** of N model replicas, each owned by a
+//!   dedicated worker thread, executes batches in eval mode. Replicas are
+//!   built *on* their worker thread by a `Fn() -> Box<dyn Layer>` factory, so
+//!   the [`Layer`](quadra_nn::Layer) trait needs no `Send` bound.
+//! * **Checkpoint hot-reload** is per endpoint: a
+//!   [`StateDict`](quadra_nn::StateDict) is validated, published, and
+//!   atomically picked up by that endpoint's workers between batches —
+//!   without disturbing any other endpoint. Responses carry the model version
+//!   that produced them.
+//! * **[`ServeMetrics`]** are per model (and shed counts per priority class):
+//!   throughput, p50/p95/max latency over the endpoint's own window — never
+//!   blended across a heterogeneous fleet — batch-occupancy histogram, queue
+//!   depth, current wait budget, and per-batch activation memory attributed
+//!   through `quadra_core::MemoryProfiler::inference_report_for`.
+//!   [`Router::metrics`] rolls the fleet up into [`RouterMetrics`].
+//!
+//! Single-architecture callers keep the one-line path: [`InferenceServer`] is
+//! a router with exactly one endpoint.
 //!
 //! ## Example
 //!
@@ -65,18 +81,25 @@
 //! let metrics = server.shutdown();
 //! assert_eq!(metrics.completed_requests, 1);
 //! ```
+//!
+//! For the multi-model form — several architectures, per-model policies,
+//! priority classes and load shedding — see [`Router`].
 
 #![warn(missing_docs)]
 
+mod admission;
 mod batcher;
+mod endpoint;
 mod metrics;
 mod request;
 mod server;
 mod worker;
 
-pub use metrics::ServeMetrics;
-pub use request::{BatchPolicy, InferResponse, PendingResponse, ServeConfig, ServeError};
-pub use server::{InferenceServer, ServeClient};
+pub use metrics::{RouterMetrics, ServeMetrics};
+pub use request::{
+    AdmissionPolicy, BatchPolicy, InferResponse, PendingResponse, Priority, ServeConfig, ServeError,
+};
+pub use server::{InferenceServer, Router, RouterBuilder, RouterClient, ServeClient, DEFAULT_ENDPOINT};
 
 /// Alias emphasising the paper-facing name of the subsystem: the pool of
 /// model replicas behind the batcher.

@@ -1,6 +1,12 @@
-//! Serving telemetry: a lock-guarded recorder the workers write into and the
-//! [`ServeMetrics`] snapshot exposed to operators.
+//! Serving telemetry: a lock-guarded per-endpoint recorder the workers and
+//! the admission layer write into, the per-model [`ServeMetrics`] snapshot,
+//! and the fleet-wide [`RouterMetrics`] roll-up.
+//!
+//! Every endpoint owns its own hub, so latency percentiles are always
+//! **per-model** — a blended p95 across a heterogeneous fleet (a 1 ms
+//! MobileNet next to a 15 ms ResNet) would describe neither model.
 
+use crate::request::Priority;
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
@@ -13,6 +19,8 @@ const LATENCY_WINDOW: usize = 1 << 16;
 struct MetricsInner {
     completed_requests: u64,
     completed_samples: u64,
+    completed_by_class: [u64; Priority::COUNT],
+    shed_by_class: [u64; Priority::COUNT],
     errored_requests: u64,
     batches: u64,
     reloads: u64,
@@ -24,7 +32,8 @@ struct MetricsInner {
     peak_batch_activation_bytes: usize,
 }
 
-/// Shared recorder; one per server, written by every worker.
+/// Shared recorder; one per model endpoint, written by that endpoint's
+/// workers and admission layer.
 pub(crate) struct MetricsHub {
     started: Instant,
     inner: Mutex<MetricsInner>,
@@ -36,18 +45,20 @@ impl MetricsHub {
         MetricsHub { started: Instant::now(), inner: Mutex::new(inner) }
     }
 
-    /// Record one completed batch: its sample count, the per-request
-    /// latencies, and the activation bytes the model cached while running it.
-    pub fn record_batch(&self, samples: usize, latencies: &[Duration], activation_bytes: usize) {
+    /// Record one completed batch: its sample count, each request's latency
+    /// and priority class, and the activation bytes the model cached while
+    /// running it.
+    pub fn record_batch(&self, samples: usize, requests: &[(Duration, Priority)], activation_bytes: usize) {
         let mut m = self.inner.lock().unwrap();
         m.batches += 1;
-        m.completed_requests += latencies.len() as u64;
+        m.completed_requests += requests.len() as u64;
         m.completed_samples += samples as u64;
         let bucket = samples.clamp(1, m.occupancy.len()) - 1;
         m.occupancy[bucket] += 1;
         m.peak_batch_activation_bytes = m.peak_batch_activation_bytes.max(activation_bytes);
-        for d in latencies {
-            let us = d.as_micros().min(u64::MAX as u128) as u64;
+        for (latency, priority) in requests {
+            m.completed_by_class[priority.index()] += 1;
+            let us = latency.as_micros().min(u64::MAX as u128) as u64;
             if m.latencies_us.len() < LATENCY_WINDOW {
                 m.latencies_us.push(us);
             } else {
@@ -58,6 +69,11 @@ impl MetricsHub {
         }
     }
 
+    /// Record one request shed at admission (queue full).
+    pub fn record_shed(&self, priority: Priority) {
+        self.inner.lock().unwrap().shed_by_class[priority.index()] += 1;
+    }
+
     pub fn record_errors(&self, count: usize) {
         self.inner.lock().unwrap().errored_requests += count as u64;
     }
@@ -66,7 +82,13 @@ impl MetricsHub {
         self.inner.lock().unwrap().reloads += 1;
     }
 
-    pub fn snapshot(&self, model_version: u64) -> ServeMetrics {
+    pub fn snapshot(
+        &self,
+        model: &str,
+        model_version: u64,
+        queued_samples: usize,
+        wait_budget: Duration,
+    ) -> ServeMetrics {
         let m = self.inner.lock().unwrap();
         let elapsed = self.started.elapsed();
         let secs = elapsed.as_secs_f64().max(1e-9);
@@ -85,13 +107,21 @@ impl MetricsHub {
             sorted.iter().sum::<u64>() as f64 / sorted.len() as f64 / 1000.0
         };
         ServeMetrics {
+            model: model.to_string(),
             elapsed,
             completed_requests: m.completed_requests,
             completed_samples: m.completed_samples,
+            completed_interactive: m.completed_by_class[Priority::Interactive.index()],
+            completed_batch_class: m.completed_by_class[Priority::Batch.index()],
+            shed_requests: m.shed_by_class.iter().sum(),
+            shed_interactive: m.shed_by_class[Priority::Interactive.index()],
+            shed_batch_class: m.shed_by_class[Priority::Batch.index()],
             errored_requests: m.errored_requests,
             batches: m.batches,
             reloads: m.reloads,
             model_version,
+            queued_samples,
+            wait_budget_ms: wait_budget.as_secs_f64() * 1e3,
             throughput_rps: m.completed_requests as f64 / secs,
             throughput_sps: m.completed_samples as f64 / secs,
             mean_latency_ms: mean_ms,
@@ -105,16 +135,32 @@ impl MetricsHub {
     }
 }
 
-/// A point-in-time snapshot of the server's serving statistics.
+/// A point-in-time snapshot of one model endpoint's serving statistics.
+///
+/// Latency percentiles are computed from this endpoint's own latency window —
+/// never blended across models.
 #[derive(Debug, Clone, PartialEq)]
+#[must_use = "a metrics snapshot is only useful if it is read"]
 pub struct ServeMetrics {
-    /// Wall time since the server started.
+    /// Name of the model endpoint this snapshot describes.
+    pub model: String,
+    /// Wall time since the endpoint started.
     pub elapsed: Duration,
     /// Requests answered successfully.
     pub completed_requests: u64,
     /// Samples answered successfully (≥ requests; requests can be multi-sample).
     pub completed_samples: u64,
-    /// Requests answered with a [`ServeError`](crate::ServeError).
+    /// Requests of class [`Priority::Interactive`] answered successfully.
+    pub completed_interactive: u64,
+    /// Requests of class [`Priority::Batch`] answered successfully.
+    pub completed_batch_class: u64,
+    /// Requests shed at admission with [`ServeError::Overloaded`](crate::ServeError::Overloaded).
+    pub shed_requests: u64,
+    /// Interactive-class requests shed at admission.
+    pub shed_interactive: u64,
+    /// Batch-class requests shed at admission.
+    pub shed_batch_class: u64,
+    /// Requests answered with a [`ServeError`](crate::ServeError) by a worker.
     pub errored_requests: u64,
     /// Batches executed.
     pub batches: u64,
@@ -122,6 +168,11 @@ pub struct ServeMetrics {
     pub reloads: u64,
     /// Current model state version (0 = initial weights).
     pub model_version: u64,
+    /// Samples sitting in the admission queue at snapshot time.
+    pub queued_samples: usize,
+    /// The batcher's current wait budget in milliseconds (`max_wait` under
+    /// the static policy; the adaptively chosen value otherwise).
+    pub wait_budget_ms: f64,
     /// Completed requests per second since start.
     pub throughput_rps: f64,
     /// Completed samples per second since start.
@@ -139,8 +190,8 @@ pub struct ServeMetrics {
     /// Batch-occupancy histogram: entry `k` counts batches holding `k+1`
     /// samples (the last bucket also absorbs oversized batches).
     pub batch_occupancy: Vec<u64>,
-    /// Largest per-batch activation footprint observed (bytes), as accounted
-    /// by `quadra_core::MemoryProfiler::inference_report`.
+    /// Largest per-batch activation footprint observed (bytes), as attributed
+    /// to this model by `quadra_core::MemoryProfiler::inference_report_for`.
     pub peak_batch_activation_bytes: usize,
 }
 
@@ -148,7 +199,8 @@ impl ServeMetrics {
     /// One-line summary for logs and bench output.
     pub fn describe(&self) -> String {
         format!(
-            "{} req ({} samples) in {:.2}s | {:.0} req/s {:.0} samples/s | latency ms p50 {:.2} p95 {:.2} max {:.2} | mean batch {:.2} | peak batch activations {:.1} KiB | v{} ({} reloads) | {} errors",
+            "[{}] {} req ({} samples) in {:.2}s | {:.0} req/s {:.0} samples/s | latency ms p50 {:.2} p95 {:.2} max {:.2} | mean batch {:.2} | wait budget {:.2} ms | queue {} | shed {} ({} int / {} batch) | peak batch activations {:.1} KiB | v{} ({} reloads) | {} errors",
+            self.model,
             self.completed_requests,
             self.completed_samples,
             self.elapsed.as_secs_f64(),
@@ -158,6 +210,11 @@ impl ServeMetrics {
             self.p95_latency_ms,
             self.max_latency_ms,
             self.mean_batch_size,
+            self.wait_budget_ms,
+            self.queued_samples,
+            self.shed_requests,
+            self.shed_interactive,
+            self.shed_batch_class,
             self.peak_batch_activation_bytes as f64 / 1024.0,
             self.model_version,
             self.reloads,
@@ -184,25 +241,72 @@ impl ServeMetrics {
     }
 }
 
+/// Per-model snapshots of every endpoint behind a [`Router`](crate::Router).
+#[derive(Debug, Clone, PartialEq)]
+#[must_use = "a metrics snapshot is only useful if it is read"]
+pub struct RouterMetrics {
+    /// One [`ServeMetrics`] per endpoint, sorted by model name.
+    pub models: Vec<ServeMetrics>,
+}
+
+impl RouterMetrics {
+    /// The snapshot of one model endpoint, if it exists.
+    #[must_use]
+    pub fn get(&self, model: &str) -> Option<&ServeMetrics> {
+        self.models.iter().find(|m| m.model == model)
+    }
+
+    /// Requests completed across the whole fleet.
+    #[must_use]
+    pub fn total_completed_requests(&self) -> u64 {
+        self.models.iter().map(|m| m.completed_requests).sum()
+    }
+
+    /// Requests shed across the whole fleet.
+    #[must_use]
+    pub fn total_shed_requests(&self) -> u64 {
+        self.models.iter().map(|m| m.shed_requests).sum()
+    }
+
+    /// One line per endpoint.
+    pub fn describe(&self) -> String {
+        self.models.iter().map(ServeMetrics::describe).collect::<Vec<_>>().join("\n")
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    const I: Priority = Priority::Interactive;
+    const B: Priority = Priority::Batch;
+
     #[test]
     fn snapshot_aggregates_batches() {
         let hub = MetricsHub::new(4);
-        hub.record_batch(3, &[Duration::from_millis(2), Duration::from_millis(4)], 1024);
-        hub.record_batch(1, &[Duration::from_millis(6)], 512);
-        hub.record_batch(9, &[Duration::from_millis(1)], 2048); // oversized → last bucket
+        hub.record_batch(3, &[(Duration::from_millis(2), I), (Duration::from_millis(4), B)], 1024);
+        hub.record_batch(1, &[(Duration::from_millis(6), I)], 512);
+        hub.record_batch(9, &[(Duration::from_millis(1), B)], 2048); // oversized → last bucket
         hub.record_errors(2);
         hub.record_reload();
-        let snap = hub.snapshot(1);
+        hub.record_shed(I);
+        hub.record_shed(B);
+        hub.record_shed(B);
+        let snap = hub.snapshot("resnet", 1, 5, Duration::from_micros(1500));
+        assert_eq!(snap.model, "resnet");
         assert_eq!(snap.completed_requests, 4);
         assert_eq!(snap.completed_samples, 13);
+        assert_eq!(snap.completed_interactive, 2);
+        assert_eq!(snap.completed_batch_class, 2);
+        assert_eq!(snap.shed_requests, 3);
+        assert_eq!(snap.shed_interactive, 1);
+        assert_eq!(snap.shed_batch_class, 2);
         assert_eq!(snap.errored_requests, 2);
         assert_eq!(snap.batches, 3);
         assert_eq!(snap.reloads, 1);
         assert_eq!(snap.model_version, 1);
+        assert_eq!(snap.queued_samples, 5);
+        assert!((snap.wait_budget_ms - 1.5).abs() < 1e-9);
         assert_eq!(snap.batch_occupancy, vec![1, 0, 1, 1]);
         assert_eq!(snap.peak_batch_activation_bytes, 2048);
         assert!(snap.p50_latency_ms >= 1.0 && snap.p50_latency_ms <= 6.0);
@@ -212,6 +316,7 @@ mod tests {
         assert!((snap.mean_batch_size - 13.0 / 3.0).abs() < 1e-9);
         assert!(snap.throughput_rps > 0.0);
         assert!(snap.describe().contains("4 req"));
+        assert!(snap.describe().starts_with("[resnet]"));
         let ascii = snap.occupancy_ascii(20);
         assert_eq!(ascii.lines().count(), 4);
         assert!(ascii.contains('#'));
@@ -220,13 +325,36 @@ mod tests {
     #[test]
     fn latency_window_is_bounded() {
         let hub = MetricsHub::new(1);
-        let lat = vec![Duration::from_micros(10); 100];
+        let lat: Vec<(Duration, Priority)> = vec![(Duration::from_micros(10), I); 100];
         for _ in 0..700 {
             hub.record_batch(1, &lat, 0);
         }
-        let snap = hub.snapshot(0);
+        let snap = hub.snapshot("m", 0, 0, Duration::ZERO);
         assert_eq!(snap.completed_requests, 70_000);
         // The retained sample buffer stays capped at the window size.
         assert!(snap.p50_latency_ms > 0.0);
+    }
+
+    #[test]
+    fn router_metrics_roll_up_per_model() {
+        let hub_a = MetricsHub::new(2);
+        hub_a.record_batch(1, &[(Duration::from_millis(1), I)], 0);
+        let hub_b = MetricsHub::new(2);
+        hub_b.record_batch(2, &[(Duration::from_millis(30), B), (Duration::from_millis(40), B)], 0);
+        hub_b.record_shed(I);
+        let fleet = RouterMetrics {
+            models: vec![
+                hub_a.snapshot("fast", 0, 0, Duration::ZERO),
+                hub_b.snapshot("slow", 2, 1, Duration::ZERO),
+            ],
+        };
+        assert_eq!(fleet.total_completed_requests(), 3);
+        assert_eq!(fleet.total_shed_requests(), 1);
+        assert_eq!(fleet.get("slow").unwrap().model_version, 2);
+        assert!(fleet.get("none").is_none());
+        // The whole point: each model keeps its own latency distribution.
+        assert!(fleet.get("fast").unwrap().p95_latency_ms < 5.0);
+        assert!(fleet.get("slow").unwrap().p95_latency_ms > 25.0);
+        assert_eq!(fleet.describe().lines().count(), 2);
     }
 }

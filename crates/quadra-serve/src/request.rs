@@ -1,9 +1,45 @@
 //! Request/response types of the serving pipeline and the policy knobs that
-//! control batch formation.
+//! control admission and batch formation.
 
 use quadra_tensor::Tensor;
 use std::sync::mpsc;
 use std::time::{Duration, Instant};
+
+/// Scheduling class of a request inside a model's admission queue.
+///
+/// Admission keeps one bounded queue per class and the batcher always drains
+/// [`Priority::Interactive`] first, so latency-sensitive traffic is never
+/// starved by throughput-oriented [`Priority::Batch`] work. Each class sheds
+/// independently when its queue fills.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Priority {
+    /// Latency-sensitive traffic, always dequeued first (the default).
+    #[default]
+    Interactive,
+    /// Throughput-oriented traffic that yields to interactive requests.
+    Batch,
+}
+
+impl Priority {
+    /// Number of priority classes.
+    pub const COUNT: usize = 2;
+
+    /// Stable index of the class (used by per-class metrics arrays).
+    pub(crate) fn index(self) -> usize {
+        match self {
+            Priority::Interactive => 0,
+            Priority::Batch => 1,
+        }
+    }
+
+    /// Human-readable class name.
+    pub fn label(self) -> &'static str {
+        match self {
+            Priority::Interactive => "interactive",
+            Priority::Batch => "batch",
+        }
+    }
+}
 
 /// Errors surfaced to serving clients.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -11,8 +47,17 @@ pub enum ServeError {
     /// The server is shutting down (or has shut down) and no longer accepts
     /// or answers requests.
     ShuttingDown,
-    /// The request input was rejected before it reached the batcher.
+    /// The request input was rejected before it reached the admission queue.
     BadInput(String),
+    /// The router has no endpoint registered under the requested model name.
+    UnknownModel(String),
+    /// The model's admission queue for the request's priority class is full;
+    /// the request was shed instead of queueing unboundedly. `retry_after`
+    /// estimates when the backlog will have drained.
+    Overloaded {
+        /// Estimated time until the queue has drained enough to admit again.
+        retry_after: Duration,
+    },
     /// A checkpoint offered for hot-reload does not fit the served model.
     InvalidState(String),
     /// The model panicked while executing the batch containing this request.
@@ -26,6 +71,10 @@ impl std::fmt::Display for ServeError {
         match self {
             ServeError::ShuttingDown => write!(f, "server is shutting down"),
             ServeError::BadInput(m) => write!(f, "bad input: {}", m),
+            ServeError::UnknownModel(m) => write!(f, "no endpoint serves model `{}`", m),
+            ServeError::Overloaded { retry_after } => {
+                write!(f, "overloaded: request shed, retry after {:.1} ms", retry_after.as_secs_f64() * 1e3)
+            }
             ServeError::InvalidState(m) => write!(f, "invalid checkpoint for hot-reload: {}", m),
             ServeError::WorkerFailed(m) => write!(f, "worker failed: {}", m),
             ServeError::Timeout => write!(f, "timed out waiting for response"),
@@ -37,16 +86,26 @@ impl std::error::Error for ServeError {}
 
 /// When the dynamic batcher closes a batch and hands it to a worker.
 ///
-/// A batch is dispatched as soon as it holds `max_batch_size` samples, or
-/// `max_wait` after its first request arrived, whichever comes first. A single
-/// request carrying more than `max_batch_size` samples is not rejected — it is
-/// dispatched immediately as an oversized batch of its own.
+/// A batch is dispatched as soon as it holds `max_batch_size` samples or when
+/// its wait budget expires, whichever comes first. The budget is `max_wait`
+/// exactly when `adaptive_wait` is off; with `adaptive_wait` on (the default)
+/// the batcher picks the budget automatically from the model's measured
+/// arrival rate and batch service time, using `max_wait` as the cap. A single
+/// request carrying more than `max_batch_size` samples is not rejected — it
+/// is dispatched immediately as an oversized batch of its own.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BatchPolicy {
     /// Target number of *samples* (not requests) per coalesced batch.
     pub max_batch_size: usize,
-    /// Longest time the first request of a batch may wait for company.
+    /// Upper bound on the time the first request of a batch waits for company
+    /// (the exact wait when `adaptive_wait` is off).
     pub max_wait: Duration,
+    /// Pick the wait budget automatically: wait roughly as long as the EWMA
+    /// inter-arrival time says is needed to fill the batch, but never longer
+    /// than twice the EWMA batch service time (past that point batching no
+    /// longer amortises) nor `max_wait`, and never less than `max_wait / 16`
+    /// (so bursts in flight still coalesce).
+    pub adaptive_wait: bool,
     /// Allow NCHW requests with different H×W (same channel count) to share a
     /// batch by zero-padding every sample to the largest H and W present.
     ///
@@ -62,36 +121,81 @@ pub struct BatchPolicy {
 
 impl Default for BatchPolicy {
     fn default() -> Self {
-        BatchPolicy { max_batch_size: 16, max_wait: Duration::from_millis(2), pad_mixed_spatial: false }
+        BatchPolicy {
+            max_batch_size: 16,
+            max_wait: Duration::from_millis(2),
+            adaptive_wait: true,
+            pad_mixed_spatial: false,
+        }
     }
 }
 
-/// Configuration of an [`InferenceServer`](crate::InferenceServer).
+/// Admission-control policy of one model endpoint: how much work may queue
+/// before further requests are shed with [`ServeError::Overloaded`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdmissionPolicy {
+    /// Maximum queued **samples** per priority class. `None` restores the
+    /// pre-router unbounded FIFO (useful only as an overload baseline: under
+    /// sustained offered load above capacity an unbounded queue grows — and
+    /// with it every request's latency — without bound).
+    pub queue_capacity: Option<usize>,
+}
+
+impl Default for AdmissionPolicy {
+    fn default() -> Self {
+        AdmissionPolicy { queue_capacity: Some(1024) }
+    }
+}
+
+/// Configuration of one model endpoint (and of the single-model
+/// [`InferenceServer`](crate::InferenceServer) convenience wrapper).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ServeConfig {
     /// Number of model replicas, each on its own dedicated worker thread.
     pub workers: usize,
     /// Batch-formation policy.
     pub policy: BatchPolicy,
+    /// Admission-control policy (bounded queues + load shedding).
+    pub admission: AdmissionPolicy,
 }
 
 impl Default for ServeConfig {
     fn default() -> Self {
-        ServeConfig { workers: 2, policy: BatchPolicy::default() }
+        ServeConfig { workers: 2, policy: BatchPolicy::default(), admission: AdmissionPolicy::default() }
+    }
+}
+
+impl ServeConfig {
+    /// Validate the configuration at server start.
+    pub(crate) fn validate(&self) -> Result<(), ServeError> {
+        if self.workers == 0 {
+            return Err(ServeError::BadInput("need at least one worker".into()));
+        }
+        if self.policy.max_batch_size == 0 {
+            return Err(ServeError::BadInput("max_batch_size must be at least 1".into()));
+        }
+        if self.admission.queue_capacity == Some(0) {
+            return Err(ServeError::BadInput("queue_capacity must be at least 1 sample (or None)".into()));
+        }
+        Ok(())
     }
 }
 
 /// A completed inference, annotated with serving telemetry.
 #[derive(Debug, Clone)]
+#[must_use = "the response carries the inference output"]
 pub struct InferResponse {
     /// The id `submit` returned for this request.
     pub id: u64,
+    /// Name of the model endpoint that served the request.
+    pub model: String,
+    /// Priority class the request was admitted under.
+    pub priority: Priority,
     /// Model output rows for this request's samples: shape `[n, ...]` where
     /// `n` is the request's sample count.
     pub output: Tensor,
     /// Version of the model state that produced the output: 0 until the first
-    /// hot-reload, incremented by each successful
-    /// [`InferenceServer::reload`](crate::InferenceServer::reload).
+    /// hot-reload of the endpoint, incremented by each successful reload.
     pub model_version: u64,
     /// Total samples in the coalesced batch this request rode in.
     pub batch_samples: usize,
@@ -102,8 +206,10 @@ pub struct InferResponse {
 }
 
 /// Handle to a response that has not arrived yet (returned by
-/// [`ServeClient::submit`](crate::ServeClient::submit)).
+/// [`ServeClient::submit`](crate::ServeClient::submit) and
+/// [`RouterClient::submit`](crate::RouterClient::submit)).
 #[derive(Debug)]
+#[must_use = "dropping the handle abandons the request's response"]
 pub struct PendingResponse {
     pub(crate) id: u64,
     pub(crate) rx: mpsc::Receiver<Result<InferResponse, ServeError>>,
@@ -111,6 +217,7 @@ pub struct PendingResponse {
 
 impl PendingResponse {
     /// The request id this handle waits for.
+    #[must_use]
     pub fn id(&self) -> u64 {
         self.id
     }
@@ -130,17 +237,79 @@ impl PendingResponse {
     }
 }
 
-/// A request travelling through the batcher towards a worker.
+/// A request travelling through the admission queue towards a worker.
+///
+/// `Debug` skips the tensor payload; it exists so admission errors (which
+/// hand the request back) stay unwrap-friendly in tests.
 pub(crate) struct PendingInfer {
     pub id: u64,
     pub input: Tensor,
     pub samples: usize,
+    pub priority: Priority,
     pub submitted_at: Instant,
     pub reply: mpsc::Sender<Result<InferResponse, ServeError>>,
 }
 
-/// What clients send to the batcher thread.
-pub(crate) enum BatcherMsg {
-    Request(PendingInfer),
-    Shutdown,
+impl std::fmt::Debug for PendingInfer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PendingInfer")
+            .field("id", &self.id)
+            .field("samples", &self.samples)
+            .field("priority", &self.priority)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serve_error_displays_every_variant() {
+        let cases: Vec<(ServeError, &str)> = vec![
+            (ServeError::ShuttingDown, "shutting down"),
+            (ServeError::BadInput("x".into()), "bad input"),
+            (ServeError::UnknownModel("resnet".into()), "`resnet`"),
+            (ServeError::Overloaded { retry_after: Duration::from_millis(5) }, "retry after 5.0 ms"),
+            (ServeError::InvalidState("y".into()), "hot-reload"),
+            (ServeError::WorkerFailed("z".into()), "worker failed"),
+            (ServeError::Timeout, "timed out"),
+        ];
+        for (err, needle) in cases {
+            let rendered = err.to_string();
+            assert!(rendered.contains(needle), "{rendered:?} should contain {needle:?}");
+        }
+    }
+
+    #[test]
+    fn serve_error_threads_through_boxed_error_callers() {
+        // anyhow-style propagation: `?` into a Box<dyn Error>.
+        fn faulty() -> Result<(), ServeError> {
+            Err(ServeError::Overloaded { retry_after: Duration::from_millis(1) })
+        }
+        fn caller() -> Result<(), Box<dyn std::error::Error>> {
+            faulty()?;
+            Ok(())
+        }
+        let err = caller().unwrap_err();
+        assert!(err.to_string().contains("overloaded"));
+    }
+
+    #[test]
+    fn config_validation_rejects_degenerate_settings() {
+        assert!(ServeConfig { workers: 0, ..base() }.validate().is_err());
+        let zero_batch =
+            ServeConfig { policy: BatchPolicy { max_batch_size: 0, ..BatchPolicy::default() }, ..base() };
+        assert!(zero_batch.validate().is_err());
+        let zero_queue = ServeConfig { admission: AdmissionPolicy { queue_capacity: Some(0) }, ..base() };
+        assert!(zero_queue.validate().is_err());
+        assert!(base().validate().is_ok());
+        assert!(ServeConfig { admission: AdmissionPolicy { queue_capacity: None }, ..base() }
+            .validate()
+            .is_ok());
+    }
+
+    fn base() -> ServeConfig {
+        ServeConfig { workers: 2, ..ServeConfig::default() }
+    }
 }

@@ -1,184 +1,351 @@
-//! The server front-end: spawns the batcher and worker threads, hands out
-//! clients, publishes hot-reloads, and reports metrics.
+//! The serving front-ends: the multi-model [`Router`] (named endpoints, each
+//! with its own admission queue, batcher, worker pool, and hot-reload
+//! version) and the single-model [`InferenceServer`] convenience wrapper.
 
 use crate::batcher::{self, Batch};
-use crate::metrics::{MetricsHub, ServeMetrics};
-use crate::request::{BatcherMsg, InferResponse, PendingInfer, PendingResponse, ServeConfig, ServeError};
-use crate::worker::{self, ModelFactory, ReloadSlot};
+use crate::endpoint::EndpointShared;
+use crate::metrics::{RouterMetrics, ServeMetrics};
+use crate::request::{InferResponse, PendingResponse, Priority, ServeConfig, ServeError};
+use crate::worker::{self, ModelFactory};
 use quadra_nn::{Layer, StateDict};
 use quadra_tensor::Tensor;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc::{self, Sender};
-use std::sync::{Arc, Mutex};
+use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
 
-/// A thread-based batched-inference server over any [`Layer`] model.
-///
-/// `start` builds one model replica per worker (each on its own dedicated
-/// thread), plus a batcher thread that coalesces queued requests into batches
-/// under the configured [`BatchPolicy`](crate::BatchPolicy). Requests are
-/// submitted through cheap cloneable [`ServeClient`] handles; responses carry
-/// the output rows for exactly the submitted samples together with latency
-/// and batching telemetry.
-///
-/// Checkpoints produced by [`StateDict`] can be swapped in while the server
-/// runs: [`InferenceServer::reload`] validates the state against a throwaway
-/// replica, then workers atomically pick it up between batches. Responses
-/// report the model version that produced them.
-pub struct InferenceServer {
-    req_tx: Sender<BatcherMsg>,
-    next_id: Arc<AtomicU64>,
-    reload: Arc<ReloadSlot>,
-    metrics: Arc<MetricsHub>,
+/// Endpoint name used by the single-model [`InferenceServer`] wrapper.
+pub const DEFAULT_ENDPOINT: &str = "default";
+
+struct EndpointRuntime {
+    shared: Arc<EndpointShared>,
     factory: Arc<ModelFactory>,
     batcher: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
 }
 
+/// A multi-model routing engine: N named model endpoints behind one admission
+/// layer.
+///
+/// Each endpoint owns its own bounded priority admission queue, dynamic
+/// batcher (with its own [`BatchPolicy`](crate::BatchPolicy)), worker pool of
+/// model replicas, hot-reload version, and metrics hub — so one model's
+/// backlog cannot delay another model's requests, hot-reloading one endpoint
+/// never disturbs the rest of the fleet, and latency percentiles are always
+/// per model. Requests are admitted or shed synchronously at submission
+/// ([`ServeError::Overloaded`] carries a `retry_after` estimate) instead of
+/// queueing unboundedly.
+///
+/// ```
+/// use quadra_nn::{Layer, Linear, Sequential};
+/// use quadra_serve::{Priority, Router, ServeConfig};
+/// use quadra_tensor::Tensor;
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+///
+/// fn mlp(inputs: usize, seed: u64) -> Box<dyn Layer> {
+///     let mut rng = StdRng::seed_from_u64(seed);
+///     Box::new(Sequential::new(vec![Box::new(Linear::new(inputs, 3, true, &mut rng)) as Box<dyn Layer>]))
+/// }
+///
+/// let router = Router::builder()
+///     .endpoint("narrow", ServeConfig::default(), || mlp(4, 0))
+///     .endpoint("wide", ServeConfig::default(), || mlp(8, 1))
+///     .start()
+///     .unwrap();
+/// let client = router.client();
+/// let narrow = client.infer("narrow", Tensor::ones(&[1, 4])).unwrap();
+/// assert_eq!(narrow.output.shape(), &[1, 3]);
+/// let wide = client.submit("wide", Tensor::ones(&[2, 8]), Priority::Batch).unwrap().wait().unwrap();
+/// assert_eq!(wide.model, "wide");
+/// let metrics = router.shutdown();
+/// assert_eq!(metrics.get("narrow").unwrap().completed_requests, 1);
+/// ```
+pub struct Router {
+    endpoints: BTreeMap<String, EndpointRuntime>,
+    client_map: Arc<BTreeMap<String, Arc<EndpointShared>>>,
+    next_id: Arc<AtomicU64>,
+}
+
+/// Accumulates named endpoints for [`Router::start`].
+#[derive(Default)]
+pub struct RouterBuilder {
+    endpoints: Vec<(String, ServeConfig, Arc<ModelFactory>)>,
+}
+
+impl RouterBuilder {
+    /// Register a model endpoint. `factory` builds one replica of the model;
+    /// it is called once per worker on the worker's own thread (plus once per
+    /// [`Router::reload`] for validation), so replicas never cross threads.
+    pub fn endpoint<F>(mut self, name: &str, config: ServeConfig, factory: F) -> Self
+    where
+        F: Fn() -> Box<dyn Layer> + Send + Sync + 'static,
+    {
+        self.endpoints.push((name.to_string(), config, Arc::new(factory)));
+        self
+    }
+
+    /// Validate every endpoint configuration and spawn the engine.
+    pub fn start(self) -> Result<Router, ServeError> {
+        if self.endpoints.is_empty() {
+            return Err(ServeError::BadInput("router needs at least one endpoint".into()));
+        }
+        let mut runtimes = BTreeMap::new();
+        for (name, config, factory) in self.endpoints {
+            if name.is_empty() {
+                return Err(ServeError::BadInput("endpoint name must not be empty".into()));
+            }
+            config.validate()?;
+            if runtimes.contains_key(&name) {
+                return Err(ServeError::BadInput(format!("duplicate endpoint name `{}`", name)));
+            }
+            let shared = Arc::new(EndpointShared::new(&name, config));
+            let (batcher, workers) = spawn_endpoint(&shared, &factory)?;
+            runtimes.insert(name, EndpointRuntime { shared, factory, batcher: Some(batcher), workers });
+        }
+        let client_map: BTreeMap<String, Arc<EndpointShared>> =
+            runtimes.iter().map(|(name, rt)| (name.clone(), Arc::clone(&rt.shared))).collect();
+        Ok(Router {
+            endpoints: runtimes,
+            client_map: Arc::new(client_map),
+            next_id: Arc::new(AtomicU64::new(0)),
+        })
+    }
+}
+
+/// Spawn one endpoint's batcher thread and worker pool. The batch channel is
+/// a rendezvous, so batches are handed over only when a worker is ready and
+/// priority decisions stay fresh.
+fn spawn_endpoint(
+    shared: &Arc<EndpointShared>,
+    factory: &Arc<ModelFactory>,
+) -> Result<(JoinHandle<()>, Vec<JoinHandle<()>>), ServeError> {
+    let (batch_tx, batch_rx) = mpsc::sync_channel::<Batch>(0);
+    let batcher_shared = Arc::clone(shared);
+    let batcher = std::thread::Builder::new()
+        .name(format!("quadra-serve-batcher-{}", shared.name))
+        .spawn(move || batcher::run(batcher_shared, batch_tx))
+        .map_err(|e| ServeError::BadInput(format!("cannot spawn batcher thread: {e}")))?;
+    let batch_rx = Arc::new(Mutex::new(batch_rx));
+    let mut workers = Vec::with_capacity(shared.config.workers);
+    for i in 0..shared.config.workers {
+        let rx = Arc::clone(&batch_rx);
+        let factory = Arc::clone(factory);
+        let worker_shared = Arc::clone(shared);
+        let handle = std::thread::Builder::new()
+            .name(format!("quadra-serve-worker-{}-{}", shared.name, i))
+            .spawn(move || worker::run(rx, factory, worker_shared))
+            .map_err(|e| ServeError::BadInput(format!("cannot spawn worker thread: {e}")))?;
+        workers.push(handle);
+    }
+    Ok((batcher, workers))
+}
+
+impl Router {
+    /// Start declaring endpoints for a new router.
+    pub fn builder() -> RouterBuilder {
+        RouterBuilder::default()
+    }
+
+    /// A cheap cloneable handle for submitting requests to any endpoint.
+    /// Clients stay valid until shutdown; submissions afterwards fail with
+    /// [`ServeError::ShuttingDown`].
+    pub fn client(&self) -> RouterClient {
+        RouterClient { endpoints: Arc::clone(&self.client_map), next_id: Arc::clone(&self.next_id) }
+    }
+
+    /// The registered endpoint names, sorted.
+    pub fn models(&self) -> Vec<String> {
+        self.endpoints.keys().cloned().collect()
+    }
+
+    fn endpoint(&self, model: &str) -> Result<&EndpointRuntime, ServeError> {
+        self.endpoints.get(model).ok_or_else(|| ServeError::UnknownModel(model.to_string()))
+    }
+
+    /// Swap in a new state for one endpoint between batches, leaving every
+    /// other endpoint untouched.
+    ///
+    /// The checkpoint is validated against a freshly built replica first; an
+    /// incompatible one is rejected without disturbing the serving state. On
+    /// success the endpoint's new version number is returned and each of its
+    /// workers picks the state up before its next batch — requests never
+    /// observe a half-loaded model.
+    pub fn reload(&self, model: &str, state: StateDict) -> Result<u64, ServeError> {
+        let runtime = self.endpoint(model)?;
+        let mut probe = (runtime.factory)();
+        state.load_into(probe.as_mut()).map_err(ServeError::InvalidState)?;
+        let version = runtime.shared.reload.publish(state);
+        runtime.shared.metrics.record_reload();
+        Ok(version)
+    }
+
+    /// The state version `model`'s workers currently serve from (0 until the
+    /// endpoint's first [`Router::reload`]).
+    pub fn version(&self, model: &str) -> Result<u64, ServeError> {
+        Ok(self.endpoint(model)?.shared.reload.version())
+    }
+
+    /// A point-in-time snapshot of one endpoint's serving statistics.
+    pub fn metrics_for(&self, model: &str) -> Result<ServeMetrics, ServeError> {
+        Ok(self.endpoint(model)?.shared.snapshot())
+    }
+
+    /// Point-in-time snapshots of every endpoint, sorted by model name.
+    pub fn metrics(&self) -> RouterMetrics {
+        RouterMetrics { models: self.endpoints.values().map(|rt| rt.shared.snapshot()).collect() }
+    }
+
+    /// Stop accepting requests, drain every admitted request (each still
+    /// receives its response), join all threads, and return the final
+    /// per-model metrics snapshots.
+    pub fn shutdown(mut self) -> RouterMetrics {
+        self.shutdown_inner();
+        self.metrics()
+    }
+
+    fn shutdown_inner(&mut self) {
+        // Close every admission queue first so all endpoints drain in
+        // parallel, then join their threads.
+        for runtime in self.endpoints.values() {
+            runtime.shared.queue.close();
+        }
+        for runtime in self.endpoints.values_mut() {
+            if let Some(handle) = runtime.batcher.take() {
+                let _ = handle.join();
+            }
+            for handle in runtime.workers.drain(..) {
+                let _ = handle.join();
+            }
+        }
+    }
+}
+
+impl Drop for Router {
+    fn drop(&mut self) {
+        if self.endpoints.values().any(|rt| rt.batcher.is_some()) {
+            self.shutdown_inner();
+        }
+    }
+}
+
+/// Client handle for submitting inference requests to a [`Router`].
+#[derive(Clone)]
+pub struct RouterClient {
+    endpoints: Arc<BTreeMap<String, Arc<EndpointShared>>>,
+    next_id: Arc<AtomicU64>,
+}
+
+impl RouterClient {
+    /// Enqueue `input` for `model` under `priority` and return a handle to
+    /// the pending response.
+    ///
+    /// Axis 0 of `input` is always the sample axis: submit `[n, features]`
+    /// rows or `[n, C, H, W]` images (`n` may exceed the endpoint's
+    /// `max_batch_size`, forming an oversized batch of its own). The
+    /// response's output has the same leading axis. A full admission queue
+    /// sheds the request with [`ServeError::Overloaded`] instead of queueing
+    /// it unboundedly.
+    pub fn submit(
+        &self,
+        model: &str,
+        input: Tensor,
+        priority: Priority,
+    ) -> Result<PendingResponse, ServeError> {
+        let endpoint =
+            self.endpoints.get(model).ok_or_else(|| ServeError::UnknownModel(model.to_string()))?;
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        endpoint.submit(id, input, priority)
+    }
+
+    /// Submit at [`Priority::Interactive`] and block until the response arrives.
+    pub fn infer(&self, model: &str, input: Tensor) -> Result<InferResponse, ServeError> {
+        self.submit(model, input, Priority::Interactive)?.wait()
+    }
+
+    /// The endpoint names this client can route to, sorted.
+    pub fn models(&self) -> Vec<String> {
+        self.endpoints.keys().cloned().collect()
+    }
+}
+
+/// A single-model batched-inference server: a [`Router`] with exactly one
+/// endpoint (named [`DEFAULT_ENDPOINT`]), kept as the one-line construction
+/// path for callers that serve a single architecture.
+pub struct InferenceServer {
+    router: Router,
+}
+
 impl InferenceServer {
-    /// Start a server. `factory` builds one model replica; it is called once
-    /// per worker on the worker's own thread (plus once per [`reload`] for
-    /// validation), so replicas never cross threads.
+    /// Start a single-model server. `factory` builds one model replica; it is
+    /// called once per worker on the worker's own thread (plus once per
+    /// [`reload`] for validation), so replicas never cross threads.
     ///
     /// [`reload`]: InferenceServer::reload
     pub fn start<F>(config: ServeConfig, factory: F) -> Result<InferenceServer, ServeError>
     where
         F: Fn() -> Box<dyn Layer> + Send + Sync + 'static,
     {
-        if config.workers == 0 {
-            return Err(ServeError::BadInput("need at least one worker".into()));
-        }
-        if config.policy.max_batch_size == 0 {
-            return Err(ServeError::BadInput("max_batch_size must be at least 1".into()));
-        }
-        let factory: Arc<ModelFactory> = Arc::new(factory);
-        let reload = Arc::new(ReloadSlot::new());
-        let metrics = Arc::new(MetricsHub::new(config.policy.max_batch_size));
-
-        let (req_tx, req_rx) = mpsc::channel::<BatcherMsg>();
-        let (batch_tx, batch_rx) = mpsc::channel::<Batch>();
-        let policy = config.policy;
-        let batcher = std::thread::Builder::new()
-            .name("quadra-serve-batcher".into())
-            .spawn(move || batcher::run(req_rx, batch_tx, policy))
-            .expect("spawn batcher thread");
-
-        let batch_rx = Arc::new(Mutex::new(batch_rx));
-        let mut workers = Vec::with_capacity(config.workers);
-        for i in 0..config.workers {
-            let rx = Arc::clone(&batch_rx);
-            let factory = Arc::clone(&factory);
-            let reload = Arc::clone(&reload);
-            let metrics = Arc::clone(&metrics);
-            let handle = std::thread::Builder::new()
-                .name(format!("quadra-serve-worker-{}", i))
-                .spawn(move || worker::run(rx, factory, reload, metrics))
-                .expect("spawn worker thread");
-            workers.push(handle);
-        }
-
-        Ok(InferenceServer {
-            req_tx,
-            next_id: Arc::new(AtomicU64::new(0)),
-            reload,
-            metrics,
-            factory,
-            batcher: Some(batcher),
-            workers,
-        })
+        Ok(InferenceServer { router: Router::builder().endpoint(DEFAULT_ENDPOINT, config, factory).start()? })
     }
 
-    /// A cheap cloneable handle for submitting requests. Clients stay valid
-    /// until shutdown; submissions afterwards fail with
-    /// [`ServeError::ShuttingDown`].
+    /// The underlying single-endpoint router.
+    pub fn router(&self) -> &Router {
+        &self.router
+    }
+
+    /// A cheap cloneable handle for submitting requests.
     pub fn client(&self) -> ServeClient {
-        ServeClient { req_tx: self.req_tx.clone(), next_id: Arc::clone(&self.next_id) }
+        ServeClient { inner: self.router.client(), model: DEFAULT_ENDPOINT.to_string() }
     }
 
-    /// Swap in a new model state between batches.
-    ///
-    /// The checkpoint is validated against a freshly built replica first; an
-    /// incompatible one is rejected without disturbing the serving state. On
-    /// success the new version number is returned and every worker picks the
-    /// state up before its next batch — requests never observe a half-loaded
-    /// model.
+    /// Swap in a new model state between batches (see [`Router::reload`]).
     pub fn reload(&self, state: StateDict) -> Result<u64, ServeError> {
-        let mut probe = (self.factory)();
-        state.load_into(probe.as_mut()).map_err(ServeError::InvalidState)?;
-        let version = self.reload.publish(state);
-        self.metrics.record_reload();
-        Ok(version)
+        self.router.reload(DEFAULT_ENDPOINT, state)
     }
 
     /// The state version workers are currently serving from (0 until the
     /// first [`InferenceServer::reload`]).
     pub fn version(&self) -> u64 {
-        self.reload.version()
+        self.router.version(DEFAULT_ENDPOINT).expect("default endpoint exists")
     }
 
     /// A point-in-time snapshot of the serving statistics.
     pub fn metrics(&self) -> ServeMetrics {
-        self.metrics.snapshot(self.reload.version())
+        self.router.metrics_for(DEFAULT_ENDPOINT).expect("default endpoint exists")
     }
 
-    /// Stop accepting requests, drain every in-flight request (each still
+    /// Stop accepting requests, drain every admitted request (each still
     /// receives its response), join all threads, and return the final
     /// metrics snapshot.
-    pub fn shutdown(mut self) -> ServeMetrics {
-        self.shutdown_inner();
-        self.metrics.snapshot(self.reload.version())
-    }
-
-    fn shutdown_inner(&mut self) {
-        let _ = self.req_tx.send(BatcherMsg::Shutdown);
-        if let Some(handle) = self.batcher.take() {
-            let _ = handle.join();
-        }
-        for handle in self.workers.drain(..) {
-            let _ = handle.join();
-        }
+    pub fn shutdown(self) -> ServeMetrics {
+        let mut fleet = self.router.shutdown();
+        fleet.models.pop().expect("default endpoint exists")
     }
 }
 
-impl Drop for InferenceServer {
-    fn drop(&mut self) {
-        if self.batcher.is_some() {
-            self.shutdown_inner();
-        }
-    }
-}
-
-/// Client handle for submitting inference requests.
+/// Client handle of a single-model [`InferenceServer`]: the [`RouterClient`]
+/// API with the model name fixed.
 #[derive(Clone)]
 pub struct ServeClient {
-    req_tx: Sender<BatcherMsg>,
-    next_id: Arc<AtomicU64>,
+    inner: RouterClient,
+    model: String,
 }
 
 impl ServeClient {
-    /// Enqueue `input` and return a handle to the pending response.
-    ///
-    /// Axis 0 of `input` is always the sample axis: submit `[n, features]`
-    /// rows or `[n, C, H, W]` images (`n` may exceed the batch policy's
-    /// `max_batch_size`, forming an oversized batch of its own). The
-    /// response's output has the same leading axis.
+    /// Enqueue `input` at [`Priority::Interactive`] and return a handle to
+    /// the pending response (see [`RouterClient::submit`] for input rules).
     pub fn submit(&self, input: Tensor) -> Result<PendingResponse, ServeError> {
-        if input.ndim() < 2 {
-            return Err(ServeError::BadInput(format!(
-                "input must have a leading sample axis (got {}-d; wrap a single sample as [1, ...])",
-                input.ndim()
-            )));
-        }
-        let samples = input.shape()[0];
-        if samples == 0 {
-            return Err(ServeError::BadInput("input holds zero samples".into()));
-        }
-        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        let (reply, rx) = mpsc::channel();
-        let request = PendingInfer { id, samples, input, submitted_at: Instant::now(), reply };
-        self.req_tx.send(BatcherMsg::Request(request)).map_err(|_| ServeError::ShuttingDown)?;
-        Ok(PendingResponse { id, rx })
+        self.inner.submit(&self.model, input, Priority::Interactive)
+    }
+
+    /// Enqueue `input` under an explicit priority class.
+    pub fn submit_with_priority(
+        &self,
+        input: Tensor,
+        priority: Priority,
+    ) -> Result<PendingResponse, ServeError> {
+        self.inner.submit(&self.model, input, priority)
     }
 
     /// Submit and block until the response arrives.

@@ -1,9 +1,9 @@
-//! Worker threads: each owns one model replica, executes coalesced batches in
-//! eval mode, splits outputs per request, and applies hot-reloaded state
-//! between batches.
+//! Worker threads: each owns one replica of its endpoint's model, executes
+//! coalesced batches in eval mode, splits outputs per request, and applies
+//! hot-reloaded state between batches.
 
 use crate::batcher::{assemble, Batch};
-use crate::metrics::MetricsHub;
+use crate::endpoint::EndpointShared;
 use crate::request::{InferResponse, ServeError};
 use quadra_core::MemoryProfiler;
 use quadra_nn::{Layer, StateDict};
@@ -81,52 +81,51 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
-/// The worker thread body. Workers share one batch queue (`Mutex<Receiver>`:
-/// whichever idle worker holds the lock takes the next batch) and exit when
-/// the batcher hangs up after draining the queue.
-pub(crate) fn run(
-    rx: Arc<Mutex<Receiver<Batch>>>,
-    factory: Arc<ModelFactory>,
-    reload: Arc<ReloadSlot>,
-    metrics: Arc<MetricsHub>,
-) {
+/// The worker thread body. An endpoint's workers share one rendezvous batch
+/// channel (`Mutex<Receiver>`: whichever idle worker holds the lock takes the
+/// next batch) and exit when the batcher hangs up after draining the queue.
+pub(crate) fn run(rx: Arc<Mutex<Receiver<Batch>>>, factory: Arc<ModelFactory>, shared: Arc<EndpointShared>) {
     let mut model = factory();
-    let mut version = reload.force_apply(model.as_mut());
+    let mut version = shared.reload.force_apply(model.as_mut());
     loop {
         let batch = {
             let guard = rx.lock().unwrap();
             guard.recv()
         };
         let Ok(batch) = batch else { break };
-        version = reload.apply_if_newer(model.as_mut(), version);
-        if execute(model.as_mut(), batch, version, &metrics).is_err() {
+        version = shared.reload.apply_if_newer(model.as_mut(), version);
+        if execute(model.as_mut(), batch, version, &shared).is_err() {
             // The replica's caches may be inconsistent after an unwound
             // forward; rebuild it from scratch and re-apply the latest state.
             model = factory();
-            version = reload.force_apply(model.as_mut());
+            version = shared.reload.force_apply(model.as_mut());
         }
     }
 }
 
 /// Run one batch on `model`, replying to every request. `Err` means the
 /// forward pass panicked and the replica must be rebuilt.
-fn execute(model: &mut dyn Layer, batch: Batch, version: u64, metrics: &MetricsHub) -> Result<(), ()> {
+fn execute(model: &mut dyn Layer, batch: Batch, version: u64, shared: &EndpointShared) -> Result<(), ()> {
     let (input, counts) = assemble(&batch.requests);
     let batch_samples = batch.samples();
+    let exec_start = Instant::now();
     match catch_unwind(AssertUnwindSafe(|| model.forward(&input, false))) {
         Ok(output) => {
-            let report = MemoryProfiler::new().inference_report(model, &input, &output);
-            model.clear_cache();
             let done_at = Instant::now();
+            shared.record_batch_service(done_at.duration_since(exec_start));
+            let attributed = MemoryProfiler::new().inference_report_for(&shared.name, model, &input, &output);
+            model.clear_cache();
             let mut latencies = Vec::with_capacity(batch.requests.len());
             let mut offset = 0;
             for (request, n) in batch.requests.iter().zip(counts) {
                 let rows = output.narrow(0, offset, n).expect("per-request split stays in range");
                 offset += n;
                 let latency = done_at.duration_since(request.submitted_at);
-                latencies.push(latency);
+                latencies.push((latency, request.priority));
                 let response = InferResponse {
                     id: request.id,
+                    model: shared.name.clone(),
+                    priority: request.priority,
                     output: rows,
                     model_version: version,
                     batch_samples,
@@ -136,12 +135,12 @@ fn execute(model: &mut dyn Layer, batch: Batch, version: u64, metrics: &MetricsH
                 // A dropped receiver just means the client stopped waiting.
                 let _ = request.reply.send(Ok(response));
             }
-            metrics.record_batch(batch_samples, &latencies, report.peak_activation_bytes);
+            shared.metrics.record_batch(batch_samples, &latencies, attributed.report.peak_activation_bytes);
             Ok(())
         }
         Err(payload) => {
             let message = panic_message(payload);
-            metrics.record_errors(batch.requests.len());
+            shared.metrics.record_errors(batch.requests.len());
             for request in &batch.requests {
                 let _ = request.reply.send(Err(ServeError::WorkerFailed(message.clone())));
             }

@@ -31,6 +31,7 @@ fn idle_queue_blocks_then_serves() {
             max_wait: Duration::from_millis(1),
             ..BatchPolicy::default()
         },
+        ..ServeConfig::default()
     };
     let server = mlp_server(config, 0);
     let client = server.client();
@@ -55,6 +56,7 @@ fn oversized_request_forms_its_own_batch() {
             max_wait: Duration::from_millis(1),
             ..BatchPolicy::default()
         },
+        ..ServeConfig::default()
     };
     let server = mlp_server(config, 0);
     let client = server.client();
@@ -94,6 +96,7 @@ fn shutdown_answers_in_flight_requests() {
             max_wait: Duration::from_millis(1),
             ..BatchPolicy::default()
         },
+        ..ServeConfig::default()
     };
     let server = InferenceServer::start(config, || Box::new(SlowIdentity)).unwrap();
     let client = server.client();
@@ -119,6 +122,7 @@ fn hot_reload_mid_stream_switches_versions() {
             max_wait: Duration::from_millis(1),
             ..BatchPolicy::default()
         },
+        ..ServeConfig::default()
     };
     let server = mlp_server(config, 0);
     let client = server.client();
@@ -166,6 +170,7 @@ fn worker_panic_reports_error_and_pool_recovers() {
             max_wait: Duration::from_millis(1),
             ..BatchPolicy::default()
         },
+        ..ServeConfig::default()
     };
     let server = mlp_server(config, 0);
     let client = server.client();
@@ -201,6 +206,7 @@ fn requests_coalesce_into_shared_batches() {
             max_wait: Duration::from_millis(50),
             ..BatchPolicy::default()
         },
+        ..ServeConfig::default()
     };
     let server = InferenceServer::start(config, || {
         Box::new(Sequential::new(vec![Box::new(SlowIdentity) as Box<dyn Layer>]))
@@ -212,14 +218,14 @@ fn requests_coalesce_into_shared_batches() {
     let warmup = client.submit(Tensor::ones(&[1, 2])).unwrap();
     std::thread::sleep(Duration::from_millis(5));
     let pending: Vec<_> = (0..4).map(|_| client.submit(Tensor::ones(&[1, 2])).unwrap()).collect();
-    warmup.wait().unwrap();
+    let _ = warmup.wait().unwrap();
     let batch_sizes: Vec<usize> = pending.into_iter().map(|p| p.wait().unwrap().batch_samples).collect();
     assert!(batch_sizes.iter().any(|&b| b > 1), "expected coalescing, saw batch sizes {:?}", batch_sizes);
-    server.shutdown();
+    let _ = server.shutdown();
 }
 
 fn identity_server(policy: BatchPolicy) -> InferenceServer {
-    InferenceServer::start(ServeConfig { workers: 1, policy }, || {
+    InferenceServer::start(ServeConfig { workers: 1, policy, ..ServeConfig::default() }, || {
         Box::new(Sequential::new(vec![Box::new(SlowIdentity) as Box<dyn Layer>]))
     })
     .unwrap()
@@ -232,13 +238,14 @@ fn mixed_spatial_sizes_pad_only_when_opted_in() {
         max_batch_size: 4,
         max_wait: Duration::from_millis(50),
         pad_mixed_spatial: true,
+        ..BatchPolicy::default()
     });
     let client = server.client();
     let warmup = client.submit(Tensor::ones(&[1, 1, 1, 1])).unwrap();
     std::thread::sleep(Duration::from_millis(5));
     let small = client.submit(Tensor::full(&[1, 1, 1, 2], 2.0)).unwrap();
     let large = client.submit(Tensor::full(&[1, 1, 2, 2], 3.0)).unwrap();
-    warmup.wait().unwrap();
+    let _ = warmup.wait().unwrap();
     let small = small.wait().unwrap();
     let large = large.wait().unwrap();
     if small.batch_samples == 2 {
@@ -250,7 +257,7 @@ fn mixed_spatial_sizes_pad_only_when_opted_in() {
         assert_eq!(small.output.shape()[0], 1);
     }
     assert_eq!(large.output.as_slice(), &[3.0; 4]);
-    server.shutdown();
+    let _ = server.shutdown();
 }
 
 #[test]
@@ -261,13 +268,14 @@ fn mixed_spatial_sizes_never_share_a_batch_by_default() {
         max_batch_size: 4,
         max_wait: Duration::from_millis(50),
         pad_mixed_spatial: false,
+        ..BatchPolicy::default()
     });
     let client = server.client();
     let warmup = client.submit(Tensor::ones(&[1, 1, 1, 1])).unwrap();
     std::thread::sleep(Duration::from_millis(5));
     let small = client.submit(Tensor::full(&[1, 1, 1, 2], 2.0)).unwrap();
     let large = client.submit(Tensor::full(&[1, 1, 2, 2], 3.0)).unwrap();
-    warmup.wait().unwrap();
+    let _ = warmup.wait().unwrap();
     let small = small.wait().unwrap();
     let large = large.wait().unwrap();
     assert_eq!(small.batch_samples, 1, "mixed sizes must not coalesce by default");
@@ -275,5 +283,5 @@ fn mixed_spatial_sizes_never_share_a_batch_by_default() {
     assert_eq!(small.output.as_slice(), &[2.0, 2.0]);
     assert_eq!(large.batch_samples, 1);
     assert_eq!(large.output.as_slice(), &[3.0; 4]);
-    server.shutdown();
+    let _ = server.shutdown();
 }

@@ -1,26 +1,28 @@
-//! Batched inference serving: stand up an `InferenceServer` over a small CNN,
-//! drive it from concurrent client threads, hot-reload a retrained
-//! checkpoint without dropping a request, and print the serving metrics.
+//! Multi-model serving: stand up a `Router` over two CNN architectures,
+//! drive both endpoints from concurrent client threads with mixed priority
+//! classes, hot-reload one endpoint's checkpoint without disturbing the
+//! other, shed load through the bounded admission queue, and print the
+//! per-model serving metrics.
 //!
 //! Run with: `cargo run --release --example serving`
 
 use quadralib::core::{build_model, LayerSpec, ModelConfig};
 use quadralib::data::ShapeImageDataset;
 use quadralib::nn::{ConstantLr, CrossEntropyLoss, Layer, Sgd, StateDict, Trainer, TrainerConfig};
-use quadralib::serve::{BatchPolicy, InferenceServer, ServeConfig};
+use quadralib::serve::{AdmissionPolicy, BatchPolicy, Priority, Router, ServeConfig, ServeError};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::Duration;
 
-fn cnn_config() -> ModelConfig {
+fn cnn_config(name: &str, width: usize) -> ModelConfig {
     ModelConfig::new(
-        "serving-demo",
+        name,
         3,
         16,
         4,
         vec![
             LayerSpec::Conv {
-                out_channels: 8,
+                out_channels: width,
                 kernel: 3,
                 stride: 1,
                 padding: 1,
@@ -29,7 +31,7 @@ fn cnn_config() -> ModelConfig {
                 relu: true,
             },
             LayerSpec::Conv {
-                out_channels: 16,
+                out_channels: 2 * width,
                 kernel: 3,
                 stride: 2,
                 padding: 1,
@@ -44,46 +46,66 @@ fn cnn_config() -> ModelConfig {
 }
 
 fn main() {
-    // A server over randomly initialised replicas: 2 workers, batches close at
-    // 8 samples or after 1 ms.
-    let server = InferenceServer::start(
-        ServeConfig {
-            workers: 2,
-            policy: BatchPolicy {
-                max_batch_size: 8,
-                max_wait: Duration::from_millis(1),
-                ..BatchPolicy::default()
-            },
+    // Two endpoints with their own batch policies behind one router: a small
+    // "light" CNN and a wider "heavy" one. Adaptive wait budgets are on by
+    // default; admission is bounded so overload sheds instead of queueing.
+    let config = |max_batch: usize| ServeConfig {
+        workers: 2,
+        policy: BatchPolicy {
+            max_batch_size: max_batch,
+            max_wait: Duration::from_millis(1),
+            ..BatchPolicy::default()
         },
-        || Box::new(build_model(&cnn_config(), &mut StdRng::seed_from_u64(7))),
-    )
-    .expect("server starts");
+        admission: AdmissionPolicy { queue_capacity: Some(64) },
+    };
+    let router = Router::builder()
+        .endpoint("light", config(8), || {
+            Box::new(build_model(&cnn_config("light", 8), &mut StdRng::seed_from_u64(7)))
+        })
+        .endpoint("heavy", config(16), || {
+            Box::new(build_model(&cnn_config("heavy", 16), &mut StdRng::seed_from_u64(8)))
+        })
+        .start()
+        .expect("router starts");
 
-    // Closed-loop clients hammering the server from their own threads.
+    // Closed-loop clients hammering both endpoints from their own threads,
+    // mixing interactive and batch-class traffic.
     let run_clients = |label: &str| {
         let handles: Vec<_> = (0..4)
             .map(|t| {
-                let client = server.client();
+                let client = router.client();
                 std::thread::spawn(move || {
+                    let model = if t % 2 == 0 { "light" } else { "heavy" };
+                    let priority = if t < 2 { Priority::Interactive } else { Priority::Batch };
                     let images = ShapeImageDataset::generate(32, 4, 16, 3, 0.05, t).images;
+                    let mut shed = 0u32;
                     for i in 0..32 {
                         let x = images.narrow(0, i, 1).unwrap();
-                        let response = client.infer(x).expect("served");
-                        assert_eq!(response.output.shape(), &[1, 4]);
+                        match client.submit(model, x, priority).map(|p| p.wait()) {
+                            Ok(Ok(response)) => assert_eq!(response.output.shape(), &[1, 4]),
+                            Ok(Err(e)) => panic!("serving failed: {e}"),
+                            Err(ServeError::Overloaded { retry_after }) => {
+                                // Bounded queues push back instead of buffering.
+                                shed += 1;
+                                std::thread::sleep(retry_after);
+                            }
+                            Err(e) => panic!("submit failed: {e}"),
+                        }
                     }
+                    shed
                 })
             })
             .collect();
-        for h in handles {
-            h.join().unwrap();
-        }
-        println!("[{label}] {}", server.metrics().describe());
+        let shed: u32 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        println!("[{label}] shed at admission: {shed}");
+        println!("{}\n", router.metrics().describe());
     };
-    run_clients("fresh weights ");
+    run_clients("fresh weights");
 
-    // Meanwhile, "retrain" the model and hot-reload the checkpoint: requests
-    // issued after `reload` returns are answered by the new version.
-    let mut trained = build_model(&cnn_config(), &mut StdRng::seed_from_u64(7));
+    // Meanwhile, "retrain" the light model and hot-reload its checkpoint:
+    // requests issued after `reload` returns are answered by the new version,
+    // and the heavy endpoint keeps serving version 0 untouched.
+    let mut trained = build_model(&cnn_config("light", 8), &mut StdRng::seed_from_u64(7));
     let data = ShapeImageDataset::generate(64, 4, 16, 3, 0.05, 42);
     Trainer::new(TrainerConfig { epochs: 2, batch_size: 16, ..TrainerConfig::default() }).fit(
         &mut trained,
@@ -95,11 +117,16 @@ fn main() {
         None,
     );
     trained.clear_cache();
-    let version = server.reload(StateDict::from_layer(&trained)).expect("compatible checkpoint");
-    println!("hot-reloaded trained checkpoint as version {version}");
-    run_clients("after reload  ");
+    let version = router.reload("light", StateDict::from_layer(&trained)).expect("compatible checkpoint");
+    println!(
+        "hot-reloaded `light` as version {version}; `heavy` still serves version {}",
+        router.version("heavy").unwrap()
+    );
+    run_clients("after reload");
 
-    let metrics = server.shutdown();
-    println!("\nfinal: {}", metrics.describe());
-    println!("\nbatch occupancy:\n{}", metrics.occupancy_ascii(40));
+    let metrics = router.shutdown();
+    println!("final:\n{}", metrics.describe());
+    for snapshot in &metrics.models {
+        println!("\n[{}] batch occupancy:\n{}", snapshot.model, snapshot.occupancy_ascii(40));
+    }
 }

@@ -14,8 +14,10 @@
 //!   memory profiler, auto-builder and analysis tools (the paper's contribution),
 //! * [`data`] — synthetic datasets standing in for CIFAR / Tiny-ImageNet / VOC,
 //! * [`models`] — the model zoo (VGG, ResNet, MobileNetV1, GAN, SSD-lite),
-//! * [`serve`] — batched inference serving (dynamic batcher, worker pools,
-//!   checkpoint hot-reload, serving metrics).
+//! * [`serve`] — multi-model batched inference serving (router over named
+//!   endpoints, bounded priority admission with load shedding, adaptive
+//!   dynamic batcher, worker pools, checkpoint hot-reload, per-model
+//!   metrics).
 
 pub use quadra_autograd as autograd;
 pub use quadra_core as core;

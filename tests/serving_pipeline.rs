@@ -93,6 +93,7 @@ fn serving_pipeline(n_train: usize, epochs: usize, n_serve: usize) {
                 max_wait: Duration::from_millis(2),
                 ..BatchPolicy::default()
             },
+            ..ServeConfig::default()
         },
         move || Box::new(build_model(&toy_config(), &mut StdRng::seed_from_u64(99))),
     )

@@ -6,9 +6,53 @@
 //! time is printed. This keeps `cargo bench` useful for relative comparisons
 //! (quadratic vs first-order layers, hybrid vs default BP) without network
 //! dependencies.
+//!
+//! Setting the `QUADRA_BENCH_JSON` environment variable to a file path makes
+//! the harness additionally write every timing as a machine-readable JSON
+//! record (`[name, ns_per_iter, iters]` triples under a `"records"` key), so
+//! CI can archive per-PR perf trajectories (e.g. `BENCH_gemm.json`).
 
 use std::fmt::Display;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// One completed measurement: `(benchmark name, mean ns per iteration, iters)`.
+#[derive(serde::Serialize, serde::Deserialize, Debug, Clone, PartialEq)]
+pub struct BenchRecord(pub String, pub f64, pub u64);
+
+/// The full machine-readable report written to `QUADRA_BENCH_JSON`.
+#[derive(serde::Serialize, serde::Deserialize, Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    /// Every measurement of the process, in execution order.
+    pub records: Vec<BenchRecord>,
+}
+
+/// Accumulated records of this process (all groups share one report file).
+static RECORDS: Mutex<Vec<BenchRecord>> = Mutex::new(Vec::new());
+
+fn json_report_path() -> Option<String> {
+    std::env::var("QUADRA_BENCH_JSON").ok().filter(|p| !p.is_empty())
+}
+
+fn record_measurement(name: &str, per_iter: Duration, iters: u64) {
+    if json_report_path().is_none() {
+        return;
+    }
+    RECORDS.lock().unwrap().push(BenchRecord(name.to_string(), per_iter.as_nanos() as f64, iters));
+}
+
+fn flush_json_report() {
+    let Some(path) = json_report_path() else { return };
+    let report = BenchReport { records: RECORDS.lock().unwrap().clone() };
+    match serde_json::to_string_pretty(&report) {
+        Ok(text) => {
+            if let Err(e) = std::fs::write(&path, text + "\n") {
+                eprintln!("criterion stub: cannot write {path}: {e}");
+            }
+        }
+        Err(e) => eprintln!("criterion stub: cannot serialize bench report: {e}"),
+    }
+}
 
 /// Prevent the optimiser from deleting a benchmarked computation.
 pub fn black_box<T>(x: T) -> T {
@@ -85,6 +129,7 @@ fn run_one(group: Option<&str>, id: &BenchmarkId, iters: u64, f: &mut dyn FnMut(
         None => id.label.clone(),
     };
     println!("{name:<48} {:>12}/iter ({} iters)", human(per_iter), b.iters);
+    record_measurement(&name, per_iter, b.iters);
 }
 
 /// Top-level benchmark driver (mirror of `criterion::Criterion`).
@@ -95,6 +140,15 @@ pub struct Criterion {
 impl Default for Criterion {
     fn default() -> Self {
         Criterion { default_iters: 20 }
+    }
+}
+
+impl Drop for Criterion {
+    /// Rewrite the JSON report with everything measured so far. Each group
+    /// macro builds its own `Criterion`, so the last drop of the process
+    /// leaves the complete record set on disk.
+    fn drop(&mut self) {
+        flush_json_report();
     }
 }
 
@@ -187,8 +241,14 @@ macro_rules! criterion_main {
 mod tests {
     use super::*;
 
+    /// `QUADRA_BENCH_JSON` is process-global and every `Criterion` drop reads
+    /// it; tests that construct a `Criterion` serialize on this lock so a
+    /// sibling's drop-flush cannot race the env-var test's set/read window.
+    static ENV_LOCK: Mutex<()> = Mutex::new(());
+
     #[test]
     fn group_runs_and_times() {
+        let _guard = ENV_LOCK.lock().unwrap();
         let mut c = Criterion::default();
         let mut group = c.benchmark_group("smoke");
         group.sample_size(3);
@@ -198,5 +258,26 @@ mod tests {
         assert_eq!(runs, 4);
         group.bench_with_input(BenchmarkId::from_parameter(7), &7usize, |b, &n| b.iter(|| black_box(n * 2)));
         group.finish();
+    }
+
+    #[test]
+    fn json_report_written_when_env_set() {
+        let _guard = ENV_LOCK.lock().unwrap();
+        let path = std::env::temp_dir().join(format!("criterion_stub_report_{}.json", std::process::id()));
+        std::env::set_var("QUADRA_BENCH_JSON", &path);
+        {
+            let mut c = Criterion::default();
+            let mut group = c.benchmark_group("json");
+            group.sample_size(2);
+            group.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+            group.finish();
+        } // drop flushes
+        std::env::remove_var("QUADRA_BENCH_JSON");
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        let report: BenchReport = serde_json::from_str(&text).unwrap();
+        let rec = report.records.iter().find(|r| r.0 == "json/noop").expect("record present");
+        assert!(rec.1 >= 0.0);
+        assert_eq!(rec.2, 2);
     }
 }

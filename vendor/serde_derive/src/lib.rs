@@ -4,6 +4,8 @@
 //!
 //! Supported shapes — exactly what QuadraLib-rs derives on:
 //! * structs with named fields → JSON object keyed by field name,
+//! * newtype structs (`struct N(T);`) → the inner value, transparently,
+//! * tuple structs (`struct P(A, B, …);`) → JSON array `[a, b, …]`,
 //! * enums with unit variants → JSON string of the variant name,
 //! * enums with struct variants → externally tagged `{"Variant": {fields…}}`,
 //! * enums with tuple variants → `{"Variant": value}` (1 field) or
@@ -17,6 +19,7 @@ use proc_macro::{Delimiter, TokenStream, TokenTree};
 #[derive(Debug)]
 enum Shape {
     Struct { name: String, fields: Vec<String> },
+    TupleStruct { name: String, arity: usize },
     Enum { name: String, variants: Vec<Variant> },
 }
 
@@ -145,6 +148,21 @@ fn parse_shape(input: TokenStream) -> Result<Shape, String> {
     if tokens.get(i).is_some_and(|t| is_punct(t, '<')) {
         return Err(format!("generic type `{name}` is not supported by the vendored serde derive"));
     }
+    // `struct Name(A, B, …);` — a tuple struct: the body is a parenthesised
+    // field list followed by a semicolon.
+    if kind == "struct" {
+        if let Some(TokenTree::Group(g)) = tokens.get(i) {
+            if g.delimiter() == Delimiter::Parenthesis {
+                let arity = split_top_level_commas(g.stream().into_iter().collect()).len();
+                if arity == 0 {
+                    return Err(format!(
+                        "unit-like tuple struct `{name}()` is not supported by the vendored serde derive"
+                    ));
+                }
+                return Ok(Shape::TupleStruct { name, arity });
+            }
+        }
+    }
     let body = match tokens.get(i) {
         Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g,
         other => return Err(format!("expected `{{ ... }}` body for `{name}`, found {other:?}")),
@@ -172,6 +190,27 @@ fn gen_serialize(shape: &Shape) -> String {
                 "impl ::serde::Serialize for {name} {{\n\
                      fn to_value(&self) -> ::serde::Value {{\n\
                          ::serde::Value::Obj(::std::vec![{entries}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::TupleStruct { name, arity: 1 } => {
+            // serde's default newtype representation: transparently the inner value.
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Serialize::to_value(&self.0)\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::TupleStruct { name, arity } => {
+            let items: String =
+                (0..*arity).map(|k| format!("::serde::Serialize::to_value(&self.{k}),")).collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Arr(::std::vec![{items}])\n\
                      }}\n\
                  }}"
             )
@@ -237,6 +276,28 @@ fn gen_deserialize(shape: &Shape) -> String {
                      fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::std::string::String> {{\n\
                          let __obj = v.as_obj().ok_or_else(|| ::std::format!(\"expected object for {name}, found {{}}\", v.kind()))?;\n\
                          ::std::result::Result::Ok({name} {{ {inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::TupleStruct { name, arity: 1 } => {
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::std::string::String> {{\n\
+                         ::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::TupleStruct { name, arity } => {
+            let inits: String =
+                (0..*arity).map(|k| format!("::serde::Deserialize::from_value(&__items[{k}])?,")).collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::std::string::String> {{\n\
+                         let __items = v.as_arr().ok_or_else(|| ::std::format!(\"expected array for {name}, found {{}}\", v.kind()))?;\n\
+                         if __items.len() != {arity} {{ return ::std::result::Result::Err(::std::format!(\"expected {arity} elements for {name}, found {{}}\", __items.len())); }}\n\
+                         ::std::result::Result::Ok({name}({inits}))\n\
                      }}\n\
                  }}"
             )

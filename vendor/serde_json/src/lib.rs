@@ -366,4 +366,27 @@ mod tests {
         let s: String = from_str("\"a\\u00e9b\\ud83d\\ude00c\"").unwrap();
         assert_eq!(s, "aéb😀c");
     }
+
+    #[derive(serde::Serialize, serde::Deserialize, Debug, PartialEq)]
+    struct Wrapper(f64);
+
+    #[derive(serde::Serialize, serde::Deserialize, Debug, PartialEq)]
+    struct Triple(String, f64, u64);
+
+    #[test]
+    fn derived_newtype_struct_is_transparent() {
+        // serde's default newtype representation: the inner value itself.
+        assert_eq!(to_string(&Wrapper(2.5)).unwrap(), "2.5");
+        assert_eq!(from_str::<Wrapper>("2.5").unwrap(), Wrapper(2.5));
+    }
+
+    #[test]
+    fn derived_tuple_struct_roundtrips_as_array() {
+        let t = Triple("gemm/square_256".to_string(), 1234.5, 10);
+        let text = to_string(&t).unwrap();
+        assert_eq!(text, "[\"gemm/square_256\",1234.5,10]");
+        assert_eq!(from_str::<Triple>(&text).unwrap(), t);
+        assert!(from_str::<Triple>("[\"short\",1]").is_err(), "arity mismatch must be rejected");
+        assert!(from_str::<Triple>("{}").is_err(), "non-array must be rejected");
+    }
 }
