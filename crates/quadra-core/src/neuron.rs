@@ -168,9 +168,10 @@ impl std::fmt::Display for NeuronType {
 /// A single scalar-output quadratic neuron over a length-`n` input vector.
 ///
 /// This is the object the paper's Table 1 reasons about; the layer
-/// implementations in [`crate::qlinear`] and [`crate::qconv`] generalise it to
-/// whole layers. It is used by tests and by the Table 1 benchmark harness to
-/// validate the closed-form complexity counts against concrete tensors.
+/// implementations in [`QuadraticLinear`](crate::QuadraticLinear) and
+/// [`QuadraticConv2d`](crate::QuadraticConv2d) generalise it to whole layers.
+/// It is used by tests and by the Table 1 benchmark harness to validate the
+/// closed-form complexity counts against concrete tensors.
 #[derive(Debug, Clone)]
 pub struct DenseQuadraticNeuron {
     neuron_type: NeuronType,

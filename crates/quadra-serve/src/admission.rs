@@ -1,17 +1,18 @@
 //! The admission layer: one bounded queue per priority class per model.
 //!
-//! This replaces the PR-3 unbounded mpsc between clients and the batcher.
 //! Clients admit requests synchronously — a full class queue rejects the
 //! request immediately (the caller surfaces
 //! [`ServeError::Overloaded`](crate::ServeError::Overloaded)) instead of
-//! queueing forever — and the batcher drains the queues priority-first,
-//! picking shape-compatible requests without head-of-line blocking across
-//! shapes.
+//! queueing forever — and idle workers drain the queues through the
+//! scheduler, seeding batches interactive-first (tempered by the batch-class
+//! aging credit) and picking shape-compatible requests without head-of-line
+//! blocking across shapes.
 
-use crate::batcher::compat_key;
 use crate::request::{PendingInfer, Priority};
+use crate::scheduler::compat_key;
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
 /// Why a request could not be admitted.
@@ -25,7 +26,7 @@ pub(crate) enum AdmitRejection {
 
 /// Outcome of a blocking pop.
 pub(crate) enum PopResult {
-    /// The highest-priority queued request.
+    /// The queued request chosen to seed the next batch.
     Request(PendingInfer),
     /// The queue is closed and fully drained.
     Closed,
@@ -46,6 +47,9 @@ struct QueueState {
     classes: [VecDeque<PendingInfer>; Priority::COUNT],
     /// Queued samples per class (capacity is counted in samples).
     queued_samples: [usize; Priority::COUNT],
+    /// Consecutive interactive-seeded pops while batch-class work waited;
+    /// drives the aging credit.
+    interactive_streak: u32,
     closed: bool,
 }
 
@@ -53,33 +57,63 @@ struct QueueState {
 pub(crate) struct AdmissionQueue {
     /// Per-class capacity in samples; `None` = unbounded (overload baseline).
     capacity: Option<usize>,
+    /// Aging credit: seed from the batch class after this many consecutive
+    /// interactive seeds while batch work waited (0 = strict priority).
+    batch_aging: u32,
+    /// Mirror of the total queued samples, refreshed under the state lock on
+    /// every mutation — shared with the fleet scheduler so depth reads never
+    /// take the queue lock.
+    depth_cell: Arc<AtomicUsize>,
     state: Mutex<QueueState>,
     arrived: Condvar,
 }
 
 impl AdmissionQueue {
-    pub fn new(capacity: Option<usize>) -> Self {
+    pub fn new(capacity: Option<usize>, batch_aging: u32, depth_cell: Arc<AtomicUsize>) -> Self {
         AdmissionQueue {
             capacity,
+            batch_aging,
+            depth_cell,
             state: Mutex::new(QueueState {
                 classes: [VecDeque::new(), VecDeque::new()],
                 queued_samples: [0; Priority::COUNT],
+                interactive_streak: 0,
                 closed: false,
             }),
             arrived: Condvar::new(),
         }
     }
 
-    /// Total samples currently queued across both classes.
+    /// Refresh the lock-free depth mirror; call after every mutation, while
+    /// still holding the state lock.
+    fn sync_depth(&self, st: &QueueState) {
+        self.depth_cell.store(st.queued_samples.iter().sum(), Ordering::Relaxed);
+    }
+
+    /// Total samples currently queued across both classes (lock-free).
     pub fn depth(&self) -> usize {
+        self.depth_cell.load(Ordering::Relaxed)
+    }
+
+    /// Queued samples ahead of a newly admitted request of `priority`: the
+    /// interactive class only waits behind its own backlog, the batch class
+    /// waits behind everything (interactive drains first).
+    pub fn class_backlog(&self, priority: Priority) -> usize {
         let st = self.state.lock().unwrap();
-        st.queued_samples.iter().sum()
+        match priority {
+            Priority::Interactive => st.queued_samples[Priority::Interactive.index()],
+            Priority::Batch => st.queued_samples.iter().sum(),
+        }
     }
 
     /// Admit `req`, or reject it without queueing. A request larger than the
     /// whole capacity is still admitted when its class queue is empty —
     /// otherwise it could never be served at all (it then occupies the queue
     /// alone, exactly like an oversized batch occupies a worker alone).
+    ///
+    /// The `Err` variant hands the (tensor-carrying) request back by value on
+    /// purpose: the caller destructures it on the spot, nothing propagates.
+    #[allow(clippy::result_large_err)]
     pub fn try_admit(&self, req: PendingInfer) -> Result<(), (PendingInfer, AdmitRejection)> {
         let mut st = self.state.lock().unwrap();
         if st.closed {
@@ -94,26 +128,53 @@ impl AdmissionQueue {
         }
         st.queued_samples[class] += req.samples;
         st.classes[class].push_back(req);
+        self.sync_depth(&st);
         drop(st);
         self.arrived.notify_one();
         Ok(())
     }
 
     /// Mark the queue closed and wake every waiter. Already-queued requests
-    /// remain poppable so the batcher can drain them into final batches.
+    /// remain poppable so workers can drain them into final batches.
     pub fn close(&self) {
         self.state.lock().unwrap().closed = true;
         self.arrived.notify_all();
     }
 
-    /// Block until a request is available (interactive first) or the queue is
-    /// closed *and* empty.
+    /// The class order for the next seed pop: interactive first, unless the
+    /// aging credit fires (batch-class work waited through `batch_aging`
+    /// consecutive interactive seeds).
+    fn seed_order(&self, st: &QueueState) -> [usize; Priority::COUNT] {
+        let batch = Priority::Batch.index();
+        if self.batch_aging > 0 && st.interactive_streak >= self.batch_aging && !st.classes[batch].is_empty()
+        {
+            [batch, Priority::Interactive.index()]
+        } else {
+            [Priority::Interactive.index(), batch]
+        }
+    }
+
+    /// Block until a request is available or the queue is closed *and* empty.
+    /// Interactive seeds first, except when the batch class's aging credit
+    /// fires; the streak bookkeeping lives here, under the queue lock.
     pub fn pop_blocking(&self) -> PopResult {
         let mut st = self.state.lock().unwrap();
         loop {
-            for class in 0..Priority::COUNT {
+            let order = self.seed_order(&st);
+            for class in order {
                 if let Some(req) = st.classes[class].pop_front() {
                     st.queued_samples[class] -= req.samples;
+                    self.sync_depth(&st);
+                    if class == Priority::Interactive.index() {
+                        if st.classes[Priority::Batch.index()].is_empty() {
+                            // No batch-class work waited: nothing is aging.
+                            st.interactive_streak = 0;
+                        } else {
+                            st.interactive_streak = st.interactive_streak.saturating_add(1);
+                        }
+                    } else {
+                        st.interactive_streak = 0;
+                    }
                     return PopResult::Request(req);
                 }
             }
@@ -168,6 +229,7 @@ impl AdmissionQueue {
                 }
             }
             if !taken.is_empty() {
+                self.sync_depth(&st);
                 return TakeResult::Taken(taken);
             }
             if st.closed {
@@ -191,7 +253,8 @@ mod tests {
     use super::*;
     use crate::request::ServeError;
     use quadra_tensor::Tensor;
-    use std::sync::mpsc;
+    use std::sync::atomic::AtomicBool;
+    use std::sync::{mpsc, Arc};
     use std::time::Duration;
 
     fn req(samples: usize, priority: Priority) -> PendingInfer {
@@ -202,14 +265,24 @@ mod tests {
             input: Tensor::zeros(&[samples, 2]),
             samples,
             priority,
+            tag: None,
             submitted_at: Instant::now(),
+            deadline: None,
+            cancelled: Arc::new(AtomicBool::new(false)),
             reply,
+        }
+    }
+
+    fn pop_priority(q: &AdmissionQueue) -> Priority {
+        match q.pop_blocking() {
+            PopResult::Request(r) => r.priority,
+            PopResult::Closed => panic!("queue not closed"),
         }
     }
 
     #[test]
     fn bounded_class_queue_rejects_when_full() {
-        let q = AdmissionQueue::new(Some(3));
+        let q = AdmissionQueue::new(Some(3), 0, Arc::new(AtomicUsize::new(0)));
         q.try_admit(req(2, Priority::Interactive)).unwrap();
         q.try_admit(req(1, Priority::Interactive)).unwrap();
         let err = q.try_admit(req(1, Priority::Interactive)).unwrap_err();
@@ -221,7 +294,7 @@ mod tests {
 
     #[test]
     fn oversized_request_admitted_only_into_empty_class() {
-        let q = AdmissionQueue::new(Some(2));
+        let q = AdmissionQueue::new(Some(2), 0, Arc::new(AtomicUsize::new(0)));
         q.try_admit(req(5, Priority::Interactive)).unwrap();
         let err = q.try_admit(req(5, Priority::Interactive)).unwrap_err();
         assert_eq!(err.1, AdmitRejection::Full);
@@ -229,22 +302,71 @@ mod tests {
 
     #[test]
     fn pop_prefers_interactive() {
-        let q = AdmissionQueue::new(None);
+        let q = AdmissionQueue::new(None, 0, Arc::new(AtomicUsize::new(0)));
         q.try_admit(req(1, Priority::Batch)).unwrap();
         q.try_admit(req(1, Priority::Interactive)).unwrap();
-        match q.pop_blocking() {
-            PopResult::Request(r) => assert_eq!(r.priority, Priority::Interactive),
-            PopResult::Closed => panic!("queue not closed"),
+        assert_eq!(pop_priority(&q), Priority::Interactive);
+        assert_eq!(pop_priority(&q), Priority::Batch);
+    }
+
+    #[test]
+    fn class_backlog_is_interactive_only_for_interactive() {
+        let q = AdmissionQueue::new(None, 0, Arc::new(AtomicUsize::new(0)));
+        q.try_admit(req(2, Priority::Interactive)).unwrap();
+        q.try_admit(req(3, Priority::Batch)).unwrap();
+        assert_eq!(q.class_backlog(Priority::Interactive), 2, "interactive only waits behind its class");
+        assert_eq!(q.class_backlog(Priority::Batch), 5, "batch class waits behind everything");
+    }
+
+    #[test]
+    fn aging_credit_seeds_batch_class_after_streak() {
+        // Aging every 2 interactive seeds: I, I, then the batch class's turn.
+        let q = AdmissionQueue::new(None, 2, Arc::new(AtomicUsize::new(0)));
+        q.try_admit(req(1, Priority::Batch)).unwrap();
+        for _ in 0..4 {
+            q.try_admit(req(1, Priority::Interactive)).unwrap();
         }
-        match q.pop_blocking() {
-            PopResult::Request(r) => assert_eq!(r.priority, Priority::Batch),
-            PopResult::Closed => panic!("queue not closed"),
+        assert_eq!(pop_priority(&q), Priority::Interactive);
+        assert_eq!(pop_priority(&q), Priority::Interactive);
+        assert_eq!(pop_priority(&q), Priority::Batch, "aging credit fires after the streak");
+        assert_eq!(pop_priority(&q), Priority::Interactive, "strict priority resumes after the aged seed");
+        assert_eq!(pop_priority(&q), Priority::Interactive);
+    }
+
+    #[test]
+    fn interactive_streak_resets_when_no_batch_work_waits() {
+        let q = AdmissionQueue::new(None, 2, Arc::new(AtomicUsize::new(0)));
+        // Interactive pops with an empty batch queue never age anything.
+        for _ in 0..5 {
+            q.try_admit(req(1, Priority::Interactive)).unwrap();
+            assert_eq!(pop_priority(&q), Priority::Interactive);
         }
+        // Batch work arrives now: the streak starts from zero.
+        q.try_admit(req(1, Priority::Batch)).unwrap();
+        q.try_admit(req(1, Priority::Interactive)).unwrap();
+        q.try_admit(req(1, Priority::Interactive)).unwrap();
+        q.try_admit(req(1, Priority::Interactive)).unwrap();
+        assert_eq!(pop_priority(&q), Priority::Interactive);
+        assert_eq!(pop_priority(&q), Priority::Interactive);
+        assert_eq!(pop_priority(&q), Priority::Batch);
+    }
+
+    #[test]
+    fn zero_aging_restores_strict_priority() {
+        let q = AdmissionQueue::new(None, 0, Arc::new(AtomicUsize::new(0)));
+        q.try_admit(req(1, Priority::Batch)).unwrap();
+        for _ in 0..16 {
+            q.try_admit(req(1, Priority::Interactive)).unwrap();
+        }
+        for _ in 0..16 {
+            assert_eq!(pop_priority(&q), Priority::Interactive, "strict priority never ages");
+        }
+        assert_eq!(pop_priority(&q), Priority::Batch);
     }
 
     #[test]
     fn take_compatible_skips_other_shapes_and_respects_budget() {
-        let q = AdmissionQueue::new(None);
+        let q = AdmissionQueue::new(None, 0, Arc::new(AtomicUsize::new(0)));
         q.try_admit(req(2, Priority::Batch)).unwrap(); // [2, 2] — compatible
         let (reply, _rx) = mpsc::channel();
         q.try_admit(PendingInfer {
@@ -252,7 +374,10 @@ mod tests {
             input: Tensor::zeros(&[1, 3]),
             samples: 1,
             priority: Priority::Interactive,
+            tag: None,
             submitted_at: Instant::now(),
+            deadline: None,
+            cancelled: Arc::new(AtomicBool::new(false)),
             reply,
         })
         .unwrap(); // [1, 3] — different trailing shape, must stay queued
@@ -271,7 +396,7 @@ mod tests {
 
     #[test]
     fn close_rejects_admission_but_drains_queued() {
-        let q = AdmissionQueue::new(None);
+        let q = AdmissionQueue::new(None, 0, Arc::new(AtomicUsize::new(0)));
         q.try_admit(req(1, Priority::Interactive)).unwrap();
         q.close();
         let err = q.try_admit(req(1, Priority::Interactive)).unwrap_err();

@@ -1,13 +1,14 @@
 //! One named model endpoint: its admission queue, hot-reload slot, metrics
-//! hub, and the arrival/service statistics behind the adaptive wait budget.
+//! hub, fleet-scheduler membership, and the arrival/service statistics behind
+//! the adaptive wait budget and the live overload estimate.
 
 use crate::admission::{AdmissionQueue, AdmitRejection};
 use crate::metrics::{MetricsHub, ServeMetrics};
-use crate::request::{PendingInfer, PendingResponse, Priority, ServeConfig, ServeError};
+use crate::request::{PendingInfer, Priority, Request, ResponseHandle, ServeConfig, ServeError};
+use crate::scheduler::FleetScheduler;
 use crate::worker::ReloadSlot;
-use quadra_tensor::Tensor;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{mpsc, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// EWMA smoothing: `new = (3 * old + sample) / 4`.
@@ -17,31 +18,45 @@ fn ewma_update(cell: &AtomicU64, sample_us: u64) {
     cell.store(next.max(1), Ordering::Relaxed);
 }
 
-/// Shared state of one model endpoint; the admission layer, batcher thread,
-/// worker pool, and the router front-end all hold an `Arc` of this.
+/// Shared state of one model endpoint; the admission layer, worker pool, and
+/// the router front-end all hold an `Arc` of this.
 pub(crate) struct EndpointShared {
     pub name: String,
     pub config: ServeConfig,
     pub queue: AdmissionQueue,
     pub reload: ReloadSlot,
     pub metrics: MetricsHub,
+    /// The fleet-level fair-share arbiter all endpoints of a router share.
+    pub fleet: Arc<FleetScheduler>,
+    /// This endpoint's member index in the fleet scheduler.
+    pub member: usize,
     /// EWMA of request inter-arrival time in µs (0 = no data yet).
     ewma_interarrival_us: AtomicU64,
     last_arrival: Mutex<Option<Instant>>,
     /// EWMA of batch service (forward-pass) time in µs, fed by workers.
     ewma_batch_us: AtomicU64,
-    /// Gauge: the wait budget the batcher most recently computed, in µs.
+    /// Gauge: the wait budget a worker most recently computed, in µs.
     wait_budget_us: AtomicU64,
 }
 
 impl EndpointShared {
-    pub fn new(name: &str, config: ServeConfig) -> Self {
+    pub fn new(name: &str, config: ServeConfig, fleet: Arc<FleetScheduler>) -> Self {
+        // The queue keeps the shared depth cell current under its own lock;
+        // the fleet scheduler reads it lock-free for contention checks.
+        let depth_cell = Arc::new(AtomicUsize::new(0));
+        let member = fleet.register(config.weight, Arc::clone(&depth_cell));
         EndpointShared {
             name: name.to_string(),
             config,
-            queue: AdmissionQueue::new(config.admission.queue_capacity),
+            queue: AdmissionQueue::new(
+                config.admission.queue_capacity,
+                config.admission.batch_aging,
+                depth_cell,
+            ),
             reload: ReloadSlot::new(),
             metrics: MetricsHub::new(config.policy.max_batch_size),
+            fleet,
+            member,
             ewma_interarrival_us: AtomicU64::new(0),
             last_arrival: Mutex::new(None),
             ewma_batch_us: AtomicU64::new(0),
@@ -49,28 +64,45 @@ impl EndpointShared {
         }
     }
 
-    /// Validate and admit one request; returns the pending-response handle or
-    /// the admission error (bad input, overload shed, shutting down).
-    pub fn submit(&self, id: u64, input: Tensor, priority: Priority) -> Result<PendingResponse, ServeError> {
-        if input.ndim() < 2 {
+    /// Validate and admit one request; returns the response handle or the
+    /// admission error (bad input, overload shed, shutting down).
+    pub fn submit(&self, id: u64, request: Request) -> Result<ResponseHandle, ServeError> {
+        if request.input.ndim() < 2 {
             return Err(ServeError::BadInput(format!(
                 "input must have a leading sample axis (got {}-d; wrap a single sample as [1, ...])",
-                input.ndim()
+                request.input.ndim()
             )));
         }
-        let samples = input.shape()[0];
+        let samples = request.input.shape()[0];
         if samples == 0 {
             return Err(ServeError::BadInput("input holds zero samples".into()));
         }
         self.record_arrival();
+        let submitted_at = Instant::now();
+        let deadline = request.resolve_deadline(submitted_at);
+        let priority = request.priority;
+        let cancelled = Arc::new(AtomicBool::new(false));
         let (reply, rx) = mpsc::channel();
-        let request = PendingInfer { id, input, samples, priority, submitted_at: Instant::now(), reply };
-        match self.queue.try_admit(request) {
-            Ok(()) => Ok(PendingResponse { id, rx }),
+        let pending = PendingInfer {
+            id,
+            input: request.input,
+            samples,
+            priority,
+            tag: request.tag,
+            submitted_at,
+            deadline,
+            cancelled: Arc::clone(&cancelled),
+            reply,
+        };
+        match self.queue.try_admit(pending) {
+            Ok(()) => {
+                self.fleet.nudge();
+                Ok(ResponseHandle { id, rx, cancelled })
+            }
             Err((_, AdmitRejection::Closed)) => Err(ServeError::ShuttingDown),
             Err((_, AdmitRejection::Full)) => {
                 self.metrics.record_shed(priority);
-                Err(ServeError::Overloaded { retry_after: self.retry_after() })
+                Err(ServeError::Overloaded { retry_after: self.retry_after(priority) })
             }
         }
     }
@@ -88,6 +120,18 @@ impl EndpointShared {
     pub fn record_batch_service(&self, service: Duration) {
         let us = service.as_micros().min(u64::MAX as u128) as u64;
         ewma_update(&self.ewma_batch_us, us);
+    }
+
+    /// The cost estimate the fair-share gate debits before a batch runs: the
+    /// live EWMA batch-service time, or a nominal 1 ms before any batch has
+    /// completed.
+    pub fn estimated_batch_us(&self) -> u64 {
+        let us = self.ewma_batch_us.load(Ordering::Relaxed);
+        if us == 0 {
+            1_000
+        } else {
+            us
+        }
     }
 
     /// The wait budget for a batch currently holding `samples_in_batch`
@@ -121,12 +165,17 @@ impl EndpointShared {
         budget
     }
 
-    /// Estimate of when the current backlog will have drained: queued batches
-    /// ahead, divided over the worker pool, at the measured batch service
-    /// time (falling back to `max_wait` before any batch has completed).
-    pub fn retry_after(&self) -> Duration {
+    /// Live estimate of when the backlog ahead of a newly shed request of
+    /// `priority` will have drained: the samples queued ahead of that class
+    /// (interactive only waits behind interactive; the batch class waits
+    /// behind everything), in batches, divided over the worker pool, at the
+    /// EWMA batch-service time (falling back to `max_wait` before any batch
+    /// has completed). Shrinks live as the queue drains and as the measured
+    /// service time drops.
+    pub fn retry_after(&self, priority: Priority) -> Duration {
         let policy = &self.config.policy;
-        let batches_queued = self.queue.depth().div_ceil(policy.max_batch_size).max(1) as u32;
+        let backlog = self.queue.class_backlog(priority);
+        let batches_queued = backlog.div_ceil(policy.max_batch_size).max(1) as u32;
         let waves = batches_queued.div_ceil(self.config.workers.max(1) as u32).max(1);
         let svc_us = self.ewma_batch_us.load(Ordering::Relaxed);
         let per_batch = if svc_us > 0 {
@@ -152,6 +201,7 @@ impl EndpointShared {
 mod tests {
     use super::*;
     use crate::request::{AdmissionPolicy, BatchPolicy};
+    use quadra_tensor::Tensor;
 
     fn endpoint(adaptive: bool) -> EndpointShared {
         EndpointShared::new(
@@ -165,7 +215,9 @@ mod tests {
                     pad_mixed_spatial: false,
                 },
                 admission: AdmissionPolicy::default(),
+                weight: 1,
             },
+            Arc::new(FleetScheduler::new()),
         )
     }
 
@@ -212,7 +264,9 @@ mod tests {
                     pad_mixed_spatial: false,
                 },
                 admission: AdmissionPolicy::default(),
+                weight: 1,
             },
+            Arc::new(FleetScheduler::new()),
         );
         for _ in 0..4 {
             ewma_update(&ep.ewma_interarrival_us, 200);
@@ -232,12 +286,69 @@ mod tests {
     }
 
     #[test]
+    fn estimated_batch_cost_falls_back_before_data() {
+        let ep = endpoint(true);
+        assert_eq!(ep.estimated_batch_us(), 1_000, "nominal 1 ms before any batch completed");
+        for _ in 0..32 {
+            ewma_update(&ep.ewma_batch_us, 7_000);
+        }
+        assert_eq!(ep.estimated_batch_us(), 7_000);
+    }
+
+    /// Regression surface for the `Overloaded { retry_after }` satellite: the
+    /// estimate is derived from the *live* queue depth and EWMA service time,
+    /// so it must shrink monotonically as the queue drains.
+    #[test]
+    fn retry_after_shrinks_as_the_queue_drains() {
+        let ep = endpoint(true); // max_batch_size 8, 1 worker
+        for _ in 0..32 {
+            ewma_update(&ep.ewma_batch_us, 10_000); // 10 ms per batch
+        }
+        // 24 queued batch-class samples = 3 batches of 8 → 30 ms.
+        for _ in 0..24 {
+            let _ = ep.submit(0, Request::new(Tensor::zeros(&[1, 2])).priority(Priority::Batch)).unwrap();
+        }
+        let deep = ep.retry_after(Priority::Batch);
+        assert_eq!(deep, Duration::from_millis(30));
+
+        // Drain two batches' worth: the estimate shrinks with the queue.
+        for _ in 0..16 {
+            assert!(matches!(ep.queue.pop_blocking(), crate::admission::PopResult::Request(_)));
+        }
+        let shallow = ep.retry_after(Priority::Batch);
+        assert_eq!(shallow, Duration::from_millis(10));
+        assert!(shallow < deep, "retry_after must shrink as the queue drains");
+
+        // A faster measured service time shrinks it further, live.
+        for _ in 0..64 {
+            ewma_update(&ep.ewma_batch_us, 2_000);
+        }
+        assert!(ep.retry_after(Priority::Batch) < shallow);
+    }
+
+    #[test]
+    fn retry_after_is_class_aware() {
+        let ep = endpoint(true);
+        for _ in 0..32 {
+            ewma_update(&ep.ewma_batch_us, 10_000);
+        }
+        // 16 batch-class samples queued, nothing interactive.
+        for _ in 0..16 {
+            let _ = ep.submit(0, Request::new(Tensor::zeros(&[1, 2])).priority(Priority::Batch)).unwrap();
+        }
+        // An interactive request only waits behind interactive backlog (one
+        // wave), while a batch-class one waits behind everything (two waves).
+        assert_eq!(ep.retry_after(Priority::Interactive), Duration::from_millis(10));
+        assert_eq!(ep.retry_after(Priority::Batch), Duration::from_millis(20));
+    }
+
+    #[test]
     fn retry_after_scales_with_backlog() {
         let ep = endpoint(true);
         for _ in 0..32 {
             ewma_update(&ep.ewma_batch_us, 10_000); // 10 ms per batch
         }
-        let empty = ep.retry_after();
+        let empty = ep.retry_after(Priority::Interactive);
         assert_eq!(empty, Duration::from_millis(10));
     }
 }

@@ -8,22 +8,39 @@
 //!
 //! Everything is plain threads (compatible with the vendored rayon; no async
 //! runtime). The engine is a **[`Router`]** fronting N named model endpoints
-//! behind one admission layer:
+//! behind one admission layer and one fleet scheduler, and the request
+//! lifecycle — admission, priority, deadline, cancellation, scheduling — is
+//! the core API:
 //!
+//! * Requests are built with the typed **[`Request`]** builder
+//!   (`Request::new(input).priority(..).deadline(..).tag(..)`) and submitted
+//!   with [`RouterClient::send`], which returns a **[`ResponseHandle`]**
+//!   supporting `wait` / `wait_timeout` / `try_wait` / `cancel`. Responses
+//!   carry per-request provenance: model, version, batch id, queue wait, and
+//!   the echoed tag.
 //! * **Admission** is bounded and priority-aware: each endpoint keeps one
-//!   bounded queue per [`Priority`] class (`Interactive` drains before
-//!   `Batch`). A full class queue sheds the request synchronously with
-//!   [`ServeError::Overloaded`] — carrying a `retry_after` estimate — instead
-//!   of queueing forever, so offered load beyond capacity degrades into
-//!   explicit backpressure rather than unbounded latency.
-//! * A per-endpoint **dynamic batcher** thread coalesces admitted requests
-//!   into batches under the endpoint's [`BatchPolicy`]. The wait budget is
-//!   adaptive by default: the batcher tracks the EWMA request inter-arrival
-//!   time and EWMA batch service time and waits just long enough to fill a
-//!   batch, capped at `max_wait`. Only same-shape requests coalesce by
-//!   default — predictions never depend on concurrent traffic;
-//!   `BatchPolicy::pad_mixed_spatial` opts NCHW inputs into zero-padded
-//!   mixed-size batches. Outputs are split back into per-request rows.
+//!   bounded queue per [`Priority`] class (`Interactive` seeds batches before
+//!   `Batch`, tempered by an aging credit so the batch class is never fully
+//!   starved). A full class queue sheds the request synchronously with
+//!   [`ServeError::Overloaded`] — carrying a `retry_after` estimate derived
+//!   from the live queue depth and measured batch-service time — instead of
+//!   queueing forever.
+//! * **Batch formation is worker-pull**: an idle worker pulls straight from
+//!   the admission queue and coalesces a batch under the endpoint's
+//!   [`BatchPolicy`] only at that moment — no standalone batcher thread, no
+//!   batch formed ahead of execution, so an admitted request's floor sojourn
+//!   under overload is one batch service time, not two. The wait budget is
+//!   adaptive by default (EWMA inter-arrival × remaining fill, capped by
+//!   2 × EWMA service time and `max_wait`). Only same-shape requests coalesce
+//!   by default; `BatchPolicy::pad_mixed_spatial` opts NCHW inputs into
+//!   zero-padded mixed-size batches. Cancelled and deadline-expired requests
+//!   are shed at this dispatch moment with [`ServeError::Cancelled`] /
+//!   [`ServeError::DeadlineExceeded`].
+//! * **Weighted fair sharing**: endpoints contend for the worker CPU through
+//!   a deficit-round-robin fleet scheduler — under contention each endpoint
+//!   is granted batch service time proportional to [`ServeConfig::weight`],
+//!   so a saturated light model cannot crowd out a heavy one. Uncontended
+//!   endpoints are never throttled (work conservation).
 //! * A per-endpoint **worker pool** of N model replicas, each owned by a
 //!   dedicated worker thread, executes batches in eval mode. Replicas are
 //!   built *on* their worker thread by a `Fn() -> Box<dyn Layer>` factory, so
@@ -36,21 +53,26 @@
 //! * **[`ServeMetrics`]** are per model (and shed counts per priority class):
 //!   throughput, p50/p95/max latency over the endpoint's own window — never
 //!   blended across a heterogeneous fleet — batch-occupancy histogram, queue
-//!   depth, current wait budget, and per-batch activation memory attributed
-//!   through `quadra_core::MemoryProfiler::inference_report_for`.
-//!   [`Router::metrics`] rolls the fleet up into [`RouterMetrics`].
+//!   depth, current wait budget, cancelled / deadline-missed counters, the
+//!   fair-share service-time ledger, and per-batch activation memory
+//!   attributed through `quadra_core::MemoryProfiler::inference_report_for`.
+//!   [`Router::metrics`] rolls the fleet up into [`RouterMetrics`]
+//!   (including [`RouterMetrics::service_share`]).
 //!
 //! Single-architecture callers keep the one-line path: [`InferenceServer`] is
-//! a router with exactly one endpoint.
+//! a router with exactly one endpoint, and [`ServeClient::submit`] /
+//! [`ServeClient::submit_with_priority`] remain as thin wrappers over the
+//! [`Request`] builder.
 //!
 //! ## Example
 //!
 //! ```
 //! use quadra_nn::{Layer, Linear, Relu, Sequential, StateDict};
-//! use quadra_serve::{InferenceServer, ServeConfig};
+//! use quadra_serve::{InferenceServer, Priority, Request, ServeConfig};
 //! use quadra_tensor::Tensor;
 //! use rand::rngs::StdRng;
 //! use rand::SeedableRng;
+//! use std::time::Duration;
 //!
 //! let model = |seed: u64| -> Box<dyn Layer> {
 //!     let mut rng = StdRng::seed_from_u64(seed);
@@ -63,10 +85,20 @@
 //! let server = InferenceServer::start(ServeConfig::default(), move || model(0)).unwrap();
 //! let client = server.client();
 //!
-//! // Serve a batch of two 4-feature rows.
-//! let response = client.infer(Tensor::ones(&[2, 4])).unwrap();
+//! // Serve a batch of two 4-feature rows, with the full lifecycle API: a
+//! // priority class, a deadline, and a tag echoed back in the response.
+//! let handle = client
+//!     .send(
+//!         Request::new(Tensor::ones(&[2, 4]))
+//!             .priority(Priority::Interactive)
+//!             .deadline(Duration::from_secs(5))
+//!             .tag("doc-example"),
+//!     )
+//!     .unwrap();
+//! let response = handle.wait().unwrap();
 //! assert_eq!(response.output.shape(), &[2, 3]);
 //! assert_eq!(response.model_version, 0);
+//! assert_eq!(response.tag.as_deref(), Some("doc-example"));
 //!
 //! // Hot-reload different weights; later responses report the new version.
 //! let mut rng = StdRng::seed_from_u64(1);
@@ -83,24 +115,25 @@
 //! ```
 //!
 //! For the multi-model form — several architectures, per-model policies,
-//! priority classes and load shedding — see [`Router`].
+//! priority classes, fair-share weights and load shedding — see [`Router`].
 
 #![warn(missing_docs)]
 
 mod admission;
-mod batcher;
 mod endpoint;
 mod metrics;
 mod request;
+mod scheduler;
 mod server;
 mod worker;
 
 pub use metrics::{RouterMetrics, ServeMetrics};
 pub use request::{
-    AdmissionPolicy, BatchPolicy, InferResponse, PendingResponse, Priority, ServeConfig, ServeError,
+    AdmissionPolicy, BatchPolicy, InferResponse, PendingResponse, Priority, Request, ResponseHandle,
+    ServeConfig, ServeError,
 };
 pub use server::{InferenceServer, Router, RouterBuilder, RouterClient, ServeClient, DEFAULT_ENDPOINT};
 
 /// Alias emphasising the paper-facing name of the subsystem: the pool of
-/// model replicas behind the batcher.
+/// model replicas behind the scheduler.
 pub type ModelWorkerPool = InferenceServer;

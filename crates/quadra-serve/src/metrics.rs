@@ -6,7 +6,7 @@
 //! **per-model** — a blended p95 across a heterogeneous fleet (a 1 ms
 //! MobileNet next to a 15 ms ResNet) would describe neither model.
 
-use crate::request::Priority;
+use crate::request::{Priority, ServeError};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
@@ -21,9 +21,13 @@ struct MetricsInner {
     completed_samples: u64,
     completed_by_class: [u64; Priority::COUNT],
     shed_by_class: [u64; Priority::COUNT],
+    cancelled_by_class: [u64; Priority::COUNT],
+    deadline_missed_by_class: [u64; Priority::COUNT],
     errored_requests: u64,
     batches: u64,
     reloads: u64,
+    /// Total worker service time in µs — the endpoint's fair-share ledger.
+    service_us: u64,
     /// `occupancy[k-1]` counts batches that held exactly `k` samples;
     /// oversized batches land in the last bucket.
     occupancy: Vec<u64>,
@@ -74,6 +78,23 @@ impl MetricsHub {
         self.inner.lock().unwrap().shed_by_class[priority.index()] += 1;
     }
 
+    /// Record one request shed at dispatch time (cancelled by its handle or
+    /// its deadline expired while queued).
+    pub fn record_dispatch_shed(&self, priority: Priority, reason: &ServeError) {
+        let mut m = self.inner.lock().unwrap();
+        match reason {
+            ServeError::Cancelled => m.cancelled_by_class[priority.index()] += 1,
+            ServeError::DeadlineExceeded => m.deadline_missed_by_class[priority.index()] += 1,
+            _ => {}
+        }
+    }
+
+    /// Accumulate worker service time (the fair-share ledger); recorded for
+    /// successful and panicked batches alike — both occupied the CPU.
+    pub fn record_service(&self, service_us: u64) {
+        self.inner.lock().unwrap().service_us += service_us;
+    }
+
     pub fn record_errors(&self, count: usize) {
         self.inner.lock().unwrap().errored_requests += count as u64;
     }
@@ -116,12 +137,15 @@ impl MetricsHub {
             shed_requests: m.shed_by_class.iter().sum(),
             shed_interactive: m.shed_by_class[Priority::Interactive.index()],
             shed_batch_class: m.shed_by_class[Priority::Batch.index()],
+            cancelled_requests: m.cancelled_by_class.iter().sum(),
+            deadline_missed_requests: m.deadline_missed_by_class.iter().sum(),
             errored_requests: m.errored_requests,
             batches: m.batches,
             reloads: m.reloads,
             model_version,
             queued_samples,
             wait_budget_ms: wait_budget.as_secs_f64() * 1e3,
+            service_time_ms: m.service_us as f64 / 1e3,
             throughput_rps: m.completed_requests as f64 / secs,
             throughput_sps: m.completed_samples as f64 / secs,
             mean_latency_ms: mean_ms,
@@ -160,6 +184,12 @@ pub struct ServeMetrics {
     pub shed_interactive: u64,
     /// Batch-class requests shed at admission.
     pub shed_batch_class: u64,
+    /// Requests shed at dispatch time because their handle was
+    /// [cancelled](crate::ResponseHandle::cancel) while they queued.
+    pub cancelled_requests: u64,
+    /// Requests shed at dispatch time because their
+    /// [deadline](crate::Request::deadline) expired while they queued.
+    pub deadline_missed_requests: u64,
     /// Requests answered with a [`ServeError`](crate::ServeError) by a worker.
     pub errored_requests: u64,
     /// Batches executed.
@@ -170,9 +200,13 @@ pub struct ServeMetrics {
     pub model_version: u64,
     /// Samples sitting in the admission queue at snapshot time.
     pub queued_samples: usize,
-    /// The batcher's current wait budget in milliseconds (`max_wait` under
+    /// The scheduler's current wait budget in milliseconds (`max_wait` under
     /// the static policy; the adaptively chosen value otherwise).
     pub wait_budget_ms: f64,
+    /// Total worker service time this endpoint consumed, in milliseconds —
+    /// the ledger behind the fleet scheduler's weighted fair sharing (compare
+    /// across endpoints with [`RouterMetrics::service_share`]).
+    pub service_time_ms: f64,
     /// Completed requests per second since start.
     pub throughput_rps: f64,
     /// Completed samples per second since start.
@@ -199,7 +233,7 @@ impl ServeMetrics {
     /// One-line summary for logs and bench output.
     pub fn describe(&self) -> String {
         format!(
-            "[{}] {} req ({} samples) in {:.2}s | {:.0} req/s {:.0} samples/s | latency ms p50 {:.2} p95 {:.2} max {:.2} | mean batch {:.2} | wait budget {:.2} ms | queue {} | shed {} ({} int / {} batch) | peak batch activations {:.1} KiB | v{} ({} reloads) | {} errors",
+            "[{}] {} req ({} samples) in {:.2}s | {:.0} req/s {:.0} samples/s | latency ms p50 {:.2} p95 {:.2} max {:.2} | mean batch {:.2} | wait budget {:.2} ms | service {:.0} ms | queue {} | shed {} ({} int / {} batch) | cancelled {} | deadline-missed {} | peak batch activations {:.1} KiB | v{} ({} reloads) | {} errors",
             self.model,
             self.completed_requests,
             self.completed_samples,
@@ -211,10 +245,13 @@ impl ServeMetrics {
             self.max_latency_ms,
             self.mean_batch_size,
             self.wait_budget_ms,
+            self.service_time_ms,
             self.queued_samples,
             self.shed_requests,
             self.shed_interactive,
             self.shed_batch_class,
+            self.cancelled_requests,
+            self.deadline_missed_requests,
             self.peak_batch_activation_bytes as f64 / 1024.0,
             self.model_version,
             self.reloads,
@@ -268,6 +305,20 @@ impl RouterMetrics {
         self.models.iter().map(|m| m.shed_requests).sum()
     }
 
+    /// `model`'s fraction of the fleet's total worker service time — the
+    /// fair-share observable: under contention the scheduler drives each
+    /// endpoint's share towards `weight / Σ weights`. `None` if the model is
+    /// unknown or the fleet has served nothing yet.
+    #[must_use]
+    pub fn service_share(&self, model: &str) -> Option<f64> {
+        let total: f64 = self.models.iter().map(|m| m.service_time_ms).sum();
+        let own = self.get(model)?.service_time_ms;
+        if total <= 0.0 {
+            return None;
+        }
+        Some(own / total)
+    }
+
     /// One line per endpoint.
     pub fn describe(&self) -> String {
         self.models.iter().map(ServeMetrics::describe).collect::<Vec<_>>().join("\n")
@@ -292,6 +343,11 @@ mod tests {
         hub.record_shed(I);
         hub.record_shed(B);
         hub.record_shed(B);
+        hub.record_dispatch_shed(I, &ServeError::Cancelled);
+        hub.record_dispatch_shed(B, &ServeError::DeadlineExceeded);
+        hub.record_dispatch_shed(B, &ServeError::DeadlineExceeded);
+        hub.record_service(2_500);
+        hub.record_service(1_500);
         let snap = hub.snapshot("resnet", 1, 5, Duration::from_micros(1500));
         assert_eq!(snap.model, "resnet");
         assert_eq!(snap.completed_requests, 4);
@@ -301,12 +357,15 @@ mod tests {
         assert_eq!(snap.shed_requests, 3);
         assert_eq!(snap.shed_interactive, 1);
         assert_eq!(snap.shed_batch_class, 2);
+        assert_eq!(snap.cancelled_requests, 1);
+        assert_eq!(snap.deadline_missed_requests, 2);
         assert_eq!(snap.errored_requests, 2);
         assert_eq!(snap.batches, 3);
         assert_eq!(snap.reloads, 1);
         assert_eq!(snap.model_version, 1);
         assert_eq!(snap.queued_samples, 5);
         assert!((snap.wait_budget_ms - 1.5).abs() < 1e-9);
+        assert!((snap.service_time_ms - 4.0).abs() < 1e-9);
         assert_eq!(snap.batch_occupancy, vec![1, 0, 1, 1]);
         assert_eq!(snap.peak_batch_activation_bytes, 2048);
         assert!(snap.p50_latency_ms >= 1.0 && snap.p50_latency_ms <= 6.0);
@@ -316,10 +375,21 @@ mod tests {
         assert!((snap.mean_batch_size - 13.0 / 3.0).abs() < 1e-9);
         assert!(snap.throughput_rps > 0.0);
         assert!(snap.describe().contains("4 req"));
+        assert!(snap.describe().contains("cancelled 1"));
+        assert!(snap.describe().contains("deadline-missed 2"));
         assert!(snap.describe().starts_with("[resnet]"));
         let ascii = snap.occupancy_ascii(20);
         assert_eq!(ascii.lines().count(), 4);
         assert!(ascii.contains('#'));
+    }
+
+    #[test]
+    fn dispatch_shed_only_counts_lifecycle_reasons() {
+        let hub = MetricsHub::new(1);
+        hub.record_dispatch_shed(I, &ServeError::Timeout); // not a dispatch-shed reason
+        let snap = hub.snapshot("m", 0, 0, Duration::ZERO);
+        assert_eq!(snap.cancelled_requests, 0);
+        assert_eq!(snap.deadline_missed_requests, 0);
     }
 
     #[test]
@@ -339,9 +409,11 @@ mod tests {
     fn router_metrics_roll_up_per_model() {
         let hub_a = MetricsHub::new(2);
         hub_a.record_batch(1, &[(Duration::from_millis(1), I)], 0);
+        hub_a.record_service(1_000);
         let hub_b = MetricsHub::new(2);
         hub_b.record_batch(2, &[(Duration::from_millis(30), B), (Duration::from_millis(40), B)], 0);
         hub_b.record_shed(I);
+        hub_b.record_service(3_000);
         let fleet = RouterMetrics {
             models: vec![
                 hub_a.snapshot("fast", 0, 0, Duration::ZERO),
@@ -355,6 +427,10 @@ mod tests {
         // The whole point: each model keeps its own latency distribution.
         assert!(fleet.get("fast").unwrap().p95_latency_ms < 5.0);
         assert!(fleet.get("slow").unwrap().p95_latency_ms > 25.0);
+        // Fair-share ledger: slow consumed 3 of the 4 ms of service time.
+        assert!((fleet.service_share("slow").unwrap() - 0.75).abs() < 1e-9);
+        assert!((fleet.service_share("fast").unwrap() - 0.25).abs() < 1e-9);
+        assert!(fleet.service_share("none").is_none());
         assert_eq!(fleet.describe().lines().count(), 2);
     }
 }

@@ -1,16 +1,20 @@
-//! Request/response types of the serving pipeline and the policy knobs that
-//! control admission and batch formation.
+//! The request lifecycle API: the typed [`Request`] builder, the
+//! [`ResponseHandle`] a submission returns, and the policy knobs that control
+//! admission, batch formation, and fair sharing.
 
 use quadra_tensor::Tensor;
-use std::sync::mpsc;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
 use std::time::{Duration, Instant};
 
 /// Scheduling class of a request inside a model's admission queue.
 ///
-/// Admission keeps one bounded queue per class and the batcher always drains
-/// [`Priority::Interactive`] first, so latency-sensitive traffic is never
+/// Admission keeps one bounded queue per class and the scheduler seeds batches
+/// from [`Priority::Interactive`] first, so latency-sensitive traffic is never
 /// starved by throughput-oriented [`Priority::Batch`] work. Each class sheds
-/// independently when its queue fills.
+/// independently when its queue fills. An aging credit
+/// ([`AdmissionPolicy::batch_aging`]) guarantees the batch class a minimum
+/// share under sustained interactive overload.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Priority {
     /// Latency-sensitive traffic, always dequeued first (the default).
@@ -58,11 +62,20 @@ pub enum ServeError {
         /// Estimated time until the queue has drained enough to admit again.
         retry_after: Duration,
     },
+    /// The request's [`Request::deadline`] passed before a worker dispatched
+    /// it; it was shed from the queue instead of wasting a batch slot on an
+    /// answer nobody is waiting for.
+    DeadlineExceeded,
+    /// The request was cancelled via [`ResponseHandle::cancel`] while it was
+    /// still queued. A request that already rode into a batch completes
+    /// normally — cancellation is a dispatch-time shed, never a mid-batch
+    /// abort.
+    Cancelled,
     /// A checkpoint offered for hot-reload does not fit the served model.
     InvalidState(String),
     /// The model panicked while executing the batch containing this request.
     WorkerFailed(String),
-    /// [`PendingResponse::wait_timeout`] expired before the response arrived.
+    /// [`ResponseHandle::wait_timeout`] expired before the response arrived.
     Timeout,
 }
 
@@ -75,6 +88,8 @@ impl std::fmt::Display for ServeError {
             ServeError::Overloaded { retry_after } => {
                 write!(f, "overloaded: request shed, retry after {:.1} ms", retry_after.as_secs_f64() * 1e3)
             }
+            ServeError::DeadlineExceeded => write!(f, "deadline exceeded before dispatch; request shed"),
+            ServeError::Cancelled => write!(f, "request cancelled while queued"),
             ServeError::InvalidState(m) => write!(f, "invalid checkpoint for hot-reload: {}", m),
             ServeError::WorkerFailed(m) => write!(f, "worker failed: {}", m),
             ServeError::Timeout => write!(f, "timed out waiting for response"),
@@ -84,12 +99,12 @@ impl std::fmt::Display for ServeError {
 
 impl std::error::Error for ServeError {}
 
-/// When the dynamic batcher closes a batch and hands it to a worker.
+/// When a worker closes a batch it is forming and executes it.
 ///
 /// A batch is dispatched as soon as it holds `max_batch_size` samples or when
 /// its wait budget expires, whichever comes first. The budget is `max_wait`
 /// exactly when `adaptive_wait` is off; with `adaptive_wait` on (the default)
-/// the batcher picks the budget automatically from the model's measured
+/// the scheduler picks the budget automatically from the model's measured
 /// arrival rate and batch service time, using `max_wait` as the cap. A single
 /// request carrying more than `max_batch_size` samples is not rejected — it
 /// is dispatched immediately as an oversized batch of its own.
@@ -131,7 +146,8 @@ impl Default for BatchPolicy {
 }
 
 /// Admission-control policy of one model endpoint: how much work may queue
-/// before further requests are shed with [`ServeError::Overloaded`].
+/// before further requests are shed with [`ServeError::Overloaded`], and how
+/// strictly the [`Priority::Interactive`] class dominates the queue.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct AdmissionPolicy {
     /// Maximum queued **samples** per priority class. `None` restores the
@@ -139,11 +155,18 @@ pub struct AdmissionPolicy {
     /// sustained offered load above capacity an unbounded queue grows — and
     /// with it every request's latency — without bound).
     pub queue_capacity: Option<usize>,
+    /// Aging credit for the [`Priority::Batch`] class: after this many
+    /// consecutive interactive-seeded batches while batch-class work sat
+    /// queued, the next batch is seeded from the batch class instead, so
+    /// sustained interactive overload can never starve it completely (it is
+    /// guaranteed at least `1 / (batch_aging + 1)` of dispatches). `0`
+    /// restores strict priority (the batch class drains only in gaps).
+    pub batch_aging: u32,
 }
 
 impl Default for AdmissionPolicy {
     fn default() -> Self {
-        AdmissionPolicy { queue_capacity: Some(1024) }
+        AdmissionPolicy { queue_capacity: Some(1024), batch_aging: 8 }
     }
 }
 
@@ -155,13 +178,23 @@ pub struct ServeConfig {
     pub workers: usize,
     /// Batch-formation policy.
     pub policy: BatchPolicy,
-    /// Admission-control policy (bounded queues + load shedding).
+    /// Admission-control policy (bounded queues + load shedding + aging).
     pub admission: AdmissionPolicy,
+    /// Fair-share weight of this endpoint in the fleet scheduler: under
+    /// contention each endpoint is granted service time proportional to its
+    /// weight (deficit round robin), so a saturated light model cannot crowd
+    /// a heavy one off the CPU. Irrelevant for a single-endpoint server.
+    pub weight: u32,
 }
 
 impl Default for ServeConfig {
     fn default() -> Self {
-        ServeConfig { workers: 2, policy: BatchPolicy::default(), admission: AdmissionPolicy::default() }
+        ServeConfig {
+            workers: 2,
+            policy: BatchPolicy::default(),
+            admission: AdmissionPolicy::default(),
+            weight: 1,
+        }
     }
 }
 
@@ -177,49 +210,177 @@ impl ServeConfig {
         if self.admission.queue_capacity == Some(0) {
             return Err(ServeError::BadInput("queue_capacity must be at least 1 sample (or None)".into()));
         }
+        if self.weight == 0 {
+            return Err(ServeError::BadInput("fair-share weight must be at least 1".into()));
+        }
         Ok(())
     }
 }
 
-/// A completed inference, annotated with serving telemetry.
+/// How a [`Request`] deadline was specified (resolved to an [`Instant`] at
+/// submission).
+#[derive(Debug, Clone, Copy)]
+enum DeadlineSpec {
+    Within(Duration),
+    At(Instant),
+}
+
+/// A typed inference request under construction: the input tensor plus the
+/// lifecycle knobs — priority class, deadline, and a caller tag echoed back in
+/// the response.
+///
+/// ```
+/// # use quadra_nn::{Layer, Linear, Sequential};
+/// # use quadra_serve::{InferenceServer, Priority, Request, ServeConfig};
+/// # use quadra_tensor::Tensor;
+/// # use rand::rngs::StdRng;
+/// # use rand::SeedableRng;
+/// # use std::time::Duration;
+/// # let server = InferenceServer::start(ServeConfig::default(), || {
+/// #     let mut rng = StdRng::seed_from_u64(0);
+/// #     Box::new(Sequential::new(vec![Box::new(Linear::new(4, 3, true, &mut rng)) as Box<dyn Layer>]))
+/// # })
+/// # .unwrap();
+/// # let client = server.client();
+/// # let image = Tensor::ones(&[1, 4]);
+/// let handle = client.send(
+///     Request::new(image)
+///         .priority(Priority::Interactive)
+///         .deadline(Duration::from_secs(5))
+///         .tag("user-42"),
+/// )?;
+/// let response = handle.wait()?;
+/// assert_eq!(response.tag.as_deref(), Some("user-42"));
+/// # Ok::<(), quadra_serve::ServeError>(())
+/// ```
+#[derive(Debug, Clone)]
+#[must_use = "a request does nothing until it is sent"]
+pub struct Request {
+    pub(crate) input: Tensor,
+    pub(crate) priority: Priority,
+    deadline: Option<DeadlineSpec>,
+    pub(crate) tag: Option<String>,
+}
+
+impl Request {
+    /// Start building a request around `input`. Axis 0 is always the sample
+    /// axis: submit `[n, features]` rows or `[n, C, H, W]` images; the
+    /// response's output keeps the same leading axis. Defaults: priority
+    /// [`Priority::Interactive`], no deadline, no tag.
+    pub fn new(input: Tensor) -> Self {
+        Request { input, priority: Priority::Interactive, deadline: None, tag: None }
+    }
+
+    /// Set the scheduling class.
+    pub fn priority(mut self, priority: Priority) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Give the request a deadline relative to its submission: if no worker
+    /// has dispatched it `within` this duration of `send`, it is shed from
+    /// the queue with [`ServeError::DeadlineExceeded`] instead of occupying a
+    /// batch slot for an answer nobody is waiting for. Requests already in a
+    /// batch always complete.
+    pub fn deadline(mut self, within: Duration) -> Self {
+        self.deadline = Some(DeadlineSpec::Within(within));
+        self
+    }
+
+    /// Like [`Request::deadline`], but at an absolute instant.
+    pub fn deadline_at(mut self, at: Instant) -> Self {
+        self.deadline = Some(DeadlineSpec::At(at));
+        self
+    }
+
+    /// Attach an opaque caller tag, echoed back in
+    /// [`InferResponse::tag`] — useful for correlating responses with
+    /// upstream sessions without an external id map.
+    pub fn tag(mut self, tag: impl Into<String>) -> Self {
+        self.tag = Some(tag.into());
+        self
+    }
+
+    /// Resolve the deadline against the submission instant.
+    pub(crate) fn resolve_deadline(&self, submitted_at: Instant) -> Option<Instant> {
+        self.deadline.map(|d| match d {
+            DeadlineSpec::Within(within) => submitted_at + within,
+            DeadlineSpec::At(at) => at,
+        })
+    }
+}
+
+/// A completed inference, annotated with per-request provenance: which model
+/// and version served it, the batch it rode in, and how long it queued.
 #[derive(Debug, Clone)]
 #[must_use = "the response carries the inference output"]
 pub struct InferResponse {
-    /// The id `submit` returned for this request.
+    /// The id the submission returned for this request.
     pub id: u64,
     /// Name of the model endpoint that served the request.
     pub model: String,
     /// Priority class the request was admitted under.
     pub priority: Priority,
+    /// The caller tag attached via [`Request::tag`], echoed back verbatim.
+    pub tag: Option<String>,
     /// Model output rows for this request's samples: shape `[n, ...]` where
     /// `n` is the request's sample count.
     pub output: Tensor,
     /// Version of the model state that produced the output: 0 until the first
     /// hot-reload of the endpoint, incremented by each successful reload.
     pub model_version: u64,
+    /// Fleet-unique id of the batch this request rode in: requests with equal
+    /// `batch_id` were coalesced into one forward pass.
+    pub batch_id: u64,
     /// Total samples in the coalesced batch this request rode in.
     pub batch_samples: usize,
-    /// Time from submission until the batch was closed by the batcher.
+    /// Time from submission until a worker pulled the request into a batch.
     pub queue_wait: Duration,
     /// Time from submission until the response was produced.
     pub latency: Duration,
 }
 
-/// Handle to a response that has not arrived yet (returned by
-/// [`ServeClient::submit`](crate::ServeClient::submit) and
-/// [`RouterClient::submit`](crate::RouterClient::submit)).
+/// Handle to a response that has not arrived yet, returned by every submit
+/// path ([`RouterClient::send`](crate::RouterClient::send),
+/// [`ServeClient::submit`](crate::ServeClient::submit), …).
+///
+/// The handle supports the full request lifecycle:
+/// * [`wait`](ResponseHandle::wait) blocks until the response arrives,
+/// * [`wait_timeout`](ResponseHandle::wait_timeout) blocks with a bound and
+///   keeps the handle usable on [`ServeError::Timeout`],
+/// * [`try_wait`](ResponseHandle::try_wait) polls without blocking,
+/// * [`cancel`](ResponseHandle::cancel) asks the scheduler to shed the
+///   request if it is still queued — a request already dispatched into a
+///   batch completes normally and cancellation is a no-op.
 #[derive(Debug)]
 #[must_use = "dropping the handle abandons the request's response"]
-pub struct PendingResponse {
+pub struct ResponseHandle {
     pub(crate) id: u64,
     pub(crate) rx: mpsc::Receiver<Result<InferResponse, ServeError>>,
+    pub(crate) cancelled: Arc<AtomicBool>,
 }
 
-impl PendingResponse {
+/// The pre-redesign name of [`ResponseHandle`], kept as an alias for PR-4
+/// callers. One signature changed: `wait_timeout` now borrows (`&mut self`)
+/// instead of consuming the handle — callers that used it on a non-`mut`
+/// binding must add `mut`, and in exchange the handle survives a
+/// [`ServeError::Timeout`].
+pub type PendingResponse = ResponseHandle;
+
+impl ResponseHandle {
     /// The request id this handle waits for.
     #[must_use]
     pub fn id(&self) -> u64 {
         self.id
+    }
+
+    /// Ask the scheduler to shed the request if it is still queued; its
+    /// response then arrives as [`ServeError::Cancelled`]. Best-effort and
+    /// race-free by construction: a request that a worker already pulled into
+    /// a batch completes normally, and cancelling after completion leaves the
+    /// response intact — [`wait`](ResponseHandle::wait) still returns it.
+    pub fn cancel(&self) {
+        self.cancelled.store(true, Ordering::SeqCst);
     }
 
     /// Block until the response arrives.
@@ -227,12 +388,26 @@ impl PendingResponse {
         self.rx.recv().map_err(|_| ServeError::ShuttingDown)?
     }
 
-    /// Block for at most `timeout`.
-    pub fn wait_timeout(self, timeout: Duration) -> Result<InferResponse, ServeError> {
+    /// Block for at most `timeout`. On [`ServeError::Timeout`] the handle
+    /// stays usable — the request is still in flight and a later
+    /// `wait`/`try_wait`/`cancel` behaves normally. A success consumes the
+    /// response: each settles exactly one `wait*` call.
+    pub fn wait_timeout(&mut self, timeout: Duration) -> Result<InferResponse, ServeError> {
         match self.rx.recv_timeout(timeout) {
             Ok(result) => result,
             Err(mpsc::RecvTimeoutError::Timeout) => Err(ServeError::Timeout),
             Err(mpsc::RecvTimeoutError::Disconnected) => Err(ServeError::ShuttingDown),
+        }
+    }
+
+    /// Poll for the response without blocking: `None` while the request is
+    /// still in flight, `Some(result)` once it settled (the result is
+    /// consumed — a later `wait` observes the server as shut down).
+    pub fn try_wait(&mut self) -> Option<Result<InferResponse, ServeError>> {
+        match self.rx.try_recv() {
+            Ok(result) => Some(result),
+            Err(mpsc::TryRecvError::Empty) => None,
+            Err(mpsc::TryRecvError::Disconnected) => Some(Err(ServeError::ShuttingDown)),
         }
     }
 }
@@ -246,8 +421,26 @@ pub(crate) struct PendingInfer {
     pub input: Tensor,
     pub samples: usize,
     pub priority: Priority,
+    pub tag: Option<String>,
     pub submitted_at: Instant,
+    /// Shed the request at dispatch time once this instant has passed.
+    pub deadline: Option<Instant>,
+    /// Set by [`ResponseHandle::cancel`]; checked at dispatch time.
+    pub cancelled: Arc<AtomicBool>,
     pub reply: mpsc::Sender<Result<InferResponse, ServeError>>,
+}
+
+impl PendingInfer {
+    /// Why the request must be shed at dispatch time, if it must.
+    pub fn dead_reason(&self, now: Instant) -> Option<ServeError> {
+        if self.cancelled.load(Ordering::SeqCst) {
+            return Some(ServeError::Cancelled);
+        }
+        match self.deadline {
+            Some(deadline) if now > deadline => Some(ServeError::DeadlineExceeded),
+            _ => None,
+        }
+    }
 }
 
 impl std::fmt::Debug for PendingInfer {
@@ -256,6 +449,7 @@ impl std::fmt::Debug for PendingInfer {
             .field("id", &self.id)
             .field("samples", &self.samples)
             .field("priority", &self.priority)
+            .field("tag", &self.tag)
             .finish_non_exhaustive()
     }
 }
@@ -271,6 +465,8 @@ mod tests {
             (ServeError::BadInput("x".into()), "bad input"),
             (ServeError::UnknownModel("resnet".into()), "`resnet`"),
             (ServeError::Overloaded { retry_after: Duration::from_millis(5) }, "retry after 5.0 ms"),
+            (ServeError::DeadlineExceeded, "deadline"),
+            (ServeError::Cancelled, "cancelled"),
             (ServeError::InvalidState("y".into()), "hot-reload"),
             (ServeError::WorkerFailed("z".into()), "worker failed"),
             (ServeError::Timeout, "timed out"),
@@ -301,15 +497,70 @@ mod tests {
         let zero_batch =
             ServeConfig { policy: BatchPolicy { max_batch_size: 0, ..BatchPolicy::default() }, ..base() };
         assert!(zero_batch.validate().is_err());
-        let zero_queue = ServeConfig { admission: AdmissionPolicy { queue_capacity: Some(0) }, ..base() };
+        let zero_queue = ServeConfig {
+            admission: AdmissionPolicy { queue_capacity: Some(0), ..AdmissionPolicy::default() },
+            ..base()
+        };
         assert!(zero_queue.validate().is_err());
+        assert!(ServeConfig { weight: 0, ..base() }.validate().is_err());
         assert!(base().validate().is_ok());
-        assert!(ServeConfig { admission: AdmissionPolicy { queue_capacity: None }, ..base() }
-            .validate()
-            .is_ok());
+        let unbounded = ServeConfig {
+            admission: AdmissionPolicy { queue_capacity: None, ..AdmissionPolicy::default() },
+            ..base()
+        };
+        assert!(unbounded.validate().is_ok());
     }
 
     fn base() -> ServeConfig {
         ServeConfig { workers: 2, ..ServeConfig::default() }
+    }
+
+    #[test]
+    fn request_builder_accumulates_lifecycle_fields() {
+        let submitted_at = Instant::now();
+        let request = Request::new(Tensor::ones(&[1, 2]))
+            .priority(Priority::Batch)
+            .deadline(Duration::from_millis(10))
+            .tag("session-7");
+        assert_eq!(request.priority, Priority::Batch);
+        assert_eq!(request.tag.as_deref(), Some("session-7"));
+        let deadline = request.resolve_deadline(submitted_at).unwrap();
+        assert_eq!(deadline, submitted_at + Duration::from_millis(10));
+
+        let at = submitted_at + Duration::from_secs(1);
+        let absolute = Request::new(Tensor::ones(&[1, 2])).deadline_at(at);
+        assert_eq!(absolute.resolve_deadline(submitted_at), Some(at));
+        assert_eq!(Request::new(Tensor::ones(&[1, 2])).resolve_deadline(submitted_at), None);
+    }
+
+    #[test]
+    fn dead_reason_prefers_cancellation_and_respects_deadlines() {
+        let now = Instant::now();
+        let (reply, _rx) = mpsc::channel();
+        let mut req = PendingInfer {
+            id: 0,
+            input: Tensor::ones(&[1, 2]),
+            samples: 1,
+            priority: Priority::Interactive,
+            tag: None,
+            submitted_at: now,
+            deadline: None,
+            cancelled: Arc::new(AtomicBool::new(false)),
+            reply,
+        };
+        assert_eq!(req.dead_reason(now), None);
+        req.deadline = Some(now + Duration::from_millis(5));
+        assert_eq!(req.dead_reason(now), None, "deadline in the future is live");
+        assert_eq!(
+            req.dead_reason(now + Duration::from_millis(6)),
+            Some(ServeError::DeadlineExceeded),
+            "expired deadline sheds"
+        );
+        req.cancelled.store(true, Ordering::SeqCst);
+        assert_eq!(
+            req.dead_reason(now),
+            Some(ServeError::Cancelled),
+            "cancellation dominates even before the deadline"
+        );
     }
 }

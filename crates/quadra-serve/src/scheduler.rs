@@ -1,0 +1,650 @@
+//! The worker-pull scheduler: batch formation at the moment a worker goes
+//! idle, deficit-round-robin fair sharing across endpoints, and dispatch-time
+//! shedding of cancelled and deadline-expired requests.
+//!
+//! This replaces the PR-3/PR-4 standalone batcher thread. The batcher formed
+//! a batch *ahead* of the workers and handed it over a rendezvous channel, so
+//! under overload an admitted request's floor sojourn was ~2 batch service
+//! times (one batch executing, one already formed and waiting). Here an idle
+//! worker pulls straight from its endpoint's admission queue and the batch
+//! only exists once a worker is ready to run it — the pipeline holds exactly
+//! the executing batch, and priority/cancellation/deadline decisions are made
+//! at the last possible moment.
+
+use crate::admission::{PopResult, TakeResult};
+use crate::endpoint::EndpointShared;
+use crate::request::PendingInfer;
+use quadra_tensor::Tensor;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Service-time quantum one fair-share round grants per unit of endpoint
+/// weight. Small enough that a throttled endpoint resumes within a few
+/// milliseconds; large enough to cover several batches of a light model per
+/// round.
+const QUANTUM_US: i64 = 5_000;
+/// Credit cap in rounds: an endpoint that was briefly uncontended cannot
+/// hoard more than this many rounds of credit.
+const DEFICIT_CAP_ROUNDS: i64 = 4;
+/// Debt floor in rounds: one pathological batch (an oversized request) may
+/// overdraw at most this far, bounding how long the endpoint is throttled.
+const DEBT_FLOOR_ROUNDS: i64 = 8;
+/// How often a waiting endpoint re-evaluates the fleet state (covers depth
+/// changes that do not go through `settle`).
+const ARBITRATION_TICK: Duration = Duration::from_millis(2);
+
+/// A batch formed by an idle worker, on its way into the forward pass.
+pub(crate) struct Batch {
+    /// Fleet-unique batch id, echoed in every response's provenance.
+    pub id: u64,
+    pub requests: Vec<PendingInfer>,
+    pub formed_at: Instant,
+}
+
+impl Batch {
+    /// Total samples across the batch's requests.
+    pub fn samples(&self) -> usize {
+        self.requests.iter().map(|r| r.samples).sum()
+    }
+}
+
+/// Which requests may share a batch: the batch axis is always axis 0 and the
+/// trailing axes must match exactly — unless the policy opts into
+/// `pad_mixed_spatial`, in which case NCHW inputs only need matching channel
+/// counts (H/W are zero-padded to the batch maximum).
+pub(crate) fn compat_key(shape: &[usize], pad_mixed_spatial: bool) -> Vec<usize> {
+    if shape.len() == 4 && pad_mixed_spatial {
+        vec![4, shape[1]]
+    } else {
+        let mut key = vec![shape.len()];
+        key.extend_from_slice(&shape[1..]);
+        key
+    }
+}
+
+/// Concatenate the requests' inputs along axis 0, zero-padding NCHW samples
+/// at the bottom/right to the largest H and W in the batch. Returns the batch
+/// tensor and the per-request sample counts (in request order).
+pub(crate) fn assemble(requests: &[PendingInfer]) -> (Tensor, Vec<usize>) {
+    assert!(!requests.is_empty(), "cannot assemble an empty batch");
+    let counts: Vec<usize> = requests.iter().map(|r| r.samples).collect();
+    let total: usize = counts.iter().sum();
+    let first = requests[0].input.shape();
+    let needs_padding = first.len() == 4
+        && requests.iter().any(|r| r.input.shape()[2] != first[2] || r.input.shape()[3] != first[3]);
+    if !needs_padding {
+        let refs: Vec<&Tensor> = requests.iter().map(|r| &r.input).collect();
+        let batch = Tensor::concat(&refs, 0).expect("scheduler only coalesces compatible shapes");
+        return (batch, counts);
+    }
+
+    let c = first[1];
+    let h_max = requests.iter().map(|r| r.input.shape()[2]).max().unwrap();
+    let w_max = requests.iter().map(|r| r.input.shape()[3]).max().unwrap();
+    let mut batch = Tensor::zeros(&[total, c, h_max, w_max]);
+    let dst = batch.as_mut_slice();
+    let mut row = 0;
+    for r in requests {
+        let (n, h, w) = (r.input.shape()[0], r.input.shape()[2], r.input.shape()[3]);
+        let src = r.input.as_slice();
+        for ni in 0..n {
+            for ci in 0..c {
+                for hi in 0..h {
+                    let s = ((ni * c + ci) * h + hi) * w;
+                    let d = (((row + ni) * c + ci) * h_max + hi) * w_max;
+                    dst[d..d + w].copy_from_slice(&src[s..s + w]);
+                }
+            }
+        }
+        row += n;
+    }
+    (batch, counts)
+}
+
+/// What `FleetScheduler::acquire` decided, threaded through to `settle` so
+/// the books balance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Grant {
+    member: usize,
+    /// Microseconds debited from the member's deficit (0 for an uncontended
+    /// free ride — idle CPU is never charged).
+    debited_us: u64,
+}
+
+/// RAII wrapper around a [`Grant`]: guarantees `settle` runs exactly once,
+/// even if the holding worker thread unwinds. A leaked grant would pin the
+/// fleet's `executing` counter and the member's `in_service` marker forever —
+/// once `executing` reached the core count, every contended endpoint would
+/// stall fleet-wide. With the guard, a panicking worker only shrinks its own
+/// endpoint's pool (the pre-scheduler failure mode).
+pub(crate) struct GrantGuard {
+    fleet: Arc<FleetScheduler>,
+    grant: Option<Grant>,
+    /// Set just before the batch's forward pass; `None` at drop means the
+    /// batch never executed and the whole debit is refunded.
+    exec_started: Option<Instant>,
+}
+
+impl GrantGuard {
+    fn new(fleet: Arc<FleetScheduler>, grant: Grant) -> Self {
+        GrantGuard { fleet, grant: Some(grant), exec_started: None }
+    }
+
+    /// Mark the start of the granted batch's execution; service time is
+    /// charged from this instant.
+    pub fn start_execution(&mut self) {
+        self.exec_started = Some(Instant::now());
+    }
+
+    fn settle_now(&mut self) -> u64 {
+        let Some(grant) = self.grant.take() else { return 0 };
+        let actual_us =
+            self.exec_started.map(|t| t.elapsed().as_micros().min(u64::MAX as u128) as u64).unwrap_or(0);
+        self.fleet.settle(grant, actual_us);
+        actual_us
+    }
+
+    /// Settle the books and return the measured service time in µs.
+    pub fn finish(mut self) -> u64 {
+        self.settle_now()
+    }
+}
+
+impl Drop for GrantGuard {
+    fn drop(&mut self) {
+        self.settle_now();
+    }
+}
+
+struct MemberState {
+    weight: i64,
+    /// Remaining service credit in µs; negative = debt carried into the next
+    /// round.
+    deficit_us: i64,
+    /// The member's own most recent cost estimate; used by *other* members to
+    /// judge whether this member could still spend its credit ("solvent").
+    last_est_us: i64,
+    /// Workers of this member currently between `acquire` entry and `settle`
+    /// (waiting for a grant or executing a granted batch). Keeps the member
+    /// visible as a contender while its queue is momentarily drained into an
+    /// in-flight batch.
+    in_service: u32,
+    /// Live queue depth, stored by the endpoint on every admit/pop without
+    /// taking the fleet lock — the admission hot path must not serialize all
+    /// endpoints on one mutex. Waiters observe changes at the latest on the
+    /// next arbitration tick.
+    queued_samples: Arc<AtomicUsize>,
+    closed: bool,
+}
+
+impl MemberState {
+    fn demands_service(&self) -> bool {
+        !self.closed && (self.queued_samples.load(Ordering::Relaxed) > 0 || self.in_service > 0)
+    }
+}
+
+struct FleetState {
+    members: Vec<MemberState>,
+    /// Granted batches currently executing, fleet-wide. Contended grants are
+    /// capped at the machine's parallelism: if granted batches overlapped on
+    /// a shared core, their wall-clock service times would overstate the CPU
+    /// each endpoint actually received — a light model's short batches would
+    /// inflate a heavy model's ledger and quietly crowd it out. Keeping
+    /// in-flight ≤ cores makes wall time ≈ CPU time, so the deficit books
+    /// reflect reality on a 1-core box and multi-core boxes alike.
+    executing: u32,
+}
+
+/// Fleet-level deficit-round-robin arbiter: under contention, endpoints are
+/// granted batch service time proportional to their configured weight.
+///
+/// The CPU the worker pools share is modelled as a single resource. Each
+/// endpoint holds a deficit counter in microseconds of service time; a worker
+/// about to execute a batch debits the endpoint's estimated batch cost, and
+/// when every contending endpoint is out of credit a new round replenishes
+/// each by `QUANTUM_US × weight`. The true cost is settled after execution.
+/// Uncontended endpoints are never throttled or charged (work conservation):
+/// fairness only constrains who runs *next* when more than one endpoint has
+/// work waiting.
+pub(crate) struct FleetScheduler {
+    state: Mutex<FleetState>,
+    settled: Condvar,
+    next_batch_id: AtomicU64,
+    /// Cap on concurrently executing contended grants (the core count).
+    max_parallel: u32,
+}
+
+impl FleetScheduler {
+    pub fn new() -> Self {
+        let max_parallel = std::thread::available_parallelism().map(|n| n.get() as u32).unwrap_or(1).max(1);
+        FleetScheduler {
+            state: Mutex::new(FleetState { members: Vec::new(), executing: 0 }),
+            settled: Condvar::new(),
+            next_batch_id: AtomicU64::new(0),
+            max_parallel,
+        }
+    }
+
+    /// Register an endpoint; returns its member index. Called once per
+    /// endpoint before any worker starts. `queued_samples` is the endpoint's
+    /// live depth cell, updated lock-free on every admit/pop.
+    pub fn register(&self, weight: u32, queued_samples: Arc<AtomicUsize>) -> usize {
+        let mut st = self.state.lock().unwrap();
+        st.members.push(MemberState {
+            weight: i64::from(weight.max(1)),
+            deficit_us: 0,
+            last_est_us: 1_000,
+            in_service: 0,
+            queued_samples,
+            closed: false,
+        });
+        st.members.len() - 1
+    }
+
+    /// Fleet-unique id for the next batch.
+    pub fn next_batch_id(&self) -> u64 {
+        self.next_batch_id.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Nudge waiters in `acquire` to re-evaluate the fleet state (demand or
+    /// depth changed). Lock-free on the caller's side: a waiter that misses
+    /// the nudge re-checks on its next arbitration tick anyway, so this only
+    /// tightens reaction latency — it carries no correctness weight.
+    pub fn nudge(&self) {
+        self.settled.notify_all();
+    }
+
+    /// Stop throttling `member`: shutdown drains must never wait for credit.
+    pub fn close_member(&self, member: usize) {
+        let mut st = self.state.lock().unwrap();
+        st.members[member].closed = true;
+        drop(st);
+        self.settled.notify_all();
+    }
+
+    /// Block until `member` may execute a batch estimated at `est_us` µs of
+    /// service time. Returns the grant to pass to [`FleetScheduler::settle`]
+    /// after execution (always call it — it also releases the in-service and
+    /// executing markers).
+    pub fn acquire(&self, member: usize, est_us: u64) -> Grant {
+        let est = (est_us.max(1)).min(i64::MAX as u64) as i64;
+        let mut st = self.state.lock().unwrap();
+        st.members[member].last_est_us = est;
+        st.members[member].in_service += 1;
+        loop {
+            if st.members[member].closed {
+                st.executing += 1;
+                return Grant { member, debited_us: 0 };
+            }
+            let contended = st.members.iter().enumerate().any(|(i, m)| i != member && m.demands_service());
+            if !contended {
+                // Alone on the fleet: run free. The idle CPU an uncontended
+                // endpoint uses is not charged, so fairness starts from a
+                // clean slate when contention appears.
+                st.executing += 1;
+                return Grant { member, debited_us: 0 };
+            }
+            if st.members[member].deficit_us >= est {
+                if st.executing >= self.max_parallel {
+                    // Solvent, but every core is already running a granted
+                    // batch: overlapping would corrupt the wall-clock books.
+                    let (guard, _timeout) = self.settled.wait_timeout(st, ARBITRATION_TICK).unwrap();
+                    st = guard;
+                    continue;
+                }
+                st.members[member].deficit_us -= est;
+                st.executing += 1;
+                return Grant { member, debited_us: est as u64 };
+            }
+            // Out of credit. If every other contender is broke too, start a
+            // new round; otherwise wait for a solvent contender to spend (or
+            // for the fleet to change shape).
+            let someone_solvent = st
+                .members
+                .iter()
+                .enumerate()
+                .any(|(i, m)| i != member && m.demands_service() && m.deficit_us >= m.last_est_us);
+            if someone_solvent {
+                let (guard, _timeout) = self.settled.wait_timeout(st, ARBITRATION_TICK).unwrap();
+                st = guard;
+                continue;
+            }
+            for m in st.members.iter_mut() {
+                if m.demands_service() {
+                    // The cap must stay reachable even when one batch costs
+                    // more than the nominal cap (a heavy model's forward):
+                    // otherwise that endpoint could never afford a grant.
+                    let cap = (DEFICIT_CAP_ROUNDS * QUANTUM_US * m.weight).max(2 * m.last_est_us);
+                    m.deficit_us = (m.deficit_us + QUANTUM_US * m.weight).min(cap);
+                } else {
+                    // Idle members keep their debt but never hoard credit.
+                    m.deficit_us = m.deficit_us.min(0);
+                }
+            }
+        }
+    }
+
+    /// Balance the books after the granted batch ran for `actual_us` µs (or
+    /// was abandoned: `actual_us == 0` refunds the whole debit) and release
+    /// the in-service and executing markers.
+    pub fn settle(&self, grant: Grant, actual_us: u64) {
+        let mut st = self.state.lock().unwrap();
+        st.executing = st.executing.saturating_sub(1);
+        let m = &mut st.members[grant.member];
+        m.in_service = m.in_service.saturating_sub(1);
+        if grant.debited_us > 0 {
+            let actual = actual_us.min(i64::MAX as u64) as i64;
+            let adjusted = m.deficit_us + grant.debited_us as i64 - actual;
+            m.deficit_us = adjusted.max(-DEBT_FLOOR_ROUNDS * QUANTUM_US * m.weight);
+        }
+        drop(st);
+        self.settled.notify_all();
+    }
+
+    #[cfg(test)]
+    fn deficit_us(&self, member: usize) -> i64 {
+        self.state.lock().unwrap().members[member].deficit_us
+    }
+}
+
+/// Reply to every request the dispatch decided to shed, keeping only the live
+/// ones. Records the shed reason in the endpoint's metrics.
+fn retain_live(requests: Vec<PendingInfer>, shared: &EndpointShared) -> Vec<PendingInfer> {
+    let now = Instant::now();
+    let mut live = Vec::with_capacity(requests.len());
+    for request in requests {
+        match request.dead_reason(now) {
+            None => live.push(request),
+            Some(reason) => {
+                shared.metrics.record_dispatch_shed(request.priority, &reason);
+                let _ = request.reply.send(Err(reason));
+            }
+        }
+    }
+    live
+}
+
+/// Pull the next batch for an idle worker of `shared`'s endpoint: block for a
+/// seed request, fill the batch under the wait budget, pass the fair-share
+/// gate, top the batch off with anything that arrived while throttled, and
+/// shed cancelled/deadline-expired requests at this final moment. Returns
+/// `None` once the queue is closed and fully drained.
+///
+/// The fill wait deliberately happens *before* the fair-share grant: waiting
+/// for company idles the CPU, and holding an execution grant through it would
+/// block contending endpoints from using the core in the meantime.
+pub(crate) fn next_batch(shared: &EndpointShared) -> Option<(Batch, GrantGuard)> {
+    let policy = shared.config.policy;
+    loop {
+        let first = match shared.queue.pop_blocking() {
+            PopResult::Request(r) => r,
+            PopResult::Closed => return None,
+        };
+        shared.fleet.nudge();
+        // Shed dead seeds before spending any fair-share credit on them.
+        let Some(first) = retain_live(vec![first], shared).pop() else { continue };
+
+        let key = compat_key(first.input.shape(), policy.pad_mixed_spatial);
+        let mut samples = first.samples;
+        let mut requests = vec![first];
+        if samples < policy.max_batch_size {
+            let deadline = Instant::now() + shared.wait_budget(samples);
+            while samples < policy.max_batch_size {
+                match shared.queue.take_compatible(
+                    &key,
+                    policy.pad_mixed_spatial,
+                    policy.max_batch_size - samples,
+                    deadline,
+                ) {
+                    TakeResult::Taken(reqs) => {
+                        for r in reqs {
+                            samples += r.samples;
+                            requests.push(r);
+                        }
+                    }
+                    TakeResult::TimedOut | TakeResult::Closed => break,
+                }
+            }
+            shared.fleet.nudge();
+        }
+
+        let grant = shared.fleet.acquire(shared.member, shared.estimated_batch_us());
+        let guard = GrantGuard::new(Arc::clone(&shared.fleet), grant);
+        // The gate may have throttled us for a while: top the batch off with
+        // whatever compatible work arrived in the meantime (without waiting).
+        if samples < policy.max_batch_size {
+            if let TakeResult::Taken(reqs) = shared.queue.take_compatible(
+                &key,
+                policy.pad_mixed_spatial,
+                policy.max_batch_size - samples,
+                Instant::now(),
+            ) {
+                requests.extend(reqs);
+            }
+            shared.fleet.nudge();
+        }
+
+        // Requests may have been cancelled or expired while the batch filled.
+        let live = retain_live(requests, shared);
+        if live.is_empty() {
+            // The whole batch died before dispatch: dropping the unexecuted
+            // guard refunds the grant.
+            drop(guard);
+            continue;
+        }
+        let batch = Batch { id: shared.fleet.next_batch_id(), requests: live, formed_at: Instant::now() };
+        return Some((batch, guard));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::{Priority, ServeError};
+    use std::sync::atomic::AtomicBool;
+    use std::sync::{mpsc, Arc};
+
+    fn pend(input: Tensor) -> (PendingInfer, mpsc::Receiver<Result<crate::InferResponse, ServeError>>) {
+        let (tx, rx) = mpsc::channel();
+        let samples = input.shape()[0];
+        (
+            PendingInfer {
+                id: 0,
+                input,
+                samples,
+                priority: Priority::Interactive,
+                tag: None,
+                submitted_at: Instant::now(),
+                deadline: None,
+                cancelled: Arc::new(AtomicBool::new(false)),
+                reply: tx,
+            },
+            rx,
+        )
+    }
+
+    #[test]
+    fn compat_key_requires_exact_shapes_by_default() {
+        // Without the padding opt-in, mixed spatial sizes must not share a
+        // batch — padding would change the served predictions.
+        assert_ne!(compat_key(&[1, 3, 8, 8], false), compat_key(&[2, 3, 16, 4], false));
+        assert_eq!(compat_key(&[1, 3, 8, 8], false), compat_key(&[2, 3, 8, 8], false));
+        assert_eq!(compat_key(&[5, 10], false), compat_key(&[1, 10], false));
+        assert_ne!(compat_key(&[5, 10], false), compat_key(&[5, 11], false));
+        // A 2-d [n, 12] input must not pool with a 3-d [n, 3, 4] one.
+        assert_ne!(compat_key(&[1, 12], false), compat_key(&[1, 3, 4], false));
+    }
+
+    #[test]
+    fn compat_key_pools_nchw_by_channel_when_padding_enabled() {
+        assert_eq!(compat_key(&[1, 3, 8, 8], true), compat_key(&[2, 3, 16, 4], true));
+        assert_ne!(compat_key(&[1, 3, 8, 8], true), compat_key(&[1, 4, 8, 8], true));
+        // The opt-in only affects 4-d inputs.
+        assert_ne!(compat_key(&[5, 10], true), compat_key(&[5, 11], true));
+    }
+
+    #[test]
+    fn assemble_concatenates_same_size_inputs() {
+        let (a, _ra) = pend(Tensor::from_vec(vec![1.0, 2.0], &[1, 2]).unwrap());
+        let (b, _rb) = pend(Tensor::from_vec(vec![3.0, 4.0, 5.0, 6.0], &[2, 2]).unwrap());
+        let (batch, counts) = assemble(&[a, b]);
+        assert_eq!(batch.shape(), &[3, 2]);
+        assert_eq!(counts, vec![1, 2]);
+        assert_eq!(batch.as_slice(), &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn assemble_zero_pads_mixed_spatial_sizes() {
+        // 1×1×1×2 and 1×1×2×1 coalesce into a 2×1×2×2 zero-padded batch.
+        let (a, _ra) = pend(Tensor::from_vec(vec![1.0, 2.0], &[1, 1, 1, 2]).unwrap());
+        let (b, _rb) = pend(Tensor::from_vec(vec![3.0, 4.0], &[1, 1, 2, 1]).unwrap());
+        let (batch, counts) = assemble(&[a, b]);
+        assert_eq!(batch.shape(), &[2, 1, 2, 2]);
+        assert_eq!(counts, vec![1, 1]);
+        assert_eq!(batch.as_slice(), &[1.0, 2.0, 0.0, 0.0, 3.0, 0.0, 4.0, 0.0]);
+    }
+
+    /// Register a test member and return its index plus its depth cell (the
+    /// handle an endpoint would update lock-free on admit/pop).
+    fn member(fleet: &FleetScheduler, weight: u32) -> (usize, Arc<AtomicUsize>) {
+        let depth = Arc::new(AtomicUsize::new(0));
+        (fleet.register(weight, Arc::clone(&depth)), depth)
+    }
+
+    #[test]
+    fn uncontended_member_rides_free() {
+        let fleet = FleetScheduler::new();
+        let (a, _da) = member(&fleet, 1);
+        let (_b, _db) = member(&fleet, 1);
+        // No other member has queued work: grant immediately, charge nothing.
+        let grant = fleet.acquire(a, 2_000);
+        assert_eq!(grant.debited_us, 0);
+        assert_eq!(fleet.deficit_us(a), 0);
+        fleet.settle(grant, 2_000);
+        assert_eq!(fleet.deficit_us(a), 0, "free rides are never charged");
+    }
+
+    #[test]
+    fn contended_rounds_grant_credit_proportional_to_weight() {
+        let fleet = FleetScheduler::new();
+        let (light, d_light) = member(&fleet, 1);
+        let (heavy, d_heavy) = member(&fleet, 3);
+        d_light.store(4, Ordering::Relaxed);
+        d_heavy.store(4, Ordering::Relaxed);
+
+        // Both broke → the acquire triggers a round: quantum × weight each.
+        let grant = fleet.acquire(light, 1_000);
+        assert_eq!(grant.debited_us, 1_000);
+        assert_eq!(fleet.deficit_us(light), QUANTUM_US - 1_000);
+        assert_eq!(fleet.deficit_us(heavy), 3 * QUANTUM_US);
+        fleet.settle(grant, 1_000);
+
+        // The heavy member spends from its larger share without a new round.
+        let grant = fleet.acquire(heavy, 4_000);
+        assert_eq!(grant.debited_us, 4_000);
+        assert_eq!(fleet.deficit_us(heavy), 3 * QUANTUM_US - 4_000);
+        fleet.settle(grant, 4_000);
+    }
+
+    #[test]
+    fn settle_reconciles_estimate_with_actual_cost() {
+        let fleet = FleetScheduler::new();
+        let (a, d_a) = member(&fleet, 1);
+        let (_b, d_b) = member(&fleet, 1);
+        d_a.store(1, Ordering::Relaxed);
+        d_b.store(1, Ordering::Relaxed);
+        let grant = fleet.acquire(a, 1_000);
+        let before = fleet.deficit_us(a);
+        // The batch actually took 3 ms, not 1 ms: the extra 2 ms are charged.
+        fleet.settle(grant, 3_000);
+        assert_eq!(fleet.deficit_us(a), before + 1_000 - 3_000);
+
+        // A refunded grant (batch died before dispatch) restores the balance.
+        let grant = fleet.acquire(a, 1_000);
+        let before = fleet.deficit_us(a);
+        fleet.settle(grant, 0);
+        assert_eq!(fleet.deficit_us(a), before + 1_000);
+    }
+
+    #[test]
+    fn debt_is_floored_and_credit_capped() {
+        let fleet = Arc::new(FleetScheduler::new());
+        let (a, d_a) = member(&fleet, 1);
+        let (b, d_b) = member(&fleet, 1);
+        d_a.store(4, Ordering::Relaxed);
+        d_b.store(4, Ordering::Relaxed);
+        let grant = fleet.acquire(a, 1_000);
+        // One pathological 10-second batch cannot bury the endpoint forever.
+        fleet.settle(grant, 10_000_000);
+        assert_eq!(fleet.deficit_us(a), -DEBT_FLOOR_ROUNDS * QUANTUM_US);
+
+        // Both members spend under contention for a while (each drops its
+        // demand when done, as a drained queue would): credit never exceeds
+        // the cap, and the indebted member works its way back up.
+        let spenders: Vec<_> = [(a, d_a), (b, d_b)]
+            .into_iter()
+            .map(|(idx, depth)| {
+                let fleet = Arc::clone(&fleet);
+                std::thread::spawn(move || {
+                    for _ in 0..40 {
+                        let grant = fleet.acquire(idx, 1_000);
+                        fleet.settle(grant, 1_000);
+                    }
+                    depth.store(0, Ordering::Relaxed);
+                })
+            })
+            .collect();
+        for s in spenders {
+            s.join().unwrap();
+        }
+        let cap = DEFICIT_CAP_ROUNDS * QUANTUM_US;
+        assert!(fleet.deficit_us(a) <= cap, "deficit {} above cap", fleet.deficit_us(a));
+        assert!(fleet.deficit_us(b) <= cap, "deficit {} above cap", fleet.deficit_us(b));
+        assert!(fleet.deficit_us(a) > -DEBT_FLOOR_ROUNDS * QUANTUM_US, "debt recovered through rounds");
+    }
+
+    #[test]
+    fn closed_member_is_never_throttled() {
+        let fleet = FleetScheduler::new();
+        let (a, _da) = member(&fleet, 1);
+        let (_b, d_b) = member(&fleet, 1);
+        d_b.store(8, Ordering::Relaxed);
+        fleet.close_member(a);
+        // Even with zero credit and a contending neighbour, a draining member
+        // proceeds immediately.
+        let grant = fleet.acquire(a, 1_000_000);
+        assert_eq!(grant.debited_us, 0);
+        fleet.settle(grant, 5);
+    }
+
+    #[test]
+    fn waiting_member_proceeds_once_solvent_contender_spends() {
+        let fleet = Arc::new(FleetScheduler::new());
+        let (a, d_a) = member(&fleet, 1);
+        let (b, d_b) = member(&fleet, 1);
+        d_a.store(4, Ordering::Relaxed);
+        d_b.store(4, Ordering::Relaxed);
+        // `b` holds a round of credit, `a` holds none: `a` must block until
+        // `b` has spent down to broke, then win the round that follows.
+        fleet.state.lock().unwrap().members[b].deficit_us = 2 * QUANTUM_US;
+        let spender = {
+            let fleet = Arc::clone(&fleet);
+            std::thread::spawn(move || {
+                let mut spent = 0u64;
+                while fleet.deficit_us(b) >= 2_000 {
+                    let grant = fleet.acquire(b, 2_000);
+                    std::thread::sleep(Duration::from_micros(200));
+                    fleet.settle(grant, 2_000);
+                    spent += grant.debited_us;
+                }
+                spent
+            })
+        };
+        let grant = fleet.acquire(a, 1_000);
+        assert_eq!(grant.debited_us, 1_000, "the blocked member is granted from a fresh round");
+        fleet.settle(grant, 1_000);
+        let spent = spender.join().unwrap();
+        assert!(spent >= 2 * QUANTUM_US as u64 - 2_000, "the solvent member spent its credit first");
+    }
+}

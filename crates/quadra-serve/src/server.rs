@@ -1,17 +1,18 @@
 //! The serving front-ends: the multi-model [`Router`] (named endpoints, each
-//! with its own admission queue, batcher, worker pool, and hot-reload
-//! version) and the single-model [`InferenceServer`] convenience wrapper.
+//! with its own admission queue, worker pool, and hot-reload version, all
+//! sharing one fleet scheduler) and the single-model [`InferenceServer`]
+//! convenience wrapper.
 
-use crate::batcher::{self, Batch};
 use crate::endpoint::EndpointShared;
 use crate::metrics::{RouterMetrics, ServeMetrics};
-use crate::request::{InferResponse, PendingResponse, Priority, ServeConfig, ServeError};
+use crate::request::{InferResponse, Priority, Request, ResponseHandle, ServeConfig, ServeError};
+use crate::scheduler::FleetScheduler;
 use crate::worker::{self, ModelFactory};
 use quadra_nn::{Layer, StateDict};
 use quadra_tensor::Tensor;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 
 /// Endpoint name used by the single-model [`InferenceServer`] wrapper.
@@ -20,25 +21,28 @@ pub const DEFAULT_ENDPOINT: &str = "default";
 struct EndpointRuntime {
     shared: Arc<EndpointShared>,
     factory: Arc<ModelFactory>,
-    batcher: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
 }
 
 /// A multi-model routing engine: N named model endpoints behind one admission
-/// layer.
+/// layer and one fleet scheduler.
 ///
-/// Each endpoint owns its own bounded priority admission queue, dynamic
-/// batcher (with its own [`BatchPolicy`](crate::BatchPolicy)), worker pool of
-/// model replicas, hot-reload version, and metrics hub — so one model's
-/// backlog cannot delay another model's requests, hot-reloading one endpoint
-/// never disturbs the rest of the fleet, and latency percentiles are always
-/// per model. Requests are admitted or shed synchronously at submission
-/// ([`ServeError::Overloaded`] carries a `retry_after` estimate) instead of
-/// queueing unboundedly.
+/// Each endpoint owns its own bounded priority admission queue, batch policy,
+/// worker pool of model replicas, hot-reload version, and metrics hub — so
+/// one model's backlog cannot delay another model's requests, hot-reloading
+/// one endpoint never disturbs the rest of the fleet, and latency percentiles
+/// are always per model. Batches are formed by **idle workers pulling from
+/// the queue** (never ahead of execution), arbitrated across endpoints by
+/// deficit-round-robin weighted fair sharing ([`ServeConfig::weight`]).
+/// Requests are admitted or shed synchronously at submission
+/// ([`ServeError::Overloaded`] carries a live `retry_after` estimate) and
+/// lifecycle-aware afterwards: a queued request can be
+/// [cancelled](ResponseHandle::cancel) or expire at its
+/// [deadline](Request::deadline), in which case it is shed at dispatch time.
 ///
 /// ```
 /// use quadra_nn::{Layer, Linear, Sequential};
-/// use quadra_serve::{Priority, Router, ServeConfig};
+/// use quadra_serve::{Priority, Request, Router, ServeConfig};
 /// use quadra_tensor::Tensor;
 /// use rand::rngs::StdRng;
 /// use rand::SeedableRng;
@@ -56,18 +60,24 @@ struct EndpointRuntime {
 /// let client = router.client();
 /// let narrow = client.infer("narrow", Tensor::ones(&[1, 4])).unwrap();
 /// assert_eq!(narrow.output.shape(), &[1, 3]);
-/// let wide = client.submit("wide", Tensor::ones(&[2, 8]), Priority::Batch).unwrap().wait().unwrap();
+/// let wide = client
+///     .send("wide", Request::new(Tensor::ones(&[2, 8])).priority(Priority::Batch).tag("nightly"))
+///     .unwrap()
+///     .wait()
+///     .unwrap();
 /// assert_eq!(wide.model, "wide");
+/// assert_eq!(wide.tag.as_deref(), Some("nightly"));
 /// let metrics = router.shutdown();
 /// assert_eq!(metrics.get("narrow").unwrap().completed_requests, 1);
 /// ```
 pub struct Router {
     endpoints: BTreeMap<String, EndpointRuntime>,
     client_map: Arc<BTreeMap<String, Arc<EndpointShared>>>,
+    fleet: Arc<FleetScheduler>,
     next_id: Arc<AtomicU64>,
 }
 
-/// Accumulates named endpoints for [`Router::start`].
+/// Accumulates named endpoints for [`RouterBuilder::start`].
 #[derive(Default)]
 pub struct RouterBuilder {
     endpoints: Vec<(String, ServeConfig, Arc<ModelFactory>)>,
@@ -90,6 +100,7 @@ impl RouterBuilder {
         if self.endpoints.is_empty() {
             return Err(ServeError::BadInput("router needs at least one endpoint".into()));
         }
+        let fleet = Arc::new(FleetScheduler::new());
         let mut runtimes = BTreeMap::new();
         for (name, config, factory) in self.endpoints {
             if name.is_empty() {
@@ -99,46 +110,39 @@ impl RouterBuilder {
             if runtimes.contains_key(&name) {
                 return Err(ServeError::BadInput(format!("duplicate endpoint name `{}`", name)));
             }
-            let shared = Arc::new(EndpointShared::new(&name, config));
-            let (batcher, workers) = spawn_endpoint(&shared, &factory)?;
-            runtimes.insert(name, EndpointRuntime { shared, factory, batcher: Some(batcher), workers });
+            let shared = Arc::new(EndpointShared::new(&name, config, Arc::clone(&fleet)));
+            let workers = spawn_workers(&shared, &factory)?;
+            runtimes.insert(name, EndpointRuntime { shared, factory, workers });
         }
         let client_map: BTreeMap<String, Arc<EndpointShared>> =
             runtimes.iter().map(|(name, rt)| (name.clone(), Arc::clone(&rt.shared))).collect();
         Ok(Router {
             endpoints: runtimes,
             client_map: Arc::new(client_map),
+            fleet,
             next_id: Arc::new(AtomicU64::new(0)),
         })
     }
 }
 
-/// Spawn one endpoint's batcher thread and worker pool. The batch channel is
-/// a rendezvous, so batches are handed over only when a worker is ready and
-/// priority decisions stay fresh.
-fn spawn_endpoint(
+/// Spawn one endpoint's worker pool. Each worker pulls batches straight from
+/// the admission queue through the scheduler the moment it goes idle — there
+/// is no batcher thread and no batch ever waits formed-but-unexecuted.
+fn spawn_workers(
     shared: &Arc<EndpointShared>,
     factory: &Arc<ModelFactory>,
-) -> Result<(JoinHandle<()>, Vec<JoinHandle<()>>), ServeError> {
-    let (batch_tx, batch_rx) = mpsc::sync_channel::<Batch>(0);
-    let batcher_shared = Arc::clone(shared);
-    let batcher = std::thread::Builder::new()
-        .name(format!("quadra-serve-batcher-{}", shared.name))
-        .spawn(move || batcher::run(batcher_shared, batch_tx))
-        .map_err(|e| ServeError::BadInput(format!("cannot spawn batcher thread: {e}")))?;
-    let batch_rx = Arc::new(Mutex::new(batch_rx));
+) -> Result<Vec<JoinHandle<()>>, ServeError> {
     let mut workers = Vec::with_capacity(shared.config.workers);
     for i in 0..shared.config.workers {
-        let rx = Arc::clone(&batch_rx);
         let factory = Arc::clone(factory);
         let worker_shared = Arc::clone(shared);
         let handle = std::thread::Builder::new()
             .name(format!("quadra-serve-worker-{}-{}", shared.name, i))
-            .spawn(move || worker::run(rx, factory, worker_shared))
+            .spawn(move || worker::run(factory, worker_shared))
             .map_err(|e| ServeError::BadInput(format!("cannot spawn worker thread: {e}")))?;
         workers.push(handle);
     }
-    Ok((batcher, workers))
+    Ok(workers)
 }
 
 impl Router {
@@ -197,23 +201,22 @@ impl Router {
     }
 
     /// Stop accepting requests, drain every admitted request (each still
-    /// receives its response), join all threads, and return the final
-    /// per-model metrics snapshots.
+    /// receives its response — or its [`ServeError::Cancelled`] /
+    /// [`ServeError::DeadlineExceeded`] shed if its lifecycle ended first),
+    /// join all threads, and return the final per-model metrics snapshots.
     pub fn shutdown(mut self) -> RouterMetrics {
         self.shutdown_inner();
         self.metrics()
     }
 
     fn shutdown_inner(&mut self) {
-        // Close every admission queue first so all endpoints drain in
-        // parallel, then join their threads.
+        // Close every admission queue and lift the fair-share throttle first,
+        // so all endpoints drain in parallel, then join their workers.
         for runtime in self.endpoints.values() {
             runtime.shared.queue.close();
+            self.fleet.close_member(runtime.shared.member);
         }
         for runtime in self.endpoints.values_mut() {
-            if let Some(handle) = runtime.batcher.take() {
-                let _ = handle.join();
-            }
             for handle in runtime.workers.drain(..) {
                 let _ = handle.join();
             }
@@ -223,7 +226,7 @@ impl Router {
 
 impl Drop for Router {
     fn drop(&mut self) {
-        if self.endpoints.values().any(|rt| rt.batcher.is_some()) {
+        if self.endpoints.values().any(|rt| !rt.workers.is_empty()) {
             self.shutdown_inner();
         }
     }
@@ -237,30 +240,38 @@ pub struct RouterClient {
 }
 
 impl RouterClient {
-    /// Enqueue `input` for `model` under `priority` and return a handle to
-    /// the pending response.
+    /// Submit a built [`Request`] to `model` and return the handle to its
+    /// response — the primary entry point of the serving API.
     ///
-    /// Axis 0 of `input` is always the sample axis: submit `[n, features]`
-    /// rows or `[n, C, H, W]` images (`n` may exceed the endpoint's
-    /// `max_batch_size`, forming an oversized batch of its own). The
-    /// response's output has the same leading axis. A full admission queue
-    /// sheds the request with [`ServeError::Overloaded`] instead of queueing
-    /// it unboundedly.
+    /// Axis 0 of the request input is always the sample axis: submit
+    /// `[n, features]` rows or `[n, C, H, W]` images (`n` may exceed the
+    /// endpoint's `max_batch_size`, forming an oversized batch of its own).
+    /// The response's output has the same leading axis. A full admission
+    /// queue sheds the request with [`ServeError::Overloaded`] instead of
+    /// queueing it unboundedly; a queued request can still be
+    /// [cancelled](ResponseHandle::cancel) or expire at its
+    /// [deadline](Request::deadline).
+    pub fn send(&self, model: &str, request: Request) -> Result<ResponseHandle, ServeError> {
+        let endpoint =
+            self.endpoints.get(model).ok_or_else(|| ServeError::UnknownModel(model.to_string()))?;
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        endpoint.submit(id, request)
+    }
+
+    /// Enqueue `input` for `model` under `priority`: shorthand for
+    /// [`send`](RouterClient::send) with a bare builder.
     pub fn submit(
         &self,
         model: &str,
         input: Tensor,
         priority: Priority,
-    ) -> Result<PendingResponse, ServeError> {
-        let endpoint =
-            self.endpoints.get(model).ok_or_else(|| ServeError::UnknownModel(model.to_string()))?;
-        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        endpoint.submit(id, input, priority)
+    ) -> Result<ResponseHandle, ServeError> {
+        self.send(model, Request::new(input).priority(priority))
     }
 
     /// Submit at [`Priority::Interactive`] and block until the response arrives.
     pub fn infer(&self, model: &str, input: Tensor) -> Result<InferResponse, ServeError> {
-        self.submit(model, input, Priority::Interactive)?.wait()
+        self.send(model, Request::new(input))?.wait()
     }
 
     /// The endpoint names this client can route to, sorted.
@@ -333,19 +344,27 @@ pub struct ServeClient {
 }
 
 impl ServeClient {
-    /// Enqueue `input` at [`Priority::Interactive`] and return a handle to
-    /// the pending response (see [`RouterClient::submit`] for input rules).
-    pub fn submit(&self, input: Tensor) -> Result<PendingResponse, ServeError> {
-        self.inner.submit(&self.model, input, Priority::Interactive)
+    /// Submit a built [`Request`] and return the handle to its response —
+    /// the full lifecycle API (priority, deadline, tag, cancellation).
+    pub fn send(&self, request: Request) -> Result<ResponseHandle, ServeError> {
+        self.inner.send(&self.model, request)
     }
 
-    /// Enqueue `input` under an explicit priority class.
+    /// Enqueue `input` at [`Priority::Interactive`]: a thin wrapper over the
+    /// [`Request`] builder kept so pre-builder callers migrate in one line
+    /// (see [`RouterClient::send`] for input rules).
+    pub fn submit(&self, input: Tensor) -> Result<ResponseHandle, ServeError> {
+        self.send(Request::new(input))
+    }
+
+    /// Enqueue `input` under an explicit priority class: a thin wrapper over
+    /// the [`Request`] builder.
     pub fn submit_with_priority(
         &self,
         input: Tensor,
         priority: Priority,
-    ) -> Result<PendingResponse, ServeError> {
-        self.inner.submit(&self.model, input, priority)
+    ) -> Result<ResponseHandle, ServeError> {
+        self.send(Request::new(input).priority(priority))
     }
 
     /// Submit and block until the response arrives.

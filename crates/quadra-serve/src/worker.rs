@@ -1,15 +1,15 @@
-//! Worker threads: each owns one replica of its endpoint's model, executes
-//! coalesced batches in eval mode, splits outputs per request, and applies
-//! hot-reloaded state between batches.
+//! Worker threads: each owns one replica of its endpoint's model, pulls
+//! batches straight from the admission queue through the scheduler the moment
+//! it goes idle, executes them in eval mode, splits outputs per request, and
+//! applies hot-reloaded state between batches.
 
-use crate::batcher::{assemble, Batch};
 use crate::endpoint::EndpointShared;
 use crate::request::{InferResponse, ServeError};
+use crate::scheduler::{self, assemble, Batch};
 use quadra_core::MemoryProfiler;
 use quadra_nn::{Layer, StateDict};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc::Receiver;
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
@@ -81,20 +81,22 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
-/// The worker thread body. An endpoint's workers share one rendezvous batch
-/// channel (`Mutex<Receiver>`: whichever idle worker holds the lock takes the
-/// next batch) and exit when the batcher hangs up after draining the queue.
-pub(crate) fn run(rx: Arc<Mutex<Receiver<Batch>>>, factory: Arc<ModelFactory>, shared: Arc<EndpointShared>) {
+/// The worker thread body: pull a batch (blocking until the endpoint has work
+/// and the fair-share gate opens), execute it, settle the service-time books,
+/// repeat until the queue is closed and drained.
+pub(crate) fn run(factory: Arc<ModelFactory>, shared: Arc<EndpointShared>) {
     let mut model = factory();
     let mut version = shared.reload.force_apply(model.as_mut());
-    loop {
-        let batch = {
-            let guard = rx.lock().unwrap();
-            guard.recv()
-        };
-        let Ok(batch) = batch else { break };
+    // The guard settles the fair-share grant even if this thread unwinds
+    // past `execute`'s catch (e.g. a poisoned lock): a leaked grant would
+    // otherwise wedge the fleet's execution gate permanently.
+    while let Some((batch, mut guard)) = scheduler::next_batch(&shared) {
         version = shared.reload.apply_if_newer(model.as_mut(), version);
-        if execute(model.as_mut(), batch, version, &shared).is_err() {
+        guard.start_execution();
+        let outcome = execute(model.as_mut(), batch, version, &shared);
+        let actual_us = guard.finish();
+        shared.metrics.record_service(actual_us);
+        if outcome.is_err() {
             // The replica's caches may be inconsistent after an unwound
             // forward; rebuild it from scratch and re-apply the latest state.
             model = factory();
@@ -116,26 +118,33 @@ fn execute(model: &mut dyn Layer, batch: Batch, version: u64, shared: &EndpointS
             let attributed = MemoryProfiler::new().inference_report_for(&shared.name, model, &input, &output);
             model.clear_cache();
             let mut latencies = Vec::with_capacity(batch.requests.len());
+            let mut responses = Vec::with_capacity(batch.requests.len());
             let mut offset = 0;
             for (request, n) in batch.requests.iter().zip(counts) {
                 let rows = output.narrow(0, offset, n).expect("per-request split stays in range");
                 offset += n;
                 let latency = done_at.duration_since(request.submitted_at);
                 latencies.push((latency, request.priority));
-                let response = InferResponse {
+                responses.push(InferResponse {
                     id: request.id,
                     model: shared.name.clone(),
                     priority: request.priority,
+                    tag: request.tag.clone(),
                     output: rows,
                     model_version: version,
+                    batch_id: batch.id,
                     batch_samples,
                     queue_wait: batch.formed_at.duration_since(request.submitted_at),
                     latency,
-                };
+                });
+            }
+            // Record before replying so a metrics snapshot taken by a caller
+            // that just received its response always includes it.
+            shared.metrics.record_batch(batch_samples, &latencies, attributed.report.peak_activation_bytes);
+            for (request, response) in batch.requests.iter().zip(responses) {
                 // A dropped receiver just means the client stopped waiting.
                 let _ = request.reply.send(Ok(response));
             }
-            shared.metrics.record_batch(batch_samples, &latencies, attributed.report.peak_activation_bytes);
             Ok(())
         }
         Err(payload) => {

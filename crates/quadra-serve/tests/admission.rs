@@ -48,7 +48,8 @@ fn slow_config(queue_capacity: Option<usize>, max_batch: usize) -> ServeConfig {
             max_wait: Duration::from_millis(1),
             ..BatchPolicy::default()
         },
-        admission: AdmissionPolicy { queue_capacity },
+        admission: AdmissionPolicy { queue_capacity, ..AdmissionPolicy::default() },
+        ..ServeConfig::default()
     }
 }
 
@@ -173,9 +174,21 @@ fn one_models_full_queue_does_not_block_another() {
     let metrics = router.shutdown();
     assert!(metrics.get("slow").unwrap().shed_requests >= 1);
     assert_eq!(metrics.get("fast").unwrap().shed_requests, 0);
-    // Per-model latency windows: the fast model's percentiles must not be
-    // polluted by the slow model's 25 ms batches.
-    assert!(metrics.get("fast").unwrap().p95_latency_ms < metrics.get("slow").unwrap().p50_latency_ms);
+    // Cross-model interference is bounded: the fast request may wait behind
+    // ~one slow batch at the fair-share gate, never behind the slow model's
+    // multi-batch backlog. The slow model's p50 is at least one of its own
+    // batches, so "at most one batch of interference" is machine-relative:
+    // fast p95 stays under ~2× slow p50, while queueing behind two or more
+    // slow batches would push it past that.
+    assert!(
+        metrics.get("fast").unwrap().p95_latency_ms < 1.8 * metrics.get("slow").unwrap().p50_latency_ms,
+        "fast endpoint ({:.2} ms p95) queued behind more than one slow batch (slow p50 {:.2} ms)",
+        metrics.get("fast").unwrap().p95_latency_ms,
+        metrics.get("slow").unwrap().p50_latency_ms
+    );
+    // Per-model latency windows: the slow model's 25 ms batches dominate its
+    // own percentiles only.
+    assert!(metrics.get("slow").unwrap().p50_latency_ms >= 20.0);
 }
 
 #[test]
@@ -209,7 +222,7 @@ fn duplicate_and_empty_endpoint_names_are_rejected() {
             "m",
             ServeConfig {
                 workers: 1,
-                admission: AdmissionPolicy { queue_capacity: Some(0) },
+                admission: AdmissionPolicy { queue_capacity: Some(0), ..AdmissionPolicy::default() },
                 ..ServeConfig::default()
             },
             || Box::new(mlp(0)),
@@ -228,7 +241,8 @@ fn adaptive_wait_budget_converges_under_steady_load() {
             adaptive_wait: true,
             ..BatchPolicy::default()
         },
-        admission: AdmissionPolicy { queue_capacity: None },
+        admission: AdmissionPolicy { queue_capacity: None, ..AdmissionPolicy::default() },
+        ..ServeConfig::default()
     };
     let server =
         InferenceServer::start(config, || Box::new(SleepIdentity(Duration::from_millis(1)))).unwrap();

@@ -4,9 +4,9 @@
 //! The design follows the classic BLIS/GotoBLAS decomposition, scaled down to
 //! what auto-vectorisation can exploit without intrinsics:
 //!
-//! * the `k` dimension is split into panels of at most [`KC`] so one packed
+//! * the `k` dimension is split into panels of at most `KC` so one packed
 //!   panel of `B` stays cache-resident while it is swept,
-//! * rows of `C` are processed in blocks of [`MC`]; each block packs its slice
+//! * rows of `C` are processed in blocks of `MC`; each block packs its slice
 //!   of `A` into `[kc][MR]` micro-panels (column-major within the panel),
 //! * `B` panels are packed into `[kc][NR]` micro-panels, zero-padded at the
 //!   edges so the micro-kernel never branches on tile size,

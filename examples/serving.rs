@@ -1,15 +1,17 @@
-//! Multi-model serving: stand up a `Router` over two CNN architectures,
-//! drive both endpoints from concurrent client threads with mixed priority
-//! classes, hot-reload one endpoint's checkpoint without disturbing the
-//! other, shed load through the bounded admission queue, and print the
-//! per-model serving metrics.
+//! Multi-model serving with the request-lifecycle API: stand up a `Router`
+//! over two CNN architectures with fair-share weights, drive both endpoints
+//! from concurrent client threads using the `Request` builder (priority
+//! classes, deadlines, tags), cancel an in-queue request, hot-reload one
+//! endpoint's checkpoint without disturbing the other, shed load through the
+//! bounded admission queue, and print the per-model serving metrics —
+//! including the fair-share service-time ledger.
 //!
 //! Run with: `cargo run --release --example serving`
 
 use quadralib::core::{build_model, LayerSpec, ModelConfig};
 use quadralib::data::ShapeImageDataset;
 use quadralib::nn::{ConstantLr, CrossEntropyLoss, Layer, Sgd, StateDict, Trainer, TrainerConfig};
-use quadralib::serve::{AdmissionPolicy, BatchPolicy, Priority, Router, ServeConfig, ServeError};
+use quadralib::serve::{AdmissionPolicy, BatchPolicy, Priority, Request, Router, ServeConfig, ServeError};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::Duration;
@@ -46,30 +48,34 @@ fn cnn_config(name: &str, width: usize) -> ModelConfig {
 }
 
 fn main() {
-    // Two endpoints with their own batch policies behind one router: a small
-    // "light" CNN and a wider "heavy" one. Adaptive wait budgets are on by
-    // default; admission is bounded so overload sheds instead of queueing.
-    let config = |max_batch: usize| ServeConfig {
+    // Two endpoints behind one router: a small "light" CNN and a wider
+    // "heavy" one. The heavy endpoint gets 2× the fair-share weight, so a
+    // light-model flood cannot crowd it off the CPU. Admission is bounded so
+    // overload sheds instead of queueing.
+    let config = |max_batch: usize, weight: u32| ServeConfig {
         workers: 2,
         policy: BatchPolicy {
             max_batch_size: max_batch,
             max_wait: Duration::from_millis(1),
             ..BatchPolicy::default()
         },
-        admission: AdmissionPolicy { queue_capacity: Some(64) },
+        admission: AdmissionPolicy { queue_capacity: Some(64), ..AdmissionPolicy::default() },
+        weight,
     };
     let router = Router::builder()
-        .endpoint("light", config(8), || {
+        .endpoint("light", config(8, 1), || {
             Box::new(build_model(&cnn_config("light", 8), &mut StdRng::seed_from_u64(7)))
         })
-        .endpoint("heavy", config(16), || {
+        .endpoint("heavy", config(16, 2), || {
             Box::new(build_model(&cnn_config("heavy", 16), &mut StdRng::seed_from_u64(8)))
         })
         .start()
         .expect("router starts");
 
     // Closed-loop clients hammering both endpoints from their own threads,
-    // mixing interactive and batch-class traffic.
+    // mixing interactive and batch-class traffic through the Request builder.
+    // Every request carries a deadline: under overload it is shed with
+    // `DeadlineExceeded` instead of aging in the queue unnoticed.
     let run_clients = |label: &str| {
         let handles: Vec<_> = (0..4)
             .map(|t| {
@@ -78,11 +84,19 @@ fn main() {
                     let model = if t % 2 == 0 { "light" } else { "heavy" };
                     let priority = if t < 2 { Priority::Interactive } else { Priority::Batch };
                     let images = ShapeImageDataset::generate(32, 4, 16, 3, 0.05, t).images;
-                    let mut shed = 0u32;
+                    let (mut shed, mut expired) = (0u32, 0u32);
                     for i in 0..32 {
                         let x = images.narrow(0, i, 1).unwrap();
-                        match client.submit(model, x, priority).map(|p| p.wait()) {
-                            Ok(Ok(response)) => assert_eq!(response.output.shape(), &[1, 4]),
+                        let request = Request::new(x)
+                            .priority(priority)
+                            .deadline(Duration::from_millis(500))
+                            .tag(format!("client-{t}/{i}"));
+                        match client.send(model, request).map(|handle| handle.wait()) {
+                            Ok(Ok(response)) => {
+                                assert_eq!(response.output.shape(), &[1, 4]);
+                                assert_eq!(response.tag.as_deref(), Some(&*format!("client-{t}/{i}")));
+                            }
+                            Ok(Err(ServeError::DeadlineExceeded)) => expired += 1,
                             Ok(Err(e)) => panic!("serving failed: {e}"),
                             Err(ServeError::Overloaded { retry_after }) => {
                                 // Bounded queues push back instead of buffering.
@@ -92,15 +106,32 @@ fn main() {
                             Err(e) => panic!("submit failed: {e}"),
                         }
                     }
-                    shed
+                    (shed, expired)
                 })
             })
             .collect();
-        let shed: u32 = handles.into_iter().map(|h| h.join().unwrap()).sum();
-        println!("[{label}] shed at admission: {shed}");
+        let (shed, expired) = handles
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .fold((0u32, 0u32), |(s, e), (s2, e2)| (s + s2, e + e2));
+        println!("[{label}] shed at admission: {shed}, deadline-expired in queue: {expired}");
         println!("{}\n", router.metrics().describe());
     };
     run_clients("fresh weights");
+
+    // Cancellation: a queued request can be withdrawn; one already riding a
+    // batch (or already answered) completes normally and `wait` returns it.
+    let client = router.client();
+    let images = ShapeImageDataset::generate(2, 4, 16, 3, 0.05, 99).images;
+    let handle = client
+        .send("heavy", Request::new(images.narrow(0, 0, 1).unwrap()).tag("maybe-cancelled"))
+        .expect("admitted");
+    handle.cancel();
+    match handle.wait() {
+        Err(ServeError::Cancelled) => println!("request cancelled while queued"),
+        Ok(response) => println!("cancel raced dispatch: served by batch {}", response.batch_id),
+        Err(e) => panic!("unexpected: {e}"),
+    }
 
     // Meanwhile, "retrain" the light model and hot-reload its checkpoint:
     // requests issued after `reload` returns are answered by the new version,
@@ -126,6 +157,9 @@ fn main() {
 
     let metrics = router.shutdown();
     println!("final:\n{}", metrics.describe());
+    if let (Some(light), Some(heavy)) = (metrics.service_share("light"), metrics.service_share("heavy")) {
+        println!("\nfair-share service split: light {:.0}% / heavy {:.0}%", light * 100.0, heavy * 100.0);
+    }
     for snapshot in &metrics.models {
         println!("\n[{}] batch occupancy:\n{}", snapshot.model, snapshot.occupancy_ascii(40));
     }

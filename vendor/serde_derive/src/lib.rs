@@ -6,6 +6,9 @@
 //! * structs with named fields → JSON object keyed by field name,
 //! * newtype structs (`struct N(T);`) → the inner value, transparently,
 //! * tuple structs (`struct P(A, B, …);`) → JSON array `[a, b, …]`,
+//! * any of the struct shapes with **one type parameter**
+//!   (`struct S<T> { … }`, `struct W<T>(T);`) — the impls bound the
+//!   parameter by the derived trait, matching serde's default behaviour,
 //! * enums with unit variants → JSON string of the variant name,
 //! * enums with struct variants → externally tagged `{"Variant": {fields…}}`,
 //! * enums with tuple variants → `{"Variant": value}` (1 field) or
@@ -16,11 +19,39 @@
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
+/// A single type parameter on a struct: its name plus any bounds declared on
+/// the definition (which the generated impl must repeat to name the type).
+#[derive(Debug)]
+struct TypeParam {
+    name: String,
+    bounds: Option<String>,
+}
+
 #[derive(Debug)]
 enum Shape {
-    Struct { name: String, fields: Vec<String> },
-    TupleStruct { name: String, arity: usize },
+    Struct { name: String, generic: Option<TypeParam>, fields: Vec<String> },
+    TupleStruct { name: String, generic: Option<TypeParam>, arity: usize },
     Enum { name: String, variants: Vec<Variant> },
+}
+
+impl Shape {
+    /// `impl` header pieces for the given trait: the generics clause (the
+    /// type parameter bounded by its declared bounds plus the derived trait,
+    /// matching serde's default) and the self type.
+    fn impl_parts(&self, trait_name: &str) -> (String, String) {
+        let (name, generic) = match self {
+            Shape::Struct { name, generic, .. } => (name, generic.as_ref()),
+            Shape::TupleStruct { name, generic, .. } => (name, generic.as_ref()),
+            Shape::Enum { name, .. } => (name, None),
+        };
+        match generic {
+            Some(TypeParam { name: param, bounds }) => {
+                let declared = bounds.as_ref().map(|b| format!("{b} + ")).unwrap_or_default();
+                (format!("<{param}: {declared}::serde::{trait_name}>"), format!("{name}<{param}>"))
+            }
+            None => (String::new(), name.clone()),
+        }
+    }
 }
 
 #[derive(Debug)]
@@ -145,8 +176,17 @@ fn parse_shape(input: TokenStream) -> Result<Shape, String> {
         other => return Err(format!("expected type name, found {other:?}")),
     };
     i += 1;
+    let mut generic = None;
     if tokens.get(i).is_some_and(|t| is_punct(t, '<')) {
-        return Err(format!("generic type `{name}` is not supported by the vendored serde derive"));
+        if kind == "enum" {
+            return Err(format!("generic enum `{name}` is not supported by the vendored serde derive"));
+        }
+        let (param, next) = parse_single_type_param(&tokens, i + 1, &name)?;
+        generic = Some(param);
+        i = next;
+    }
+    if tokens.get(i).is_some_and(|t| is_ident(t, "where")) {
+        return Err(format!("`where` clause on `{name}` is not supported by the vendored serde derive"));
     }
     // `struct Name(A, B, …);` — a tuple struct: the body is a parenthesised
     // field list followed by a semicolon.
@@ -159,7 +199,7 @@ fn parse_shape(input: TokenStream) -> Result<Shape, String> {
                         "unit-like tuple struct `{name}()` is not supported by the vendored serde derive"
                     ));
                 }
-                return Ok(Shape::TupleStruct { name, arity });
+                return Ok(Shape::TupleStruct { name, generic, arity });
             }
         }
     }
@@ -169,10 +209,86 @@ fn parse_shape(input: TokenStream) -> Result<Shape, String> {
     };
 
     Ok(if kind == "struct" {
-        Shape::Struct { name, fields: parse_named_fields(body) }
+        Shape::Struct { name, generic, fields: parse_named_fields(body) }
     } else {
         Shape::Enum { name, variants: parse_variants(body) }
     })
+}
+
+/// Parse exactly one type parameter (optionally with bounds, which are
+/// preserved for the generated impl) from a `<...>` generics list; `i`
+/// points just past the `<`. Returns the parameter and the index just past
+/// the closing `>`.
+fn parse_single_type_param(
+    tokens: &[TokenTree],
+    mut i: usize,
+    name: &str,
+) -> Result<(TypeParam, usize), String> {
+    let param = match tokens.get(i) {
+        // `const N: usize` would otherwise parse `const` as the parameter
+        // name and emit unparsable generated code — reject it cleanly.
+        Some(TokenTree::Ident(id)) if id.to_string() == "const" => {
+            return Err(format!("const generics on `{name}` are not supported by the vendored serde derive"))
+        }
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => {
+            return Err(format!(
+                "vendored serde derive supports one plain type parameter on `{name}`, found {other:?}"
+            ))
+        }
+    };
+    i += 1;
+    // Collect any bounds (`: Clone + Default`) verbatim — the impl must
+    // repeat them to name the type — tracking nesting so bounds like
+    // `Into<Vec<f64>>` close correctly; reject a second parameter. Joint
+    // puncts glue to their successor so `std::fmt::Debug` renders with its
+    // `::` separators intact instead of the unparsable `: :`.
+    let mut depth = 1usize;
+    let mut bounds = String::new();
+    let mut in_bounds = false;
+    let mut prev_dash = false;
+    while i < tokens.len() {
+        // A `>` directly after a joint `-` is the tail of a `->` return arrow
+        // (e.g. `T: Fn() -> f64`), not a generics closer.
+        let arrow_tail = prev_dash && is_punct(&tokens[i], '>');
+        match &tokens[i] {
+            t if is_punct(t, '<') => depth += 1,
+            t if is_punct(t, '>') && !arrow_tail => {
+                depth -= 1;
+                if depth == 0 {
+                    let bounds = bounds.trim().to_string();
+                    let bounds = if bounds.is_empty() { None } else { Some(bounds) };
+                    return Ok((TypeParam { name: param, bounds }, i + 1));
+                }
+            }
+            t if is_punct(t, ',') && depth == 1 => {
+                return Err(format!("vendored serde derive supports at most one type parameter on `{name}`"));
+            }
+            t if is_punct(t, ':') && depth == 1 && !in_bounds => {
+                in_bounds = true;
+                prev_dash = false;
+                i += 1;
+                continue;
+            }
+            _ => {}
+        }
+        prev_dash = matches!(
+            &tokens[i],
+            TokenTree::Punct(p) if p.as_char() == '-' && p.spacing() == proc_macro::Spacing::Joint
+        );
+        if in_bounds {
+            bounds.push_str(&tokens[i].to_string());
+            let glued = matches!(
+                &tokens[i],
+                TokenTree::Punct(p) if p.spacing() == proc_macro::Spacing::Joint
+            );
+            if !glued {
+                bounds.push(' ');
+            }
+        }
+        i += 1;
+    }
+    Err(format!("unclosed generics list on `{name}`"))
 }
 
 fn compile_error(msg: &str) -> TokenStream {
@@ -180,35 +296,36 @@ fn compile_error(msg: &str) -> TokenStream {
 }
 
 fn gen_serialize(shape: &Shape) -> String {
+    let (generics, self_ty) = shape.impl_parts("Serialize");
     match shape {
-        Shape::Struct { name, fields } => {
+        Shape::Struct { fields, .. } => {
             let entries: String = fields
                 .iter()
                 .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f})),"))
                 .collect();
             format!(
-                "impl ::serde::Serialize for {name} {{\n\
+                "impl{generics} ::serde::Serialize for {self_ty} {{\n\
                      fn to_value(&self) -> ::serde::Value {{\n\
                          ::serde::Value::Obj(::std::vec![{entries}])\n\
                      }}\n\
                  }}"
             )
         }
-        Shape::TupleStruct { name, arity: 1 } => {
+        Shape::TupleStruct { arity: 1, .. } => {
             // serde's default newtype representation: transparently the inner value.
             format!(
-                "impl ::serde::Serialize for {name} {{\n\
+                "impl{generics} ::serde::Serialize for {self_ty} {{\n\
                      fn to_value(&self) -> ::serde::Value {{\n\
                          ::serde::Serialize::to_value(&self.0)\n\
                      }}\n\
                  }}"
             )
         }
-        Shape::TupleStruct { name, arity } => {
+        Shape::TupleStruct { arity, .. } => {
             let items: String =
                 (0..*arity).map(|k| format!("::serde::Serialize::to_value(&self.{k}),")).collect();
             format!(
-                "impl ::serde::Serialize for {name} {{\n\
+                "impl{generics} ::serde::Serialize for {self_ty} {{\n\
                      fn to_value(&self) -> ::serde::Value {{\n\
                          ::serde::Value::Arr(::std::vec![{items}])\n\
                      }}\n\
@@ -265,14 +382,15 @@ fn gen_serialize(shape: &Shape) -> String {
 }
 
 fn gen_deserialize(shape: &Shape) -> String {
+    let (generics, self_ty) = shape.impl_parts("Deserialize");
     match shape {
-        Shape::Struct { name, fields } => {
+        Shape::Struct { name, fields, .. } => {
             let inits: String = fields
                 .iter()
                 .map(|f| format!("{f}: ::serde::Deserialize::from_value(::serde::field(__obj, \"{f}\")?)?,"))
                 .collect();
             format!(
-                "impl ::serde::Deserialize for {name} {{\n\
+                "impl{generics} ::serde::Deserialize for {self_ty} {{\n\
                      fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::std::string::String> {{\n\
                          let __obj = v.as_obj().ok_or_else(|| ::std::format!(\"expected object for {name}, found {{}}\", v.kind()))?;\n\
                          ::std::result::Result::Ok({name} {{ {inits} }})\n\
@@ -280,20 +398,20 @@ fn gen_deserialize(shape: &Shape) -> String {
                  }}"
             )
         }
-        Shape::TupleStruct { name, arity: 1 } => {
+        Shape::TupleStruct { name, arity: 1, .. } => {
             format!(
-                "impl ::serde::Deserialize for {name} {{\n\
+                "impl{generics} ::serde::Deserialize for {self_ty} {{\n\
                      fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::std::string::String> {{\n\
                          ::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))\n\
                      }}\n\
                  }}"
             )
         }
-        Shape::TupleStruct { name, arity } => {
+        Shape::TupleStruct { name, arity, .. } => {
             let inits: String =
                 (0..*arity).map(|k| format!("::serde::Deserialize::from_value(&__items[{k}])?,")).collect();
             format!(
-                "impl ::serde::Deserialize for {name} {{\n\
+                "impl{generics} ::serde::Deserialize for {self_ty} {{\n\
                      fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::std::string::String> {{\n\
                          let __items = v.as_arr().ok_or_else(|| ::std::format!(\"expected array for {name}, found {{}}\", v.kind()))?;\n\
                          if __items.len() != {arity} {{ return ::std::result::Result::Err(::std::format!(\"expected {arity} elements for {name}, found {{}}\", __items.len())); }}\n\

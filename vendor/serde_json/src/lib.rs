@@ -389,4 +389,74 @@ mod tests {
         assert!(from_str::<Triple>("[\"short\",1]").is_err(), "arity mismatch must be rejected");
         assert!(from_str::<Triple>("{}").is_err(), "non-array must be rejected");
     }
+
+    #[derive(serde::Serialize, serde::Deserialize, Debug, PartialEq)]
+    struct Labeled<T> {
+        label: String,
+        value: T,
+    }
+
+    #[derive(serde::Serialize, serde::Deserialize, Debug, PartialEq)]
+    struct GenericWrapper<T>(T);
+
+    #[derive(serde::Serialize, serde::Deserialize, Debug, PartialEq)]
+    struct GenericPair<T: Clone>(T, T);
+
+    // Path-qualified and multi-segment bounds must survive into the
+    // generated impl header with their `::` separators intact.
+    #[derive(serde::Serialize, serde::Deserialize, Debug, PartialEq)]
+    struct PathBound<T: std::fmt::Debug + Clone> {
+        value: T,
+    }
+
+    // Bounds containing their own generics list must not truncate the
+    // parameter parse at the nested `>`.
+    #[derive(serde::Serialize, serde::Deserialize, Debug, PartialEq)]
+    struct NestedBound<T: Into<Vec<f64>> + Clone>(T);
+
+    #[test]
+    fn derived_generic_struct_roundtrips() {
+        let rec = Labeled { label: "p95_ms".to_string(), value: 12.25 };
+        let text = to_string(&rec).unwrap();
+        assert_eq!(text, "{\"label\":\"p95_ms\",\"value\":12.25}");
+        assert_eq!(from_str::<Labeled<f64>>(&text).unwrap(), rec);
+
+        // The parameter can itself be a container — bounds flow through the
+        // blanket Vec impls of the stub.
+        let nested = Labeled { label: "histogram".to_string(), value: vec![1u64, 2, 3] };
+        let text = to_string(&nested).unwrap();
+        assert_eq!(from_str::<Labeled<Vec<u64>>>(&text).unwrap(), nested);
+
+        // Mismatched inner type reports through the normal error path.
+        assert!(from_str::<Labeled<bool>>("{\"label\":\"x\",\"value\":3}").is_err());
+    }
+
+    #[test]
+    fn derived_generic_tuple_structs_roundtrip() {
+        // Generic newtype: transparent, like the non-generic newtype.
+        let w = GenericWrapper(vec![0.5f64, 1.5]);
+        let text = to_string(&w).unwrap();
+        assert_eq!(text, "[0.5,1.5]");
+        assert_eq!(from_str::<GenericWrapper<Vec<f64>>>(&text).unwrap(), w);
+
+        // Declared bounds on the parameter are parsed past (the generated
+        // impl bounds by the serde traits instead, as real serde does).
+        let p = GenericPair(3u64, 4u64);
+        let text = to_string(&p).unwrap();
+        assert_eq!(text, "[3,4]");
+        assert_eq!(from_str::<GenericPair<u64>>(&text).unwrap(), p);
+    }
+
+    #[test]
+    fn derived_generic_struct_with_path_bound_roundtrips() {
+        let rec = PathBound { value: vec![1.5f64, 2.5] };
+        let text = to_string(&rec).unwrap();
+        assert_eq!(text, "{\"value\":[1.5,2.5]}");
+        assert_eq!(from_str::<PathBound<Vec<f64>>>(&text).unwrap(), rec);
+
+        let nested = NestedBound(vec![0.25f64]);
+        let text = to_string(&nested).unwrap();
+        assert_eq!(text, "[0.25]");
+        assert_eq!(from_str::<NestedBound<Vec<f64>>>(&text).unwrap(), nested);
+    }
 }
