@@ -1,0 +1,135 @@
+//! Analysis configuration: which files are hot paths, where the clock
+//! discipline applies, and which helper functions the lock-order pass
+//! understands. [`AnalyzeConfig::workspace`] is the checked-in policy for
+//! this repository; fixture tests build custom configs.
+
+/// Checks the panic-path pass can enforce per hot-path file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PanicCheck {
+    /// Forbid `.unwrap()`.
+    Unwrap,
+    /// Forbid `.expect(...)`.
+    Expect,
+    /// Forbid `panic!` / `unreachable!` / `todo!` / `unimplemented!`.
+    Panic,
+    /// Forbid slice/array indexing.
+    Indexing,
+}
+
+/// A file designated as a hot path, with the checks enforced in it.
+#[derive(Debug, Clone)]
+pub struct HotPath {
+    /// Path suffix, forward slashes (e.g. `quadra-serve/src/scheduler.rs`).
+    pub path_suffix: String,
+    /// Checks enforced in the file.
+    pub checks: Vec<PanicCheck>,
+}
+
+/// A service-time ledger region: functions in one file whose clock reads
+/// must go through the sanctioned abstraction.
+#[derive(Debug, Clone)]
+pub struct ClockRegion {
+    /// Path suffix of the file.
+    pub path_suffix: String,
+    /// Function names forming the ledger region.
+    pub fns: Vec<String>,
+}
+
+/// Full analyzer configuration.
+#[derive(Debug, Clone, Default)]
+pub struct AnalyzeConfig {
+    /// Free functions treated as lock acquisitions: `helper(&mutex)`.
+    pub lock_helpers: Vec<String>,
+    /// Free functions treated as condvar waits: `helper(&cv, guard, ...)`.
+    pub wait_helpers: Vec<String>,
+    /// Hot-path files for the panic-path pass.
+    pub hot_paths: Vec<HotPath>,
+    /// Crates where `.lock().unwrap()` is forbidden everywhere.
+    pub lock_unwrap_crates: Vec<String>,
+    /// Ledger regions for the clock pass.
+    pub clock_regions: Vec<ClockRegion>,
+    /// Crates where `SystemTime` is forbidden outright.
+    pub clock_forbid_system_time_crates: Vec<String>,
+    /// Crates audited by the must-use pass.
+    pub must_use_crates: Vec<String>,
+}
+
+impl AnalyzeConfig {
+    /// True when `name` is a configured lock-acquisition helper.
+    pub fn is_lock_helper(&self, name: &str) -> bool {
+        self.lock_helpers.iter().any(|h| h == name)
+    }
+
+    /// True when `name` is a configured condvar-wait helper.
+    pub fn is_wait_helper(&self, name: &str) -> bool {
+        self.wait_helpers.iter().any(|h| h == name)
+    }
+
+    /// The panic checks enforced for `path` (empty = not a hot path).
+    pub fn hot_path_checks(&self, path: &str) -> Vec<PanicCheck> {
+        self.hot_paths
+            .iter()
+            .filter(|h| path.ends_with(&h.path_suffix))
+            .flat_map(|h| h.checks.iter().copied())
+            .collect()
+    }
+
+    /// Ledger-region function names for `path`.
+    pub fn clock_region_fns(&self, path: &str) -> Vec<String> {
+        self.clock_regions
+            .iter()
+            .filter(|r| path.ends_with(&r.path_suffix))
+            .flat_map(|r| r.fns.iter().cloned())
+            .collect()
+    }
+
+    /// The checked-in policy for the QuadraLib-rs workspace.
+    pub fn workspace() -> AnalyzeConfig {
+        let all = vec![PanicCheck::Unwrap, PanicCheck::Expect, PanicCheck::Panic, PanicCheck::Indexing];
+        AnalyzeConfig {
+            lock_helpers: vec!["lock_or_recover".to_string()],
+            wait_helpers: vec![
+                "wait_or_recover".to_string(),
+                "wait_timeout_or_recover".to_string(),
+                "wait_deadline_or_recover".to_string(),
+            ],
+            hot_paths: vec![
+                HotPath { path_suffix: "quadra-serve/src/scheduler.rs".into(), checks: all.clone() },
+                HotPath { path_suffix: "quadra-serve/src/worker.rs".into(), checks: all.clone() },
+                HotPath { path_suffix: "quadra-serve/src/admission.rs".into(), checks: all.clone() },
+                HotPath { path_suffix: "quadra-tensor/src/gemm.rs".into(), checks: all.clone() },
+                HotPath { path_suffix: "quadra-core/src/profiler.rs".into(), checks: all.clone() },
+                HotPath { path_suffix: "vendor/rayon/src/lib.rs".into(), checks: all },
+            ],
+            lock_unwrap_crates: vec!["quadra-serve".to_string()],
+            clock_regions: vec![
+                ClockRegion {
+                    path_suffix: "quadra-serve/src/scheduler.rs".into(),
+                    fns: vec![
+                        "start_execution".into(),
+                        "settle_now".into(),
+                        "finish".into(),
+                        "acquire".into(),
+                        "settle".into(),
+                        "register".into(),
+                        "close_member".into(),
+                    ],
+                },
+                ClockRegion { path_suffix: "quadra-serve/src/worker.rs".into(), fns: vec!["run".into()] },
+                ClockRegion {
+                    path_suffix: "quadra-serve/src/metrics.rs".into(),
+                    fns: vec![
+                        "record_service".into(),
+                        "record_batch".into(),
+                        "record_shed".into(),
+                        "record_dispatch_shed".into(),
+                        "record_errors".into(),
+                        "record_reload".into(),
+                    ],
+                },
+            ],
+            clock_forbid_system_time_crates: vec!["quadra-serve".to_string()],
+            must_use_crates: vec!["quadra-serve".to_string()],
+        }
+    }
+}

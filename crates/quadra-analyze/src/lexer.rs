@@ -1,0 +1,362 @@
+//! A small hand-rolled Rust lexer: just enough token structure for the
+//! analysis passes, with no dependency on `syn` or `proc-macro2`.
+//!
+//! The lexer is exact about the three things that break naive text scanning:
+//! string literals (including raw and byte strings), comments (including
+//! nested block comments), and the `'a` lifetime vs `'a'` char-literal
+//! ambiguity. Everything else is reduced to identifiers, numbers, and
+//! single-character punctuation, each tagged with its 1-based source line.
+
+/// Token classification. The passes match almost exclusively on
+/// [`TokKind::Ident`] and [`TokKind::Punct`]; the literal kinds exist so
+/// pattern text inside strings can never false-positive a lint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `self`, `unwrap`, ...).
+    Ident,
+    /// Single punctuation character (`.`, `(`, `[`, `!`, ...).
+    Punct,
+    /// String literal of any flavour (`"..."`, `r#"..."#`, `b"..."`).
+    Str,
+    /// Char or byte-char literal (`'x'`, `b'\n'`).
+    Char,
+    /// Numeric literal (`42`, `0xff`, `1.5e3`, `1_000u64`).
+    Num,
+    /// Lifetime (`'a`, `'static`).
+    Lifetime,
+}
+
+/// One lexed token.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Token classification.
+    pub kind: TokKind,
+    /// Source text. For [`TokKind::Punct`] this is a single character; string
+    /// literals keep their quotes so the text is never mistaken for code.
+    pub text: String,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+impl Tok {
+    /// True when the token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// True when the token is the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == 1 && self.text.starts_with(c)
+    }
+}
+
+/// A `//` comment, captured out-of-band so suppression directives can be
+/// parsed without polluting the token stream.
+#[derive(Debug, Clone)]
+pub struct LineComment {
+    /// Text after the `//` (doc-comment slashes stripped too).
+    pub text: String,
+    /// 1-based line of the comment.
+    pub line: u32,
+}
+
+/// Output of [`lex`]: the token stream plus the side-channel comment list.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Code tokens in source order.
+    pub toks: Vec<Tok>,
+    /// Line comments in source order.
+    pub comments: Vec<LineComment>,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_ascii_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+/// Lex `src` into tokens and comments. Unterminated literals are tolerated
+/// (the rest of the file becomes one literal token) so a half-edited file
+/// cannot crash the gate.
+pub fn lex(src: &str) -> Lexed {
+    let chars: Vec<char> = src.chars().collect();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+
+    // Advance over `chars[from..to)` counting newlines.
+    let count_lines = |from: usize, to: usize, chars: &[char]| -> u32 {
+        chars[from..to].iter().filter(|&&c| c == '\n').count() as u32
+    };
+
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Comments.
+        if c == '/' && i + 1 < chars.len() {
+            if chars[i + 1] == '/' {
+                let start = i + 2;
+                let mut j = start;
+                while j < chars.len() && chars[j] != '\n' {
+                    j += 1;
+                }
+                let mut text: String = chars[start..j].iter().collect();
+                // Strip the extra marker of doc comments (`///`, `//!`).
+                while text.starts_with('/') || text.starts_with('!') {
+                    text.remove(0);
+                }
+                out.comments.push(LineComment { text: text.trim().to_string(), line });
+                i = j;
+                continue;
+            }
+            if chars[i + 1] == '*' {
+                // Nested block comment.
+                let start = i;
+                let mut depth = 1usize;
+                let mut j = i + 2;
+                while j < chars.len() && depth > 0 {
+                    if chars[j] == '/' && j + 1 < chars.len() && chars[j + 1] == '*' {
+                        depth += 1;
+                        j += 2;
+                    } else if chars[j] == '*' && j + 1 < chars.len() && chars[j + 1] == '/' {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        j += 1;
+                    }
+                }
+                line += count_lines(start, j.min(chars.len()), &chars);
+                i = j;
+                continue;
+            }
+        }
+        // Raw / byte string prefixes: r"", r#""#, br"", b"", b''.
+        if c == 'r' || c == 'b' {
+            let mut j = i + 1;
+            let mut raw_candidate = c == 'r';
+            if c == 'b' && j < chars.len() && chars[j] == 'r' {
+                raw_candidate = true;
+                j += 1;
+            }
+            let mut hashes = 0usize;
+            if raw_candidate {
+                while j < chars.len() && chars[j] == '#' {
+                    hashes += 1;
+                    j += 1;
+                }
+            }
+            if raw_candidate && j < chars.len() && chars[j] == '"' {
+                // Raw string: ends at `"` followed by `hashes` hashes.
+                let start = i;
+                let mut k = j + 1;
+                'scan: while k < chars.len() {
+                    if chars[k] == '"' {
+                        let mut h = 0usize;
+                        while h < hashes && k + 1 + h < chars.len() && chars[k + 1 + h] == '#' {
+                            h += 1;
+                        }
+                        if h == hashes {
+                            k += 1 + hashes;
+                            break 'scan;
+                        }
+                    }
+                    k += 1;
+                }
+                let text: String = chars[start..k.min(chars.len())].iter().collect();
+                out.toks.push(Tok { kind: TokKind::Str, text, line });
+                line += count_lines(start, k.min(chars.len()), &chars);
+                i = k;
+                continue;
+            }
+            if c == 'b' && i + 1 < chars.len() && chars[i + 1] == '"' {
+                let (tok, next, nl) = lex_quoted(&chars, i + 1, '"', line);
+                out.toks.push(Tok { kind: TokKind::Str, text: format!("b{}", tok), line });
+                line += nl;
+                i = next;
+                continue;
+            }
+            if c == 'b' && i + 1 < chars.len() && chars[i + 1] == '\'' {
+                let (tok, next, nl) = lex_quoted(&chars, i + 1, '\'', line);
+                out.toks.push(Tok { kind: TokKind::Char, text: format!("b{}", tok), line });
+                line += nl;
+                i = next;
+                continue;
+            }
+            // Fall through: plain identifier starting with r/b.
+        }
+        if c == '"' {
+            let (tok, next, nl) = lex_quoted(&chars, i, '"', line);
+            out.toks.push(Tok { kind: TokKind::Str, text: tok, line });
+            line += nl;
+            i = next;
+            continue;
+        }
+        if c == '\'' {
+            // Char literal vs lifetime. `'\...` is always a char; `'x'` is a
+            // char; `'ident` (no closing quote right after) is a lifetime.
+            let next1 = chars.get(i + 1).copied();
+            let next2 = chars.get(i + 2).copied();
+            let is_char = match next1 {
+                Some('\\') => true,
+                Some(_) => next2 == Some('\''),
+                None => false,
+            };
+            if is_char {
+                let (tok, next, nl) = lex_quoted(&chars, i, '\'', line);
+                out.toks.push(Tok { kind: TokKind::Char, text: tok, line });
+                line += nl;
+                i = next;
+                continue;
+            }
+            let mut j = i + 1;
+            while j < chars.len() && is_ident_continue(chars[j]) {
+                j += 1;
+            }
+            let text: String = chars[i..j].iter().collect();
+            out.toks.push(Tok { kind: TokKind::Lifetime, text, line });
+            i = j;
+            continue;
+        }
+        if is_ident_start(c) {
+            let mut j = i + 1;
+            while j < chars.len() && is_ident_continue(chars[j]) {
+                j += 1;
+            }
+            let text: String = chars[i..j].iter().collect();
+            out.toks.push(Tok { kind: TokKind::Ident, text, line });
+            i = j;
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let mut j = i + 1;
+            while j < chars.len() && (is_ident_continue(chars[j])) {
+                j += 1;
+            }
+            // Fractional part — but never swallow `..` (range syntax).
+            if j < chars.len() && chars[j] == '.' && chars.get(j + 1).is_some_and(|d| d.is_ascii_digit()) {
+                j += 1;
+                while j < chars.len() && is_ident_continue(chars[j]) {
+                    j += 1;
+                }
+            }
+            let text: String = chars[i..j].iter().collect();
+            out.toks.push(Tok { kind: TokKind::Num, text, line });
+            i = j;
+            continue;
+        }
+        out.toks.push(Tok { kind: TokKind::Punct, text: c.to_string(), line });
+        i += 1;
+    }
+    out
+}
+
+/// Lex a quoted literal starting at `chars[start] == quote`, honouring
+/// backslash escapes. Returns (text-with-quotes, next index, newlines seen).
+fn lex_quoted(chars: &[char], start: usize, quote: char, _line: u32) -> (String, usize, u32) {
+    let mut j = start + 1;
+    let mut newlines = 0u32;
+    while j < chars.len() {
+        match chars[j] {
+            '\\' => j += 2,
+            '\n' => {
+                newlines += 1;
+                j += 1;
+            }
+            c if c == quote => {
+                j += 1;
+                let text: String = chars[start..j].iter().collect();
+                return (text, j, newlines);
+            }
+            _ => j += 1,
+        }
+    }
+    let text: String = chars[start..].iter().collect();
+    (text, chars.len(), newlines)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).toks.into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_and_punct() {
+        let toks = kinds("self.state.lock()");
+        let texts: Vec<&str> = toks.iter().map(|(_, t)| t.as_str()).collect();
+        assert_eq!(texts, vec!["self", ".", "state", ".", "lock", "(", ")"]);
+    }
+
+    #[test]
+    fn string_contents_are_not_code() {
+        let toks = kinds(r#"let s = "x.lock().unwrap()";"#);
+        assert!(toks.iter().filter(|(k, _)| *k == TokKind::Ident).all(|(_, t)| t != "unwrap"));
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokKind::Str).count(), 1);
+    }
+
+    #[test]
+    fn raw_string_with_hashes() {
+        let toks = kinds(r##"let s = r#"has "quotes" and .unwrap()"#; x"##);
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokKind::Str).count(), 1);
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Ident && t == "x"));
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        let toks = kinds(r"fn f<'a>(x: &'a str) { let c = 'x'; let n = '\n'; }");
+        let lifetimes = toks.iter().filter(|(k, _)| *k == TokKind::Lifetime).count();
+        let chars_ = toks.iter().filter(|(k, _)| *k == TokKind::Char).count();
+        assert_eq!(lifetimes, 2);
+        assert_eq!(chars_, 2);
+    }
+
+    #[test]
+    fn nested_block_comments_skipped() {
+        let toks = kinds("a /* outer /* inner */ still comment */ b");
+        let texts: Vec<&str> = toks.iter().map(|(_, t)| t.as_str()).collect();
+        assert_eq!(texts, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn line_comments_captured_with_lines() {
+        let lexed = lex("let a = 1; // quadra-analyze: allow(panic_path, test)\nlet b = 2;");
+        assert_eq!(lexed.comments.len(), 1);
+        assert_eq!(lexed.comments[0].line, 1);
+        assert!(lexed.comments[0].text.contains("allow(panic_path"));
+        assert_eq!(lexed.toks.iter().filter(|t| t.is_ident("let")).count(), 2);
+    }
+
+    #[test]
+    fn range_after_number_not_swallowed() {
+        let toks = kinds("for i in 0..n {}");
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Num && t == "0"));
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Ident && t == "n"));
+    }
+
+    #[test]
+    fn byte_string_and_byte_char() {
+        let toks = kinds(r#"let a = b"bytes"; let c = b'x';"#);
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokKind::Str).count(), 1);
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokKind::Char).count(), 1);
+    }
+
+    #[test]
+    fn doc_comment_markers_stripped() {
+        let lexed = lex("/// doc line\n//! inner doc\nfn f() {}");
+        assert_eq!(lexed.comments.len(), 2);
+        assert_eq!(lexed.comments[0].text, "doc line");
+        assert_eq!(lexed.comments[1].text, "inner doc");
+    }
+}

@@ -1,0 +1,77 @@
+//! CLI entry point: `cargo run -p quadra-analyze -- [--deny] [--root DIR]
+//! [--report PATH]`.
+//!
+//! Prints the human diff-style report to stdout, writes the machine-readable
+//! `ANALYZE_report.json` at the workspace root (or `--report PATH`), and with
+//! `--deny` exits non-zero when any unsuppressed finding remains — the mode
+//! CI runs as a blocking gate.
+
+use quadra_analyze::{analyze_root, AnalyzeConfig};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut deny = false;
+    let mut root: Option<PathBuf> = None;
+    let mut report_path: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--deny" => deny = true,
+            "--root" => root = args.next().map(PathBuf::from),
+            "--report" => report_path = args.next().map(PathBuf::from),
+            "--help" | "-h" => {
+                println!("usage: quadra-analyze [--deny] [--root DIR] [--report PATH]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("quadra-analyze: unknown argument `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = match root.or_else(find_workspace_root) {
+        Some(r) => r,
+        None => {
+            eprintln!("quadra-analyze: could not locate the workspace root (no Cargo.toml with [workspace] above the current directory); pass --root");
+            return ExitCode::from(2);
+        }
+    };
+    let cfg = AnalyzeConfig::workspace();
+    let report = match analyze_root(&root, &cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("quadra-analyze: failed to read sources under {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    print!("{}", report.human());
+    let out = report_path.unwrap_or_else(|| root.join("ANALYZE_report.json"));
+    if let Err(e) = std::fs::write(&out, report.to_json()) {
+        eprintln!("quadra-analyze: failed to write {}: {e}", out.display());
+        return ExitCode::from(2);
+    }
+    println!("report written to {}", out.display());
+    if deny && report.unsuppressed_count() > 0 {
+        eprintln!("quadra-analyze: denying: {} unsuppressed finding(s)", report.unsuppressed_count());
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+/// Walk up from the current directory to the first `Cargo.toml` declaring
+/// `[workspace]`.
+fn find_workspace_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! Clock-discipline check.
+//!
+//! The DRR fair-share ledger charges endpoints for *service time*; the
+//! ROADMAP's planned migration to per-thread CPU clocks
+//! (`CLOCK_THREAD_CPUTIME_ID`) only works if every ledger read goes through
+//! the sanctioned `quadra-serve::clock` abstraction — a stray
+//! `Instant::now()` silently reverts that path to wall time. This pass flags
+//! raw clock reads (`Instant::now`, `SystemTime`, `.elapsed(`,
+//! `.duration_since(`) inside the configured ledger/accounting functions,
+//! and any use of `SystemTime` (non-monotonic) anywhere in the configured
+//! crates.
+
+use crate::config::AnalyzeConfig;
+use crate::report::Finding;
+use crate::source::SourceFile;
+
+/// Run the pass over one file.
+pub fn run(file: &SourceFile, cfg: &AnalyzeConfig, findings: &mut Vec<Finding>) {
+    let region_fns = cfg.clock_region_fns(&file.path);
+    let forbid_system_time = cfg.clock_forbid_system_time_crates.iter().any(|c| c == &file.crate_name);
+    if region_fns.is_empty() && !forbid_system_time {
+        return;
+    }
+    let toks = &file.toks;
+    let mut emit = |check: &str, line: u32, message: String| {
+        findings.push(Finding {
+            pass: "clock".to_string(),
+            check: check.to_string(),
+            file: file.path.clone(),
+            line,
+            message,
+            snippet: file.line_text(line).to_string(),
+            suppressed_reason: None,
+        });
+    };
+    for i in 0..toks.len() {
+        if file.is_test_tok(i) {
+            continue;
+        }
+        let t = &toks[i];
+        if t.kind != crate::lexer::TokKind::Ident && !t.is_punct('.') {
+            continue;
+        }
+        // SystemTime anywhere in the crate: serving deadlines and ledgers
+        // must be monotonic.
+        if forbid_system_time && t.is_ident("SystemTime") {
+            emit(
+                "system-time",
+                t.line,
+                "`SystemTime` is non-monotonic; serving clocks must use `Instant` via `clock`".to_string(),
+            );
+            continue;
+        }
+        // Inside ledger regions: raw monotonic reads must go through the
+        // sanctioned abstraction.
+        let in_region = !region_fns.is_empty()
+            && file.enclosing_fn(i).is_some_and(|f| !f.is_test && region_fns.iter().any(|r| r == &f.name));
+        if !in_region {
+            continue;
+        }
+        if t.is_ident("Instant")
+            && i + 2 < toks.len()
+            && toks[i + 1].is_punct(':')
+            && toks[i + 2].is_punct(':')
+            && toks.get(i + 3).is_some_and(|n| n.is_ident("now"))
+        {
+            emit(
+                "raw-instant",
+                t.line,
+                "raw `Instant::now()` in a service-time ledger path; use `clock::service_now()`".to_string(),
+            );
+            continue;
+        }
+        if t.is_punct('.')
+            && toks.get(i + 1).is_some_and(|n| n.is_ident("elapsed") || n.is_ident("duration_since"))
+            && toks.get(i + 2).is_some_and(|n| n.is_punct('('))
+        {
+            emit(
+                "raw-elapsed",
+                toks[i + 1].line,
+                format!(
+                    "raw `.{}()` in a service-time ledger path; use `clock::elapsed_us`",
+                    toks[i + 1].text
+                ),
+            );
+            continue;
+        }
+    }
+}

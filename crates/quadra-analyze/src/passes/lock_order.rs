@@ -1,0 +1,495 @@
+//! Lock-order analysis.
+//!
+//! Extracts every mutex acquisition (`.lock()` and the workspace's
+//! `lock_or_recover(&...)` helper), tracks which guards are still live at
+//! each point via lexical scope approximation, and builds a per-crate
+//! acquisition-order graph. Findings:
+//!
+//! - **cycle** — two code paths acquire the same pair of locks in opposite
+//!   orders (potential deadlock), including orders reached transitively
+//!   through an intra-crate call-graph approximation;
+//! - **reentrant** — a lock acquired while a guard for the same lock is
+//!   still live (self-deadlock with `std::sync::Mutex`);
+//! - **held-across-blocking** — any lock still held at a `Condvar` wait
+//!   (other than the guard being waited on), a channel `send`/`recv`, a
+//!   thread `join`, or a call into a function that may block.
+//!
+//! Lock identity is `ImplType.field` for `self.field.lock()` receivers, the
+//! bare name for statics, and the dotted receiver path otherwise.
+
+use crate::config::AnalyzeConfig;
+use crate::report::Finding;
+use crate::source::SourceFile;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Channel / thread / condvar operations a lock must never be held across.
+const BLOCKING_OPS: [&str; 6] = ["send", "recv", "recv_timeout", "join", "wait", "wait_timeout"];
+
+#[derive(Debug, Clone, Default)]
+struct FnSummary {
+    locks: BTreeSet<String>,
+    blocks: bool,
+    calls: BTreeSet<String>,
+}
+
+#[derive(Debug, Clone)]
+struct Guard {
+    lock: String,
+    var: Option<String>,
+    depth: usize,
+}
+
+/// An acquisition-order edge: `from` was held when `to` was acquired.
+#[derive(Debug, Clone)]
+struct Edge {
+    file: String,
+    line: u32,
+    fn_name: String,
+}
+
+/// Run the pass over every file of one crate.
+pub fn run(files: &[&SourceFile], cfg: &AnalyzeConfig, findings: &mut Vec<Finding>) {
+    // Phase 1: per-function direct summaries, merged by name across the crate.
+    let mut summaries: BTreeMap<String, FnSummary> = BTreeMap::new();
+    for file in files {
+        for f in &file.fns {
+            if f.is_test || cfg.is_lock_helper(&f.name) || cfg.is_wait_helper(&f.name) {
+                continue;
+            }
+            let Some((open, close)) = f.body else { continue };
+            let direct = direct_summary(file, open, close, cfg);
+            let entry = summaries.entry(f.name.clone()).or_default();
+            entry.locks.extend(direct.locks);
+            entry.blocks |= direct.blocks;
+            entry.calls.extend(direct.calls);
+        }
+    }
+    // Phase 2: transitive closure over the intra-crate call graph.
+    loop {
+        let mut changed = false;
+        let names: Vec<String> = summaries.keys().cloned().collect();
+        for name in &names {
+            let calls: Vec<String> = summaries[name]
+                .calls
+                .iter()
+                .filter(|c| summaries.contains_key(*c) && *c != name)
+                .cloned()
+                .collect();
+            for callee in calls {
+                let (locks, blocks) = (summaries[&callee].locks.clone(), summaries[&callee].blocks);
+                let entry = summaries.get_mut(name).expect("name from keys");
+                let before = (entry.locks.len(), entry.blocks);
+                entry.locks.extend(locks);
+                entry.blocks |= blocks;
+                changed |= (entry.locks.len(), entry.blocks) != before;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    // Phase 3: guard-tracked scan producing edges and blocking findings.
+    let mut edges: BTreeMap<(String, String), Edge> = BTreeMap::new();
+    for file in files {
+        for f in &file.fns {
+            if f.is_test || cfg.is_lock_helper(&f.name) || cfg.is_wait_helper(&f.name) {
+                continue;
+            }
+            let Some((open, close)) = f.body else { continue };
+            scan_fn(file, f.name.as_str(), open, close, cfg, &summaries, &mut edges, findings);
+        }
+    }
+    // Phase 4: cycle detection on the acquisition-order graph.
+    report_cycles(&edges, findings);
+}
+
+/// Direct (non-transitive) lock/blocking/call facts for one fn body.
+fn direct_summary(file: &SourceFile, open: usize, close: usize, cfg: &AnalyzeConfig) -> FnSummary {
+    let mut out = FnSummary::default();
+    let toks = &file.toks;
+    let mut i = open;
+    while i <= close {
+        let t = &toks[i];
+        if t.kind == crate::lexer::TokKind::Ident && i < close && toks[i + 1].is_punct('(') {
+            let name = t.text.as_str();
+            if name == "lock" && i > 0 && toks[i - 1].is_punct('.') {
+                if let Some(id) = receiver_lock_id(file, i - 1, file.enclosing_fn(i)) {
+                    out.locks.insert(id);
+                }
+            } else if cfg.is_lock_helper(name) {
+                if let Some(id) = arg_lock_id(file, i + 1, close, file.enclosing_fn(i)) {
+                    out.locks.insert(id);
+                }
+            } else if cfg.is_wait_helper(name)
+                || (i > 0 && toks[i - 1].is_punct('.') && BLOCKING_OPS.contains(&name))
+            {
+                out.blocks = true;
+            } else {
+                out.calls.insert(name.to_string());
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Scope-tracked scan of one fn body: emits acquisition-order edges, and
+/// findings for re-entrant locks and locks held across blocking operations.
+#[allow(clippy::too_many_arguments)]
+fn scan_fn(
+    file: &SourceFile,
+    fn_name: &str,
+    open: usize,
+    close: usize,
+    cfg: &AnalyzeConfig,
+    summaries: &BTreeMap<String, FnSummary>,
+    edges: &mut BTreeMap<(String, String), Edge>,
+    findings: &mut Vec<Finding>,
+) {
+    let toks = &file.toks;
+    let mut held: Vec<Guard> = Vec::new();
+    let mut depth = 1usize; // inside the body's opening brace
+    let mut i = open + 1;
+    while i < close {
+        let t = &toks[i];
+        if t.is_punct('{') {
+            depth += 1;
+            i += 1;
+            continue;
+        }
+        if t.is_punct('}') {
+            depth = depth.saturating_sub(1);
+            held.retain(|g| g.depth <= depth);
+            i += 1;
+            continue;
+        }
+        if t.is_punct(';') {
+            // Statement temporaries (un-bound guards) die with the statement.
+            held.retain(|g| g.var.is_some());
+            i += 1;
+            continue;
+        }
+        if t.kind == crate::lexer::TokKind::Ident && i + 1 < close && toks[i + 1].is_punct('(') {
+            let name = t.text.as_str();
+            // `drop(var)` releases a named guard.
+            if name == "drop" && i + 2 < close && toks[i + 2].kind == crate::lexer::TokKind::Ident {
+                let var = toks[i + 2].text.clone();
+                held.retain(|g| g.var.as_deref() != Some(var.as_str()));
+                i += 3;
+                continue;
+            }
+            let is_method = i > 0 && toks[i - 1].is_punct('.');
+            // Acquisition: `.lock()` or `lock_or_recover(&...)`.
+            let acquired = if name == "lock" && is_method {
+                receiver_lock_id(file, i - 1, file.enclosing_fn(i))
+            } else if cfg.is_lock_helper(name) && !is_method {
+                arg_lock_id(file, i + 1, close, file.enclosing_fn(i))
+            } else {
+                None
+            };
+            if let Some(id) = acquired {
+                if held.iter().any(|g| g.lock == id) {
+                    findings.push(finding(
+                        file,
+                        "reentrant",
+                        t.line,
+                        format!("lock `{id}` re-acquired in `{fn_name}` while already held (self-deadlock)"),
+                    ));
+                } else {
+                    for g in &held {
+                        edges.entry((g.lock.clone(), id.clone())).or_insert(Edge {
+                            file: file.path.clone(),
+                            line: t.line,
+                            fn_name: fn_name.to_string(),
+                        });
+                    }
+                }
+                let var = let_binding_var(toks, open, i);
+                held.push(Guard { lock: id, var, depth });
+                i += 2;
+                continue;
+            }
+            // Condvar waits: the guard being waited on is exempt, any other
+            // held lock is a deadlock-in-waiting.
+            let wait_guard = if cfg.is_wait_helper(name) && !is_method {
+                Some(helper_wait_guard(toks, i + 1, close))
+            } else if (name == "wait" || name == "wait_timeout") && is_method {
+                Some(first_arg_ident(toks, i + 1, close))
+            } else {
+                None
+            };
+            if let Some(exempt) = wait_guard {
+                let exempt_is_guard =
+                    exempt.as_deref().is_some_and(|v| held.iter().any(|g| g.var.as_deref() == Some(v)));
+                for g in &held {
+                    if exempt_is_guard && g.var.as_deref() == exempt.as_deref() {
+                        continue;
+                    }
+                    findings.push(finding(
+                        file,
+                        "held-across-blocking",
+                        t.line,
+                        format!("lock `{}` held across condvar wait in `{fn_name}`", g.lock),
+                    ));
+                }
+                i += 2;
+                continue;
+            }
+            // Other blocking operations.
+            if is_method && BLOCKING_OPS.contains(&name) {
+                for g in &held {
+                    findings.push(finding(
+                        file,
+                        "held-across-blocking",
+                        t.line,
+                        format!("lock `{}` held across `.{name}(...)` in `{fn_name}`", g.lock),
+                    ));
+                }
+                i += 2;
+                continue;
+            }
+            // Intra-crate call: propagate transitive locks and blocking.
+            if name != fn_name {
+                if let Some(summary) = summaries.get(name) {
+                    if !held.is_empty() {
+                        for g in &held {
+                            for lock in &summary.locks {
+                                if *lock == g.lock {
+                                    continue;
+                                }
+                                edges.entry((g.lock.clone(), lock.clone())).or_insert(Edge {
+                                    file: file.path.clone(),
+                                    line: t.line,
+                                    fn_name: fn_name.to_string(),
+                                });
+                            }
+                        }
+                        if summary.blocks {
+                            let locks: Vec<&str> = held.iter().map(|g| g.lock.as_str()).collect();
+                            findings.push(finding(
+                                file,
+                                "held-across-blocking",
+                                t.line,
+                                format!(
+                                    "lock(s) {} held across call to `{name}` which may block",
+                                    locks.join(", ")
+                                ),
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+}
+
+fn finding(file: &SourceFile, check: &str, line: u32, message: String) -> Finding {
+    Finding {
+        pass: "lock_order".to_string(),
+        check: check.to_string(),
+        file: file.path.clone(),
+        line,
+        message,
+        snippet: file.line_text(line).to_string(),
+        suppressed_reason: None,
+    }
+}
+
+/// Canonical lock id for the receiver chain ending at the `.` before `lock`.
+/// Returns `None` when the receiver is not a simple path (e.g. a call result).
+fn receiver_lock_id(
+    file: &SourceFile,
+    dot_idx: usize,
+    enclosing: Option<&crate::source::FnInfo>,
+) -> Option<String> {
+    let toks = &file.toks;
+    let mut chain: Vec<String> = Vec::new();
+    let mut i = dot_idx; // points at the `.`
+    loop {
+        if i == 0 {
+            break;
+        }
+        let prev = &toks[i - 1];
+        if prev.kind == crate::lexer::TokKind::Ident {
+            chain.push(prev.text.clone());
+            if i >= 2 && toks[i - 2].is_punct('.') {
+                i -= 2;
+                continue;
+            }
+        }
+        break;
+    }
+    if chain.is_empty() {
+        return None;
+    }
+    chain.reverse();
+    Some(canonical_id(&chain, enclosing))
+}
+
+/// Lock id for the first argument of a `lock_or_recover(&path)` call.
+/// `open_paren` indexes the `(`.
+fn arg_lock_id(
+    file: &SourceFile,
+    open_paren: usize,
+    close: usize,
+    enclosing: Option<&crate::source::FnInfo>,
+) -> Option<String> {
+    let toks = &file.toks;
+    let mut chain: Vec<String> = Vec::new();
+    let mut i = open_paren + 1;
+    while i <= close && !toks[i].is_punct(',') && !toks[i].is_punct(')') {
+        let t = &toks[i];
+        if t.is_punct('&') || t.is_ident("mut") || t.is_punct('.') {
+            i += 1;
+            continue;
+        }
+        if t.kind == crate::lexer::TokKind::Ident {
+            chain.push(t.text.clone());
+            i += 1;
+            continue;
+        }
+        return None;
+    }
+    if chain.is_empty() {
+        return None;
+    }
+    Some(canonical_id(&chain, enclosing))
+}
+
+fn canonical_id(chain: &[String], enclosing: Option<&crate::source::FnInfo>) -> String {
+    if chain[0] == "self" {
+        let base = enclosing
+            .and_then(|f| f.impl_type.clone())
+            .or_else(|| enclosing.map(|f| f.name.clone()))
+            .unwrap_or_else(|| "self".to_string());
+        let field = chain.last().filter(|_| chain.len() > 1).cloned().unwrap_or_else(|| "self".to_string());
+        return format!("{base}.{field}");
+    }
+    if chain.len() == 1 && chain[0].chars().all(|c| c.is_ascii_uppercase() || c == '_') {
+        return chain[0].clone();
+    }
+    chain.join(".")
+}
+
+/// The guard argument (index 1) of a `wait_or_recover(&cv, guard, ...)` call.
+fn helper_wait_guard(toks: &[crate::lexer::Tok], open_paren: usize, close: usize) -> Option<String> {
+    let mut depth = 1usize;
+    let mut i = open_paren + 1;
+    while i <= close && depth > 0 {
+        let t = &toks[i];
+        if t.is_punct('(') {
+            depth += 1;
+        } else if t.is_punct(')') {
+            depth -= 1;
+        } else if t.is_punct(',') && depth == 1 {
+            // First token of the second argument.
+            let mut j = i + 1;
+            while j <= close && (toks[j].is_punct('&') || toks[j].is_ident("mut")) {
+                j += 1;
+            }
+            if j <= close && toks[j].kind == crate::lexer::TokKind::Ident {
+                return Some(toks[j].text.clone());
+            }
+            return None;
+        }
+        i += 1;
+    }
+    None
+}
+
+/// The first argument of a `.wait(guard)` call when it is a bare identifier.
+fn first_arg_ident(toks: &[crate::lexer::Tok], open_paren: usize, close: usize) -> Option<String> {
+    let mut i = open_paren + 1;
+    while i <= close && (toks[i].is_punct('&') || toks[i].is_ident("mut")) {
+        i += 1;
+    }
+    if i <= close && toks[i].kind == crate::lexer::TokKind::Ident {
+        return Some(toks[i].text.clone());
+    }
+    None
+}
+
+/// The variable a guard is let-bound to within the current statement, if any.
+/// Handles `let mut st = ...`, `let (guard, t) = ...`, `if let Ok(g) = ...`.
+fn let_binding_var(toks: &[crate::lexer::Tok], body_open: usize, acq_idx: usize) -> Option<String> {
+    // Scan back to the start of the statement.
+    let mut start = acq_idx;
+    while start > body_open + 1 {
+        let p = &toks[start - 1];
+        if p.is_punct(';') || p.is_punct('{') || p.is_punct('}') {
+            break;
+        }
+        start -= 1;
+    }
+    let mut i = start;
+    while i < acq_idx && !toks[i].is_ident("let") {
+        i += 1;
+    }
+    if i >= acq_idx {
+        return None;
+    }
+    // First plain binder after `let`: skip `mut`, punctuation, and
+    // constructor idents (an ident immediately followed by `(`).
+    let mut j = i + 1;
+    while j < acq_idx && !toks[j].is_punct('=') {
+        let t = &toks[j];
+        if t.kind == crate::lexer::TokKind::Ident && !t.is_ident("mut") {
+            let is_ctor = j + 1 < acq_idx && toks[j + 1].is_punct('(');
+            if !is_ctor {
+                return Some(t.text.clone());
+            }
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Detect cycles in the acquisition-order graph and report each once.
+fn report_cycles(edges: &BTreeMap<(String, String), Edge>, findings: &mut Vec<Finding>) {
+    let mut adj: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+    for (from, to) in edges.keys() {
+        adj.entry(from).or_default().push(to);
+    }
+    let nodes: Vec<&str> = adj.keys().copied().collect();
+    let mut reported: BTreeSet<String> = BTreeSet::new();
+    for &start in &nodes {
+        // DFS from `start` looking for a path back to `start`.
+        let mut stack: Vec<(&str, Vec<&str>)> = vec![(start, vec![start])];
+        let mut visited: BTreeSet<&str> = BTreeSet::new();
+        while let Some((node, path)) = stack.pop() {
+            for &next in adj.get(node).map(|v| v.as_slice()).unwrap_or(&[]) {
+                if next == start {
+                    // Canonical form: rotate so the smallest node leads, so
+                    // each cycle is reported exactly once.
+                    let mut cycle = path.clone();
+                    let min_pos =
+                        cycle.iter().enumerate().min_by_key(|(_, s)| **s).map(|(i, _)| i).unwrap_or(0);
+                    cycle.rotate_left(min_pos);
+                    let key = cycle.join(" -> ");
+                    if reported.insert(key.clone()) {
+                        let first = (path[0].to_string(), path.get(1).copied().unwrap_or(start).to_string());
+                        let fallback = Edge { file: String::new(), line: 0, fn_name: String::from("?") };
+                        let edge = edges.get(&first).unwrap_or(&fallback);
+                        findings.push(Finding {
+                            pass: "lock_order".to_string(),
+                            check: "cycle".to_string(),
+                            file: edge.file.clone(),
+                            line: edge.line,
+                            message: format!(
+                                "lock acquisition cycle {key} -> {} (first edge in `{}`)",
+                                cycle[0], edge.fn_name
+                            ),
+                            snippet: String::new(),
+                            suppressed_reason: None,
+                        });
+                    }
+                } else if visited.insert(next) {
+                    let mut p = path.clone();
+                    p.push(next);
+                    stack.push((next, p));
+                }
+            }
+        }
+    }
+}

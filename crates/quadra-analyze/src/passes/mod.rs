@@ -1,0 +1,10 @@
+//! The analysis passes. Each pass turns parsed [`SourceFile`]s into
+//! [`Finding`]s; the driver in the crate root applies suppressions.
+//!
+//! [`SourceFile`]: crate::source::SourceFile
+//! [`Finding`]: crate::report::Finding
+
+pub mod clock;
+pub mod lock_order;
+pub mod must_use;
+pub mod panic_path;

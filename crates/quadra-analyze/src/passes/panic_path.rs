@@ -1,0 +1,179 @@
+//! Panic-path lint.
+//!
+//! In designated hot-path files (scheduler, worker, admission, the GEMM
+//! kernel, the memory profiler, the rayon stub) a panic is an outage, not a
+//! bug report: it either poisons shared locks or kills a worker thread
+//! mid-batch. This pass forbids, per file configuration:
+//!
+//! - **unwrap** / **expect** — `.unwrap()` / `.expect(...)`;
+//! - **panic** — `panic!`, `unreachable!`, `todo!`, `unimplemented!`
+//!   (`assert!` family is allowed: asserts state contracts);
+//! - **indexing** — `expr[...]` slice/array indexing (the `[` sigil after an
+//!   identifier, call, or index expression).
+//!
+//! Separately, in crates listed in `lock_unwrap_crates` (quadra-serve), a
+//! poison-propagating `.lock().unwrap()` / `.wait(..).unwrap()` is forbidden
+//! *everywhere*, hot path or not — the workspace pattern is
+//! `sync::lock_or_recover` and friends, which confine a panicking worker's
+//! poison instead of cascading it.
+
+use crate::config::{AnalyzeConfig, PanicCheck};
+use crate::report::Finding;
+use crate::source::SourceFile;
+
+/// Run the pass over one file.
+pub fn run(file: &SourceFile, cfg: &AnalyzeConfig, findings: &mut Vec<Finding>) {
+    let checks = cfg.hot_path_checks(&file.path);
+    let lock_unwrap = cfg.lock_unwrap_crates.iter().any(|c| c == &file.crate_name);
+    if checks.is_empty() && !lock_unwrap {
+        return;
+    }
+    let toks = &file.toks;
+    let mut last: Option<(u32, &'static str)> = None; // (line, check) dedup
+    for i in 0..toks.len() {
+        if file.is_test_tok(i) {
+            continue;
+        }
+        let t = &toks[i];
+        let mut emit = |check: &'static str, line: u32, message: String, findings: &mut Vec<Finding>| {
+            if last == Some((line, check)) {
+                return;
+            }
+            last = Some((line, check));
+            findings.push(Finding {
+                pass: "panic_path".to_string(),
+                check: check.to_string(),
+                file: file.path.clone(),
+                line,
+                message,
+                snippet: file.line_text(line).to_string(),
+                suppressed_reason: None,
+            });
+        };
+        // `.lock().unwrap()` / `.lock().expect(...)` and condvar
+        // `.wait(...).unwrap()` — crate-wide in serve.
+        if lock_unwrap && t.is_punct('.') && i + 1 < toks.len() {
+            let name = &toks[i + 1];
+            if name.is_ident("lock") || name.is_ident("wait") || name.is_ident("wait_timeout") {
+                if let Some(j) = skip_call(toks, i + 2) {
+                    if j + 1 < toks.len()
+                        && toks[j].is_punct('.')
+                        && (toks[j + 1].is_ident("unwrap") || toks[j + 1].is_ident("expect"))
+                    {
+                        let helper = if name.is_ident("lock") {
+                            "sync::lock_or_recover"
+                        } else {
+                            "sync::wait_or_recover / wait_timeout_or_recover"
+                        };
+                        emit(
+                            "lock-unwrap",
+                            name.line,
+                            format!(
+                                "`.{}(..).{}()` propagates lock poison across threads; use `{helper}`",
+                                name.text,
+                                toks[j + 1].text
+                            ),
+                            findings,
+                        );
+                        continue;
+                    }
+                }
+            }
+        }
+        if checks.is_empty() {
+            continue;
+        }
+        // `.unwrap()` / `.expect(...)`.
+        if t.is_punct('.') && i + 1 < toks.len() {
+            let name = &toks[i + 1];
+            if name.is_ident("unwrap") && checks.contains(&PanicCheck::Unwrap) {
+                emit(
+                    "unwrap",
+                    name.line,
+                    "`.unwrap()` in a hot path; convert to a typed error or recovery".to_string(),
+                    findings,
+                );
+                continue;
+            }
+            if name.is_ident("expect") && checks.contains(&PanicCheck::Expect) {
+                emit(
+                    "expect",
+                    name.line,
+                    "`.expect(...)` in a hot path; convert to a typed error or recovery".to_string(),
+                    findings,
+                );
+                continue;
+            }
+        }
+        // `panic!` and friends.
+        if checks.contains(&PanicCheck::Panic)
+            && t.kind == crate::lexer::TokKind::Ident
+            && i + 1 < toks.len()
+            && toks[i + 1].is_punct('!')
+            && matches!(t.text.as_str(), "panic" | "unreachable" | "todo" | "unimplemented")
+        {
+            emit("panic", t.line, format!("`{}!` in a hot path; return an error instead", t.text), findings);
+            continue;
+        }
+        // Indexing: `[` in expression position.
+        if checks.contains(&PanicCheck::Indexing) && t.is_punct('[') && i > 0 {
+            let prev = &toks[i - 1];
+            let expr_position = (prev.kind == crate::lexer::TokKind::Ident && !is_keyword(&prev.text))
+                || prev.is_punct(')')
+                || prev.is_punct(']');
+            if expr_position {
+                emit(
+                    "indexing",
+                    t.line,
+                    "slice indexing in a hot path can panic; use `get`/`get_mut` or justify with a suppression".to_string(),
+                    findings,
+                );
+                continue;
+            }
+        }
+    }
+}
+
+/// If `toks[i]` is `(`, return the index just past its matching `)`.
+fn skip_call(toks: &[crate::lexer::Tok], i: usize) -> Option<usize> {
+    if i >= toks.len() || !toks[i].is_punct('(') {
+        return None;
+    }
+    let mut depth = 1usize;
+    let mut j = i + 1;
+    while j < toks.len() && depth > 0 {
+        if toks[j].is_punct('(') {
+            depth += 1;
+        } else if toks[j].is_punct(')') {
+            depth -= 1;
+        }
+        j += 1;
+    }
+    Some(j)
+}
+
+/// Keywords that precede `[` without forming an index expression
+/// (`let [a, b] = ...`, `for x in [1, 2]`, `return [..]`, etc.).
+fn is_keyword(s: &str) -> bool {
+    matches!(
+        s,
+        "let"
+            | "in"
+            | "for"
+            | "return"
+            | "if"
+            | "else"
+            | "match"
+            | "mut"
+            | "ref"
+            | "move"
+            | "as"
+            | "dyn"
+            | "impl"
+            | "where"
+            | "box"
+            | "yield"
+            | "break"
+            | "continue"
+    )
+}

@@ -1,0 +1,577 @@
+//! Fixture-based end-to-end tests for the analyzer: every pass must fire on
+//! a seeded violation and stay silent on the matching clean fixture.
+//!
+//! Fixtures are in-memory sources fed through [`analyze_sources`] with small
+//! purpose-built configs, so these tests are hermetic — they never read the
+//! real workspace and cannot break when workspace code moves.
+
+use quadra_analyze::{analyze_sources, AnalyzeConfig, ClockRegion, HotPath, PanicCheck, Report};
+
+fn analyze(files: &[(&str, &str)], cfg: &AnalyzeConfig) -> Report {
+    let owned: Vec<(String, String)> =
+        files.iter().map(|(p, s)| ((*p).to_string(), (*s).to_string())).collect();
+    analyze_sources(&owned, cfg)
+}
+
+/// `(pass, check)` pairs of the unsuppressed findings, in report order.
+fn unsuppressed(report: &Report) -> Vec<(String, String)> {
+    report.unsuppressed().map(|f| (f.pass.clone(), f.check.clone())).collect()
+}
+
+fn all_panic_checks() -> Vec<PanicCheck> {
+    vec![PanicCheck::Unwrap, PanicCheck::Expect, PanicCheck::Panic, PanicCheck::Indexing]
+}
+
+/// Config that treats `src/hot.rs` as a hot path with every panic check on.
+fn hot_cfg() -> AnalyzeConfig {
+    AnalyzeConfig {
+        hot_paths: vec![HotPath { path_suffix: "src/hot.rs".to_string(), checks: all_panic_checks() }],
+        ..AnalyzeConfig::default()
+    }
+}
+
+/// Config that knows the workspace's lock / wait helper names.
+fn helper_cfg() -> AnalyzeConfig {
+    AnalyzeConfig {
+        lock_helpers: vec!["lock_or_recover".to_string()],
+        wait_helpers: vec!["wait_or_recover".to_string()],
+        ..AnalyzeConfig::default()
+    }
+}
+
+// ---------------------------------------------------------------- lock_order
+
+#[test]
+fn opposite_lock_orders_in_two_fns_form_a_cycle() {
+    let src = r#"
+use std::sync::Mutex;
+
+static A_LOCK: Mutex<u32> = Mutex::new(0);
+static B_LOCK: Mutex<u32> = Mutex::new(0);
+
+fn ab() {
+    let a = A_LOCK.lock();
+    let b = B_LOCK.lock();
+    drop(b);
+    drop(a);
+}
+
+fn ba() {
+    let b = B_LOCK.lock();
+    let a = A_LOCK.lock();
+    drop(a);
+    drop(b);
+}
+"#;
+    let report = analyze(&[("crates/fixture/src/locks.rs", src)], &AnalyzeConfig::default());
+    let found = unsuppressed(&report);
+    assert_eq!(found, vec![("lock_order".to_string(), "cycle".to_string())]);
+    let msg = &report.findings[0].message;
+    assert!(msg.contains("A_LOCK") && msg.contains("B_LOCK"), "cycle names both locks: {msg}");
+}
+
+#[test]
+fn interprocedural_lock_order_cycle_is_detected() {
+    let src = r#"
+use std::sync::Mutex;
+
+static A_LOCK: Mutex<u32> = Mutex::new(0);
+static B_LOCK: Mutex<u32> = Mutex::new(0);
+
+fn helper() {
+    let b = B_LOCK.lock();
+    drop(b);
+}
+
+fn outer() {
+    let a = A_LOCK.lock();
+    helper();
+    drop(a);
+}
+
+fn other() {
+    let b = B_LOCK.lock();
+    let a = A_LOCK.lock();
+    drop(a);
+    drop(b);
+}
+"#;
+    let report = analyze(&[("crates/fixture/src/locks.rs", src)], &AnalyzeConfig::default());
+    assert_eq!(unsuppressed(&report), vec![("lock_order".to_string(), "cycle".to_string())]);
+}
+
+#[test]
+fn consistent_lock_order_is_clean() {
+    let src = r#"
+use std::sync::Mutex;
+
+static A_LOCK: Mutex<u32> = Mutex::new(0);
+static B_LOCK: Mutex<u32> = Mutex::new(0);
+
+fn first() {
+    let a = A_LOCK.lock();
+    let b = B_LOCK.lock();
+    drop(b);
+    drop(a);
+}
+
+fn second() {
+    let a = A_LOCK.lock();
+    let b = B_LOCK.lock();
+    drop(b);
+    drop(a);
+}
+"#;
+    let report = analyze(&[("crates/fixture/src/locks.rs", src)], &AnalyzeConfig::default());
+    assert!(unsuppressed(&report).is_empty(), "got {:?}", unsuppressed(&report));
+}
+
+#[test]
+fn lock_graphs_are_per_crate() {
+    // The same opposite orders split across two crates must NOT form a cycle:
+    // the acquisition graph is per-crate.
+    let ab = r#"
+static A_LOCK: std::sync::Mutex<u32> = std::sync::Mutex::new(0);
+static B_LOCK: std::sync::Mutex<u32> = std::sync::Mutex::new(0);
+
+fn ab() {
+    let a = A_LOCK.lock();
+    let b = B_LOCK.lock();
+    drop(b);
+    drop(a);
+}
+"#;
+    let ba = r#"
+static A_LOCK: std::sync::Mutex<u32> = std::sync::Mutex::new(0);
+static B_LOCK: std::sync::Mutex<u32> = std::sync::Mutex::new(0);
+
+fn ba() {
+    let b = B_LOCK.lock();
+    let a = A_LOCK.lock();
+    drop(a);
+    drop(b);
+}
+"#;
+    let report =
+        analyze(&[("crates/one/src/lib.rs", ab), ("crates/two/src/lib.rs", ba)], &AnalyzeConfig::default());
+    assert!(unsuppressed(&report).is_empty(), "got {:?}", unsuppressed(&report));
+}
+
+#[test]
+fn reacquiring_a_held_lock_is_reentrant() {
+    let src = r#"
+static A_LOCK: std::sync::Mutex<u32> = std::sync::Mutex::new(0);
+
+fn twice() {
+    let a = A_LOCK.lock();
+    let b = A_LOCK.lock();
+    drop(b);
+    drop(a);
+}
+"#;
+    let report = analyze(&[("crates/fixture/src/locks.rs", src)], &AnalyzeConfig::default());
+    assert_eq!(unsuppressed(&report), vec![("lock_order".to_string(), "reentrant".to_string())]);
+}
+
+#[test]
+fn lock_held_across_channel_send_is_flagged() {
+    let src = r#"
+static A_LOCK: std::sync::Mutex<u32> = std::sync::Mutex::new(0);
+
+fn ship(tx: &std::sync::mpsc::Sender<u32>) {
+    let a = A_LOCK.lock();
+    tx.send(1);
+    drop(a);
+}
+"#;
+    let report = analyze(&[("crates/fixture/src/locks.rs", src)], &AnalyzeConfig::default());
+    assert_eq!(unsuppressed(&report), vec![("lock_order".to_string(), "held-across-blocking".to_string())]);
+    assert!(report.findings[0].message.contains("A_LOCK"));
+}
+
+#[test]
+fn other_lock_held_across_condvar_wait_is_flagged_but_waited_guard_is_exempt() {
+    let src = r#"
+static A_LOCK: std::sync::Mutex<u32> = std::sync::Mutex::new(0);
+static B_LOCK: std::sync::Mutex<u32> = std::sync::Mutex::new(0);
+static CV: std::sync::Condvar = std::sync::Condvar::new();
+
+fn waits_with_second_lock() {
+    let held = A_LOCK.lock();
+    let g = B_LOCK.lock();
+    let g = CV.wait(g);
+    drop(g);
+    drop(held);
+}
+"#;
+    let report = analyze(&[("crates/fixture/src/locks.rs", src)], &AnalyzeConfig::default());
+    let found = unsuppressed(&report);
+    assert_eq!(found, vec![("lock_order".to_string(), "held-across-blocking".to_string())]);
+    // Only the *other* lock is flagged; the guard handed to `wait` is exempt.
+    assert!(report.findings[0].message.contains("A_LOCK"), "{}", report.findings[0].message);
+}
+
+#[test]
+fn waiting_on_the_only_held_guard_is_clean() {
+    let src = r#"
+static B_LOCK: std::sync::Mutex<u32> = std::sync::Mutex::new(0);
+static CV: std::sync::Condvar = std::sync::Condvar::new();
+
+fn good_wait() {
+    let g = B_LOCK.lock();
+    let g = CV.wait(g);
+    drop(g);
+}
+"#;
+    let report = analyze(&[("crates/fixture/src/locks.rs", src)], &AnalyzeConfig::default());
+    assert!(unsuppressed(&report).is_empty(), "got {:?}", unsuppressed(&report));
+}
+
+#[test]
+fn configured_helpers_acquire_and_wait_without_findings() {
+    let src = r#"
+static STATE: std::sync::Mutex<u32> = std::sync::Mutex::new(0);
+static CV: std::sync::Condvar = std::sync::Condvar::new();
+
+fn helper_wait() {
+    let st = lock_or_recover(&STATE);
+    let st = wait_or_recover(&CV, st);
+    drop(st);
+}
+"#;
+    let report = analyze(&[("crates/fixture/src/locks.rs", src)], &helper_cfg());
+    assert!(unsuppressed(&report).is_empty(), "got {:?}", unsuppressed(&report));
+}
+
+#[test]
+fn helper_acquisitions_participate_in_cycle_detection() {
+    let src = r#"
+static A_LOCK: std::sync::Mutex<u32> = std::sync::Mutex::new(0);
+static B_LOCK: std::sync::Mutex<u32> = std::sync::Mutex::new(0);
+
+fn ab() {
+    let a = lock_or_recover(&A_LOCK);
+    let b = lock_or_recover(&B_LOCK);
+    drop(b);
+    drop(a);
+}
+
+fn ba() {
+    let b = lock_or_recover(&B_LOCK);
+    let a = lock_or_recover(&A_LOCK);
+    drop(a);
+    drop(b);
+}
+"#;
+    let report = analyze(&[("crates/fixture/src/locks.rs", src)], &helper_cfg());
+    assert_eq!(unsuppressed(&report), vec![("lock_order".to_string(), "cycle".to_string())]);
+}
+
+// ---------------------------------------------------------------- panic_path
+
+#[test]
+fn hot_path_panics_are_flagged_per_check() {
+    let src = r#"
+fn a(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+fn b(x: Option<u32>) -> u32 {
+    x.expect("present")
+}
+
+fn c() {
+    panic!("boom");
+}
+
+fn d(v: &[u32]) -> u32 {
+    v[0]
+}
+"#;
+    let report = analyze(&[("crates/fixture/src/hot.rs", src)], &hot_cfg());
+    let mut found = unsuppressed(&report);
+    found.sort();
+    assert_eq!(
+        found,
+        vec![
+            ("panic_path".to_string(), "expect".to_string()),
+            ("panic_path".to_string(), "indexing".to_string()),
+            ("panic_path".to_string(), "panic".to_string()),
+            ("panic_path".to_string(), "unwrap".to_string()),
+        ]
+    );
+}
+
+#[test]
+fn same_code_outside_the_hot_path_is_silent() {
+    let src = r#"
+fn a(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+fn d(v: &[u32]) -> u32 {
+    v[0]
+}
+"#;
+    let report = analyze(&[("crates/fixture/src/cold.rs", src)], &hot_cfg());
+    assert!(unsuppressed(&report).is_empty(), "got {:?}", unsuppressed(&report));
+}
+
+#[test]
+fn lock_unwrap_is_flagged_crate_wide() {
+    // Not a hot path, but the crate is in `lock_unwrap_crates`, so the
+    // poison-propagating pattern is still forbidden.
+    let src = r#"
+fn read(m: &std::sync::Mutex<u32>) -> u32 {
+    *m.lock().unwrap()
+}
+"#;
+    let cfg = AnalyzeConfig { lock_unwrap_crates: vec!["fixture".to_string()], ..AnalyzeConfig::default() };
+    let report = analyze(&[("crates/fixture/src/anywhere.rs", src)], &cfg);
+    assert_eq!(unsuppressed(&report), vec![("panic_path".to_string(), "lock-unwrap".to_string())]);
+}
+
+#[test]
+fn test_code_in_a_hot_path_file_is_excluded() {
+    let src = r#"
+fn add(a: u32, b: u32) -> u32 {
+    a + b
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn panics_are_fine_in_tests() {
+        let v = vec![1u32];
+        let x = v[0];
+        let y: Option<u32> = Some(x);
+        y.unwrap();
+    }
+}
+"#;
+    let report = analyze(&[("crates/fixture/src/hot.rs", src)], &hot_cfg());
+    assert!(unsuppressed(&report).is_empty(), "got {:?}", unsuppressed(&report));
+}
+
+// --------------------------------------------------------------------- clock
+
+#[test]
+fn raw_clock_reads_in_a_ledger_fn_are_flagged() {
+    let src = r#"
+use std::time::Instant;
+
+fn settle(t0: Instant) -> u64 {
+    let now = Instant::now();
+    t0.elapsed().as_micros() as u64
+}
+
+fn outside_the_region() -> Instant {
+    Instant::now()
+}
+"#;
+    let cfg = AnalyzeConfig {
+        clock_regions: vec![ClockRegion {
+            path_suffix: "src/ledger.rs".to_string(),
+            fns: vec!["settle".to_string()],
+        }],
+        ..AnalyzeConfig::default()
+    };
+    let report = analyze(&[("crates/fixture/src/ledger.rs", src)], &cfg);
+    let mut found = unsuppressed(&report);
+    found.sort();
+    assert_eq!(
+        found,
+        vec![
+            ("clock".to_string(), "raw-elapsed".to_string()),
+            ("clock".to_string(), "raw-instant".to_string()),
+        ]
+    );
+}
+
+#[test]
+fn system_time_is_forbidden_in_configured_crates() {
+    let src = r#"
+fn stamp() -> u64 {
+    let t = std::time::SystemTime::now();
+    0
+}
+"#;
+    let cfg = AnalyzeConfig {
+        clock_forbid_system_time_crates: vec!["fixture".to_string()],
+        ..AnalyzeConfig::default()
+    };
+    let report = analyze(&[("crates/fixture/src/time.rs", src)], &cfg);
+    assert_eq!(unsuppressed(&report), vec![("clock".to_string(), "system-time".to_string())]);
+    // The same source in a crate outside the policy is clean.
+    let other = analyze(&[("crates/elsewhere/src/time.rs", src)], &cfg);
+    assert!(unsuppressed(&other).is_empty());
+}
+
+// ------------------------------------------------------------------ must_use
+
+#[test]
+fn pub_struct_returned_by_value_needs_must_use() {
+    let src = r#"
+pub struct Handle {
+    pub id: u32,
+}
+
+pub fn make() -> Handle {
+    Handle { id: 1 }
+}
+"#;
+    let cfg = AnalyzeConfig { must_use_crates: vec!["fixture".to_string()], ..AnalyzeConfig::default() };
+    let report = analyze(&[("crates/fixture/src/lib.rs", src)], &cfg);
+    assert_eq!(unsuppressed(&report), vec![("must_use".to_string(), "missing-attr".to_string())]);
+    assert!(report.findings[0].message.contains("Handle"));
+}
+
+#[test]
+fn must_use_attribute_satisfies_the_check() {
+    let src = r#"
+#[must_use = "dropping a Handle leaks its slot"]
+pub struct Handle {
+    pub id: u32,
+}
+
+pub fn make() -> Handle {
+    Handle { id: 1 }
+}
+"#;
+    let cfg = AnalyzeConfig { must_use_crates: vec!["fixture".to_string()], ..AnalyzeConfig::default() };
+    let report = analyze(&[("crates/fixture/src/lib.rs", src)], &cfg);
+    assert!(unsuppressed(&report).is_empty(), "got {:?}", unsuppressed(&report));
+}
+
+#[test]
+fn let_underscore_discard_is_flagged() {
+    let src = r#"
+fn compute() -> u32 {
+    7
+}
+
+fn caller() {
+    let _ = compute();
+}
+"#;
+    let cfg = AnalyzeConfig { must_use_crates: vec!["fixture".to_string()], ..AnalyzeConfig::default() };
+    let report = analyze(&[("crates/fixture/src/lib.rs", src)], &cfg);
+    assert_eq!(unsuppressed(&report), vec![("must_use".to_string(), "let-underscore".to_string())]);
+}
+
+// -------------------------------------------------------------- suppressions
+
+#[test]
+fn a_valid_suppression_silences_the_finding_and_keeps_the_reason() {
+    let src = r#"
+fn a(x: Option<u32>) -> u32 {
+    // quadra-analyze: allow(panic_path:unwrap, caller validated x above)
+    x.unwrap()
+}
+"#;
+    let report = analyze(&[("crates/fixture/src/hot.rs", src)], &hot_cfg());
+    assert_eq!(report.findings.len(), 1);
+    assert_eq!(report.unsuppressed_count(), 0);
+    assert_eq!(report.suppressed_count(), 1);
+    assert_eq!(report.findings[0].suppressed_reason.as_deref(), Some("caller validated x above"));
+    assert!(report.unused_suppressions.is_empty());
+}
+
+#[test]
+fn a_header_suppression_covers_the_whole_fn() {
+    let src = r#"
+// quadra-analyze: allow(panic_path, the whole fn is a checked decode)
+fn a(v: &[u32]) -> u32 {
+    let x = v[0];
+    let y: Option<u32> = Some(x);
+    y.unwrap()
+}
+"#;
+    let report = analyze(&[("crates/fixture/src/hot.rs", src)], &hot_cfg());
+    assert_eq!(report.unsuppressed_count(), 0, "got {:?}", unsuppressed(&report));
+    assert_eq!(report.suppressed_count(), 2);
+}
+
+#[test]
+fn suppression_without_a_reason_is_itself_a_finding() {
+    let src = r#"
+fn a(x: Option<u32>) -> u32 {
+    // quadra-analyze: allow(panic_path:unwrap)
+    x.unwrap()
+}
+"#;
+    let report = analyze(&[("crates/fixture/src/hot.rs", src)], &hot_cfg());
+    let mut found = unsuppressed(&report);
+    found.sort();
+    // The malformed directive suppresses nothing, so the unwrap stays too.
+    assert_eq!(
+        found,
+        vec![
+            ("panic_path".to_string(), "unwrap".to_string()),
+            ("suppression".to_string(), "malformed".to_string()),
+        ]
+    );
+}
+
+#[test]
+fn suppression_naming_an_unknown_pass_is_malformed() {
+    let src = r#"
+fn a() -> u32 {
+    // quadra-analyze: allow(bogus_pass, sounds legit)
+    1
+}
+"#;
+    let report = analyze(&[("crates/fixture/src/hot.rs", src)], &hot_cfg());
+    assert_eq!(unsuppressed(&report), vec![("suppression".to_string(), "malformed".to_string())]);
+    assert!(report.findings[0].message.contains("bogus_pass"));
+}
+
+#[test]
+fn a_suppression_matching_nothing_is_reported_unused() {
+    let src = r#"
+fn a() -> u32 {
+    // quadra-analyze: allow(clock, belt and braces)
+    1
+}
+"#;
+    let report = analyze(&[("crates/fixture/src/hot.rs", src)], &hot_cfg());
+    assert!(report.findings.is_empty());
+    assert_eq!(report.unused_suppressions.len(), 1);
+    assert_eq!(report.unused_suppressions[0].target, "clock");
+}
+
+// --------------------------------------------------------------------- clean
+
+#[test]
+fn a_realistic_clean_file_produces_no_findings_under_full_policy() {
+    let src = r#"
+static STATE: std::sync::Mutex<u32> = std::sync::Mutex::new(0);
+
+#[must_use = "a ticket must be redeemed"]
+pub struct Ticket {
+    pub serial: u32,
+}
+
+pub fn issue() -> Ticket {
+    let mut st = lock_or_recover(&STATE);
+    *st += 1;
+    Ticket { serial: *st }
+}
+
+pub fn redeem(t: Ticket) -> Option<u32> {
+    t.serial.checked_mul(2)
+}
+"#;
+    let cfg = AnalyzeConfig {
+        lock_helpers: vec!["lock_or_recover".to_string()],
+        hot_paths: vec![HotPath { path_suffix: "src/lib.rs".to_string(), checks: all_panic_checks() }],
+        lock_unwrap_crates: vec!["fixture".to_string()],
+        clock_forbid_system_time_crates: vec!["fixture".to_string()],
+        must_use_crates: vec!["fixture".to_string()],
+        ..AnalyzeConfig::default()
+    };
+    let report = analyze(&[("crates/fixture/src/lib.rs", src)], &cfg);
+    assert!(report.findings.is_empty(), "got {:?}", unsuppressed(&report));
+    assert!(report.unused_suppressions.is_empty());
+    assert_eq!(report.files_analyzed, 1);
+}

@@ -141,10 +141,12 @@ impl MemoryProfiler {
         let mut cur = input.clone();
         let n_layers = model.len();
         for i in 0..n_layers {
-            cur = model.layers_mut()[i].forward(&cur, true);
+            let Some(layer) = model.layers_mut().get_mut(i) else { break };
+            cur = layer.forward(&cur, true);
+            let layer_type = model.layers().get(i).map_or("?", |l| l.layer_type());
             activations.push(cur.clone());
             timeline.points.push(TimelinePoint {
-                event: format!("forward {}#{}", model.layers()[i].layer_type(), i),
+                event: format!("forward {}#{}", layer_type, i),
                 live_activation_bytes: live(model),
             });
         }
@@ -153,9 +155,11 @@ impl MemoryProfiler {
         // Backward, layer by layer (a "sum" loss: gradient of ones).
         let mut grad = Tensor::ones(output.shape());
         for i in (0..n_layers).rev() {
-            grad = model.layers_mut()[i].backward(&grad);
+            let Some(layer) = model.layers_mut().get_mut(i) else { continue };
+            grad = layer.backward(&grad);
+            let layer_type = model.layers().get(i).map_or("?", |l| l.layer_type());
             timeline.points.push(TimelinePoint {
-                event: format!("backward {}#{}", model.layers()[i].layer_type(), i),
+                event: format!("backward {}#{}", layer_type, i),
                 live_activation_bytes: live(model),
             });
         }

@@ -10,6 +10,7 @@
 
 use crate::request::{PendingInfer, Priority};
 use crate::scheduler::compat_key;
+use crate::sync::{lock_or_recover, wait_deadline_or_recover, wait_or_recover};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -34,7 +35,8 @@ pub(crate) enum PopResult {
 
 /// Outcome of a compatible-take while a batch is open.
 pub(crate) enum TakeResult {
-    /// One or more shape-compatible requests, in class-then-FIFO order.
+    /// One or more shape-compatible requests, in class-then-EDF order
+    /// (earliest deadline first within a class, FIFO among the undeadlined).
     Taken(Vec<PendingInfer>),
     /// Nothing compatible arrived before the deadline.
     TimedOut,
@@ -98,8 +100,9 @@ impl AdmissionQueue {
     /// Queued samples ahead of a newly admitted request of `priority`: the
     /// interactive class only waits behind its own backlog, the batch class
     /// waits behind everything (interactive drains first).
+    // quadra-analyze: allow(panic_path:indexing, class arrays are Priority::COUNT-sized and indexed via Priority::index())
     pub fn class_backlog(&self, priority: Priority) -> usize {
-        let st = self.state.lock().unwrap();
+        let st = lock_or_recover(&self.state);
         match priority {
             Priority::Interactive => st.queued_samples[Priority::Interactive.index()],
             Priority::Batch => st.queued_samples.iter().sum(),
@@ -113,9 +116,10 @@ impl AdmissionQueue {
     ///
     /// The `Err` variant hands the (tensor-carrying) request back by value on
     /// purpose: the caller destructures it on the spot, nothing propagates.
+    // quadra-analyze: allow(panic_path:indexing, class arrays are Priority::COUNT-sized and indexed via Priority::index())
     #[allow(clippy::result_large_err)]
     pub fn try_admit(&self, req: PendingInfer) -> Result<(), (PendingInfer, AdmitRejection)> {
-        let mut st = self.state.lock().unwrap();
+        let mut st = lock_or_recover(&self.state);
         if st.closed {
             return Err((req, AdmitRejection::Closed));
         }
@@ -137,13 +141,14 @@ impl AdmissionQueue {
     /// Mark the queue closed and wake every waiter. Already-queued requests
     /// remain poppable so workers can drain them into final batches.
     pub fn close(&self) {
-        self.state.lock().unwrap().closed = true;
+        lock_or_recover(&self.state).closed = true;
         self.arrived.notify_all();
     }
 
     /// The class order for the next seed pop: interactive first, unless the
     /// aging credit fires (batch-class work waited through `batch_aging`
     /// consecutive interactive seeds).
+    // quadra-analyze: allow(panic_path:indexing, class arrays are Priority::COUNT-sized and indexed via Priority::index())
     fn seed_order(&self, st: &QueueState) -> [usize; Priority::COUNT] {
         let batch = Priority::Batch.index();
         if self.batch_aging > 0 && st.interactive_streak >= self.batch_aging && !st.classes[batch].is_empty()
@@ -157,8 +162,9 @@ impl AdmissionQueue {
     /// Block until a request is available or the queue is closed *and* empty.
     /// Interactive seeds first, except when the batch class's aging credit
     /// fires; the streak bookkeeping lives here, under the queue lock.
+    // quadra-analyze: allow(panic_path:indexing, class arrays are Priority::COUNT-sized and indexed via Priority::index())
     pub fn pop_blocking(&self) -> PopResult {
-        let mut st = self.state.lock().unwrap();
+        let mut st = lock_or_recover(&self.state);
         loop {
             let order = self.seed_order(&st);
             for class in order {
@@ -181,17 +187,20 @@ impl AdmissionQueue {
             if st.closed {
                 return PopResult::Closed;
             }
-            st = self.arrived.wait(st).unwrap();
+            st = wait_or_recover(&self.arrived, st);
         }
     }
 
     /// Remove queued requests compatible with `key` (interactive class first,
-    /// FIFO within a class) totalling at most `max_samples`. Blocks until at
-    /// least one is found, the `deadline` passes, or the queue closes.
+    /// earliest deadline first within a class — EDF — with FIFO ordering the
+    /// deadline-less tail and breaking deadline ties) totalling at most
+    /// `max_samples`. Blocks until at least one is found, the `deadline`
+    /// passes, or the queue closes.
     ///
     /// Incompatible requests are left in place — they seed the *next* batch —
     /// and compatible requests too large for the remaining sample budget are
     /// skipped (they stay queued in order).
+    // quadra-analyze: allow(panic_path:indexing, class arrays are Priority::COUNT-sized; queue indices come from the 0..len candidate scan)
     pub fn take_compatible(
         &self,
         key: &[usize],
@@ -199,28 +208,44 @@ impl AdmissionQueue {
         max_samples: usize,
         deadline: Instant,
     ) -> TakeResult {
-        let mut st = self.state.lock().unwrap();
+        let mut st = lock_or_recover(&self.state);
         loop {
             let mut taken = Vec::new();
             let mut budget = max_samples;
             for class in 0..Priority::COUNT {
                 let queue = &mut st.classes[class];
-                let mut removed_samples = 0;
-                let mut i = 0;
-                while i < queue.len() {
-                    let candidate = &queue[i];
-                    if candidate.samples <= budget
-                        && compat_key(candidate.input.shape(), pad_mixed_spatial) == key
-                    {
-                        let req = queue.remove(i).expect("index in range");
-                        removed_samples += req.samples;
-                        budget -= req.samples;
-                        taken.push(req);
+                // EDF slack ordering: a tight-deadline request rides the
+                // batch that is leaving *now* instead of waiting out the
+                // FIFO prefix ahead of it.
+                let mut order: Vec<usize> = (0..queue.len())
+                    .filter(|&i| compat_key(queue[i].input.shape(), pad_mixed_spatial) == key)
+                    .collect();
+                order.sort_by_key(|&i| (queue[i].deadline.is_none(), queue[i].deadline, i));
+                let mut chosen = Vec::new();
+                for &i in &order {
+                    if queue[i].samples <= budget {
+                        budget -= queue[i].samples;
+                        chosen.push(i);
                         if budget == 0 {
                             break;
                         }
-                    } else {
-                        i += 1;
+                    }
+                }
+                // Extract by descending index so earlier removals don't
+                // shift later ones, then restore the EDF take order.
+                let mut desc = chosen.clone();
+                desc.sort_unstable_by(|a, b| b.cmp(a));
+                let mut extracted: Vec<(usize, PendingInfer)> = Vec::with_capacity(desc.len());
+                let mut removed_samples = 0;
+                for i in desc {
+                    if let Some(req) = queue.remove(i) {
+                        removed_samples += req.samples;
+                        extracted.push((i, req));
+                    }
+                }
+                for &i in &chosen {
+                    if let Some(pos) = extracted.iter().position(|&(j, _)| j == i) {
+                        taken.push(extracted.swap_remove(pos).1);
                     }
                 }
                 st.queued_samples[class] -= removed_samples;
@@ -235,13 +260,12 @@ impl AdmissionQueue {
             if st.closed {
                 return TakeResult::Closed;
             }
-            let now = Instant::now();
-            if now >= deadline {
+            if Instant::now() >= deadline {
                 return TakeResult::TimedOut;
             }
-            let (guard, timeout) = self.arrived.wait_timeout(st, deadline - now).unwrap();
+            let (guard, timed_out) = wait_deadline_or_recover(&self.arrived, st, deadline);
             st = guard;
-            if timeout.timed_out() && st.classes.iter().all(|q| q.is_empty()) {
+            if timed_out && st.classes.iter().all(|q| q.is_empty()) {
                 return TakeResult::TimedOut;
             }
         }
@@ -392,6 +416,74 @@ mod tests {
             _ => panic!("expected a take"),
         }
         assert_eq!(q.depth(), 5, "incompatible and over-budget requests stay queued");
+    }
+
+    fn req_with(id: u64, samples: usize, priority: Priority, deadline: Option<Instant>) -> PendingInfer {
+        let mut r = req(samples, priority);
+        r.id = id;
+        r.deadline = deadline;
+        r
+    }
+
+    #[test]
+    fn take_compatible_orders_by_deadline_slack() {
+        let q = AdmissionQueue::new(None, 0, Arc::new(AtomicUsize::new(0)));
+        let now = Instant::now();
+        // FIFO arrival: two undeadlined requests, then a tight deadline, then
+        // a loose one. EDF must take tight, loose, then the FIFO tail.
+        q.try_admit(req_with(1, 1, Priority::Interactive, None)).unwrap();
+        q.try_admit(req_with(2, 1, Priority::Interactive, None)).unwrap();
+        q.try_admit(req_with(3, 1, Priority::Interactive, Some(now + Duration::from_millis(5)))).unwrap();
+        q.try_admit(req_with(4, 1, Priority::Interactive, Some(now + Duration::from_secs(60)))).unwrap();
+
+        let key = compat_key(&[1, 2], false);
+        match q.take_compatible(&key, false, 8, now) {
+            TakeResult::Taken(reqs) => {
+                let ids: Vec<u64> = reqs.iter().map(|r| r.id).collect();
+                assert_eq!(ids, vec![3, 4, 1, 2], "deadlines first (tightest leading), then FIFO");
+            }
+            _ => panic!("expected a take"),
+        }
+    }
+
+    #[test]
+    fn edf_take_respects_budget_without_losing_order() {
+        let q = AdmissionQueue::new(None, 0, Arc::new(AtomicUsize::new(0)));
+        let now = Instant::now();
+        // The deadlined request is behind a FIFO prefix that would exhaust
+        // the budget on its own; EDF must still take it first.
+        q.try_admit(req_with(1, 2, Priority::Interactive, None)).unwrap();
+        q.try_admit(req_with(2, 2, Priority::Interactive, None)).unwrap();
+        q.try_admit(req_with(3, 1, Priority::Interactive, Some(now + Duration::from_millis(1)))).unwrap();
+
+        let key = compat_key(&[1, 2], false);
+        match q.take_compatible(&key, false, 3, now) {
+            TakeResult::Taken(reqs) => {
+                let ids: Vec<u64> = reqs.iter().map(|r| r.id).collect();
+                assert_eq!(ids, vec![3, 1], "the deadlined request jumps the FIFO prefix");
+            }
+            _ => panic!("expected a take"),
+        }
+        assert_eq!(q.depth(), 2, "the over-budget FIFO request stays queued");
+    }
+
+    #[test]
+    fn edf_keeps_interactive_class_ahead_of_batch() {
+        let q = AdmissionQueue::new(None, 0, Arc::new(AtomicUsize::new(0)));
+        let now = Instant::now();
+        // A batch-class request with a tight deadline must not leapfrog the
+        // interactive class: EDF reorders only *within* a class.
+        q.try_admit(req_with(1, 1, Priority::Batch, Some(now + Duration::from_millis(1)))).unwrap();
+        q.try_admit(req_with(2, 1, Priority::Interactive, None)).unwrap();
+
+        let key = compat_key(&[1, 2], false);
+        match q.take_compatible(&key, false, 8, now) {
+            TakeResult::Taken(reqs) => {
+                let ids: Vec<u64> = reqs.iter().map(|r| r.id).collect();
+                assert_eq!(ids, vec![2, 1], "class order dominates deadline order");
+            }
+            _ => panic!("expected a take"),
+        }
     }
 
     #[test]

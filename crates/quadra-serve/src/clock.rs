@@ -1,0 +1,45 @@
+//! The sanctioned clock for service-time accounting.
+//!
+//! The DRR fair-share ledger charges each endpoint for the time its batches
+//! actually occupy a worker. Today that is monotonic wall time, but the
+//! ROADMAP plans to migrate the ledger to per-thread CPU time
+//! (`CLOCK_THREAD_CPUTIME_ID`) so that a worker descheduled by the OS does
+//! not get billed for time it never computed. This module is the seam for
+//! that migration: every ledger and service-metrics read goes through
+//! [`service_now`]/[`elapsed_us`], so swapping the clock source is a
+//! one-file change.
+//!
+//! The static-analysis gate enforces the discipline: a raw `Instant::now()`
+//! or `.elapsed()` inside the ledger functions (see
+//! `quadra-analyze`'s workspace config) is a `clock:raw-instant` /
+//! `clock:raw-elapsed` finding.
+
+use std::time::Instant;
+
+/// An opaque timestamp from the service clock. Deliberately *not* an
+/// `Instant` so arithmetic cannot bypass this module.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ServiceInstant(Instant);
+
+/// Read the service clock.
+pub(crate) fn service_now() -> ServiceInstant {
+    ServiceInstant(Instant::now())
+}
+
+/// Whole microseconds of service time elapsed since `start`, saturating.
+pub(crate) fn elapsed_us(start: ServiceInstant) -> u64 {
+    u64::try_from(start.0.elapsed().as_micros()).unwrap_or(u64::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn elapsed_is_monotonic_nondecreasing() {
+        let start = service_now();
+        let a = elapsed_us(start);
+        let b = elapsed_us(start);
+        assert!(b >= a);
+    }
+}

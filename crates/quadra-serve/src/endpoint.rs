@@ -6,6 +6,7 @@ use crate::admission::{AdmissionQueue, AdmitRejection};
 use crate::metrics::{MetricsHub, ServeMetrics};
 use crate::request::{PendingInfer, Priority, Request, ResponseHandle, ServeConfig, ServeError};
 use crate::scheduler::FleetScheduler;
+use crate::sync::lock_or_recover;
 use crate::worker::ReloadSlot;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
@@ -109,7 +110,7 @@ impl EndpointShared {
 
     fn record_arrival(&self) {
         let now = Instant::now();
-        let mut last = self.last_arrival.lock().unwrap();
+        let mut last = lock_or_recover(&self.last_arrival);
         if let Some(prev) = last.replace(now) {
             let dt_us = now.duration_since(prev).as_micros().min(u64::MAX as u128) as u64;
             ewma_update(&self.ewma_interarrival_us, dt_us);

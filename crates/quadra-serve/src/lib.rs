@@ -120,11 +120,13 @@
 #![warn(missing_docs)]
 
 mod admission;
+mod clock;
 mod endpoint;
 mod metrics;
 mod request;
 mod scheduler;
 mod server;
+mod sync;
 mod worker;
 
 pub use metrics::{RouterMetrics, ServeMetrics};

@@ -7,6 +7,7 @@
 //! MobileNet next to a 15 ms ResNet) would describe neither model.
 
 use crate::request::{Priority, ServeError};
+use crate::sync::lock_or_recover;
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
@@ -53,7 +54,7 @@ impl MetricsHub {
     /// and priority class, and the activation bytes the model cached while
     /// running it.
     pub fn record_batch(&self, samples: usize, requests: &[(Duration, Priority)], activation_bytes: usize) {
-        let mut m = self.inner.lock().unwrap();
+        let mut m = lock_or_recover(&self.inner);
         m.batches += 1;
         m.completed_requests += requests.len() as u64;
         m.completed_samples += samples as u64;
@@ -75,13 +76,13 @@ impl MetricsHub {
 
     /// Record one request shed at admission (queue full).
     pub fn record_shed(&self, priority: Priority) {
-        self.inner.lock().unwrap().shed_by_class[priority.index()] += 1;
+        lock_or_recover(&self.inner).shed_by_class[priority.index()] += 1;
     }
 
     /// Record one request shed at dispatch time (cancelled by its handle or
     /// its deadline expired while queued).
     pub fn record_dispatch_shed(&self, priority: Priority, reason: &ServeError) {
-        let mut m = self.inner.lock().unwrap();
+        let mut m = lock_or_recover(&self.inner);
         match reason {
             ServeError::Cancelled => m.cancelled_by_class[priority.index()] += 1,
             ServeError::DeadlineExceeded => m.deadline_missed_by_class[priority.index()] += 1,
@@ -92,15 +93,15 @@ impl MetricsHub {
     /// Accumulate worker service time (the fair-share ledger); recorded for
     /// successful and panicked batches alike — both occupied the CPU.
     pub fn record_service(&self, service_us: u64) {
-        self.inner.lock().unwrap().service_us += service_us;
+        lock_or_recover(&self.inner).service_us += service_us;
     }
 
     pub fn record_errors(&self, count: usize) {
-        self.inner.lock().unwrap().errored_requests += count as u64;
+        lock_or_recover(&self.inner).errored_requests += count as u64;
     }
 
     pub fn record_reload(&self) {
-        self.inner.lock().unwrap().reloads += 1;
+        lock_or_recover(&self.inner).reloads += 1;
     }
 
     pub fn snapshot(
@@ -110,7 +111,7 @@ impl MetricsHub {
         queued_samples: usize,
         wait_budget: Duration,
     ) -> ServeMetrics {
-        let m = self.inner.lock().unwrap();
+        let m = lock_or_recover(&self.inner);
         let elapsed = self.started.elapsed();
         let secs = elapsed.as_secs_f64().max(1e-9);
         let mut sorted = m.latencies_us.clone();

@@ -12,8 +12,10 @@
 //! at the last possible moment.
 
 use crate::admission::{PopResult, TakeResult};
+use crate::clock::{self, ServiceInstant};
 use crate::endpoint::EndpointShared;
-use crate::request::PendingInfer;
+use crate::request::{PendingInfer, ServeError};
+use crate::sync::{lock_or_recover, wait_timeout_or_recover};
 use quadra_tensor::Tensor;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -53,6 +55,7 @@ impl Batch {
 /// trailing axes must match exactly — unless the policy opts into
 /// `pad_mixed_spatial`, in which case NCHW inputs only need matching channel
 /// counts (H/W are zero-padded to the batch maximum).
+// quadra-analyze: allow(panic_path:indexing, the 4-length check guards shape[1] and shape[1..] never exceeds len)
 pub(crate) fn compat_key(shape: &[usize], pad_mixed_spatial: bool) -> Vec<usize> {
     if shape.len() == 4 && pad_mixed_spatial {
         vec![4, shape[1]]
@@ -65,23 +68,30 @@ pub(crate) fn compat_key(shape: &[usize], pad_mixed_spatial: bool) -> Vec<usize>
 
 /// Concatenate the requests' inputs along axis 0, zero-padding NCHW samples
 /// at the bottom/right to the largest H and W in the batch. Returns the batch
-/// tensor and the per-request sample counts (in request order).
-pub(crate) fn assemble(requests: &[PendingInfer]) -> (Tensor, Vec<usize>) {
-    assert!(!requests.is_empty(), "cannot assemble an empty batch");
+/// tensor and the per-request sample counts (in request order), or an error
+/// when the batch is malformed (empty, or shapes that slipped past
+/// `compat_key`) — the worker answers every rider with it instead of
+/// panicking mid-batch.
+// quadra-analyze: allow(panic_path:indexing, all indices are bounded by the compat_key-validated 4-d shapes and the zeros-allocated batch extent)
+pub(crate) fn assemble(requests: &[PendingInfer]) -> Result<(Tensor, Vec<usize>), ServeError> {
+    let Some(head) = requests.first() else {
+        return Err(ServeError::WorkerFailed("cannot assemble an empty batch".to_string()));
+    };
     let counts: Vec<usize> = requests.iter().map(|r| r.samples).collect();
     let total: usize = counts.iter().sum();
-    let first = requests[0].input.shape();
+    let first = head.input.shape();
     let needs_padding = first.len() == 4
         && requests.iter().any(|r| r.input.shape()[2] != first[2] || r.input.shape()[3] != first[3]);
     if !needs_padding {
         let refs: Vec<&Tensor> = requests.iter().map(|r| &r.input).collect();
-        let batch = Tensor::concat(&refs, 0).expect("scheduler only coalesces compatible shapes");
-        return (batch, counts);
+        let batch = Tensor::concat(&refs, 0)
+            .map_err(|e| ServeError::WorkerFailed(format!("batch assembly failed: {e}")))?;
+        return Ok((batch, counts));
     }
 
     let c = first[1];
-    let h_max = requests.iter().map(|r| r.input.shape()[2]).max().unwrap();
-    let w_max = requests.iter().map(|r| r.input.shape()[3]).max().unwrap();
+    let h_max = requests.iter().map(|r| r.input.shape()[2]).fold(first[2], usize::max);
+    let w_max = requests.iter().map(|r| r.input.shape()[3]).fold(first[3], usize::max);
     let mut batch = Tensor::zeros(&[total, c, h_max, w_max]);
     let dst = batch.as_mut_slice();
     let mut row = 0;
@@ -99,7 +109,7 @@ pub(crate) fn assemble(requests: &[PendingInfer]) -> (Tensor, Vec<usize>) {
         }
         row += n;
     }
-    (batch, counts)
+    Ok((batch, counts))
 }
 
 /// What `FleetScheduler::acquire` decided, threaded through to `settle` so
@@ -122,8 +132,10 @@ pub(crate) struct GrantGuard {
     fleet: Arc<FleetScheduler>,
     grant: Option<Grant>,
     /// Set just before the batch's forward pass; `None` at drop means the
-    /// batch never executed and the whole debit is refunded.
-    exec_started: Option<Instant>,
+    /// batch never executed and the whole debit is refunded. Read through
+    /// the sanctioned service clock so the DRR books survive the planned
+    /// per-thread CPU clock migration.
+    exec_started: Option<ServiceInstant>,
 }
 
 impl GrantGuard {
@@ -134,13 +146,12 @@ impl GrantGuard {
     /// Mark the start of the granted batch's execution; service time is
     /// charged from this instant.
     pub fn start_execution(&mut self) {
-        self.exec_started = Some(Instant::now());
+        self.exec_started = Some(clock::service_now());
     }
 
     fn settle_now(&mut self) -> u64 {
         let Some(grant) = self.grant.take() else { return 0 };
-        let actual_us =
-            self.exec_started.map(|t| t.elapsed().as_micros().min(u64::MAX as u128) as u64).unwrap_or(0);
+        let actual_us = self.exec_started.map(clock::elapsed_us).unwrap_or(0);
         self.fleet.settle(grant, actual_us);
         actual_us
     }
@@ -230,7 +241,7 @@ impl FleetScheduler {
     /// endpoint before any worker starts. `queued_samples` is the endpoint's
     /// live depth cell, updated lock-free on every admit/pop.
     pub fn register(&self, weight: u32, queued_samples: Arc<AtomicUsize>) -> usize {
-        let mut st = self.state.lock().unwrap();
+        let mut st = lock_or_recover(&self.state);
         st.members.push(MemberState {
             weight: i64::from(weight.max(1)),
             deficit_us: 0,
@@ -256,8 +267,9 @@ impl FleetScheduler {
     }
 
     /// Stop throttling `member`: shutdown drains must never wait for credit.
+    // quadra-analyze: allow(panic_path:indexing, member indices come from register() and the members vec only grows)
     pub fn close_member(&self, member: usize) {
-        let mut st = self.state.lock().unwrap();
+        let mut st = lock_or_recover(&self.state);
         st.members[member].closed = true;
         drop(st);
         self.settled.notify_all();
@@ -267,9 +279,10 @@ impl FleetScheduler {
     /// service time. Returns the grant to pass to [`FleetScheduler::settle`]
     /// after execution (always call it — it also releases the in-service and
     /// executing markers).
+    // quadra-analyze: allow(panic_path:indexing, member indices come from register() and the members vec only grows)
     pub fn acquire(&self, member: usize, est_us: u64) -> Grant {
         let est = (est_us.max(1)).min(i64::MAX as u64) as i64;
-        let mut st = self.state.lock().unwrap();
+        let mut st = lock_or_recover(&self.state);
         st.members[member].last_est_us = est;
         st.members[member].in_service += 1;
         loop {
@@ -289,7 +302,7 @@ impl FleetScheduler {
                 if st.executing >= self.max_parallel {
                     // Solvent, but every core is already running a granted
                     // batch: overlapping would corrupt the wall-clock books.
-                    let (guard, _timeout) = self.settled.wait_timeout(st, ARBITRATION_TICK).unwrap();
+                    let (guard, _timeout) = wait_timeout_or_recover(&self.settled, st, ARBITRATION_TICK);
                     st = guard;
                     continue;
                 }
@@ -306,7 +319,7 @@ impl FleetScheduler {
                 .enumerate()
                 .any(|(i, m)| i != member && m.demands_service() && m.deficit_us >= m.last_est_us);
             if someone_solvent {
-                let (guard, _timeout) = self.settled.wait_timeout(st, ARBITRATION_TICK).unwrap();
+                let (guard, _timeout) = wait_timeout_or_recover(&self.settled, st, ARBITRATION_TICK);
                 st = guard;
                 continue;
             }
@@ -328,8 +341,9 @@ impl FleetScheduler {
     /// Balance the books after the granted batch ran for `actual_us` µs (or
     /// was abandoned: `actual_us == 0` refunds the whole debit) and release
     /// the in-service and executing markers.
+    // quadra-analyze: allow(panic_path:indexing, grant.member came from register() and the members vec only grows)
     pub fn settle(&self, grant: Grant, actual_us: u64) {
-        let mut st = self.state.lock().unwrap();
+        let mut st = lock_or_recover(&self.state);
         st.executing = st.executing.saturating_sub(1);
         let m = &mut st.members[grant.member];
         m.in_service = m.in_service.saturating_sub(1);
@@ -358,6 +372,7 @@ fn retain_live(requests: Vec<PendingInfer>, shared: &EndpointShared) -> Vec<Pend
             None => live.push(request),
             Some(reason) => {
                 shared.metrics.record_dispatch_shed(request.priority, &reason);
+                // quadra-analyze: allow(must_use, a dropped receiver means the client stopped waiting)
                 let _ = request.reply.send(Err(reason));
             }
         }
@@ -488,7 +503,7 @@ mod tests {
     fn assemble_concatenates_same_size_inputs() {
         let (a, _ra) = pend(Tensor::from_vec(vec![1.0, 2.0], &[1, 2]).unwrap());
         let (b, _rb) = pend(Tensor::from_vec(vec![3.0, 4.0, 5.0, 6.0], &[2, 2]).unwrap());
-        let (batch, counts) = assemble(&[a, b]);
+        let (batch, counts) = assemble(&[a, b]).unwrap();
         assert_eq!(batch.shape(), &[3, 2]);
         assert_eq!(counts, vec![1, 2]);
         assert_eq!(batch.as_slice(), &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
@@ -499,7 +514,7 @@ mod tests {
         // 1×1×1×2 and 1×1×2×1 coalesce into a 2×1×2×2 zero-padded batch.
         let (a, _ra) = pend(Tensor::from_vec(vec![1.0, 2.0], &[1, 1, 1, 2]).unwrap());
         let (b, _rb) = pend(Tensor::from_vec(vec![3.0, 4.0], &[1, 1, 2, 1]).unwrap());
-        let (batch, counts) = assemble(&[a, b]);
+        let (batch, counts) = assemble(&[a, b]).unwrap();
         assert_eq!(batch.shape(), &[2, 1, 2, 2]);
         assert_eq!(counts, vec![1, 1]);
         assert_eq!(batch.as_slice(), &[1.0, 2.0, 0.0, 0.0, 3.0, 0.0, 4.0, 0.0]);

@@ -1,0 +1,88 @@
+//! Poison-tolerant lock helpers.
+//!
+//! A worker that panics mid-batch poisons every `Mutex` it held. The serving
+//! engine already treats a panicking replica as recoverable (the worker is
+//! rebuilt and the batch's requests get error replies), so propagating that
+//! panic into *other* threads via `.lock().unwrap()` would turn one bad
+//! request into a fleet-wide outage: metrics, admission, and the scheduler
+//! all share state with worker threads.
+//!
+//! These helpers recover the guard from a poisoned lock instead. That is
+//! sound here because every critical section in this crate leaves the
+//! protected state structurally valid at each write (counters, queues and
+//! ledgers are updated in place, never left half-initialized).
+//!
+//! The static-analysis gate (`cargo run -p quadra-analyze`) pins the
+//! pattern: a bare `.lock().unwrap()` anywhere in this crate is a
+//! `panic_path:lock-unwrap` finding.
+
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
+
+/// Lock `mutex`, recovering the guard if a panicking thread poisoned it.
+pub(crate) fn lock_or_recover<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Block on `condvar`, recovering the reacquired guard from poison.
+pub(crate) fn wait_or_recover<'a, T>(condvar: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    condvar.wait(guard).unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Block on `condvar` with a timeout, recovering the guard from poison.
+/// Returns the guard and whether the wait timed out.
+pub(crate) fn wait_timeout_or_recover<'a, T>(
+    condvar: &Condvar,
+    guard: MutexGuard<'a, T>,
+    timeout: Duration,
+) -> (MutexGuard<'a, T>, bool) {
+    match condvar.wait_timeout(guard, timeout) {
+        Ok((guard, timed_out)) => (guard, timed_out.timed_out()),
+        Err(poisoned) => {
+            let (guard, timed_out) = poisoned.into_inner();
+            (guard, timed_out.timed_out())
+        }
+    }
+}
+
+/// Block on `condvar` until `deadline`, recovering the guard from poison.
+/// Returns the guard and whether the deadline passed before a notify.
+pub(crate) fn wait_deadline_or_recover<'a, T>(
+    condvar: &Condvar,
+    guard: MutexGuard<'a, T>,
+    deadline: Instant,
+) -> (MutexGuard<'a, T>, bool) {
+    let now = Instant::now();
+    if now >= deadline {
+        return (guard, true);
+    }
+    wait_timeout_or_recover(condvar, guard, deadline - now)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Arc, Mutex};
+
+    #[test]
+    fn lock_or_recover_survives_poison() {
+        let m = Arc::new(Mutex::new(7u32));
+        let m2 = Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _guard = m2.lock().unwrap();
+            panic!("poison it");
+        })
+        .join();
+        assert!(m.is_poisoned());
+        assert_eq!(*lock_or_recover(&m), 7);
+    }
+
+    #[test]
+    fn wait_timeout_or_recover_reports_timeout() {
+        let m = Mutex::new(());
+        let cv = Condvar::new();
+        let guard = lock_or_recover(&m);
+        let (_guard, timed_out) = wait_timeout_or_recover(&cv, guard, Duration::from_millis(1));
+        assert!(timed_out);
+    }
+}

@@ -6,12 +6,13 @@
 use crate::endpoint::EndpointShared;
 use crate::request::{InferResponse, ServeError};
 use crate::scheduler::{self, assemble, Batch};
+use crate::sync::lock_or_recover;
 use quadra_core::MemoryProfiler;
 use quadra_nn::{Layer, StateDict};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Builds one model replica. Called on each worker thread, so the models
 /// themselves never cross a thread boundary and the `Layer` trait needs no
@@ -40,14 +41,14 @@ impl ReloadSlot {
 
     /// Publish a validated state dict, returning the new version.
     pub fn publish(&self, state: StateDict) -> u64 {
-        let mut guard = self.state.lock().unwrap();
+        let mut guard = lock_or_recover(&self.state);
         *guard = Some(Arc::new(state));
         self.version.fetch_add(1, Ordering::SeqCst) + 1
     }
 
     /// The latest (version, state) pair, read consistently.
     fn latest(&self) -> (u64, Option<Arc<StateDict>>) {
-        let guard = self.state.lock().unwrap();
+        let guard = lock_or_recover(&self.state);
         (self.version.load(Ordering::SeqCst), guard.clone())
     }
 
@@ -62,6 +63,7 @@ impl ReloadSlot {
 
     /// Unconditionally load the latest published state (used when a replica
     /// is first built or rebuilt after a panic). Returns its version.
+    // quadra-analyze: allow(panic_path:expect, state dicts are validated against a throwaway replica before publish so load_into cannot fail here)
     pub fn force_apply(&self, model: &mut dyn Layer) -> u64 {
         let (version, state) = self.latest();
         if let Some(state) = state {
@@ -96,6 +98,11 @@ pub(crate) fn run(factory: Arc<ModelFactory>, shared: Arc<EndpointShared>) {
         let outcome = execute(model.as_mut(), batch, version, &shared);
         let actual_us = guard.finish();
         shared.metrics.record_service(actual_us);
+        if outcome.is_ok() {
+            // Feed the batch-cost EWMA from the same settled figure the DRR
+            // books use, so estimates and charges can never drift apart.
+            shared.record_batch_service(Duration::from_micros(actual_us));
+        }
         if outcome.is_err() {
             // The replica's caches may be inconsistent after an unwound
             // forward; rebuild it from scratch and re-apply the latest state.
@@ -108,24 +115,43 @@ pub(crate) fn run(factory: Arc<ModelFactory>, shared: Arc<EndpointShared>) {
 /// Run one batch on `model`, replying to every request. `Err` means the
 /// forward pass panicked and the replica must be rebuilt.
 fn execute(model: &mut dyn Layer, batch: Batch, version: u64, shared: &EndpointShared) -> Result<(), ()> {
-    let (input, counts) = assemble(&batch.requests);
+    let (input, counts) = match assemble(&batch.requests) {
+        Ok(assembled) => assembled,
+        Err(err) => {
+            // A malformed batch is a dispatch bug, not a replica fault: answer
+            // every rider with the error and keep the replica.
+            shared.metrics.record_errors(batch.requests.len());
+            for request in &batch.requests {
+                // quadra-analyze: allow(must_use, a dropped receiver means the client stopped waiting)
+                let _ = request.reply.send(Err(err.clone()));
+            }
+            return Ok(());
+        }
+    };
     let batch_samples = batch.samples();
-    let exec_start = Instant::now();
     match catch_unwind(AssertUnwindSafe(|| model.forward(&input, false))) {
         Ok(output) => {
             let done_at = Instant::now();
-            shared.record_batch_service(done_at.duration_since(exec_start));
             let attributed = MemoryProfiler::new().inference_report_for(&shared.name, model, &input, &output);
             model.clear_cache();
             let mut latencies = Vec::with_capacity(batch.requests.len());
-            let mut responses = Vec::with_capacity(batch.requests.len());
+            let mut replies = Vec::with_capacity(batch.requests.len());
+            let mut split_errors = 0;
             let mut offset = 0;
             for (request, n) in batch.requests.iter().zip(counts) {
-                let rows = output.narrow(0, offset, n).expect("per-request split stays in range");
+                let start = offset;
                 offset += n;
+                let rows = match output.narrow(0, start, n) {
+                    Ok(rows) => rows,
+                    Err(e) => {
+                        split_errors += 1;
+                        replies.push(Err(ServeError::WorkerFailed(format!("per-request split failed: {e}"))));
+                        continue;
+                    }
+                };
                 let latency = done_at.duration_since(request.submitted_at);
                 latencies.push((latency, request.priority));
-                responses.push(InferResponse {
+                replies.push(Ok(InferResponse {
                     id: request.id,
                     model: shared.name.clone(),
                     priority: request.priority,
@@ -136,14 +162,18 @@ fn execute(model: &mut dyn Layer, batch: Batch, version: u64, shared: &EndpointS
                     batch_samples,
                     queue_wait: batch.formed_at.duration_since(request.submitted_at),
                     latency,
-                });
+                }));
             }
             // Record before replying so a metrics snapshot taken by a caller
             // that just received its response always includes it.
             shared.metrics.record_batch(batch_samples, &latencies, attributed.report.peak_activation_bytes);
-            for (request, response) in batch.requests.iter().zip(responses) {
+            if split_errors > 0 {
+                shared.metrics.record_errors(split_errors);
+            }
+            for (request, reply) in batch.requests.iter().zip(replies) {
                 // A dropped receiver just means the client stopped waiting.
-                let _ = request.reply.send(Ok(response));
+                // quadra-analyze: allow(must_use, a dropped receiver means the client stopped waiting)
+                let _ = request.reply.send(reply);
             }
             Ok(())
         }
@@ -151,6 +181,7 @@ fn execute(model: &mut dyn Layer, batch: Batch, version: u64, shared: &EndpointS
             let message = panic_message(payload);
             shared.metrics.record_errors(batch.requests.len());
             for request in &batch.requests {
+                // quadra-analyze: allow(must_use, a dropped receiver means the client stopped waiting)
                 let _ = request.reply.send(Err(ServeError::WorkerFailed(message.clone())));
             }
             Err(())

@@ -217,6 +217,40 @@ fn responses_carry_batch_id_and_tag_provenance() {
 }
 
 #[test]
+fn tight_deadline_request_rides_the_earlier_batch() {
+    // EDF slack ordering inside the admission queue: with a 2-slot batch, the
+    // seed takes exactly one rider. FIFO fill would pick B (it arrived first);
+    // EDF must pick C, whose deadline is tight, leaving B to the next batch.
+    let server = InferenceServer::start(
+        ServeConfig {
+            workers: 1,
+            policy: BatchPolicy {
+                max_batch_size: 2,
+                max_wait: Duration::from_millis(1),
+                ..BatchPolicy::default()
+            },
+            ..ServeConfig::default()
+        },
+        || Box::new(SleepIdentity(Duration::from_millis(40))),
+    )
+    .unwrap();
+    let client = server.client();
+    // Occupy the single worker so the riders queue up behind it.
+    let warmup = client.submit(Tensor::ones(&[1, 2])).unwrap();
+    std::thread::sleep(Duration::from_millis(10));
+    let a = client.send(Request::new(Tensor::full(&[1, 2], 1.0))).unwrap();
+    let b = client.send(Request::new(Tensor::full(&[1, 2], 2.0))).unwrap();
+    let c = client.send(Request::new(Tensor::full(&[1, 2], 3.0)).deadline(Duration::from_secs(10))).unwrap();
+    let _ = warmup.wait().unwrap();
+    let a = a.wait().unwrap();
+    let b = b.wait().unwrap();
+    let c = c.wait().unwrap();
+    assert_eq!(c.batch_id, a.batch_id, "the deadlined request rides the seed's batch");
+    assert!(b.batch_id > a.batch_id, "the undeadlined rider waits for the next batch");
+    let _ = server.shutdown();
+}
+
+#[test]
 fn batch_class_is_never_fully_starved_under_interactive_backlog() {
     // An unbounded interactive backlog with strict priority would serve the
     // batch class dead last. With the aging credit (every 3rd seed at most),

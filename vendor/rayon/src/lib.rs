@@ -60,6 +60,7 @@ pub mod iter {
     }
 
     impl<O: Send, F: Fn(usize) -> O + Send + Sync> ParRangeMap<F> {
+        // quadra-analyze: allow(panic_path:expect, scoped threads fill every slot before the scope exits, so the expect is unreachable unless a worker panicked — which already aborts the scope)
         fn run(self) -> Vec<O> {
             let start = self.range.start;
             let n = self.range.len();
