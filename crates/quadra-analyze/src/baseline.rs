@@ -1,0 +1,218 @@
+//! Finding baseline for ratcheting.
+//!
+//! A baseline records the multiset of *unsuppressed* findings a team has
+//! consciously decided to tolerate for now: CI runs with
+//! `--baseline ANALYZE_baseline.json` and fails only on findings **not** in
+//! the baseline, so existing debt never blocks a merge but new debt always
+//! does. The baseline can only shrink over time (`--write-baseline` after
+//! fixing findings re-ratchets it down); growing it is a reviewed change to
+//! a committed file, never an analyzer default.
+//!
+//! Entries are keyed `(pass, check, file, message)` with a count — no line
+//! numbers, so unrelated edits that shift a tolerated finding up or down a
+//! file do not show up as drift, while a *second* instance of the same
+//! finding in the same file does.
+
+use crate::json::{self, Json};
+use crate::report::Report;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Key of one tolerated finding class: `(pass, check, file, message)`.
+pub type BaselineKey = (String, String, String, String);
+
+/// A committed snapshot of tolerated findings.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Baseline {
+    /// Tolerated finding classes and how many instances of each.
+    pub entries: BTreeMap<BaselineKey, usize>,
+}
+
+impl Baseline {
+    /// Snapshot the unsuppressed findings of a report.
+    pub fn from_report(report: &Report) -> Baseline {
+        let mut entries: BTreeMap<BaselineKey, usize> = BTreeMap::new();
+        for f in report.unsuppressed() {
+            *entries
+                .entry((f.pass.clone(), f.check.clone(), f.file.clone(), f.message.clone()))
+                .or_insert(0) += 1;
+        }
+        Baseline { entries }
+    }
+
+    /// Parse the committed baseline file.
+    pub fn from_json(text: &str) -> Result<Baseline, String> {
+        let doc = json::parse(text)?;
+        if doc.get("tool").and_then(Json::as_str) != Some("quadra-analyze-baseline") {
+            return Err("not a quadra-analyze baseline file (missing tool tag)".to_string());
+        }
+        let mut entries: BTreeMap<BaselineKey, usize> = BTreeMap::new();
+        let items = doc.get("entries").and_then(Json::as_array).ok_or("baseline has no `entries` array")?;
+        for item in items {
+            let field = |k: &str| {
+                item.get(k)
+                    .and_then(Json::as_str)
+                    .map(str::to_string)
+                    .ok_or_else(|| format!("baseline entry missing `{k}`"))
+            };
+            let key = (field("pass")?, field("check")?, field("file")?, field("message")?);
+            let count =
+                item.get("count").and_then(Json::as_u64).ok_or("baseline entry missing `count`")? as usize;
+            *entries.entry(key).or_insert(0) += count;
+        }
+        Ok(Baseline { entries })
+    }
+
+    /// Serialize for committing.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"schema\": 1,");
+        let _ = writeln!(out, "  \"tool\": \"quadra-analyze-baseline\",");
+        out.push_str("  \"entries\": [\n");
+        for (i, ((pass, check, file, message), count)) in self.entries.iter().enumerate() {
+            let comma = if i + 1 == self.entries.len() { "" } else { "," };
+            let _ = writeln!(
+                out,
+                "    {{\"pass\": {}, \"check\": {}, \"file\": {}, \"message\": {}, \"count\": {count}}}{comma}",
+                json_str(pass),
+                json_str(check),
+                json_str(file),
+                json_str(message)
+            );
+        }
+        out.push_str("  ]\n");
+        out.push_str("}\n");
+        out
+    }
+
+    /// Unsuppressed findings of `report` that exceed the baseline: every
+    /// instance beyond an entry's tolerated count, in report order. These
+    /// fail the gate under `--baseline`.
+    pub fn new_findings<'r>(&self, report: &'r Report) -> Vec<&'r crate::report::Finding> {
+        let mut budget: BTreeMap<BaselineKey, usize> = self.entries.clone();
+        let mut out = Vec::new();
+        for f in report.unsuppressed() {
+            let key = (f.pass.clone(), f.check.clone(), f.file.clone(), f.message.clone());
+            match budget.get_mut(&key) {
+                Some(n) if *n > 0 => *n -= 1,
+                _ => out.push(f),
+            }
+        }
+        out
+    }
+
+    /// Number of baseline instances the current report no longer produces —
+    /// fixed debt the baseline could ratchet down by (`--write-baseline`).
+    pub fn stale_count(&self, report: &Report) -> usize {
+        let current = Baseline::from_report(report);
+        let mut stale = 0usize;
+        for (key, &count) in &self.entries {
+            let now = current.entries.get(key).copied().unwrap_or(0);
+            stale += count.saturating_sub(now);
+        }
+        stale
+    }
+}
+
+/// JSON-escape a string, quotes included (same escapes as the report writer).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::Finding;
+
+    fn finding(pass: &str, file: &str, message: &str) -> Finding {
+        Finding {
+            pass: pass.to_string(),
+            check: "c".to_string(),
+            file: file.to_string(),
+            line: 1,
+            message: message.to_string(),
+            snippet: String::new(),
+            suppressed_reason: None,
+        }
+    }
+
+    fn report(findings: Vec<Finding>) -> Report {
+        Report { findings, unused_suppressions: vec![], files_analyzed: 1 }
+    }
+
+    #[test]
+    fn roundtrips_through_json() {
+        let b = Baseline::from_report(&report(vec![
+            finding("a", "f.rs", "msg \"quoted\""),
+            finding("a", "f.rs", "msg \"quoted\""),
+            finding("b", "g.rs", "other"),
+        ]));
+        let parsed = Baseline::from_json(&b.to_json()).unwrap();
+        assert_eq!(parsed, b);
+        assert_eq!(parsed.entries[&("a".into(), "c".into(), "f.rs".into(), "msg \"quoted\"".into())], 2);
+    }
+
+    #[test]
+    fn baselined_findings_are_tolerated_and_new_ones_are_not() {
+        let b = Baseline::from_report(&report(vec![finding("a", "f.rs", "known")]));
+        // Same finding again: tolerated. A second instance and a new class: not.
+        let r = report(vec![
+            finding("a", "f.rs", "known"),
+            finding("a", "f.rs", "known"),
+            finding("b", "g.rs", "fresh"),
+        ]);
+        let new = b.new_findings(&r);
+        assert_eq!(new.len(), 2);
+        assert!(new.iter().any(|f| f.message == "fresh"));
+    }
+
+    #[test]
+    fn line_shifts_are_not_drift() {
+        let b = Baseline::from_report(&report(vec![finding("a", "f.rs", "known")]));
+        let mut moved = finding("a", "f.rs", "known");
+        moved.line = 99;
+        assert!(b.new_findings(&report(vec![moved])).is_empty());
+    }
+
+    #[test]
+    fn suppressed_findings_never_enter_the_baseline() {
+        let mut f = finding("a", "f.rs", "suppressed");
+        f.suppressed_reason = Some("reason".to_string());
+        let b = Baseline::from_report(&report(vec![f]));
+        assert!(b.entries.is_empty());
+    }
+
+    #[test]
+    fn stale_count_measures_fixed_debt() {
+        let b = Baseline::from_report(&report(vec![
+            finding("a", "f.rs", "fixed"),
+            finding("a", "f.rs", "fixed"),
+            finding("b", "g.rs", "still-here"),
+        ]));
+        let r = report(vec![finding("b", "g.rs", "still-here")]);
+        assert_eq!(b.stale_count(&r), 2);
+        assert!(b.new_findings(&r).is_empty());
+    }
+
+    #[test]
+    fn rejects_foreign_json() {
+        assert!(Baseline::from_json("{\"tool\": \"other\", \"entries\": []}").is_err());
+        assert!(Baseline::from_json("not json").is_err());
+    }
+}

@@ -1,0 +1,192 @@
+//! Incremental-run cache.
+//!
+//! The analyzer's passes are workspace-scoped (the lock graph spans crates),
+//! so per-file result caching would be unsound: editing one file can change
+//! findings in another. What *is* sound is whole-run reuse — if every input
+//! file hashes identically and the config/version fingerprint matches, the
+//! previous run's output is byte-for-byte the current run's output. The
+//! cache therefore stores the exact report JSON and human text alongside a
+//! content hash per file, and a hit replays them verbatim without re-lexing
+//! anything.
+//!
+//! The cache lives in `target/` (default `target/analyze-cache.json`): a
+//! disposable artifact, never committed, safe to delete at any time.
+
+use crate::json::{self, Json};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// FNV-1a 64-bit — tiny, deterministic, dependency-free. Collisions would
+/// need an adversarial workspace; this guards against stale caches, not
+/// attackers.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// A persisted analysis run keyed by input hashes.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CacheFile {
+    /// Hash of everything besides file contents that affects output:
+    /// config, analyzer version, pass list.
+    pub fingerprint: u64,
+    /// Content hash per workspace-relative path.
+    pub files: BTreeMap<String, u64>,
+    /// The run's report JSON, verbatim.
+    pub report_json: String,
+    /// The run's human-readable text, verbatim.
+    pub human: String,
+}
+
+impl CacheFile {
+    /// Build a cache entry from a completed run.
+    pub fn new(
+        fingerprint: u64,
+        sources: &[(String, String)],
+        report_json: String,
+        human: String,
+    ) -> CacheFile {
+        let files = sources.iter().map(|(path, content)| (path.clone(), fnv1a(content.as_bytes()))).collect();
+        CacheFile { fingerprint, files, report_json, human }
+    }
+
+    /// True when this cached run is valid for the given inputs: same
+    /// fingerprint and the exact same file set with identical content hashes
+    /// (an added or deleted file is a mismatch, not just an edit).
+    pub fn matches(&self, fingerprint: u64, sources: &[(String, String)]) -> bool {
+        if self.fingerprint != fingerprint || self.files.len() != sources.len() {
+            return false;
+        }
+        sources.iter().all(|(path, content)| self.files.get(path) == Some(&fnv1a(content.as_bytes())))
+    }
+
+    /// Parse a persisted cache file. Any structural problem is an error; the
+    /// caller treats errors as a cache miss.
+    pub fn from_json(text: &str) -> Result<CacheFile, String> {
+        let doc = json::parse(text)?;
+        if doc.get("tool").and_then(Json::as_str) != Some("quadra-analyze-cache") {
+            return Err("not a quadra-analyze cache file".to_string());
+        }
+        // Hashes are hex strings: u64 values exceed the exact-integer range
+        // of JSON's double representation.
+        let fingerprint = doc
+            .get("fingerprint")
+            .and_then(Json::as_str)
+            .and_then(parse_hex)
+            .ok_or("cache missing `fingerprint`")?;
+        let mut files = BTreeMap::new();
+        for item in doc.get("files").and_then(Json::as_array).ok_or("cache missing `files`")? {
+            let path = item.get("path").and_then(Json::as_str).ok_or("cache file entry missing `path`")?;
+            let hash = item
+                .get("hash")
+                .and_then(Json::as_str)
+                .and_then(parse_hex)
+                .ok_or("cache file entry missing `hash`")?;
+            files.insert(path.to_string(), hash);
+        }
+        let field = |k: &str| {
+            doc.get(k).and_then(Json::as_str).map(str::to_string).ok_or(format!("cache missing `{k}`"))
+        };
+        Ok(CacheFile { fingerprint, files, report_json: field("report_json")?, human: field("human")? })
+    }
+
+    /// Serialize for persisting under `target/`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"schema\": 1,");
+        let _ = writeln!(out, "  \"tool\": \"quadra-analyze-cache\",");
+        let _ = writeln!(out, "  \"fingerprint\": \"{:016x}\",", self.fingerprint);
+        out.push_str("  \"files\": [\n");
+        for (i, (path, hash)) in self.files.iter().enumerate() {
+            let comma = if i + 1 == self.files.len() { "" } else { "," };
+            let _ = writeln!(out, "    {{\"path\": {}, \"hash\": \"{hash:016x}\"}}{comma}", json_str(path));
+        }
+        out.push_str("  ],\n");
+        let _ = writeln!(out, "  \"report_json\": {},", json_str(&self.report_json));
+        let _ = writeln!(out, "  \"human\": {}", json_str(&self.human));
+        out.push_str("}\n");
+        out
+    }
+}
+
+/// Parse a 64-bit hex hash string.
+fn parse_hex(s: &str) -> Option<u64> {
+    u64::from_str_radix(s, 16).ok()
+}
+
+/// JSON-escape a string, quotes included (same escapes as the report writer).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sources() -> Vec<(String, String)> {
+        vec![("a.rs".to_string(), "fn a() {}".to_string()), ("b.rs".to_string(), "fn b() {}".to_string())]
+    }
+
+    #[test]
+    fn fnv1a_is_deterministic_and_spreads() {
+        assert_eq!(fnv1a(b"hello"), fnv1a(b"hello"));
+        assert_ne!(fnv1a(b"hello"), fnv1a(b"hellp"));
+        assert_ne!(fnv1a(b""), fnv1a(b"\0"));
+    }
+
+    #[test]
+    fn roundtrips_through_json() {
+        let c =
+            CacheFile::new(42, &sources(), "{\"x\": 1}\n".to_string(), "line one\nline two\n".to_string());
+        let parsed = CacheFile::from_json(&c.to_json()).unwrap();
+        assert_eq!(parsed, c);
+    }
+
+    #[test]
+    fn matches_requires_identical_inputs() {
+        let c = CacheFile::new(42, &sources(), String::new(), String::new());
+        assert!(c.matches(42, &sources()));
+        // Different fingerprint (config or version changed).
+        assert!(!c.matches(43, &sources()));
+        // Edited file.
+        let mut edited = sources();
+        edited[0].1.push(' ');
+        assert!(!c.matches(42, &edited));
+        // Deleted file.
+        assert!(!c.matches(42, &sources()[..1]));
+        // Added file.
+        let mut added = sources();
+        added.push(("c.rs".to_string(), String::new()));
+        assert!(!c.matches(42, &added));
+        // Renamed file with same content.
+        let mut renamed = sources();
+        renamed[0].0 = "z.rs".to_string();
+        assert!(!c.matches(42, &renamed));
+    }
+
+    #[test]
+    fn rejects_foreign_json() {
+        assert!(CacheFile::from_json("{\"tool\": \"other\"}").is_err());
+        assert!(CacheFile::from_json("garbage").is_err());
+    }
+}

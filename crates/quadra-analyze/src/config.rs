@@ -52,6 +52,18 @@ pub struct AnalyzeConfig {
     pub clock_forbid_system_time_crates: Vec<String>,
     /// Crates audited by the must-use pass.
     pub must_use_crates: Vec<String>,
+    /// Crates audited by the atomics pass (`Relaxed` RMW allowlisting and
+    /// load-modify-store races).
+    pub atomics_crates: Vec<String>,
+    /// Crates where every condvar wait must sit inside a `while`/`loop`
+    /// re-checking its predicate.
+    pub condvar_crates: Vec<String>,
+    /// Per-request hot-path files for the allocation pass: path suffixes
+    /// where `Vec::new`, `format!`, and payload clones are findings.
+    pub hot_alloc_paths: Vec<String>,
+    /// Identifiers that denote request payloads in hot-path files: a
+    /// `.clone()` whose receiver chain contains one is a finding.
+    pub hot_alloc_payload_idents: Vec<String>,
 }
 
 impl AnalyzeConfig {
@@ -72,6 +84,17 @@ impl AnalyzeConfig {
             .filter(|h| path.ends_with(&h.path_suffix))
             .flat_map(|h| h.checks.iter().copied())
             .collect()
+    }
+
+    /// True when `path` is designated a per-request hot path for the
+    /// allocation pass.
+    pub fn is_hot_alloc_path(&self, path: &str) -> bool {
+        self.hot_alloc_paths.iter().any(|suffix| path.ends_with(suffix.as_str()))
+    }
+
+    /// True when `ident` denotes a request payload for the allocation pass.
+    pub fn is_payload_ident(&self, ident: &str) -> bool {
+        self.hot_alloc_payload_idents.iter().any(|p| p == ident)
     }
 
     /// Ledger-region function names for `path`.
@@ -130,6 +153,20 @@ impl AnalyzeConfig {
             ],
             clock_forbid_system_time_crates: vec!["quadra-serve".to_string()],
             must_use_crates: vec!["quadra-serve".to_string()],
+            atomics_crates: vec!["quadra-serve".to_string(), "quadra-core".to_string()],
+            condvar_crates: vec!["quadra-serve".to_string()],
+            hot_alloc_paths: vec![
+                "quadra-serve/src/scheduler.rs".into(),
+                "quadra-serve/src/admission.rs".into(),
+                "quadra-serve/src/worker.rs".into(),
+                "quadra-serve/src/endpoint.rs".into(),
+            ],
+            hot_alloc_payload_idents: vec![
+                "input".to_string(),
+                "payload".to_string(),
+                "request".to_string(),
+                "requests".to_string(),
+            ],
         }
     }
 }

@@ -1,15 +1,24 @@
 //! `quadra-analyze`: the workspace's offline static-analysis gate.
 //!
-//! Four passes over a hand-rolled Rust token stream (no `syn`, no network):
+//! Seven passes over a hand-rolled Rust token stream (no `syn`, no network):
 //!
-//! 1. **lock_order** — mutex acquisition-order graph: deadlock cycles,
-//!    re-entrant locks, locks held across condvar waits / channel ops;
+//! 1. **lock_order** — workspace-wide mutex acquisition-order graph with a
+//!    cross-crate call-graph approximation (paths and `use`-aliases resolve
+//!    callees across crates): deadlock cycles, re-entrant locks, locks held
+//!    across condvar waits / channel ops — including through a callee in
+//!    another crate;
 //! 2. **panic_path** — no `unwrap`/`expect`/`panic!`/indexing in designated
 //!    hot paths, and no poison-propagating `.lock().unwrap()` in serve;
 //! 3. **clock** — service-time ledger reads must use the sanctioned
 //!    `clock` abstraction (the seam for per-thread CPU clock migration);
 //! 4. **must_use** — serve public API handles must be `#[must_use]`, and
-//!    every `let _ =` discard must be justified.
+//!    every `let _ =` discard must be justified;
+//! 5. **atomics** — load-then-store on one atomic cell in one fn (lost
+//!    updates) and `Relaxed` fetch ops outside allowlisted counters;
+//! 6. **condvar** — every condvar wait must sit inside a `while`/`loop`
+//!    that re-checks its predicate;
+//! 7. **hot_alloc** — no `Vec::new`/`format!`/payload `.clone()` in
+//!    designated per-request hot-path files.
 //!
 //! Suppression grammar: `// quadra-analyze: allow(<pass>[:<check>], <reason>)`
 //! on the offending line, the line above, or above a `fn` item (covering the
@@ -18,7 +27,10 @@
 
 #![warn(missing_docs)]
 
+pub mod baseline;
+pub mod cache;
 pub mod config;
+pub mod json;
 pub mod lexer;
 pub mod passes;
 pub mod report;
@@ -42,6 +54,14 @@ pub fn analyze_sources(files: &[(String, String)], cfg: &AnalyzeConfig) -> Repor
 /// Analyze the workspace rooted at `root`: every `.rs` file under
 /// `crates/*/src`, `vendor/*/src`, and the root `src/`.
 pub fn analyze_root(root: &Path, cfg: &AnalyzeConfig) -> std::io::Result<Report> {
+    let files = collect_workspace_sources(root)?;
+    Ok(analyze_sources(&files, cfg))
+}
+
+/// Collect every workspace `.rs` file as `(workspace-relative path, content)`
+/// pairs, in a deterministic order. Exposed so the CLI can hash the file set
+/// for the incremental cache before deciding whether to analyze at all.
+pub fn collect_workspace_sources(root: &Path) -> std::io::Result<Vec<(String, String)>> {
     let mut files: Vec<(String, String)> = Vec::new();
     let mut src_dirs: Vec<PathBuf> = vec![root.join("src")];
     for group in ["crates", "vendor"] {
@@ -59,7 +79,7 @@ pub fn analyze_root(root: &Path, cfg: &AnalyzeConfig) -> std::io::Result<Report>
     for dir in src_dirs {
         collect_rs(&dir, root, &mut files)?;
     }
-    Ok(analyze_sources(&files, cfg))
+    Ok(files)
 }
 
 fn collect_rs(dir: &Path, root: &Path, out: &mut Vec<(String, String)>) -> std::io::Result<()> {
@@ -92,19 +112,25 @@ fn crate_of(path: &str) -> String {
 fn analyze_parsed(parsed: Vec<SourceFile>, cfg: &AnalyzeConfig) -> Report {
     let mut findings: Vec<Finding> = Vec::new();
 
-    // Crate-scoped passes.
+    // lock_order runs workspace-wide: its call graph resolves callees across
+    // crates, so one invocation sees every edge.
+    let all: Vec<&SourceFile> = parsed.iter().collect();
+    passes::lock_order::run(&all, cfg, &mut findings);
+    // must_use stays crate-scoped (its API-surface rules are per-crate).
     let mut by_crate: BTreeMap<&str, Vec<&SourceFile>> = BTreeMap::new();
     for f in &parsed {
         by_crate.entry(f.crate_name.as_str()).or_default().push(f);
     }
     for files in by_crate.values() {
-        passes::lock_order::run(files, cfg, &mut findings);
         passes::must_use::run(files, cfg, &mut findings);
     }
     // File-scoped passes.
     for f in &parsed {
         passes::panic_path::run(f, cfg, &mut findings);
         passes::clock::run(f, cfg, &mut findings);
+        passes::atomics::run(f, cfg, &mut findings);
+        passes::condvar::run(f, cfg, &mut findings);
+        passes::hot_alloc::run(f, cfg, &mut findings);
     }
     // Malformed suppressions are findings of the `suppression` pass and can
     // never themselves be suppressed.

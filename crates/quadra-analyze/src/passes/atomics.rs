@@ -1,0 +1,152 @@
+//! Atomics-ordering audit.
+//!
+//! In crates listed in `atomics_crates`, two patterns are findings:
+//!
+//! - **rmw** — a `.load(...)` followed by a `.store(...)` on the same
+//!   receiver chain within one function. Whatever the orderings, the
+//!   compute-between window loses updates under concurrency: two threads
+//!   both load, both compute, and one store silently overwrites the other.
+//!   The fix is a single atomic RMW (`fetch_update`, `fetch_add`, a CAS
+//!   loop) or a documented single-writer invariant via a suppression.
+//! - **relaxed-fetch** — `fetch_add`/`fetch_sub`/`fetch_or`/`fetch_and`/
+//!   `fetch_xor` with `Ordering::Relaxed`. Relaxed RMW is sound only for
+//!   monotonic counters that publish nothing; each such cell must be
+//!   allowlisted with a reasoned suppression so the invariant is on record.
+
+use crate::config::AnalyzeConfig;
+use crate::lexer::TokKind;
+use crate::report::Finding;
+use crate::source::SourceFile;
+use std::collections::BTreeMap;
+
+/// Relaxed-ordering RMW methods that only monotonic counters may use.
+const FETCH_OPS: [&str; 5] = ["fetch_add", "fetch_sub", "fetch_or", "fetch_and", "fetch_xor"];
+
+/// Run the pass over one file.
+pub fn run(file: &SourceFile, cfg: &AnalyzeConfig, findings: &mut Vec<Finding>) {
+    if !cfg.atomics_crates.iter().any(|c| c == &file.crate_name) {
+        return;
+    }
+    let toks = &file.toks;
+    for f in &file.fns {
+        if f.is_test {
+            continue;
+        }
+        let Some((open, close)) = f.body else { continue };
+        // First `.load(` line per receiver chain, in this fn.
+        let mut loaded: BTreeMap<String, u32> = BTreeMap::new();
+        let mut reported_rmw: BTreeMap<String, ()> = BTreeMap::new();
+        let mut i = open;
+        while i < close {
+            let t = &toks[i];
+            let is_method_call = t.kind == TokKind::Ident
+                && i > 0
+                && toks[i - 1].is_punct('.')
+                && i < close
+                && toks[i + 1].is_punct('(');
+            if !is_method_call || file.is_test_tok(i) {
+                i += 1;
+                continue;
+            }
+            let name = t.text.as_str();
+            if name == "load" {
+                if let Some(chain) = receiver_chain(file, i - 1) {
+                    loaded.entry(chain).or_insert(t.line);
+                }
+            } else if name == "store" {
+                if let Some(chain) = receiver_chain(file, i - 1) {
+                    if let Some(&load_line) = loaded.get(&chain) {
+                        if reported_rmw.insert(chain.clone(), ()).is_none() {
+                            findings.push(finding(
+                                file,
+                                "rmw",
+                                t.line,
+                                format!(
+                                    "`{chain}` is loaded (line {load_line}) then stored in `{}`: \
+                                     concurrent updates lose writes; use a single atomic RMW \
+                                     (`fetch_update`/CAS) or document the single-writer invariant",
+                                    f.name
+                                ),
+                            ));
+                        }
+                    }
+                }
+            } else if FETCH_OPS.contains(&name) && call_args_mention_relaxed(file, i + 1, close) {
+                findings.push(finding(
+                    file,
+                    "relaxed-fetch",
+                    t.line,
+                    format!(
+                        "`.{name}(.., Ordering::Relaxed)` in `{}`: Relaxed RMW is sound only for \
+                         monotonic counters that publish no other memory — allowlist with a \
+                         reasoned suppression or strengthen the ordering",
+                        f.name
+                    ),
+                ));
+            }
+            i += 1;
+        }
+    }
+}
+
+fn finding(file: &SourceFile, check: &str, line: u32, message: String) -> Finding {
+    Finding {
+        pass: "atomics".to_string(),
+        check: check.to_string(),
+        file: file.path.clone(),
+        line,
+        message,
+        snippet: file.line_text(line).to_string(),
+        suppressed_reason: None,
+    }
+}
+
+/// The dotted receiver chain ending at the `.` before the method name, e.g.
+/// `self.ewma_batch_us.load(..)` → `self.ewma_batch_us`. `None` when the
+/// receiver is not a simple path (a call result, an index expression).
+fn receiver_chain(file: &SourceFile, dot_idx: usize) -> Option<String> {
+    let toks = &file.toks;
+    let mut chain: Vec<String> = Vec::new();
+    let mut i = dot_idx; // points at the `.`
+    loop {
+        if i == 0 {
+            break;
+        }
+        let prev = &toks[i - 1];
+        if prev.kind == TokKind::Ident {
+            chain.push(prev.text.clone());
+            if i >= 2 && toks[i - 2].is_punct('.') {
+                i -= 2;
+                continue;
+            }
+        }
+        break;
+    }
+    if chain.is_empty() {
+        return None;
+    }
+    chain.reverse();
+    Some(chain.join("."))
+}
+
+/// True when the call's argument list (starting at `open_paren`) names the
+/// `Relaxed` ordering.
+fn call_args_mention_relaxed(file: &SourceFile, open_paren: usize, close: usize) -> bool {
+    let toks = &file.toks;
+    if open_paren > close || !toks[open_paren].is_punct('(') {
+        return false;
+    }
+    let mut depth = 1usize;
+    let mut i = open_paren + 1;
+    while i <= close && depth > 0 {
+        if toks[i].is_punct('(') {
+            depth += 1;
+        } else if toks[i].is_punct(')') {
+            depth -= 1;
+        } else if toks[i].is_ident("Relaxed") {
+            return true;
+        }
+        i += 1;
+    }
+    false
+}

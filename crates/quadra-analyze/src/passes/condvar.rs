@@ -1,0 +1,97 @@
+//! Condvar predicate-loop check.
+//!
+//! Condvars wake spuriously and notifications can race ahead of the
+//! predicate they signal, so the only sound shape for a wait is inside a
+//! `while`/`loop` that re-checks its predicate after every wakeup. In crates
+//! listed in `condvar_crates`, this pass flags every wait site — raw
+//! `.wait(..)` / `.wait_timeout(..)` method calls and the workspace's
+//! configured `wait*_or_recover` helpers — that is not lexically enclosed by
+//! a `while` or `loop` block inside its function. A `for` body does not
+//! count: bounded iteration is not predicate re-checking. An `if`-guarded
+//! wait is exactly the bug this pass exists to catch.
+
+use crate::config::AnalyzeConfig;
+use crate::lexer::TokKind;
+use crate::report::Finding;
+use crate::source::SourceFile;
+
+/// Raw condvar wait methods (the poison-recovering helpers are configured).
+const WAIT_METHODS: [&str; 4] = ["wait", "wait_timeout", "wait_while", "wait_timeout_while"];
+
+/// What kind of block a `{` opened, for the enclosing-loop test.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum BlockKind {
+    Loop,
+    Other,
+}
+
+/// Run the pass over one file.
+pub fn run(file: &SourceFile, cfg: &AnalyzeConfig, findings: &mut Vec<Finding>) {
+    if !cfg.condvar_crates.iter().any(|c| c == &file.crate_name) {
+        return;
+    }
+    let toks = &file.toks;
+    for f in &file.fns {
+        if f.is_test {
+            continue;
+        }
+        let Some((open, close)) = f.body else { continue };
+        // Walk the body tracking what kind of block each `{` opens. A
+        // keyword seen at expression-head position arms `pending`; the next
+        // `{` consumes it. `;` disarms (statement ended without a block).
+        let mut stack: Vec<BlockKind> = Vec::new();
+        let mut pending: Option<BlockKind> = None;
+        let mut i = open + 1;
+        while i < close {
+            let t = &toks[i];
+            if t.is_punct('{') {
+                stack.push(pending.take().unwrap_or(BlockKind::Other));
+                i += 1;
+                continue;
+            }
+            if t.is_punct('}') {
+                stack.pop();
+                i += 1;
+                continue;
+            }
+            if t.is_punct(';') {
+                pending = None;
+                i += 1;
+                continue;
+            }
+            if t.is_ident("loop") || t.is_ident("while") {
+                pending = Some(BlockKind::Loop);
+                i += 1;
+                continue;
+            }
+            if t.is_ident("for") || t.is_ident("if") || t.is_ident("match") {
+                pending = Some(BlockKind::Other);
+                i += 1;
+                continue;
+            }
+            let is_call = t.kind == TokKind::Ident && i < close && toks[i + 1].is_punct('(');
+            if is_call && !file.is_test_tok(i) {
+                let name = t.text.as_str();
+                let is_method = i > 0 && toks[i - 1].is_punct('.');
+                let is_wait =
+                    (is_method && WAIT_METHODS.contains(&name)) || (!is_method && cfg.is_wait_helper(name));
+                if is_wait && !stack.contains(&BlockKind::Loop) {
+                    findings.push(Finding {
+                        pass: "condvar".to_string(),
+                        check: "wait-not-in-loop".to_string(),
+                        file: file.path.clone(),
+                        line: t.line,
+                        message: format!(
+                            "`{name}` in `{}` is not inside a `while`/`loop`: condvar waits wake \
+                             spuriously — re-check the predicate in a loop around the wait",
+                            f.name
+                        ),
+                        snippet: file.line_text(t.line).to_string(),
+                        suppressed_reason: None,
+                    });
+                }
+            }
+            i += 1;
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! Hot-path allocation lint.
+//!
+//! In designated per-request files (`hot_alloc_paths`), allocations that
+//! grow or copy per request are findings:
+//!
+//! - **vec-new** — `Vec::new()` or an empty `vec![]`: every push doubles
+//!   through the allocator; pre-size with `with_capacity` when the bound is
+//!   known (batch size, member count);
+//! - **format** — `format!(...)` allocates and formats on the request path;
+//!   move the formatting to the cold path or suppress with a reason when the
+//!   branch is demonstrably cold (an error reply);
+//! - **payload-clone** — `.clone()` whose receiver chain contains a
+//!   configured payload identifier (`request`, `input`, ...): request
+//!   payloads carry tensors, so a clone is a deep copy — restructure to move
+//!   ownership instead.
+
+use crate::config::AnalyzeConfig;
+use crate::lexer::TokKind;
+use crate::report::Finding;
+use crate::source::SourceFile;
+
+/// Run the pass over one file.
+pub fn run(file: &SourceFile, cfg: &AnalyzeConfig, findings: &mut Vec<Finding>) {
+    if !cfg.is_hot_alloc_path(&file.path) {
+        return;
+    }
+    let toks = &file.toks;
+    let mut last: Option<(u32, &'static str)> = None; // (line, check) dedup
+    for i in 0..toks.len() {
+        if file.is_test_tok(i) {
+            continue;
+        }
+        let t = &toks[i];
+        let mut emit = |check: &'static str, line: u32, message: String, findings: &mut Vec<Finding>| {
+            if last == Some((line, check)) {
+                return;
+            }
+            last = Some((line, check));
+            findings.push(Finding {
+                pass: "hot_alloc".to_string(),
+                check: check.to_string(),
+                file: file.path.clone(),
+                line,
+                message,
+                snippet: file.line_text(line).to_string(),
+                suppressed_reason: None,
+            });
+        };
+        // `Vec::new()` — a growing vector on the request path.
+        if t.is_ident("Vec")
+            && i + 4 < toks.len()
+            && toks[i + 1].is_punct(':')
+            && toks[i + 2].is_punct(':')
+            && toks[i + 3].is_ident("new")
+            && toks[i + 4].is_punct('(')
+        {
+            emit(
+                "vec-new",
+                t.line,
+                "`Vec::new()` in a per-request hot path grows through the allocator; pre-size with `with_capacity`".to_string(),
+                findings,
+            );
+            continue;
+        }
+        // Empty `vec![]` — same growth pattern in macro clothing.
+        if t.is_ident("vec")
+            && i + 2 < toks.len()
+            && toks[i + 1].is_punct('!')
+            && toks[i + 2].is_punct('[')
+            && i + 3 < toks.len()
+            && toks[i + 3].is_punct(']')
+        {
+            emit(
+                "vec-new",
+                t.line,
+                "empty `vec![]` in a per-request hot path grows through the allocator; pre-size with `with_capacity`".to_string(),
+                findings,
+            );
+            continue;
+        }
+        // `format!` — allocation plus formatting machinery per request.
+        if t.is_ident("format") && i + 1 < toks.len() && toks[i + 1].is_punct('!') {
+            emit(
+                "format",
+                t.line,
+                "`format!` allocates in a per-request hot path; precompute, borrow, or justify the cold branch with a suppression".to_string(),
+                findings,
+            );
+            continue;
+        }
+        // `.clone()` of a request payload.
+        if t.is_ident("clone")
+            && i > 0
+            && toks[i - 1].is_punct('.')
+            && i + 1 < toks.len()
+            && toks[i + 1].is_punct('(')
+        {
+            if let Some(chain) = payload_chain(file, i - 1, cfg) {
+                emit(
+                    "payload-clone",
+                    t.line,
+                    format!("`.clone()` of request payload `{chain}` deep-copies tensor data; restructure to move ownership"),
+                    findings,
+                );
+                continue;
+            }
+        }
+    }
+}
+
+/// The dotted receiver chain before `.clone()` when it names a configured
+/// payload identifier; `None` otherwise.
+fn payload_chain(file: &SourceFile, dot_idx: usize, cfg: &AnalyzeConfig) -> Option<String> {
+    let toks = &file.toks;
+    let mut chain: Vec<String> = Vec::new();
+    let mut i = dot_idx;
+    loop {
+        if i == 0 {
+            break;
+        }
+        let prev = &toks[i - 1];
+        if prev.kind == TokKind::Ident {
+            chain.push(prev.text.clone());
+            if i >= 2 && toks[i - 2].is_punct('.') {
+                i -= 2;
+                continue;
+            }
+        }
+        break;
+    }
+    if chain.iter().any(|seg| cfg.is_payload_ident(seg)) {
+        chain.reverse();
+        Some(chain.join("."))
+    } else {
+        None
+    }
+}

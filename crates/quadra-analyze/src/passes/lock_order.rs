@@ -2,20 +2,30 @@
 //!
 //! Extracts every mutex acquisition (`.lock()` and the workspace's
 //! `lock_or_recover(&...)` helper), tracks which guards are still live at
-//! each point via lexical scope approximation, and builds a per-crate
+//! each point via lexical scope approximation, and builds a **workspace-wide**
 //! acquisition-order graph. Findings:
 //!
 //! - **cycle** — two code paths acquire the same pair of locks in opposite
 //!   orders (potential deadlock), including orders reached transitively
-//!   through an intra-crate call-graph approximation;
+//!   through the cross-crate call-graph approximation;
 //! - **reentrant** — a lock acquired while a guard for the same lock is
 //!   still live (self-deadlock with `std::sync::Mutex`);
 //! - **held-across-blocking** — any lock still held at a `Condvar` wait
 //!   (other than the guard being waited on), a channel `send`/`recv`, a
-//!   thread `join`, or a call into a function that may block.
+//!   thread `join`, or a call into a function that may block — including a
+//!   callee in another crate.
 //!
-//! Lock identity is `ImplType.field` for `self.field.lock()` receivers, the
-//! bare name for statics, and the dotted receiver path otherwise.
+//! Lock identity is crate-qualified: `{crate}::ImplType.field` for
+//! `self.field.lock()` receivers, `{crate}::NAME` for UPPERCASE statics, and
+//! the crate-qualified dotted receiver path otherwise — so identically named
+//! statics in different crates never alias, while a lock reached through a
+//! cross-crate call keeps one identity.
+//!
+//! Calls are resolved across crates: a path-qualified call
+//! (`quadra_core::profiler::report(..)`) maps its first segment onto the
+//! analyzed crate set (`quadra_core` → `quadra-core`; `crate`/`self`/`super`
+//! → the calling crate), and a bare call is resolved through the file's
+//! `use`-alias map. Unresolvable names conservatively stay intra-crate.
 
 use crate::config::AnalyzeConfig;
 use crate::report::Finding;
@@ -25,11 +35,14 @@ use std::collections::{BTreeMap, BTreeSet};
 /// Channel / thread / condvar operations a lock must never be held across.
 const BLOCKING_OPS: [&str; 6] = ["send", "recv", "recv_timeout", "join", "wait", "wait_timeout"];
 
+/// A function key in the workspace call graph: `(crate, fn name)`.
+type FnKey = (String, String);
+
 #[derive(Debug, Clone, Default)]
 struct FnSummary {
     locks: BTreeSet<String>,
     blocks: bool,
-    calls: BTreeSet<String>,
+    calls: BTreeSet<FnKey>,
 }
 
 #[derive(Debug, Clone)]
@@ -47,37 +60,93 @@ struct Edge {
     fn_name: String,
 }
 
-/// Run the pass over every file of one crate.
+/// Crate names reachable from path segments: maps the underscore-normalized
+/// form Rust paths use (`quadra_core`) back to the crate name the analyzer
+/// keys files by (`quadra-core`).
+fn known_crates(files: &[&SourceFile]) -> BTreeMap<String, String> {
+    files.iter().map(|f| (f.crate_name.replace('-', "_"), f.crate_name.clone())).collect()
+}
+
+/// Resolve a `use`-path first segment (or call-path head) to a crate name:
+/// `crate`/`self`/`super` stay in `current`, a segment naming an analyzed
+/// crate crosses into it, anything else (std, a module path) stays local.
+fn crate_of_segment(segment: &str, current: &str, known: &BTreeMap<String, String>) -> String {
+    match segment {
+        "crate" | "self" | "super" => current.to_string(),
+        seg => known.get(seg).cloned().unwrap_or_else(|| current.to_string()),
+    }
+}
+
+/// Resolve the callee crate for the call whose name token sits at `idx`:
+/// walk a `::`-qualified path back to its head, or fall back to the file's
+/// `use`-alias map for bare names. Method calls and unresolved names resolve
+/// to the calling crate.
+fn resolve_callee_crate(file: &SourceFile, idx: usize, known: &BTreeMap<String, String>) -> String {
+    let toks = &file.toks;
+    let current = file.crate_name.as_str();
+    // Path-qualified: `a::b::name(` — hop back over `ident::` pairs.
+    if idx >= 2 && toks[idx - 1].is_punct(':') && toks[idx - 2].is_punct(':') {
+        let mut head: Option<&str> = None;
+        let mut i = idx;
+        while i >= 3
+            && toks[i - 1].is_punct(':')
+            && toks[i - 2].is_punct(':')
+            && toks[i - 3].kind == crate::lexer::TokKind::Ident
+        {
+            head = Some(toks[i - 3].text.as_str());
+            i -= 3;
+        }
+        if let Some(head) = head {
+            // The path head itself may be a `use`-alias for another crate's
+            // module (`use quadra_core::profiler; profiler::report(..)`).
+            let seg = file.use_aliases.get(head).map(String::as_str).unwrap_or(head);
+            return crate_of_segment(seg, current, known);
+        }
+        return current.to_string();
+    }
+    // Method call: always intra-crate (by-name merge, as before).
+    if idx > 0 && toks[idx - 1].is_punct('.') {
+        return current.to_string();
+    }
+    // Bare name: the file's imports decide.
+    match file.use_aliases.get(toks[idx].text.as_str()) {
+        Some(seg) => crate_of_segment(seg, current, known),
+        None => current.to_string(),
+    }
+}
+
+/// Run the pass over every file of the workspace.
 pub fn run(files: &[&SourceFile], cfg: &AnalyzeConfig, findings: &mut Vec<Finding>) {
-    // Phase 1: per-function direct summaries, merged by name across the crate.
-    let mut summaries: BTreeMap<String, FnSummary> = BTreeMap::new();
+    let known = known_crates(files);
+    // Phase 1: per-function direct summaries, merged by (crate, name).
+    let mut summaries: BTreeMap<FnKey, FnSummary> = BTreeMap::new();
     for file in files {
         for f in &file.fns {
             if f.is_test || cfg.is_lock_helper(&f.name) || cfg.is_wait_helper(&f.name) {
                 continue;
             }
             let Some((open, close)) = f.body else { continue };
-            let direct = direct_summary(file, open, close, cfg);
-            let entry = summaries.entry(f.name.clone()).or_default();
+            let direct = direct_summary(file, open, close, cfg, &known);
+            let entry = summaries.entry((file.crate_name.clone(), f.name.clone())).or_default();
             entry.locks.extend(direct.locks);
             entry.blocks |= direct.blocks;
             entry.calls.extend(direct.calls);
         }
     }
-    // Phase 2: transitive closure over the intra-crate call graph.
+    // Phase 2: transitive closure over the workspace call graph.
     loop {
         let mut changed = false;
-        let names: Vec<String> = summaries.keys().cloned().collect();
-        for name in &names {
-            let calls: Vec<String> = summaries[name]
+        let keys: Vec<FnKey> = summaries.keys().cloned().collect();
+        for key in &keys {
+            let calls: Vec<FnKey> = summaries[key]
                 .calls
                 .iter()
-                .filter(|c| summaries.contains_key(*c) && *c != name)
+                .filter(|c| summaries.contains_key(*c) && *c != key)
                 .cloned()
                 .collect();
             for callee in calls {
                 let (locks, blocks) = (summaries[&callee].locks.clone(), summaries[&callee].blocks);
-                let entry = summaries.get_mut(name).expect("name from keys");
+                let entry = summaries.get_mut(key).expect("key from keys");
                 let before = (entry.locks.len(), entry.blocks);
                 entry.locks.extend(locks);
                 entry.blocks |= blocks;
@@ -96,7 +165,7 @@ pub fn run(files: &[&SourceFile], cfg: &AnalyzeConfig, findings: &mut Vec<Findin
                 continue;
             }
             let Some((open, close)) = f.body else { continue };
-            scan_fn(file, f.name.as_str(), open, close, cfg, &summaries, &mut edges, findings);
+            scan_fn(file, f.name.as_str(), open, close, cfg, &known, &summaries, &mut edges, findings);
         }
     }
     // Phase 4: cycle detection on the acquisition-order graph.
@@ -104,7 +173,13 @@ pub fn run(files: &[&SourceFile], cfg: &AnalyzeConfig, findings: &mut Vec<Findin
 }
 
 /// Direct (non-transitive) lock/blocking/call facts for one fn body.
-fn direct_summary(file: &SourceFile, open: usize, close: usize, cfg: &AnalyzeConfig) -> FnSummary {
+fn direct_summary(
+    file: &SourceFile,
+    open: usize,
+    close: usize,
+    cfg: &AnalyzeConfig,
+    known: &BTreeMap<String, String>,
+) -> FnSummary {
     let mut out = FnSummary::default();
     let toks = &file.toks;
     let mut i = open;
@@ -113,11 +188,11 @@ fn direct_summary(file: &SourceFile, open: usize, close: usize, cfg: &AnalyzeCon
         if t.kind == crate::lexer::TokKind::Ident && i < close && toks[i + 1].is_punct('(') {
             let name = t.text.as_str();
             if name == "lock" && i > 0 && toks[i - 1].is_punct('.') {
-                if let Some(id) = receiver_lock_id(file, i - 1, file.enclosing_fn(i)) {
+                if let Some(id) = receiver_lock_id(file, i - 1, file.enclosing_fn(i), known) {
                     out.locks.insert(id);
                 }
             } else if cfg.is_lock_helper(name) {
-                if let Some(id) = arg_lock_id(file, i + 1, close, file.enclosing_fn(i)) {
+                if let Some(id) = arg_lock_id(file, i + 1, close, file.enclosing_fn(i), known) {
                     out.locks.insert(id);
                 }
             } else if cfg.is_wait_helper(name)
@@ -125,7 +200,8 @@ fn direct_summary(file: &SourceFile, open: usize, close: usize, cfg: &AnalyzeCon
             {
                 out.blocks = true;
             } else {
-                out.calls.insert(name.to_string());
+                let callee_crate = resolve_callee_crate(file, i, known);
+                out.calls.insert((callee_crate, name.to_string()));
             }
         }
         i += 1;
@@ -142,7 +218,8 @@ fn scan_fn(
     open: usize,
     close: usize,
     cfg: &AnalyzeConfig,
-    summaries: &BTreeMap<String, FnSummary>,
+    known: &BTreeMap<String, String>,
+    summaries: &BTreeMap<FnKey, FnSummary>,
     edges: &mut BTreeMap<(String, String), Edge>,
     findings: &mut Vec<Finding>,
 ) {
@@ -181,9 +258,9 @@ fn scan_fn(
             let is_method = i > 0 && toks[i - 1].is_punct('.');
             // Acquisition: `.lock()` or `lock_or_recover(&...)`.
             let acquired = if name == "lock" && is_method {
-                receiver_lock_id(file, i - 1, file.enclosing_fn(i))
+                receiver_lock_id(file, i - 1, file.enclosing_fn(i), known)
             } else if cfg.is_lock_helper(name) && !is_method {
-                arg_lock_id(file, i + 1, close, file.enclosing_fn(i))
+                arg_lock_id(file, i + 1, close, file.enclosing_fn(i), known)
             } else {
                 None
             };
@@ -248,9 +325,11 @@ fn scan_fn(
                 i += 2;
                 continue;
             }
-            // Intra-crate call: propagate transitive locks and blocking.
+            // Resolved call (possibly cross-crate): propagate transitive
+            // locks and blocking.
             if name != fn_name {
-                if let Some(summary) = summaries.get(name) {
+                let callee = (resolve_callee_crate(file, i, known), name.to_string());
+                if let Some(summary) = summaries.get(&callee) {
                     if !held.is_empty() {
                         for g in &held {
                             for lock in &summary.locks {
@@ -296,15 +375,37 @@ fn finding(file: &SourceFile, check: &str, line: u32, message: String) -> Findin
     }
 }
 
+/// The crate a lock path belongs to. An explicit `::` path head
+/// (`quadra_core::CORE_LOCK.lock()`) pins it; otherwise a bare head that the
+/// file imported from another crate (`use quadra_core::CORE_LOCK`) resolves
+/// through the use-alias map; anything else is local.
+fn lock_crate(
+    file: &SourceFile,
+    path_head: Option<&str>,
+    chain_head: &str,
+    known: &BTreeMap<String, String>,
+) -> String {
+    let seg = match path_head {
+        Some(h) => file.use_aliases.get(h).map(String::as_str).unwrap_or(h),
+        None => match file.use_aliases.get(chain_head) {
+            Some(s) => s.as_str(),
+            None => return file.crate_name.clone(),
+        },
+    };
+    crate_of_segment(seg, &file.crate_name, known)
+}
+
 /// Canonical lock id for the receiver chain ending at the `.` before `lock`.
 /// Returns `None` when the receiver is not a simple path (e.g. a call result).
 fn receiver_lock_id(
     file: &SourceFile,
     dot_idx: usize,
     enclosing: Option<&crate::source::FnInfo>,
+    known: &BTreeMap<String, String>,
 ) -> Option<String> {
     let toks = &file.toks;
     let mut chain: Vec<String> = Vec::new();
+    let mut head_idx = dot_idx;
     let mut i = dot_idx; // points at the `.`
     loop {
         if i == 0 {
@@ -313,6 +414,7 @@ fn receiver_lock_id(
         let prev = &toks[i - 1];
         if prev.kind == crate::lexer::TokKind::Ident {
             chain.push(prev.text.clone());
+            head_idx = i - 1;
             if i >= 2 && toks[i - 2].is_punct('.') {
                 i -= 2;
                 continue;
@@ -324,7 +426,19 @@ fn receiver_lock_id(
         return None;
     }
     chain.reverse();
-    Some(canonical_id(&chain, enclosing))
+    // A `::`-qualified head (`quadra_core::CORE_LOCK.lock()`) pins the crate.
+    let mut path_head: Option<&str> = None;
+    let mut h = head_idx;
+    while h >= 3
+        && toks[h - 1].is_punct(':')
+        && toks[h - 2].is_punct(':')
+        && toks[h - 3].kind == crate::lexer::TokKind::Ident
+    {
+        h -= 3;
+        path_head = Some(toks[h].text.as_str());
+    }
+    let krate = lock_crate(file, path_head, &chain[0], known);
+    Some(canonical_id(&chain, enclosing, &krate))
 }
 
 /// Lock id for the first argument of a `lock_or_recover(&path)` call.
@@ -334,13 +448,25 @@ fn arg_lock_id(
     open_paren: usize,
     close: usize,
     enclosing: Option<&crate::source::FnInfo>,
+    known: &BTreeMap<String, String>,
 ) -> Option<String> {
     let toks = &file.toks;
     let mut chain: Vec<String> = Vec::new();
+    let mut path_head: Option<String> = None;
     let mut i = open_paren + 1;
     while i <= close && !toks[i].is_punct(',') && !toks[i].is_punct(')') {
         let t = &toks[i];
         if t.is_punct('&') || t.is_ident("mut") || t.is_punct('.') {
+            i += 1;
+            continue;
+        }
+        if t.is_punct(':') {
+            // `::` path separator: what came before is a module path prefix,
+            // not part of the dotted lock chain. Remember its head.
+            if path_head.is_none() {
+                path_head = chain.first().cloned();
+            }
+            chain.clear();
             i += 1;
             continue;
         }
@@ -354,22 +480,28 @@ fn arg_lock_id(
     if chain.is_empty() {
         return None;
     }
-    Some(canonical_id(&chain, enclosing))
+    let krate = lock_crate(file, path_head.as_deref(), &chain[0], known);
+    Some(canonical_id(&chain, enclosing, &krate))
 }
 
-fn canonical_id(chain: &[String], enclosing: Option<&crate::source::FnInfo>) -> String {
+/// Crate-qualified canonical lock identity: `{crate}::ImplType.field` for
+/// `self.` receivers, `{crate}::NAME` for UPPERCASE statics, and the
+/// crate-qualified dotted chain otherwise. Qualification keeps identically
+/// named locks in different crates distinct while letting every edge of the
+/// workspace-wide graph share one namespace.
+fn canonical_id(chain: &[String], enclosing: Option<&crate::source::FnInfo>, krate: &str) -> String {
     if chain[0] == "self" {
         let base = enclosing
             .and_then(|f| f.impl_type.clone())
             .or_else(|| enclosing.map(|f| f.name.clone()))
             .unwrap_or_else(|| "self".to_string());
         let field = chain.last().filter(|_| chain.len() > 1).cloned().unwrap_or_else(|| "self".to_string());
-        return format!("{base}.{field}");
+        return format!("{krate}::{base}.{field}");
     }
     if chain.len() == 1 && chain[0].chars().all(|c| c.is_ascii_uppercase() || c == '_') {
-        return chain[0].clone();
+        return format!("{krate}::{}", chain[0]);
     }
-    chain.join(".")
+    format!("{krate}::{}", chain.join("."))
 }
 
 /// The guard argument (index 1) of a `wait_or_recover(&cv, guard, ...)` call.

@@ -4,7 +4,10 @@
 //! [`SourceFile`]: crate::source::SourceFile
 //! [`Finding`]: crate::report::Finding
 
+pub mod atomics;
 pub mod clock;
+pub mod condvar;
+pub mod hot_alloc;
 pub mod lock_order;
 pub mod must_use;
 pub mod panic_path;

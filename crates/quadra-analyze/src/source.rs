@@ -1,8 +1,15 @@
 //! Structural model of one source file: the token stream plus extracted
 //! function spans, enclosing `impl` types, `#[cfg(test)]`/`#[test]` regions,
-//! and parsed `// quadra-analyze: allow(...)` suppression directives.
+//! per-file `use`-alias maps (for cross-crate call resolution), and parsed
+//! `// quadra-analyze: allow(...)` suppression directives.
 
 use crate::lexer::{lex, LineComment, Tok, TokKind};
+use std::collections::BTreeMap;
+
+/// Every pass name a suppression directive may target. Also feeds the
+/// incremental-cache fingerprint: adding a pass invalidates cached runs.
+pub const PASSES: [&str; 8] =
+    ["lock_order", "panic_path", "clock", "must_use", "atomics", "condvar", "hot_alloc", "suppression"];
 
 /// A parsed suppression directive.
 ///
@@ -69,6 +76,12 @@ pub struct SourceFile {
     pub fns: Vec<FnInfo>,
     /// Per-token flag: true when the token is inside test-only code.
     pub test_mask: Vec<bool>,
+    /// Names importable in this file mapped to the first segment of their
+    /// `use` path (`use quadra_core::MemoryProfiler` → `MemoryProfiler` ↦
+    /// `quadra_core`; `use crate::sync::lock_or_recover` → ↦ `crate`).
+    /// `as` renames map the alias, grouped trees are flattened, globs are
+    /// ignored (conservative: unresolvable names stay intra-crate).
+    pub use_aliases: BTreeMap<String, String>,
 }
 
 impl SourceFile {
@@ -78,6 +91,7 @@ impl SourceFile {
         let test_mask = compute_test_mask(&lexed.toks);
         let fns = extract_fns(&lexed.toks, &test_mask);
         let (suppressions, bad_suppressions) = parse_suppressions(&lexed.comments, &lexed.toks, &fns);
+        let use_aliases = extract_use_aliases(&lexed.toks);
         SourceFile {
             path: path.to_string(),
             crate_name: crate_name.to_string(),
@@ -87,6 +101,7 @@ impl SourceFile {
             bad_suppressions,
             fns,
             test_mask,
+            use_aliases,
         }
     }
 
@@ -107,6 +122,84 @@ impl SourceFile {
     pub fn line_text(&self, line: u32) -> &str {
         self.lines.get(line.saturating_sub(1) as usize).map(|s| s.trim()).unwrap_or("")
     }
+}
+
+/// Collect every `use` declaration's bindings: the name each import makes
+/// available in this file, mapped to the first segment of its path. Handles
+/// plain paths, `as` renames, and (nested) `{...}` group trees; `*` globs are
+/// skipped — a glob-imported name simply resolves intra-crate, which only
+/// under-approximates the cross-crate call graph, never mis-attributes.
+fn extract_use_aliases(toks: &[Tok]) -> BTreeMap<String, String> {
+    let mut out = BTreeMap::new();
+    let mut i = 0usize;
+    while i < toks.len() {
+        if toks[i].is_ident("use") {
+            i = parse_use_tree(toks, i + 1, None, &mut out);
+        } else {
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Parse one `use` tree starting at `i`, recording bindings under
+/// `first_segment` (the root of the path so far, `None` at the top level).
+/// Returns the index just past the tree.
+fn parse_use_tree(
+    toks: &[Tok],
+    mut i: usize,
+    first_segment: Option<&str>,
+    out: &mut BTreeMap<String, String>,
+) -> usize {
+    // A brace group: each comma-separated entry restarts under the same root.
+    if i < toks.len() && toks[i].is_punct('{') {
+        i += 1;
+        while i < toks.len() && !toks[i].is_punct('}') {
+            i = parse_use_tree(toks, i, first_segment, out);
+            if i < toks.len() && toks[i].is_punct(',') {
+                i += 1;
+            }
+        }
+        return (i + 1).min(toks.len());
+    }
+    // A simple path: `seg(::seg)*`, possibly ending in `::{...}`, `::*`, or
+    // `as alias`.
+    let mut first = first_segment.map(|s| s.to_string());
+    let mut leaf: Option<String> = None;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.kind == TokKind::Ident && !t.is_ident("as") {
+            if first.is_none() {
+                first = Some(t.text.clone());
+            }
+            leaf = Some(t.text.clone());
+            i += 1;
+            continue;
+        }
+        if t.is_punct(':') && i + 1 < toks.len() && toks[i + 1].is_punct(':') {
+            i += 2;
+            if i < toks.len() && toks[i].is_punct('{') {
+                return parse_use_tree(toks, i, first.as_deref(), out);
+            }
+            if i < toks.len() && toks[i].is_punct('*') {
+                return i + 1; // glob: nothing to record
+            }
+            continue;
+        }
+        if t.is_ident("as") && i + 1 < toks.len() && toks[i + 1].kind == TokKind::Ident {
+            leaf = Some(toks[i + 1].text.clone());
+            i += 2;
+            continue;
+        }
+        break; // `;`, `,`, `}` — end of this tree
+    }
+    if let (Some(first), Some(leaf)) = (first, leaf) {
+        out.insert(leaf, first);
+    }
+    if i < toks.len() && toks[i].is_punct(';') {
+        i += 1;
+    }
+    i
 }
 
 /// Mark every token covered by `#[cfg(test)]` items or `#[test]` functions.
@@ -379,7 +472,6 @@ fn parse_suppressions(
             Some((p, ch)) => (p.trim().to_string(), Some(ch.trim().to_string())),
             None => (target.to_string(), None),
         };
-        const PASSES: [&str; 5] = ["lock_order", "panic_path", "clock", "must_use", "suppression"];
         if !PASSES.contains(&pass.as_str()) {
             bad.push(BadSuppression { line: c.line, problem: format!("unknown pass `{pass}`") });
             continue;
@@ -480,6 +572,23 @@ mod tests {
         let f = SourceFile::parse("x.rs", "c", src);
         assert!(f.fns[0].body.is_some());
         assert_eq!(f.fns[0].end_line, 4);
+    }
+
+    #[test]
+    fn use_aliases_cover_plain_renamed_and_grouped_imports() {
+        let src = "use quadra_core::MemoryProfiler;\n\
+                   use crate::sync::lock_or_recover;\n\
+                   use other_crate::module::thing as renamed;\n\
+                   use std::sync::{Arc, Mutex, atomic::{AtomicU64, Ordering}};\n\
+                   use quadra_nn::*;\n";
+        let f = SourceFile::parse("x.rs", "c", src);
+        assert_eq!(f.use_aliases.get("MemoryProfiler").map(String::as_str), Some("quadra_core"));
+        assert_eq!(f.use_aliases.get("lock_or_recover").map(String::as_str), Some("crate"));
+        assert_eq!(f.use_aliases.get("renamed").map(String::as_str), Some("other_crate"));
+        assert_eq!(f.use_aliases.get("Arc").map(String::as_str), Some("std"));
+        assert_eq!(f.use_aliases.get("Ordering").map(String::as_str), Some("std"));
+        assert!(!f.use_aliases.contains_key("thing"), "`as` maps the alias, not the original leaf");
+        assert!(!f.use_aliases.values().any(|v| v == "quadra_nn"), "globs record nothing");
     }
 
     #[test]

@@ -129,7 +129,8 @@ fn second() {
 #[test]
 fn lock_graphs_are_per_crate() {
     // The same opposite orders split across two crates must NOT form a cycle:
-    // the acquisition graph is per-crate.
+    // the graph is workspace-wide, but lock identities are crate-qualified,
+    // so identically named statics in different crates never alias.
     let ab = r#"
 static A_LOCK: std::sync::Mutex<u32> = std::sync::Mutex::new(0);
 static B_LOCK: std::sync::Mutex<u32> = std::sync::Mutex::new(0);
@@ -574,4 +575,460 @@ pub fn redeem(t: Ticket) -> Option<u32> {
     assert!(report.findings.is_empty(), "got {:?}", unsuppressed(&report));
     assert!(report.unused_suppressions.is_empty());
     assert_eq!(report.files_analyzed, 1);
+}
+
+// ---------------------------------------------------- cross-crate lock_order
+
+#[test]
+fn cross_crate_cycle_via_path_qualified_call_is_detected() {
+    // core locks B; serve locks A then calls core::take_b by path. A second
+    // serve fn locks B_LOCK cross-crate? No — cycle forms via serve's own
+    // A-after-B order against the A->B order reached through the call.
+    let core = r#"
+pub static CORE_LOCK: std::sync::Mutex<u32> = std::sync::Mutex::new(0);
+
+pub fn take_core() {
+    let g = CORE_LOCK.lock();
+    drop(g);
+}
+"#;
+    let serve = r#"
+static SERVE_LOCK: std::sync::Mutex<u32> = std::sync::Mutex::new(0);
+
+fn forward() {
+    let a = SERVE_LOCK.lock();
+    fix_core::take_core();
+    drop(a);
+}
+
+fn backward() {
+    let b = fix_core::CORE_LOCK.lock();
+    let a = SERVE_LOCK.lock();
+    drop(a);
+    drop(b);
+}
+"#;
+    let report = analyze(
+        &[("crates/fix-core/src/lib.rs", core), ("crates/fix-serve/src/lib.rs", serve)],
+        &AnalyzeConfig::default(),
+    );
+    let found = unsuppressed(&report);
+    assert_eq!(found, vec![("lock_order".to_string(), "cycle".to_string())], "got {found:?}");
+    let msg = &report.findings[0].message;
+    assert!(
+        msg.contains("fix-serve::SERVE_LOCK") && msg.contains("fix-core::CORE_LOCK"),
+        "cycle names crate-qualified locks: {msg}"
+    );
+}
+
+#[test]
+fn cross_crate_cycle_via_use_alias_is_detected() {
+    // The callee is imported with `use`, so the call site is a bare name;
+    // resolution must go through the file's use-alias map.
+    let core = r#"
+pub static CORE_LOCK: std::sync::Mutex<u32> = std::sync::Mutex::new(0);
+
+pub fn take_core() {
+    let g = CORE_LOCK.lock();
+    drop(g);
+}
+"#;
+    let serve = r#"
+use fix_core::{take_core, CORE_LOCK};
+
+static SERVE_LOCK: std::sync::Mutex<u32> = std::sync::Mutex::new(0);
+
+fn forward() {
+    let a = SERVE_LOCK.lock();
+    take_core();
+    drop(a);
+}
+
+fn backward() {
+    let b = CORE_LOCK.lock();
+    let a = SERVE_LOCK.lock();
+    drop(a);
+    drop(b);
+}
+"#;
+    let report = analyze(
+        &[("crates/fix-core/src/lib.rs", core), ("crates/fix-serve/src/lib.rs", serve)],
+        &AnalyzeConfig::default(),
+    );
+    assert_eq!(unsuppressed(&report), vec![("lock_order".to_string(), "cycle".to_string())]);
+}
+
+#[test]
+fn lock_held_across_blocking_cross_crate_callee_is_detected() {
+    // The blocking op lives in another crate; the caller holds a lock across
+    // the call, which must surface through the cross-crate summary.
+    let core = r#"
+pub fn drain(rx: &std::sync::mpsc::Receiver<u32>) {
+    let _ = rx.recv();
+}
+"#;
+    let serve = r#"
+static SERVE_LOCK: std::sync::Mutex<u32> = std::sync::Mutex::new(0);
+
+fn pump(rx: &std::sync::mpsc::Receiver<u32>) {
+    let g = SERVE_LOCK.lock();
+    fix_core::drain(rx);
+    drop(g);
+}
+"#;
+    let report = analyze(
+        &[("crates/fix-core/src/lib.rs", core), ("crates/fix-serve/src/lib.rs", serve)],
+        &AnalyzeConfig::default(),
+    );
+    let found = unsuppressed(&report);
+    assert_eq!(found, vec![("lock_order".to_string(), "held-across-blocking".to_string())], "got {found:?}");
+    assert!(report.findings[0].message.contains("drain"), "{}", report.findings[0].message);
+}
+
+#[test]
+fn same_named_fns_in_different_crates_do_not_merge() {
+    // Both crates define `refresh`, but only core's blocks. serve calling its
+    // OWN refresh under a lock must stay clean — by-name merging across
+    // crates would be a false positive.
+    let core = r#"
+pub fn refresh(rx: &std::sync::mpsc::Receiver<u32>) {
+    let _ = rx.recv();
+}
+"#;
+    let serve = r#"
+static SERVE_LOCK: std::sync::Mutex<u32> = std::sync::Mutex::new(0);
+
+fn refresh() {
+    let x = 1;
+    drop(x);
+}
+
+fn tick() {
+    let g = SERVE_LOCK.lock();
+    refresh();
+    drop(g);
+}
+"#;
+    let report = analyze(
+        &[("crates/fix-core/src/lib.rs", core), ("crates/fix-serve/src/lib.rs", serve)],
+        &AnalyzeConfig::default(),
+    );
+    assert!(unsuppressed(&report).is_empty(), "got {:?}", unsuppressed(&report));
+}
+
+// ------------------------------------------------------------------- atomics
+
+/// Config enabling the atomics pass for the fixture crate.
+fn atomics_cfg() -> AnalyzeConfig {
+    AnalyzeConfig { atomics_crates: vec!["fixture".to_string()], ..AnalyzeConfig::default() }
+}
+
+#[test]
+fn load_then_store_on_same_cell_is_an_rmw_finding() {
+    let src = r#"
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn ewma(cell: &AtomicU64, sample: u64) {
+    let old = cell.load(Ordering::Relaxed);
+    let next = (3 * old + sample) / 4;
+    cell.store(next, Ordering::Relaxed);
+}
+"#;
+    let report = analyze(&[("crates/fixture/src/lib.rs", src)], &atomics_cfg());
+    let found = unsuppressed(&report);
+    assert_eq!(found, vec![("atomics".to_string(), "rmw".to_string())], "got {found:?}");
+    assert!(report.findings[0].message.contains("cell"), "{}", report.findings[0].message);
+}
+
+#[test]
+fn fetch_update_is_clean_and_stronger_orderings_do_not_hide_rmw() {
+    // The sanctioned fix — a single RMW — is clean; SeqCst load+store is
+    // still a lost-update window and still fires.
+    let fixed = r#"
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn ewma(cell: &AtomicU64, sample: u64) {
+    let _ = cell.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |old| Some((3 * old + sample) / 4));
+}
+"#;
+    let report = analyze(&[("crates/fixture/src/lib.rs", fixed)], &atomics_cfg());
+    assert!(unsuppressed(&report).is_empty(), "got {:?}", unsuppressed(&report));
+
+    let seqcst = r#"
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn bump(cell: &AtomicU64) {
+    let old = cell.load(Ordering::SeqCst);
+    cell.store(old + 1, Ordering::SeqCst);
+}
+"#;
+    let report = analyze(&[("crates/fixture/src/lib.rs", seqcst)], &atomics_cfg());
+    assert_eq!(unsuppressed(&report), vec![("atomics".to_string(), "rmw".to_string())]);
+}
+
+#[test]
+fn distinct_cells_do_not_pair_into_rmw() {
+    let src = r#"
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn shuffle(a: &AtomicU64, b: &AtomicU64) {
+    let x = a.load(Ordering::Acquire);
+    b.store(x, Ordering::Release);
+}
+"#;
+    let report = analyze(&[("crates/fixture/src/lib.rs", src)], &atomics_cfg());
+    assert!(unsuppressed(&report).is_empty(), "got {:?}", unsuppressed(&report));
+}
+
+#[test]
+fn relaxed_fetch_add_fires_and_acqrel_is_clean() {
+    let relaxed = r#"
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn next_id(counter: &AtomicU64) -> u64 {
+    counter.fetch_add(1, Ordering::Relaxed)
+}
+"#;
+    let report = analyze(&[("crates/fixture/src/lib.rs", relaxed)], &atomics_cfg());
+    assert_eq!(unsuppressed(&report), vec![("atomics".to_string(), "relaxed-fetch".to_string())]);
+
+    let acqrel = r#"
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn next_id(counter: &AtomicU64) -> u64 {
+    counter.fetch_add(1, Ordering::AcqRel)
+}
+"#;
+    let report = analyze(&[("crates/fixture/src/lib.rs", acqrel)], &atomics_cfg());
+    assert!(unsuppressed(&report).is_empty(), "got {:?}", unsuppressed(&report));
+}
+
+#[test]
+fn atomics_pass_is_scoped_to_configured_crates_and_suppressible() {
+    let src = r#"
+use std::sync::atomic::{AtomicU64, Ordering};
+
+fn next_id(counter: &AtomicU64) -> u64 {
+    counter.fetch_add(1, Ordering::Relaxed)
+}
+"#;
+    // Unconfigured crate: silent.
+    let report = analyze(&[("crates/other/src/lib.rs", src)], &atomics_cfg());
+    assert!(unsuppressed(&report).is_empty());
+    // Configured crate, reasoned allowlist directive: suppressed, not gone.
+    let allowed = r#"
+use std::sync::atomic::{AtomicU64, Ordering};
+
+// quadra-analyze: allow(atomics:relaxed-fetch, ids are a monotonic counter; nothing is published through them)
+fn next_id(counter: &AtomicU64) -> u64 {
+    counter.fetch_add(1, Ordering::Relaxed)
+}
+"#;
+    let report = analyze(&[("crates/fixture/src/lib.rs", allowed)], &atomics_cfg());
+    assert!(unsuppressed(&report).is_empty(), "got {:?}", unsuppressed(&report));
+    assert_eq!(report.suppressed_count(), 1);
+}
+
+// ------------------------------------------------------------------- condvar
+
+/// Config enabling the condvar pass for the fixture crate, with the
+/// workspace's wait-helper names registered.
+fn condvar_cfg() -> AnalyzeConfig {
+    AnalyzeConfig {
+        condvar_crates: vec!["fixture".to_string()],
+        wait_helpers: vec!["wait_or_recover".to_string()],
+        ..AnalyzeConfig::default()
+    }
+}
+
+#[test]
+fn bare_wait_outside_a_loop_is_a_finding() {
+    let src = r#"
+use std::sync::{Condvar, Mutex};
+
+static CV: Condvar = Condvar::new();
+static M: Mutex<bool> = Mutex::new(false);
+
+fn sleep_once() {
+    let g = M.lock().unwrap();
+    let g = CV.wait(g).unwrap();
+    drop(g);
+}
+"#;
+    let report = analyze(&[("crates/fixture/src/lib.rs", src)], &condvar_cfg());
+    assert_eq!(unsuppressed(&report), vec![("condvar".to_string(), "wait-not-in-loop".to_string())]);
+}
+
+#[test]
+fn wait_inside_while_or_loop_is_clean_but_if_guard_fires() {
+    let clean = r#"
+use std::sync::{Condvar, Mutex};
+
+static CV: Condvar = Condvar::new();
+static M: Mutex<bool> = Mutex::new(false);
+
+fn wait_ready() {
+    let mut g = M.lock().unwrap();
+    while !*g {
+        g = CV.wait(g).unwrap();
+    }
+    drop(g);
+}
+
+fn wait_loop() {
+    let mut g = M.lock().unwrap();
+    loop {
+        if *g { break; }
+        g = CV.wait(g).unwrap();
+    }
+    drop(g);
+}
+"#;
+    let report = analyze(&[("crates/fixture/src/lib.rs", clean)], &condvar_cfg());
+    assert!(unsuppressed(&report).is_empty(), "got {:?}", unsuppressed(&report));
+
+    // An `if`-guarded wait is exactly the spurious-wakeup bug.
+    let if_guarded = r#"
+use std::sync::{Condvar, Mutex};
+
+static CV: Condvar = Condvar::new();
+static M: Mutex<bool> = Mutex::new(false);
+
+fn wait_maybe() {
+    let g = M.lock().unwrap();
+    if !*g {
+        let g2 = CV.wait(g).unwrap();
+        drop(g2);
+    }
+}
+"#;
+    let report = analyze(&[("crates/fixture/src/lib.rs", if_guarded)], &condvar_cfg());
+    assert_eq!(unsuppressed(&report), vec![("condvar".to_string(), "wait-not-in-loop".to_string())]);
+}
+
+#[test]
+fn configured_wait_helper_outside_a_loop_is_a_finding() {
+    let src = r#"
+use std::sync::{Condvar, Mutex, MutexGuard};
+
+fn pause(cv: &Condvar, m: &Mutex<bool>) {
+    let g = m.lock().unwrap();
+    let g = wait_or_recover(cv, g);
+    drop(g);
+}
+"#;
+    let report = analyze(&[("crates/fixture/src/lib.rs", src)], &condvar_cfg());
+    let found = unsuppressed(&report);
+    assert_eq!(found, vec![("condvar".to_string(), "wait-not-in-loop".to_string())], "got {found:?}");
+    assert!(report.findings[0].message.contains("wait_or_recover"));
+}
+
+#[test]
+fn condvar_pass_is_scoped_to_configured_crates() {
+    let src = r#"
+use std::sync::{Condvar, Mutex};
+
+static CV: Condvar = Condvar::new();
+static M: Mutex<bool> = Mutex::new(false);
+
+fn sleep_once() {
+    let g = M.lock().unwrap();
+    let g = CV.wait(g).unwrap();
+    drop(g);
+}
+"#;
+    let report = analyze(&[("crates/other/src/lib.rs", src)], &condvar_cfg());
+    assert!(unsuppressed(&report).is_empty(), "got {:?}", unsuppressed(&report));
+}
+
+// ----------------------------------------------------------------- hot_alloc
+
+/// Config designating `src/hot.rs` as a per-request hot-path file.
+fn hot_alloc_cfg() -> AnalyzeConfig {
+    AnalyzeConfig {
+        hot_alloc_paths: vec!["src/hot.rs".to_string()],
+        hot_alloc_payload_idents: vec!["request".to_string(), "payload".to_string()],
+        ..AnalyzeConfig::default()
+    }
+}
+
+#[test]
+fn all_three_hot_alloc_checks_fire_in_a_designated_file() {
+    let src = r#"
+struct Request { payload: Vec<f32>, tag: String }
+
+fn handle(request: &Request) -> (Vec<f32>, String, Vec<u32>) {
+    let mut out = Vec::new();
+    out.push(1.0);
+    let label = format!("req-{}", request.tag);
+    let copied = request.payload.clone();
+    let empty = vec![];
+    (copied, label, empty)
+}
+"#;
+    let report = analyze(&[("crates/fixture/src/hot.rs", src)], &hot_alloc_cfg());
+    let mut found = unsuppressed(&report);
+    found.sort();
+    assert_eq!(
+        found,
+        vec![
+            ("hot_alloc".to_string(), "format".to_string()),
+            ("hot_alloc".to_string(), "payload-clone".to_string()),
+            ("hot_alloc".to_string(), "vec-new".to_string()),
+            ("hot_alloc".to_string(), "vec-new".to_string()),
+        ],
+        "got {found:?}"
+    );
+}
+
+#[test]
+fn presized_and_moving_twin_is_clean() {
+    // Same logic with the sanctioned shapes: with_capacity, no format!,
+    // ownership moved instead of cloned.
+    let src = r#"
+struct Request { payload: Vec<f32>, tag: String }
+
+fn handle(request: Request) -> (Vec<f32>, String, Vec<u32>) {
+    let mut out = Vec::with_capacity(4);
+    out.push(1.0);
+    let label = request.tag;
+    let moved = request.payload;
+    let empty = Vec::with_capacity(0);
+    (moved, label, empty)
+}
+"#;
+    let report = analyze(&[("crates/fixture/src/hot.rs", src)], &hot_alloc_cfg());
+    assert!(unsuppressed(&report).is_empty(), "got {:?}", unsuppressed(&report));
+}
+
+#[test]
+fn hot_alloc_is_silent_outside_designated_files() {
+    let src = r#"
+fn build() -> Vec<u32> {
+    let mut v = Vec::new();
+    v.push(1);
+    v
+}
+"#;
+    let report = analyze(&[("crates/fixture/src/cold.rs", src)], &hot_alloc_cfg());
+    assert!(unsuppressed(&report).is_empty(), "got {:?}", unsuppressed(&report));
+}
+
+#[test]
+fn non_payload_clones_are_allowed_and_suppressions_are_honored() {
+    let src = r#"
+struct Request { payload: Vec<f32> }
+
+fn handle(request: &Request, name: &String) -> String {
+    // A clone of non-payload data is fine.
+    let n = name.clone();
+    // quadra-analyze: allow(hot_alloc:payload-clone, replay buffer needs its own copy by design)
+    let p = request.payload.clone();
+    drop(p);
+    n
+}
+"#;
+    let report = analyze(&[("crates/fixture/src/hot.rs", src)], &hot_alloc_cfg());
+    assert!(unsuppressed(&report).is_empty(), "got {:?}", unsuppressed(&report));
+    assert_eq!(report.suppressed_count(), 1);
 }

@@ -210,7 +210,8 @@ impl AdmissionQueue {
     ) -> TakeResult {
         let mut st = lock_or_recover(&self.state);
         loop {
-            let mut taken = Vec::new();
+            // Requests carry ≥1 sample each, so `max_samples` bounds the take.
+            let mut taken = Vec::with_capacity(max_samples.min(16));
             let mut budget = max_samples;
             for class in 0..Priority::COUNT {
                 let queue = &mut st.classes[class];
@@ -221,7 +222,7 @@ impl AdmissionQueue {
                     .filter(|&i| compat_key(queue[i].input.shape(), pad_mixed_spatial) == key)
                     .collect();
                 order.sort_by_key(|&i| (queue[i].deadline.is_none(), queue[i].deadline, i));
-                let mut chosen = Vec::new();
+                let mut chosen = Vec::with_capacity(order.len());
                 for &i in &order {
                     if queue[i].samples <= budget {
                         budget -= queue[i].samples;
@@ -232,22 +233,21 @@ impl AdmissionQueue {
                     }
                 }
                 // Extract by descending index so earlier removals don't
-                // shift later ones, then restore the EDF take order.
-                let mut desc = chosen.clone();
-                desc.sort_unstable_by(|a, b| b.cmp(a));
+                // shift later ones, remembering each request's EDF rank so
+                // the take order can be restored without re-searching.
+                let mut desc: Vec<(usize, usize)> =
+                    chosen.iter().copied().enumerate().map(|(rank, i)| (i, rank)).collect();
+                desc.sort_unstable_by_key(|&(i, _)| std::cmp::Reverse(i));
                 let mut extracted: Vec<(usize, PendingInfer)> = Vec::with_capacity(desc.len());
                 let mut removed_samples = 0;
-                for i in desc {
+                for (i, rank) in desc {
                     if let Some(req) = queue.remove(i) {
                         removed_samples += req.samples;
-                        extracted.push((i, req));
+                        extracted.push((rank, req));
                     }
                 }
-                for &i in &chosen {
-                    if let Some(pos) = extracted.iter().position(|&(j, _)| j == i) {
-                        taken.push(extracted.swap_remove(pos).1);
-                    }
-                }
+                extracted.sort_unstable_by_key(|&(rank, _)| rank);
+                taken.extend(extracted.into_iter().map(|(_, req)| req));
                 st.queued_samples[class] -= removed_samples;
                 if budget == 0 {
                     break;

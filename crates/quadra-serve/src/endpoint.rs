@@ -13,10 +13,16 @@ use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// EWMA smoothing: `new = (3 * old + sample) / 4`.
+///
+/// A single atomic read-modify-write: multiple workers feed `ewma_batch_us`
+/// concurrently, and a separate load-then-store here would let two updates
+/// race and silently drop one sample.
 fn ewma_update(cell: &AtomicU64, sample_us: u64) {
-    let old = cell.load(Ordering::Relaxed);
-    let next = if old == 0 { sample_us.max(1) } else { (3 * old + sample_us) / 4 };
-    cell.store(next.max(1), Ordering::Relaxed);
+    // quadra-analyze: allow(must_use, fetch_update with a Some-returning closure cannot fail)
+    let _ = cell.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |old| {
+        let next = if old == 0 { sample_us.max(1) } else { (3 * old + sample_us) / 4 };
+        Some(next.max(1))
+    });
 }
 
 /// Shared state of one model endpoint; the admission layer, worker pool, and
@@ -69,6 +75,7 @@ impl EndpointShared {
     /// admission error (bad input, overload shed, shutting down).
     pub fn submit(&self, id: u64, request: Request) -> Result<ResponseHandle, ServeError> {
         if request.input.ndim() < 2 {
+            // quadra-analyze: allow(hot_alloc:format, reject path: runs once per malformed request, never on admitted traffic)
             return Err(ServeError::BadInput(format!(
                 "input must have a leading sample axis (got {}-d; wrap a single sample as [1, ...])",
                 request.input.ndim()

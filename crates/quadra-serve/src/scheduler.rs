@@ -85,6 +85,7 @@ pub(crate) fn assemble(requests: &[PendingInfer]) -> Result<(Tensor, Vec<usize>)
     if !needs_padding {
         let refs: Vec<&Tensor> = requests.iter().map(|r| &r.input).collect();
         let batch = Tensor::concat(&refs, 0)
+            // quadra-analyze: allow(hot_alloc:format, error path: compat_key guarantees concat succeeds for admitted batches)
             .map_err(|e| ServeError::WorkerFailed(format!("batch assembly failed: {e}")))?;
         return Ok((batch, counts));
     }
@@ -230,7 +231,9 @@ impl FleetScheduler {
     pub fn new() -> Self {
         let max_parallel = std::thread::available_parallelism().map(|n| n.get() as u32).unwrap_or(1).max(1);
         FleetScheduler {
-            state: Mutex::new(FleetState { members: Vec::new(), executing: 0 }),
+            // Pre-size for a typical router: registration is cold, but the
+            // members vec is cloned into every arbitration snapshot.
+            state: Mutex::new(FleetState { members: Vec::with_capacity(8), executing: 0 }),
             settled: Condvar::new(),
             next_batch_id: AtomicU64::new(0),
             max_parallel,
@@ -254,6 +257,7 @@ impl FleetScheduler {
     }
 
     /// Fleet-unique id for the next batch.
+    // quadra-analyze: allow(atomics:relaxed-fetch, batch ids are a monotonic counter; no memory is published through them)
     pub fn next_batch_id(&self) -> u64 {
         self.next_batch_id.fetch_add(1, Ordering::Relaxed)
     }
@@ -402,7 +406,10 @@ pub(crate) fn next_batch(shared: &EndpointShared) -> Option<(Batch, GrantGuard)>
 
         let key = compat_key(first.input.shape(), policy.pad_mixed_spatial);
         let mut samples = first.samples;
-        let mut requests = vec![first];
+        // Batch assembly runs per batch on the hot path; size for the cap so
+        // pushes below never reallocate.
+        let mut requests = Vec::with_capacity(policy.max_batch_size);
+        requests.push(first);
         if samples < policy.max_batch_size {
             let deadline = Instant::now() + shared.wait_budget(samples);
             while samples < policy.max_batch_size {

@@ -258,6 +258,7 @@ impl RouterClient {
     pub fn send(&self, model: &str, request: Request) -> Result<ResponseHandle, ServeError> {
         let endpoint =
             self.endpoints.get(model).ok_or_else(|| ServeError::UnknownModel(model.to_string()))?;
+        // quadra-analyze: allow(atomics:relaxed-fetch, request ids are a monotonic counter; no memory is published through them)
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         endpoint.submit(id, request)
     }
@@ -275,6 +276,7 @@ impl RouterClient {
 
     /// Submit at [`Priority::Interactive`] and block until the response arrives.
     pub fn infer(&self, model: &str, input: Tensor) -> Result<InferResponse, ServeError> {
+        // quadra-analyze: allow(condvar:wait-not-in-loop, ResponseHandle::wait is a one-shot channel join, not a condvar wait)
         self.send(model, Request::new(input))?.wait()
     }
 
@@ -375,6 +377,7 @@ impl ServeClient {
 
     /// Submit and block until the response arrives.
     pub fn infer(&self, input: Tensor) -> Result<InferResponse, ServeError> {
+        // quadra-analyze: allow(condvar:wait-not-in-loop, ResponseHandle::wait is a one-shot channel join, not a condvar wait)
         self.submit(input)?.wait()
     }
 

@@ -9,6 +9,7 @@ use crate::scheduler::{self, assemble, Batch};
 use crate::sync::lock_or_recover;
 use quadra_core::MemoryProfiler;
 use quadra_nn::{Layer, StateDict};
+use quadra_tensor::Tensor;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -134,35 +135,29 @@ fn execute(model: &mut dyn Layer, batch: Batch, version: u64, shared: &EndpointS
             let done_at = Instant::now();
             let attributed = MemoryProfiler::new().inference_report_for(&shared.name, model, &input, &output);
             model.clear_cache();
+            // Phase 1: split the batch output into per-request row views and
+            // collect latencies, borrowing the requests — responses are built
+            // in phase 2, which consumes them, so tags move instead of
+            // deep-copying.
             let mut latencies = Vec::with_capacity(batch.requests.len());
-            let mut replies = Vec::with_capacity(batch.requests.len());
+            let mut outcomes: Vec<Result<Tensor, ServeError>> = Vec::with_capacity(batch.requests.len());
             let mut split_errors = 0;
             let mut offset = 0;
             for (request, n) in batch.requests.iter().zip(counts) {
                 let start = offset;
                 offset += n;
-                let rows = match output.narrow(0, start, n) {
-                    Ok(rows) => rows,
+                match output.narrow(0, start, n) {
+                    Ok(rows) => {
+                        latencies.push((done_at.duration_since(request.submitted_at), request.priority));
+                        outcomes.push(Ok(rows));
+                    }
                     Err(e) => {
                         split_errors += 1;
-                        replies.push(Err(ServeError::WorkerFailed(format!("per-request split failed: {e}"))));
-                        continue;
+                        // quadra-analyze: allow(hot_alloc:format, split failure is a dispatch bug, not steady-state traffic)
+                        let msg = format!("per-request split failed: {e}");
+                        outcomes.push(Err(ServeError::WorkerFailed(msg)));
                     }
-                };
-                let latency = done_at.duration_since(request.submitted_at);
-                latencies.push((latency, request.priority));
-                replies.push(Ok(InferResponse {
-                    id: request.id,
-                    model: shared.name.clone(),
-                    priority: request.priority,
-                    tag: request.tag.clone(),
-                    output: rows,
-                    model_version: version,
-                    batch_id: batch.id,
-                    batch_samples,
-                    queue_wait: batch.formed_at.duration_since(request.submitted_at),
-                    latency,
-                }));
+                }
             }
             // Record before replying so a metrics snapshot taken by a caller
             // that just received its response always includes it.
@@ -170,7 +165,21 @@ fn execute(model: &mut dyn Layer, batch: Batch, version: u64, shared: &EndpointS
             if split_errors > 0 {
                 shared.metrics.record_errors(split_errors);
             }
-            for (request, reply) in batch.requests.iter().zip(replies) {
+            // Phase 2: consume the requests, moving each tag into its reply.
+            let (batch_id, formed_at) = (batch.id, batch.formed_at);
+            for (request, outcome) in batch.requests.into_iter().zip(outcomes) {
+                let reply = outcome.map(|rows| InferResponse {
+                    id: request.id,
+                    model: shared.name.clone(),
+                    priority: request.priority,
+                    tag: request.tag,
+                    output: rows,
+                    model_version: version,
+                    batch_id,
+                    batch_samples,
+                    queue_wait: formed_at.duration_since(request.submitted_at),
+                    latency: done_at.duration_since(request.submitted_at),
+                });
                 // A dropped receiver just means the client stopped waiting.
                 // quadra-analyze: allow(must_use, a dropped receiver means the client stopped waiting)
                 let _ = request.reply.send(reply);
