@@ -122,7 +122,8 @@ impl AnalyzeConfig {
                 HotPath { path_suffix: "quadra-serve/src/admission.rs".into(), checks: all.clone() },
                 HotPath { path_suffix: "quadra-tensor/src/gemm.rs".into(), checks: all.clone() },
                 HotPath { path_suffix: "quadra-core/src/profiler.rs".into(), checks: all.clone() },
-                HotPath { path_suffix: "vendor/rayon/src/lib.rs".into(), checks: all },
+                HotPath { path_suffix: "vendor/rayon/src/lib.rs".into(), checks: all.clone() },
+                HotPath { path_suffix: "vendor/rayon/src/pool.rs".into(), checks: all },
             ],
             lock_unwrap_crates: vec!["quadra-serve".to_string()],
             clock_regions: vec![

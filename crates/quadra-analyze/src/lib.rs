@@ -17,8 +17,9 @@
 //!    updates) and `Relaxed` fetch ops outside allowlisted counters;
 //! 6. **condvar** — every condvar wait must sit inside a `while`/`loop`
 //!    that re-checks its predicate;
-//! 7. **hot_alloc** — no `Vec::new`/`format!`/payload `.clone()` in
-//!    designated per-request hot-path files.
+//! 7. **hot_alloc** — no `Vec::new`/`format!`/payload `.clone()`, and no
+//!    `HashMap::new`/`String::new`/`.to_string()` growth, in designated
+//!    per-request hot-path files.
 //!
 //! Suppression grammar: `// quadra-analyze: allow(<pass>[:<check>], <reason>)`
 //! on the offending line, the line above, or above a `fn` item (covering the

@@ -12,7 +12,15 @@
 //! - **payload-clone** — `.clone()` whose receiver chain contains a
 //!   configured payload identifier (`request`, `input`, ...): request
 //!   payloads carry tensors, so a clone is a deep copy — restructure to move
-//!   ownership instead.
+//!   ownership instead;
+//! - **map-new** — `HashMap::new()` / `BTreeMap::new()`: per-request maps
+//!   rehash/rebalance as they grow; pre-size with `with_capacity` or hoist
+//!   the map out of the request loop;
+//! - **string-new** — `String::new()`: a growing string on the request path;
+//!   pre-size or borrow instead;
+//! - **to-string** — `.to_string()` allocates and formats per call; prefer
+//!   borrowing (`&str`), a precomputed `Arc<str>`, or suppress when the
+//!   branch is demonstrably cold (an error reply).
 
 use crate::config::AnalyzeConfig;
 use crate::lexer::TokKind;
@@ -74,6 +82,56 @@ pub fn run(file: &SourceFile, cfg: &AnalyzeConfig, findings: &mut Vec<Finding>) 
                 "vec-new",
                 t.line,
                 "empty `vec![]` in a per-request hot path grows through the allocator; pre-size with `with_capacity`".to_string(),
+                findings,
+            );
+            continue;
+        }
+        // `HashMap::new()` / `BTreeMap::new()` — a growing map per request.
+        if (t.is_ident("HashMap") || t.is_ident("BTreeMap"))
+            && i + 4 < toks.len()
+            && toks[i + 1].is_punct(':')
+            && toks[i + 2].is_punct(':')
+            && toks[i + 3].is_ident("new")
+            && toks[i + 4].is_punct('(')
+        {
+            emit(
+                "map-new",
+                t.line,
+                format!(
+                    "`{}::new()` in a per-request hot path rehashes as it grows; pre-size with `with_capacity` or hoist it off the request path",
+                    t.text
+                ),
+                findings,
+            );
+            continue;
+        }
+        // `String::new()` — a growing string per request.
+        if t.is_ident("String")
+            && i + 4 < toks.len()
+            && toks[i + 1].is_punct(':')
+            && toks[i + 2].is_punct(':')
+            && toks[i + 3].is_ident("new")
+            && toks[i + 4].is_punct('(')
+        {
+            emit(
+                "string-new",
+                t.line,
+                "`String::new()` in a per-request hot path grows through the allocator; pre-size with `with_capacity` or borrow".to_string(),
+                findings,
+            );
+            continue;
+        }
+        // `.to_string()` — allocation plus formatting machinery per call.
+        if t.is_ident("to_string")
+            && i > 0
+            && toks[i - 1].is_punct('.')
+            && i + 1 < toks.len()
+            && toks[i + 1].is_punct('(')
+        {
+            emit(
+                "to-string",
+                t.line,
+                "`.to_string()` allocates in a per-request hot path; borrow a `&str`, reuse a precomputed string, or justify the cold branch with a suppression".to_string(),
                 findings,
             );
             continue;

@@ -1002,6 +1002,68 @@ fn handle(request: Request) -> (Vec<f32>, String, Vec<u32>) {
 }
 
 #[test]
+fn map_string_and_to_string_growth_checks_fire() {
+    let src = r#"
+use std::collections::{BTreeMap, HashMap};
+
+struct Request { tag: String }
+
+fn handle(request: &Request) -> (HashMap<u32, u32>, BTreeMap<u32, u32>, String, String) {
+    let by_id = HashMap::new();
+    let ordered = BTreeMap::new();
+    let mut name = String::new();
+    name.push('x');
+    let label = request.tag.to_string();
+    (by_id, ordered, name, label)
+}
+"#;
+    let report = analyze(&[("crates/fixture/src/hot.rs", src)], &hot_alloc_cfg());
+    let mut found = unsuppressed(&report);
+    found.sort();
+    assert_eq!(
+        found,
+        vec![
+            ("hot_alloc".to_string(), "map-new".to_string()),
+            ("hot_alloc".to_string(), "map-new".to_string()),
+            ("hot_alloc".to_string(), "string-new".to_string()),
+            ("hot_alloc".to_string(), "to-string".to_string()),
+        ],
+        "got {found:?}"
+    );
+}
+
+#[test]
+fn presized_map_and_borrowed_str_twin_is_clean() {
+    let src = r#"
+use std::collections::HashMap;
+
+struct Request { tag: String }
+
+fn handle(request: &Request) -> (HashMap<u32, u32>, String) {
+    let by_id = HashMap::with_capacity(8);
+    let mut name = String::with_capacity(16);
+    name.push_str(&request.tag);
+    (by_id, name)
+}
+"#;
+    let report = analyze(&[("crates/fixture/src/hot.rs", src)], &hot_alloc_cfg());
+    assert!(unsuppressed(&report).is_empty(), "got {:?}", unsuppressed(&report));
+}
+
+#[test]
+fn to_string_suppression_is_honored_with_reason() {
+    let src = r#"
+fn reject(tag: &str) -> String {
+    // quadra-analyze: allow(hot_alloc:to-string, error reply path: runs once per rejected request, not per served one)
+    tag.to_string()
+}
+"#;
+    let report = analyze(&[("crates/fixture/src/hot.rs", src)], &hot_alloc_cfg());
+    assert!(unsuppressed(&report).is_empty(), "got {:?}", unsuppressed(&report));
+    assert_eq!(report.suppressed_count(), 1);
+}
+
+#[test]
 fn hot_alloc_is_silent_outside_designated_files() {
     let src = r#"
 fn build() -> Vec<u32> {

@@ -28,7 +28,9 @@
 //! perf trajectory is tracked across PRs.
 //!
 //! Regenerate with `cargo run -p quadra-bench --release --bin serve_load`
-//! (set `QUADRA_SCALE=full` for the larger settings).
+//! (set `QUADRA_SCALE=full` for the larger settings). Set
+//! `QUADRA_SCALING_CHECK=1` to exit non-zero when adding workers loses
+//! throughput along the fixed-batch 1→2→4 series — the CI scaling smoke.
 
 use quadra_bench::{print_table, scale, Scale};
 use quadra_core::{build_model, ModelConfig};
@@ -519,8 +521,10 @@ fn main() {
         ("ResNet-20 (width 8)", resnet20_config(8, 10, image)),
     ];
     // (workers, max_batch): no batching baseline, batching on one worker,
-    // then scaling the replica pool.
-    let sweep = [(1usize, 1usize), (1, 8), (2, 8), (4, 16)];
+    // then scaling the replica pool at a fixed batch cap (1→2→4 workers at
+    // max_batch 8 is the monotonicity series the scaling check reads), plus
+    // a wide-batch point.
+    let sweep = [(1usize, 1usize), (1, 8), (2, 8), (4, 8), (4, 16)];
 
     let mut closed_records = Vec::new();
     for (name, config) in &models {
@@ -747,4 +751,53 @@ fn main() {
     let text = serde_json::to_string_pretty(&report).expect("report serializes");
     std::fs::write(&path, text + "\n").expect("write bench report");
     println!("\nwrote {path}");
+
+    // With QUADRA_SCALING_CHECK set, fail loudly when adding a worker *loses*
+    // throughput — the regression this harness exists to catch. The report is
+    // already on disk at this point so CI can archive it either way.
+    if std::env::var("QUADRA_SCALING_CHECK").is_ok() && !scaling_check(&report.closed_loop.records) {
+        std::process::exit(1);
+    }
+}
+
+/// Verify worker scaling stayed monotone (with 5% noise tolerance) along the
+/// fixed-batch series: for each model, throughput at 2 workers must be at
+/// least 0.95× the 1-worker figure, and 4 workers at least 0.95× of 2.
+/// Returns false (after printing the violations) when any step regresses.
+fn scaling_check(records: &[ClosedLoopRecord]) -> bool {
+    const TOLERANCE: f64 = 0.95;
+    const SERIES_BATCH: usize = 8;
+    let mut ok = true;
+    let models: Vec<&str> = {
+        let mut seen = Vec::new();
+        for r in records {
+            if !seen.contains(&r.model.as_str()) {
+                seen.push(r.model.as_str());
+            }
+        }
+        seen
+    };
+    println!("\nscaling check (throughput at max_batch {SERIES_BATCH}, tolerance {TOLERANCE}):");
+    for model in models {
+        let at = |workers: usize| {
+            records
+                .iter()
+                .find(|r| r.model == model && r.workers == workers && r.max_batch == SERIES_BATCH)
+                .map(|r| r.throughput_rps)
+        };
+        let (Some(w1), Some(w2), Some(w4)) = (at(1), at(2), at(4)) else {
+            println!("  {model}: series incomplete, skipping");
+            continue;
+        };
+        println!("  {model}: 1w {w1:.0} -> 2w {w2:.0} -> 4w {w4:.0} rps");
+        if w2 < TOLERANCE * w1 {
+            eprintln!("  SCALING REGRESSION: {model}: 2 workers ({w2:.0} rps) < {TOLERANCE} x 1 worker ({w1:.0} rps)");
+            ok = false;
+        }
+        if w4 < TOLERANCE * w2 {
+            eprintln!("  SCALING REGRESSION: {model}: 4 workers ({w4:.0} rps) < {TOLERANCE} x 2 workers ({w2:.0} rps)");
+            ok = false;
+        }
+    }
+    ok
 }

@@ -52,6 +52,9 @@ struct QueueState {
     /// Consecutive interactive-seeded pops while batch-class work waited;
     /// drives the aging credit.
     interactive_streak: u32,
+    /// A worker currently holds this endpoint's batch-formation token (see
+    /// [`AdmissionQueue::begin_formation`]).
+    forming: bool,
     closed: bool,
 }
 
@@ -68,6 +71,14 @@ pub(crate) struct AdmissionQueue {
     depth_cell: Arc<AtomicUsize>,
     state: Mutex<QueueState>,
     arrived: Condvar,
+    /// Signals release of the batch-formation token. Deliberately separate
+    /// from `arrived`: `try_admit` posts one notification per arrival, and if
+    /// token waiters shared the condvar they could consume it — the waiter
+    /// re-checks `forming` and sleeps again while the token *holder*, filling
+    /// a batch in `take_compatible`, sleeps out its whole wait budget. That
+    /// stolen-wakeup tax grew with the worker count and showed up as negative
+    /// scaling on a single core.
+    formation: Condvar,
 }
 
 impl AdmissionQueue {
@@ -80,9 +91,11 @@ impl AdmissionQueue {
                 classes: [VecDeque::new(), VecDeque::new()],
                 queued_samples: [0; Priority::COUNT],
                 interactive_streak: 0,
+                forming: false,
                 closed: false,
             }),
             arrived: Condvar::new(),
+            formation: Condvar::new(),
         }
     }
 
@@ -143,6 +156,27 @@ impl AdmissionQueue {
     pub fn close(&self) {
         lock_or_recover(&self.state).closed = true;
         self.arrived.notify_all();
+        self.formation.notify_all();
+    }
+
+    /// Acquire this endpoint's **batch-formation token**, blocking while
+    /// another worker holds it. Exactly one worker per endpoint seeds and
+    /// fills a batch at a time; without the token, idle workers race for
+    /// seeds and split one arrival stream into fragments (4 workers turned a
+    /// steady mean batch of 8 into ~3 on a saturated single core, and
+    /// per-batch overhead made scaling *negative*). The token covers only
+    /// formation — the holder releases it before the fair-share gate, so the
+    /// next worker forms the next batch while this one waits for its grant
+    /// and executes. Liveness: the holder is always bounded — `pop_blocking`
+    /// returns on close, and the fill wait is deadline-bounded — so the token
+    /// always comes back.
+    pub fn begin_formation(&self) -> FormationGuard<'_> {
+        let mut st = lock_or_recover(&self.state);
+        while st.forming {
+            st = wait_or_recover(&self.formation, st);
+        }
+        st.forming = true;
+        FormationGuard { queue: self }
     }
 
     /// The class order for the next seed pop: interactive first, unless the
@@ -269,6 +303,22 @@ impl AdmissionQueue {
                 return TakeResult::TimedOut;
             }
         }
+    }
+}
+
+/// Holds an endpoint's batch-formation token; dropping it releases the token
+/// and wakes exactly one worker waiting in
+/// [`AdmissionQueue::begin_formation`] (its dedicated `formation` condvar —
+/// request arrivals never wake token waiters, and token releases never wake
+/// the filler).
+pub(crate) struct FormationGuard<'a> {
+    queue: &'a AdmissionQueue,
+}
+
+impl Drop for FormationGuard<'_> {
+    fn drop(&mut self) {
+        lock_or_recover(&self.queue.state).forming = false;
+        self.queue.formation.notify_one();
     }
 }
 
@@ -483,6 +533,49 @@ mod tests {
                 assert_eq!(ids, vec![2, 1], "class order dominates deadline order");
             }
             _ => panic!("expected a take"),
+        }
+    }
+
+    #[test]
+    fn formation_token_is_exclusive_and_released_on_drop() {
+        let q = Arc::new(AdmissionQueue::new(None, 0, Arc::new(AtomicUsize::new(0))));
+        let guard = q.begin_formation();
+        // A second former must block until the first guard drops.
+        let contender = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                let _guard = q.begin_formation();
+                Instant::now()
+            })
+        };
+        std::thread::sleep(Duration::from_millis(30));
+        let released_at = Instant::now();
+        drop(guard);
+        let acquired_at = contender.join().unwrap();
+        assert!(acquired_at >= released_at, "the contender acquired the token before it was released");
+        // And the token is free again afterwards.
+        drop(q.begin_formation());
+    }
+
+    #[test]
+    fn close_wakes_formation_waiters_once_holder_releases() {
+        // A closed queue still hands the token out sequentially: each drain
+        // worker takes it, sees Closed from pop_blocking, and releases it.
+        let q = Arc::new(AdmissionQueue::new(None, 0, Arc::new(AtomicUsize::new(0))));
+        q.close();
+        let workers: Vec<_> = (0..3)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || {
+                    let guard = q.begin_formation();
+                    let closed = matches!(q.pop_blocking(), PopResult::Closed);
+                    drop(guard);
+                    closed
+                })
+            })
+            .collect();
+        for w in workers {
+            assert!(w.join().unwrap(), "every drain worker observed Closed");
         }
     }
 

@@ -1,34 +1,111 @@
-//! The sanctioned clock for service-time accounting.
+//! The sanctioned clock for service-time accounting: **per-thread CPU time**.
 //!
-//! The DRR fair-share ledger charges each endpoint for the time its batches
-//! actually occupy a worker. Today that is monotonic wall time, but the
-//! ROADMAP plans to migrate the ledger to per-thread CPU time
-//! (`CLOCK_THREAD_CPUTIME_ID`) so that a worker descheduled by the OS does
-//! not get billed for time it never computed. This module is the seam for
-//! that migration: every ledger and service-metrics read goes through
-//! [`service_now`]/[`elapsed_us`], so swapping the clock source is a
-//! one-file change.
+//! The DRR fair-share ledger charges each endpoint for the compute its
+//! batches actually burn on a worker. Wall time overstated that whenever the
+//! OS descheduled a worker mid-batch — with more workers than cores, every
+//! endpoint's "service time" inflated with load, and the scheduler had to cap
+//! concurrent grants at `available_parallelism` to keep the books honest.
+//! Billing `CLOCK_THREAD_CPUTIME_ID` instead means overlapping executions
+//! charge each endpoint only for its own cycles, so the cap is gone (see
+//! `scheduler.rs`).
+//!
+//! On Linux the clock is read through a thin `clock_gettime` FFI shim (no
+//! libc crate dependency); elsewhere it falls back to monotonic wall time,
+//! which is the best portable approximation and identical to the old
+//! behavior.
+//!
+//! Invariant: a [`ServiceInstant`] is only meaningful on the thread that
+//! created it — thread CPU clocks are per-thread by definition. The ledger
+//! honors this: `GrantGuard::start_execution` and the settle on
+//! finish/drop both run on the owning worker thread.
 //!
 //! The static-analysis gate enforces the discipline: a raw `Instant::now()`
-//! or `.elapsed()` inside the ledger functions (see
-//! `quadra-analyze`'s workspace config) is a `clock:raw-instant` /
-//! `clock:raw-elapsed` finding.
+//! or `.elapsed()` inside the ledger functions (see `quadra-analyze`'s
+//! workspace config) is a `clock:raw-instant` / `clock:raw-elapsed` finding.
 
-use std::time::Instant;
-
-/// An opaque timestamp from the service clock. Deliberately *not* an
-/// `Instant` so arithmetic cannot bypass this module.
+/// An opaque timestamp from the service clock (nanoseconds of CPU time the
+/// calling thread has consumed). Deliberately *not* an `Instant` so
+/// arithmetic cannot bypass this module, and only comparable on the thread
+/// that produced it.
 #[derive(Debug, Clone, Copy)]
-pub(crate) struct ServiceInstant(Instant);
+pub(crate) struct ServiceInstant(u64);
 
-/// Read the service clock.
+/// Read the service clock on the current thread.
 pub(crate) fn service_now() -> ServiceInstant {
-    ServiceInstant(Instant::now())
+    ServiceInstant(imp::thread_time_ns())
 }
 
-/// Whole microseconds of service time elapsed since `start`, saturating.
+/// Whole microseconds of service (CPU) time this thread consumed since
+/// `start`, saturating. `start` must come from [`service_now`] on the same
+/// thread.
 pub(crate) fn elapsed_us(start: ServiceInstant) -> u64 {
-    u64::try_from(start.0.elapsed().as_micros()).unwrap_or(u64::MAX)
+    imp::thread_time_ns().saturating_sub(start.0) / 1_000
+}
+
+#[cfg(target_os = "linux")]
+mod imp {
+    //! `clock_gettime(CLOCK_THREAD_CPUTIME_ID)` via a minimal FFI shim.
+
+    use std::os::raw::{c_int, c_long};
+
+    /// From `linux/time.h`; stable ABI across architectures.
+    const CLOCK_THREAD_CPUTIME_ID: c_int = 3;
+
+    /// Mirror of the kernel's `struct timespec` for the C ABI in use
+    /// (`time_t` and `long` are both `c_long` on every Linux target Rust
+    /// supports with this layout).
+    #[repr(C)]
+    struct Timespec {
+        tv_sec: c_long,
+        tv_nsec: c_long,
+    }
+
+    extern "C" {
+        fn clock_gettime(clock_id: c_int, tp: *mut Timespec) -> c_int;
+    }
+
+    /// Nanoseconds of CPU time consumed by the calling thread.
+    pub(super) fn thread_time_ns() -> u64 {
+        let mut ts = Timespec { tv_sec: 0, tv_nsec: 0 };
+        // Safety: `ts` is a valid, writable timespec for the duration of the
+        // call; the clock id is a compile-time constant the kernel accepts.
+        let rc = unsafe { clock_gettime(CLOCK_THREAD_CPUTIME_ID, &mut ts) };
+        if rc != 0 {
+            // EINVAL can only mean the clock id is unsupported (pre-2.6
+            // kernels); degrade to wall time rather than corrupt the ledger.
+            return fallback_wall_ns();
+        }
+        (ts.tv_sec as u64).saturating_mul(1_000_000_000).saturating_add(ts.tv_nsec as u64)
+    }
+
+    fn fallback_wall_ns() -> u64 {
+        super::wall::monotonic_ns()
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+mod imp {
+    //! Portable fallback: monotonic wall time (the pre-migration behavior).
+
+    pub(super) fn thread_time_ns() -> u64 {
+        super::wall::monotonic_ns()
+    }
+}
+
+mod wall {
+    //! Monotonic wall-clock nanoseconds against a process-global anchor,
+    //! used only when per-thread CPU time is unavailable.
+
+    use std::sync::OnceLock;
+    use std::time::Instant;
+
+    static ANCHOR: OnceLock<Instant> = OnceLock::new();
+
+    #[cfg_attr(target_os = "linux", allow(dead_code))]
+    pub(super) fn monotonic_ns() -> u64 {
+        let anchor = ANCHOR.get_or_init(Instant::now);
+        u64::try_from(anchor.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
 }
 
 #[cfg(test)]
@@ -41,5 +118,29 @@ mod tests {
         let a = elapsed_us(start);
         let b = elapsed_us(start);
         assert!(b >= a);
+    }
+
+    #[test]
+    fn busy_work_accrues_service_time() {
+        let start = service_now();
+        // Burn enough CPU that even a coarse thread clock must advance.
+        let mut acc = 0u64;
+        while elapsed_us(start) < 2_000 {
+            for i in 0..10_000u64 {
+                acc = acc.wrapping_add(i * i);
+            }
+            std::hint::black_box(acc);
+        }
+        assert!(elapsed_us(start) >= 2_000);
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn sleeping_accrues_almost_no_service_time() {
+        // The point of the migration: blocked/descheduled time is not billed.
+        let start = service_now();
+        std::thread::sleep(std::time::Duration::from_millis(60));
+        let cpu_us = elapsed_us(start);
+        assert!(cpu_us < 30_000, "a sleeping thread consumed {cpu_us}us of CPU time");
     }
 }

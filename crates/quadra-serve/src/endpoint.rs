@@ -53,6 +53,7 @@ impl EndpointShared {
         let depth_cell = Arc::new(AtomicUsize::new(0));
         let member = fleet.register(config.weight, Arc::clone(&depth_cell));
         EndpointShared {
+            // quadra-analyze: allow(hot_alloc:to-string, endpoint construction runs once per registered model, not per request)
             name: name.to_string(),
             config,
             queue: AdmissionQueue::new(

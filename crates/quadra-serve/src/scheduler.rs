@@ -75,6 +75,7 @@ pub(crate) fn compat_key(shape: &[usize], pad_mixed_spatial: bool) -> Vec<usize>
 // quadra-analyze: allow(panic_path:indexing, all indices are bounded by the compat_key-validated 4-d shapes and the zeros-allocated batch extent)
 pub(crate) fn assemble(requests: &[PendingInfer]) -> Result<(Tensor, Vec<usize>), ServeError> {
     let Some(head) = requests.first() else {
+        // quadra-analyze: allow(hot_alloc:to-string, error path: an empty batch is a dispatch bug, not steady-state traffic)
         return Err(ServeError::WorkerFailed("cannot assemble an empty batch".to_string()));
     };
     let counts: Vec<usize> = requests.iter().map(|r| r.samples).collect();
@@ -125,17 +126,18 @@ pub(crate) struct Grant {
 
 /// RAII wrapper around a [`Grant`]: guarantees `settle` runs exactly once,
 /// even if the holding worker thread unwinds. A leaked grant would pin the
-/// fleet's `executing` counter and the member's `in_service` marker forever —
-/// once `executing` reached the core count, every contended endpoint would
-/// stall fleet-wide. With the guard, a panicking worker only shrinks its own
-/// endpoint's pool (the pre-scheduler failure mode).
+/// member's `in_service` marker forever, keeping a drained endpoint visible
+/// as a contender and throttling its neighbours. With the guard, a panicking
+/// worker only shrinks its own endpoint's pool (the pre-scheduler failure
+/// mode).
 pub(crate) struct GrantGuard {
     fleet: Arc<FleetScheduler>,
     grant: Option<Grant>,
     /// Set just before the batch's forward pass; `None` at drop means the
     /// batch never executed and the whole debit is refunded. Read through
-    /// the sanctioned service clock so the DRR books survive the planned
-    /// per-thread CPU clock migration.
+    /// the sanctioned service clock (per-thread CPU time): both the start
+    /// and the settle read happen on the owning worker thread, which the
+    /// thread CPU clock requires.
     exec_started: Option<ServiceInstant>,
 }
 
@@ -198,14 +200,6 @@ impl MemberState {
 
 struct FleetState {
     members: Vec<MemberState>,
-    /// Granted batches currently executing, fleet-wide. Contended grants are
-    /// capped at the machine's parallelism: if granted batches overlapped on
-    /// a shared core, their wall-clock service times would overstate the CPU
-    /// each endpoint actually received — a light model's short batches would
-    /// inflate a heavy model's ledger and quietly crowd it out. Keeping
-    /// in-flight ≤ cores makes wall time ≈ CPU time, so the deficit books
-    /// reflect reality on a 1-core box and multi-core boxes alike.
-    executing: u32,
 }
 
 /// Fleet-level deficit-round-robin arbiter: under contention, endpoints are
@@ -219,24 +213,27 @@ struct FleetState {
 /// Uncontended endpoints are never throttled or charged (work conservation):
 /// fairness only constrains who runs *next* when more than one endpoint has
 /// work waiting.
+///
+/// Grants may overlap without bound: the ledger bills per-thread **CPU**
+/// time (see `clock.rs`), so two batches timesharing a core each get charged
+/// only for the cycles they actually computed. The earlier wall-clock ledger
+/// needed an `available_parallelism` cap on concurrently executing grants to
+/// stop descheduled time from inflating the books; that cap (and its extra
+/// wait state) is gone.
 pub(crate) struct FleetScheduler {
     state: Mutex<FleetState>,
     settled: Condvar,
     next_batch_id: AtomicU64,
-    /// Cap on concurrently executing contended grants (the core count).
-    max_parallel: u32,
 }
 
 impl FleetScheduler {
     pub fn new() -> Self {
-        let max_parallel = std::thread::available_parallelism().map(|n| n.get() as u32).unwrap_or(1).max(1);
         FleetScheduler {
             // Pre-size for a typical router: registration is cold, but the
             // members vec is cloned into every arbitration snapshot.
-            state: Mutex::new(FleetState { members: Vec::with_capacity(8), executing: 0 }),
+            state: Mutex::new(FleetState { members: Vec::with_capacity(8) }),
             settled: Condvar::new(),
             next_batch_id: AtomicU64::new(0),
-            max_parallel,
         }
     }
 
@@ -281,8 +278,8 @@ impl FleetScheduler {
 
     /// Block until `member` may execute a batch estimated at `est_us` µs of
     /// service time. Returns the grant to pass to [`FleetScheduler::settle`]
-    /// after execution (always call it — it also releases the in-service and
-    /// executing markers).
+    /// after execution (always call it — it also releases the in-service
+    /// marker).
     // quadra-analyze: allow(panic_path:indexing, member indices come from register() and the members vec only grows)
     pub fn acquire(&self, member: usize, est_us: u64) -> Grant {
         let est = (est_us.max(1)).min(i64::MAX as u64) as i64;
@@ -291,7 +288,6 @@ impl FleetScheduler {
         st.members[member].in_service += 1;
         loop {
             if st.members[member].closed {
-                st.executing += 1;
                 return Grant { member, debited_us: 0 };
             }
             let contended = st.members.iter().enumerate().any(|(i, m)| i != member && m.demands_service());
@@ -299,19 +295,12 @@ impl FleetScheduler {
                 // Alone on the fleet: run free. The idle CPU an uncontended
                 // endpoint uses is not charged, so fairness starts from a
                 // clean slate when contention appears.
-                st.executing += 1;
                 return Grant { member, debited_us: 0 };
             }
             if st.members[member].deficit_us >= est {
-                if st.executing >= self.max_parallel {
-                    // Solvent, but every core is already running a granted
-                    // batch: overlapping would corrupt the wall-clock books.
-                    let (guard, _timeout) = wait_timeout_or_recover(&self.settled, st, ARBITRATION_TICK);
-                    st = guard;
-                    continue;
-                }
+                // Solvent: spend and go. Overlap with other grants is fine —
+                // the CPU-time ledger charges each only for its own cycles.
                 st.members[member].deficit_us -= est;
-                st.executing += 1;
                 return Grant { member, debited_us: est as u64 };
             }
             // Out of credit. If every other contender is broke too, start a
@@ -342,13 +331,12 @@ impl FleetScheduler {
         }
     }
 
-    /// Balance the books after the granted batch ran for `actual_us` µs (or
-    /// was abandoned: `actual_us == 0` refunds the whole debit) and release
-    /// the in-service and executing markers.
+    /// Balance the books after the granted batch ran for `actual_us` µs of
+    /// CPU time (or was abandoned: `actual_us == 0` refunds the whole debit)
+    /// and release the in-service marker.
     // quadra-analyze: allow(panic_path:indexing, grant.member came from register() and the members vec only grows)
     pub fn settle(&self, grant: Grant, actual_us: u64) {
         let mut st = lock_or_recover(&self.state);
-        st.executing = st.executing.saturating_sub(1);
         let m = &mut st.members[grant.member];
         m.in_service = m.in_service.saturating_sub(1);
         if grant.debited_us > 0 {
@@ -393,9 +381,18 @@ fn retain_live(requests: Vec<PendingInfer>, shared: &EndpointShared) -> Vec<Pend
 /// The fill wait deliberately happens *before* the fair-share grant: waiting
 /// for company idles the CPU, and holding an execution grant through it would
 /// block contending endpoints from using the core in the meantime.
+///
+/// Formation is serialized per endpoint via the admission queue's formation
+/// token: one worker at a time seeds and fills, so extra idle workers can
+/// never split a single arrival stream into fragment batches (the cause of
+/// the old *negative* worker scaling). The token is released before
+/// `acquire`, so the next worker forms the next batch while this one waits
+/// for its grant and executes — worker parallelism overlaps execution, not
+/// formation.
 pub(crate) fn next_batch(shared: &EndpointShared) -> Option<(Batch, GrantGuard)> {
     let policy = shared.config.policy;
     loop {
+        let forming = shared.queue.begin_formation();
         let first = match shared.queue.pop_blocking() {
             PopResult::Request(r) => r,
             PopResult::Closed => return None,
@@ -430,6 +427,9 @@ pub(crate) fn next_batch(shared: &EndpointShared) -> Option<(Batch, GrantGuard)>
             }
             shared.fleet.nudge();
         }
+        // Formation is done; let the next worker start forming while we wait
+        // at the fair-share gate and execute.
+        drop(forming);
 
         let grant = shared.fleet.acquire(shared.member, shared.estimated_batch_us());
         let guard = GrantGuard::new(Arc::clone(&shared.fleet), grant);

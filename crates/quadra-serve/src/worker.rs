@@ -74,6 +74,7 @@ impl ReloadSlot {
     }
 }
 
+// quadra-analyze: allow(hot_alloc:to-string, cold path: runs only when a model forward panicked and the replica is being rebuilt)
 fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()

@@ -68,8 +68,9 @@ const MC: usize = 128;
 /// the dispatcher falls back to a plain triple loop.
 const SMALL_GEMM_FLOPS: usize = 32 * 32 * 32;
 /// Minimum multiply-adds before the parallel row-block path is worth the
-/// thread spawn (the vendored rayon stub starts scoped OS threads per call,
-/// so just-over-[`SMALL_GEMM_FLOPS`] matmuls must stay serial).
+/// task dispatch: the persistent work-stealing pool no longer spawns OS
+/// threads per call, but queueing and latch traffic still cost more than a
+/// just-over-[`SMALL_GEMM_FLOPS`] matmul saves.
 const PAR_MIN_FLOPS: usize = 1 << 18;
 
 /// A strided read-only view of a row-major operand: element `(i, j)` of the
@@ -246,13 +247,16 @@ fn gemm_blocked_views(c: &mut [f32], m: usize, k: usize, n: usize, a: View<'_>, 
             let bpanel = &mut bpack[..kc * nb * NR];
             pack_b(bpanel, b, pc, kc, n);
             let bpanel = &bpanel[..];
-            // Parallel row-block height: aim for at least one block per core
-            // (rounded down to a multiple of MR), capped at MC so the packed
-            // `A` block stays cache-sized. Block height never changes results —
-            // each output element is computed entirely within one block, so
-            // core count only affects scheduling, not numerics.
-            let workers = std::thread::available_parallelism().map(|w| w.get()).unwrap_or(1);
-            let bh = (m / workers).clamp(MR, MC) / MR * MR;
+            // Parallel row-block height: aim for ~2 stealable blocks per pool
+            // thread (rounded down to a multiple of MR) so the work-stealing
+            // pool can rebalance under skew, capped at MC so the packed `A`
+            // block stays cache-sized. `current_num_threads` is the single
+            // source of truth for pool size (honors QUADRA_NUM_THREADS).
+            // Block height never changes results — each output element is
+            // computed entirely within one block, so thread count only
+            // affects scheduling, not numerics.
+            let workers = rayon::current_num_threads();
+            let bh = (m / (2 * workers).max(1)).clamp(MR, MC) / MR * MR;
             if parallel && m > bh && m.saturating_mul(k).saturating_mul(n) >= PAR_MIN_FLOPS {
                 c.par_chunks_mut(bh * n).enumerate().for_each(|(blk, chunk)| {
                     let i0 = blk * bh;

@@ -10,6 +10,7 @@ use quadra_tensor::gemm::{
 use rand::rngs::StdRng;
 use rand::Rng;
 use rand::SeedableRng;
+use rayon::ThreadPool;
 
 fn randvec(len: usize, seed: u64) -> Vec<f32> {
     let mut rng = StdRng::seed_from_u64(seed);
@@ -79,5 +80,57 @@ proptest! {
         let tol = 1e-4 * (k.max(1) as f32);
         assert_close(&gemm_tn(&at, &b, m, k, n), &slow, tol);
         assert_close(&gemm_tn_blocked(&at, &b, m, k, n), &slow, tol);
+    }
+}
+
+/// Thread counts the parallel tests sweep: degenerate, smallest real pool,
+/// and whatever the host offers.
+fn pool_sizes() -> [usize; 3] {
+    let avail = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    [1, 2, avail]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The parallel dispatcher agrees with the naive reference regardless of
+    /// how many work-stealing threads execute the row blocks.
+    #[test]
+    fn parallel_matches_naive_across_pool_sizes((m, k, n) in (dim(), dim(), dim()), seed in 0u64..1_000_000) {
+        let a = randvec(m * k, seed ^ 0x5eed);
+        let b = randvec(k * n, seed ^ 0xfeed);
+        let slow = gemm_naive(&a, &b, m, k, n);
+        let tol = 1e-4 * (k.max(1) as f32);
+        for threads in pool_sizes() {
+            let pool = ThreadPool::new(threads);
+            let fast = pool.install(|| gemm(&a, &b, m, k, n));
+            assert_close(&fast, &slow, tol);
+        }
+    }
+}
+
+/// Deterministic MR/NR/MC/KC edge coverage through every pool size: shapes
+/// straddle the 8-wide micro-tile, the MC = 128 row block, and the KC = 256
+/// k-panel, and the larger ones clear the parallel-dispatch FLOP threshold so
+/// the row blocks really run as stealable pool tasks.
+#[test]
+fn parallel_gemm_tile_edges_across_thread_counts() {
+    let shapes = [
+        (7usize, 9usize, 8usize), // under one MR×NR tile, stays sequential
+        (129, 256, 16),           // one row past MC, exactly one KC panel
+        (136, 257, 24),           // MC-multiple rows, one past KC
+        (300, 40, 33),            // several row blocks, ragged NR edge
+        (256, 300, 8),            // k spans two KC panels, narrow n
+    ];
+    for threads in pool_sizes() {
+        let pool = ThreadPool::new(threads);
+        for &(m, k, n) in &shapes {
+            let a = randvec(m * k, (m * 31 + k * 7 + n) as u64);
+            let b = randvec(k * n, (m + k * 13 + n * 3) as u64);
+            let slow = gemm_naive(&a, &b, m, k, n);
+            let tol = 1e-4 * (k as f32);
+            let fast = pool.install(|| gemm(&a, &b, m, k, n));
+            assert_close(&fast, &slow, tol);
+        }
     }
 }

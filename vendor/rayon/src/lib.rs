@@ -1,15 +1,69 @@
 //! Offline stand-in for the subset of `rayon` that QuadraLib-rs uses:
-//! `slice.par_chunks_mut(n).enumerate().for_each(f)`.
+//! `slice.par_chunks_mut(n).enumerate().for_each(f)`, parallel index ranges,
+//! and `join`.
 //!
-//! The implementation is real data parallelism — chunks are distributed over
-//! `std::thread::scope` workers, one batch per available core — so the hot
-//! GEMM / im2col loops in `quadra-tensor` still scale with core count even
-//! though the full rayon work-stealing pool is not vendored.
+//! Unlike the earlier scoped-thread stub — which spawned
+//! `available_parallelism` fresh OS threads on every call, so four serve
+//! replicas times N threads fought for N cores — execution now runs on one
+//! persistent work-stealing [`pool::ThreadPool`]: per-worker deques with
+//! steal-half, a shared injector for external submitters, parked idle
+//! workers, and a `join` primitive the iterator facade recursively splits
+//! through (see `pool.rs` for the full design). Work is sized via
+//! [`current_num_threads`], which honors the `QUADRA_NUM_THREADS` override,
+//! and every facade short-circuits to inline sequential execution when the
+//! effective pool size is 1.
+
+pub mod pool;
+
+pub use pool::{current_num_threads, join, ThreadPool};
 
 /// Import surface mirroring `rayon::prelude`.
 pub mod prelude {
     pub use crate::iter::IntoParallelIterator;
     pub use crate::slice::ParallelSliceMut;
+}
+
+/// Run `f(i)` for every `i` in `start..start + len`, recursively splitting
+/// halves through [`join`] until subranges reach `grain` indices. Result-free:
+/// nothing is allocated or materialized per index.
+pub(crate) fn parallel_for_range<F>(start: usize, len: usize, grain: usize, f: &F)
+where
+    F: Fn(usize) + Sync,
+{
+    if len == 0 {
+        return;
+    }
+    if len <= grain.max(1) || current_num_threads() <= 1 {
+        for i in start..start + len {
+            f(i);
+        }
+        return;
+    }
+    let half = len / 2;
+    join(
+        || parallel_for_range(start, half, grain, f),
+        || parallel_for_range(start + half, len - half, grain, f),
+    );
+}
+
+/// Run `f(chunk_index, chunk)` over `size`-element chunks of `data` (last
+/// chunk may be shorter), splitting the chunk range through [`join`] so each
+/// chunk is an independently stealable task.
+pub(crate) fn parallel_chunks<T, F>(data: &mut [T], size: usize, base: usize, f: &F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    let chunks = data.len().div_ceil(size);
+    if chunks <= 1 || current_num_threads() <= 1 {
+        for (i, chunk) in data.chunks_mut(size).enumerate() {
+            f(base + i, chunk);
+        }
+        return;
+    }
+    let mid_chunks = chunks / 2;
+    let (lo, hi) = data.split_at_mut(mid_chunks * size);
+    join(|| parallel_chunks(lo, size, base, f), || parallel_chunks(hi, size, base + mid_chunks, f));
 }
 
 /// Parallel iteration over index ranges.
@@ -47,9 +101,22 @@ pub mod iter {
             ParRangeMap { range: self.range, f }
         }
 
-        /// Run `f` for every index in parallel.
+        /// Run `f` for every index in parallel. Unlike `map().run()`, this
+        /// never materializes per-index results: each subrange executes
+        /// directly on the pool.
         pub fn for_each<F: Fn(usize) + Send + Sync>(self, f: F) {
-            self.map(f).run();
+            let start = self.range.start;
+            let len = self.range.len();
+            let threads = crate::current_num_threads();
+            if threads <= 1 || len <= 1 {
+                for i in self.range {
+                    f(i);
+                }
+                return;
+            }
+            // ~4 tasks per worker leaves slack for stealing under skew.
+            let grain = len.div_ceil(4 * threads);
+            crate::parallel_for_range(start, len, grain, &f);
         }
     }
 
@@ -60,25 +127,22 @@ pub mod iter {
     }
 
     impl<O: Send, F: Fn(usize) -> O + Send + Sync> ParRangeMap<F> {
-        // quadra-analyze: allow(panic_path:expect, scoped threads fill every slot before the scope exits, so the expect is unreachable unless a worker panicked — which already aborts the scope)
+        // quadra-analyze: allow(panic_path:expect, parallel_chunks visits every slot exactly once before returning, so the expect is unreachable unless a task panicked — which already unwound through join)
         fn run(self) -> Vec<O> {
             let start = self.range.start;
             let n = self.range.len();
-            let workers = std::thread::available_parallelism().map(|w| w.get()).unwrap_or(1);
-            let f = &self.f;
-            if workers <= 1 || n <= 1 {
-                return (start..start + n).map(f).collect();
+            let threads = crate::current_num_threads();
+            if threads <= 1 || n <= 1 {
+                // Sequential fallback collects directly — no slot vector.
+                return (start..start + n).map(&self.f).collect();
             }
-            let per = n.div_ceil(workers);
+            let grain = n.div_ceil(4 * threads).max(1);
             let mut slots: Vec<Option<O>> = (0..n).map(|_| None).collect();
-            std::thread::scope(|s| {
-                for (batch_idx, chunk) in slots.chunks_mut(per).enumerate() {
-                    let base = start + batch_idx * per;
-                    s.spawn(move || {
-                        for (offset, slot) in chunk.iter_mut().enumerate() {
-                            *slot = Some(f(base + offset));
-                        }
-                    });
+            let f = &self.f;
+            crate::parallel_chunks(&mut slots, grain, 0, &|chunk_index, chunk| {
+                let base = start + chunk_index * grain;
+                for (offset, slot) in chunk.iter_mut().enumerate() {
+                    *slot = Some(f(base + offset));
                 }
             });
             slots.into_iter().map(|slot| slot.expect("worker filled every slot")).collect()
@@ -128,9 +192,9 @@ pub mod slice {
         /// Run `f` over every chunk in parallel.
         pub fn for_each<F>(self, f: F)
         where
-            F: Fn(&'a mut [T]) + Send + Sync,
+            F: Fn(&mut [T]) + Send + Sync,
         {
-            run_batched(self.data.chunks_mut(self.size).collect(), &f);
+            crate::parallel_chunks(self.data, self.size, 0, &|_, chunk| f(chunk));
         }
     }
 
@@ -139,42 +203,21 @@ pub mod slice {
         inner: ParChunksMut<'a, T>,
     }
 
-    impl<'a, T: Send> EnumeratedChunksMut<'a, T> {
+    impl<T: Send> EnumeratedChunksMut<'_, T> {
         /// Run `f` over every `(index, chunk)` pair in parallel.
         pub fn for_each<F>(self, f: F)
         where
-            F: Fn((usize, &'a mut [T])) + Send + Sync,
+            F: Fn((usize, &mut [T])) + Send + Sync,
         {
-            run_batched(self.inner.data.chunks_mut(self.inner.size).enumerate().collect(), &f);
+            crate::parallel_chunks(self.inner.data, self.inner.size, 0, &|i, chunk| f((i, chunk)));
         }
-    }
-
-    fn run_batched<I: Send, F: Fn(I) + Send + Sync>(mut items: Vec<I>, f: &F) {
-        let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-        if workers <= 1 || items.len() <= 1 {
-            for item in items {
-                f(item);
-            }
-            return;
-        }
-        let per = items.len().div_ceil(workers);
-        std::thread::scope(|s| {
-            while !items.is_empty() {
-                let take = per.min(items.len());
-                let batch: Vec<I> = items.drain(..take).collect();
-                s.spawn(move || {
-                    for item in batch {
-                        f(item);
-                    }
-                });
-            }
-        });
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use super::ThreadPool;
 
     #[test]
     fn enumerated_chunks_cover_whole_slice() {
@@ -198,5 +241,51 @@ mod tests {
             counter.fetch_add(chunk.len(), Ordering::SeqCst);
         });
         assert_eq!(counter.load(Ordering::SeqCst), 64);
+    }
+
+    #[test]
+    fn enumerated_chunks_on_multithread_pool() {
+        let pool = ThreadPool::new(3);
+        let mut v = vec![0usize; 103];
+        pool.install(|| {
+            v.par_chunks_mut(10).enumerate().for_each(|(i, chunk)| {
+                for x in chunk.iter_mut() {
+                    *x = i + 1;
+                }
+            });
+        });
+        let expect: Vec<usize> = (0..103).map(|i| i / 10 + 1).collect();
+        assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn par_range_map_collect_preserves_order() {
+        let pool = ThreadPool::new(3);
+        let out: Vec<usize> = pool.install(|| (0..1000).into_par_iter().map(|i| i * 2).collect());
+        let expect: Vec<usize> = (0..1000).map(|i| i * 2).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn par_range_map_sum_matches_sequential() {
+        let pool = ThreadPool::new(2);
+        let total: usize = pool.install(|| (0..500).into_par_iter().map(|i| i * i).sum());
+        let expect: usize = (0..500).map(|i| i * i).sum();
+        assert_eq!(total, expect);
+    }
+
+    #[test]
+    fn par_range_for_each_visits_each_index_once() {
+        use std::sync::Mutex;
+        let pool = ThreadPool::new(4);
+        let seen = Mutex::new(vec![0u8; 257]);
+        pool.install(|| {
+            (0..257).into_par_iter().for_each(|i| {
+                let mut guard = seen.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+                guard[i] += 1;
+            });
+        });
+        let seen = seen.into_inner().unwrap_or_else(std::sync::PoisonError::into_inner);
+        assert!(seen.iter().all(|&count| count == 1));
     }
 }

@@ -1,0 +1,597 @@
+//! A persistent work-stealing thread pool: the execution engine behind the
+//! parallel-iterator facade in `lib.rs`.
+//!
+//! Design — a deliberately small crossbeam/rayon hybrid:
+//!
+//! - Each pool worker owns a deque of type-erased jobs. The owner pushes and
+//!   pops at the back (LIFO, so nested splits stay cache-hot); thieves steal
+//!   half from the front (FIFO, so they take the oldest and therefore largest
+//!   unsplit subtasks).
+//! - Threads outside the pool submit through a shared FIFO injector, and help
+//!   execute queued jobs while they wait for their own, so a blocked external
+//!   caller still contributes cycles instead of burning them.
+//! - Idle workers park on a condvar. A single atomic `pending` counter plus a
+//!   `sleepers` count make the handoff race-free: pushers bump `pending`
+//!   before reading `sleepers`, parkers bump `sleepers` before re-checking
+//!   `pending`, and notification happens under the park lock, so a worker can
+//!   never sleep through a push (SeqCst orders the two counters). A 500 ms
+//!   wait timeout is kept as pure insurance.
+//! - `join(a, b)` is the only fork primitive: it pushes `b`, runs `a` inline,
+//!   then pops/steals/helps until `b`'s latch fires. Panics in either closure
+//!   are captured and re-thrown at the join point; pool workers themselves
+//!   never die from a task panic.
+//!
+//! The global pool is built lazily on first use with
+//! `QUADRA_NUM_THREADS`-many workers (default: `available_parallelism`).
+//! `ThreadPool::new(n)` builds an isolated pool for tests; `install` scopes a
+//! calling thread to it. Every entry point short-circuits to plain sequential
+//! execution when the effective pool size is 1, so a single-core host pays no
+//! synchronization cost at all.
+
+use std::cell::{RefCell, UnsafeCell};
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
+use std::time::Duration;
+
+/// Poison-tolerant lock: a panic while holding a pool lock leaves plain data
+/// (queues of inert job pointers), never a broken invariant, so recovering
+/// the guard is always sound and keeps panic handling on the job level.
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// A type-erased pointer to a [`StackJob`] living in some `join` caller's
+/// stack frame.
+///
+/// Safety contract: the frame that created the job blocks on its latch before
+/// unwinding (even when its own half panics), so the pointer outlives every
+/// queue it sits in and `execute` is called at most once.
+struct JobRef {
+    ptr: *const (),
+    exec: unsafe fn(*const ()),
+}
+
+// The raw pointer crosses threads only under the contract above.
+unsafe impl Send for JobRef {}
+
+impl JobRef {
+    /// Run the job. Safety: see the type-level contract.
+    unsafe fn execute(self) {
+        (self.exec)(self.ptr)
+    }
+}
+
+/// One-shot completion flag with blocking waiters.
+struct Latch {
+    done: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Latch {
+    fn new() -> Latch {
+        Latch { done: Mutex::new(false), cv: Condvar::new() }
+    }
+
+    fn set(&self) {
+        *lock(&self.done) = true;
+        self.cv.notify_all();
+    }
+
+    fn probe(&self) -> bool {
+        *lock(&self.done)
+    }
+
+    /// Park briefly (bounded, so a waiter polls for newly stealable work a
+    /// few thousand times a second instead of spinning).
+    fn wait_brief(&self) {
+        let guard = lock(&self.done);
+        if *guard {
+            return;
+        }
+        let _ =
+            self.cv.wait_timeout(guard, Duration::from_micros(200)).unwrap_or_else(PoisonError::into_inner);
+    }
+}
+
+/// The stack-allocated closure + result slot behind a [`JobRef`].
+struct StackJob<F, R> {
+    func: UnsafeCell<Option<F>>,
+    result: UnsafeCell<Option<std::thread::Result<R>>>,
+    latch: Latch,
+}
+
+impl<F, R> StackJob<F, R>
+where
+    F: FnOnce() -> R + Send,
+    R: Send,
+{
+    fn new(func: F) -> StackJob<F, R> {
+        StackJob { func: UnsafeCell::new(Some(func)), result: UnsafeCell::new(None), latch: Latch::new() }
+    }
+
+    fn as_job_ref(&self) -> JobRef {
+        JobRef { ptr: self as *const StackJob<F, R> as *const (), exec: Self::execute_erased }
+    }
+
+    /// Safety: `ptr` came from `as_job_ref` on a live `StackJob`, and only
+    /// one thread ever dequeues a given `JobRef`.
+    unsafe fn execute_erased(ptr: *const ()) {
+        let this = &*(ptr as *const StackJob<F, R>);
+        if let Some(func) = (*this.func.get()).take() {
+            let result = catch_unwind(AssertUnwindSafe(func));
+            *this.result.get() = Some(result);
+        }
+        // Set last: the owner may deallocate the frame once this fires.
+        this.latch.set();
+    }
+
+    /// Take the result. Called by the owner only after the latch fired, which
+    /// synchronizes with the executor's write through the latch mutex.
+    fn take_result(&self) -> std::thread::Result<R> {
+        match unsafe { (*self.result.get()).take() } {
+            Some(result) => result,
+            // Unreachable: the latch only fires after the slot is written.
+            None => {
+                Err(Box::new("work-stealing job completed without a result") as Box<dyn std::any::Any + Send>)
+            }
+        }
+    }
+}
+
+/// State shared by every worker of one pool plus any external submitters.
+struct PoolShared {
+    /// Per-worker job deques: owner pushes/pops back, thieves drain the front.
+    deques: Vec<Mutex<VecDeque<JobRef>>>,
+    /// FIFO queue for jobs submitted by threads outside the pool.
+    injector: Mutex<VecDeque<JobRef>>,
+    /// Number of jobs sitting in any deque or the injector. Pushers increment
+    /// it *before* checking `sleepers`; parkers increment `sleepers` before
+    /// re-checking it. SeqCst on both makes a missed wakeup impossible.
+    pending: AtomicUsize,
+    /// Number of workers inside (or entering) a condvar wait.
+    sleepers: AtomicUsize,
+    /// Park lock; the guarded flag is the shutdown signal.
+    park: Mutex<bool>,
+    unpark: Condvar,
+    num_threads: usize,
+}
+
+impl PoolShared {
+    /// Build the shared state and spawn the workers. Pools of size 1 spawn
+    /// no threads at all: every entry point runs sequentially inline.
+    fn build(num_threads: usize) -> (Arc<PoolShared>, Vec<std::thread::JoinHandle<()>>) {
+        let shared = Arc::new(PoolShared {
+            deques: (0..num_threads).map(|_| Mutex::new(VecDeque::new())).collect(),
+            injector: Mutex::new(VecDeque::new()),
+            pending: AtomicUsize::new(0),
+            sleepers: AtomicUsize::new(0),
+            park: Mutex::new(false),
+            unpark: Condvar::new(),
+            num_threads,
+        });
+        let workers = if num_threads >= 2 {
+            (0..num_threads)
+                .map(|index| {
+                    let shared = Arc::clone(&shared);
+                    std::thread::Builder::new()
+                        .name(format!("quadra-pool-{index}"))
+                        .spawn(move || worker_main(shared, index))
+                })
+                .filter_map(|handle| handle.ok())
+                .collect()
+        } else {
+            Vec::new()
+        };
+        (shared, workers)
+    }
+
+    /// Wake one parked worker if any might be asleep. Notifying under the
+    /// park lock pairs with the parker's lock-held `pending` re-check, so
+    /// the notification cannot land between that check and the wait.
+    fn notify_one(&self) {
+        if self.sleepers.load(Ordering::SeqCst) > 0 {
+            let _guard = lock(&self.park);
+            self.unpark.notify_one();
+        }
+    }
+
+    /// Push onto worker `index`'s own deque (LIFO end).
+    fn push_local(&self, index: usize, job: JobRef) {
+        match self.deques.get(index) {
+            Some(deque) => lock(deque).push_back(job),
+            None => lock(&self.injector).push_back(job),
+        }
+        self.pending.fetch_add(1, Ordering::SeqCst);
+        self.notify_one();
+    }
+
+    /// Push onto the shared injector (used by threads outside the pool).
+    fn inject(&self, job: JobRef) {
+        lock(&self.injector).push_back(job);
+        self.pending.fetch_add(1, Ordering::SeqCst);
+        self.notify_one();
+    }
+
+    /// Pop from our own deque's back (most recently pushed first).
+    fn pop_local(&self, index: usize) -> Option<JobRef> {
+        let job = self.deques.get(index).and_then(|deque| lock(deque).pop_back());
+        if job.is_some() {
+            self.pending.fetch_sub(1, Ordering::SeqCst);
+        }
+        job
+    }
+
+    /// Find one job to run: own deque, then the injector, then steal half of
+    /// some victim's deque (keeping one, re-queueing the rest locally).
+    fn find_work(&self, me: Option<usize>) -> Option<JobRef> {
+        if let Some(index) = me {
+            if let Some(job) = self.pop_local(index) {
+                return Some(job);
+            }
+        }
+        if let Some(job) = lock(&self.injector).pop_front() {
+            self.pending.fetch_sub(1, Ordering::SeqCst);
+            return Some(job);
+        }
+        let n = self.deques.len();
+        let start = me.map_or(0, |index| index + 1);
+        for offset in 0..n {
+            let victim_index = (start + offset) % n;
+            if Some(victim_index) == me {
+                continue;
+            }
+            let Some(victim) = self.deques.get(victim_index) else { continue };
+            let mut stolen: VecDeque<JobRef> = {
+                let mut deque = lock(victim);
+                let take = deque.len().div_ceil(2);
+                deque.drain(..take).collect()
+            };
+            let Some(job) = stolen.pop_front() else { continue };
+            self.pending.fetch_sub(1, Ordering::SeqCst);
+            if !stolen.is_empty() {
+                // Relocated jobs stay queued (and counted); park them where
+                // this thread can pop them, and wake a peer to share.
+                match me.and_then(|index| self.deques.get(index)) {
+                    Some(own) => lock(own).append(&mut stolen),
+                    None => lock(&self.injector).append(&mut stolen),
+                }
+                self.notify_one();
+            }
+            return Some(job);
+        }
+        None
+    }
+
+    /// Help execute queued jobs until `latch` fires. This is how a `join`
+    /// caller waits: it never blocks while there is runnable work anywhere.
+    fn wait_until(&self, me: Option<usize>, latch: &Latch) {
+        while !latch.probe() {
+            match self.find_work(me) {
+                Some(job) => unsafe { job.execute() },
+                None => latch.wait_brief(),
+            }
+        }
+    }
+}
+
+/// Worker thread body: run jobs while any exist, park otherwise.
+fn worker_main(shared: Arc<PoolShared>, index: usize) {
+    CURRENT.with(|current| {
+        *current.borrow_mut() = Some(Context { shared: Arc::clone(&shared), index: Some(index) });
+    });
+    loop {
+        if let Some(job) = shared.find_work(Some(index)) {
+            unsafe { job.execute() };
+            continue;
+        }
+        let mut guard = lock(&shared.park);
+        if *guard {
+            return; // shutdown
+        }
+        shared.sleepers.fetch_add(1, Ordering::SeqCst);
+        if shared.pending.load(Ordering::SeqCst) == 0 {
+            // The timeout is insurance only; the pending/sleepers handshake
+            // already rules out lost wakeups.
+            let (g, _) = shared
+                .unpark
+                .wait_timeout(guard, Duration::from_millis(500))
+                .unwrap_or_else(PoisonError::into_inner);
+            guard = g;
+        }
+        shared.sleepers.fetch_sub(1, Ordering::SeqCst);
+        if *guard {
+            return;
+        }
+    }
+}
+
+/// Which pool (and worker slot, for pool threads) the current thread runs in.
+#[derive(Clone)]
+struct Context {
+    shared: Arc<PoolShared>,
+    index: Option<usize>,
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<Context>> = const { RefCell::new(None) };
+}
+
+static GLOBAL: OnceLock<Arc<PoolShared>> = OnceLock::new();
+
+/// The lazily-built process-wide pool (its workers are never joined).
+fn global_pool() -> &'static Arc<PoolShared> {
+    GLOBAL.get_or_init(|| PoolShared::build(default_num_threads()).0)
+}
+
+/// Parse a `QUADRA_NUM_THREADS`-style override; `None` means "use default".
+fn parse_thread_override(value: Option<&str>) -> Option<usize> {
+    value.and_then(|s| s.trim().parse::<usize>().ok()).filter(|&n| n >= 1)
+}
+
+/// Pool size for the global pool: `QUADRA_NUM_THREADS` if set and valid,
+/// otherwise the number of available cores.
+fn default_num_threads() -> usize {
+    let var = std::env::var("QUADRA_NUM_THREADS").ok();
+    parse_thread_override(var.as_deref())
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+}
+
+fn current_context() -> Context {
+    CURRENT
+        .with(|current| current.borrow().clone())
+        .unwrap_or_else(|| Context { shared: Arc::clone(global_pool()), index: None })
+}
+
+/// The number of threads in the pool the current thread would submit to:
+/// the installed/owning pool if any, otherwise the global pool. This is the
+/// single source of truth for parallelism decisions (GEMM block sizing,
+/// facade short-circuits), honoring `QUADRA_NUM_THREADS`.
+pub fn current_num_threads() -> usize {
+    CURRENT
+        .with(|current| current.borrow().as_ref().map(|ctx| ctx.shared.num_threads))
+        .unwrap_or_else(|| global_pool().num_threads)
+}
+
+/// Run `oper_a` and `oper_b`, potentially in parallel, returning both
+/// results. `oper_b` is made stealable; the caller runs `oper_a` inline and
+/// then pops `oper_b` back (or helps run other queued jobs) until it is done.
+/// A panic in either closure resurfaces here after both halves finished.
+pub fn join<A, B, RA, RB>(oper_a: A, oper_b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    let ctx = current_context();
+    if ctx.shared.num_threads <= 1 {
+        let ra = oper_a();
+        let rb = oper_b();
+        return (ra, rb);
+    }
+    let job_b = StackJob::new(oper_b);
+    match ctx.index {
+        Some(index) => ctx.shared.push_local(index, job_b.as_job_ref()),
+        None => ctx.shared.inject(job_b.as_job_ref()),
+    }
+    let result_a = catch_unwind(AssertUnwindSafe(oper_a));
+    // Always wait for b's latch — even on panic — so the JobRef into this
+    // frame can never dangle in a queue while we unwind.
+    ctx.shared.wait_until(ctx.index, &job_b.latch);
+    let result_b = job_b.take_result();
+    match result_a {
+        Ok(ra) => match result_b {
+            Ok(rb) => (ra, rb),
+            Err(payload) => resume_unwind(payload),
+        },
+        Err(payload) => resume_unwind(payload),
+    }
+}
+
+/// An explicitly-sized work-stealing pool, primarily for tests that need a
+/// thread count independent of the host (`QUADRA_NUM_THREADS` sizes the
+/// global pool instead). Workers are parked when idle and joined on drop.
+pub struct ThreadPool {
+    shared: Arc<PoolShared>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl ThreadPool {
+    /// Build a pool with `num_threads` workers (clamped to at least 1; a
+    /// 1-thread pool spawns no OS threads and runs everything inline).
+    pub fn new(num_threads: usize) -> ThreadPool {
+        let (shared, workers) = PoolShared::build(num_threads.max(1));
+        ThreadPool { shared, workers }
+    }
+
+    /// This pool's worker count.
+    pub fn num_threads(&self) -> usize {
+        self.shared.num_threads
+    }
+
+    /// Run `f` on the calling thread with this pool as its submission
+    /// target: `join` and the parallel iterators inside `f` use this pool.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        let _guard = ContextGuard::enter(Arc::clone(&self.shared));
+        f()
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        {
+            let mut guard = lock(&self.shared.park);
+            *guard = true;
+            self.shared.unpark.notify_all();
+        }
+        for handle in self.workers.drain(..) {
+            // Workers catch job panics, so join failures cannot happen; a
+            // best-effort join keeps drop panic-free regardless.
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Restores the previous thread-local pool binding when `install` returns
+/// (or unwinds).
+struct ContextGuard {
+    prev: Option<Context>,
+}
+
+impl ContextGuard {
+    fn enter(shared: Arc<PoolShared>) -> ContextGuard {
+        let prev = CURRENT.with(|current| current.borrow_mut().replace(Context { shared, index: None }));
+        ContextGuard { prev }
+    }
+}
+
+impl Drop for ContextGuard {
+    fn drop(&mut self) {
+        let prev = self.prev.take();
+        CURRENT.with(|current| *current.borrow_mut() = prev);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::atomic::AtomicUsize;
+    use std::thread::ThreadId;
+
+    #[test]
+    fn join_returns_both_results() {
+        let pool = ThreadPool::new(2);
+        let (a, b) = pool.install(|| join(|| 2 + 2, || "ok"));
+        assert_eq!(a, 4);
+        assert_eq!(b, "ok");
+    }
+
+    #[test]
+    fn injected_job_runs_on_a_pool_thread() {
+        // The external caller parks in oper_a long enough for a worker to
+        // steal oper_b from the injector: deterministic cross-thread hand-off.
+        let pool = ThreadPool::new(2);
+        let caller = std::thread::current().id();
+        let (_, b_thread) = pool.install(|| {
+            join(|| std::thread::sleep(Duration::from_millis(30)), || std::thread::current().id())
+        });
+        assert_ne!(b_thread, caller, "oper_b should have been stolen by a pool worker");
+    }
+
+    #[test]
+    fn steal_under_skewed_load_uses_multiple_threads() {
+        let pool = ThreadPool::new(4);
+        let ran = Mutex::new(vec![0usize; 24]);
+        let threads = Mutex::new(HashSet::<ThreadId>::new());
+        pool.install(|| {
+            crate::parallel_for_range(0, 24, 1, &|i| {
+                // Skewed: early indices are much heavier, so finishing the
+                // range fast requires the later splits to be stolen.
+                let delay = if i < 4 { 20 } else { 1 };
+                std::thread::sleep(Duration::from_millis(delay));
+                lock(&ran)[i] += 1;
+                lock(&threads).insert(std::thread::current().id());
+            });
+        });
+        let ran = lock(&ran);
+        assert!(ran.iter().all(|&count| count == 1), "every index exactly once: {ran:?}");
+        assert!(lock(&threads).len() >= 2, "skewed load should spread over several threads");
+    }
+
+    #[test]
+    fn nested_join_computes_correct_sum() {
+        fn sum(range: std::ops::Range<u64>) -> u64 {
+            let len = range.end - range.start;
+            if len <= 3 {
+                return range.sum();
+            }
+            let mid = range.start + len / 2;
+            let (lo, hi) = join(|| sum(range.start..mid), move || sum(mid..range.end));
+            lo + hi
+        }
+        let pool = ThreadPool::new(4);
+        let total = pool.install(|| sum(0..10_000));
+        assert_eq!(total, 10_000 * 9_999 / 2);
+    }
+
+    #[test]
+    fn panic_in_either_half_propagates_and_pool_survives() {
+        let pool = ThreadPool::new(2);
+        let left = catch_unwind(AssertUnwindSafe(|| pool.install(|| join(|| panic!("left half"), || 1))));
+        assert!(left.is_err(), "left-half panic must propagate");
+        let right = catch_unwind(AssertUnwindSafe(|| pool.install(|| join(|| 1, || panic!("right half")))));
+        assert!(right.is_err(), "right-half panic must propagate");
+        // Workers caught the panics; the pool still runs real work.
+        let (a, b) = pool.install(|| join(|| 21, || 21));
+        assert_eq!(a + b, 42);
+    }
+
+    #[test]
+    fn one_thread_pool_is_sequential_and_correct() {
+        let pool = ThreadPool::new(1);
+        assert_eq!(pool.num_threads(), 1);
+        let here = std::thread::current().id();
+        let (a, b) = pool.install(|| {
+            assert_eq!(current_num_threads(), 1);
+            join(|| std::thread::current().id(), || std::thread::current().id())
+        });
+        assert_eq!(a, here);
+        assert_eq!(b, here);
+        let counter = AtomicUsize::new(0);
+        pool.install(|| {
+            crate::parallel_for_range(0, 100, 1, &|_| {
+                counter.fetch_add(1, Ordering::SeqCst);
+            });
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    fn install_restores_previous_context() {
+        let outer = ThreadPool::new(3);
+        let inner = ThreadPool::new(2);
+        outer.install(|| {
+            assert_eq!(current_num_threads(), 3);
+            inner.install(|| assert_eq!(current_num_threads(), 2));
+            assert_eq!(current_num_threads(), 3);
+        });
+    }
+
+    #[test]
+    fn thread_override_parser_accepts_only_positive_integers() {
+        assert_eq!(parse_thread_override(Some("4")), Some(4));
+        assert_eq!(parse_thread_override(Some(" 2 ")), Some(2));
+        assert_eq!(parse_thread_override(Some("0")), None);
+        assert_eq!(parse_thread_override(Some("-1")), None);
+        assert_eq!(parse_thread_override(Some("lots")), None);
+        assert_eq!(parse_thread_override(None), None);
+    }
+
+    #[test]
+    fn heavy_nested_stress() {
+        // Many concurrent installs from external threads hammering one pool.
+        let pool = Arc::new(ThreadPool::new(3));
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let pool = Arc::clone(&pool);
+            handles.push(std::thread::spawn(move || {
+                pool.install(|| {
+                    let n = 2_000 + t;
+                    let total = Mutex::new(0u64);
+                    crate::parallel_for_range(0, n as usize, 7, &|i| {
+                        *lock(&total) += i as u64;
+                    });
+                    let total = *lock(&total);
+                    assert_eq!(total, n * (n - 1) / 2);
+                })
+            }));
+        }
+        for handle in handles {
+            let joined = handle.join();
+            assert!(joined.is_ok());
+        }
+    }
+}
