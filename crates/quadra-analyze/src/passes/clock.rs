@@ -67,7 +67,8 @@ pub fn run(file: &SourceFile, cfg: &AnalyzeConfig, findings: &mut Vec<Finding>) 
             emit(
                 "raw-instant",
                 t.line,
-                "raw `Instant::now()` in a service-time ledger path; use `clock::service_now()`".to_string(),
+                "raw `Instant::now()` in a service-time ledger path; bill through `clock::start_charge()`"
+                    .to_string(),
             );
             continue;
         }
@@ -79,7 +80,7 @@ pub fn run(file: &SourceFile, cfg: &AnalyzeConfig, findings: &mut Vec<Finding>) 
                 "raw-elapsed",
                 toks[i + 1].line,
                 format!(
-                    "raw `.{}()` in a service-time ledger path; use `clock::elapsed_us`",
+                    "raw `.{}()` in a service-time ledger path; bill through `clock::ChargeSession`",
                     toks[i + 1].text
                 ),
             );

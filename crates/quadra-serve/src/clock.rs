@@ -1,110 +1,55 @@
-//! The sanctioned clock for service-time accounting: **per-thread CPU time**.
+//! The sanctioned clock for service-time accounting: **task-attributed CPU
+//! time**.
 //!
 //! The DRR fair-share ledger charges each endpoint for the compute its
-//! batches actually burn on a worker. Wall time overstated that whenever the
-//! OS descheduled a worker mid-batch — with more workers than cores, every
-//! endpoint's "service time" inflated with load, and the scheduler had to cap
+//! batches actually burn. Wall time overstated that whenever the OS
+//! descheduled a worker mid-batch, so the scheduler once had to cap
 //! concurrent grants at `available_parallelism` to keep the books honest.
-//! Billing `CLOCK_THREAD_CPUTIME_ID` instead means overlapping executions
-//! charge each endpoint only for its own cycles, so the cap is gone (see
-//! `scheduler.rs`).
+//! Billing the grant-holding worker's own `CLOCK_THREAD_CPUTIME_ID` fixed
+//! the deschedule inflation but opened two holes once the forward pass
+//! started dispatching GEMM row-blocks to the shared work-stealing pool:
+//! cycles burned by *pool* threads on stolen blocks were never billed, and a
+//! worker helping the pool while it waited could execute another endpoint's
+//! jobs and charge that CPU to its own grant.
 //!
-//! On Linux the clock is read through a thin `clock_gettime` FFI shim (no
-//! libc crate dependency); elsewhere it falls back to monotonic wall time,
-//! which is the best portable approximation and identical to the old
-//! behavior.
+//! A [`ChargeSession`] closes both holes. It is backed by the pool's CPU
+//! charge sessions (`rayon::start_cpu_charge`): every thread that executes
+//! one of the session's tasks — the owning worker inline, a pool worker that
+//! stole a GEMM block, an external helper — measures its own thread-CPU
+//! delta around exactly that task and accumulates it into the session, while
+//! intervals spent on a *different* session's tasks are charged there
+//! instead. Concurrent grants therefore overlap freely and each endpoint is
+//! billed precisely the cycles computed on its behalf, with no concurrency
+//! cap (see `scheduler.rs`).
 //!
-//! Invariant: a [`ServiceInstant`] is only meaningful on the thread that
-//! created it — thread CPU clocks are per-thread by definition. The ledger
-//! honors this: `GrantGuard::start_execution` and the settle on
+//! The underlying clock is `clock_gettime(CLOCK_THREAD_CPUTIME_ID)` on
+//! 64-bit Linux and monotonic wall time elsewhere (`rayon::thread_cpu_ns`).
+//!
+//! Invariant: a session must start and finish on the same worker thread —
+//! its first and last CPU segments are measured on that thread's clock. The
+//! ledger honors this: `GrantGuard::start_execution` and the settle on
 //! finish/drop both run on the owning worker thread.
 //!
 //! The static-analysis gate enforces the discipline: a raw `Instant::now()`
 //! or `.elapsed()` inside the ledger functions (see `quadra-analyze`'s
 //! workspace config) is a `clock:raw-instant` / `clock:raw-elapsed` finding.
 
-/// An opaque timestamp from the service clock (nanoseconds of CPU time the
-/// calling thread has consumed). Deliberately *not* an `Instant` so
-/// arithmetic cannot bypass this module, and only comparable on the thread
-/// that produced it.
-#[derive(Debug, Clone, Copy)]
-pub(crate) struct ServiceInstant(u64);
+/// An open CPU-attribution session for one granted batch. Deliberately *not*
+/// an `Instant` pair so ledger arithmetic cannot bypass this module.
+pub(crate) struct ChargeSession(rayon::CpuChargeSession);
 
-/// Read the service clock on the current thread.
-pub(crate) fn service_now() -> ServiceInstant {
-    ServiceInstant(imp::thread_time_ns())
+/// Begin billing the current thread — and every pool task it (transitively)
+/// spawns until the session ends — to a fresh session.
+pub(crate) fn start_charge() -> ChargeSession {
+    ChargeSession(rayon::start_cpu_charge())
 }
 
-/// Whole microseconds of service (CPU) time this thread consumed since
-/// `start`, saturating. `start` must come from [`service_now`] on the same
-/// thread.
-pub(crate) fn elapsed_us(start: ServiceInstant) -> u64 {
-    imp::thread_time_ns().saturating_sub(start.0) / 1_000
-}
-
-#[cfg(target_os = "linux")]
-mod imp {
-    //! `clock_gettime(CLOCK_THREAD_CPUTIME_ID)` via a minimal FFI shim.
-
-    use std::os::raw::{c_int, c_long};
-
-    /// From `linux/time.h`; stable ABI across architectures.
-    const CLOCK_THREAD_CPUTIME_ID: c_int = 3;
-
-    /// Mirror of the kernel's `struct timespec` for the C ABI in use
-    /// (`time_t` and `long` are both `c_long` on every Linux target Rust
-    /// supports with this layout).
-    #[repr(C)]
-    struct Timespec {
-        tv_sec: c_long,
-        tv_nsec: c_long,
-    }
-
-    extern "C" {
-        fn clock_gettime(clock_id: c_int, tp: *mut Timespec) -> c_int;
-    }
-
-    /// Nanoseconds of CPU time consumed by the calling thread.
-    pub(super) fn thread_time_ns() -> u64 {
-        let mut ts = Timespec { tv_sec: 0, tv_nsec: 0 };
-        // Safety: `ts` is a valid, writable timespec for the duration of the
-        // call; the clock id is a compile-time constant the kernel accepts.
-        let rc = unsafe { clock_gettime(CLOCK_THREAD_CPUTIME_ID, &mut ts) };
-        if rc != 0 {
-            // EINVAL can only mean the clock id is unsupported (pre-2.6
-            // kernels); degrade to wall time rather than corrupt the ledger.
-            return fallback_wall_ns();
-        }
-        (ts.tv_sec as u64).saturating_mul(1_000_000_000).saturating_add(ts.tv_nsec as u64)
-    }
-
-    fn fallback_wall_ns() -> u64 {
-        super::wall::monotonic_ns()
-    }
-}
-
-#[cfg(not(target_os = "linux"))]
-mod imp {
-    //! Portable fallback: monotonic wall time (the pre-migration behavior).
-
-    pub(super) fn thread_time_ns() -> u64 {
-        super::wall::monotonic_ns()
-    }
-}
-
-mod wall {
-    //! Monotonic wall-clock nanoseconds against a process-global anchor,
-    //! used only when per-thread CPU time is unavailable.
-
-    use std::sync::OnceLock;
-    use std::time::Instant;
-
-    static ANCHOR: OnceLock<Instant> = OnceLock::new();
-
-    #[cfg_attr(target_os = "linux", allow(dead_code))]
-    pub(super) fn monotonic_ns() -> u64 {
-        let anchor = ANCHOR.get_or_init(Instant::now);
-        u64::try_from(anchor.elapsed().as_nanos()).unwrap_or(u64::MAX)
+impl ChargeSession {
+    /// End the session, returning the whole microseconds of CPU time
+    /// attributed to it across all executing threads. Must be called on the
+    /// thread that started the session.
+    pub fn finish_us(self) -> u64 {
+        self.0.finish() / 1_000
     }
 }
 
@@ -113,34 +58,55 @@ mod tests {
     use super::*;
 
     #[test]
-    fn elapsed_is_monotonic_nondecreasing() {
-        let start = service_now();
-        let a = elapsed_us(start);
-        let b = elapsed_us(start);
-        assert!(b >= a);
-    }
-
-    #[test]
     fn busy_work_accrues_service_time() {
-        let start = service_now();
+        let session = start_charge();
         // Burn enough CPU that even a coarse thread clock must advance.
+        let start = rayon::thread_cpu_ns();
         let mut acc = 0u64;
-        while elapsed_us(start) < 2_000 {
+        while rayon::thread_cpu_ns().saturating_sub(start) < 2_000_000 {
             for i in 0..10_000u64 {
                 acc = acc.wrapping_add(i * i);
             }
             std::hint::black_box(acc);
         }
-        assert!(elapsed_us(start) >= 2_000);
+        assert!(session.finish_us() >= 2_000);
     }
 
-    #[cfg(target_os = "linux")]
+    #[cfg(all(target_os = "linux", target_pointer_width = "64"))]
     #[test]
     fn sleeping_accrues_almost_no_service_time() {
-        // The point of the migration: blocked/descheduled time is not billed.
-        let start = service_now();
+        // The point of the CPU-time migration: blocked/descheduled time is
+        // not billed.
+        let session = start_charge();
         std::thread::sleep(std::time::Duration::from_millis(60));
-        let cpu_us = elapsed_us(start);
-        assert!(cpu_us < 30_000, "a sleeping thread consumed {cpu_us}us of CPU time");
+        let cpu_us = session.finish_us();
+        assert!(cpu_us < 30_000, "a sleeping session was billed {cpu_us}us of CPU time");
+    }
+
+    #[test]
+    fn parallel_kernel_work_is_billed_to_the_session() {
+        // A session wrapping a pool-parallel region must bill the work the
+        // pool threads did, not just the owning thread's share.
+        let pool = rayon::ThreadPool::new(4);
+        const TASKS: u64 = 8;
+        const PER_TASK_NS: u64 = 5_000_000;
+        let billed_us = pool.install(|| {
+            let session = start_charge();
+            rayon::pool::join(|| spin_cpu(PER_TASK_NS * TASKS / 2), || spin_cpu(PER_TASK_NS * TASKS / 2));
+            session.finish_us()
+        });
+        let floor_us = TASKS * PER_TASK_NS / 1_000 * 9 / 10;
+        assert!(billed_us >= floor_us, "billed {billed_us}us, expected at least {floor_us}us");
+    }
+
+    fn spin_cpu(ns: u64) {
+        let start = rayon::thread_cpu_ns();
+        let mut acc = 0u64;
+        while rayon::thread_cpu_ns().saturating_sub(start) < ns {
+            for i in 0..1_000u64 {
+                acc = acc.wrapping_add(i * i);
+            }
+            std::hint::black_box(acc);
+        }
     }
 }

@@ -12,7 +12,7 @@
 //! at the last possible moment.
 
 use crate::admission::{PopResult, TakeResult};
-use crate::clock::{self, ServiceInstant};
+use crate::clock::{self, ChargeSession};
 use crate::endpoint::EndpointShared;
 use crate::request::{PendingInfer, ServeError};
 use crate::sync::{lock_or_recover, wait_timeout_or_recover};
@@ -133,28 +133,30 @@ pub(crate) struct Grant {
 pub(crate) struct GrantGuard {
     fleet: Arc<FleetScheduler>,
     grant: Option<Grant>,
-    /// Set just before the batch's forward pass; `None` at drop means the
-    /// batch never executed and the whole debit is refunded. Read through
-    /// the sanctioned service clock (per-thread CPU time): both the start
-    /// and the settle read happen on the owning worker thread, which the
-    /// thread CPU clock requires.
-    exec_started: Option<ServiceInstant>,
+    /// Opened just before the batch's forward pass; `None` at drop means the
+    /// batch never executed and the whole debit is refunded. The session
+    /// attributes CPU across every thread that executes the batch's tasks —
+    /// including pool workers running stolen GEMM row-blocks — and excludes
+    /// intervals this worker spends helping another endpoint's jobs while it
+    /// waits. Both the open and the settle happen on the owning worker
+    /// thread, which the session requires.
+    charge: Option<ChargeSession>,
 }
 
 impl GrantGuard {
     fn new(fleet: Arc<FleetScheduler>, grant: Grant) -> Self {
-        GrantGuard { fleet, grant: Some(grant), exec_started: None }
+        GrantGuard { fleet, grant: Some(grant), charge: None }
     }
 
     /// Mark the start of the granted batch's execution; service time is
-    /// charged from this instant.
+    /// billed from here until settle.
     pub fn start_execution(&mut self) {
-        self.exec_started = Some(clock::service_now());
+        self.charge = Some(clock::start_charge());
     }
 
     fn settle_now(&mut self) -> u64 {
         let Some(grant) = self.grant.take() else { return 0 };
-        let actual_us = self.exec_started.map(clock::elapsed_us).unwrap_or(0);
+        let actual_us = self.charge.take().map(ChargeSession::finish_us).unwrap_or(0);
         self.fleet.settle(grant, actual_us);
         actual_us
     }
@@ -214,12 +216,14 @@ struct FleetState {
 /// fairness only constrains who runs *next* when more than one endpoint has
 /// work waiting.
 ///
-/// Grants may overlap without bound: the ledger bills per-thread **CPU**
-/// time (see `clock.rs`), so two batches timesharing a core each get charged
-/// only for the cycles they actually computed. The earlier wall-clock ledger
-/// needed an `available_parallelism` cap on concurrently executing grants to
-/// stop descheduled time from inflating the books; that cap (and its extra
-/// wait state) is gone.
+/// Grants may overlap without bound: the ledger bills **task-attributed CPU
+/// time** (see `clock.rs`), so two batches timesharing a core each get
+/// charged only for the cycles they actually computed — including cycles
+/// pool workers burn on their stolen GEMM row-blocks, and excluding time the
+/// grant-holding worker spends helping another endpoint's tasks. The earlier
+/// wall-clock ledger needed an `available_parallelism` cap on concurrently
+/// executing grants to stop descheduled time from inflating the books; that
+/// cap (and its extra wait state) is gone.
 pub(crate) struct FleetScheduler {
     state: Mutex<FleetState>,
     settled: Condvar,

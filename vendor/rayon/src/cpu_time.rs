@@ -1,0 +1,115 @@
+//! Per-thread CPU time, the clock behind task-attributed accounting.
+//!
+//! On 64-bit Linux this reads `clock_gettime(CLOCK_THREAD_CPUTIME_ID)`
+//! through a minimal FFI shim (the build environment has no `libc` crate).
+//! The `timespec` layout is only declared where it is unambiguous: every
+//! 64-bit Linux target Rust supports is LP64, so `time_t` and `long` are
+//! both `i64`. 32-bit targets are *not* given a hand-rolled layout — musl
+//! 1.2+ moved them to 64-bit `time_t` while glibc kept 32-bit, so any single
+//! declaration would read garbage on the other ABI; they use the wall-clock
+//! fallback instead.
+//!
+//! Downstream, `quadra-serve`'s service-time ledger builds on this clock via
+//! [`crate::pool::start_cpu_charge`].
+
+#[cfg(all(target_os = "linux", target_pointer_width = "64"))]
+mod imp {
+    /// From `linux/time.h`; stable across architectures.
+    const CLOCK_THREAD_CPUTIME_ID: i32 = 3;
+
+    /// `struct timespec` on LP64 Linux, where `time_t` and `long` are `i64`.
+    #[repr(C)]
+    struct Timespec {
+        tv_sec: i64,
+        tv_nsec: i64,
+    }
+
+    extern "C" {
+        fn clock_gettime(clock_id: i32, tp: *mut Timespec) -> i32;
+    }
+
+    /// Nanoseconds of CPU time consumed by the calling thread.
+    pub(super) fn thread_time_ns() -> u64 {
+        let mut ts = Timespec { tv_sec: 0, tv_nsec: 0 };
+        // Safety: `ts` is a valid, writable timespec for the duration of the
+        // call; the clock id is a compile-time constant the kernel accepts.
+        let rc = unsafe { clock_gettime(CLOCK_THREAD_CPUTIME_ID, &mut ts) };
+        if rc != 0 {
+            // EINVAL can only mean the clock id is unsupported (pre-2.6
+            // kernels); degrade to wall time rather than return garbage.
+            return super::wall::monotonic_ns();
+        }
+        (ts.tv_sec as u64).saturating_mul(1_000_000_000).saturating_add(ts.tv_nsec as u64)
+    }
+}
+
+#[cfg(not(all(target_os = "linux", target_pointer_width = "64")))]
+mod imp {
+    //! Portable fallback: monotonic wall time. Callers that sum per-task
+    //! segments across threads will overcount descheduled time here, which
+    //! is the best portable approximation (and matches the pre-CPU-clock
+    //! behavior).
+
+    pub(super) fn thread_time_ns() -> u64 {
+        super::wall::monotonic_ns()
+    }
+}
+
+mod wall {
+    //! Monotonic wall-clock nanoseconds against a process-global anchor,
+    //! used only when a per-thread CPU clock is unavailable.
+
+    use std::sync::OnceLock;
+    use std::time::Instant;
+
+    static ANCHOR: OnceLock<Instant> = OnceLock::new();
+
+    #[cfg_attr(all(target_os = "linux", target_pointer_width = "64"), allow(dead_code))]
+    pub(super) fn monotonic_ns() -> u64 {
+        let anchor = ANCHOR.get_or_init(Instant::now);
+        u64::try_from(anchor.elapsed().as_nanos()).unwrap_or(u64::MAX)
+    }
+}
+
+/// Nanoseconds of CPU time the calling thread has consumed (monotonic wall
+/// time where no per-thread CPU clock is available: non-Linux and 32-bit
+/// Linux targets).
+pub fn thread_cpu_ns() -> u64 {
+    imp::thread_time_ns()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thread_cpu_is_monotonic_nondecreasing() {
+        let a = thread_cpu_ns();
+        let b = thread_cpu_ns();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn busy_work_accrues_thread_cpu() {
+        let start = thread_cpu_ns();
+        let mut acc = 0u64;
+        // Burn enough CPU that even a coarse thread clock must advance.
+        while thread_cpu_ns().saturating_sub(start) < 2_000_000 {
+            for i in 0..10_000u64 {
+                acc = acc.wrapping_add(i * i);
+            }
+            std::hint::black_box(acc);
+        }
+        assert!(thread_cpu_ns() - start >= 2_000_000);
+    }
+
+    #[cfg(all(target_os = "linux", target_pointer_width = "64"))]
+    #[test]
+    fn sleeping_accrues_almost_no_thread_cpu() {
+        // The point of a thread CPU clock: blocked time is not counted.
+        let start = thread_cpu_ns();
+        std::thread::sleep(std::time::Duration::from_millis(60));
+        let cpu_ns = thread_cpu_ns() - start;
+        assert!(cpu_ns < 30_000_000, "a sleeping thread consumed {cpu_ns}ns of CPU time");
+    }
+}

@@ -12,10 +12,18 @@
 //! [`current_num_threads`], which honors the `QUADRA_NUM_THREADS` override,
 //! and every facade short-circuits to inline sequential execution when the
 //! effective pool size is 1.
+//!
+//! Beyond the rayon API surface, the pool exposes **CPU charge sessions**
+//! ([`start_cpu_charge`]): task-granular attribution of thread CPU time
+//! ([`thread_cpu_ns`]) that follows work wherever it is stolen, which
+//! `quadra-serve`'s fair-share ledger uses to bill endpoints for the cycles
+//! their batches actually burned across the shared pool.
 
+pub mod cpu_time;
 pub mod pool;
 
-pub use pool::{current_num_threads, join, ThreadPool};
+pub use cpu_time::thread_cpu_ns;
+pub use pool::{current_num_threads, join, start_cpu_charge, CpuChargeSession, ThreadPool};
 
 /// Import surface mirroring `rayon::prelude`.
 pub mod prelude {

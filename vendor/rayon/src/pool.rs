@@ -21,6 +21,13 @@
 //!   are captured and re-thrown at the join point; pool workers themselves
 //!   never die from a task panic.
 //!
+//! - [`start_cpu_charge`] opens a **CPU charge session**: every thread that
+//!   executes one of the session's jobs (transitively, however it was stolen
+//!   or helped) measures its own thread-CPU delta around the job and
+//!   accumulates it into the session, segmented so concurrent sessions on
+//!   one pool never cross-bill. This is the seam `quadra-serve`'s DRR
+//!   ledger bills through.
+//!
 //! The global pool is built lazily on first use with
 //! `QUADRA_NUM_THREADS`-many workers (default: `available_parallelism`).
 //! `ThreadPool::new(n)` builds an isolated pool for tests; `install` scopes a
@@ -28,10 +35,11 @@
 //! execution when the effective pool size is 1, so a single-core host pays no
 //! synchronization cost at all.
 
+use crate::cpu_time::thread_cpu_ns;
 use std::cell::{RefCell, UnsafeCell};
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
 use std::time::Duration;
 
@@ -40,6 +48,95 @@ use std::time::Duration;
 /// the guard is always sound and keeps panic handling on the job level.
 fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
     mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Thread-local CPU-attribution state: the sink the current thread is
+/// charging its CPU time to, and when the open charge segment began.
+struct ChargeState {
+    sink: Option<Arc<AtomicU64>>,
+    segment_start_ns: u64,
+}
+
+thread_local! {
+    static CHARGE: RefCell<ChargeState> =
+        const { RefCell::new(ChargeState { sink: None, segment_start_ns: 0 }) };
+}
+
+/// Flush the open charge segment into its sink (if any), then make `new` the
+/// current sink with a fresh segment. Returns the previous sink so callers
+/// can restore it. When neither old nor new sink exists this is free — no
+/// clock read — so code that never charges pays nothing.
+fn swap_charge_sink(new: Option<Arc<AtomicU64>>) -> Option<Arc<AtomicU64>> {
+    CHARGE.with(|cell| {
+        let mut state = cell.borrow_mut();
+        if state.sink.is_none() && new.is_none() {
+            return None;
+        }
+        let now = thread_cpu_ns();
+        let prev = state.sink.take();
+        if let Some(sink) = &prev {
+            sink.fetch_add(now.saturating_sub(state.segment_start_ns), Ordering::Relaxed);
+        }
+        state.sink = new;
+        state.segment_start_ns = now;
+        prev
+    })
+}
+
+/// The sink the current thread is charging, to be captured into spawned jobs.
+fn current_charge_sink() -> Option<Arc<AtomicU64>> {
+    CHARGE.with(|cell| cell.borrow().sink.clone())
+}
+
+/// Attributes CPU time to one unit of work across *every* thread that
+/// executes its tasks.
+///
+/// Between [`start_cpu_charge`] and [`CpuChargeSession::finish`], CPU burned
+/// by the owning thread — and by any pool or helper thread executing a job
+/// that the session's `join`s spawned, transitively — accumulates into the
+/// session. Attribution is segmented per thread: a thread that interleaves
+/// another session's job (e.g. while helping in a `join` wait) charges that
+/// interval to the *other* session, never to this one, so concurrent
+/// sessions sharing a pool cannot cross-bill.
+///
+/// `finish` (or drop) must run on the thread that called
+/// [`start_cpu_charge`]: the final segment is measured on the calling
+/// thread's CPU clock.
+pub struct CpuChargeSession {
+    sink: Arc<AtomicU64>,
+    prev: Option<Arc<AtomicU64>>,
+    open: bool,
+}
+
+/// Begin attributing the current thread's (and its spawned tasks') CPU time
+/// to a fresh session. Sessions nest: the enclosing session's sink is
+/// restored when this one finishes, and it is *not* charged for the inner
+/// session's interval.
+pub fn start_cpu_charge() -> CpuChargeSession {
+    let sink = Arc::new(AtomicU64::new(0));
+    let prev = swap_charge_sink(Some(Arc::clone(&sink)));
+    CpuChargeSession { sink, prev, open: true }
+}
+
+impl CpuChargeSession {
+    fn close(&mut self) -> u64 {
+        if self.open {
+            self.open = false;
+            swap_charge_sink(self.prev.take());
+        }
+        self.sink.load(Ordering::Relaxed)
+    }
+
+    /// End the session and return the total attributed CPU nanoseconds.
+    pub fn finish(mut self) -> u64 {
+        self.close()
+    }
+}
+
+impl Drop for CpuChargeSession {
+    fn drop(&mut self) {
+        self.close();
+    }
 }
 
 /// A type-erased pointer to a [`StackJob`] living in some `join` caller's
@@ -75,7 +172,14 @@ impl Latch {
     }
 
     fn set(&self) {
-        *lock(&self.done) = true;
+        // Notify while still holding the lock (rayon's LockLatch pattern):
+        // a waiter can only observe `done == true` through this mutex, so it
+        // cannot return — and deallocate the stack frame holding this latch —
+        // until `notify_all` has completed and the guard drops. Releasing
+        // before notifying would let a `probe`/timeout wake race the
+        // notification into freed memory.
+        let mut guard = lock(&self.done);
+        *guard = true;
         self.cv.notify_all();
     }
 
@@ -99,6 +203,10 @@ impl Latch {
 struct StackJob<F, R> {
     func: UnsafeCell<Option<F>>,
     result: UnsafeCell<Option<std::thread::Result<R>>>,
+    /// CPU-attribution sink captured from the spawning thread at creation;
+    /// installed on whichever thread ends up executing the job, so stolen
+    /// work is billed to the session that spawned it.
+    sink: Option<Arc<AtomicU64>>,
     latch: Latch,
 }
 
@@ -108,7 +216,12 @@ where
     R: Send,
 {
     fn new(func: F) -> StackJob<F, R> {
-        StackJob { func: UnsafeCell::new(Some(func)), result: UnsafeCell::new(None), latch: Latch::new() }
+        StackJob {
+            func: UnsafeCell::new(Some(func)),
+            result: UnsafeCell::new(None),
+            sink: current_charge_sink(),
+            latch: Latch::new(),
+        }
     }
 
     fn as_job_ref(&self) -> JobRef {
@@ -120,7 +233,12 @@ where
     unsafe fn execute_erased(ptr: *const ()) {
         let this = &*(ptr as *const StackJob<F, R>);
         if let Some(func) = (*this.func.get()).take() {
+            // Charge this job's CPU to the session that spawned it (and
+            // pause whatever this thread was charging before — helping on a
+            // foreign job must not bill the helper's own session).
+            let prev = swap_charge_sink(this.sink.clone());
             let result = catch_unwind(AssertUnwindSafe(func));
+            swap_charge_sink(prev);
             *this.result.get() = Some(result);
         }
         // Set last: the owner may deallocate the frame once this fires.
@@ -155,12 +273,20 @@ struct PoolShared {
     /// Park lock; the guarded flag is the shutdown signal.
     park: Mutex<bool>,
     unpark: Condvar,
-    num_threads: usize,
+    /// Effective worker count, the single source of truth for parallelism
+    /// decisions. Corrected downward after spawning when some workers failed
+    /// to start (see [`PoolShared::build`]), hence atomic.
+    num_threads: AtomicUsize,
 }
 
 impl PoolShared {
     /// Build the shared state and spawn the workers. Pools of size 1 spawn
     /// no threads at all: every entry point runs sequentially inline.
+    ///
+    /// A failed spawn is logged and the effective thread count is lowered to
+    /// the workers that actually started (down to 1 = fully sequential), so
+    /// GEMM block sizing and the facade short-circuits never assume
+    /// parallelism that does not exist.
     fn build(num_threads: usize) -> (Arc<PoolShared>, Vec<std::thread::JoinHandle<()>>) {
         let shared = Arc::new(PoolShared {
             deques: (0..num_threads).map(|_| Mutex::new(VecDeque::new())).collect(),
@@ -169,22 +295,30 @@ impl PoolShared {
             sleepers: AtomicUsize::new(0),
             park: Mutex::new(false),
             unpark: Condvar::new(),
-            num_threads,
+            num_threads: AtomicUsize::new(num_threads),
         });
-        let workers = if num_threads >= 2 {
-            (0..num_threads)
-                .map(|index| {
-                    let shared = Arc::clone(&shared);
-                    std::thread::Builder::new()
-                        .name(format!("quadra-pool-{index}"))
-                        .spawn(move || worker_main(shared, index))
-                })
-                .filter_map(|handle| handle.ok())
-                .collect()
-        } else {
-            Vec::new()
-        };
+        let mut workers = Vec::new();
+        if num_threads >= 2 {
+            for index in 0..num_threads {
+                let worker_shared = Arc::clone(&shared);
+                match std::thread::Builder::new()
+                    .name(format!("quadra-pool-{index}"))
+                    .spawn(move || worker_main(worker_shared, index))
+                {
+                    Ok(handle) => workers.push(handle),
+                    Err(err) => eprintln!("quadra-pool: failed to spawn worker {index}: {err}"),
+                }
+            }
+            if workers.len() < num_threads {
+                shared.num_threads.store(workers.len().max(1), Ordering::Relaxed);
+            }
+        }
         (shared, workers)
+    }
+
+    /// The pool's effective worker count.
+    fn threads(&self) -> usize {
+        self.num_threads.load(Ordering::Relaxed)
     }
 
     /// Wake one parked worker if any might be asleep. Notifying under the
@@ -350,8 +484,8 @@ fn current_context() -> Context {
 /// facade short-circuits), honoring `QUADRA_NUM_THREADS`.
 pub fn current_num_threads() -> usize {
     CURRENT
-        .with(|current| current.borrow().as_ref().map(|ctx| ctx.shared.num_threads))
-        .unwrap_or_else(|| global_pool().num_threads)
+        .with(|current| current.borrow().as_ref().map(|ctx| ctx.shared.threads()))
+        .unwrap_or_else(|| global_pool().threads())
 }
 
 /// Run `oper_a` and `oper_b`, potentially in parallel, returning both
@@ -366,7 +500,7 @@ where
     RB: Send,
 {
     let ctx = current_context();
-    if ctx.shared.num_threads <= 1 {
+    if ctx.shared.threads() <= 1 {
         let ra = oper_a();
         let rb = oper_b();
         return (ra, rb);
@@ -406,9 +540,9 @@ impl ThreadPool {
         ThreadPool { shared, workers }
     }
 
-    /// This pool's worker count.
+    /// This pool's effective worker count.
     pub fn num_threads(&self) -> usize {
-        self.shared.num_threads
+        self.shared.threads()
     }
 
     /// Run `f` on the calling thread with this pool as its submission
@@ -568,6 +702,83 @@ mod tests {
         assert_eq!(parse_thread_override(Some("-1")), None);
         assert_eq!(parse_thread_override(Some("lots")), None);
         assert_eq!(parse_thread_override(None), None);
+    }
+
+    /// Spin until the executing thread has accrued `ns` of CPU time.
+    fn burn_thread_cpu(ns: u64) {
+        let start = thread_cpu_ns();
+        let mut acc = 0u64;
+        while thread_cpu_ns().saturating_sub(start) < ns {
+            for i in 0..1_000u64 {
+                acc = acc.wrapping_add(i * i);
+            }
+            std::hint::black_box(acc);
+        }
+    }
+
+    #[test]
+    fn charge_session_bills_work_stolen_by_pool_threads() {
+        let pool = ThreadPool::new(4);
+        const TASKS: u64 = 8;
+        const PER_TASK_NS: u64 = 10_000_000;
+        let billed = pool.install(|| {
+            let session = start_cpu_charge();
+            crate::parallel_for_range(0, TASKS as usize, 1, &|_| burn_thread_cpu(PER_TASK_NS));
+            session.finish()
+        });
+        // Each task burned PER_TASK_NS on whichever thread executed it; the
+        // session must see (essentially) all of it regardless of where the
+        // task ran — this is exactly what per-owner-thread billing missed.
+        let floor = TASKS * PER_TASK_NS * 9 / 10;
+        assert!(billed >= floor, "session billed {billed}ns, expected at least {floor}ns");
+    }
+
+    #[test]
+    fn concurrent_charge_sessions_do_not_cross_bill() {
+        let pool = Arc::new(ThreadPool::new(4));
+        const TASKS: u64 = 6;
+        const PER_TASK_NS: u64 = 8_000_000;
+        let sessions: Vec<_> = (0..2)
+            .map(|_| {
+                let pool = Arc::clone(&pool);
+                std::thread::spawn(move || {
+                    pool.install(|| {
+                        let session = start_cpu_charge();
+                        crate::parallel_for_range(0, TASKS as usize, 1, &|_| {
+                            burn_thread_cpu(PER_TASK_NS);
+                        });
+                        session.finish()
+                    })
+                })
+            })
+            .collect();
+        let expected = TASKS * PER_TASK_NS;
+        for handle in sessions {
+            let billed = handle.join().unwrap();
+            assert!(billed >= expected * 9 / 10, "billed {billed}ns, floor {expected}ns");
+            // A helper thread running the *other* session's tasks must charge
+            // them there: cross-billing would show up as ~2× the expected
+            // figure. Allow 50% slack for framework overhead.
+            assert!(billed <= expected * 3 / 2, "billed {billed}ns suggests cross-billing");
+        }
+    }
+
+    #[test]
+    fn dropped_charge_session_restores_enclosing_sink() {
+        let pool = ThreadPool::new(2);
+        let billed = pool.install(|| {
+            let outer = start_cpu_charge();
+            {
+                // The inner session's interval must not leak into `outer`
+                // (and dropping it unread must restore outer's sink).
+                let _inner = start_cpu_charge();
+                burn_thread_cpu(4_000_000);
+            }
+            burn_thread_cpu(2_000_000);
+            outer.finish()
+        });
+        assert!(billed >= 2_000_000 * 9 / 10, "outer billed {billed}ns");
+        assert!(billed < 4_000_000, "outer session absorbed the inner session's {billed}ns");
     }
 
     #[test]
