@@ -123,7 +123,10 @@ impl AnalyzeConfig {
                 HotPath { path_suffix: "quadra-tensor/src/gemm.rs".into(), checks: all.clone() },
                 HotPath { path_suffix: "quadra-core/src/profiler.rs".into(), checks: all.clone() },
                 HotPath { path_suffix: "vendor/rayon/src/lib.rs".into(), checks: all.clone() },
-                HotPath { path_suffix: "vendor/rayon/src/pool.rs".into(), checks: all },
+                HotPath { path_suffix: "vendor/rayon/src/pool.rs".into(), checks: all.clone() },
+                HotPath { path_suffix: "quadra-gateway/src/frame.rs".into(), checks: all.clone() },
+                HotPath { path_suffix: "quadra-gateway/src/conn.rs".into(), checks: all.clone() },
+                HotPath { path_suffix: "quadra-gateway/src/event_loop.rs".into(), checks: all },
             ],
             lock_unwrap_crates: vec!["quadra-serve".to_string()],
             clock_regions: vec![
@@ -161,6 +164,9 @@ impl AnalyzeConfig {
                 "quadra-serve/src/admission.rs".into(),
                 "quadra-serve/src/worker.rs".into(),
                 "quadra-serve/src/endpoint.rs".into(),
+                "quadra-gateway/src/frame.rs".into(),
+                "quadra-gateway/src/conn.rs".into(),
+                "quadra-gateway/src/event_loop.rs".into(),
             ],
             hot_alloc_payload_idents: vec![
                 "input".to_string(),

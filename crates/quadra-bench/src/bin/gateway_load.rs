@@ -1,0 +1,339 @@
+//! Socket-level load test of the `quadra-gateway` front-end.
+//!
+//! Unlike `serve_load` (which drives `quadra-serve` in process), this bench
+//! measures the full network path: it spawns the `quadra-gateway` server
+//! binary as a **separate process**, connects over real TCP, and drives it
+//! with an open-loop arrival schedule. Two parts:
+//!
+//! 1. **Closed-loop RTT**: one connection, sequential calls — the
+//!    per-request wire overhead (encode + syscalls + event loop + decode)
+//!    stacked on the engine's batching latency.
+//! 2. **Open-loop sweep**: per-connection arrival schedules at fixed
+//!    offered rates. Latency is measured from each request's *scheduled*
+//!    arrival time, not from when the socket write happened, so time spent
+//!    blocked behind gateway backpressure counts against the tail
+//!    (no coordinated omission). Backpressure frames count as shed.
+//!
+//! The server child is told to shut down by closing its stdin (its
+//! documented supervision contract); its drain metrics land on stderr.
+//!
+//! Results are printed as tables and written to `BENCH_gateway.json`
+//! (override with `QUADRA_BENCH_JSON`). Regenerate with
+//! `cargo run -p quadra-bench --release --bin gateway_load`
+//! (`QUADRA_SCALE=full` for the larger settings). The server binary is
+//! found next to this one in the target directory, or via
+//! `QUADRA_GATEWAY_BIN`.
+
+use quadra_bench::{print_table, scale, Scale};
+use quadra_gateway::{GatewayClient, GatewayError, Reply};
+use quadra_serve::Priority;
+use quadra_tensor::Tensor;
+use std::io::BufRead;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+/// Input width of the MLP endpoint the server child is configured with.
+const MLP_IN: usize = 64;
+/// Output width of that endpoint.
+const MLP_OUT: usize = 10;
+/// Frame cap; matches the gateway default.
+const MAX_FRAME: usize = 16 << 20;
+
+/// Latency summary in milliseconds: `(p50, p95, p99)`.
+#[derive(serde::Serialize, Debug, Clone, Copy)]
+struct LatencyMs(f64, f64, f64);
+
+/// One titled report section.
+#[derive(serde::Serialize, Debug)]
+struct Section<T> {
+    title: String,
+    records: Vec<T>,
+}
+
+#[derive(serde::Serialize, Debug)]
+struct RttRecord {
+    requests: u64,
+    rtt_ms: LatencyMs,
+    mean_rtt_ms: f64,
+}
+
+#[derive(serde::Serialize, Debug)]
+struct OpenLoopRecord {
+    connections: usize,
+    offered_rps: f64,
+    duration_s: f64,
+    completed: u64,
+    shed: u64,
+    errors: u64,
+    throughput_rps: f64,
+    /// From scheduled arrival to reply, completed requests only.
+    latency_ms: LatencyMs,
+}
+
+#[derive(serde::Serialize, Debug)]
+struct GatewayReport {
+    scale: String,
+    endpoint: String,
+    rtt: Section<RttRecord>,
+    open_loop: Section<OpenLoopRecord>,
+}
+
+fn percentile(sorted_ms: &[f64], q: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return f64::NAN;
+    }
+    let rank = (q * (sorted_ms.len() - 1) as f64).round() as usize;
+    sorted_ms[rank.min(sorted_ms.len() - 1)]
+}
+
+fn latency_summary(ms: &mut [f64]) -> LatencyMs {
+    ms.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    LatencyMs(percentile(ms, 0.50), percentile(ms, 0.95), percentile(ms, 0.99))
+}
+
+/// Locate the `quadra-gateway` server binary: `QUADRA_GATEWAY_BIN` if set,
+/// otherwise the sibling of this executable in the target directory.
+fn gateway_binary() -> PathBuf {
+    if let Ok(path) = std::env::var("QUADRA_GATEWAY_BIN") {
+        return PathBuf::from(path);
+    }
+    let mut path = std::env::current_exe().expect("current_exe");
+    path.pop();
+    path.push(format!("quadra-gateway{}", std::env::consts::EXE_SUFFIX));
+    path
+}
+
+/// The spawned server child plus the address it bound.
+struct Server {
+    child: Child,
+    addr: String,
+}
+
+impl Server {
+    fn spawn(workers: usize, max_batch: usize, queue: usize) -> Server {
+        let bin = gateway_binary();
+        if !bin.exists() {
+            eprintln!(
+                "gateway_load: server binary not found at {} — build it first\n\
+                 (cargo build --release -p quadra-gateway) or set QUADRA_GATEWAY_BIN",
+                bin.display()
+            );
+            std::process::exit(2);
+        }
+        let mut child = Command::new(&bin)
+            .args(["--listen", "127.0.0.1:0"])
+            .args(["--workers", &workers.to_string()])
+            .args(["--max-batch", &max_batch.to_string()])
+            .args(["--queue", &queue.to_string()])
+            .args(["--endpoint", &format!("mlp=mlp:{MLP_IN}x32x{MLP_OUT}")])
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit())
+            .spawn()
+            .expect("spawning quadra-gateway");
+
+        // The child prints exactly one stdout line once it is listening.
+        let stdout = child.stdout.take().expect("child stdout");
+        let mut line = String::new();
+        std::io::BufReader::new(stdout).read_line(&mut line).expect("reading listen line");
+        let addr = line
+            .trim()
+            .strip_prefix("quadra-gateway listening on ")
+            .unwrap_or_else(|| panic!("unexpected server banner: {line:?}"))
+            .to_string();
+        Server { child, addr }
+    }
+
+    /// Close the child's stdin (its shutdown signal) and wait for the drain.
+    fn shutdown(mut self) {
+        drop(self.child.stdin.take());
+        let status = self.child.wait().expect("waiting for quadra-gateway");
+        assert!(status.success(), "quadra-gateway exited with {status}");
+    }
+}
+
+fn connect(addr: &str) -> GatewayClient {
+    GatewayClient::connect(addr, MAX_FRAME).expect("connecting to gateway")
+}
+
+/// Closed-loop: sequential request/response round trips on one connection.
+fn run_rtt(addr: &str, requests: u64) -> RttRecord {
+    let mut client = connect(addr);
+    let x = Tensor::ones(&[1, MLP_IN]);
+    let mut rtts_ms = Vec::with_capacity(requests as usize);
+    for _ in 0..requests {
+        let t0 = Instant::now();
+        let reply = client.call("mlp", x.clone(), Priority::Interactive, None, None).expect("rtt call");
+        match reply {
+            Reply::Response(frame) => assert_eq!(frame.output.shape(), &[1, MLP_OUT]),
+            other => panic!("unexpected reply during RTT phase: {other:?}"),
+        }
+        rtts_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    let mean = rtts_ms.iter().sum::<f64>() / rtts_ms.len().max(1) as f64;
+    RttRecord { requests, rtt_ms: latency_summary(&mut rtts_ms), mean_rtt_ms: mean }
+}
+
+/// What one open-loop connection thread observed.
+struct ConnOutcome {
+    latencies_ms: Vec<f64>,
+    shed: u64,
+    errors: u64,
+}
+
+/// Drive one connection with `count` arrivals spaced `interval` apart.
+///
+/// Between arrivals the thread polls for replies with a short read timeout;
+/// after the last send it drains until every correlation id settles (or the
+/// connection dies). Latency is reply time minus *scheduled* arrival.
+fn run_conn(addr: &str, count: u64, interval: Duration, start: Instant) -> ConnOutcome {
+    let mut client = connect(addr);
+    client.set_read_timeout(Some(Duration::from_millis(1))).expect("read timeout");
+    let x = Tensor::ones(&[1, MLP_IN]);
+
+    let mut scheduled: std::collections::HashMap<u64, Instant> =
+        std::collections::HashMap::with_capacity(count as usize);
+    let mut outcome = ConnOutcome { latencies_ms: Vec::with_capacity(count as usize), shed: 0, errors: 0 };
+    let mut sent = 0u64;
+
+    loop {
+        let all_sent = sent == count;
+        if all_sent && scheduled.is_empty() {
+            break;
+        }
+        let due = start + interval.mul_f64(sent as f64);
+        if !all_sent && Instant::now() >= due {
+            match client.send("mlp", x.clone(), Priority::Interactive, None, None) {
+                Ok(corr) => {
+                    scheduled.insert(corr, due);
+                }
+                Err(_) => {
+                    outcome.errors += count - sent;
+                    return outcome;
+                }
+            }
+            sent += 1;
+            continue;
+        }
+        match client.recv() {
+            Ok(reply) => {
+                let Some(corr) = reply.correlation_id() else { continue };
+                let Some(arrival) = scheduled.remove(&corr) else { continue };
+                match reply {
+                    Reply::Response(_) => outcome.latencies_ms.push(arrival.elapsed().as_secs_f64() * 1e3),
+                    Reply::Backpressure(_) => outcome.shed += 1,
+                    _ => outcome.errors += 1,
+                }
+            }
+            Err(GatewayError::Io(e))
+                if e.kind() == std::io::ErrorKind::WouldBlock || e.kind() == std::io::ErrorKind::TimedOut => {
+            }
+            Err(_) => {
+                outcome.errors += scheduled.len() as u64 + (count - sent);
+                return outcome;
+            }
+        }
+    }
+    outcome
+}
+
+/// Open-loop phase: `connections` threads, aggregate offered rate
+/// `offered_rps`, running for roughly `duration`.
+fn run_open_loop(addr: &str, connections: usize, offered_rps: f64, duration: Duration) -> OpenLoopRecord {
+    let per_conn_rate = offered_rps / connections as f64;
+    let interval = Duration::from_secs_f64(1.0 / per_conn_rate);
+    let count = (per_conn_rate * duration.as_secs_f64()).round().max(1.0) as u64;
+
+    let start = Instant::now();
+    let outcomes: Vec<ConnOutcome> = std::thread::scope(|scope| {
+        let handles: Vec<_> =
+            (0..connections).map(|_| scope.spawn(|| run_conn(addr, count, interval, start))).collect();
+        handles.into_iter().map(|h| h.join().expect("conn thread")).collect()
+    });
+    let elapsed = start.elapsed();
+
+    let mut latencies: Vec<f64> = Vec::new();
+    let mut shed = 0u64;
+    let mut errors = 0u64;
+    for mut outcome in outcomes {
+        latencies.append(&mut outcome.latencies_ms);
+        shed += outcome.shed;
+        errors += outcome.errors;
+    }
+    let completed = latencies.len() as u64;
+    OpenLoopRecord {
+        connections,
+        offered_rps,
+        duration_s: elapsed.as_secs_f64(),
+        completed,
+        shed,
+        errors,
+        throughput_rps: completed as f64 / elapsed.as_secs_f64(),
+        latency_ms: latency_summary(&mut latencies),
+    }
+}
+
+fn main() {
+    let run_scale = scale();
+    let (rtt_requests, connections, rates, duration) = match run_scale {
+        Scale::Quick => (400u64, 4usize, vec![500.0, 2000.0], Duration::from_secs(2)),
+        Scale::Full => (2000, 8, vec![1000.0, 4000.0, 12000.0], Duration::from_secs(5)),
+    };
+
+    let server = Server::spawn(2, 8, 256);
+    eprintln!("gateway_load: server at {}", server.addr);
+
+    // Warm the endpoint (worker threads, allocator, first batches) before
+    // anything is timed.
+    let _ = run_rtt(&server.addr, 50);
+
+    let rtt = run_rtt(&server.addr, rtt_requests);
+    let open_loop: Vec<OpenLoopRecord> =
+        rates.iter().map(|&rps| run_open_loop(&server.addr, connections, rps, duration)).collect();
+
+    server.shutdown();
+
+    print_table(
+        "Gateway closed-loop RTT (1 connection, sequential)",
+        &["requests", "p50 ms", "p95 ms", "p99 ms", "mean ms"],
+        &[vec![
+            rtt.requests.to_string(),
+            format!("{:.3}", rtt.rtt_ms.0),
+            format!("{:.3}", rtt.rtt_ms.1),
+            format!("{:.3}", rtt.rtt_ms.2),
+            format!("{:.3}", rtt.mean_rtt_ms),
+        ]],
+    );
+    print_table(
+        "Gateway open-loop sweep (scheduled arrivals, no coordinated omission)",
+        &["conns", "offered rps", "completed", "shed", "errors", "rps", "p50 ms", "p95 ms", "p99 ms"],
+        &open_loop
+            .iter()
+            .map(|r| {
+                vec![
+                    r.connections.to_string(),
+                    format!("{:.0}", r.offered_rps),
+                    r.completed.to_string(),
+                    r.shed.to_string(),
+                    r.errors.to_string(),
+                    format!("{:.0}", r.throughput_rps),
+                    format!("{:.3}", r.latency_ms.0),
+                    format!("{:.3}", r.latency_ms.1),
+                    format!("{:.3}", r.latency_ms.2),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+
+    let report = GatewayReport {
+        scale: format!("{run_scale:?}"),
+        endpoint: format!("mlp:{MLP_IN}x32x{MLP_OUT}"),
+        rtt: Section { title: "closed_loop_rtt".to_string(), records: vec![rtt] },
+        open_loop: Section { title: "open_loop_sweep".to_string(), records: open_loop },
+    };
+    let path = std::env::var("QUADRA_BENCH_JSON").unwrap_or_else(|_| "BENCH_gateway.json".to_string());
+    let json = serde_json::to_string_pretty(&report).expect("serializing report");
+    std::fs::write(&path, json + "\n").expect("writing report");
+    println!("\nreport written to {path}");
+}

@@ -1,0 +1,82 @@
+//! Gateway tuning knobs.
+
+use std::time::Duration;
+
+/// Configuration of the socket front-end.
+#[derive(Debug, Clone)]
+pub struct GatewayConfig {
+    /// Address to bind, e.g. `"127.0.0.1:0"` for an ephemeral port.
+    pub listen: String,
+    /// Maximum frame *body* length accepted or produced, in bytes. A peer
+    /// declaring a larger frame is disconnected before any payload is
+    /// buffered. 16 MiB fits a `[256, 3, 64, 64]` f32 batch with room to
+    /// spare.
+    pub max_frame_bytes: usize,
+    /// Pause reading from a connection once its outbound buffer holds at
+    /// least this many bytes (the high-water mark): a client that stops
+    /// draining responses stops being able to submit, instead of growing the
+    /// gateway's memory without bound.
+    pub write_high_water: usize,
+    /// Resume reading once the outbound buffer falls back below this many
+    /// bytes. Must be below [`GatewayConfig::write_high_water`]; the gap is
+    /// hysteresis so a connection hovering at the mark doesn't flap its
+    /// readiness registration on every frame.
+    pub write_low_water: usize,
+    /// Maximum simultaneous connections; further accepts are closed
+    /// immediately.
+    pub max_connections: usize,
+    /// Bound on the graceful-drain phase of shutdown: how long to wait for
+    /// in-flight responses to settle and outbound buffers to flush before
+    /// closing connections anyway.
+    pub drain_timeout: Duration,
+}
+
+impl Default for GatewayConfig {
+    fn default() -> Self {
+        GatewayConfig {
+            listen: "127.0.0.1:0".to_string(),
+            max_frame_bytes: 16 << 20,
+            write_high_water: 4 << 20,
+            write_low_water: 1 << 20,
+            max_connections: 4096,
+            drain_timeout: Duration::from_secs(5),
+        }
+    }
+}
+
+impl GatewayConfig {
+    /// Validate watermark ordering and non-degenerate limits.
+    pub(crate) fn validate(&self) -> Result<(), String> {
+        if self.max_frame_bytes == 0 {
+            return Err("max_frame_bytes must be positive".to_string());
+        }
+        if self.write_low_water >= self.write_high_water {
+            return Err(format!(
+                "write_low_water ({}) must be below write_high_water ({})",
+                self.write_low_water, self.write_high_water
+            ));
+        }
+        if self.max_connections == 0 {
+            return Err("max_connections must be positive".to_string());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_validates() {
+        assert_eq!(GatewayConfig::default().validate(), Ok(()));
+    }
+
+    #[test]
+    fn inverted_watermarks_are_rejected() {
+        let cfg = GatewayConfig { write_high_water: 100, write_low_water: 100, ..GatewayConfig::default() };
+        assert!(cfg.validate().is_err());
+        assert!(GatewayConfig { max_frame_bytes: 0, ..GatewayConfig::default() }.validate().is_err());
+        assert!(GatewayConfig { max_connections: 0, ..GatewayConfig::default() }.validate().is_err());
+    }
+}

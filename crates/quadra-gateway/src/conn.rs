@@ -1,0 +1,407 @@
+//! Per-connection buffered framing: partial-read and partial-write
+//! reassembly over any non-blocking byte stream.
+//!
+//! [`Connection`] is generic over the transport (`Read + Write`) so the
+//! reassembly logic is tested against scripted transports that return one
+//! byte at a time or accept three bytes per write — the pathological
+//! fragmentations a real socket produces only under load. The event loop
+//! instantiates it over `TcpStream`.
+//!
+//! The connection itself is policy-free: it surfaces decoded frames and
+//! buffers outbound bytes. Interest management (pausing reads past the
+//! write-buffer high-water mark, registering for writability) lives in the
+//! event loop, which reads [`Connection::pending_out`] to make those calls.
+
+use crate::frame::{decode_frame, encode_frame, Frame, FrameError};
+use std::io::{self, Read, Write};
+
+/// Initial capacity of the per-connection buffers. Buffers grow on demand
+/// (bounded by the max-frame cap plus one read chunk) and are never shrunk:
+/// a connection that carried a large tensor once will likely carry another.
+const INITIAL_BUF: usize = 4096;
+
+/// Bytes read from the transport per `read` call.
+const READ_CHUNK: usize = 16 * 1024;
+
+/// Why a connection must be torn down.
+#[derive(Debug)]
+pub enum ConnError {
+    /// The transport failed (reset, broken pipe, …).
+    Io(io::Error),
+    /// The peer violated the wire protocol; the stream cannot be
+    /// resynchronised.
+    Protocol(FrameError),
+}
+
+impl std::fmt::Display for ConnError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConnError::Io(e) => write!(f, "transport error: {e}"),
+            ConnError::Protocol(e) => write!(f, "protocol violation: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ConnError {}
+
+impl From<FrameError> for ConnError {
+    fn from(e: FrameError) -> ConnError {
+        ConnError::Protocol(e)
+    }
+}
+
+/// What one readable event produced.
+#[derive(Debug)]
+pub struct ReadOutcome {
+    /// Complete frames decoded this event, in arrival order.
+    pub frames: Vec<Frame>,
+    /// The peer closed its write half (clean EOF). Buffered `frames` are
+    /// still valid and must be processed before teardown.
+    pub eof: bool,
+}
+
+/// A framed, buffered, non-blocking connection over transport `T`.
+pub struct Connection<T> {
+    transport: T,
+    read_buf: Vec<u8>,
+    write_buf: Vec<u8>,
+    /// Bytes of `write_buf` already handed to the transport.
+    write_start: usize,
+    max_frame: usize,
+}
+
+impl<T: Read + Write> Connection<T> {
+    /// Wrap `transport`, which must already be in non-blocking mode (or be a
+    /// test transport that simulates it via `WouldBlock`).
+    pub fn new(transport: T, max_frame: usize) -> Connection<T> {
+        Connection {
+            transport,
+            read_buf: Vec::with_capacity(INITIAL_BUF),
+            write_buf: Vec::with_capacity(INITIAL_BUF),
+            write_start: 0,
+            max_frame,
+        }
+    }
+
+    /// The wrapped transport (the event loop needs the raw fd for interest
+    /// management and shutdown).
+    pub fn transport(&self) -> &T {
+        &self.transport
+    }
+
+    /// Drain the transport until it would block (or EOF) and decode every
+    /// complete frame. Partial trailing bytes stay buffered for the next
+    /// readable event — this is the read half of reassembly.
+    pub fn on_readable(&mut self) -> Result<ReadOutcome, ConnError> {
+        let mut outcome = ReadOutcome { frames: Vec::with_capacity(4), eof: false };
+        let mut chunk = [0u8; READ_CHUNK];
+        loop {
+            match self.transport.read(&mut chunk) {
+                Ok(0) => {
+                    outcome.eof = true;
+                    break;
+                }
+                Ok(n) => {
+                    let Some(got) = chunk.get(..n) else { break };
+                    self.read_buf.extend_from_slice(got);
+                    // Decode inside the read loop so an oversized declared
+                    // length is rejected after 4 bytes, not after buffering
+                    // the whole flood.
+                    self.decode_buffered(&mut outcome.frames)?;
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(ConnError::Io(e)),
+            }
+        }
+        self.decode_buffered(&mut outcome.frames)?;
+        Ok(outcome)
+    }
+
+    /// Decode every complete frame off the front of `read_buf`, then drop
+    /// the consumed prefix in one compaction.
+    fn decode_buffered(&mut self, frames: &mut Vec<Frame>) -> Result<(), FrameError> {
+        let mut consumed = 0usize;
+        while let Some(rest) = self.read_buf.get(consumed..) {
+            match decode_frame(rest, self.max_frame) {
+                Ok(Some((frame, n))) => {
+                    frames.push(frame);
+                    consumed += n;
+                }
+                Ok(None) => break,
+                Err(e) => return Err(e),
+            }
+        }
+        if consumed > 0 {
+            self.read_buf.drain(..consumed);
+        }
+        Ok(())
+    }
+
+    /// Encode `frame` onto the outbound buffer. Nothing touches the
+    /// transport here — call [`Connection::on_writable`] (and register for
+    /// writability) to flush. Fails only for unencodable fields.
+    pub fn queue_frame(&mut self, frame: &Frame) -> Result<(), FrameError> {
+        encode_frame(frame, &mut self.write_buf)
+    }
+
+    /// Write buffered bytes until the transport would block or the buffer
+    /// empties — the write half of reassembly. Returns `true` when the
+    /// buffer is fully flushed (deregister writability interest).
+    pub fn on_writable(&mut self) -> Result<bool, ConnError> {
+        while self.write_start < self.write_buf.len() {
+            let Some(pending) = self.write_buf.get(self.write_start..) else { break };
+            match self.transport.write(pending) {
+                Ok(0) => {
+                    return Err(ConnError::Io(io::Error::new(
+                        io::ErrorKind::WriteZero,
+                        "transport accepted zero bytes",
+                    )))
+                }
+                Ok(n) => self.write_start += n,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(ConnError::Io(e)),
+            }
+        }
+        if self.write_start >= self.write_buf.len() {
+            self.write_buf.clear();
+            self.write_start = 0;
+            Ok(true)
+        } else {
+            // Compact lazily: only once the dead prefix dominates, so steady
+            // partial writes don't memmove the tail on every event.
+            if self.write_start > INITIAL_BUF && self.write_start * 2 > self.write_buf.len() {
+                self.write_buf.drain(..self.write_start);
+                self.write_start = 0;
+            }
+            Ok(false)
+        }
+    }
+
+    /// Outbound bytes queued but not yet accepted by the transport. The
+    /// event loop compares this against the high/low-water marks to pause
+    /// and resume reads.
+    pub fn pending_out(&self) -> usize {
+        self.write_buf.len().saturating_sub(self.write_start)
+    }
+
+    /// Whether the connection needs writability notifications.
+    pub fn wants_write(&self) -> bool {
+        self.pending_out() > 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::BackpressureFrame;
+    use quadra_serve::Priority;
+    use quadra_tensor::Tensor;
+    use std::collections::VecDeque;
+
+    /// A scripted transport: reads deliver at most `read_chunk` bytes per
+    /// call from a queue of inbound segments (empty queue = WouldBlock);
+    /// writes accept at most `write_chunk` bytes, with an optional forced
+    /// WouldBlock every other call to exercise re-arming.
+    struct Scripted {
+        inbound: VecDeque<u8>,
+        accepted: Vec<u8>,
+        read_chunk: usize,
+        write_chunk: usize,
+        stutter_writes: bool,
+        write_calls: usize,
+        eof_after_drain: bool,
+    }
+
+    impl Scripted {
+        fn new(read_chunk: usize, write_chunk: usize) -> Scripted {
+            Scripted {
+                inbound: VecDeque::new(),
+                accepted: Vec::new(),
+                read_chunk,
+                write_chunk,
+                stutter_writes: false,
+                write_calls: 0,
+                eof_after_drain: false,
+            }
+        }
+    }
+
+    impl Read for Scripted {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            if self.inbound.is_empty() {
+                if self.eof_after_drain {
+                    return Ok(0);
+                }
+                return Err(io::ErrorKind::WouldBlock.into());
+            }
+            let n = self.read_chunk.min(buf.len()).min(self.inbound.len());
+            for slot in buf.iter_mut().take(n) {
+                *slot = self.inbound.pop_front().unwrap();
+            }
+            Ok(n)
+        }
+    }
+
+    impl Write for Scripted {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.write_calls += 1;
+            if self.stutter_writes && self.write_calls % 2 == 0 {
+                return Err(io::ErrorKind::WouldBlock.into());
+            }
+            let n = self.write_chunk.min(buf.len());
+            if n == 0 {
+                return Err(io::ErrorKind::WouldBlock.into());
+            }
+            self.accepted.extend_from_slice(&buf[..n]);
+            Ok(n)
+        }
+
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    const MAX: usize = 1 << 20;
+
+    fn request_frame() -> Frame {
+        Frame::Request(crate::frame::RequestFrame {
+            correlation_id: 11,
+            priority: Priority::Interactive,
+            deadline_ms: 0,
+            model: "mlp".to_string(),
+            tag: Some("t".to_string()),
+            input: Tensor::from_vec(vec![0.5; 12], &[3, 4]).unwrap(),
+        })
+    }
+
+    #[test]
+    fn one_byte_reads_reassemble_into_whole_frames() {
+        let frame = request_frame();
+        let mut wire = Vec::new();
+        encode_frame(&frame, &mut wire).unwrap();
+
+        let mut t = Scripted::new(1, 64);
+        t.inbound.extend(wire.iter().copied());
+        let mut conn = Connection::new(t, MAX);
+
+        let out = conn.on_readable().unwrap();
+        assert!(!out.eof);
+        assert_eq!(out.frames, vec![frame], "reassembled bitwise across 1-byte reads");
+    }
+
+    #[test]
+    fn a_frame_split_across_events_is_delivered_once_complete() {
+        let frame = request_frame();
+        let mut wire = Vec::new();
+        encode_frame(&frame, &mut wire).unwrap();
+        let split = wire.len() / 2;
+
+        let mut conn = Connection::new(Scripted::new(usize::MAX, 64), MAX);
+        conn.transport.inbound.extend(wire[..split].iter().copied());
+        let out = conn.on_readable().unwrap();
+        assert!(out.frames.is_empty(), "half a frame decodes nothing");
+
+        conn.transport.inbound.extend(wire[split..].iter().copied());
+        let out = conn.on_readable().unwrap();
+        assert_eq!(out.frames, vec![frame]);
+    }
+
+    #[test]
+    fn many_frames_in_one_event_decode_in_order() {
+        let mut wire = Vec::new();
+        for id in 0..5u64 {
+            encode_frame(
+                &Frame::Backpressure(BackpressureFrame { correlation_id: id, retry_after_ms: 1 }),
+                &mut wire,
+            )
+            .unwrap();
+        }
+        let mut conn = Connection::new(Scripted::new(usize::MAX, 64), MAX);
+        conn.transport.inbound.extend(wire.iter().copied());
+        let out = conn.on_readable().unwrap();
+        let ids: Vec<u64> = out
+            .frames
+            .iter()
+            .map(|f| match f {
+                Frame::Backpressure(b) => b.correlation_id,
+                other => panic!("unexpected {other:?}"),
+            })
+            .collect();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn tiny_write_chunks_flush_the_exact_encoding() {
+        let frame = request_frame();
+        let mut expected = Vec::new();
+        encode_frame(&frame, &mut expected).unwrap();
+
+        let mut conn = Connection::new(Scripted::new(usize::MAX, 3), MAX);
+        conn.transport.stutter_writes = true;
+        conn.queue_frame(&frame).unwrap();
+        assert!(conn.wants_write());
+        assert_eq!(conn.pending_out(), expected.len());
+
+        let mut rounds = 0;
+        while !conn.on_writable().unwrap() {
+            rounds += 1;
+            assert!(rounds < 10_000, "flush must terminate");
+        }
+        assert!(!conn.wants_write());
+        assert_eq!(conn.pending_out(), 0);
+        assert_eq!(conn.transport.accepted, expected, "3-byte stuttered writes reassemble bitwise");
+    }
+
+    #[test]
+    fn queued_frames_flush_in_fifo_order_across_partial_writes() {
+        let mut conn = Connection::new(Scripted::new(usize::MAX, 7), MAX);
+        let mut expected = Vec::new();
+        for id in 0..4u64 {
+            let f = Frame::Backpressure(BackpressureFrame { correlation_id: id, retry_after_ms: 0 });
+            conn.queue_frame(&f).unwrap();
+            encode_frame(&f, &mut expected).unwrap();
+        }
+        while !conn.on_writable().unwrap() {}
+        assert_eq!(conn.transport.accepted, expected);
+    }
+
+    #[test]
+    fn eof_still_surfaces_buffered_frames() {
+        let frame = request_frame();
+        let mut wire = Vec::new();
+        encode_frame(&frame, &mut wire).unwrap();
+        let mut conn = Connection::new(Scripted::new(usize::MAX, 64), MAX);
+        conn.transport.inbound.extend(wire.iter().copied());
+        conn.transport.eof_after_drain = true;
+        let out = conn.on_readable().unwrap();
+        assert!(out.eof);
+        assert_eq!(out.frames, vec![frame], "frames ahead of the EOF are not lost");
+    }
+
+    #[test]
+    fn protocol_violation_mid_stream_is_fatal() {
+        let mut wire = Vec::new();
+        encode_frame(&Frame::GoAway, &mut wire).unwrap();
+        wire.extend_from_slice(&2u32.to_le_bytes());
+        wire.push(99); // unknown kind
+        wire.push(0);
+        let mut conn = Connection::new(Scripted::new(usize::MAX, 64), MAX);
+        conn.transport.inbound.extend(wire.iter().copied());
+        match conn.on_readable() {
+            Err(ConnError::Protocol(FrameError::UnknownKind(99))) => {}
+            other => panic!("expected protocol violation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pending_out_tracks_watermark_relevant_backlog() {
+        let mut conn = Connection::new(Scripted::new(usize::MAX, 5), MAX);
+        conn.queue_frame(&Frame::GoAway).unwrap();
+        let total = conn.pending_out();
+        assert!(conn.on_writable().unwrap());
+        assert_eq!(conn.pending_out(), 0);
+        assert!(total > 0);
+    }
+}

@@ -1,0 +1,65 @@
+//! Event-driven TCP front-end for the `quadra-serve` inference engine.
+//!
+//! `quadra-serve` batches, fair-shares, and sheds load — in process. This
+//! crate puts it on the network: a dependency-free epoll event loop (with a
+//! portable `poll(2)` fallback) multiplexes thousands of non-blocking
+//! connections over a compact length-prefixed binary protocol, mapping each
+//! request frame 1:1 onto [`quadra_serve::Request`] /
+//! [`quadra_serve::RouterClient::send`] and streaming
+//! [`quadra_serve::InferResponse`]s (or typed errors) back.
+//!
+//! Architecture, one thread each:
+//!
+//! * **`gateway-loop`** ([`event_loop`](crate::Gateway)) — readiness
+//!   dispatch, codec, connection lifecycle, backpressure. Never blocks on
+//!   inference.
+//! * **`gateway-pump`** — polls in-flight [`quadra_serve::ResponseHandle`]s
+//!   and wakes the loop through an eventfd/self-pipe when results settle.
+//! * The engine's own worker threads, owned by the [`quadra_serve::Router`]
+//!   the gateway serves.
+//!
+//! Overload surfaces as *backpressure frames* (the engine's
+//! [`quadra_serve::ServeError::Overloaded`] retry hint, per shed request)
+//! plus *read pausing* at the per-connection write-buffer high-water mark,
+//! so a slow or flooding client throttles itself instead of growing gateway
+//! memory. Shutdown is a graceful drain with a deadline; see
+//! [`Gateway::shutdown`] for the ordering contract with
+//! [`quadra_serve::Router::shutdown`].
+//!
+//! ```no_run
+//! use quadra_gateway::{Gateway, GatewayClient, GatewayConfig, Reply};
+//! use quadra_serve::{Priority, Router, ServeConfig};
+//! use quadra_tensor::Tensor;
+//!
+//! # fn model() -> Box<dyn quadra_nn::Layer> { unimplemented!() }
+//! let router = Router::builder().endpoint("mlp", ServeConfig::default(), model).start()?;
+//! let gateway = Gateway::start(GatewayConfig::default(), router)?;
+//!
+//! let mut client = GatewayClient::connect(gateway.local_addr(), 16 << 20)?;
+//! let reply = client.call("mlp", Tensor::ones(&[1, 64]), Priority::Interactive, None, None)?;
+//! if let Reply::Response(frame) = reply {
+//!     println!("served by batch {}", frame.batch_id);
+//! }
+//! gateway.shutdown();
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod client;
+mod config;
+mod conn;
+mod event_loop;
+pub mod frame;
+mod gateway;
+mod pump;
+mod sys;
+
+pub use client::{GatewayClient, GatewayError, Reply};
+pub use config::GatewayConfig;
+pub use conn::{ConnError, Connection, ReadOutcome};
+pub use frame::{
+    decode_frame, encode_frame, error_frame, BackpressureFrame, ErrorFrame, Frame, FrameError, RequestFrame,
+    ResponseFrame, FRAME_HEADER_BYTES, MAX_WIRE_NDIM, PROTOCOL_ERROR_CODE,
+};
+pub use gateway::Gateway;

@@ -1,0 +1,251 @@
+//! The completion pump: one thread that turns blocking
+//! [`ResponseHandle`]s into event-loop wakeups.
+//!
+//! `quadra-serve` hands back one mpsc receiver per request; std channels
+//! cannot be multiplexed by a poller, so the gateway bridges them with a
+//! single thread that polls every in-flight handle with
+//! [`ResponseHandle::try_wait`], parks briefly between scans, and publishes
+//! settled results to a shared completion list before signalling the event
+//! loop's [`Waker`](crate::sys::Waker). The scan interval (200 µs) bounds
+//! the added completion latency at well under the serving engine's own
+//! batching wait, and the pump runs on its own core so the event loop never
+//! blocks on inference.
+
+use crate::sys::Waker;
+use quadra_serve::{InferResponse, ResponseHandle, ServeError};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How long the pump parks between polling sweeps while handles are in
+/// flight.
+const SCAN_PARK: Duration = Duration::from_micros(200);
+
+/// A request the event loop handed to the pump.
+struct InFlight {
+    /// Event-loop token of the owning connection.
+    token: u64,
+    /// Wire correlation id to echo in the response frame.
+    correlation_id: u64,
+    handle: ResponseHandle,
+}
+
+/// A settled request travelling pump → event loop.
+pub(crate) struct Completion {
+    /// Event-loop token of the owning connection (which may have closed in
+    /// the meantime; the loop then drops the completion).
+    pub token: u64,
+    /// Wire correlation id to echo.
+    pub correlation_id: u64,
+    /// The serving engine's verdict.
+    pub result: Result<InferResponse, ServeError>,
+}
+
+struct Shared {
+    /// Newly submitted requests, handed from the event loop to the pump.
+    incoming: Mutex<Vec<InFlight>>,
+    /// Signalled on submission and shutdown.
+    cv: Condvar,
+    /// Settled results awaiting pickup by the event loop.
+    completions: Mutex<Vec<Completion>>,
+    /// In-flight count: submitted and not yet published. The drain path
+    /// spins on this reaching zero.
+    outstanding: AtomicUsize,
+    shutdown: AtomicBool,
+    waker: Arc<Waker>,
+}
+
+/// Handle to the pump thread.
+pub(crate) struct CompletionPump {
+    shared: Arc<Shared>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl CompletionPump {
+    /// Spawn the pump; settled completions are announced through `waker`.
+    pub fn start(waker: Arc<Waker>) -> CompletionPump {
+        let shared = Arc::new(Shared {
+            incoming: Mutex::new(Vec::new()),
+            cv: Condvar::new(),
+            completions: Mutex::new(Vec::new()),
+            outstanding: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
+            waker,
+        });
+        let for_thread = Arc::clone(&shared);
+        let thread = std::thread::Builder::new()
+            .name("gateway-pump".into())
+            .spawn(move || run(for_thread))
+            .expect("spawning the completion pump thread");
+        CompletionPump { shared, thread: Some(thread) }
+    }
+
+    /// Hand a submitted request's handle to the pump.
+    pub fn submit(&self, token: u64, correlation_id: u64, handle: ResponseHandle) {
+        self.shared.outstanding.fetch_add(1, Ordering::AcqRel);
+        let mut incoming = self.shared.incoming.lock().expect("pump incoming lock");
+        incoming.push(InFlight { token, correlation_id, handle });
+        drop(incoming);
+        self.shared.cv.notify_one();
+    }
+
+    /// Take every completion published since the last call. Invoked by the
+    /// event loop after a waker wakeup (and once per drain sweep).
+    pub fn take_completions(&self) -> Vec<Completion> {
+        let mut completions = self.shared.completions.lock().expect("pump completions lock");
+        std::mem::take(&mut *completions)
+    }
+
+    /// Requests submitted but not yet published as completions.
+    pub fn outstanding(&self) -> usize {
+        self.shared.outstanding.load(Ordering::Acquire)
+    }
+
+    /// Stop the pump thread. Handles still in flight are dropped, which
+    /// abandons their responses — callers drain first (see the gateway's
+    /// shutdown ordering).
+    pub fn shutdown(mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.cv.notify_one();
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+fn run(shared: Arc<Shared>) {
+    let mut pending: Vec<InFlight> = Vec::new();
+    loop {
+        // Pick up new submissions; park on the condvar when idle, park with
+        // a short timeout when handles are in flight (try_wait is a poll, so
+        // the pump must keep sweeping).
+        {
+            let mut incoming = shared.incoming.lock().expect("pump incoming lock");
+            loop {
+                pending.append(&mut incoming);
+                if shared.shutdown.load(Ordering::Acquire) {
+                    return;
+                }
+                if !pending.is_empty() {
+                    break;
+                }
+                let (guard, _) =
+                    shared.cv.wait_timeout(incoming, Duration::from_millis(50)).expect("pump condvar");
+                incoming = guard;
+            }
+        }
+
+        // Sweep the in-flight set; publish whatever settled.
+        let mut settled: Vec<Completion> = Vec::new();
+        pending.retain_mut(|inflight| match inflight.handle.try_wait() {
+            None => true,
+            Some(result) => {
+                settled.push(Completion {
+                    token: inflight.token,
+                    correlation_id: inflight.correlation_id,
+                    result,
+                });
+                false
+            }
+        });
+        if !settled.is_empty() {
+            let count = settled.len();
+            let mut completions = shared.completions.lock().expect("pump completions lock");
+            completions.append(&mut settled);
+            drop(completions);
+            // Publish *before* decrementing: a drain loop that observes
+            // outstanding == 0 must find every completion already visible.
+            shared.outstanding.fetch_sub(count, Ordering::AcqRel);
+            shared.waker.notify();
+        }
+        if !pending.is_empty() {
+            std::thread::sleep(SCAN_PARK);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use quadra_serve::{InferenceServer, ServeConfig};
+    use quadra_tensor::Tensor;
+    use std::time::Instant;
+
+    fn tiny_server() -> InferenceServer {
+        use quadra_nn::{Layer, Linear, Sequential};
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        InferenceServer::start(ServeConfig { workers: 1, ..ServeConfig::default() }, || {
+            let mut rng = StdRng::seed_from_u64(0);
+            Box::new(Sequential::new(vec![Box::new(Linear::new(4, 2, true, &mut rng)) as Box<dyn Layer>]))
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn pump_publishes_completions_and_wakes_the_waker() {
+        let server = tiny_server();
+        let client = server.client();
+        let waker = Arc::new(Waker::new().unwrap());
+        let pump = CompletionPump::start(Arc::clone(&waker));
+
+        let handle = client.submit(Tensor::ones(&[1, 4])).unwrap();
+        pump.submit(42, 7, handle);
+
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let mut got = Vec::new();
+        while got.is_empty() {
+            assert!(Instant::now() < deadline, "completion never arrived");
+            got = pump.take_completions();
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].token, 42);
+        assert_eq!(got[0].correlation_id, 7);
+        let response = got[0].result.as_ref().expect("inference succeeds");
+        assert_eq!(response.output.shape(), &[1, 2]);
+        assert_eq!(pump.outstanding(), 0);
+
+        pump.shutdown();
+        drop(client);
+        let _ = server.shutdown();
+    }
+
+    #[test]
+    fn outstanding_counts_only_unsettled_requests() {
+        let server = tiny_server();
+        let client = server.client();
+        let waker = Arc::new(Waker::new().unwrap());
+        let pump = CompletionPump::start(Arc::clone(&waker));
+        assert_eq!(pump.outstanding(), 0);
+
+        for id in 0..4 {
+            let handle = client.submit(Tensor::ones(&[1, 4])).unwrap();
+            pump.submit(1, id, handle);
+        }
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let mut settled = 0;
+        while settled < 4 {
+            assert!(Instant::now() < deadline, "stuck at {settled}/4 settled");
+            settled += pump.take_completions().len();
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(pump.outstanding(), 0);
+        pump.shutdown();
+        drop(client);
+        let _ = server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_joins_even_with_inflight_handles() {
+        let server = tiny_server();
+        let client = server.client();
+        let pump = CompletionPump::start(Arc::new(Waker::new().unwrap()));
+        let handle = client.submit(Tensor::ones(&[1, 4])).unwrap();
+        pump.submit(0, 0, handle);
+        pump.shutdown(); // must not hang
+        drop(client);
+        let _ = server.shutdown();
+    }
+}

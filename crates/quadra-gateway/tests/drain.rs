@@ -1,0 +1,160 @@
+//! Graceful-drain and shutdown-ordering regression tests.
+//!
+//! The ordering contract under test (documented on [`Gateway`]): the
+//! gateway drains **before** the router shuts down, so every response the
+//! engine produced for a gateway-admitted request reaches its socket. If
+//! the order were inverted, the router would settle in-flight handles with
+//! `ShuttingDown` and the client would see spurious failures — which the
+//! accounting equality below would catch.
+
+use quadra_gateway::{Gateway, GatewayClient, GatewayConfig, Reply};
+use quadra_nn::{Layer, Linear, Sequential};
+use quadra_serve::{Priority, Router, ServeConfig, ServeError};
+use quadra_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+const IN: usize = 4;
+const MAX_FRAME: usize = 16 << 20;
+
+fn start_gateway() -> Gateway {
+    let router = Router::builder()
+        .endpoint("m", ServeConfig { workers: 1, ..ServeConfig::default() }, || {
+            let mut rng = StdRng::seed_from_u64(3);
+            Box::new(Sequential::new(vec![Box::new(Linear::new(IN, 2, true, &mut rng)) as Box<dyn Layer>]))
+        })
+        .start()
+        .expect("router starts");
+    Gateway::start(GatewayConfig::default(), router).expect("gateway starts")
+}
+
+/// Drain flushes responses that were already served: a request answered
+/// before shutdown stays answered, the connection ends with GoAway + EOF,
+/// and the router's final metrics agree with what the socket delivered.
+#[test]
+fn drain_flushes_served_responses_and_says_goaway() {
+    let gateway = start_gateway();
+    let mut tcp = GatewayClient::connect(gateway.local_addr(), MAX_FRAME).expect("client connects");
+    tcp.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+
+    let reply = tcp
+        .call("m", Tensor::ones(&[1, IN]), Priority::Interactive, None, None)
+        .expect("call before shutdown");
+    assert!(matches!(reply, Reply::Response(_)), "got {reply:?}");
+
+    let metrics = gateway.shutdown();
+    assert_eq!(metrics.total_completed_requests(), 1, "the served request is in the final metrics");
+
+    // After the drain the connection delivers GoAway and then EOF.
+    let mut saw_goaway = false;
+    loop {
+        match tcp.recv() {
+            Ok(Reply::GoAway) => saw_goaway = true,
+            Ok(other) => panic!("unexpected frame during teardown: {other:?}"),
+            Err(_) => break, // EOF / reset once the gateway is gone
+        }
+    }
+    assert!(saw_goaway, "draining gateway must announce GoAway before closing");
+}
+
+/// The ordering regression: fire a burst, shut down immediately, and check
+/// the books balance. Every correlation id settles exactly once; the number
+/// of *real responses* the socket delivered equals the number of requests
+/// the router reports as completed. If the router shut down before the
+/// gateway drained, admitted requests would surface client-side as
+/// `ShuttingDown` errors while still (or never) being counted server-side,
+/// and the equality would break.
+#[test]
+fn inflight_requests_settle_exactly_once_and_metrics_match_the_socket() {
+    let gateway = start_gateway();
+    let mut tcp = GatewayClient::connect(gateway.local_addr(), MAX_FRAME).expect("client connects");
+    tcp.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+
+    // One request is fully served first so the admitted set is non-empty no
+    // matter how the burst below races the stop signal.
+    let reply =
+        tcp.call("m", Tensor::ones(&[1, IN]), Priority::Interactive, None, None).expect("warm-up call");
+    assert!(matches!(reply, Reply::Response(_)));
+
+    let mut waiting = std::collections::HashSet::new();
+    for _ in 0..16 {
+        let corr = tcp.send("m", Tensor::ones(&[1, IN]), Priority::Interactive, None, None).expect("send");
+        waiting.insert(corr);
+    }
+
+    // Shut down from another thread while the burst is in flight; keep
+    // reading this side until the gateway closes the socket.
+    let handle = std::thread::spawn(move || gateway.shutdown());
+
+    let shutting_down_code = ServeError::ShuttingDown.code();
+    let mut responses = 1u64; // the warm-up call above
+    let mut refused = 0u64;
+    loop {
+        match tcp.recv() {
+            Ok(Reply::Response(frame)) => {
+                assert!(
+                    waiting.remove(&frame.correlation_id),
+                    "duplicate or unknown response id {}",
+                    frame.correlation_id
+                );
+                responses += 1;
+            }
+            Ok(Reply::Error(frame)) => {
+                assert_eq!(
+                    frame.code, shutting_down_code,
+                    "mid-drain failures must be ShuttingDown, got {frame:?}"
+                );
+                assert!(waiting.remove(&frame.correlation_id), "duplicate error id");
+                refused += 1;
+            }
+            Ok(Reply::Backpressure(frame)) => {
+                assert!(waiting.remove(&frame.correlation_id), "duplicate backpressure id");
+                refused += 1;
+            }
+            Ok(Reply::GoAway) => {}
+            Err(_) => break, // connection closed: drain complete
+        }
+    }
+    assert!(waiting.is_empty(), "unsettled correlation ids after drain: {waiting:?}");
+
+    let metrics = handle.join().expect("shutdown thread");
+    assert_eq!(
+        metrics.total_completed_requests(),
+        responses,
+        "router-completed requests must equal responses the socket delivered \
+         (refused mid-drain: {refused}); a mismatch means the router shut down \
+         before the gateway finished draining"
+    );
+}
+
+/// Requests that arrive after the drain began are refused with a typed
+/// `ShuttingDown` error (or the connection is already gone) — never served,
+/// never silently dropped while the connection stays open.
+#[test]
+fn requests_after_goaway_are_refused_not_served() {
+    let gateway = start_gateway();
+    let mut tcp = GatewayClient::connect(gateway.local_addr(), MAX_FRAME).expect("client connects");
+    tcp.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+
+    let handle = std::thread::spawn(move || gateway.shutdown());
+
+    // Race the drain: some sends may land before the GoAway broadcast, some
+    // after, and late ones may hit a closed socket. All acceptable — what
+    // must never happen is a reply that is neither a response, a typed
+    // refusal, nor GoAway.
+    let shutting_down_code = ServeError::ShuttingDown.code();
+    for _ in 0..8 {
+        if tcp.send("m", Tensor::ones(&[1, IN]), Priority::Batch, None, None).is_err() {
+            break;
+        }
+    }
+    loop {
+        match tcp.recv() {
+            Ok(Reply::Error(frame)) => assert_eq!(frame.code, shutting_down_code),
+            Ok(Reply::Response(_) | Reply::Backpressure(_) | Reply::GoAway) => {}
+            Err(_) => break,
+        }
+    }
+    let _ = handle.join().expect("shutdown thread");
+}

@@ -46,37 +46,86 @@ impl Priority {
 }
 
 /// Errors surfaced to serving clients.
+///
+/// Every variant carries an **explicit, stable numeric discriminant** (the
+/// `#[repr(u16)]` tag) because the gateway's binary wire protocol transmits
+/// [`ServeError::code`] in error frames: adding a variant without a code
+/// would silently renumber the wire encoding. New variants must append a new
+/// discriminant, never renumber or reuse one; the round-trip test in this
+/// module pins the mapping.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[repr(u16)]
 pub enum ServeError {
     /// The server is shutting down (or has shut down) and no longer accepts
     /// or answers requests.
-    ShuttingDown,
+    ShuttingDown = 1,
     /// The request input was rejected before it reached the admission queue.
-    BadInput(String),
+    BadInput(String) = 2,
     /// The router has no endpoint registered under the requested model name.
-    UnknownModel(String),
+    UnknownModel(String) = 3,
     /// The model's admission queue for the request's priority class is full;
     /// the request was shed instead of queueing unboundedly. `retry_after`
     /// estimates when the backlog will have drained.
     Overloaded {
         /// Estimated time until the queue has drained enough to admit again.
         retry_after: Duration,
-    },
+    } = 4,
     /// The request's [`Request::deadline`] passed before a worker dispatched
     /// it; it was shed from the queue instead of wasting a batch slot on an
     /// answer nobody is waiting for.
-    DeadlineExceeded,
+    DeadlineExceeded = 5,
     /// The request was cancelled via [`ResponseHandle::cancel`] while it was
     /// still queued. A request that already rode into a batch completes
     /// normally — cancellation is a dispatch-time shed, never a mid-batch
     /// abort.
-    Cancelled,
+    Cancelled = 6,
     /// A checkpoint offered for hot-reload does not fit the served model.
-    InvalidState(String),
+    InvalidState(String) = 7,
     /// The model panicked while executing the batch containing this request.
-    WorkerFailed(String),
+    WorkerFailed(String) = 8,
     /// [`ResponseHandle::wait_timeout`] expired before the response arrived.
-    Timeout,
+    Timeout = 9,
+}
+
+impl ServeError {
+    /// The variant's stable numeric code — the `#[repr(u16)]` discriminant,
+    /// transmitted verbatim in gateway error frames. Code 0 is reserved for
+    /// protocol-level errors that are not `ServeError`s.
+    #[must_use]
+    pub fn code(&self) -> u16 {
+        match self {
+            ServeError::ShuttingDown => 1,
+            ServeError::BadInput(_) => 2,
+            ServeError::UnknownModel(_) => 3,
+            ServeError::Overloaded { .. } => 4,
+            ServeError::DeadlineExceeded => 5,
+            ServeError::Cancelled => 6,
+            ServeError::InvalidState(_) => 7,
+            ServeError::WorkerFailed(_) => 8,
+            ServeError::Timeout => 9,
+        }
+    }
+
+    /// Reconstruct a variant from its wire code, re-attaching the payload
+    /// fields a decoded error frame carries separately (`message` for the
+    /// `String` variants, `retry_after` for [`ServeError::Overloaded`]).
+    /// Returns `None` for codes this build does not know — forward
+    /// compatibility is the caller's problem, not a panic.
+    #[must_use]
+    pub fn from_code(code: u16, message: &str, retry_after: Duration) -> Option<ServeError> {
+        match code {
+            1 => Some(ServeError::ShuttingDown),
+            2 => Some(ServeError::BadInput(message.to_string())),
+            3 => Some(ServeError::UnknownModel(message.to_string())),
+            4 => Some(ServeError::Overloaded { retry_after }),
+            5 => Some(ServeError::DeadlineExceeded),
+            6 => Some(ServeError::Cancelled),
+            7 => Some(ServeError::InvalidState(message.to_string())),
+            8 => Some(ServeError::WorkerFailed(message.to_string())),
+            9 => Some(ServeError::Timeout),
+            _ => None,
+        }
+    }
 }
 
 impl std::fmt::Display for ServeError {
@@ -475,6 +524,48 @@ mod tests {
             let rendered = err.to_string();
             assert!(rendered.contains(needle), "{rendered:?} should contain {needle:?}");
         }
+    }
+
+    #[test]
+    fn serve_error_codes_roundtrip_and_match_declared_discriminants() {
+        let variants: Vec<ServeError> = vec![
+            ServeError::ShuttingDown,
+            ServeError::BadInput("bad".into()),
+            ServeError::UnknownModel("resnet".into()),
+            ServeError::Overloaded { retry_after: Duration::from_millis(5) },
+            ServeError::DeadlineExceeded,
+            ServeError::Cancelled,
+            ServeError::InvalidState("shape".into()),
+            ServeError::WorkerFailed("panic".into()),
+            ServeError::Timeout,
+        ];
+        let mut seen = std::collections::HashSet::new();
+        for err in &variants {
+            let code = err.code();
+            assert_ne!(code, 0, "code 0 is reserved for protocol errors");
+            assert!(seen.insert(code), "duplicate wire code {code}");
+            // `code()` must agree with the declared `#[repr(u16)]` discriminant:
+            // for a repr(u16) enum the tag is the first u16 of the value
+            // (RFC 2195 layout), so a mismatch between the literal in the enum
+            // declaration and the `match` in `code()` fails here.
+            let tag = unsafe { *(err as *const ServeError as *const u16) };
+            assert_eq!(code, tag, "code() disagrees with declared discriminant for {err:?}");
+            // Round-trip: the payload fields travel separately on the wire.
+            let (message, retry_after) = match err {
+                ServeError::BadInput(m)
+                | ServeError::UnknownModel(m)
+                | ServeError::InvalidState(m)
+                | ServeError::WorkerFailed(m) => (m.as_str(), Duration::ZERO),
+                ServeError::Overloaded { retry_after } => ("", *retry_after),
+                _ => ("", Duration::ZERO),
+            };
+            let back =
+                ServeError::from_code(code, message, retry_after).expect("every emitted code reconstructs");
+            assert_eq!(&back, err, "round-trip changed the variant");
+        }
+        assert_eq!(seen.len(), variants.len(), "test must cover every variant exactly once");
+        assert_eq!(ServeError::from_code(0, "", Duration::ZERO), None, "0 is reserved");
+        assert_eq!(ServeError::from_code(u16::MAX, "", Duration::ZERO), None);
     }
 
     #[test]

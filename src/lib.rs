@@ -17,11 +17,15 @@
 //! * [`serve`] — multi-model batched inference serving (router over named
 //!   endpoints, bounded priority admission with load shedding, adaptive
 //!   dynamic batcher, worker pools, checkpoint hot-reload, per-model
-//!   metrics).
+//!   metrics),
+//! * [`gateway`] — event-driven TCP front-end over `serve`: epoll event
+//!   loop, length-prefixed binary wire protocol, backpressure frames and
+//!   read pausing, graceful drain.
 
 pub use quadra_autograd as autograd;
 pub use quadra_core as core;
 pub use quadra_data as data;
+pub use quadra_gateway as gateway;
 pub use quadra_models as models;
 pub use quadra_nn as nn;
 pub use quadra_serve as serve;

@@ -41,6 +41,13 @@ fn all_reexports_resolve() {
     let cfg = vgg8_config(1.0, 10, 32);
     assert!(!cfg.layers.is_empty());
 
+    // gateway: the wire codec round-trips through the re-exported paths
+    let mut wire = Vec::new();
+    quadralib::gateway::encode_frame(&quadralib::gateway::Frame::GoAway, &mut wire).unwrap();
+    let decoded = quadralib::gateway::decode_frame(&wire, 1 << 20).unwrap().unwrap();
+    assert_eq!(decoded.0, quadralib::gateway::Frame::GoAway);
+    assert_eq!(decoded.1, wire.len());
+
     // meta-crate version constant
     assert!(!quadralib::VERSION.is_empty());
 }
